@@ -1,0 +1,71 @@
+//! Ablation A1 — compound (fused) primitives vs chains of simple
+//! primitives (paper §4.2: "compound primitives often perform twice as
+//! fast", the Mahalanobis distance being the motivating signature).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x100_vector::{compound, map};
+
+fn bench_compound(c: &mut Criterion) {
+    const N: usize = 1024;
+    let mut rng = StdRng::seed_from_u64(7);
+    let a: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let b: Vec<f64> = (0..N).map(|_| rng.gen_range(1.0..100.0)).collect();
+    let cc: Vec<f64> = (0..N).map(|_| rng.gen_range(1.0..4.0)).collect();
+    let mut t1 = vec![0.0; N];
+    let mut t2 = vec![0.0; N];
+    let mut res = vec![0.0; N];
+
+    let mut g = c.benchmark_group("compound");
+    g.throughput(Throughput::Elements(N as u64));
+
+    // Q1's discountprice sub-tree.
+    g.bench_function("q1_discountprice/fused", |bch| {
+        bch.iter(|| {
+            compound::map_fused_sub_f64_val_f64_col_mul_f64_col(
+                black_box(&mut res),
+                1.0,
+                black_box(&a),
+                black_box(&b),
+                None,
+            )
+        })
+    });
+    g.bench_function("q1_discountprice/chained", |bch| {
+        bch.iter(|| {
+            map::map_sub_f64_val_f64_col(black_box(&mut t1), 1.0, black_box(&a), None);
+            map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&t1), black_box(&b), None);
+        })
+    });
+
+    // The paper's Mahalanobis signature.
+    g.bench_function("mahalanobis/fused", |bch| {
+        bch.iter(|| {
+            compound::map_fused_mahalanobis_f64_col(
+                black_box(&mut res),
+                black_box(&a),
+                black_box(&b),
+                black_box(&cc),
+                None,
+            )
+        })
+    });
+    g.bench_function("mahalanobis/chained", |bch| {
+        bch.iter(|| {
+            compound::map_chained_mahalanobis_f64_col(
+                black_box(&mut res),
+                black_box(&mut t1),
+                black_box(&mut t2),
+                black_box(&a),
+                black_box(&b),
+                black_box(&cc),
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compound);
+criterion_main!(benches);

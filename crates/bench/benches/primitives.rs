@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the core vectorized primitives at the default
+//! vector size (1024): the per-tuple costs behind the paper's Table 5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x100_vector::{aggr, fetch, hash, map, SelVec};
+
+const N: usize = 1024;
+
+fn data_f64(seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N).map(|_| rng.gen_range(-100.0..100.0)).collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let a = data_f64(1);
+    let b = data_f64(2);
+    let mut res = vec![0.0f64; N];
+    let mut g = c.benchmark_group("primitives");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("map_add_f64_col_f64_col", |bch| {
+        bch.iter(|| map::map_add_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None))
+    });
+    g.bench_function("map_mul_f64_col_f64_col", |bch| {
+        bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None))
+    });
+    g.bench_function("map_mul_under_half_selection", |bch| {
+        let sel = SelVec::from_positions((0..N as u32).step_by(2).collect());
+        bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), Some(&sel)))
+    });
+
+    let base: Vec<f64> = data_f64(3);
+    let idx: Vec<u32> = {
+        let mut rng = StdRng::seed_from_u64(4);
+        (0..N).map(|_| rng.gen_range(0..N as u32)).collect()
+    };
+    g.bench_function("map_fetch_u32_col_f64_col", |bch| {
+        bch.iter(|| fetch::map_fetch_u32_col_f64_col(black_box(&mut res), black_box(&base), black_box(&idx), None))
+    });
+    let codes: Vec<u8> = {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..N).map(|_| rng.gen_range(0..11)).collect()
+    };
+    let dict: Vec<f64> = (0..11).map(|i| i as f64 / 100.0).collect();
+    g.bench_function("map_fetch_u8_col_f64_col (enum decode)", |bch| {
+        bch.iter(|| fetch::fetch_u8_codes(black_box(&mut res), black_box(&dict), black_box(&codes), None))
+    });
+
+    let keys: Vec<i64> = {
+        let mut rng = StdRng::seed_from_u64(6);
+        (0..N).map(|_| rng.gen_range(0..1000)).collect()
+    };
+    let mut hashes = vec![0u64; N];
+    g.bench_function("map_hash_i64_col", |bch| {
+        bch.iter(|| hash::map_hash_i64_col(black_box(&mut hashes), black_box(&keys), None))
+    });
+
+    let grp: Vec<u32> = codes.iter().map(|&x| x as u32).collect();
+    let mut acc = vec![0.0f64; 16];
+    g.bench_function("aggr_sum_f64_col (16 groups)", |bch| {
+        bch.iter(|| aggr::aggr_sum_f64_col(black_box(&mut acc), black_box(&a), black_box(&grp), None))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

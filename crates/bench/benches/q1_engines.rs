@@ -1,0 +1,31 @@
+//! Table 1 as a Criterion bench: Q1 across the four engines at a small
+//! scale factor (use the `table1` binary for larger runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tpch::gen::{generate_lineitem_q1, GenConfig};
+use tpch::queries::q01;
+use x100_engine::session::{execute, ExecOptions};
+
+fn bench_q1(c: &mut Criterion) {
+    let li = generate_lineitem_q1(&GenConfig::new(0.01));
+    let hi = q01::q1_hi_date();
+    let volcano_t = tpch::build_volcano_lineitem(&li);
+    let bats = tpch::mil_bats(&li);
+    let db = tpch::build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+
+    let mut g = c.benchmark_group("q1_engines");
+    g.sample_size(10);
+    g.bench_function("volcano_tuple_at_a_time", |b| {
+        b.iter(|| q01::volcano_q1(black_box(&volcano_t), hi))
+    });
+    g.bench_function("monetdb_mil", |b| b.iter(|| q01::mil_q1(black_box(&bats), hi)));
+    g.bench_function("x100_vectorized", |b| {
+        b.iter(|| execute(black_box(&db), black_box(&plan), &ExecOptions::default()).expect("q1"))
+    });
+    g.bench_function("hardcoded_udf", |b| b.iter(|| tpch::run_hardcoded_q1(black_box(&li), hi)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_q1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 2 as a Criterion bench: branch vs predicated select shape
+//! across selectivities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x100_vector::select::{sel_lt_i32_col_i32_val_branch, sel_lt_i32_col_i32_val_pred};
+
+fn bench_selection(c: &mut Criterion) {
+    const N: usize = 64 * 1024;
+    let mut rng = StdRng::seed_from_u64(42);
+    let src: Vec<i32> = (0..N).map(|_| rng.gen_range(0..100)).collect();
+    let mut out = Vec::with_capacity(N);
+    let mut g = c.benchmark_group("selection");
+    g.throughput(Throughput::Elements(N as u64));
+    for sel in [1, 25, 50, 75, 99] {
+        g.bench_with_input(BenchmarkId::new("branch", sel), &sel, |b, &s| {
+            b.iter(|| sel_lt_i32_col_i32_val_branch(black_box(&mut out), black_box(&src), s))
+        });
+        g.bench_with_input(BenchmarkId::new("predicated", sel), &sel, |b, &s| {
+            b.iter(|| sel_lt_i32_col_i32_val_pred(black_box(&mut out), black_box(&src), s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

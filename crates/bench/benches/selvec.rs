@@ -1,0 +1,48 @@
+//! Ablation A2 — selection vectors vs copying survivors.
+//!
+//! Paper §4.2: "after a selection, leaving the vectors delivered by the
+//! child operator intact is often quicker than copying all selected
+//! data into new (contiguous) vectors." We compare computing a map over
+//! a selection vector against first compacting the survivors and then
+//! running the dense map, across selectivities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x100_vector::{map, SelVec};
+
+fn bench_selvec(c: &mut Criterion) {
+    const N: usize = 1024;
+    let mut rng = StdRng::seed_from_u64(9);
+    let a: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let b: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut res = vec![0.0; N];
+    let mut ca = vec![0.0f64; N];
+    let mut cb = vec![0.0f64; N];
+
+    let mut g = c.benchmark_group("selvec");
+    g.throughput(Throughput::Elements(N as u64));
+    for pct in [10usize, 50, 90, 99] {
+        let sel = SelVec::from_positions((0..N as u32).filter(|&i| (i as usize % 100) < pct).collect());
+        g.bench_with_input(BenchmarkId::new("selection_vector", pct), &sel, |bch, sel| {
+            bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), Some(sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("compact_then_dense", pct), &sel, |bch, sel| {
+            bch.iter(|| {
+                // Copy survivors into contiguous vectors, then dense map.
+                ca.clear();
+                cb.clear();
+                for i in sel.iter() {
+                    ca.push(a[i]);
+                    cb.push(b[i]);
+                }
+                let k = ca.len();
+                map::map_mul_f64_col_f64_col(black_box(&mut res[..k]), black_box(&ca), black_box(&cb), None)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selvec);
+criterion_main!(benches);

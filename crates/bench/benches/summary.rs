@@ -1,0 +1,50 @@
+//! Ablation A3 — summary indices prune clustered range scans (paper
+//! §4.3: coarse running-max / reverse-running-min indices derive
+//! `#rowId` bounds for range predicates at no maintenance cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use x100_engine::expr::*;
+use x100_engine::plan::Plan;
+use x100_engine::session::{execute, Database, ExecOptions};
+use x100_engine::AggExpr;
+use x100_storage::{ColumnData, TableBuilder};
+
+fn bench_summary(c: &mut Criterion) {
+    const N: i64 = 1_000_000;
+    // A clustered date-like column + a payload column.
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("t")
+            .column("d", ColumnData::I32((0..N as i32).collect()))
+            .with_summary()
+            .column("v", ColumnData::F64((0..N).map(|i| (i % 97) as f64).collect()))
+            .build(),
+    );
+    let pred = and(ge(col("d"), lit_i32(500_000)), lt(col("d"), lit_i32(510_000)));
+    let agg = vec![AggExpr::sum("s", col("v")), AggExpr::count("n")];
+
+    let unpruned = Plan::scan("t", &["d", "v"]).select(pred.clone()).aggr(vec![], agg.clone());
+    let pruned = Plan::scan("t", &["d", "v"])
+        .pruned("d", Some(500_000), Some(509_999))
+        .select(pred)
+        .aggr(vec![], agg);
+    let opts = ExecOptions::default();
+
+    // Both must agree before we measure.
+    let (r1, _) = execute(&db, &unpruned, &opts).expect("unpruned");
+    let (r2, _) = execute(&db, &pruned, &opts).expect("pruned");
+    assert_eq!(r1.row_strings(), r2.row_strings());
+
+    let mut g = c.benchmark_group("summary_index");
+    g.sample_size(20);
+    g.bench_function("range_scan/full", |bch| {
+        bch.iter(|| execute(black_box(&db), black_box(&unpruned), &opts).expect("run"))
+    });
+    g.bench_function("range_scan/summary_pruned", |bch| {
+        bch.iter(|| execute(black_box(&db), black_box(&pruned), &opts).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_summary);
+criterion_main!(benches);

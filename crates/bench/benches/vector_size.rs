@@ -1,0 +1,26 @@
+//! Figure 10 as a Criterion bench: Q1 across vector sizes (use the
+//! `fig10` binary for the full 1..4M sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpch::gen::{generate_lineitem_q1, GenConfig};
+use tpch::queries::q01;
+use x100_engine::session::{execute, ExecOptions};
+
+fn bench_vector_size(c: &mut Criterion) {
+    let li = generate_lineitem_q1(&GenConfig::new(0.01));
+    let db = tpch::build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+    let mut g = c.benchmark_group("vector_size");
+    g.sample_size(10);
+    for vs in [16usize, 128, 1024, 8192, 65536] {
+        g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, &vs| {
+            b.iter(|| {
+                execute(black_box(&db), black_box(&plan), &ExecOptions::with_vector_size(vs)).expect("q1")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vector_size);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10 — Q1 performance as a function of vector size.
+//!
+//! Sweeps the X100 vector size from 1 (tuple-at-a-time degenerate case:
+//! interpretation overhead dominates) through the cache-resident sweet
+//! spot (~1K) up to 4M (full materialization: "MonetDB/X100 behaves
+//! very similar to MonetDB/MIL"). Profiling is off, so per-call timer
+//! overhead cannot distort the small-vector points.
+//!
+//! Usage: `fig10 [--sf 0.1] [--reps 3]`
+
+use tpch::gen::{generate_lineitem_q1, GenConfig};
+use tpch::queries::q01;
+use x100_bench::{arg_sf, arg_usize, secs, time_best_of};
+use x100_engine::session::{execute, ExecOptions};
+
+fn main() {
+    let sf = arg_sf(0.1);
+    let reps = arg_usize("--reps", 3);
+    let li = generate_lineitem_q1(&GenConfig::new(sf));
+    let db = tpch::build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+
+    // MIL reference: the expected asymptote at huge vector sizes.
+    let bats = tpch::mil_bats(&li);
+    let (mil_t, _) = time_best_of(reps, || q01::mil_q1(&bats, q01::q1_hi_date()));
+
+    println!("Q1 vs vector size (SF={sf}, {} tuples, best of {reps})\n", li.len());
+    println!("{:>12} {:>12}", "vector size", "time (s)");
+    let sizes = [
+        1usize, 4, 16, 64, 256, 1024, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+    ];
+    for &vs in &sizes {
+        let (d, res) = time_best_of(reps, || {
+            let (res, _) = execute(&db, &plan, &ExecOptions::with_vector_size(vs)).expect("q1");
+            res
+        });
+        assert_eq!(res.num_rows(), 4);
+        println!("{:>12} {:>12.4}", vs, secs(d));
+    }
+    println!("{:>12} {:>12.4}   (MonetDB/MIL reference)", "MIL", secs(mil_t));
+    println!("\n(paper Fig. 10: optimum near 1K, all of 128..8K good; vector");
+    println!(" size 1 ~2 orders of magnitude slower; 4M converges to MIL)");
+}

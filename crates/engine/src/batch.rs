@@ -1,0 +1,204 @@
+//! The dataflow unit between operators: a batch of vectors.
+//!
+//! X100 execution proceeds "Volcano-like … on the granularity of a
+//! vector" (§4.1.1): each `next()` call passes a horizontal slice of the
+//! dataflow, represented vertically as one [`Vector`] per column, plus an
+//! optional shared selection vector.
+//!
+//! Columns are `Rc<Vector>` so that pass-through projection and
+//! selection are zero-copy: operators clone pointers, not data. Buffers
+//! are still reused across batches — producers call [`VecPool::writable`]
+//! which recycles the allocation when no downstream reference survives.
+
+use std::rc::Rc;
+use x100_vector::{ScalarType, SelVec, Vector};
+
+/// Name and type of one output column of an operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutField {
+    /// Column name (unique within an operator's output).
+    pub name: String,
+    /// Logical scalar type.
+    pub ty: ScalarType,
+}
+
+impl OutField {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
+        OutField { name: name.into(), ty }
+    }
+}
+
+/// A batch: `len` logical tuples, stored as one vector per column, with
+/// an optional selection vector marking which positions are live.
+#[derive(Debug, Default, Clone)]
+pub struct Batch {
+    /// One vector per output column; every vector has length `len`.
+    pub columns: Vec<Rc<Vector>>,
+    /// Live positions; `None` means all `0..len`.
+    pub sel: Option<Rc<SelVec>>,
+    /// Full vector length (including unselected positions).
+    pub len: usize,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Number of *live* tuples (selection-aware).
+    pub fn live(&self) -> usize {
+        match &self.sel {
+            None => self.len,
+            Some(s) => s.len(),
+        }
+    }
+
+    /// The selection as a primitive-friendly `Option<&SelVec>`.
+    pub fn sel_ref(&self) -> Option<&SelVec> {
+        self.sel.as_deref()
+    }
+
+    /// Total payload bytes across columns (bandwidth accounting).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Clear columns and selection (start of a producer's `next()`).
+    pub fn reset(&mut self) {
+        self.columns.clear();
+        self.sel = None;
+        self.len = 0;
+    }
+}
+
+/// A pool of reusable `Rc<Vector>` buffers for one producer slot.
+///
+/// Each call to [`VecPool::writable`] returns a mutable vector: the
+/// previous allocation if the downstream consumer dropped its reference,
+/// or a fresh one otherwise (rare — only when a consumer retains batches,
+/// e.g. a materializing Sort).
+#[derive(Debug)]
+pub struct VecPool {
+    slot: Option<Rc<Vector>>,
+    ty: ScalarType,
+    cap: usize,
+}
+
+impl VecPool {
+    /// A pool producing vectors of `ty` with capacity `cap`.
+    pub fn new(ty: ScalarType, cap: usize) -> Self {
+        VecPool { slot: None, ty, cap }
+    }
+
+    /// The vector type this pool produces.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.ty
+    }
+
+    /// Take a writable, cleared vector.
+    pub fn writable(&mut self) -> Vector {
+        match self.slot.take().and_then(|rc| Rc::try_unwrap(rc).ok()) {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vector::with_capacity(self.ty, self.cap),
+        }
+    }
+
+    /// Hand the filled vector to a batch, keeping a handle for reuse.
+    pub fn publish(&mut self, v: Vector, batch: &mut Batch) {
+        let rc = Rc::new(v);
+        self.slot = Some(rc.clone());
+        batch.columns.push(rc);
+    }
+
+    /// Replace column `idx` of the batch with the filled vector
+    /// (used when a later pass fills a placeholder slot).
+    pub fn publish_at(&mut self, v: Vector, batch: &mut Batch, idx: usize) {
+        let rc = Rc::new(v);
+        self.slot = Some(rc.clone());
+        batch.columns[idx] = rc;
+    }
+}
+
+/// A pool for the shared selection vector of a producer.
+#[derive(Debug, Default)]
+pub struct SelPool {
+    slot: Option<Rc<SelVec>>,
+}
+
+impl SelPool {
+    /// Take a writable, cleared selection vector.
+    pub fn writable(&mut self) -> SelVec {
+        match self.slot.take().and_then(|rc| Rc::try_unwrap(rc).ok()) {
+            Some(mut s) => {
+                s.clear();
+                s
+            }
+            None => SelVec::default(),
+        }
+    }
+
+    /// Publish the filled selection vector into a batch.
+    pub fn publish(&mut self, s: SelVec, batch: &mut Batch) {
+        let rc = Rc::new(s);
+        self.slot = Some(rc.clone());
+        batch.sel = Some(rc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_respects_selection() {
+        let mut b = Batch::new();
+        b.len = 10;
+        assert_eq!(b.live(), 10);
+        b.sel = Some(Rc::new(SelVec::from_positions(vec![1, 5])));
+        assert_eq!(b.live(), 2);
+    }
+
+    #[test]
+    fn pool_reuses_buffer_when_unreferenced() {
+        let mut pool = VecPool::new(ScalarType::F64, 8);
+        let mut batch = Batch::new();
+        let mut v = pool.writable();
+        v.as_f64_mut().extend_from_slice(&[1.0, 2.0]);
+        let ptr_before = v.as_f64().as_ptr();
+        pool.publish(v, &mut batch);
+        // Consumer drops the batch → next writable() reuses the buffer.
+        drop(batch);
+        let v2 = pool.writable();
+        assert_eq!(v2.len(), 0);
+        assert_eq!(v2.as_f64().as_ptr(), ptr_before);
+    }
+
+    #[test]
+    fn pool_allocates_fresh_when_retained() {
+        let mut pool = VecPool::new(ScalarType::I64, 4);
+        let mut batch = Batch::new();
+        let v = pool.writable();
+        pool.publish(v, &mut batch);
+        let retained = batch.columns[0].clone(); // consumer keeps a handle
+        let v2 = pool.writable();
+        drop(retained);
+        assert_eq!(v2.len(), 0); // fresh buffer, not the retained one
+    }
+
+    #[test]
+    fn sel_pool_roundtrip() {
+        let mut pool = SelPool::default();
+        let mut batch = Batch::new();
+        batch.len = 4;
+        let mut s = pool.writable();
+        s.push(2);
+        pool.publish(s, &mut batch);
+        assert_eq!(batch.live(), 1);
+        assert_eq!(batch.sel_ref().expect("sel").positions(), &[2]);
+    }
+}

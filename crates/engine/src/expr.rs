@@ -1,0 +1,297 @@
+//! The expression language of X100 algebra plans.
+//!
+//! Mirrors the paper's `Exp<*>` arguments: column references, literals,
+//! arithmetic, comparisons, boolean connectives, and casts. Expressions
+//! are *unbound* names here; [`crate::compile`] binds them against an
+//! input dataflow shape and lowers them to vectorized primitive
+//! programs.
+
+use x100_vector::{CmpOp, ScalarType, Value};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (f64 only).
+    Div,
+}
+
+impl ArithOp {
+    /// Signature fragment (`add`, `sub`, …).
+    pub fn sig_name(self) -> &'static str {
+        match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+        }
+    }
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to an input column by name.
+    Col(String),
+    /// A literal constant.
+    Lit(Value),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Widening / numeric cast, e.g. `dbl(count_order)` in Fig. 9.
+    Cast(ScalarType, Box<Expr>),
+    /// Calendar year of an `i32` days-since-epoch date
+    /// (`EXTRACT(YEAR FROM …)` — used by Q7/Q8/Q9).
+    Year(Box<Expr>),
+    /// Substring containment on a string column
+    /// (`col LIKE '%needle%'` — used by Q9/Q13/Q16/Q20).
+    StrContains(Box<Expr>, String),
+}
+
+impl Expr {
+    /// All column names referenced by this expression, in first-use order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Arith(_, l, r) | Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::Cast(_, e) | Expr::Year(e) | Expr::StrContains(e, _) => {
+                e.collect_columns(out)
+            }
+        }
+    }
+}
+
+/// Column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// Literal constant.
+pub fn lit(v: Value) -> Expr {
+    Expr::Lit(v)
+}
+
+/// `f64` literal.
+pub fn lit_f64(v: f64) -> Expr {
+    Expr::Lit(Value::F64(v))
+}
+
+/// `i64` literal.
+pub fn lit_i64(v: i64) -> Expr {
+    Expr::Lit(Value::I64(v))
+}
+
+/// `i32` literal (also used for dates as days-since-epoch).
+pub fn lit_i32(v: i32) -> Expr {
+    Expr::Lit(Value::I32(v))
+}
+
+/// String literal.
+pub fn lit_str(v: impl Into<String>) -> Expr {
+    Expr::Lit(Value::Str(v.into()))
+}
+
+/// Date literal `YYYY-MM-DD` → `i32` days.
+pub fn lit_date(y: i32, m: u32, d: u32) -> Expr {
+    Expr::Lit(Value::I32(x100_vector::date::to_days(y, m, d)))
+}
+
+/// `l + r`.
+pub fn add(l: Expr, r: Expr) -> Expr {
+    Expr::Arith(ArithOp::Add, Box::new(l), Box::new(r))
+}
+
+/// `l - r`.
+pub fn sub(l: Expr, r: Expr) -> Expr {
+    Expr::Arith(ArithOp::Sub, Box::new(l), Box::new(r))
+}
+
+/// `l * r`.
+pub fn mul(l: Expr, r: Expr) -> Expr {
+    Expr::Arith(ArithOp::Mul, Box::new(l), Box::new(r))
+}
+
+/// `l / r`.
+pub fn div(l: Expr, r: Expr) -> Expr {
+    Expr::Arith(ArithOp::Div, Box::new(l), Box::new(r))
+}
+
+/// Comparison.
+pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+    Expr::Cmp(op, Box::new(l), Box::new(r))
+}
+
+/// `l < r`.
+pub fn lt(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Lt, l, r)
+}
+
+/// `l <= r`.
+pub fn le(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Le, l, r)
+}
+
+/// `l > r`.
+pub fn gt(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Gt, l, r)
+}
+
+/// `l >= r`.
+pub fn ge(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Ge, l, r)
+}
+
+/// `l == r`.
+pub fn eq(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Eq, l, r)
+}
+
+/// `l != r`.
+pub fn ne(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Ne, l, r)
+}
+
+/// `l AND r`.
+pub fn and(l: Expr, r: Expr) -> Expr {
+    Expr::And(Box::new(l), Box::new(r))
+}
+
+/// `l OR r`.
+pub fn or(l: Expr, r: Expr) -> Expr {
+    Expr::Or(Box::new(l), Box::new(r))
+}
+
+/// `NOT e`.
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+/// Cast `e` to `ty`.
+pub fn cast(ty: ScalarType, e: Expr) -> Expr {
+    Expr::Cast(ty, Box::new(e))
+}
+
+/// `EXTRACT(YEAR FROM e)` for `i32` day-since-epoch dates.
+pub fn year(e: Expr) -> Expr {
+    Expr::Year(Box::new(e))
+}
+
+/// `e LIKE '%needle%'`.
+pub fn contains(e: Expr, needle: impl Into<String>) -> Expr {
+    Expr::StrContains(Box::new(e), needle.into())
+}
+
+/// Aggregate functions of the X100 `Aggr` operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// SUM(expr).
+    Sum,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+    /// COUNT(*) (argument ignored).
+    Count,
+    /// AVG(expr) = SUM/COUNT epilogue.
+    Avg,
+}
+
+/// One aggregate in an `Aggr` operator: `name = func(arg)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Output column name.
+    pub name: String,
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` only for `Count`).
+    pub arg: Option<Expr>,
+}
+
+impl AggExpr {
+    /// `SUM(arg) AS name`.
+    pub fn sum(name: impl Into<String>, arg: Expr) -> Self {
+        AggExpr { name: name.into(), func: AggFunc::Sum, arg: Some(arg) }
+    }
+
+    /// `MIN(arg) AS name`.
+    pub fn min(name: impl Into<String>, arg: Expr) -> Self {
+        AggExpr { name: name.into(), func: AggFunc::Min, arg: Some(arg) }
+    }
+
+    /// `MAX(arg) AS name`.
+    pub fn max(name: impl Into<String>, arg: Expr) -> Self {
+        AggExpr { name: name.into(), func: AggFunc::Max, arg: Some(arg) }
+    }
+
+    /// `COUNT(*) AS name`.
+    pub fn count(name: impl Into<String>) -> Self {
+        AggExpr { name: name.into(), func: AggFunc::Count, arg: None }
+    }
+
+    /// `AVG(arg) AS name`.
+    pub fn avg(name: impl Into<String>, arg: Expr) -> Self {
+        AggExpr { name: name.into(), func: AggFunc::Avg, arg: Some(arg) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        // Q1's discountprice: *( -(1.0, l_discount), l_extendedprice )
+        let e = mul(sub(lit_f64(1.0), col("l_discount")), col("l_extendedprice"));
+        assert_eq!(e.columns(), vec!["l_discount", "l_extendedprice"]);
+    }
+
+    #[test]
+    fn columns_dedup_in_order() {
+        let e = add(col("a"), mul(col("b"), col("a")));
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn date_literal() {
+        let e = lit_date(1998, 9, 2);
+        match e {
+            Expr::Lit(Value::I32(d)) => assert_eq!(x100_vector::date::format(d), "1998-09-02"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agg_builders() {
+        let a = AggExpr::sum("sum_qty", col("l_quantity"));
+        assert_eq!(a.func, AggFunc::Sum);
+        assert_eq!(a.name, "sum_qty");
+        let c = AggExpr::count("count_order");
+        assert!(c.arg.is_none());
+    }
+}

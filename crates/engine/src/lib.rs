@@ -1,0 +1,41 @@
+//! # x100-engine — the X100 vectorized query processor
+//!
+//! The paper's core contribution (§4): a Volcano-style pull pipeline
+//! whose unit of exchange is not a tuple but a *vector* of ~1000 values,
+//! executed by vectorized primitives.
+//!
+//! * [`batch`] — the dataflow unit ([`Batch`]): `Rc`-shared column
+//!   vectors + an optional selection vector.
+//! * [`expr`] — the expression AST of X100 algebra plans.
+//! * [`compile`] — lowering expressions to primitive programs, with
+//!   compound-primitive fusion (§4.2).
+//! * [`ops`] — the operators of Fig. 7: `Scan`, `Select`, `Project`,
+//!   `Aggr` (hash / direct / ordered), `Fetch1Join`, `FetchNJoin`,
+//!   `CartProd`, nested-loop and hash `Join`, `TopN`, `Order`, `Array`.
+//! * [`plan`] — declarative plan trees bound into operator pipelines.
+//! * [`parser`] / [`render`] — the textual X100 algebra of the paper's
+//!   Figs. 6 & 9: parse it, and pretty-print plans back (EXPLAIN).
+//! * [`profile`] — per-primitive and per-operator tracing (Table 5).
+//! * [`session`] — the catalog ([`Database`]), execution options
+//!   (vector size, select strategy, compound toggle), and result
+//!   materialization.
+
+pub mod batch;
+pub mod compile;
+pub mod expr;
+pub mod ops;
+pub mod parser;
+pub mod plan;
+pub mod render;
+pub mod profile;
+pub mod session;
+
+pub use batch::{Batch, OutField};
+pub use compile::{ExprProg, PlanError};
+pub use expr::{AggExpr, AggFunc, ArithOp, Expr};
+pub use ops::Operator;
+pub use parser::{parse_expr, parse_plan};
+pub use render::{render_expr, render_plan};
+pub use plan::Plan;
+pub use profile::{Profiler, TraceStat};
+pub use session::{Database, ExecOptions, QueryResult};

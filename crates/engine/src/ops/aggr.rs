@@ -1,0 +1,936 @@
+//! Aggregation: the three physical operators of §4.1.2.
+//!
+//! "Aggregation is supported by three physical operators: (i) direct
+//! aggregation, (ii) hash aggregation, and (iii) ordered aggregation."
+//!
+//! * [`DirectAggrOp`] — for small-domain keys whose bit representation
+//!   directly indexes the accumulator table (the hard-coded Q1 trick of
+//!   §3.3: `(returnflag << 8) + linestatus`).
+//! * [`HashAggrOp`] — the general case: vectorized hashing, scalar
+//!   hash-table maintenance, vectorized accumulator updates.
+//! * [`OrdAggrOp`] — groups arrive consecutively (input clustered on the
+//!   keys); constant memory, streaming emission.
+//!
+//! All three share the aggregate-state machinery: per aggregate an
+//! *initialization* (accumulator growth), vectorized *update*
+//! primitives (`aggr_sum_*`, `aggr_count`), and an *epilogue*
+//! (`avg = sum / count`), mirroring the paper's generated triples.
+
+use crate::batch::{Batch, OutField, VecPool};
+use crate::compile::ExprProg;
+use crate::expr::{AggExpr, AggFunc, Expr};
+use crate::ops::{eq_at, extend_range, push_from, Operator};
+use crate::profile::Profiler;
+use crate::PlanError;
+use x100_storage::EnumDict;
+use x100_vector::{aggr as vaggr, hash as vhash, ScalarType, SelVec, Vector};
+
+/// Typed accumulator storage.
+enum AccData {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+}
+
+impl AccData {
+    #[allow(dead_code)]
+    fn len(&self) -> usize {
+        match self {
+            AccData::F64(v) => v.len(),
+            AccData::I64(v) => v.len(),
+        }
+    }
+
+    fn ty(&self) -> ScalarType {
+        match self {
+            AccData::F64(_) => ScalarType::F64,
+            AccData::I64(_) => ScalarType::I64,
+        }
+    }
+
+    fn grow(&mut self, n: usize, init: f64) {
+        match self {
+            AccData::F64(v) => v.resize(n, init),
+            AccData::I64(v) => v.resize(n, init as i64),
+        }
+    }
+}
+
+/// One aggregate's compiled state.
+struct AggState {
+    name: String,
+    func: AggFunc,
+    /// Argument program (`None` for `Count`).
+    prog: Option<ExprProg>,
+    acc: AccData,
+    sig: String,
+}
+
+impl AggState {
+    fn bind(spec: &AggExpr, fields: &[OutField], vector_size: usize, compound: bool) -> Result<Self, PlanError> {
+        let (prog, acc, sig) = match spec.func {
+            AggFunc::Count => (None, AccData::I64(Vec::new()), "aggr_count_u32_col".to_owned()),
+            _ => {
+                let arg = spec.arg.as_ref().ok_or_else(|| {
+                    PlanError::Invalid(format!("aggregate {} needs an argument", spec.name))
+                })?;
+                // AVG always accumulates in f64; integer SUM/MIN/MAX in
+                // i64; everything else in f64.
+                let raw = ExprProg::compile(arg, fields, vector_size, compound)?;
+                let want = match (spec.func, raw.result_type()) {
+                    (AggFunc::Avg, _) => ScalarType::F64,
+                    (_, t) if t.is_integer() => ScalarType::I64,
+                    _ => ScalarType::F64,
+                };
+                let prog = if raw.result_type() == want {
+                    raw
+                } else {
+                    ExprProg::compile(
+                        &Expr::Cast(want, Box::new(arg.clone())),
+                        fields,
+                        vector_size,
+                        compound,
+                    )?
+                };
+                let acc = match want {
+                    ScalarType::F64 => AccData::F64(Vec::new()),
+                    _ => AccData::I64(Vec::new()),
+                };
+                let fname = match spec.func {
+                    AggFunc::Sum | AggFunc::Avg => "sum",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                    AggFunc::Count => unreachable!(),
+                };
+                let sig = format!("aggr_{}_{}_col_u32_col", fname, want.sig_name());
+                (Some(prog), acc, sig)
+            }
+        };
+        Ok(AggState { name: spec.name.clone(), func: spec.func, prog, acc, sig })
+    }
+
+    /// Accumulator init value for newly created groups.
+    fn init_value(&self) -> f64 {
+        match (self.func, &self.acc) {
+            (AggFunc::Min, AccData::F64(_)) => f64::MAX,
+            (AggFunc::Max, AccData::F64(_)) => f64::MIN,
+            (AggFunc::Min, AccData::I64(_)) => i64::MAX as f64,
+            (AggFunc::Max, AccData::I64(_)) => i64::MIN as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Output type: AVG emits f64, COUNT emits i64, others match acc.
+    fn out_type(&self) -> ScalarType {
+        match self.func {
+            AggFunc::Avg => ScalarType::F64,
+            AggFunc::Count => ScalarType::I64,
+            _ => self.acc.ty(),
+        }
+    }
+
+    /// Vectorized update for one batch.
+    fn update(
+        &mut self,
+        batch: &Batch,
+        grp: &[u32],
+        sel: Option<&SelVec>,
+        n_groups: usize,
+        prof: &mut Profiler,
+    ) {
+        self.acc.grow(n_groups, self.init_value());
+        let live = sel.map_or(batch.len, |s| s.len());
+        match (&mut self.prog, self.func) {
+            (None, AggFunc::Count) => {
+                let AccData::I64(acc) = &mut self.acc else { unreachable!() };
+                let t0 = prof.start();
+                vaggr::aggr_count(acc, grp, sel);
+                prof.record_prim(&self.sig, t0, live, live * 4 + live * 8);
+            }
+            (Some(prog), func) => {
+                let vals = prog.eval(batch, sel, prof);
+                let t0 = prof.start();
+                let bytes = live * (vals.scalar_type().width() + 4 + 8);
+                match (&mut self.acc, vals) {
+                    (AccData::F64(acc), Vector::F64(v)) => match func {
+                        AggFunc::Sum | AggFunc::Avg => vaggr::aggr_sum_f64_col(acc, v, grp, sel),
+                        AggFunc::Min => vaggr::aggr_min_f64_col(acc, v, grp, sel),
+                        AggFunc::Max => vaggr::aggr_max_f64_col(acc, v, grp, sel),
+                        AggFunc::Count => unreachable!(),
+                    },
+                    (AccData::I64(acc), Vector::I64(v)) => match func {
+                        AggFunc::Sum => vaggr::aggr_sum_i64_col(acc, v, grp, sel),
+                        AggFunc::Min => vaggr::aggr_min_i64_col(acc, v, grp, sel),
+                        AggFunc::Max => vaggr::aggr_max_i64_col(acc, v, grp, sel),
+                        AggFunc::Avg | AggFunc::Count => unreachable!(),
+                    },
+                    (acc, v) => panic!(
+                        "aggregate type mismatch: acc {:?}, values {:?}",
+                        acc.ty(),
+                        v.scalar_type()
+                    ),
+                }
+                prof.record_prim(&self.sig, t0, live, bytes);
+            }
+            (None, _) => unreachable!("only Count has no argument"),
+        }
+    }
+
+    /// Emit `[start, start+n)` of the final values into `out`,
+    /// applying the AVG epilogue against `counts`.
+    fn emit(&self, out: &mut Vector, start: usize, n: usize, counts: &[i64], prof: &mut Profiler) {
+        match (self.func, &self.acc) {
+            (AggFunc::Avg, AccData::F64(sums)) => {
+                let t0 = prof.start();
+                let o = out.as_f64_mut();
+                let base = o.len();
+                o.resize(base + n, 0.0);
+                vaggr::aggr_avg_epilogue(&mut o[base..], &sums[start..start + n], &counts[start..start + n]);
+                prof.record_prim("aggr_avg_epilogue", t0, n, n * 24);
+            }
+            (_, AccData::F64(v)) => out.as_f64_mut().extend_from_slice(&v[start..start + n]),
+            (_, AccData::I64(v)) => out.as_i64_mut().extend_from_slice(&v[start..start + n]),
+        }
+    }
+}
+
+/// Compute the hash vector of the key columns (hash + rehash chain).
+/// Shared with the hash join.
+pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: Option<&SelVec>, prof: &mut Profiler) {
+    for (ki, kv) in keys.iter().enumerate() {
+        let first = ki == 0;
+        let t0 = prof.start();
+        let sig: &str = match kv {
+            Vector::U8(v) => {
+                if first {
+                    vhash::map_hash_u8_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_u8_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_u8_col" } else { "map_rehash_u8_col" }
+            }
+            Vector::U16(v) => {
+                if first {
+                    vhash::map_hash_u16_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_u16_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_u16_col" } else { "map_rehash_u16_col" }
+            }
+            Vector::U32(v) => {
+                if first {
+                    vhash::map_hash_u32_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_u32_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_u32_col" } else { "map_rehash_u32_col" }
+            }
+            Vector::I32(v) => {
+                if first {
+                    vhash::map_hash_i32_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_i32_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_i32_col" } else { "map_rehash_i32_col" }
+            }
+            Vector::I64(v) => {
+                if first {
+                    vhash::map_hash_i64_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_i64_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_i64_col" } else { "map_rehash_i64_col" }
+            }
+            Vector::F64(v) => {
+                if first {
+                    vhash::map_hash_f64_col(hash_buf, v, sel)
+                } else {
+                    // rehash f64: mix bit patterns
+                    match sel {
+                        None => {
+                            for (h, &x) in hash_buf.iter_mut().zip(v.iter()).take(n) {
+                                *h = vhash::mix(*h, x.to_bits());
+                            }
+                        }
+                        Some(s) => {
+                            for i in s.iter() {
+                                hash_buf[i] = vhash::mix(hash_buf[i], v[i].to_bits());
+                            }
+                        }
+                    }
+                }
+                if first { "map_hash_f64_col" } else { "map_rehash_f64_col" }
+            }
+            Vector::Str(v) => {
+                if first {
+                    vhash::map_hash_str_col(hash_buf, v, sel)
+                } else {
+                    vhash::map_rehash_str_col(hash_buf, v, sel)
+                }
+                if first { "map_hash_str_col" } else { "map_rehash_str_col" }
+            }
+            other => panic!("cannot hash {:?} keys", other.scalar_type()),
+        };
+        let live = sel.map_or(n, |s| s.len());
+        prof.record_prim(sig, t0, live, live * (kv.scalar_type().width() + 8));
+    }
+}
+
+/// Grow an open-addressing bucket array until it can absorb `target`
+/// groups at ≤70% load, rehashing the existing `n_groups` entries.
+#[allow(clippy::needless_range_loop)] // indexing both hash and bucket arrays
+fn ensure_capacity(buckets: &mut Vec<u32>, group_hashes: &[u64], n_groups: usize, target: usize) {
+    let mut cap = buckets.len();
+    while cap * 7 <= target * 10 {
+        cap *= 4;
+    }
+    if cap == buckets.len() {
+        return;
+    }
+    let mask = (cap - 1) as u64;
+    let mut grown = vec![0u32; cap];
+    for g in 0..n_groups {
+        let mut b = (group_hashes[g] & mask) as usize;
+        while grown[b] != 0 {
+            b = (b + 1) & mask as usize;
+        }
+        grown[b] = g as u32 + 1;
+    }
+    *buckets = grown;
+}
+
+/// `HashAggr(Dataflow, List<Exp>, List<AggrExp>)` — general grouping.
+pub struct HashAggrOp {
+    child: Box<dyn Operator>,
+    key_progs: Vec<ExprProg>,
+    /// Enum dictionaries for code-typed keys: grouping runs on the raw
+    /// codes, emission decodes to logical values.
+    key_dicts: Vec<Option<EnumDict>>,
+    aggs: Vec<AggState>,
+    fields: Vec<OutField>,
+    // Hash table: open addressing, bucket holds group_id + 1 (0 = empty).
+    buckets: Vec<u32>,
+    group_hashes: Vec<u64>,
+    key_store: Vec<Vector>,
+    group_counts: Vec<i64>,
+    n_groups: usize,
+    // Scratch.
+    hash_buf: Vec<u64>,
+    grp_buf: Vec<u32>,
+    // Emission.
+    built: bool,
+    emit_pos: usize,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl HashAggrOp {
+    /// Bind keys and aggregates against `child`'s shape.
+    ///
+    /// `key_dicts[i]` (when present, and the key is a code-typed bare
+    /// column reference) makes key `i` group on raw codes and decode
+    /// only at emission.
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: &[(String, Expr)],
+        key_dicts: Vec<Option<EnumDict>>,
+        aggs: &[AggExpr],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        assert!(key_dicts.is_empty() || key_dicts.len() == keys.len());
+        let mut key_progs = Vec::new();
+        let mut fields = Vec::new();
+        let mut key_store = Vec::new();
+        let mut key_dicts = if key_dicts.is_empty() { vec![None; keys.len()] } else { key_dicts };
+        for (i, (name, e)) in keys.iter().enumerate() {
+            let prog = ExprProg::compile(e, child.fields(), vector_size, compound)?;
+            // Dictionaries only apply to code-typed keys.
+            if !matches!(prog.result_type(), ScalarType::U8 | ScalarType::U16) {
+                key_dicts[i] = None;
+            }
+            let out_ty = key_dicts[i].as_ref().map_or(prog.result_type(), |d| d.value_type());
+            fields.push(OutField::new(name.clone(), out_ty));
+            key_store.push(Vector::with_capacity(prog.result_type(), 16));
+            key_progs.push(prog);
+        }
+        let mut states = Vec::new();
+        for spec in aggs {
+            let st = AggState::bind(spec, child.fields(), vector_size, compound)?;
+            fields.push(OutField::new(st.name.clone(), st.out_type()));
+            states.push(st);
+        }
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(HashAggrOp {
+            child,
+            key_progs,
+            key_dicts,
+            aggs: states,
+            fields,
+            buckets: vec![0; 1024],
+            group_hashes: Vec::new(),
+            key_store,
+            group_counts: Vec::new(),
+            n_groups: 0,
+            hash_buf: Vec::new(),
+            grp_buf: Vec::new(),
+            built: false,
+            emit_pos: 0,
+            pools,
+            out: Batch::new(),
+            vector_size,
+        })
+    }
+
+
+    /// Consume the whole child dataflow into the hash table.
+    fn build(&mut self, prof: &mut Profiler) {
+        while let Some(batch) = self.child.next(prof) {
+            let t_op = prof.start();
+            let n = batch.len;
+            let sel = batch.sel.as_deref();
+            // Reserve table capacity for the worst case of this batch
+            // (every live tuple a new group) before the insertion loop:
+            // the open-addressing probe must never face a full table.
+            let live_worst = sel.map_or(n, |s| s.len());
+            ensure_capacity(&mut self.buckets, &self.group_hashes, self.n_groups, self.n_groups + live_worst);
+            // 1. Evaluate key expressions.
+            let key_vecs: Vec<&Vector> =
+                self.key_progs.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            // 2. Vectorized hash of the keys.
+            self.hash_buf.resize(n, 0);
+            self.grp_buf.resize(n, 0);
+            hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
+            // 3. Hash table maintenance (scalar loop, like Fig. 6).
+            let t0 = prof.start();
+            let mask = (self.buckets.len() - 1) as u64;
+            let mut maintain = |i: usize,
+                                buckets: &mut Vec<u32>,
+                                key_store: &mut Vec<Vector>,
+                                group_hashes: &mut Vec<u64>,
+                                n_groups: &mut usize| {
+                let h = self.hash_buf[i];
+                let mut b = (h & mask) as usize;
+                loop {
+                    let slot = buckets[b];
+                    if slot == 0 {
+                        let g = *n_groups;
+                        *n_groups += 1;
+                        for (ks, kv) in key_store.iter_mut().zip(key_vecs.iter()) {
+                            push_from(ks, kv, i);
+                        }
+                        group_hashes.push(h);
+                        buckets[b] = g as u32 + 1;
+                        self.grp_buf[i] = g as u32;
+                        break;
+                    }
+                    let g = (slot - 1) as usize;
+                    if group_hashes[g] == h
+                        && key_store.iter().zip(key_vecs.iter()).all(|(ks, kv)| eq_at(ks, g, kv, i))
+                    {
+                        self.grp_buf[i] = g as u32;
+                        break;
+                    }
+                    b = (b + 1) & mask as usize;
+                }
+            };
+            let live = sel.map_or(n, |s| s.len());
+            match sel {
+                None => {
+                    for i in 0..n {
+                        maintain(i, &mut self.buckets, &mut self.key_store, &mut self.group_hashes, &mut self.n_groups);
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        maintain(i, &mut self.buckets, &mut self.key_store, &mut self.group_hashes, &mut self.n_groups);
+                    }
+                }
+            }
+            prof.record_prim("aggr_hashtable_maintain", t0, live, live * 12);
+            // 4. Vectorized accumulator updates.
+            self.group_counts.resize(self.n_groups, 0);
+            let tc = prof.start();
+            vaggr::aggr_count(&mut self.group_counts, &self.grp_buf, sel);
+            prof.record_prim("aggr_count_u32_col", tc, live, live * 12);
+            for agg in &mut self.aggs {
+                agg.update(batch, &self.grp_buf, sel, self.n_groups, prof);
+            }
+            prof.record_op("Aggr(HASH)", t_op, live);
+        }
+        self.built = true;
+    }
+}
+
+impl Operator for HashAggrOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.built {
+            self.build(prof);
+            // SQL semantics: an ungrouped aggregation over an empty
+            // input still yields one row (count 0, sums 0).
+            if self.key_progs.is_empty() && self.n_groups == 0 {
+                self.n_groups = 1;
+                self.group_counts.push(0);
+                for agg in &mut self.aggs {
+                    agg.acc.grow(1, agg.init_value());
+                }
+            }
+        }
+        if self.emit_pos >= self.n_groups {
+            return None;
+        }
+        let start = self.emit_pos;
+        let n = (self.n_groups - start).min(self.vector_size);
+        self.emit_pos += n;
+        self.out.reset();
+        self.out.len = n;
+        let nkeys = self.key_store.len();
+        for k in 0..nkeys {
+            let mut v = self.pools[k].writable();
+            match &self.key_dicts[k] {
+                None => extend_range(&mut v, &self.key_store[k], start, n),
+                Some(dict) => {
+                    // Grouped on codes; decode the emitted slice.
+                    for g in start..start + n {
+                        let code = match &self.key_store[k] {
+                            Vector::U8(c) => c[g] as usize,
+                            Vector::U16(c) => c[g] as usize,
+                            other => panic!("code key is {:?}", other.scalar_type()),
+                        };
+                        v.push_value(&dict.decode(code));
+                    }
+                }
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        for (a, agg) in self.aggs.iter().enumerate() {
+            let mut v = self.pools[nkeys + a].writable();
+            agg.emit(&mut v, start, n, &self.group_counts, prof);
+            self.pools[nkeys + a].publish(v, &mut self.out);
+        }
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        self.buckets = vec![0; 1024];
+        self.group_hashes.clear();
+        for v in &mut self.key_store {
+            v.clear();
+        }
+        self.group_counts.clear();
+        self.n_groups = 0;
+        self.built = false;
+        self.emit_pos = 0;
+        for agg in &mut self.aggs {
+            agg.acc.grow(0, 0.0);
+            match &mut agg.acc {
+                AccData::F64(v) => v.clear(),
+                AccData::I64(v) => v.clear(),
+            }
+        }
+    }
+}
+
+/// One key of a direct aggregation: a small-domain code column.
+pub struct DirectKey {
+    /// Output column name.
+    pub name: String,
+    /// Input column (must be `U8` or `U16` codes in the dataflow).
+    pub col: usize,
+    /// Domain cardinality (dictionary size, or 256 for raw `u8`).
+    pub card: u32,
+    /// Dictionary to decode codes on emission (`None` emits raw codes).
+    pub dict: Option<EnumDict>,
+}
+
+/// `DirectAggr` — aggregate-table slots indexed by key bits (§4.1.2).
+pub struct DirectAggrOp {
+    child: Box<dyn Operator>,
+    keys: Vec<DirectKey>,
+    aggs: Vec<AggState>,
+    fields: Vec<OutField>,
+    slots: usize,
+    group_counts: Vec<i64>,
+    grp_buf: Vec<u32>,
+    /// Occupied slots in first-seen order — emission is deterministic.
+    occupied: Vec<u32>,
+    built: bool,
+    emit_pos: usize,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl DirectAggrOp {
+    /// Maximum accumulator-table size the binder accepts.
+    pub const MAX_SLOTS: usize = 1 << 20;
+
+    /// Bind a direct aggregation.
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: Vec<DirectKey>,
+        aggs: &[AggExpr],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        let mut slots = 1usize;
+        let mut fields = Vec::new();
+        for k in &keys {
+            let f = &child.fields()[k.col];
+            if !matches!(f.ty, ScalarType::U8 | ScalarType::U16) {
+                return Err(PlanError::TypeMismatch(format!(
+                    "direct aggregation key `{}` must be u8/u16 codes, got {}",
+                    f.name, f.ty
+                )));
+            }
+            slots = slots.saturating_mul(k.card as usize);
+            let out_ty = k.dict.as_ref().map_or(f.ty, |d| d.value_type());
+            fields.push(OutField::new(k.name.clone(), out_ty));
+        }
+        if slots > Self::MAX_SLOTS {
+            return Err(PlanError::Invalid(format!(
+                "direct aggregation domain too large: {slots} slots"
+            )));
+        }
+        let mut states = Vec::new();
+        for spec in aggs {
+            let st = AggState::bind(spec, child.fields(), vector_size, compound)?;
+            fields.push(OutField::new(st.name.clone(), st.out_type()));
+            states.push(st);
+        }
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(DirectAggrOp {
+            child,
+            keys,
+            aggs: states,
+            fields,
+            slots,
+            group_counts: Vec::new(),
+            grp_buf: Vec::new(),
+            occupied: Vec::new(),
+            built: false,
+            emit_pos: 0,
+            pools,
+            out: Batch::new(),
+            vector_size,
+        })
+    }
+
+    fn build(&mut self, prof: &mut Profiler) {
+        // Pre-size accumulators to the full (small) domain.
+        self.group_counts.resize(self.slots, 0);
+        for agg in &mut self.aggs {
+            agg.acc.grow(self.slots, agg.init_value());
+        }
+        while let Some(batch) = self.child.next(prof) {
+            let t_op = prof.start();
+            let n = batch.len;
+            let sel = batch.sel.as_deref();
+            let live = sel.map_or(n, |s| s.len());
+            self.grp_buf.resize(n, 0);
+            // Direct group computation: mixed-radix code chaining.
+            for (ki, key) in self.keys.iter().enumerate() {
+                let t0 = prof.start();
+                let kv = &batch.columns[key.col];
+                let (sig, bytes) = match kv.as_ref() {
+                    Vector::U8(codes) => {
+                        if ki == 0 {
+                            vhash::map_directgrp_u8_col(&mut self.grp_buf, codes, sel);
+                            ("map_uidx_u8_col", live * 5)
+                        } else {
+                            vhash::map_directgrp_u8_chain(&mut self.grp_buf, codes, key.card, sel);
+                            ("map_directgrp_uidx_col_u8_col", live * 9)
+                        }
+                    }
+                    Vector::U16(codes) => {
+                        if ki == 0 {
+                            for (g, &c) in self.grp_buf.iter_mut().zip(codes.iter()) {
+                                *g = c as u32;
+                            }
+                            ("map_uidx_u16_col", live * 6)
+                        } else {
+                            vhash::map_directgrp_u16_chain(&mut self.grp_buf, codes, key.card, sel);
+                            ("map_directgrp_uidx_col_u16_col", live * 10)
+                        }
+                    }
+                    other => panic!("direct key must be codes, got {:?}", other.scalar_type()),
+                };
+                prof.record_prim(sig, t0, live, bytes);
+            }
+            // Track first-seen occupancy, then update counts.
+            let t0 = prof.start();
+            let track = |i: usize, counts: &mut [i64], occupied: &mut Vec<u32>, grp: &[u32]| {
+                let g = grp[i] as usize;
+                if counts[g] == 0 {
+                    occupied.push(g as u32);
+                }
+                counts[g] += 1;
+            };
+            match sel {
+                None => {
+                    for i in 0..n {
+                        track(i, &mut self.group_counts, &mut self.occupied, &self.grp_buf);
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        track(i, &mut self.group_counts, &mut self.occupied, &self.grp_buf);
+                    }
+                }
+            }
+            prof.record_prim("aggr_count_u32_col", t0, live, live * 12);
+            for agg in &mut self.aggs {
+                agg.update(batch, &self.grp_buf, sel, self.slots, prof);
+            }
+            prof.record_op("Aggr(DIRECT)", t_op, live);
+        }
+        self.built = true;
+    }
+
+    /// Decode slot id into the key value for key `ki`.
+    fn key_code(&self, slot: u32, ki: usize) -> u32 {
+        // Keys chain as g = ((k0 * card1) + k1) * card2 + k2 …
+        let mut divisor = 1u32;
+        for k in self.keys.iter().skip(ki + 1) {
+            divisor *= k.card;
+        }
+        (slot / divisor) % self.keys[ki].card
+    }
+}
+
+impl Operator for DirectAggrOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.built {
+            self.build(prof);
+        }
+        if self.emit_pos >= self.occupied.len() {
+            return None;
+        }
+        let start = self.emit_pos;
+        let n = (self.occupied.len() - start).min(self.vector_size);
+        self.emit_pos += n;
+        self.out.reset();
+        self.out.len = n;
+        let nkeys = self.keys.len();
+        for ki in 0..nkeys {
+            let mut v = self.pools[ki].writable();
+            for &slot in &self.occupied[start..start + n] {
+                let code = self.key_code(slot, ki);
+                match &self.keys[ki].dict {
+                    None => match &mut v {
+                        Vector::U8(b) => b.push(code as u8),
+                        Vector::U16(b) => b.push(code as u16),
+                        other => panic!("raw code emission into {:?}", other.scalar_type()),
+                    },
+                    Some(dict) => v.push_value(&dict.decode(code as usize)),
+                }
+            }
+            self.pools[ki].publish(v, &mut self.out);
+        }
+        // Compact the aggregate slots for occupied groups.
+        for (a, agg) in self.aggs.iter().enumerate() {
+            let mut v = self.pools[nkeys + a].writable();
+            for &slot in &self.occupied[start..start + n] {
+                agg.emit(&mut v, slot as usize, 1, &self.group_counts, prof);
+            }
+            self.pools[nkeys + a].publish(v, &mut self.out);
+        }
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        self.group_counts.clear();
+        self.occupied.clear();
+        self.built = false;
+        self.emit_pos = 0;
+        for agg in &mut self.aggs {
+            match &mut agg.acc {
+                AccData::F64(v) => v.clear(),
+                AccData::I64(v) => v.clear(),
+            }
+        }
+    }
+}
+
+/// `OrdAggr` — ordered aggregation: "chosen if all group-members will
+/// arrive right after each other in the source Dataflow" (§4.1.2).
+pub struct OrdAggrOp {
+    child: Box<dyn Operator>,
+    key_progs: Vec<ExprProg>,
+    aggs: Vec<AggState>,
+    fields: Vec<OutField>,
+    /// Current group's key values (length-1 vectors), if any group open.
+    cur_keys: Option<Vec<Vector>>,
+    group_counts: Vec<i64>,
+    /// Completed groups' keys, pending emission.
+    done_keys: Vec<Vector>,
+    n_groups: usize,
+    grp_buf: Vec<u32>,
+    emit_pos: usize,
+    input_done: bool,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl OrdAggrOp {
+    /// Bind an ordered aggregation (input must be clustered on the keys).
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: &[(String, Expr)],
+        aggs: &[AggExpr],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        let mut key_progs = Vec::new();
+        let mut fields = Vec::new();
+        let mut done_keys = Vec::new();
+        for (name, e) in keys {
+            let prog = ExprProg::compile(e, child.fields(), vector_size, compound)?;
+            fields.push(OutField::new(name.clone(), prog.result_type()));
+            done_keys.push(Vector::with_capacity(prog.result_type(), 16));
+            key_progs.push(prog);
+        }
+        let mut states = Vec::new();
+        for spec in aggs {
+            let st = AggState::bind(spec, child.fields(), vector_size, compound)?;
+            fields.push(OutField::new(st.name.clone(), st.out_type()));
+            states.push(st);
+        }
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(OrdAggrOp {
+            child,
+            key_progs,
+            aggs: states,
+            fields,
+            cur_keys: None,
+            group_counts: Vec::new(),
+            done_keys,
+            n_groups: 0,
+            grp_buf: Vec::new(),
+            emit_pos: 0,
+            input_done: false,
+            pools,
+            out: Batch::new(),
+            vector_size,
+        })
+    }
+
+    fn build(&mut self, prof: &mut Profiler) {
+        while let Some(batch) = self.child.next(prof) {
+            let t_op = prof.start();
+            let n = batch.len;
+            let sel = batch.sel.as_deref();
+            let live = sel.map_or(n, |s| s.len());
+            let key_vecs: Vec<&Vector> =
+                self.key_progs.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            // Assign group ids by detecting boundaries in arrival order.
+            let t0 = prof.start();
+            self.grp_buf.resize(n, 0);
+            let mut assign = |i: usize| {
+                let same = match &self.cur_keys {
+                    None => false,
+                    Some(cur) => {
+                        cur.iter().zip(key_vecs.iter()).all(|(c, kv)| eq_at(c, 0, kv, i))
+                    }
+                };
+                if !same {
+                    // Open a new group: record its keys.
+                    let mut newcur = Vec::with_capacity(key_vecs.len());
+                    for kv in &key_vecs {
+                        let mut one = Vector::with_capacity(kv.scalar_type(), 1);
+                        push_from(&mut one, kv, i);
+                        // Also append to the done-key store (group order).
+                        push_from(&mut self.done_keys[newcur.len()], kv, i);
+                        newcur.push(one);
+                    }
+                    self.cur_keys = Some(newcur);
+                    self.n_groups += 1;
+                }
+                self.grp_buf[i] = (self.n_groups - 1) as u32;
+            };
+            match sel {
+                None => {
+                    for i in 0..n {
+                        assign(i);
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        assign(i);
+                    }
+                }
+            }
+            prof.record_prim("aggr_ordered_boundaries", t0, live, live * 8);
+            self.group_counts.resize(self.n_groups, 0);
+            let tc = prof.start();
+            vaggr::aggr_count(&mut self.group_counts, &self.grp_buf, sel);
+            prof.record_prim("aggr_count_u32_col", tc, live, live * 12);
+            for agg in &mut self.aggs {
+                agg.update(batch, &self.grp_buf, sel, self.n_groups, prof);
+            }
+            prof.record_op("Aggr(ORDERED)", t_op, live);
+        }
+        self.input_done = true;
+    }
+}
+
+impl Operator for OrdAggrOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.input_done {
+            self.build(prof);
+        }
+        if self.emit_pos >= self.n_groups {
+            return None;
+        }
+        let start = self.emit_pos;
+        let n = (self.n_groups - start).min(self.vector_size);
+        self.emit_pos += n;
+        self.out.reset();
+        self.out.len = n;
+        let nkeys = self.done_keys.len();
+        for k in 0..nkeys {
+            let mut v = self.pools[k].writable();
+            extend_range(&mut v, &self.done_keys[k], start, n);
+            self.pools[k].publish(v, &mut self.out);
+        }
+        for (a, agg) in self.aggs.iter().enumerate() {
+            let mut v = self.pools[nkeys + a].writable();
+            agg.emit(&mut v, start, n, &self.group_counts, prof);
+            self.pools[nkeys + a].publish(v, &mut self.out);
+        }
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        self.cur_keys = None;
+        self.group_counts.clear();
+        for v in &mut self.done_keys {
+            v.clear();
+        }
+        self.n_groups = 0;
+        self.emit_pos = 0;
+        self.input_done = false;
+        for agg in &mut self.aggs {
+            match &mut agg.acc {
+                AccData::F64(v) => v.clear(),
+                AccData::I64(v) => v.clear(),
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `Array(List<Exp<int>>) : Dataflow` (paper §4.1.2).
+//!
+//! "The Array operator generates a Dataflow representing a
+//! N-dimensional array as a N-ary relation containing all valid array
+//! index coordinates in column-major dimension order. It is used by the
+//! RAM array manipulation front-end for the MonetDB system [9]."
+
+use crate::batch::{Batch, OutField, VecPool};
+use crate::ops::Operator;
+use crate::profile::Profiler;
+use crate::PlanError;
+
+/// The array coordinate generator.
+pub struct ArrayOp {
+    dims: Vec<i64>,
+    fields: Vec<OutField>,
+    total: u64,
+    pos: u64,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl ArrayOp {
+    /// An `N`-dimensional array dataflow with the given extents; output
+    /// columns are named `d0, d1, …` (i64 coordinates).
+    pub fn new(dims: &[i64], vector_size: usize) -> Result<Self, PlanError> {
+        if dims.is_empty() || dims.iter().any(|&d| d <= 0) {
+            return Err(PlanError::Invalid("array dimensions must be positive".to_owned()));
+        }
+        let total = dims.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d as u64)).ok_or_else(
+            || PlanError::Invalid("array coordinate space overflows u64".to_owned()),
+        )?;
+        let fields: Vec<OutField> = (0..dims.len())
+            .map(|i| OutField::new(format!("d{i}"), x100_vector::ScalarType::I64))
+            .collect();
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(ArrayOp { dims: dims.to_vec(), fields, total, pos: 0, pools, out: Batch::new(), vector_size })
+    }
+}
+
+impl Operator for ArrayOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.pos >= self.total {
+            return None;
+        }
+        let t0 = prof.start();
+        let n = ((self.total - self.pos) as usize).min(self.vector_size);
+        self.out.reset();
+        self.out.len = n;
+        // Column-major: dimension 0 varies fastest.
+        for (d, pool) in self.pools.iter_mut().enumerate() {
+            let mut v = pool.writable();
+            {
+                let buf = v.as_i64_mut();
+                let stride: u64 = self.dims[..d].iter().map(|&x| x as u64).product();
+                let extent = self.dims[d] as u64;
+                for k in 0..n as u64 {
+                    let linear = self.pos + k;
+                    buf.push(((linear / stride) % extent) as i64);
+                }
+            }
+            pool.publish(v, &mut self.out);
+        }
+        self.pos += n as u64;
+        prof.record_op("Array", t0, n);
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}

@@ -1,0 +1,558 @@
+//! `Fetch1Join` and `FetchNJoin`: positional joins on `#rowId` (§4.1.2).
+//!
+//! "Just like the void type in MonetDB, X100 gives each table a virtual
+//! #rowId column, which is just a densely ascending number from 0. The
+//! Fetch1Join allows to positionally fetch column values by #rowId."
+//!
+//! `Fetch1Join` is 1:1 — each dataflow tuple fetches one row of the
+//! target table (join indices over foreign keys make FK joins this
+//! cheap). `FetchNJoin` is 1:N — each tuple carries a contiguous
+//! `[lo, lo+cnt)` `#rowId` range (e.g. an order fetching its clustered
+//! lineitems), which changes the dataflow cardinality.
+
+use crate::batch::{Batch, OutField, VecPool};
+use crate::compile::ExprProg;
+use crate::expr::Expr;
+use crate::ops::{push_from, Operator};
+use crate::profile::Profiler;
+use crate::PlanError;
+use std::sync::Arc;
+use x100_storage::{ColumnData, Table};
+use x100_vector::{fetch as vfetch, ScalarType, SelVec, Vector};
+
+/// A column to fetch from the target table.
+struct FetchCol {
+    /// Column index in the target table.
+    col: usize,
+    /// Decode signature for the trace.
+    sig: String,
+    /// Fetch raw enum codes instead of decoded values.
+    as_codes: bool,
+}
+
+/// Fetch `table[rowids[i]].col` positionally into `out` under `sel`.
+/// Fragment-region fast path per type; enum columns decode through the
+/// dictionary; delta-region rowids take the slow value path.
+#[allow(clippy::needless_range_loop)] // positional writes under a selection
+fn gather_positional(
+    table: &Table,
+    col: usize,
+    as_codes: bool,
+    rowids: &[u32],
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut Vector,
+) {
+    let sc = table.column(col);
+    let frag_rows = table.fragment_rows() as u32;
+    let in_frag = match sel {
+        None => rowids[..n].iter().all(|&r| r < frag_rows),
+        Some(s) => s.iter().all(|i| rowids[i] < frag_rows),
+    };
+    out.resize_zeroed(n);
+    if in_frag {
+        // Code fetch: gather the physical code column directly.
+        let dict = if as_codes { None } else { sc.dict() };
+        match (dict, sc.physical()) {
+            (None, data) => {
+                match (data, &mut *out) {
+                    (ColumnData::I8(b), Vector::I8(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::I16(b), Vector::I16(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::I32(b), Vector::I32(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::I64(b), Vector::I64(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::U8(b), Vector::U8(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::U16(b), Vector::U16(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::U32(b), Vector::U32(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::U64(b), Vector::U64(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::F64(b), Vector::F64(o)) => vfetch::fetch(o, b, rowids, sel),
+                    (ColumnData::Str(b), Vector::Str(o)) => {
+                        o.clear();
+                        let mut strs = Vec::new();
+                        match sel {
+                            None => {
+                                for &r in &rowids[..n] {
+                                    strs.push(b.get(r as usize));
+                                }
+                            }
+                            Some(s) => {
+                                // Positional write into a StrVec: fill
+                                // unselected with empties.
+                                let mut next = s.iter().peekable();
+                                for i in 0..n {
+                                    if next.peek() == Some(&i) {
+                                        next.next();
+                                        strs.push(b.get(rowids[i] as usize));
+                                    } else {
+                                        strs.push("");
+                                    }
+                                }
+                            }
+                        }
+                        for st in strs {
+                            o.push(st);
+                        }
+                    }
+                    (d, o) => panic!(
+                        "fetch mismatch: column {:?}, out {:?}",
+                        d.scalar_type(),
+                        o.scalar_type()
+                    ),
+                }
+            }
+            (Some(dict), codes) => {
+                // Two-step: gather code, then decode via dictionary.
+                match (codes, dict.values(), &mut *out) {
+                    (ColumnData::U8(c), ColumnData::F64(d), Vector::F64(o)) => {
+                        gather_decode(c, d, rowids, n, sel, o)
+                    }
+                    (ColumnData::U8(c), ColumnData::I64(d), Vector::I64(o)) => {
+                        gather_decode(c, d, rowids, n, sel, o)
+                    }
+                    (ColumnData::U8(c), ColumnData::I32(d), Vector::I32(o)) => {
+                        gather_decode(c, d, rowids, n, sel, o)
+                    }
+                    (ColumnData::U16(c), ColumnData::F64(d), Vector::F64(o)) => {
+                        gather_decode16(c, d, rowids, n, sel, o)
+                    }
+                    (ColumnData::U16(c), ColumnData::I64(d), Vector::I64(o)) => {
+                        gather_decode16(c, d, rowids, n, sel, o)
+                    }
+                    (ColumnData::U16(c), ColumnData::I32(d), Vector::I32(o)) => {
+                        gather_decode16(c, d, rowids, n, sel, o)
+                    }
+                    (_, ColumnData::Str(d), Vector::Str(o)) => {
+                        o.clear();
+                        let code_of = |r: usize| -> usize {
+                            match codes {
+                                ColumnData::U8(c) => c[r] as usize,
+                                ColumnData::U16(c) => c[r] as usize,
+                                _ => unreachable!("codes are U8/U16"),
+                            }
+                        };
+                        match sel {
+                            None => {
+                                for &r in &rowids[..n] {
+                                    o.push(d.get(code_of(r as usize)));
+                                }
+                            }
+                            Some(s) => {
+                                let mut next = s.iter().peekable();
+                                for i in 0..n {
+                                    if next.peek() == Some(&i) {
+                                        next.next();
+                                        o.push(d.get(code_of(rowids[i] as usize)));
+                                    } else {
+                                        o.push("");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (c, d, o) => panic!(
+                        "enum fetch mismatch: codes {:?}, dict {:?}, out {:?}",
+                        c.scalar_type(),
+                        d.scalar_type(),
+                        o.scalar_type()
+                    ),
+                }
+            }
+        }
+    } else {
+        assert!(!as_codes, "code fetch into the delta region (binder forbids this)");
+        // Slow path: some rowids live in the delta region.
+        match sel {
+            None => {
+                out.clear();
+                for &r in &rowids[..n] {
+                    out.push_value(&row_value(table, col, r));
+                }
+            }
+            Some(s) => {
+                // Positional writes for fixed-width types only; strings
+                // with deltas + selection are handled valuewise.
+                if out.scalar_type() == ScalarType::Str {
+                    let strvec = out.as_str_mut();
+                    strvec.clear();
+                    let mut next = s.iter().peekable();
+                    for i in 0..n {
+                        if next.peek() == Some(&i) {
+                            next.next();
+                            match row_value(table, col, rowids[i]) {
+                                x100_vector::Value::Str(v) => strvec.push(&v),
+                                other => panic!("expected string, got {other:?}"),
+                            }
+                        } else {
+                            strvec.push("");
+                        }
+                    }
+                } else {
+                    for i in s.iter() {
+                        set_value_at(out, i, &row_value(table, col, rowids[i]));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn gather_decode<T: Copy>(codes: &[u8], dict: &[T], rowids: &[u32], n: usize, sel: Option<&SelVec>, out: &mut [T]) {
+    match sel {
+        None => {
+            for (o, &r) in out.iter_mut().zip(rowids.iter()).take(n) {
+                *o = dict[codes[r as usize] as usize];
+            }
+        }
+        Some(s) => {
+            for i in s.iter() {
+                out[i] = dict[codes[rowids[i] as usize] as usize];
+            }
+        }
+    }
+}
+
+fn gather_decode16<T: Copy>(codes: &[u16], dict: &[T], rowids: &[u32], n: usize, sel: Option<&SelVec>, out: &mut [T]) {
+    match sel {
+        None => {
+            for (o, &r) in out.iter_mut().zip(rowids.iter()).take(n) {
+                *o = dict[codes[r as usize] as usize];
+            }
+        }
+        Some(s) => {
+            for i in s.iter() {
+                out[i] = dict[codes[rowids[i] as usize] as usize];
+            }
+        }
+    }
+}
+
+fn row_value(table: &Table, col: usize, rowid: u32) -> x100_vector::Value {
+    // get_row is row-at-a-time; extract just one column.
+    table.get_row(rowid)[col].clone()
+}
+
+fn set_value_at(out: &mut Vector, i: usize, v: &x100_vector::Value) {
+    use x100_vector::Value;
+    match (out, v) {
+        (Vector::I8(o), Value::I8(x)) => o[i] = *x,
+        (Vector::I16(o), Value::I16(x)) => o[i] = *x,
+        (Vector::I32(o), Value::I32(x)) => o[i] = *x,
+        (Vector::I64(o), Value::I64(x)) => o[i] = *x,
+        (Vector::U8(o), Value::U8(x)) => o[i] = *x,
+        (Vector::U16(o), Value::U16(x)) => o[i] = *x,
+        (Vector::U32(o), Value::U32(x)) => o[i] = *x,
+        (Vector::U64(o), Value::U64(x)) => o[i] = *x,
+        (Vector::F64(o), Value::F64(x)) => o[i] = *x,
+        (Vector::Bool(o), Value::Bool(x)) => o[i] = *x,
+        (o, v) => panic!("set_value_at mismatch: {:?} <- {:?}", o.scalar_type(), v.scalar_type()),
+    }
+}
+
+/// `Fetch1Join(Dataflow, Table, Exp<int>, List<Column>)` — 1:1
+/// positional fetch; pass-through child columns plus fetched columns.
+pub struct Fetch1JoinOp {
+    child: Box<dyn Operator>,
+    table: Arc<Table>,
+    rowid_prog: ExprProg,
+    fetch_cols: Vec<FetchCol>,
+    fields: Vec<OutField>,
+    pools: Vec<VecPool>,
+    rowid_buf: Vec<u32>,
+    out: Batch,
+}
+
+impl Fetch1JoinOp {
+    /// Bind: `rowid_expr` must produce `u32` row ids (a join-index
+    /// column or an enum code widened to `u32`). `fetch_codes` columns
+    /// must be enum-typed and are gathered as raw codes.
+    pub fn new(
+        child: Box<dyn Operator>,
+        table: Arc<Table>,
+        rowid_expr: &Expr,
+        fetch: &[(String, String)],
+        fetch_codes: &[(String, String)],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        let raw = ExprProg::compile(rowid_expr, child.fields(), vector_size, compound)?;
+        let rowid_prog = if raw.result_type() == ScalarType::U32 {
+            raw
+        } else if matches!(raw.result_type(), ScalarType::U8 | ScalarType::U16) {
+            ExprProg::compile(
+                &Expr::Cast(ScalarType::U32, Box::new(rowid_expr.clone())),
+                child.fields(),
+                vector_size,
+                compound,
+            )?
+        } else {
+            return Err(PlanError::TypeMismatch(format!(
+                "Fetch1Join rowid expression must be u32 (join index), got {}",
+                raw.result_type()
+            )));
+        };
+        let mut fetch_cols = Vec::new();
+        let mut fields: Vec<OutField> = child.fields().to_vec();
+        let mut pools: Vec<VecPool> = Vec::new();
+        for (src, alias) in fetch {
+            let ci = table
+                .column_index(src)
+                .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", table.name(), src)))?;
+            let sc = table.column(ci);
+            let ty = sc.field().logical;
+            let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
+            fetch_cols.push(FetchCol { col: ci, sig, as_codes: false });
+            fields.push(OutField::new(alias.clone(), ty));
+            pools.push(VecPool::new(ty, vector_size));
+        }
+        for (src, alias) in fetch_codes {
+            let ci = table
+                .column_index(src)
+                .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", table.name(), src)))?;
+            let sc = table.column(ci);
+            if sc.dict().is_none() {
+                return Err(PlanError::TypeMismatch(format!(
+                    "column `{src}` is not enum-typed; use a plain fetch"
+                )));
+            }
+            let ty = sc.physical_type();
+            let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
+            fetch_cols.push(FetchCol { col: ci, sig, as_codes: true });
+            fields.push(OutField::new(alias.clone(), ty));
+            pools.push(VecPool::new(ty, vector_size));
+        }
+        Ok(Fetch1JoinOp {
+            child,
+            table,
+            rowid_prog,
+            fetch_cols,
+            fields,
+            pools,
+            rowid_buf: Vec::new(),
+            out: Batch::new(),
+        })
+    }
+}
+
+impl Operator for Fetch1JoinOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        let batch = self.child.next(prof)?;
+        let n = batch.len;
+        let sel = batch.sel.as_deref();
+        let live = batch.live();
+        let t_op = prof.start();
+        // Row ids.
+        let rowids = self.rowid_prog.eval(batch, sel, prof);
+        self.rowid_buf.clear();
+        self.rowid_buf.extend_from_slice(rowids.as_u32());
+        // Output: pass-through + fetched.
+        self.out.reset();
+        self.out.len = n;
+        self.out.sel = batch.sel.clone();
+        self.out.columns.extend(batch.columns.iter().cloned());
+        for (k, fc) in self.fetch_cols.iter().enumerate() {
+            let t0 = prof.start();
+            let mut v = self.pools[k].writable();
+            gather_positional(&self.table, fc.col, fc.as_codes, &self.rowid_buf, n, sel, &mut v);
+            let bytes = live * 4 + v.byte_size();
+            prof.record_prim(&fc.sig, t0, live, bytes);
+            self.pools[k].publish(v, &mut self.out);
+        }
+        prof.record_op("Fetch1Join", t_op, live);
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+    }
+}
+
+/// `FetchNJoin(Dataflow, Table, Exp<int>, Exp<int>, Column,
+/// List<Column>)` — 1:N positional fetch over contiguous `#rowId`
+/// ranges; expands the dataflow cardinality.
+pub struct FetchNJoinOp {
+    child: Box<dyn Operator>,
+    table: Arc<Table>,
+    lo_prog: ExprProg,
+    cnt_prog: ExprProg,
+    fetch_cols: Vec<FetchCol>,
+    fields: Vec<OutField>,
+    child_arity: usize,
+    pools: Vec<VecPool>,
+    // Expansion state: the pending (child position, rowid range) queue.
+    pending: Vec<(u32, u32, u32)>, // (child pos, lo, cnt)
+    pend_idx: usize,
+    pend_off: u32,
+    // A retained copy of the current child batch (the child's buffers
+    // are reused, so we must hold Rc clones while expanding).
+    cur_cols: Vec<std::rc::Rc<Vector>>,
+    rowid_scratch: Vec<u32>,
+    out: Batch,
+    vector_size: usize,
+    done: bool,
+}
+
+impl FetchNJoinOp {
+    /// Bind: `lo` and `cnt` produce the `#rowId` range `[lo, lo+cnt)`.
+    pub fn new(
+        child: Box<dyn Operator>,
+        table: Arc<Table>,
+        lo: &Expr,
+        cnt: &Expr,
+        fetch: &[(String, String)],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        let mk_u32 = |e: &Expr, child: &dyn Operator| -> Result<ExprProg, PlanError> {
+            let raw = ExprProg::compile(e, child.fields(), vector_size, compound)?;
+            if raw.result_type() == ScalarType::U32 {
+                Ok(raw)
+            } else {
+                Err(PlanError::TypeMismatch(format!(
+                    "FetchNJoin range expressions must be u32, got {}",
+                    raw.result_type()
+                )))
+            }
+        };
+        let lo_prog = mk_u32(lo, child.as_ref())?;
+        let cnt_prog = mk_u32(cnt, child.as_ref())?;
+        let child_arity = child.fields().len();
+        let mut fields: Vec<OutField> = child.fields().to_vec();
+        let mut fetch_cols = Vec::new();
+        let mut pools: Vec<VecPool> = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        for (src, alias) in fetch {
+            let ci = table
+                .column_index(src)
+                .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", table.name(), src)))?;
+            let ty = table.column(ci).field().logical;
+            let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
+            fetch_cols.push(FetchCol { col: ci, sig, as_codes: false });
+            fields.push(OutField::new(alias.clone(), ty));
+            pools.push(VecPool::new(ty, vector_size));
+        }
+        Ok(FetchNJoinOp {
+            child,
+            table,
+            lo_prog,
+            cnt_prog,
+            fetch_cols,
+            fields,
+            child_arity,
+            pools,
+            pending: Vec::new(),
+            pend_idx: 0,
+            pend_off: 0,
+            cur_cols: Vec::new(),
+            rowid_scratch: Vec::new(),
+            out: Batch::new(),
+            vector_size,
+            done: false,
+        })
+    }
+
+    /// Pull the next child batch and compute its expansion ranges.
+    fn refill(&mut self, prof: &mut Profiler) -> bool {
+        loop {
+            let Some(batch) = self.child.next(prof) else {
+                return false;
+            };
+            let sel = batch.sel.as_deref();
+            let lo = self.lo_prog.eval(batch, sel, prof).as_u32().to_vec();
+            let cnt = self.cnt_prog.eval(batch, sel, prof).as_u32().to_vec();
+            self.pending.clear();
+            match sel {
+                None => {
+                    for i in 0..batch.len {
+                        if cnt[i] > 0 {
+                            self.pending.push((i as u32, lo[i], cnt[i]));
+                        }
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        if cnt[i] > 0 {
+                            self.pending.push((i as u32, lo[i], cnt[i]));
+                        }
+                    }
+                }
+            }
+            if self.pending.is_empty() {
+                continue;
+            }
+            self.cur_cols = batch.columns.clone();
+            self.pend_idx = 0;
+            self.pend_off = 0;
+            return true;
+        }
+    }
+}
+
+impl Operator for FetchNJoinOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.done {
+            return None;
+        }
+        if self.pend_idx >= self.pending.len() && !self.refill(prof) {
+            self.done = true;
+            return None;
+        }
+        let t_op = prof.start();
+        // Fill up to vector_size expanded tuples.
+        self.rowid_scratch.clear();
+        let mut child_pos: Vec<u32> = Vec::new();
+        while self.rowid_scratch.len() < self.vector_size {
+            if self.pend_idx >= self.pending.len() {
+                break;
+            }
+            let (cpos, lo, cnt) = self.pending[self.pend_idx];
+            let remaining = cnt - self.pend_off;
+            let take = (self.vector_size - self.rowid_scratch.len()).min(remaining as usize) as u32;
+            for k in 0..take {
+                self.rowid_scratch.push(lo + self.pend_off + k);
+                child_pos.push(cpos);
+            }
+            self.pend_off += take;
+            if self.pend_off == cnt {
+                self.pend_idx += 1;
+                self.pend_off = 0;
+            }
+        }
+        let n = self.rowid_scratch.len();
+        self.out.reset();
+        self.out.len = n;
+        // Replicate child columns by position.
+        for (k, colv) in self.cur_cols.iter().enumerate() {
+            let mut v = self.pools[k].writable();
+            for &cp in &child_pos {
+                push_from(&mut v, colv, cp as usize);
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        // Fetch target columns.
+        for (j, fc) in self.fetch_cols.iter().enumerate() {
+            let t0 = prof.start();
+            let mut v = self.pools[self.child_arity + j].writable();
+            gather_positional(&self.table, fc.col, fc.as_codes, &self.rowid_scratch, n, None, &mut v);
+            let bytes = n * 4 + v.byte_size();
+            prof.record_prim(&fc.sig, t0, n, bytes);
+            self.pools[self.child_arity + j].publish(v, &mut self.out);
+        }
+        prof.record_op("FetchNJoin", t_op, n);
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        self.pending.clear();
+        self.pend_idx = 0;
+        self.pend_off = 0;
+        self.cur_cols.clear();
+        self.done = false;
+    }
+}

@@ -1,0 +1,501 @@
+//! Joins: `CartProd` and hash join.
+//!
+//! "X100 currently only supports left-deep joins. The default physical
+//! implementation is a CartProd operator with a Select on top (i.e.
+//! nested-loop join)" (§4.1.2). The plan binder composes exactly that
+//! for `Join(Dataflow, Table, Exp<bool>, …)`; when a foreign-key join
+//! index exists, it uses `Fetch1Join` instead (see
+//! [`crate::ops::Fetch1JoinOp`]).
+//!
+//! [`HashJoinOp`] is our extension beyond the paper's operator list
+//! (the paper's TPC-H setup avoids it via join indices): a classic
+//! build+probe equi-join, with inner, left-semi and left-anti modes —
+//! semi/anti output *selection vectors* over the probe dataflow, so they
+//! are zero-copy like `Select`.
+
+use crate::batch::{Batch, OutField, SelPool, VecPool};
+use crate::compile::ExprProg;
+use crate::expr::Expr;
+use super::aggr::hash_keys;
+use crate::ops::{eq_at, push_from, Operator};
+use crate::profile::Profiler;
+use crate::PlanError;
+use std::sync::Arc;
+use x100_storage::Table;
+use x100_vector::Vector;
+
+/// Join semantics for [`HashJoinOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Emit probe ⨝ build matches (cardinality-changing).
+    Inner,
+    /// Like `Inner`, but probe rows without a match are emitted once
+    /// with default-valued payload (0 / empty string). The engine has
+    /// no NULLs; Q13-style count-including-zero queries rely on the
+    /// zero default.
+    LeftOuter,
+    /// Emit probe rows with ≥1 match (selection-vector only).
+    LeftSemi,
+    /// Emit probe rows with no match (selection-vector only).
+    LeftAnti,
+}
+
+/// `CartProd(Dataflow, Table, List<Column>)` — cross product with a
+/// (small) materialized table. `Join` = `CartProd` + `Select`.
+pub struct CartProdOp {
+    child: Box<dyn Operator>,
+    table: Arc<Table>,
+    fetch_cols: Vec<usize>,
+    fields: Vec<OutField>,
+    child_arity: usize,
+    pools: Vec<VecPool>,
+    // Expansion state.
+    cur_cols: Vec<std::rc::Rc<Vector>>,
+    cur_live: Vec<u32>,
+    cpos_idx: usize,
+    trow: u32,
+    out: Batch,
+    #[allow(dead_code)] vector_size: usize,
+    done: bool,
+}
+
+impl CartProdOp {
+    /// Bind a cross product fetching `fetch` columns of `table`.
+    pub fn new(
+        child: Box<dyn Operator>,
+        table: Arc<Table>,
+        fetch: &[(String, String)],
+        vector_size: usize,
+    ) -> Result<Self, PlanError> {
+        if !table.deletes().is_empty() {
+            return Err(PlanError::Invalid(
+                "CartProd over a table with pending deletes; reorganize first".to_owned(),
+            ));
+        }
+        let child_arity = child.fields().len();
+        let mut fields: Vec<OutField> = child.fields().to_vec();
+        let mut pools: Vec<VecPool> = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let mut fetch_cols = Vec::new();
+        for (src, alias) in fetch {
+            let ci = table
+                .column_index(src)
+                .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", table.name(), src)))?;
+            let ty = table.column(ci).field().logical;
+            fields.push(OutField::new(alias.clone(), ty));
+            pools.push(VecPool::new(ty, vector_size));
+            fetch_cols.push(ci);
+        }
+        Ok(CartProdOp {
+            child,
+            table,
+            fetch_cols,
+            fields,
+            child_arity,
+            pools,
+            cur_cols: Vec::new(),
+            cur_live: Vec::new(),
+            cpos_idx: 0,
+            trow: 0,
+            out: Batch::new(),
+            vector_size,
+            done: false,
+        })
+    }
+
+    fn refill(&mut self, prof: &mut Profiler) -> bool {
+        let Some(batch) = self.child.next(prof) else {
+            return false;
+        };
+        self.cur_live = match batch.sel.as_deref() {
+            None => (0..batch.len as u32).collect(),
+            Some(s) => s.positions().to_vec(),
+        };
+        self.cur_cols = batch.columns.clone();
+        self.cpos_idx = 0;
+        self.trow = 0;
+        !self.cur_live.is_empty() || self.refill(prof)
+    }
+}
+
+impl Operator for CartProdOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.done {
+            return None;
+        }
+        let nrows = self.table.total_rows() as u32;
+        if nrows == 0 {
+            self.done = true;
+            return None;
+        }
+        if self.cpos_idx >= self.cur_live.len() && !self.refill(prof) {
+            self.done = true;
+            return None;
+        }
+        let t_op = prof.start();
+        // Gather up to vector_size (child pos, table row) pairs.
+        let mut cpos: Vec<u32> = Vec::with_capacity(self.vector_size);
+        let mut trows: Vec<u32> = Vec::with_capacity(self.vector_size);
+        while cpos.len() < self.vector_size && self.cpos_idx < self.cur_live.len() {
+            cpos.push(self.cur_live[self.cpos_idx]);
+            trows.push(self.trow);
+            self.trow += 1;
+            if self.trow == nrows {
+                self.trow = 0;
+                self.cpos_idx += 1;
+            }
+        }
+        let n = cpos.len();
+        self.out.reset();
+        self.out.len = n;
+        for (k, colv) in self.cur_cols.iter().enumerate() {
+            let mut v = self.pools[k].writable();
+            for &cp in &cpos {
+                push_from(&mut v, colv, cp as usize);
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        for (j, &ci) in self.fetch_cols.iter().enumerate() {
+            let mut v = self.pools[self.child_arity + j].writable();
+            self.table.gather_logical(ci, &trows, &mut v);
+            self.pools[self.child_arity + j].publish(v, &mut self.out);
+        }
+        prof.record_op("CartProd", t_op, n);
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        self.cur_cols.clear();
+        self.cur_live.clear();
+        self.cpos_idx = 0;
+        self.trow = 0;
+        self.done = false;
+    }
+}
+
+/// Hash equi-join: build side fully consumed into a chained hash table,
+/// probe side streamed.
+pub struct HashJoinOp {
+    build: Box<dyn Operator>,
+    probe: Box<dyn Operator>,
+    build_keys: Vec<ExprProg>,
+    probe_keys: Vec<ExprProg>,
+    join_type: JoinType,
+    /// Build columns carried to the output (inner join only).
+    payload_cols: Vec<usize>,
+    fields: Vec<OutField>,
+    probe_arity: usize,
+    // Hash table over build rows.
+    b_key_store: Vec<Vector>,
+    b_cols: Vec<Vector>,
+    b_hashes: Vec<u64>,
+    buckets: Vec<u32>,
+    chain: Vec<u32>,
+    n_build: usize,
+    built: bool,
+    // Scratch.
+    hash_buf: Vec<u64>,
+    pools: Vec<VecPool>,
+    sel_pool: SelPool,
+    out: Batch,
+    #[allow(dead_code)] vector_size: usize,
+}
+
+impl HashJoinOp {
+    /// Bind a hash join. `payload` lists build columns (by name) to
+    /// carry into the output for inner joins (must be empty for
+    /// semi/anti joins).
+    #[allow(clippy::too_many_arguments)] // mirrors the algebra operator's arity
+    pub fn new(
+        build: Box<dyn Operator>,
+        probe: Box<dyn Operator>,
+        build_key_exprs: &[Expr],
+        probe_key_exprs: &[Expr],
+        payload: &[(String, String)],
+        join_type: JoinType,
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
+        if build_key_exprs.len() != probe_key_exprs.len() || build_key_exprs.is_empty() {
+            return Err(PlanError::Invalid("hash join needs matching, non-empty key lists".to_owned()));
+        }
+        if matches!(join_type, JoinType::LeftSemi | JoinType::LeftAnti) && !payload.is_empty() {
+            return Err(PlanError::Invalid("semi/anti joins cannot carry build payload".to_owned()));
+        }
+        let mut build_keys = Vec::new();
+        let mut b_key_store = Vec::new();
+        for e in build_key_exprs {
+            let p = ExprProg::compile(e, build.fields(), vector_size, compound)?;
+            b_key_store.push(Vector::with_capacity(p.result_type(), 16));
+            build_keys.push(p);
+        }
+        let mut probe_keys = Vec::new();
+        for (i, e) in probe_key_exprs.iter().enumerate() {
+            let p = ExprProg::compile(e, probe.fields(), vector_size, compound)?;
+            if p.result_type() != build_keys[i].result_type() {
+                return Err(PlanError::TypeMismatch(format!(
+                    "join key {} type mismatch: build {}, probe {}",
+                    i,
+                    build_keys[i].result_type(),
+                    p.result_type()
+                )));
+            }
+            probe_keys.push(p);
+        }
+        let probe_arity = probe.fields().len();
+        let mut fields: Vec<OutField> = probe.fields().to_vec();
+        let mut payload_cols = Vec::new();
+        let mut b_cols = Vec::new();
+        for (src, alias) in payload {
+            let ci = build
+                .fields()
+                .iter()
+                .position(|f| &f.name == src)
+                .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
+            let ty = build.fields()[ci].ty;
+            fields.push(OutField::new(alias.clone(), ty));
+            payload_cols.push(ci);
+            b_cols.push(Vector::with_capacity(ty, 16));
+        }
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(HashJoinOp {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            join_type,
+            payload_cols,
+            fields,
+            probe_arity,
+            b_key_store,
+            b_cols,
+            b_hashes: Vec::new(),
+            buckets: Vec::new(),
+            chain: Vec::new(),
+            n_build: 0,
+            built: false,
+            hash_buf: Vec::new(),
+            pools,
+            sel_pool: SelPool::default(),
+            out: Batch::new(),
+            vector_size,
+        })
+    }
+
+    fn build_table(&mut self, prof: &mut Profiler) {
+        while let Some(batch) = self.build.next(prof) {
+            let n = batch.len;
+            let sel = batch.sel.as_deref();
+            let key_vecs: Vec<&Vector> =
+                self.build_keys.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            self.hash_buf.resize(n, 0);
+            hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
+            let mut insert = |i: usize| {
+                for (ks, kv) in self.b_key_store.iter_mut().zip(key_vecs.iter()) {
+                    push_from(ks, kv, i);
+                }
+                for (bs, &ci) in self.b_cols.iter_mut().zip(self.payload_cols.iter()) {
+                    push_from(bs, &batch.columns[ci], i);
+                }
+                self.b_hashes.push(self.hash_buf[i]);
+                self.n_build += 1;
+            };
+            match sel {
+                None => {
+                    for i in 0..n {
+                        insert(i);
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        insert(i);
+                    }
+                }
+            }
+        }
+        // Build the bucket chains.
+        let cap = (self.n_build.max(1) * 2).next_power_of_two();
+        let mask = (cap - 1) as u64;
+        self.buckets = vec![0; cap];
+        self.chain = vec![0; self.n_build];
+        for r in 0..self.n_build {
+            let b = (self.b_hashes[r] & mask) as usize;
+            self.chain[r] = self.buckets[b];
+            self.buckets[b] = r as u32 + 1;
+        }
+        self.built = true;
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.built {
+            let t0 = prof.start();
+            self.build_table(prof);
+            prof.record_op("HashJoin(build)", t0, self.n_build);
+        }
+        loop {
+            let batch = self.probe.next(prof)?;
+            let n = batch.len;
+            let sel = batch.sel.as_deref();
+            let live = batch.live();
+            let t_op = prof.start();
+            let key_vecs: Vec<&Vector> =
+                self.probe_keys.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            self.hash_buf.resize(n, 0);
+            hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
+            let mask = (self.buckets.len() - 1) as u64;
+            // Collect matches.
+            let mut m_probe: Vec<u32> = Vec::new();
+            let mut m_build: Vec<u32> = Vec::new();
+            let semi = matches!(self.join_type, JoinType::LeftSemi | JoinType::LeftAnti);
+            let probe_one = |i: usize, m_probe: &mut Vec<u32>, m_build: &mut Vec<u32>| {
+                let h = self.hash_buf[i];
+                let mut slot = self.buckets[(h & mask) as usize];
+                let mut matched = false;
+                while slot != 0 {
+                    let r = (slot - 1) as usize;
+                    if self.b_hashes[r] == h
+                        && self
+                            .b_key_store
+                            .iter()
+                            .zip(key_vecs.iter())
+                            .all(|(ks, kv)| eq_at(ks, r, kv, i))
+                    {
+                        matched = true;
+                        if semi {
+                            break;
+                        }
+                        m_probe.push(i as u32);
+                        m_build.push(r as u32);
+                    }
+                    slot = self.chain[r];
+                }
+                matched
+            };
+            match self.join_type {
+                JoinType::Inner | JoinType::LeftOuter => {
+                    let outer = self.join_type == JoinType::LeftOuter;
+                    let one = |i: usize, m_probe: &mut Vec<u32>, m_build: &mut Vec<u32>| {
+                        if !probe_one(i, m_probe, m_build) && outer {
+                            m_probe.push(i as u32);
+                            m_build.push(u32::MAX); // no-match sentinel
+                        }
+                    };
+                    match sel {
+                        None => {
+                            for i in 0..n {
+                                one(i, &mut m_probe, &mut m_build);
+                            }
+                        }
+                        Some(s) => {
+                            for i in s.iter() {
+                                one(i, &mut m_probe, &mut m_build);
+                            }
+                        }
+                    }
+                    prof.record_op("HashJoin(probe)", t_op, live);
+                    if m_probe.is_empty() {
+                        continue;
+                    }
+                    let outn = m_probe.len();
+                    self.out.reset();
+                    self.out.len = outn;
+                    for (k, colv) in batch.columns.iter().enumerate() {
+                        let mut v = self.pools[k].writable();
+                        for &p in &m_probe {
+                            push_from(&mut v, colv, p as usize);
+                        }
+                        self.pools[k].publish(v, &mut self.out);
+                    }
+                    for (j, bs) in self.b_cols.iter().enumerate() {
+                        let mut v = self.pools[self.probe_arity + j].writable();
+                        for &r in &m_build {
+                            if r == u32::MAX {
+                                push_default(&mut v);
+                            } else {
+                                push_from(&mut v, bs, r as usize);
+                            }
+                        }
+                        self.pools[self.probe_arity + j].publish(v, &mut self.out);
+                    }
+                    return Some(&self.out);
+                }
+                JoinType::LeftSemi | JoinType::LeftAnti => {
+                    let want = self.join_type == JoinType::LeftSemi;
+                    let mut newsel = self.sel_pool.writable();
+                    {
+                        let buf = newsel.buf_mut();
+                        match sel {
+                            None => {
+                                for i in 0..n {
+                                    if probe_one(i, &mut m_probe, &mut m_build) == want {
+                                        buf.push(i as u32);
+                                    }
+                                }
+                            }
+                            Some(s) => {
+                                for i in s.iter() {
+                                    if probe_one(i, &mut m_probe, &mut m_build) == want {
+                                        buf.push(i as u32);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    prof.record_op("HashJoin(probe)", t_op, live);
+                    if newsel.is_empty() {
+                        // Recycle and pull the next probe batch.
+                        continue;
+                    }
+                    self.out.reset();
+                    self.out.len = n;
+                    self.out.columns.extend(batch.columns.iter().cloned());
+                    self.sel_pool.publish(newsel, &mut self.out);
+                    return Some(&self.out);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.build.reset();
+        self.probe.reset();
+        for v in &mut self.b_key_store {
+            v.clear();
+        }
+        for v in &mut self.b_cols {
+            v.clear();
+        }
+        self.b_hashes.clear();
+        self.buckets.clear();
+        self.chain.clear();
+        self.n_build = 0;
+        self.built = false;
+    }
+}
+
+/// Default value appended for unmatched outer-join payload slots.
+fn push_default(v: &mut Vector) {
+    match v {
+        Vector::I8(b) => b.push(0),
+        Vector::I16(b) => b.push(0),
+        Vector::I32(b) => b.push(0),
+        Vector::I64(b) => b.push(0),
+        Vector::U8(b) => b.push(0),
+        Vector::U16(b) => b.push(0),
+        Vector::U32(b) => b.push(0),
+        Vector::U64(b) => b.push(0),
+        Vector::F64(b) => b.push(0.0),
+        Vector::Bool(b) => b.push(false),
+        Vector::Str(b) => b.push(""),
+    }
+}

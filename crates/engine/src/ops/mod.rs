@@ -1,0 +1,114 @@
+//! The X100 algebra operators (paper Fig. 7).
+//!
+//! Operators form a Volcano-style pull pipeline at vector granularity:
+//! `next()` produces the next [`Batch`] of the dataflow, or `None` when
+//! exhausted. `Table`s are materialized relations; a `Dataflow` is what
+//! flows between operators (paper §4.1.2).
+
+use crate::batch::Batch;
+use crate::profile::Profiler;
+use x100_vector::Vector;
+
+mod aggr;
+mod array;
+mod fetchjoin;
+mod join;
+mod project;
+mod scan;
+mod select;
+mod sort;
+
+pub use aggr::{DirectAggrOp, DirectKey, HashAggrOp, OrdAggrOp};
+pub use array::ArrayOp;
+pub use fetchjoin::{Fetch1JoinOp, FetchNJoinOp};
+pub use join::{CartProdOp, HashJoinOp, JoinType};
+pub use project::ProjectOp;
+pub use scan::ScanOp;
+pub use select::SelectOp;
+pub use sort::{OrdExp, OrderOp, SortOrder, TopNOp};
+
+/// A dataflow operator: the vectorized Volcano iterator.
+pub trait Operator {
+    /// The output shape (column names and types).
+    fn fields(&self) -> &[crate::batch::OutField];
+
+    /// Produce the next batch, or `None` when the dataflow is exhausted.
+    ///
+    /// The returned batch borrows the operator; consume it before the
+    /// next call. `prof` collects primitive/operator traces when enabled.
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch>;
+
+    /// Rewind to the start of the dataflow (re-execution support).
+    fn reset(&mut self);
+}
+
+/// Append value `i` of `src` to `dst` (same types). Slow path used by
+/// cardinality-changing operators on non-hot columns.
+pub(crate) fn push_from(dst: &mut Vector, src: &Vector, i: usize) {
+    match (dst, src) {
+        (Vector::I8(d), Vector::I8(s)) => d.push(s[i]),
+        (Vector::I16(d), Vector::I16(s)) => d.push(s[i]),
+        (Vector::I32(d), Vector::I32(s)) => d.push(s[i]),
+        (Vector::I64(d), Vector::I64(s)) => d.push(s[i]),
+        (Vector::U8(d), Vector::U8(s)) => d.push(s[i]),
+        (Vector::U16(d), Vector::U16(s)) => d.push(s[i]),
+        (Vector::U32(d), Vector::U32(s)) => d.push(s[i]),
+        (Vector::U64(d), Vector::U64(s)) => d.push(s[i]),
+        (Vector::F64(d), Vector::F64(s)) => d.push(s[i]),
+        (Vector::Bool(d), Vector::Bool(s)) => d.push(s[i]),
+        (Vector::Str(d), Vector::Str(s)) => d.push(s.get(i)),
+        (d, s) => panic!("push_from type mismatch: {:?} <- {:?}", d.scalar_type(), s.scalar_type()),
+    }
+}
+
+/// Compare value `i` of `a` against value `j` of `b` (same types).
+/// Total order; f64 uses `total_cmp`.
+pub(crate) fn cmp_at(a: &Vector, i: usize, b: &Vector, j: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Vector::I8(x), Vector::I8(y)) => x[i].cmp(&y[j]),
+        (Vector::I16(x), Vector::I16(y)) => x[i].cmp(&y[j]),
+        (Vector::I32(x), Vector::I32(y)) => x[i].cmp(&y[j]),
+        (Vector::I64(x), Vector::I64(y)) => x[i].cmp(&y[j]),
+        (Vector::U8(x), Vector::U8(y)) => x[i].cmp(&y[j]),
+        (Vector::U16(x), Vector::U16(y)) => x[i].cmp(&y[j]),
+        (Vector::U32(x), Vector::U32(y)) => x[i].cmp(&y[j]),
+        (Vector::U64(x), Vector::U64(y)) => x[i].cmp(&y[j]),
+        (Vector::F64(x), Vector::F64(y)) => x[i].total_cmp(&y[j]),
+        (Vector::Bool(x), Vector::Bool(y)) => x[i].cmp(&y[j]),
+        (Vector::Str(x), Vector::Str(y)) => x.get(i).cmp(y.get(j)),
+        (a, b) => {
+            let _ = Ordering::Equal;
+            panic!("cmp_at type mismatch: {:?} vs {:?}", a.scalar_type(), b.scalar_type())
+        }
+    }
+}
+
+/// Equality of value `i` of `a` and value `j` of `b` (same types).
+#[inline]
+pub(crate) fn eq_at(a: &Vector, i: usize, b: &Vector, j: usize) -> bool {
+    cmp_at(a, i, b, j) == std::cmp::Ordering::Equal
+}
+
+/// Append `src[start..start+n]` to `dst` (same types). Typed bulk copy
+/// used when emitting aggregate results vector-at-a-time.
+pub(crate) fn extend_range(dst: &mut Vector, src: &Vector, start: usize, n: usize) {
+    match (dst, src) {
+        (Vector::I8(d), Vector::I8(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::I16(d), Vector::I16(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::I32(d), Vector::I32(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::I64(d), Vector::I64(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::U8(d), Vector::U8(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::U16(d), Vector::U16(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::U32(d), Vector::U32(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::U64(d), Vector::U64(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::F64(d), Vector::F64(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::Bool(d), Vector::Bool(s)) => d.extend_from_slice(&s[start..start + n]),
+        (Vector::Str(d), Vector::Str(s)) => {
+            for i in start..start + n {
+                d.push(s.get(i));
+            }
+        }
+        (d, s) => panic!("extend_range type mismatch: {:?} <- {:?}", d.scalar_type(), s.scalar_type()),
+    }
+}

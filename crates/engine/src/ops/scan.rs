@@ -1,0 +1,296 @@
+//! `Scan(Table) : Dataflow` — vector-at-a-time table scan.
+//!
+//! "The Scan operator retrieves data vector-at-a-time from Monet BATs.
+//! Note that only attributes relevant for the query are actually
+//! scanned" (§4.1.1). Enumeration-typed columns are decompressed on the
+//! fly by an automatically added positional fetch — surfaced in traces
+//! as the paper's `Fetch1Join(ENUM)` operator rows and
+//! `map_fetch_uchr_col_*` primitive rows (§4.3, Table 5) — unless the
+//! plan requests raw codes (direct aggregation groups on codes).
+//!
+//! The scan also consults the table's delta structures: deleted rows are
+//! masked via the batch selection vector, and insert-delta rows are
+//! appended after the fragments.
+
+use crate::batch::{Batch, OutField, SelPool, VecPool};
+use crate::ops::Operator;
+use crate::profile::Profiler;
+use std::sync::Arc;
+use x100_storage::{ColumnBM, ColumnData, Table};
+use x100_vector::Vector;
+
+/// How one scanned column is produced.
+enum ColMode {
+    /// Plain column: memcpy fragment range into the vector.
+    Plain,
+    /// Enum column decoded via fetch; holds the code scratch vector and
+    /// the decode primitive signature.
+    Decode { codes: Vector, sig: String },
+    /// Enum column surfaced as raw codes (no decode).
+    Codes,
+}
+
+/// The scan operator.
+pub struct ScanOp {
+    table: Arc<Table>,
+    cols: Vec<usize>,
+    modes: Vec<ColMode>,
+    fields: Vec<OutField>,
+    pools: Vec<VecPool>,
+    sel_pool: SelPool,
+    out: Batch,
+    /// Fragment row range to scan (possibly pruned by a summary index).
+    range: (usize, usize),
+    pos: usize,
+    delta_pos: usize,
+    vector_size: usize,
+    scratch_del: Vec<u32>,
+    bm: Option<Arc<ColumnBM>>,
+    /// Cheap stand-in pushed for decode columns until the decode pass
+    /// replaces it (keeps column ordering without an allocation).
+    placeholder: std::rc::Rc<Vector>,
+}
+
+impl ScanOp {
+    /// Build a scan of `col_names` over `table`.
+    ///
+    /// `code_cols` lists enum columns to surface as raw codes;
+    /// `range` restricts the fragment rows scanned (summary-index
+    /// pruning); `None` scans everything.
+    pub fn new(
+        table: Arc<Table>,
+        col_names: &[&str],
+        code_cols: &[&str],
+        range: Option<(usize, usize)>,
+        vector_size: usize,
+        bm: Option<Arc<ColumnBM>>,
+    ) -> Result<Self, crate::PlanError> {
+        let mut cols = Vec::new();
+        let mut modes = Vec::new();
+        let mut fields = Vec::new();
+        let mut pools = Vec::new();
+        for &name in col_names {
+            let ci = table
+                .column_index(name)
+                .ok_or_else(|| crate::PlanError::UnknownColumn(name.to_owned()))?;
+            let sc = table.column(ci);
+            let as_codes = code_cols.contains(&name);
+            let (mode, ty) = match (sc.dict(), as_codes) {
+                (None, _) => (ColMode::Plain, sc.field().logical),
+                (Some(_), true) => (ColMode::Codes, sc.physical_type()),
+                (Some(dict), false) => {
+                    let code_ty = sc.physical_type();
+                    let sig = format!(
+                        "map_fetch_{}_col_{}_col",
+                        code_ty.sig_name(),
+                        dict.value_type().sig_name()
+                    );
+                    (
+                        ColMode::Decode { codes: Vector::with_capacity(code_ty, vector_size), sig },
+                        dict.value_type(),
+                    )
+                }
+            };
+            cols.push(ci);
+            fields.push(OutField::new(name, ty));
+            pools.push(VecPool::new(ty, vector_size));
+            modes.push(mode);
+        }
+        let frag = table.fragment_rows();
+        let range = match range {
+            None => (0, frag),
+            Some((s, e)) => (s.min(frag), e.min(frag)),
+        };
+        Ok(ScanOp {
+            table,
+            cols,
+            modes,
+            fields,
+            pools,
+            sel_pool: SelPool::default(),
+            out: Batch::new(),
+            range,
+            pos: range.0,
+            delta_pos: 0,
+            vector_size,
+            scratch_del: Vec::new(),
+            bm,
+            placeholder: std::rc::Rc::new(Vector::Bool(Vec::new())),
+        })
+    }
+
+    /// Produce one batch from the fragment region `[start, start+n)`.
+    fn emit_fragment(&mut self, start: usize, n: usize, prof: &mut Profiler) {
+        self.out.reset();
+        self.out.len = n;
+        let t_scan = prof.start();
+        let mut scan_bytes = 0usize;
+        // Plain/code reads first (the "Scan" operator's own work).
+        for (k, &ci) in self.cols.iter().enumerate() {
+            let sc = self.table.column(ci);
+            match &mut self.modes[k] {
+                ColMode::Plain => {
+                    let mut v = self.pools[k].writable();
+                    sc.physical().read_into(start, n, &mut v);
+                    scan_bytes += v.byte_size();
+                    if let Some(bm) = &self.bm {
+                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, v.byte_size() as u64);
+                    }
+                    self.pools[k].publish(v, &mut self.out);
+                }
+                ColMode::Codes => {
+                    let mut v = self.pools[k].writable();
+                    sc.physical().read_into(start, n, &mut v);
+                    scan_bytes += v.byte_size();
+                    if let Some(bm) = &self.bm {
+                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, v.byte_size() as u64);
+                    }
+                    self.pools[k].publish(v, &mut self.out);
+                }
+                ColMode::Decode { codes, .. } => {
+                    // Read raw codes now; decode in a second pass so the
+                    // fetch cost is attributed to Fetch1Join(ENUM).
+                    sc.physical().read_into(start, n, codes);
+                    scan_bytes += codes.byte_size();
+                    if let Some(bm) = &self.bm {
+                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, codes.byte_size() as u64);
+                    }
+                    // Placeholder slot; replaced by the decode pass below.
+                    self.out.columns.push(self.placeholder.clone());
+                }
+            }
+        }
+        prof.record_op("Scan", t_scan, n);
+        let _ = scan_bytes;
+        // Decode pass: one Fetch1Join(ENUM) per enum column.
+        for (k, &ci) in self.cols.iter().enumerate() {
+            if let ColMode::Decode { codes, sig } = &self.modes[k] {
+                let sc = self.table.column(ci);
+                let dict = sc.dict().expect("decode mode has dict");
+                let t0 = prof.start();
+                let mut v = self.pools[k].writable();
+                v.resize_zeroed(n);
+                decode_codes(codes, dict.values(), &mut v);
+                let bytes = codes.byte_size() + v.byte_size();
+                prof.record_prim(sig, t0, n, bytes);
+                prof.record_op("Fetch1Join(ENUM)", t0, n);
+                self.pools[k].publish_at(v, &mut self.out, k);
+            }
+        }
+        // Deletion mask.
+        self.scratch_del.clear();
+        self.table.deletes().deleted_in_range(start as u32, (start + n) as u32, &mut self.scratch_del);
+        if !self.scratch_del.is_empty() {
+            let mut sel = self.sel_pool.writable();
+            let buf = sel.buf_mut();
+            let mut d = 0usize;
+            for i in 0..n as u32 {
+                if d < self.scratch_del.len() && self.scratch_del[d] == i {
+                    d += 1;
+                } else {
+                    buf.push(i);
+                }
+            }
+            self.sel_pool.publish(sel, &mut self.out);
+        }
+    }
+
+    /// Produce one batch from the delta region.
+    fn emit_delta(&mut self, start: usize, n: usize, prof: &mut Profiler) {
+        self.out.reset();
+        self.out.len = n;
+        let t_scan = prof.start();
+        for (k, &ci) in self.cols.iter().enumerate() {
+            let mut v = self.pools[k].writable();
+            // Delta rows are stored logically; code columns cannot be
+            // served from the delta (the binder forbids code scans on
+            // tables with pending inserts).
+            match self.modes[k] {
+                ColMode::Codes => panic!(
+                    "raw-code scan of column `{}` with pending insert deltas; reorganize first",
+                    self.fields[k].name
+                ),
+                _ => self.table.read_delta(ci, start, n, &mut v),
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        prof.record_op("Scan(delta)", t_scan, n);
+        let base = (self.table.fragment_rows() + start) as u32;
+        self.scratch_del.clear();
+        self.table.deletes().deleted_in_range(base, base + n as u32, &mut self.scratch_del);
+        if !self.scratch_del.is_empty() {
+            let mut sel = self.sel_pool.writable();
+            let buf = sel.buf_mut();
+            let mut d = 0usize;
+            for i in 0..n as u32 {
+                if d < self.scratch_del.len() && self.scratch_del[d] == i {
+                    d += 1;
+                } else {
+                    buf.push(i);
+                }
+            }
+            self.sel_pool.publish(sel, &mut self.out);
+        }
+    }
+}
+
+/// Decode enum codes through the dictionary into a logical vector.
+fn decode_codes(codes: &Vector, dict: &ColumnData, out: &mut Vector) {
+    use x100_vector::fetch::{fetch_u16_codes, fetch_u8_codes};
+    match (codes, dict, out) {
+        (Vector::U8(c), ColumnData::F64(d), Vector::F64(o)) => fetch_u8_codes(o, d, c, None),
+        (Vector::U8(c), ColumnData::I64(d), Vector::I64(o)) => fetch_u8_codes(o, d, c, None),
+        (Vector::U8(c), ColumnData::I32(d), Vector::I32(o)) => fetch_u8_codes(o, d, c, None),
+        (Vector::U16(c), ColumnData::F64(d), Vector::F64(o)) => fetch_u16_codes(o, d, c, None),
+        (Vector::U16(c), ColumnData::I64(d), Vector::I64(o)) => fetch_u16_codes(o, d, c, None),
+        (Vector::U16(c), ColumnData::I32(d), Vector::I32(o)) => fetch_u16_codes(o, d, c, None),
+        (Vector::U8(c), ColumnData::Str(d), Vector::Str(o)) => {
+            o.clear();
+            for &code in c {
+                o.push(d.get(code as usize));
+            }
+        }
+        (Vector::U16(c), ColumnData::Str(d), Vector::Str(o)) => {
+            o.clear();
+            for &code in c {
+                o.push(d.get(code as usize));
+            }
+        }
+        (c, d, o) => panic!(
+            "decode mismatch: codes {:?}, dict {:?}, out {:?}",
+            c.scalar_type(),
+            d.scalar_type(),
+            o.scalar_type()
+        ),
+    }
+}
+
+impl Operator for ScanOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.pos < self.range.1 {
+            let n = (self.range.1 - self.pos).min(self.vector_size);
+            let start = self.pos;
+            self.pos += n;
+            self.emit_fragment(start, n, prof);
+            return Some(&self.out);
+        }
+        let delta = self.table.delta_rows();
+        if self.delta_pos < delta {
+            let n = (delta - self.delta_pos).min(self.vector_size);
+            let start = self.delta_pos;
+            self.delta_pos += n;
+            self.emit_delta(start, n, prof);
+            return Some(&self.out);
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        self.pos = self.range.0;
+        self.delta_pos = 0;
+    }
+}

@@ -1,0 +1,314 @@
+//! `Select(Dataflow, Exp<bool>) : Dataflow` — zero-copy selection.
+//!
+//! "The Select operator creates a selection-vector, filled with positions
+//! of tuples that match our predicate" (§4.1.1). Column data is never
+//! copied: downstream primitives honor the selection vector.
+//!
+//! Predicate compilation:
+//! * a conjunction of comparisons lowers to a chain of `select_*`
+//!   primitives, each *refining* the selection of the previous one;
+//! * each comparison's operands may themselves be computed expressions
+//!   (evaluated only at still-selected positions);
+//! * anything else (OR / NOT trees) falls back to a boolean map followed
+//!   by `select_true`.
+//!
+//! The select strategy (branching vs predicated, Fig. 2) is a session
+//! option threaded through here.
+
+use crate::batch::{Batch, OutField, SelPool};
+use crate::compile::ExprProg;
+use crate::expr::Expr;
+use crate::ops::Operator;
+use crate::profile::Profiler;
+use crate::PlanError;
+use x100_vector::select::{select_cmp_col_col, select_cmp_col_val, select_str_eq, select_true};
+use x100_vector::{CmpOp, ScalarType, SelectStrategy, SelVec, Value, Vector};
+
+/// One conjunct of a compiled predicate.
+enum PredStep {
+    /// `lhs ⊙ literal` via a select primitive.
+    CmpVal { lhs: ExprProg, op: CmpOp, v: Value, sig: String },
+    /// `lhs ⊙ rhs` (both columns/expressions) via a select primitive.
+    CmpCol { lhs: ExprProg, rhs: ExprProg, op: CmpOp, sig: String },
+    /// String equality select.
+    StrEq { lhs: ExprProg, v: String, negate: bool },
+    /// General boolean expression + `select_true`.
+    Bool(ExprProg),
+    /// Statically empty (e.g. `enum_col = literal` not in the dictionary).
+    Never,
+}
+
+/// The select operator.
+pub struct SelectOp {
+    child: Box<dyn Operator>,
+    steps: Vec<PredStep>,
+    strategy: SelectStrategy,
+    sel_pool: SelPool,
+    scratch: SelVec,
+    out: Batch,
+}
+
+impl SelectOp {
+    /// Compile `pred` against `child`'s shape.
+    ///
+    /// Enum-predicate rewrites (string literal → dictionary code) are
+    /// the binder's job ([`crate::plan`]); by the time a predicate gets
+    /// here, comparisons on code columns are already numeric.
+    pub fn new(
+        child: Box<dyn Operator>,
+        pred: &Expr,
+        vector_size: usize,
+        compound: bool,
+        strategy: SelectStrategy,
+    ) -> Result<Self, PlanError> {
+        let mut steps = Vec::new();
+        build_steps(pred, child.fields(), vector_size, compound, &mut steps)?;
+        Ok(SelectOp {
+            child,
+            steps,
+            strategy,
+            sel_pool: SelPool::default(),
+            scratch: SelVec::default(),
+            out: Batch::new(),
+        })
+    }
+}
+
+/// Split a conjunction into refinement steps.
+fn build_steps(
+    pred: &Expr,
+    fields: &[OutField],
+    vector_size: usize,
+    compound: bool,
+    out: &mut Vec<PredStep>,
+) -> Result<(), PlanError> {
+    match pred {
+        Expr::And(l, r) => {
+            build_steps(l, fields, vector_size, compound, out)?;
+            build_steps(r, fields, vector_size, compound, out)?;
+            Ok(())
+        }
+        // Constant-true conjuncts vanish; constant-false short-circuits
+        // (the binder's enum rewrite produces these for literals absent
+        // from a dictionary).
+        Expr::Lit(Value::Bool(true)) => Ok(()),
+        Expr::Lit(Value::Bool(false)) => {
+            out.push(PredStep::Never);
+            Ok(())
+        }
+        Expr::Cmp(op, l, r) => {
+            // String equality?
+            let lty = ExprProg::compile(l, fields, vector_size, compound)?;
+            if lty.result_type() == ScalarType::Str {
+                let (negate, v) = match (op, r.as_ref()) {
+                    (CmpOp::Eq, Expr::Lit(Value::Str(v))) => (false, v.clone()),
+                    (CmpOp::Ne, Expr::Lit(Value::Str(v))) => (true, v.clone()),
+                    _ => {
+                        return Err(PlanError::TypeMismatch(
+                            "string predicates support only = / != literal".to_owned(),
+                        ))
+                    }
+                };
+                out.push(PredStep::StrEq { lhs: lty, v, negate });
+                return Ok(());
+            }
+            match r.as_ref() {
+                Expr::Lit(v) => {
+                    // A float literal against an integer column needs the
+                    // promoting map path (the select primitive would
+                    // truncate the literal).
+                    if lty.result_type().is_integer() && v.scalar_type() == ScalarType::F64 {
+                        let prog = ExprProg::compile(pred, fields, vector_size, compound)?;
+                        out.push(PredStep::Bool(prog));
+                        return Ok(());
+                    }
+                    let sig = format!(
+                        "select_{}_{}_col_val",
+                        op.sig_name(),
+                        lty.result_type().sig_name()
+                    );
+                    out.push(PredStep::CmpVal { lhs: lty, op: *op, v: v.clone(), sig });
+                    Ok(())
+                }
+                _ => {
+                    let rty = ExprProg::compile(r, fields, vector_size, compound)?;
+                    if rty.result_type() != lty.result_type() {
+                        // Fall back to the general boolean path, which
+                        // handles promotion in the map layer.
+                        let prog = ExprProg::compile(pred, fields, vector_size, compound)?;
+                        out.push(PredStep::Bool(prog));
+                        return Ok(());
+                    }
+                    let sig = format!(
+                        "select_{}_{}_col_col",
+                        op.sig_name(),
+                        lty.result_type().sig_name()
+                    );
+                    out.push(PredStep::CmpCol { lhs: lty, rhs: rty, op: *op, sig });
+                    Ok(())
+                }
+            }
+        }
+        other => {
+            let prog = ExprProg::compile(other, fields, vector_size, compound)?;
+            if prog.result_type() != ScalarType::Bool {
+                return Err(PlanError::TypeMismatch(format!(
+                    "selection predicate must be boolean, got {}",
+                    prog.result_type()
+                )));
+            }
+            out.push(PredStep::Bool(prog));
+            Ok(())
+        }
+    }
+}
+
+/// Run one select primitive: vector dispatch on the lhs type.
+fn run_select_val(
+    out: &mut SelVec,
+    lhs: &Vector,
+    op: CmpOp,
+    v: &Value,
+    sel: Option<&SelVec>,
+    strategy: SelectStrategy,
+) -> usize {
+    match lhs {
+        Vector::I8(a) => select_cmp_col_val(out, a, v.as_i64() as i8, op, sel, strategy),
+        Vector::I16(a) => select_cmp_col_val(out, a, v.as_i64() as i16, op, sel, strategy),
+        Vector::I32(a) => select_cmp_col_val(out, a, v.as_i64() as i32, op, sel, strategy),
+        Vector::I64(a) => select_cmp_col_val(out, a, v.as_i64(), op, sel, strategy),
+        Vector::U8(a) => select_cmp_col_val(out, a, v.as_i64() as u8, op, sel, strategy),
+        Vector::U16(a) => select_cmp_col_val(out, a, v.as_i64() as u16, op, sel, strategy),
+        Vector::U32(a) => select_cmp_col_val(out, a, v.as_i64() as u32, op, sel, strategy),
+        Vector::F64(a) => select_cmp_col_val(out, a, v.as_f64(), op, sel, strategy),
+        other => panic!("select on {:?}", other.scalar_type()),
+    }
+}
+
+fn run_select_col(
+    out: &mut SelVec,
+    lhs: &Vector,
+    rhs: &Vector,
+    op: CmpOp,
+    sel: Option<&SelVec>,
+    strategy: SelectStrategy,
+) -> usize {
+    match (lhs, rhs) {
+        (Vector::I32(a), Vector::I32(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (Vector::I64(a), Vector::I64(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (Vector::F64(a), Vector::F64(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (Vector::U8(a), Vector::U8(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (Vector::U16(a), Vector::U16(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (Vector::U32(a), Vector::U32(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
+        (a, b) => panic!("select on {:?} vs {:?}", a.scalar_type(), b.scalar_type()),
+    }
+}
+
+impl Operator for SelectOp {
+    fn fields(&self) -> &[OutField] {
+        self.child.fields()
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        loop {
+            let batch = self.child.next(prof)?;
+            let n = batch.len;
+            // Refinement chain: `cur` is the live selection so far.
+            // `None` means "all of 0..n".
+            let mut cur: Option<SelVec> = batch.sel.as_deref().cloned();
+            let mut empty = false;
+            for step in &mut self.steps {
+                let t_op = prof.start();
+                let live_in = cur.as_ref().map_or(n, |s| s.len());
+                let mut next_sel = std::mem::take(&mut self.scratch);
+                let survivors = match step {
+                    PredStep::CmpVal { lhs, op, v, sig } => {
+                        let lv = lhs.eval(batch, cur.as_ref(), prof);
+                        let t0 = prof.start();
+                        let cnt = run_select_val(&mut next_sel, lv, *op, v, cur.as_ref(), self.strategy);
+                        prof.record_prim(sig, t0, live_in, live_in * lv.scalar_type().width() + cnt * 4);
+                        cnt
+                    }
+                    PredStep::CmpCol { lhs, rhs, op, sig } => {
+                        // Evaluate both sides under the current selection.
+                        // The programs own disjoint register files.
+                        let lv = lhs.eval(batch, cur.as_ref(), prof);
+                        let rv = rhs.eval(batch, cur.as_ref(), prof);
+                        let t0 = prof.start();
+                        let cnt =
+                            run_select_col(&mut next_sel, lv, rv, *op, cur.as_ref(), self.strategy);
+                        prof.record_prim(sig, t0, live_in, 2 * live_in * lv.scalar_type().width() + cnt * 4);
+                        cnt
+                    }
+                    PredStep::StrEq { lhs, v, negate } => {
+                        let lv = lhs.eval(batch, cur.as_ref(), prof);
+                        let t0 = prof.start();
+                        let cnt = if *negate {
+                            // select where != v: run eq then complement
+                            // against the current selection.
+                            let strv = lv.as_str();
+                            let buf = next_sel.buf_mut();
+                            match cur.as_ref() {
+                                None => {
+                                    for i in 0..n {
+                                        if strv.get(i) != v.as_str() {
+                                            buf.push(i as u32);
+                                        }
+                                    }
+                                }
+                                Some(s) => {
+                                    for i in s.iter() {
+                                        if strv.get(i) != v.as_str() {
+                                            buf.push(i as u32);
+                                        }
+                                    }
+                                }
+                            }
+                            buf.len()
+                        } else {
+                            select_str_eq(&mut next_sel, lv.as_str(), v, cur.as_ref())
+                        };
+                        prof.record_prim("select_eq_str_col_val", t0, live_in, live_in * 16 + cnt * 4);
+                        cnt
+                    }
+                    PredStep::Bool(prog) => {
+                        let bv = prog.eval(batch, cur.as_ref(), prof);
+                        let t0 = prof.start();
+                        let cnt = select_true(&mut next_sel, bv.as_bool(), cur.as_ref());
+                        prof.record_prim("select_true_bool_col", t0, live_in, live_in + cnt * 4);
+                        cnt
+                    }
+                    PredStep::Never => {
+                        next_sel.clear();
+                        0
+                    }
+                };
+                prof.record_op("Select", t_op, live_in);
+                // Recycle the previous selection buffer as scratch.
+                self.scratch = cur.take().unwrap_or_default();
+                cur = Some(next_sel);
+                if survivors == 0 {
+                    empty = true;
+                    break;
+                }
+            }
+            if empty {
+                // Entire vector filtered out: pull the next one (the
+                // paper's operators also skip empty vectors).
+                continue;
+            }
+            // Publish: pass through columns, narrow the selection.
+            self.out.reset();
+            self.out.len = n;
+            self.out.columns.extend(batch.columns.iter().cloned());
+            if let Some(sel) = cur {
+                self.sel_pool.publish(sel, &mut self.out);
+            }
+            return Some(&self.out);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+    }
+}

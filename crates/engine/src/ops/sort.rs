@@ -1,0 +1,210 @@
+//! `Order` and `TopN` (paper Fig. 7).
+//!
+//! `Order(Table, List<OrdExp>, …) : Table` — in the paper, ordering
+//! materializes; here [`OrderOp`] materializes its input dataflow,
+//! sorts a permutation, and re-emits vector-at-a-time.
+//!
+//! `TopN(Dataflow, List<OrdExp>, List<Exp>, int) : Dataflow` keeps a
+//! bounded heap and emits the `n` smallest (per the sort spec) rows.
+
+use crate::batch::{Batch, OutField, VecPool};
+use crate::ops::{cmp_at, push_from, Operator};
+use crate::profile::Profiler;
+use crate::PlanError;
+use std::cmp::Ordering;
+use x100_vector::Vector;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ordering key: column name + direction.
+#[derive(Debug, Clone)]
+pub struct OrdExp {
+    /// Column to sort on.
+    pub col: String,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl OrdExp {
+    /// `col ASC`.
+    pub fn asc(col: impl Into<String>) -> Self {
+        OrdExp { col: col.into(), order: SortOrder::Asc }
+    }
+
+    /// `col DESC`.
+    pub fn desc(col: impl Into<String>) -> Self {
+        OrdExp { col: col.into(), order: SortOrder::Desc }
+    }
+}
+
+/// Materializing sort operator.
+pub struct OrderOp {
+    child: Box<dyn Operator>,
+    keys: Vec<(usize, SortOrder)>,
+    fields: Vec<OutField>,
+    // Materialized input (full columns) + sorted permutation.
+    store: Vec<Vector>,
+    perm: Vec<u32>,
+    built: bool,
+    emit_pos: usize,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl OrderOp {
+    /// Bind a sort on `keys` over `child`.
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: &[OrdExp],
+        vector_size: usize,
+    ) -> Result<Self, PlanError> {
+        let fields = child.fields().to_vec();
+        let mut bound = Vec::new();
+        for k in keys {
+            let i = fields
+                .iter()
+                .position(|f| f.name == k.col)
+                .ok_or_else(|| PlanError::UnknownColumn(k.col.clone()))?;
+            bound.push((i, k.order));
+        }
+        let store = fields.iter().map(|f| Vector::with_capacity(f.ty, 0)).collect();
+        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        Ok(OrderOp {
+            child,
+            keys: bound,
+            fields,
+            store,
+            perm: Vec::new(),
+            built: false,
+            emit_pos: 0,
+            pools,
+            out: Batch::new(),
+            vector_size,
+        })
+    }
+
+    fn build(&mut self, prof: &mut Profiler) {
+        // Materialize live tuples column-wise.
+        while let Some(batch) = self.child.next(prof) {
+            match batch.sel.as_deref() {
+                None => {
+                    for (s, c) in self.store.iter_mut().zip(batch.columns.iter()) {
+                        crate::ops::extend_range(s, c, 0, batch.len);
+                    }
+                }
+                Some(sel) => {
+                    for (s, c) in self.store.iter_mut().zip(batch.columns.iter()) {
+                        for i in sel.iter() {
+                            push_from(s, c, i);
+                        }
+                    }
+                }
+            }
+        }
+        let n = self.store.first().map_or(0, |v| v.len());
+        let t_op = prof.start();
+        self.perm = (0..n as u32).collect();
+        let keys = &self.keys;
+        let store = &self.store;
+        let t0 = prof.start();
+        self.perm.sort_by(|&a, &b| {
+            for &(col, ord) in keys {
+                let c = cmp_at(&store[col], a as usize, &store[col], b as usize);
+                let c = if ord == SortOrder::Desc { c.reverse() } else { c };
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        });
+        prof.record_prim("sort_permutation", t0, n, n * 4);
+        prof.record_op("Order", t_op, n);
+        self.built = true;
+    }
+}
+
+impl Operator for OrderOp {
+    fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.built {
+            self.build(prof);
+        }
+        if self.emit_pos >= self.perm.len() {
+            return None;
+        }
+        let start = self.emit_pos;
+        let n = (self.perm.len() - start).min(self.vector_size);
+        self.emit_pos += n;
+        self.out.reset();
+        self.out.len = n;
+        for (k, s) in self.store.iter().enumerate() {
+            let mut v = self.pools[k].writable();
+            for &p in &self.perm[start..start + n] {
+                push_from(&mut v, s, p as usize);
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        self.child.reset();
+        for v in &mut self.store {
+            v.clear();
+        }
+        self.perm.clear();
+        self.built = false;
+        self.emit_pos = 0;
+    }
+}
+
+/// Bounded top-N operator: keeps the best `limit` rows by the sort spec.
+pub struct TopNOp {
+    inner: OrderOp,
+    limit: usize,
+}
+
+impl TopNOp {
+    /// Bind a TopN over `child`.
+    ///
+    /// Implemented as a full sort with bounded emission: the paper's
+    /// heap-based variant is an optimization with identical semantics,
+    /// and result sizes here are small.
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: &[OrdExp],
+        limit: usize,
+        vector_size: usize,
+    ) -> Result<Self, PlanError> {
+        Ok(TopNOp { inner: OrderOp::new(child, keys, vector_size)?, limit })
+    }
+}
+
+impl Operator for TopNOp {
+    fn fields(&self) -> &[OutField] {
+        self.inner.fields()
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.inner.built {
+            self.inner.build(prof);
+            self.inner.perm.truncate(self.limit);
+        }
+        self.inner.next(prof)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}

@@ -1,0 +1,588 @@
+//! Declarative X100 algebra plans (paper Fig. 7) and their binder.
+//!
+//! A [`Plan`] is the value-level form of the paper's algebra:
+//!
+//! ```text
+//! Table(ID)                                          : Table
+//! Scan(Table)                                        : Dataflow
+//! Array(List<Exp<int>>)                              : Dataflow
+//! Select(Dataflow, Exp<bool>)                        : Dataflow
+//! Join(Dataflow, Table, Exp<bool>, List<Column>)     : Dataflow
+//! CartProd(Dataflow, Table, List<Column>)
+//! Fetch1Join(Dataflow, Table, Exp<int>, List<Column>)
+//! FetchNJoin(Dataflow, Table, Exp<int>, Exp<int>, Column, List<Column>)
+//! Project(Dataflow, List<Exp<*>>)                    : Dataflow
+//! Aggr(Dataflow, List<Exp<*>>, List<AggrExp>)        : Dataflow
+//! OrdAggr / DirectAggr / HashAggr(…)
+//! TopN(Dataflow, List<OrdExp>, List<Exp<*>>, int)    : Dataflow
+//! Order(Table, List<OrdExp>, List<AggrExp>)          : Table
+//! ```
+//!
+//! [`Plan::bind`] resolves table and column names against a
+//! [`crate::session::Database`] and produces the operator pipeline. Like
+//! the paper's (planned) optimizer, the generic `Aggr` variant picks a
+//! physical aggregation: *direct* when every key is a small-domain code
+//! column, else *hash* (callers can force `OrdAggr`).
+
+use crate::expr::{AggExpr, Expr};
+use crate::ops::{
+    ArrayOp, CartProdOp, DirectAggrOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
+    OrdAggrOp, OrdExp, Operator, ProjectOp, ScanOp, SelectOp, TopNOp,
+};
+use crate::ops::{DirectKey, JoinType, OrderOp};
+use crate::session::{Database, ExecOptions};
+use crate::PlanError;
+use x100_storage::EnumDict;
+
+/// A key of a `DirectAggr`: must resolve to a code column with a known
+/// small domain.
+#[derive(Debug, Clone)]
+pub struct DirectKeySpec {
+    /// Output column name.
+    pub name: String,
+    /// Input (dataflow) column holding enum codes.
+    pub col: String,
+}
+
+/// Range pruning hint for `Scan`: restricts fragment rows via the
+/// column's summary index (§4.3). Conservative — an exact `Select` above
+/// is still required.
+#[derive(Debug, Clone)]
+pub struct RangePrune {
+    /// Clustered column carrying a summary index.
+    pub col: String,
+    /// Lower bound (inclusive), widened to i64.
+    pub lo: Option<i64>,
+    /// Upper bound (inclusive), widened to i64.
+    pub hi: Option<i64>,
+}
+
+/// A declarative plan tree.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Vector-at-a-time scan; enum columns listed in `code_cols` are
+    /// surfaced as raw codes (for direct aggregation), all others decode
+    /// automatically via `Fetch1Join(ENUM)`.
+    Scan {
+        /// Table name in the database.
+        table: String,
+        /// Columns to scan (only these are touched).
+        cols: Vec<String>,
+        /// Enum columns to keep as codes.
+        code_cols: Vec<String>,
+        /// Optional summary-index pruning.
+        prune: Option<RangePrune>,
+    },
+    /// Zero-copy selection.
+    Select {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Boolean predicate.
+        pred: Expr,
+    },
+    /// Expression calculation (no duplicate elimination).
+    Project {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Named output expressions.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Generic aggregation: binder picks direct or hash.
+    Aggr {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Group-by keys (named expressions).
+        keys: Vec<(String, Expr)>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Force direct (array-indexed) aggregation on code columns.
+    DirectAggr {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Code-column keys.
+        keys: Vec<DirectKeySpec>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Force ordered aggregation (input clustered on the keys).
+    OrdAggr {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Group-by keys.
+        keys: Vec<(String, Expr)>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Positional 1:1 join by `#rowId`.
+    Fetch1Join {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Target table.
+        table: String,
+        /// Row-id expression (u32).
+        rowid: Expr,
+        /// `(target column, output alias)` pairs to fetch (decoded).
+        fetch: Vec<(String, String)>,
+        /// Enum columns fetched as raw codes (dictionary metadata
+        /// propagates, enabling code predicates and direct aggregation
+        /// downstream).
+        fetch_codes: Vec<(String, String)>,
+    },
+    /// Positional 1:N join over a contiguous `#rowId` range.
+    FetchNJoin {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Target table.
+        table: String,
+        /// Range start expression (u32).
+        lo: Expr,
+        /// Range length expression (u32).
+        cnt: Expr,
+        /// Columns to fetch.
+        fetch: Vec<(String, String)>,
+    },
+    /// Cross product with a table.
+    CartProd {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Target table.
+        table: String,
+        /// Columns to fetch.
+        fetch: Vec<(String, String)>,
+    },
+    /// Nested-loop join = `CartProd` + `Select` (the paper's default).
+    Join {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Target table.
+        table: String,
+        /// Join predicate over input + fetched columns.
+        pred: Expr,
+        /// Columns to fetch.
+        fetch: Vec<(String, String)>,
+    },
+    /// Hash equi-join between two dataflows.
+    HashJoin {
+        /// Build side (fully materialized into the hash table).
+        build: Box<Plan>,
+        /// Probe side (streamed).
+        probe: Box<Plan>,
+        /// Build key expressions.
+        build_keys: Vec<Expr>,
+        /// Probe key expressions.
+        probe_keys: Vec<Expr>,
+        /// `(build column, alias)` payload (inner joins only).
+        payload: Vec<(String, String)>,
+        /// Join semantics.
+        join_type: JoinType,
+    },
+    /// Bounded top-N by sort keys.
+    TopN {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<OrdExp>,
+        /// Row limit.
+        limit: usize,
+    },
+    /// Materializing sort.
+    Order {
+        /// Input dataflow.
+        input: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<OrdExp>,
+    },
+    /// N-dimensional coordinate generator.
+    Array {
+        /// Dimension extents.
+        dims: Vec<i64>,
+    },
+}
+
+/// Binder output: the operator plus per-column enum dictionaries (for
+/// downstream direct aggregation).
+type Bound = (Box<dyn Operator>, Vec<Option<EnumDict>>);
+
+impl Plan {
+    /// Bind this plan against `db`, producing an executable pipeline.
+    pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
+        Ok(self.bind_inner(db, opts)?.0)
+    }
+
+    fn bind_inner(&self, db: &Database, opts: &ExecOptions) -> Result<Bound, PlanError> {
+        let vs = opts.vector_size;
+        let comp = opts.compound_primitives;
+        match self {
+            Plan::Scan { table, cols, code_cols, prune } => {
+                let t = db.table(table)?;
+                let range = match prune {
+                    None => None,
+                    Some(p) => {
+                        let ci = t
+                            .column_index(&p.col)
+                            .ok_or_else(|| PlanError::UnknownColumn(p.col.clone()))?;
+                        let summary = t.column(ci).summary().ok_or_else(|| {
+                            PlanError::Invalid(format!("column `{}` has no summary index", p.col))
+                        })?;
+                        Some(summary.range_candidates(p.lo, p.hi))
+                    }
+                };
+                let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+                let code_refs: Vec<&str> = code_cols.iter().map(|s| s.as_str()).collect();
+                let op = ScanOp::new(t.clone(), &col_refs, &code_refs, range, vs, db.buffer_manager())?;
+                let dicts = cols
+                    .iter()
+                    .map(|c| {
+                        if code_cols.contains(c) {
+                            t.column_by_name(c).dict().cloned()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Ok((Box::new(op), dicts))
+            }
+            Plan::Select { input, pred } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                let pred = rewrite_enum_literals(pred, child.fields(), &dicts);
+                let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy)?;
+                Ok((Box::new(op), dicts))
+            }
+            Plan::Project { input, exprs } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                let exprs: Vec<(String, Expr)> = exprs
+                    .iter()
+                    .map(|(n, e)| (n.clone(), rewrite_enum_literals(e, child.fields(), &dicts)))
+                    .collect();
+                // Pass-through column refs keep their dict metadata.
+                let out_dicts = exprs
+                    .iter()
+                    .map(|(_, e)| match e {
+                        Expr::Col(name) => child
+                            .fields()
+                            .iter()
+                            .position(|f| &f.name == name)
+                            .and_then(|i| dicts[i].clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let op = ProjectOp::new(child, &exprs, vs, comp)?;
+                Ok((Box::new(op), out_dicts))
+            }
+            Plan::Aggr { input, keys, aggs } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                // Direct aggregation if *every* key is a bare reference to
+                // a code column with a dictionary.
+                let direct: Option<Vec<DirectKeySpec>> = keys
+                    .iter()
+                    .map(|(name, e)| match e {
+                        Expr::Col(c) => {
+                            let i = child.fields().iter().position(|f| &f.name == c)?;
+                            dicts[i]
+                                .as_ref()
+                                .map(|_| DirectKeySpec { name: name.clone(), col: c.clone() })
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                match direct {
+                    Some(dkeys) if !dkeys.is_empty() => {
+                        bind_direct(child, &dicts, &dkeys, aggs, vs, comp)
+                    }
+                    _ => {
+                        // Mixed / non-code keys: hash aggregation, but
+                        // code-typed keys still group on codes and
+                        // decode only at emission.
+                        let key_dicts: Vec<Option<EnumDict>> = keys
+                            .iter()
+                            .map(|(_, e)| match e {
+                                Expr::Col(c) => child
+                                    .fields()
+                                    .iter()
+                                    .position(|f| &f.name == c)
+                                    .and_then(|i| dicts[i].clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let op = HashAggrOp::new(child, keys, key_dicts, aggs, vs, comp)?;
+                        let nd = op.fields().len();
+                        Ok((Box::new(op), vec![None; nd]))
+                    }
+                }
+            }
+            Plan::DirectAggr { input, keys, aggs } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                bind_direct(child, &dicts, keys, aggs, vs, comp)
+            }
+            Plan::OrdAggr { input, keys, aggs } => {
+                let (child, _) = input.bind_inner(db, opts)?;
+                let op = OrdAggrOp::new(child, keys, aggs, vs, comp)?;
+                let nd = op.fields().len();
+                Ok((Box::new(op), vec![None; nd]))
+            }
+            Plan::Fetch1Join { input, table, rowid, fetch, fetch_codes } => {
+                let (child, mut dicts) = input.bind_inner(db, opts)?;
+                let t = db.table(table)?;
+                if !fetch_codes.is_empty() && (t.delta_rows() > 0 || !t.deletes().is_empty()) {
+                    return Err(PlanError::Invalid(format!(
+                        "code fetch from `{table}` requires a reorganized table"
+                    )));
+                }
+                let op = Fetch1JoinOp::new(child, t.clone(), rowid, fetch, fetch_codes, vs, comp)?;
+                dicts.extend(fetch.iter().map(|_| None));
+                dicts.extend(fetch_codes.iter().map(|(src, _)| t.column_by_name(src).dict().cloned()));
+                Ok((Box::new(op), dicts))
+            }
+            Plan::FetchNJoin { input, table, lo, cnt, fetch } => {
+                let (child, mut dicts) = input.bind_inner(db, opts)?;
+                let t = db.table(table)?;
+                let op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
+                dicts.extend(fetch.iter().map(|_| None));
+                Ok((Box::new(op), dicts))
+            }
+            Plan::CartProd { input, table, fetch } => {
+                let (child, mut dicts) = input.bind_inner(db, opts)?;
+                let t = db.table(table)?;
+                let op = CartProdOp::new(child, t, fetch, vs)?;
+                dicts.extend(fetch.iter().map(|_| None));
+                Ok((Box::new(op), dicts))
+            }
+            Plan::Join { input, table, pred, fetch } => {
+                // The paper's default join: CartProd with a Select on top.
+                let (child, mut dicts) = input.bind_inner(db, opts)?;
+                let t = db.table(table)?;
+                let cart = CartProdOp::new(child, t, fetch, vs)?;
+                let op = SelectOp::new(Box::new(cart), pred, vs, comp, opts.select_strategy)?;
+                dicts.extend(fetch.iter().map(|_| None));
+                Ok((Box::new(op), dicts))
+            }
+            Plan::HashJoin { build, probe, build_keys, probe_keys, payload, join_type } => {
+                let (b, _) = build.bind_inner(db, opts)?;
+                let (p, pdicts) = probe.bind_inner(db, opts)?;
+                let op = HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, vs, comp)?;
+                let mut dicts = pdicts;
+                dicts.extend(payload.iter().map(|_| None));
+                Ok((Box::new(op), dicts))
+            }
+            Plan::TopN { input, keys, limit } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                let op = TopNOp::new(child, keys, *limit, vs)?;
+                Ok((Box::new(op), dicts))
+            }
+            Plan::Order { input, keys } => {
+                let (child, dicts) = input.bind_inner(db, opts)?;
+                let op = OrderOp::new(child, keys, vs)?;
+                Ok((Box::new(op), dicts))
+            }
+            Plan::Array { dims } => {
+                let op = ArrayOp::new(dims, vs)?;
+                let nd = op.fields().len();
+                Ok((Box::new(op), vec![None; nd]))
+            }
+        }
+    }
+}
+
+/// Rewrite string-literal equality comparisons on enum *code* columns
+/// into comparisons on the dictionary code, so predicates never decode
+/// (paper §4.3: enumeration types). Literals absent from the dictionary
+/// fold to boolean constants.
+fn rewrite_enum_literals(
+    e: &Expr,
+    fields: &[crate::batch::OutField],
+    dicts: &[Option<EnumDict>],
+) -> Expr {
+    use x100_vector::{CmpOp, ScalarType, Value};
+    let code_of = |name: &str, lit: &str| -> Option<Option<Value>> {
+        // Outer None: not a code column. Inner: the code, if present.
+        let i = fields.iter().position(|f| f.name == name)?;
+        let dict = dicts.get(i)?.as_ref()?;
+        if !matches!(fields[i].ty, ScalarType::U8 | ScalarType::U16) {
+            return None;
+        }
+        let x100_storage::ColumnData::Str(d) = dict.values() else {
+            return None;
+        };
+        let code = (0..d.len()).find(|&c| d.get(c) == lit);
+        Some(code.map(|c| {
+            if fields[i].ty == ScalarType::U8 {
+                Value::U8(c as u8)
+            } else {
+                Value::U16(c as u16)
+            }
+        }))
+    };
+    match e {
+        Expr::Cmp(op @ (CmpOp::Eq | CmpOp::Ne), l, r) => {
+            // Normalize literal to the right.
+            let rewritten = (|| {
+                let (c, s) = match (l.as_ref(), r.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(Value::Str(s))) => (c, s),
+                    (Expr::Lit(Value::Str(s)), Expr::Col(c)) => (c, s),
+                    _ => return None,
+                };
+                Some(match code_of(c, s)? {
+                    Some(code) => {
+                        Expr::Cmp(*op, Box::new(Expr::Col(c.clone())), Box::new(Expr::Lit(code)))
+                    }
+                    None => Expr::Lit(Value::Bool(*op == CmpOp::Ne)),
+                })
+            })();
+            rewritten.unwrap_or_else(|| e.clone())
+        }
+        Expr::And(l, r) => Expr::And(
+            Box::new(rewrite_enum_literals(l, fields, dicts)),
+            Box::new(rewrite_enum_literals(r, fields, dicts)),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(rewrite_enum_literals(l, fields, dicts)),
+            Box::new(rewrite_enum_literals(r, fields, dicts)),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(rewrite_enum_literals(x, fields, dicts))),
+        Expr::Cast(ty, x) => Expr::Cast(*ty, Box::new(rewrite_enum_literals(x, fields, dicts))),
+        Expr::Arith(op, l, r) => Expr::Arith(
+            *op,
+            Box::new(rewrite_enum_literals(l, fields, dicts)),
+            Box::new(rewrite_enum_literals(r, fields, dicts)),
+        ),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            *op,
+            Box::new(rewrite_enum_literals(l, fields, dicts)),
+            Box::new(rewrite_enum_literals(r, fields, dicts)),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn bind_direct(
+    child: Box<dyn Operator>,
+    dicts: &[Option<EnumDict>],
+    keys: &[DirectKeySpec],
+    aggs: &[AggExpr],
+    vs: usize,
+    comp: bool,
+) -> Result<Bound, PlanError> {
+    let mut dkeys = Vec::new();
+    for k in keys {
+        let i = child
+            .fields()
+            .iter()
+            .position(|f| f.name == k.col)
+            .ok_or_else(|| PlanError::UnknownColumn(k.col.clone()))?;
+        let dict = dicts[i].clone();
+        let card = match (&dict, child.fields()[i].ty) {
+            (Some(d), _) => d.cardinality() as u32,
+            (None, x100_vector::ScalarType::U8) => 256,
+            (None, x100_vector::ScalarType::U16) => 65536,
+            (None, ty) => {
+                return Err(PlanError::TypeMismatch(format!(
+                    "direct aggregation key `{}` is {ty}, not a code column",
+                    k.col
+                )))
+            }
+        };
+        dkeys.push(DirectKey { name: k.name.clone(), col: i, card, dict });
+    }
+    let op = DirectAggrOp::new(child, dkeys, aggs, vs, comp)?;
+    let nd = op.fields().len();
+    Ok((Box::new(op), vec![None; nd]))
+}
+
+/// Fluent constructors, so plans read like the paper's Fig. 9.
+impl Plan {
+    /// `Scan(table, cols)` with automatic enum decode.
+    pub fn scan(table: impl Into<String>, cols: &[&str]) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+            code_cols: Vec::new(),
+            prune: None,
+        }
+    }
+
+    /// `Scan` keeping the listed enum columns as raw codes.
+    pub fn scan_with_codes(table: impl Into<String>, cols: &[&str], code_cols: &[&str]) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+            code_cols: code_cols.iter().map(|s| s.to_string()).collect(),
+            prune: None,
+        }
+    }
+
+    /// Attach a summary-index range prune to a `Scan`.
+    pub fn pruned(self, col: impl Into<String>, lo: Option<i64>, hi: Option<i64>) -> Plan {
+        match self {
+            Plan::Scan { table, cols, code_cols, .. } => Plan::Scan {
+                table,
+                cols,
+                code_cols,
+                prune: Some(RangePrune { col: col.into(), lo, hi }),
+            },
+            other => panic!("pruned() applies to Scan, got {other:?}"),
+        }
+    }
+
+    /// `Select(self, pred)`.
+    pub fn select(self, pred: Expr) -> Plan {
+        Plan::Select { input: Box::new(self), pred }
+    }
+
+    /// `Project(self, exprs)`.
+    pub fn project(self, exprs: Vec<(&str, Expr)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs: exprs.into_iter().map(|(n, e)| (n.to_owned(), e)).collect(),
+        }
+    }
+
+    /// `Aggr(self, keys, aggs)` — binder picks the physical operator.
+    pub fn aggr(self, keys: Vec<(&str, Expr)>, aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggr {
+            input: Box::new(self),
+            keys: keys.into_iter().map(|(n, e)| (n.to_owned(), e)).collect(),
+            aggs,
+        }
+    }
+
+    /// `Fetch1Join(self, table, rowid, fetch)`.
+    pub fn fetch1(self, table: impl Into<String>, rowid: Expr, fetch: &[(&str, &str)]) -> Plan {
+        Plan::Fetch1Join {
+            input: Box::new(self),
+            table: table.into(),
+            rowid,
+            fetch: fetch.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            fetch_codes: Vec::new(),
+        }
+    }
+
+    /// `Fetch1Join` that additionally fetches enum columns as raw codes
+    /// (their dictionaries propagate for code predicates / direct
+    /// aggregation downstream).
+    pub fn fetch1_with_codes(
+        self,
+        table: impl Into<String>,
+        rowid: Expr,
+        fetch: &[(&str, &str)],
+        fetch_codes: &[(&str, &str)],
+    ) -> Plan {
+        Plan::Fetch1Join {
+            input: Box::new(self),
+            table: table.into(),
+            rowid,
+            fetch: fetch.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            fetch_codes: fetch_codes.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+        }
+    }
+
+    /// `TopN(self, keys, limit)`.
+    pub fn topn(self, keys: Vec<OrdExp>, limit: usize) -> Plan {
+        Plan::TopN { input: Box::new(self), keys, limit }
+    }
+
+    /// `Order(self, keys)`.
+    pub fn order(self, keys: Vec<OrdExp>) -> Plan {
+        Plan::Order { input: Box::new(self), keys }
+    }
+}

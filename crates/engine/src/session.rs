@@ -1,0 +1,202 @@
+//! Sessions: the catalog, execution options, and result materialization.
+
+use crate::batch::OutField;
+use crate::ops::Operator;
+use crate::plan::Plan;
+use crate::profile::Profiler;
+use crate::PlanError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use x100_storage::{ColumnBM, Table};
+use x100_vector::{SelectStrategy, Value, Vector, DEFAULT_VECTOR_SIZE};
+
+/// Execution options of one query run.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Values per vector (paper default 1024; Fig. 10 sweeps this).
+    pub vector_size: usize,
+    /// Enable per-primitive / per-operator tracing (Table 5).
+    pub profile: bool,
+    /// Enable compound-primitive fusion (§4.2; off for ablation).
+    pub compound_primitives: bool,
+    /// Select primitive code shape (Fig. 2).
+    pub select_strategy: SelectStrategy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            vector_size: DEFAULT_VECTOR_SIZE,
+            profile: false,
+            compound_primitives: true,
+            select_strategy: SelectStrategy::Branch,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with a specific vector size.
+    pub fn with_vector_size(vector_size: usize) -> Self {
+        ExecOptions { vector_size, ..Default::default() }
+    }
+
+    /// Enable tracing.
+    pub fn profiled(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+}
+
+/// The catalog: named tables plus an optional buffer manager.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Arc<Table>>,
+    bm: Option<Arc<ColumnBM>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a table under its own name.
+    pub fn register(&mut self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables.insert(arc.name().to_owned(), arc.clone());
+        arc
+    }
+
+    /// Register a pre-shared table.
+    pub fn register_arc(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_owned(), table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, PlanError> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PlanError::Invalid(format!("unknown table `{name}`")))
+    }
+
+    /// Table names in the catalog.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Attach a (simulated) ColumnBM buffer manager; scans will account
+    /// their accesses against it.
+    pub fn attach_buffer_manager(&mut self, bm: Arc<ColumnBM>) {
+        self.bm = Some(bm);
+    }
+
+    /// The attached buffer manager, if any.
+    pub fn buffer_manager(&self) -> Option<Arc<ColumnBM>> {
+        self.bm.clone()
+    }
+}
+
+/// A fully materialized query result (selection applied, columns
+/// compacted).
+#[derive(Debug)]
+pub struct QueryResult {
+    fields: Vec<OutField>,
+    cols: Vec<Vector>,
+    rows: usize,
+}
+
+impl QueryResult {
+    /// Output schema.
+    pub fn fields(&self) -> &[OutField] {
+        &self.fields
+    }
+
+    /// Number of result rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column index by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// A column by index.
+    pub fn column(&self, i: usize) -> &Vector {
+        &self.cols[i]
+    }
+
+    /// A column by name.
+    ///
+    /// # Panics
+    /// Panics if absent.
+    pub fn column_by_name(&self, name: &str) -> &Vector {
+        let i = self.col_index(name).unwrap_or_else(|| panic!("no result column `{name}`"));
+        &self.cols[i]
+    }
+
+    /// One cell as a [`Value`].
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].get_value(row)
+    }
+
+    /// Render rows as strings (tests, display); floats use `{:.4}`.
+    pub fn row_strings(&self) -> Vec<String> {
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols.len())
+                    .map(|c| self.value(r, c).to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect()
+    }
+
+    /// Render a readable table.
+    pub fn to_table_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "{}", self.fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(" | "))
+            .expect("write to String");
+        for row in self.row_strings() {
+            writeln!(s, "{}", row.replace('|', " | ")).expect("write to String");
+        }
+        s
+    }
+}
+
+/// Execute a plan to completion, materializing the result.
+pub fn execute(db: &Database, plan: &Plan, opts: &ExecOptions) -> Result<(QueryResult, Profiler), PlanError> {
+    let mut op = plan.bind(db, opts)?;
+    let mut prof = Profiler::new(opts.profile);
+    let result = run_operator(op.as_mut(), &mut prof);
+    Ok((result, prof))
+}
+
+/// Drain an operator into a compacted [`QueryResult`].
+pub fn run_operator(op: &mut dyn Operator, prof: &mut Profiler) -> QueryResult {
+    let fields = op.fields().to_vec();
+    let mut cols: Vec<Vector> =
+        fields.iter().map(|f| Vector::with_capacity(f.ty, 0)).collect();
+    let mut rows = 0usize;
+    while let Some(batch) = op.next(prof) {
+        match batch.sel.as_deref() {
+            None => {
+                for (dst, src) in cols.iter_mut().zip(batch.columns.iter()) {
+                    crate::ops::extend_range(dst, src, 0, batch.len);
+                }
+                rows += batch.len;
+            }
+            Some(sel) => {
+                for (dst, src) in cols.iter_mut().zip(batch.columns.iter()) {
+                    for i in sel.iter() {
+                        crate::ops::push_from(dst, src, i);
+                    }
+                }
+                rows += sel.len();
+            }
+        }
+    }
+    QueryResult { fields, cols, rows }
+}

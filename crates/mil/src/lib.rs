@@ -1,0 +1,20 @@
+//! # monet-mil — the MonetDB/MIL column-at-a-time baseline
+//!
+//! The paper's §3.2 baseline: MonetDB executes queries as sequences of
+//! MIL statements over [`Bat`]s, each operator consuming materialized
+//! input BATs and materializing a full output BAT. No degrees of
+//! freedom, no tuple-at-a-time interpretation — but *full column
+//! materialization*, which makes the engine memory-bandwidth bound at
+//! scale (Table 3: stuck at the machine's sustainable bandwidth at
+//! SF=1, nearly 2× faster when everything fits the cache at SF=0.001).
+//!
+//! The [`MilSession`] traces every statement with elapsed time, bytes
+//! and bandwidth so the Table 3 experiment can be regenerated.
+
+pub mod bat;
+pub mod ops;
+pub mod trace;
+
+pub use bat::Bat;
+pub use ops::MilArith;
+pub use trace::{MilSession, MilTraceEntry};

@@ -1,0 +1,334 @@
+//! The MIL operator set used by the paper's Q1 trace (Table 3).
+//!
+//! Every operator is *column-at-a-time with full materialization*: it
+//! consumes whole BATs and materializes a whole result BAT. This is
+//! exactly what gives MonetDB/MIL its two-edged-sword profile (§3.2):
+//! tight loop-pipelined kernels, but every intermediate result flows
+//! through memory, so at scale the engine is bandwidth-bound.
+//!
+//! Operators have *no degrees of freedom* ("the MIL algebra does not
+//! have any degree of freedom. Its algebraic operators have a fixed
+//! number of parameters of a fixed format") — hence the per-type
+//! monomorphic entry points.
+
+use crate::bat::Bat;
+use x100_vector::CmpOp;
+
+/// `select(b, v, op).mark` — positions (oids) of qualifying tuples.
+pub fn select_cmp(b: &Bat, op: CmpOp, v: &x100_vector::Value) -> Bat {
+    macro_rules! sel {
+        ($data:expr, $v:expr) => {{
+            let mut out = Vec::new();
+            for (i, &x) in $data.iter().enumerate() {
+                if op.eval(x, $v) {
+                    out.push(i as u32);
+                }
+            }
+            Bat::Oid(out)
+        }};
+    }
+    match b {
+        Bat::I32(d) => sel!(d, v.as_i64() as i32),
+        Bat::I64(d) => sel!(d, v.as_i64()),
+        Bat::F64(d) => sel!(d, v.as_f64()),
+        Bat::U8(d) => sel!(d, v.as_i64() as u8),
+        Bat::U16(d) => sel!(d, v.as_i64() as u16),
+        Bat::Oid(d) => sel!(d, v.as_i64() as u32),
+        Bat::Str(d) => {
+            let x100_vector::Value::Str(s) = v else {
+                panic!("string select needs a string literal")
+            };
+            let mut out = Vec::new();
+            for i in 0..d.len() {
+                if op.eval(d.get(i), s.as_str()) {
+                    out.push(i as u32);
+                }
+            }
+            Bat::Oid(out)
+        }
+    }
+}
+
+/// `join(oids, col)` — the positional join of an oid list into a
+/// `BAT[void,T]`: materializes `col[oids[i]]` for all i. "Positional
+/// joins allow to deal with the 'extra' joins needed for vertical
+/// fragmentation in a highly efficient way" (§4.1.2).
+pub fn join_fetch(oids: &Bat, col: &Bat) -> Bat {
+    let idx = oids.as_oid();
+    match col {
+        Bat::U8(d) => Bat::U8(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::U16(d) => Bat::U16(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::I32(d) => Bat::I32(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::I64(d) => Bat::I64(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::F64(d) => Bat::F64(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::Oid(d) => Bat::Oid(idx.iter().map(|&i| d[i as usize]).collect()),
+        Bat::Str(d) => {
+            let mut out = x100_vector::StrVec::with_capacity(idx.len(), 8);
+            for &i in idx {
+                out.push(d.get(i as usize));
+            }
+            Bat::Str(out)
+        }
+    }
+}
+
+/// Multiplex `[op](val, b)` — map a scalar-constant arithmetic over a
+/// whole BAT (e.g. `[-](1.0, tax)`), materializing the result.
+pub fn multiplex_val_f64(op: MilArith, v: f64, b: &Bat) -> Bat {
+    let d = b.as_f64();
+    Bat::F64(match op {
+        MilArith::Add => d.iter().map(|&x| v + x).collect(),
+        MilArith::Sub => d.iter().map(|&x| v - x).collect(),
+        MilArith::Mul => d.iter().map(|&x| v * x).collect(),
+        MilArith::Div => d.iter().map(|&x| v / x).collect(),
+    })
+}
+
+/// Multiplex `[op](a, b)` — map a column-to-column arithmetic.
+pub fn multiplex_col_f64(op: MilArith, a: &Bat, b: &Bat) -> Bat {
+    let x = a.as_f64();
+    let y = b.as_f64();
+    assert_eq!(x.len(), y.len(), "multiplex over unequal BATs");
+    Bat::F64(match op {
+        MilArith::Add => x.iter().zip(y).map(|(&a, &b)| a + b).collect(),
+        MilArith::Sub => x.iter().zip(y).map(|(&a, &b)| a - b).collect(),
+        MilArith::Mul => x.iter().zip(y).map(|(&a, &b)| a * b).collect(),
+        MilArith::Div => x.iter().zip(y).map(|(&a, &b)| a / b).collect(),
+    })
+}
+
+/// The multiplexable arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilArith {
+    /// `[+]`.
+    Add,
+    /// `[-]`.
+    Sub,
+    /// `[*]`.
+    Mul,
+    /// `[/]`.
+    Div,
+}
+
+/// `group(b)` — assign a dense group id per distinct tail value.
+/// Returns `(group ids, number of groups)`.
+pub fn group(b: &Bat) -> (Bat, usize) {
+    group_refine(None, b)
+}
+
+/// `group(prev, b)` — refine an existing grouping by a further column
+/// (the paper's `s8 := group(s7, s2)`).
+pub fn group_refine(prev: Option<(&Bat, usize)>, b: &Bat) -> (Bat, usize) {
+    use std::collections::HashMap;
+    let n = b.len();
+    let mut ids = vec![0u32; n];
+    let mut next = 0u32;
+    // Key = (previous group, value bits).
+    let mut map: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut strmap: HashMap<(u32, String), u32> = HashMap::new();
+    for i in 0..n {
+        let pg = match prev {
+            None => 0,
+            Some((p, _)) => p.as_oid()[i],
+        };
+        let id = match b {
+            Bat::U8(d) => *map.entry((pg, d[i] as u64)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::U16(d) => *map.entry((pg, d[i] as u64)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::I32(d) => *map.entry((pg, d[i] as u32 as u64)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::I64(d) => *map.entry((pg, d[i] as u64)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::F64(d) => *map.entry((pg, d[i].to_bits())).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::Oid(d) => *map.entry((pg, d[i] as u64)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+            Bat::Str(d) => *strmap.entry((pg, d.get(i).to_owned())).or_insert_with(|| {
+                next += 1;
+                next - 1
+            }),
+        };
+        ids[i] = id;
+    }
+    (Bat::Oid(ids), next as usize)
+}
+
+/// `unique(groups.mirror)` — the distinct group ids `0..n_groups`
+/// (the paper's `s9`). With dense group ids this is just a void range.
+pub fn unique(n_groups: usize) -> Bat {
+    Bat::Oid((0..n_groups as u32).collect())
+}
+
+/// `{sum}(vals, groups, ids)` — grouped sum over f64.
+pub fn sum_grouped_f64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_f64();
+    let g = groups.as_oid();
+    assert_eq!(v.len(), g.len());
+    let mut acc = vec![0.0f64; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        acc[gi as usize] += x;
+    }
+    Bat::F64(acc)
+}
+
+/// `{sum}(vals, groups, ids)` — grouped sum over i64.
+pub fn sum_grouped_i64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_i64();
+    let g = groups.as_oid();
+    let mut acc = vec![0i64; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        acc[gi as usize] += x;
+    }
+    Bat::I64(acc)
+}
+
+/// `{min}(vals, groups, ids)` — grouped minimum over f64.
+pub fn min_grouped_f64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_f64();
+    let g = groups.as_oid();
+    let mut acc = vec![f64::MAX; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        let a = &mut acc[gi as usize];
+        if *x < *a {
+            *a = *x;
+        }
+    }
+    Bat::F64(acc)
+}
+
+/// `{max}(vals, groups, ids)` — grouped maximum over f64.
+pub fn max_grouped_f64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_f64();
+    let g = groups.as_oid();
+    let mut acc = vec![f64::MIN; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        let a = &mut acc[gi as usize];
+        if *x > *a {
+            *a = *x;
+        }
+    }
+    Bat::F64(acc)
+}
+
+/// `{min}(vals, groups, ids)` — grouped minimum over i64.
+pub fn min_grouped_i64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_i64();
+    let g = groups.as_oid();
+    let mut acc = vec![i64::MAX; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        let a = &mut acc[gi as usize];
+        if *x < *a {
+            *a = *x;
+        }
+    }
+    Bat::I64(acc)
+}
+
+/// `{max}(vals, groups, ids)` — grouped maximum over i64.
+pub fn max_grouped_i64(vals: &Bat, groups: &Bat, n_groups: usize) -> Bat {
+    let v = vals.as_i64();
+    let g = groups.as_oid();
+    let mut acc = vec![i64::MIN; n_groups];
+    for (x, &gi) in v.iter().zip(g.iter()) {
+        let a = &mut acc[gi as usize];
+        if *x > *a {
+            *a = *x;
+        }
+    }
+    Bat::I64(acc)
+}
+
+/// `{count}(groups, ids)` — grouped count.
+pub fn count_grouped(groups: &Bat, n_groups: usize) -> Bat {
+    let g = groups.as_oid();
+    let mut acc = vec![0i64; n_groups];
+    for &gi in g {
+        acc[gi as usize] += 1;
+    }
+    Bat::I64(acc)
+}
+
+/// `[/](sums, counts)` — the AVG epilogue.
+pub fn div_f64_i64(sums: &Bat, counts: &Bat) -> Bat {
+    let s = sums.as_f64();
+    let c = counts.as_i64();
+    Bat::F64(s.iter().zip(c.iter()).map(|(&x, &n)| x / n as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x100_vector::Value;
+
+    #[test]
+    fn select_produces_oids() {
+        let b = Bat::I32(vec![5, 1, 9, 3]);
+        let s = select_cmp(&b, CmpOp::Le, &Value::I32(4));
+        assert_eq!(s.as_oid(), &[1, 3]);
+    }
+
+    #[test]
+    fn positional_join_fetches() {
+        let oids = Bat::Oid(vec![2, 0]);
+        let col = Bat::F64(vec![1.5, 2.5, 3.5]);
+        assert_eq!(join_fetch(&oids, &col).as_f64(), &[3.5, 1.5]);
+        let strs = Bat::Str(["a", "b", "c"].into_iter().collect());
+        let fetched = join_fetch(&oids, &strs);
+        assert_eq!(fetched.get(0), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn multiplex_ops() {
+        let b = Bat::F64(vec![0.1, 0.2]);
+        assert_eq!(multiplex_val_f64(MilArith::Sub, 1.0, &b).as_f64(), &[0.9, 0.8]);
+        let a = Bat::F64(vec![10.0, 10.0]);
+        assert_eq!(multiplex_col_f64(MilArith::Mul, &a, &b).as_f64(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grouping_and_refinement() {
+        let flags = Bat::U8(vec![b'A', b'B', b'A', b'B']);
+        let (g1, n1) = group(&flags);
+        assert_eq!(n1, 2);
+        assert_eq!(g1.as_oid(), &[0, 1, 0, 1]);
+        let status = Bat::U8(vec![b'X', b'X', b'Y', b'X']);
+        let (g2, n2) = group_refine(Some((&g1, n1)), &status);
+        assert_eq!(n2, 3);
+        assert_eq!(g2.as_oid(), &[0, 1, 2, 1]);
+        assert_eq!(unique(n2).as_oid(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn grouped_min_max() {
+        let groups = Bat::Oid(vec![0, 1, 0, 1]);
+        let vals = Bat::F64(vec![5.0, -2.0, 3.0, 8.0]);
+        assert_eq!(min_grouped_f64(&vals, &groups, 2).as_f64(), &[3.0, -2.0]);
+        assert_eq!(max_grouped_f64(&vals, &groups, 2).as_f64(), &[5.0, 8.0]);
+        let ivals = Bat::I64(vec![5, -2, 3, 8]);
+        assert_eq!(min_grouped_i64(&ivals, &groups, 2).as_i64(), &[3, -2]);
+        assert_eq!(max_grouped_i64(&ivals, &groups, 2).as_i64(), &[5, 8]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let groups = Bat::Oid(vec![0, 1, 0]);
+        let vals = Bat::F64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(sum_grouped_f64(&vals, &groups, 2).as_f64(), &[4.0, 2.0]);
+        assert_eq!(count_grouped(&groups, 2).as_i64(), &[2, 1]);
+        let avg = div_f64_i64(&sum_grouped_f64(&vals, &groups, 2), &count_grouped(&groups, 2));
+        assert_eq!(avg.as_f64(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-statement tracing for MIL plans (paper Table 3).
+//!
+//! Table 3 lists, per MIL invocation: elapsed time, the bandwidth
+//! achieved "counting both the size of the input BATs and the produced
+//! output BAT", and the result size. A [`MilSession`] wraps every
+//! operator call, capturing exactly those numbers.
+
+use crate::bat::Bat;
+use std::time::Instant;
+
+/// One traced MIL statement.
+#[derive(Debug, Clone)]
+pub struct MilTraceEntry {
+    /// The statement text, e.g. `s0 := select(l_shipdate).mark`.
+    pub statement: String,
+    /// Elapsed microseconds.
+    pub micros: f64,
+    /// Input + output bytes.
+    pub bytes: usize,
+    /// Result BUN count.
+    pub result_len: usize,
+}
+
+impl MilTraceEntry {
+    /// Bandwidth in MB/s (Table 3's "BW" columns).
+    pub fn mb_per_sec(&self) -> f64 {
+        if self.micros == 0.0 {
+            0.0
+        } else {
+            (self.bytes as f64 / (1 << 20) as f64) / (self.micros * 1e-6)
+        }
+    }
+}
+
+/// A tracing session for one MIL query plan execution.
+#[derive(Debug, Default)]
+pub struct MilSession {
+    entries: Vec<MilTraceEntry>,
+}
+
+impl MilSession {
+    /// A fresh session.
+    pub fn new() -> Self {
+        MilSession::default()
+    }
+
+    /// Run one MIL statement: `inputs` are the consumed BATs (for byte
+    /// accounting), `f` produces the result, `statement` is the display
+    /// text.
+    pub fn run(&mut self, statement: &str, inputs: &[&Bat], f: impl FnOnce() -> Bat) -> Bat {
+        let in_bytes: usize = inputs.iter().map(|b| b.byte_size()).sum();
+        let t0 = Instant::now();
+        let out = f();
+        let micros = t0.elapsed().as_nanos() as f64 / 1000.0;
+        self.entries.push(MilTraceEntry {
+            statement: statement.to_owned(),
+            micros,
+            bytes: in_bytes + out.byte_size(),
+            result_len: out.len(),
+        });
+        out
+    }
+
+    /// The trace entries, in execution order.
+    pub fn entries(&self) -> &[MilTraceEntry] {
+        &self.entries
+    }
+
+    /// Total elapsed milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.entries.iter().map(|e| e.micros).sum::<f64>() / 1000.0
+    }
+
+    /// Total bytes materialized (the "artificially high bandwidths" the
+    /// paper criticizes).
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Render a Table 3-style trace.
+    pub fn render_table3(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "{:>9} {:>9} {:>9} {:>9}  MIL statement", "us", "BW MB/s", "MB", "result")
+            .expect("write to String");
+        for e in &self.entries {
+            writeln!(
+                s,
+                "{:>9.0} {:>9.0} {:>9.2} {:>9}  {}",
+                e.micros,
+                e.mb_per_sec(),
+                e.bytes as f64 / (1 << 20) as f64,
+                e.result_len,
+                e.statement
+            )
+            .expect("write to String");
+        }
+        writeln!(s, "{:>9.1} ms TOTAL, {:.1} MB materialized", self.total_millis(), self.total_bytes() as f64 / (1 << 20) as f64)
+            .expect("write to String");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use x100_vector::{CmpOp, Value};
+
+    #[test]
+    fn session_traces_statements() {
+        let mut s = MilSession::new();
+        let col = Bat::I64((0..1000).collect());
+        let sel = s.run("s0 := select(col).mark", &[&col], || {
+            ops::select_cmp(&col, CmpOp::Lt, &Value::I64(500))
+        });
+        assert_eq!(sel.len(), 500);
+        let fetched = s.run("s1 := join(s0, col)", &[&sel, &col], || ops::join_fetch(&sel, &col));
+        assert_eq!(fetched.len(), 500);
+        assert_eq!(s.entries().len(), 2);
+        // Byte accounting: first stmt = input col + oid list out.
+        assert_eq!(s.entries()[0].bytes, 1000 * 8 + 500 * 4);
+        assert!(s.total_millis() >= 0.0);
+        let rendered = s.render_table3();
+        assert!(rendered.contains("s0 := select(col).mark"));
+        assert!(rendered.contains("TOTAL"));
+    }
+}

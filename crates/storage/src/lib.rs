@@ -1,0 +1,30 @@
+//! # x100-storage — vertically fragmented columnar storage
+//!
+//! The storage layer of the MonetDB/X100 reproduction (paper §4.3):
+//!
+//! * [`ColumnData`] — immutable vertical fragments (`BAT[void,T]`:
+//!   virtual dense `#rowId` head, value tail).
+//! * [`Table`] / [`TableBuilder`] — schemas over fragments, with
+//!   delta-based updates: a [`DeleteList`] plus uncompressed
+//!   [`InsertDelta`] columns, merged back by [`Table::reorganize`].
+//! * [`EnumDict`] & the `encode_*` helpers — enumeration types: one- or
+//!   two-byte codes referencing a mapping table, decompressed on use via
+//!   an automatically inserted `Fetch1Join` (done by the engine crate).
+//! * [`SummaryIndex`] — coarse running-max / reverse-running-min
+//!   indices for `#rowId` range derivation on clustered columns.
+//! * [`ColumnBM`] — a simulation of the chunked column buffer manager,
+//!   accounting chunk loads, cache hits and bandwidth amplification.
+
+pub mod column;
+pub mod columnbm;
+pub mod delta;
+pub mod enumcol;
+pub mod summary;
+pub mod table;
+
+pub use column::ColumnData;
+pub use columnbm::{BmStats, ColumnBM, DEFAULT_CHUNK_BYTES};
+pub use delta::{DeleteList, InsertDelta};
+pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};
+pub use summary::{SummaryIndex, DEFAULT_GRANULARITY};
+pub use table::{Field, StoredColumn, Table, TableBuilder};

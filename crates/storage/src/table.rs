@@ -1,0 +1,599 @@
+//! Tables: schemas, immutable fragments, deltas, and reorganization.
+//!
+//! A [`Table`] is a set of equally long vertical fragments
+//! ([`ColumnData`]), optionally enum-compressed and/or carrying a
+//! summary index, plus the delta structures of §4.3: a deletion list
+//! and uncompressed insert columns. Every table has a virtual `#rowId`
+//! column — a densely ascending number from 0 (never stored), which
+//! positional fetch-joins use as join key.
+
+use crate::column::ColumnData;
+use crate::delta::{DeleteList, InsertDelta};
+use crate::enumcol::{encode_f64, encode_i64, encode_str, EnumDict};
+use crate::summary::SummaryIndex;
+use x100_vector::{ScalarType, Value, Vector};
+
+/// A named, typed column slot in a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// The *logical* type queries see (enum columns decode to this).
+    pub logical: ScalarType,
+}
+
+/// One stored column: physical data + optional dictionary + optional
+/// summary index.
+#[derive(Debug, Clone)]
+pub struct StoredColumn {
+    field: Field,
+    /// Physical fragment: plain values, or `U8`/`U16` codes when `dict`
+    /// is present.
+    data: ColumnData,
+    dict: Option<EnumDict>,
+    summary: Option<SummaryIndex>,
+}
+
+impl StoredColumn {
+    /// The schema field.
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// The physical fragment (codes for enum columns).
+    pub fn physical(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The physical type stored in the fragment.
+    pub fn physical_type(&self) -> ScalarType {
+        self.data.scalar_type()
+    }
+
+    /// The enum dictionary, if this column is enumeration-typed.
+    pub fn dict(&self) -> Option<&EnumDict> {
+        self.dict.as_ref()
+    }
+
+    /// The summary index, if one was built.
+    pub fn summary(&self) -> Option<&SummaryIndex> {
+        self.summary.as_ref()
+    }
+
+    /// Decode one fragment value to its logical form (slow path).
+    fn get_logical(&self, row: usize) -> Value {
+        match &self.dict {
+            None => self.data.get_value(row),
+            Some(dict) => {
+                let code = match &self.data {
+                    ColumnData::U8(c) => c[row] as usize,
+                    ColumnData::U16(c) => c[row] as usize,
+                    other => panic!("enum codes must be U8/U16, got {:?}", other.scalar_type()),
+                };
+                dict.decode(code)
+            }
+        }
+    }
+}
+
+/// Builds a [`Table`] column by column.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<StoredColumn>,
+}
+
+impl TableBuilder {
+    /// Start a table named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder { name: name.into(), columns: Vec::new() }
+    }
+
+    /// Add a plain (uncompressed) column.
+    pub fn column(mut self, name: impl Into<String>, data: ColumnData) -> Self {
+        let logical = data.scalar_type();
+        self.columns.push(StoredColumn {
+            field: Field { name: name.into(), logical },
+            data,
+            dict: None,
+            summary: None,
+        });
+        self
+    }
+
+    /// Add an enumeration-typed column from pre-built codes + dictionary.
+    pub fn enum_column(mut self, name: impl Into<String>, codes: ColumnData, dict: EnumDict) -> Self {
+        assert!(
+            matches!(codes.scalar_type(), ScalarType::U8 | ScalarType::U16),
+            "enum codes must be U8 or U16"
+        );
+        self.columns.push(StoredColumn {
+            field: Field { name: name.into(), logical: dict.value_type() },
+            data: codes,
+            dict: Some(dict),
+            summary: None,
+        });
+        self
+    }
+
+    /// Try to enum-encode a string column; falls back to plain storage
+    /// if the cardinality exceeds 2-byte codes.
+    pub fn auto_enum_str(self, name: impl Into<String>, values: Vec<String>) -> Self {
+        match encode_str(values.clone().into_iter()) {
+            Some(enc) => self.enum_column(name, enc.codes, enc.dict),
+            None => {
+                let mut col = ColumnData::new(ScalarType::Str);
+                for v in &values {
+                    col.push_value(&Value::Str(v.clone()));
+                }
+                self.column(name, col)
+            }
+        }
+    }
+
+    /// Try to enum-encode an `f64` column (falls back to plain storage).
+    pub fn auto_enum_f64(self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        match encode_f64(&values) {
+            Some(enc) => self.enum_column(name, enc.codes, enc.dict),
+            None => self.column(name, ColumnData::F64(values)),
+        }
+    }
+
+    /// Try to enum-encode an `i64` column (falls back to plain storage).
+    pub fn auto_enum_i64(self, name: impl Into<String>, values: Vec<i64>) -> Self {
+        match encode_i64(&values) {
+            Some(enc) => self.enum_column(name, enc.codes, enc.dict),
+            None => self.column(name, ColumnData::I64(values)),
+        }
+    }
+
+    /// Build a summary index on the most recently added column (must be
+    /// an integer-comparable plain column: `I32` dates or `I64`).
+    pub fn with_summary(mut self) -> Self {
+        let col = self.columns.last_mut().expect("with_summary after a column");
+        let widened: Vec<i64> = match &col.data {
+            ColumnData::I32(v) => v.iter().map(|&x| x as i64).collect(),
+            ColumnData::I64(v) => v.clone(),
+            other => panic!("summary index needs I32/I64 column, got {:?}", other.scalar_type()),
+        };
+        col.summary = Some(SummaryIndex::build(&widened));
+        self
+    }
+
+    /// Finish the table.
+    ///
+    /// # Panics
+    /// Panics if columns differ in length.
+    pub fn build(self) -> Table {
+        let rows = self.columns.first().map_or(0, |c| c.data.len());
+        for c in &self.columns {
+            assert_eq!(c.data.len(), rows, "column {} length mismatch", c.field.name);
+        }
+        let types: Vec<ScalarType> = self.columns.iter().map(|c| c.field.logical).collect();
+        Table {
+            name: self.name,
+            columns: self.columns,
+            frag_rows: rows,
+            deletes: DeleteList::default(),
+            inserts: InsertDelta::new(&types),
+        }
+    }
+}
+
+/// A vertically fragmented table with delta-based updates.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<StoredColumn>,
+    frag_rows: usize,
+    deletes: DeleteList,
+    inserts: InsertDelta,
+}
+
+impl Table {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema fields, in column order.
+    pub fn fields(&self) -> impl Iterator<Item = &Field> {
+        self.columns.iter().map(|c| &c.field)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.field.name == name)
+    }
+
+    /// The stored column at index `i`.
+    pub fn column(&self, i: usize) -> &StoredColumn {
+        &self.columns[i]
+    }
+
+    /// The stored column named `name`.
+    ///
+    /// # Panics
+    /// Panics if absent.
+    pub fn column_by_name(&self, name: &str) -> &StoredColumn {
+        let i = self.column_index(name).unwrap_or_else(|| panic!("no column `{name}` in table `{}`", self.name));
+        &self.columns[i]
+    }
+
+    /// Rows in the immutable fragments.
+    pub fn fragment_rows(&self) -> usize {
+        self.frag_rows
+    }
+
+    /// Rows in the insert delta.
+    pub fn delta_rows(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Total row id space (fragments + deltas, including deleted rows).
+    pub fn total_rows(&self) -> usize {
+        self.frag_rows + self.inserts.len()
+    }
+
+    /// Live (visible) rows.
+    pub fn live_rows(&self) -> usize {
+        self.total_rows() - self.deletes.len()
+    }
+
+    /// The deletion list.
+    pub fn deletes(&self) -> &DeleteList {
+        &self.deletes
+    }
+
+    /// The insert delta columns.
+    pub fn inserts(&self) -> &InsertDelta {
+        &self.inserts
+    }
+
+    /// Total storage bytes (fragments + dictionaries + deltas).
+    pub fn byte_size(&self) -> usize {
+        let frag: usize = self
+            .columns
+            .iter()
+            .map(|c| c.data.byte_size() + c.dict.as_ref().map_or(0, |d| d.values().byte_size()))
+            .sum();
+        let delta: usize = (0..self.columns.len()).map(|i| self.inserts.column(i).byte_size()).sum();
+        frag + delta
+    }
+
+    /// Insert a row (logical values). Returns its `#rowId`.
+    pub fn insert(&mut self, row: &[Value]) -> u32 {
+        let id = self.total_rows() as u32;
+        self.inserts.append(row);
+        id
+    }
+
+    /// Delete a row by `#rowId`. Returns `false` if it did not exist or
+    /// was already deleted.
+    pub fn delete(&mut self, rowid: u32) -> bool {
+        if (rowid as usize) < self.total_rows() {
+            self.deletes.delete(rowid)
+        } else {
+            false
+        }
+    }
+
+    /// Update = delete + insert (paper §4.3). Returns the new `#rowId`,
+    /// or `None` if `rowid` did not exist.
+    pub fn update(&mut self, rowid: u32, row: &[Value]) -> Option<u32> {
+        if self.delete(rowid) {
+            Some(self.insert(row))
+        } else {
+            None
+        }
+    }
+
+    /// Delta fraction: delta rows + deletes relative to total rows.
+    /// The paper reorganizes "whenever their size exceeds a (small)
+    /// percentile of the total table size".
+    pub fn delta_fraction(&self) -> f64 {
+        if self.total_rows() == 0 {
+            0.0
+        } else {
+            (self.inserts.len() + self.deletes.len()) as f64 / self.total_rows() as f64
+        }
+    }
+
+    /// Read one row's logical values (slow path; tests and row display).
+    ///
+    /// # Panics
+    /// Panics if `rowid` is deleted or out of range.
+    pub fn get_row(&self, rowid: u32) -> Vec<Value> {
+        assert!(!self.deletes.contains(rowid), "row {rowid} is deleted");
+        let r = rowid as usize;
+        if r < self.frag_rows {
+            self.columns.iter().map(|c| c.get_logical(r)).collect()
+        } else {
+            let d = r - self.frag_rows;
+            assert!(d < self.inserts.len(), "row {rowid} out of range");
+            (0..self.columns.len()).map(|i| self.inserts.column(i).get_value(d)).collect()
+        }
+    }
+
+    /// Read a fragment range of a column *logically* (decoding enums) into
+    /// a vector buffer. `start + rows` must stay within the fragments.
+    pub fn read_logical(&self, col: usize, start: usize, rows: usize, out: &mut Vector) {
+        assert!(start + rows <= self.frag_rows, "read_logical beyond fragments");
+        let c = &self.columns[col];
+        match &c.dict {
+            None => c.data.read_into(start, rows, out),
+            Some(dict) => {
+                out.clear();
+                match (&c.data, dict.values()) {
+                    (ColumnData::U8(codes), vals) => gather_codes(vals, &codes[start..start + rows], out),
+                    (ColumnData::U16(codes), vals) => gather_codes16(vals, &codes[start..start + rows], out),
+                    _ => unreachable!("enum codes are U8/U16"),
+                }
+            }
+        }
+    }
+
+    /// Read a delta range of a column (delta rows are always logical).
+    /// `start` is relative to the delta (0 = first inserted row).
+    pub fn read_delta(&self, col: usize, start: usize, rows: usize, out: &mut Vector) {
+        self.inserts.column(col).read_into(start, rows, out);
+    }
+
+    /// Gather logical values of arbitrary (live, fragment-or-delta) row
+    /// ids into a vector buffer — the storage half of `Fetch1Join`.
+    pub fn gather_logical(&self, col: usize, rowids: &[u32], out: &mut Vector) {
+        let c = &self.columns[col];
+        let all_in_frag = rowids.iter().all(|&r| (r as usize) < self.frag_rows);
+        if all_in_frag && c.dict.is_none() {
+            c.data.gather_into(rowids, out);
+            return;
+        }
+        // Slow path: mixed regions or enum decode.
+        out.clear();
+        for &r in rowids {
+            out.push_value(&self.column_value(col, r));
+        }
+    }
+
+    fn column_value(&self, col: usize, rowid: u32) -> Value {
+        let r = rowid as usize;
+        if r < self.frag_rows {
+            self.columns[col].get_logical(r)
+        } else {
+            self.inserts.column(col).get_value(r - self.frag_rows)
+        }
+    }
+
+    /// Reorganize when the deltas exceed `threshold` of the table
+    /// (paper §4.3: "whenever their size exceeds a (small) percentile of
+    /// the total table size, data storage should be reorganized").
+    /// Returns whether a reorganization ran.
+    pub fn maybe_reorganize(&mut self, threshold: f64) -> bool {
+        if self.delta_fraction() > threshold {
+            self.reorganize();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rebuild the immutable fragments with all deltas applied: deleted
+    /// rows vanish, inserted rows append, enum columns re-encode, summary
+    /// indices rebuild, and the delta structures empty (paper §4.3's
+    /// "data storage should be reorganized").
+    ///
+    /// Row ids are re-densified (0..live_rows); callers holding old row
+    /// ids (e.g. join indices) must re-derive them.
+    pub fn reorganize(&mut self) {
+        let live: Vec<u32> = (0..self.total_rows() as u32).filter(|&r| !self.deletes.contains(r)).collect();
+        let ncols = self.columns.len();
+        let mut new_cols = Vec::with_capacity(ncols);
+        for i in 0..ncols {
+            let old = &self.columns[i];
+            // Materialize logical values for live rows.
+            let logical = old.field.logical;
+            let had_summary = old.summary.is_some();
+            let was_enum = old.dict.is_some();
+            let mut values = ColumnData::new(logical);
+            for &r in &live {
+                values.push_value(&self.column_value(i, r));
+            }
+            let (data, dict) = if was_enum {
+                match &values {
+                    ColumnData::Str(s) => match encode_str(s.iter().map(|x| x.to_owned()).collect::<Vec<_>>().into_iter()) {
+                        Some(enc) => (enc.codes, Some(enc.dict)),
+                        None => (values, None),
+                    },
+                    ColumnData::F64(v) => match encode_f64(v) {
+                        Some(enc) => (enc.codes, Some(enc.dict)),
+                        None => (values, None),
+                    },
+                    ColumnData::I64(v) => match encode_i64(v) {
+                        Some(enc) => (enc.codes, Some(enc.dict)),
+                        None => (values, None),
+                    },
+                    _ => (values, None),
+                }
+            } else {
+                (values, None)
+            };
+            let summary = if had_summary {
+                let widened: Vec<i64> = match &data {
+                    ColumnData::I32(v) => v.iter().map(|&x| x as i64).collect(),
+                    ColumnData::I64(v) => v.clone(),
+                    _ => Vec::new(),
+                };
+                if widened.is_empty() && !data.is_empty() {
+                    None
+                } else {
+                    Some(SummaryIndex::build(&widened))
+                }
+            } else {
+                None
+            };
+            new_cols.push(StoredColumn { field: old.field.clone(), data, dict, summary });
+        }
+        self.frag_rows = live.len();
+        self.columns = new_cols;
+        self.deletes.clear();
+        self.inserts.clear();
+    }
+}
+
+fn gather_codes(vals: &ColumnData, codes: &[u8], out: &mut Vector) {
+    match (vals, out) {
+        (ColumnData::F64(d), Vector::F64(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::I64(d), Vector::I64(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::I32(d), Vector::I32(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::Str(d), Vector::Str(o)) => {
+            for &c in codes {
+                o.push(d.get(c as usize));
+            }
+        }
+        (v, o) => panic!("enum decode mismatch: dict {:?}, out {:?}", v.scalar_type(), o.scalar_type()),
+    }
+}
+
+fn gather_codes16(vals: &ColumnData, codes: &[u16], out: &mut Vector) {
+    match (vals, out) {
+        (ColumnData::F64(d), Vector::F64(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::I64(d), Vector::I64(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::I32(d), Vector::I32(o)) => o.extend(codes.iter().map(|&c| d[c as usize])),
+        (ColumnData::Str(d), Vector::Str(o)) => {
+            for &c in codes {
+                o.push(d.get(c as usize));
+            }
+        }
+        (v, o) => panic!("enum decode mismatch: dict {:?}, out {:?}", v.scalar_type(), o.scalar_type()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> Table {
+        TableBuilder::new("t")
+            .column("id", ColumnData::I64((0..10).collect()))
+            .auto_enum_str("flag", (0..10).map(|i| if i % 2 == 0 { "A".into() } else { "B".into() }).collect())
+            .column("price", ColumnData::F64((0..10).map(|i| i as f64 * 1.5).collect()))
+            .build()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let t = small_table();
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.fragment_rows(), 10);
+        assert_eq!(t.live_rows(), 10);
+        assert_eq!(t.column_index("price"), Some(2));
+        assert_eq!(t.column_by_name("flag").physical_type(), ScalarType::U8);
+        assert_eq!(t.column_by_name("flag").field().logical, ScalarType::Str);
+        assert!(t.column_by_name("flag").dict().is_some());
+    }
+
+    #[test]
+    fn read_logical_decodes_enums() {
+        let t = small_table();
+        let mut v = Vector::with_capacity(ScalarType::Str, 4);
+        t.read_logical(1, 2, 4, &mut v);
+        assert_eq!(v.as_str().iter().collect::<Vec<_>>(), vec!["A", "B", "A", "B"]);
+    }
+
+    #[test]
+    fn insert_delete_update_lifecycle() {
+        let mut t = small_table();
+        let id = t.insert(&[Value::I64(100), Value::Str("C".into()), Value::F64(9.9)]);
+        assert_eq!(id, 10);
+        assert_eq!(t.live_rows(), 11);
+        assert_eq!(t.get_row(10), vec![Value::I64(100), Value::Str("C".into()), Value::F64(9.9)]);
+
+        assert!(t.delete(3));
+        assert!(!t.delete(3));
+        assert_eq!(t.live_rows(), 10);
+
+        let new_id = t.update(10, &[Value::I64(101), Value::Str("D".into()), Value::F64(1.0)]).expect("exists");
+        assert_eq!(new_id, 11);
+        assert_eq!(t.live_rows(), 10);
+        assert!(t.update(99, &[]).is_none());
+    }
+
+    #[test]
+    fn gather_logical_mixed_regions() {
+        let mut t = small_table();
+        t.insert(&[Value::I64(42), Value::Str("Z".into()), Value::F64(0.5)]);
+        let mut v = Vector::with_capacity(ScalarType::I64, 3);
+        t.gather_logical(0, &[0, 10, 5], &mut v);
+        assert_eq!(v.as_i64(), &[0, 42, 5]);
+        let mut s = Vector::with_capacity(ScalarType::Str, 2);
+        t.gather_logical(1, &[10, 1], &mut s);
+        assert_eq!(s.as_str().get(0), "Z");
+        assert_eq!(s.as_str().get(1), "B");
+    }
+
+    #[test]
+    fn reorganize_applies_deltas() {
+        let mut t = small_table();
+        t.delete(0);
+        t.delete(9);
+        t.insert(&[Value::I64(77), Value::Str("B".into()), Value::F64(7.7)]);
+        assert!(t.delta_fraction() > 0.0);
+        t.reorganize();
+        assert_eq!(t.fragment_rows(), 9);
+        assert_eq!(t.delta_rows(), 0);
+        assert_eq!(t.deletes().len(), 0);
+        assert_eq!(t.delta_fraction(), 0.0);
+        // Row ids are densified: first live row was old rowid 1.
+        assert_eq!(t.get_row(0)[0], Value::I64(1));
+        // The inserted row is last and re-encoded into the enum column.
+        assert_eq!(t.get_row(8), vec![Value::I64(77), Value::Str("B".into()), Value::F64(7.7)]);
+        assert!(t.column(1).dict().is_some(), "enum column stays enum after reorganize");
+    }
+
+    #[test]
+    fn maybe_reorganize_thresholds() {
+        let mut t = small_table();
+        t.insert(&[Value::I64(100), Value::Str("A".into()), Value::F64(0.0)]);
+        // 1 delta row of 11 total ≈ 9%.
+        assert!(!t.maybe_reorganize(0.5), "below threshold: no reorganize");
+        assert_eq!(t.delta_rows(), 1);
+        assert!(t.maybe_reorganize(0.05), "above threshold: reorganizes");
+        assert_eq!(t.delta_rows(), 0);
+        assert_eq!(t.fragment_rows(), 11);
+    }
+
+    #[test]
+    fn summary_survives_reorganize() {
+        let mut t = TableBuilder::new("dates")
+            .column("d", ColumnData::I32((0..5000).collect()))
+            .with_summary()
+            .build();
+        assert!(t.column(0).summary().is_some());
+        t.insert(&[Value::I32(5000)]);
+        t.reorganize();
+        let s = t.column(0).summary().expect("rebuilt");
+        let (lo, hi) = s.range_candidates(Some(4999), None);
+        assert!(lo >= 4000 && hi == 5001);
+    }
+
+    #[test]
+    fn byte_size_counts_dict_and_deltas() {
+        let mut t = small_table();
+        let before = t.byte_size();
+        t.insert(&[Value::I64(1), Value::Str("Q".into()), Value::F64(0.0)]);
+        assert!(t.byte_size() > before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_deleted_row_panics() {
+        let mut t = small_table();
+        t.delete(2);
+        t.get_row(2);
+    }
+}

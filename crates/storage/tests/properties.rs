@@ -1,0 +1,127 @@
+//! Property-based tests for the storage layer.
+//!
+//! Key invariants:
+//! * a table behaves like a simple row-store model under any sequence of
+//!   inserts / deletes / updates / reorganizes;
+//! * enum encoding roundtrips and is order-preserving;
+//! * summary indices are always conservative.
+
+use proptest::prelude::*;
+use x100_storage::{encode_i64, ColumnData, SummaryIndex, TableBuilder};
+use x100_vector::Value;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Delete(usize),
+    Update(usize, i64),
+    Reorganize,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i64>()).prop_map(Op::Insert),
+        (0usize..64).prop_map(Op::Delete),
+        (0usize..64, any::<i64>()).prop_map(|(i, v)| Op::Update(i, v)),
+        Just(Op::Reorganize),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn table_matches_row_model(init in prop::collection::vec(any::<i64>(), 0..40),
+                               ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut table = TableBuilder::new("t")
+            .column("v", ColumnData::I64(init.clone()))
+            .build();
+        // Model: live rows in #rowId order, as (value) list.
+        let mut model: Vec<i64> = init.clone();
+        // Map from live position -> rowid is implicit; we track rowids.
+        let mut rowids: Vec<u32> = (0..init.len() as u32).collect();
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let id = table.insert(&[Value::I64(v)]);
+                    model.push(v);
+                    rowids.push(id);
+                }
+                Op::Delete(pos) => {
+                    if !model.is_empty() {
+                        let pos = pos % model.len();
+                        prop_assert!(table.delete(rowids[pos]));
+                        model.remove(pos);
+                        rowids.remove(pos);
+                    }
+                }
+                Op::Update(pos, v) => {
+                    if !model.is_empty() {
+                        let pos = pos % model.len();
+                        let new_id = table.update(rowids[pos], &[Value::I64(v)]).expect("live row");
+                        model.remove(pos);
+                        rowids.remove(pos);
+                        model.push(v);
+                        rowids.push(new_id);
+                    }
+                }
+                Op::Reorganize => {
+                    table.reorganize();
+                    rowids = (0..model.len() as u32).collect();
+                }
+            }
+            prop_assert_eq!(table.live_rows(), model.len());
+        }
+        // Final check: every live row matches the model.
+        for (pos, &id) in rowids.iter().enumerate() {
+            prop_assert_eq!(table.get_row(id), vec![Value::I64(model[pos])]);
+        }
+    }
+
+    #[test]
+    fn enum_roundtrip_and_order(values in prop::collection::vec(-50i64..50, 1..300)) {
+        let enc = encode_i64(&values).expect("small domain");
+        let dict = enc.dict.values().as_i64();
+        let decode = |i: usize| -> i64 {
+            match &enc.codes {
+                ColumnData::U8(c) => dict[c[i] as usize],
+                ColumnData::U16(c) => dict[c[i] as usize],
+                _ => unreachable!(),
+            }
+        };
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(decode(i), v);
+        }
+        // Order-preserving encoding.
+        prop_assert!(dict.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn summary_always_conservative(col in prop::collection::vec(-1000i64..1000, 0..500),
+                                   gran in 1usize..64,
+                                   lo in -1000i64..1000,
+                                   width in 0i64..500) {
+        let idx = SummaryIndex::build_with_granularity(&col, gran);
+        let hi = lo + width;
+        let (s, e) = idx.range_candidates(Some(lo), Some(hi));
+        prop_assert!(s <= e && e <= col.len());
+        for (i, &v) in col.iter().enumerate() {
+            if v >= lo && v <= hi {
+                prop_assert!(s <= i && i < e, "qualifying row {i} outside [{s},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_sorted_pruning_is_tight(n in 1usize..2000, gran in 1usize..100, q in 0i64..2000) {
+        let col: Vec<i64> = (0..n as i64).collect();
+        let idx = SummaryIndex::build_with_granularity(&col, gran);
+        let (s, e) = idx.range_candidates(Some(q), Some(q));
+        if (q as usize) < n {
+            // Candidate window around the hit is at most 2 granules wide.
+            prop_assert!(e - s <= 2 * gran);
+            prop_assert!(s <= q as usize && (q as usize) < e);
+        } else {
+            prop_assert_eq!(s, e);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # tpch — TPC-H data generation and query plans for all engines
+//!
+//! * [`gen`] — a deterministic dbgen equivalent (all eight tables,
+//!   scale-factor scaling, the paper's sorted/clustered physical order).
+//! * [`db`] — loaders into the X100 columnar store (enums, summary
+//!   indices, join indices), the Volcano NSM table and MIL BATs.
+//! * [`queries`] — Q1 on all four engines plus a broad X100 query
+//!   subset (Q1, 3, 4, 5, 6, 10, 12, 14, 19) for Table 4.
+//! * [`milql`] — a MIL interpreter that executes the same plans
+//!   column-at-a-time with full materialization (the Table 4 baseline).
+//! * [`hardcoded`] — the paper's Figure 4 hard-coded Q1 UDF.
+
+pub mod db;
+pub mod gen;
+pub mod hardcoded;
+pub mod milql;
+pub mod queries;
+
+pub use db::{build_volcano_lineitem, build_x100_db, build_x100_q1_db, mil_bats};
+pub use gen::{generate, generate_lineitem_q1, GenConfig, TpchData};
+pub use hardcoded::{run_hardcoded_q1, Q1Row};

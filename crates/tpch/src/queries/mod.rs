@@ -1,0 +1,125 @@
+//! TPC-H query plans for the engines (paper §5, Table 4).
+//!
+//! All 22 TPC-H queries are implemented as X100 algebra plans (Q21 is
+//! the only structurally rewritten one — its correlated EXISTS/NOT
+//! EXISTS become per-order min/max supplier aggregates). Q1 additionally
+//! exists hand-written on the MIL and Volcano baselines (§3's
+//! micro-benchmark). The MIL interpreter ([`crate::milql`]) executes
+//! the same plans column-at-a-time for the Table 4 comparison.
+//!
+//! Queries whose SQL contains a scalar sub-query (Q11, Q15, Q22) are
+//! *two-phase*: phase 1 computes the scalar, phase 2 is built from it —
+//! each engine runs both phases with its own executor.
+
+pub mod q01;
+pub mod q02;
+pub mod q03;
+pub mod q04;
+pub mod q05;
+pub mod q06;
+pub mod q07;
+pub mod q08;
+pub mod q09;
+pub mod q10;
+pub mod q11;
+pub mod q12;
+pub mod q13;
+pub mod q14;
+pub mod q15;
+pub mod q16;
+pub mod q17;
+pub mod q18;
+pub mod q19;
+pub mod q20;
+pub mod q21;
+pub mod q22;
+
+use x100_engine::plan::Plan;
+use x100_engine::session::{execute, Database, ExecOptions, QueryResult};
+use x100_engine::PlanError;
+
+/// A scalar-subquery query: phase 1 produces one row whose
+/// `scalar_col` feeds the phase-2 plan builder.
+pub struct TwoPhase {
+    /// The scalar-producing plan.
+    pub phase1: Plan,
+    /// Column of phase 1's single result row to extract.
+    pub scalar_col: &'static str,
+    /// Builds the final plan from the scalar.
+    pub phase2: fn(f64) -> Plan,
+}
+
+/// How a query executes.
+pub enum QuerySpec {
+    /// One plan.
+    Single(Plan),
+    /// Scalar sub-query: two plans, the second derived from the first's
+    /// result.
+    TwoPhase(TwoPhase),
+}
+
+/// Run a query spec on the X100 engine.
+pub fn run_x100(db: &Database, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult, PlanError> {
+    match spec {
+        QuerySpec::Single(plan) => Ok(execute(db, plan, opts)?.0),
+        QuerySpec::TwoPhase(tp) => {
+            let (r1, _) = execute(db, &tp.phase1, opts)?;
+            assert_eq!(r1.num_rows(), 1, "phase 1 must yield one row");
+            let scalar = r1.value(0, r1.col_index(tp.scalar_col).expect("scalar column")).as_f64();
+            Ok(execute(db, &(tp.phase2)(scalar), opts)?.0)
+        }
+    }
+}
+
+/// Run a query spec on the MIL interpreter.
+pub fn run_mil(db: &Database, spec: &QuerySpec) -> Result<crate::milql::MatFlow, PlanError> {
+    match spec {
+        QuerySpec::Single(plan) => Ok(crate::milql::run_plan(db, plan)?.0),
+        QuerySpec::TwoPhase(tp) => {
+            let (r1, _) = crate::milql::run_plan(db, &tp.phase1)?;
+            assert_eq!(r1.num_rows(), 1, "phase 1 must yield one row");
+            let scalar = r1.col(tp.scalar_col).get(0).as_f64();
+            Ok(crate::milql::run_plan(db, &(tp.phase2)(scalar))?.0)
+        }
+    }
+}
+
+/// Every implemented query: `(query number, spec)` — the full TPC-H
+/// suite.
+pub fn all_specs() -> Vec<(u32, QuerySpec)> {
+    vec![
+        (1, QuerySpec::Single(q01::x100_plan())),
+        (2, QuerySpec::Single(q02::x100_plan())),
+        (3, QuerySpec::Single(q03::x100_plan())),
+        (4, QuerySpec::Single(q04::x100_plan())),
+        (5, QuerySpec::Single(q05::x100_plan())),
+        (6, QuerySpec::Single(q06::x100_plan())),
+        (7, QuerySpec::Single(q07::x100_plan())),
+        (8, QuerySpec::Single(q08::x100_plan())),
+        (9, QuerySpec::Single(q09::x100_plan())),
+        (10, QuerySpec::Single(q10::x100_plan())),
+        (11, QuerySpec::TwoPhase(q11::x100_spec())),
+        (12, QuerySpec::Single(q12::x100_plan())),
+        (13, QuerySpec::Single(q13::x100_plan())),
+        (14, QuerySpec::Single(q14::x100_plan())),
+        (15, QuerySpec::TwoPhase(q15::x100_spec())),
+        (16, QuerySpec::Single(q16::x100_plan())),
+        (17, QuerySpec::Single(q17::x100_plan())),
+        (18, QuerySpec::Single(q18::x100_plan())),
+        (19, QuerySpec::Single(q19::x100_plan())),
+        (20, QuerySpec::Single(q20::x100_plan())),
+        (21, QuerySpec::Single(q21::x100_plan())),
+        (22, QuerySpec::TwoPhase(q22::x100_spec())),
+    ]
+}
+
+/// The single-plan subset (kept for existing callers and benches).
+pub fn all_plans() -> Vec<(u32, Plan)> {
+    all_specs()
+        .into_iter()
+        .filter_map(|(q, s)| match s {
+            QuerySpec::Single(p) => Some((q, p)),
+            QuerySpec::TwoPhase(_) => None,
+        })
+        .collect()
+}

@@ -1,0 +1,64 @@
+//! TPC-H Query 13: the customer distribution query.
+//!
+//! Orders-per-customer histogram *including zero-order customers* — the
+//! left-outer hash join with zero-defaulted payload at work, plus a
+//! negated `contains()` comment filter.
+//!
+//! The SQL being reproduced:
+//!
+//! ```sql
+//! select c_count, count(*) as custdist
+//! from (select c_custkey, count(o_orderkey) as c_count
+//!       from customer left outer join orders
+//!         on c_custkey = o_custkey
+//!         and o_comment not like '%special%requests%'
+//!       group by c_custkey) as c_orders
+//! group by c_count order by custdist desc, c_count desc
+//! ```
+
+use crate::gen::TpchData;
+use std::collections::HashMap;
+use x100_engine::expr::*;
+use x100_engine::ops::{JoinType, OrdExp};
+use x100_engine::plan::Plan;
+use x100_engine::AggExpr;
+
+/// The X100 plan; output `(c_count, custdist)`.
+pub fn x100_plan() -> Plan {
+    let per_customer = Plan::scan("orders", &["o_custkey", "o_comment"])
+        .select(not(and(
+            contains(col("o_comment"), "special"),
+            contains(col("o_comment"), "requests"),
+        )))
+        .aggr(vec![("o_custkey", col("o_custkey"))], vec![AggExpr::count("c_count")]);
+    Plan::HashJoin {
+        build: Box::new(per_customer),
+        probe: Box::new(Plan::scan("customer", &["c_custkey"])),
+        build_keys: vec![col("o_custkey")],
+        probe_keys: vec![col("c_custkey")],
+        payload: vec![("c_count".into(), "c_count".into())],
+        join_type: JoinType::LeftOuter,
+    }
+    .aggr(vec![("c_count", col("c_count"))], vec![AggExpr::count("custdist")])
+    .order(vec![OrdExp::desc("custdist"), OrdExp::desc("c_count")])
+}
+
+/// Reference: `(c_count, custdist)` sorted like the query.
+pub fn reference(data: &TpchData) -> Vec<(i64, i64)> {
+    let o = &data.orders;
+    let mut per_cust: HashMap<i64, i64> = HashMap::new();
+    for i in 0..o.orderkey.len() {
+        if o.comment[i].contains("special") && o.comment[i].contains("requests") {
+            continue;
+        }
+        *per_cust.entry(o.custkey[i]).or_insert(0) += 1;
+    }
+    let mut hist: HashMap<i64, i64> = HashMap::new();
+    for &ck in &data.customer.custkey {
+        let c = per_cust.get(&ck).copied().unwrap_or(0);
+        *hist.entry(c).or_insert(0) += 1;
+    }
+    let mut rows: Vec<(i64, i64)> = hist.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+    rows
+}

@@ -1,0 +1,75 @@
+//! TPC-H Query 18: the large volume customer query.
+//!
+//! The `IN (select … having sum(l_quantity) > 300)` becomes an
+//! aggregation + selection used as hash-join build side against orders.
+//!
+//! The SQL being reproduced:
+//!
+//! ```sql
+//! select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+//!   sum(l_quantity)
+//! from customer, orders, lineitem
+//! where o_orderkey in (select l_orderkey from lineitem
+//!       group by l_orderkey having sum(l_quantity) > 300)
+//!   and c_custkey = o_custkey and o_orderkey = l_orderkey
+//! group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+//! order by o_totalprice desc, o_orderdate limit 100
+//! ```
+
+use crate::gen::TpchData;
+use std::collections::HashMap;
+use x100_engine::expr::*;
+use x100_engine::ops::{JoinType, OrdExp};
+use x100_engine::plan::Plan;
+use x100_engine::AggExpr;
+
+/// The quantity threshold (spec: 300).
+pub const THRESHOLD: f64 = 300.0;
+
+/// The X100 plan; output
+/// `(c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty)`.
+pub fn x100_plan() -> Plan {
+    let big_orders = Plan::scan("lineitem", &["l_orderkey", "l_quantity"])
+        .aggr(vec![("bo_orderkey", col("l_orderkey"))], vec![AggExpr::sum("sum_qty", col("l_quantity"))])
+        .select(gt(col("sum_qty"), lit_f64(THRESHOLD)));
+    Plan::HashJoin {
+        build: Box::new(big_orders),
+        probe: Box::new(Plan::scan(
+            "orders",
+            &["o_orderkey", "o_orderdate", "o_totalprice", "o_cust_idx"],
+        )),
+        build_keys: vec![col("bo_orderkey")],
+        probe_keys: vec![col("o_orderkey")],
+        payload: vec![("sum_qty".into(), "sum_qty".into())],
+        join_type: JoinType::Inner,
+    }
+    .fetch1("customer", col("o_cust_idx"), &[("c_name", "c_name"), ("c_custkey", "c_custkey")])
+    .project(vec![
+        ("c_name", col("c_name")),
+        ("c_custkey", col("c_custkey")),
+        ("o_orderkey", col("o_orderkey")),
+        ("o_orderdate", col("o_orderdate")),
+        ("o_totalprice", col("o_totalprice")),
+        ("sum_qty", col("sum_qty")),
+    ])
+    .topn(vec![OrdExp::desc("o_totalprice"), OrdExp::asc("o_orderdate"), OrdExp::asc("o_orderkey")], 100)
+}
+
+/// Reference: `(orderkey, sum_qty)` of the top rows.
+pub fn reference(data: &TpchData) -> Vec<(i64, f64)> {
+    let li = &data.lineitem;
+    let mut qty: HashMap<i64, f64> = HashMap::new();
+    for i in 0..li.len() {
+        *qty.entry(li.orderkey[i]).or_insert(0.0) += li.quantity[i];
+    }
+    let o = &data.orders;
+    let mut rows: Vec<(f64, i32, i64, f64)> = (0..o.orderkey.len())
+        .filter_map(|i| {
+            let q = qty.get(&o.orderkey[i]).copied().unwrap_or(0.0);
+            (q > THRESHOLD).then_some((o.totalprice[i], o.orderdate[i], o.orderkey[i], q))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    rows.truncate(100);
+    rows.into_iter().map(|(_, _, k, q)| (k, q)).collect()
+}

@@ -1,0 +1,195 @@
+//! Differential property testing: randomly composed plans over randomly
+//! generated tables must produce identical results on the X100
+//! vectorized engine (at several vector sizes) and on the MIL
+//! column-at-a-time interpreter.
+
+use proptest::prelude::*;
+use tpch::milql;
+use x100_engine::expr::{self};
+use x100_engine::ops::OrdExp;
+use x100_engine::plan::Plan;
+use x100_engine::session::{execute, Database, ExecOptions};
+use x100_storage::{ColumnData, TableBuilder};
+use x100_vector::CmpOp;
+
+/// Build a random table: i64 key-ish column, f64 value, enum tag.
+fn make_db(rows: &[(i64, f64, u8)]) -> Database {
+    let tags = ["red", "green", "blue"];
+    let t = TableBuilder::new("t")
+        .column("a", ColumnData::I64(rows.iter().map(|r| r.0).collect()))
+        .column("x", ColumnData::F64(rows.iter().map(|r| r.1).collect()))
+        .auto_enum_str("tag", rows.iter().map(|r| tags[(r.2 % 3) as usize].to_owned()).collect())
+        .build();
+    let mut db = Database::new();
+    db.register(t);
+    db
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    SelectA(CmpOp, i64),
+    SelectAFloat(CmpOp, i64), // i64 column vs x.5 float literal (promotion)
+    SelectX(CmpOp, i64), // compares x against a small integer literal
+    SelectTag(bool, u8), // eq/ne against one of the tags
+    ProjectArith(u8),
+    AggrByTag,
+    AggrByA,
+    OrderByA,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne)
+    ];
+    prop_oneof![
+        (cmp.clone(), -50i64..50).prop_map(|(c, v)| Step::SelectA(c, v)),
+        (cmp.clone(), -50i64..50).prop_map(|(c, v)| Step::SelectAFloat(c, v)),
+        (cmp, -50i64..50).prop_map(|(c, v)| Step::SelectX(c, v)),
+        (any::<bool>(), 0u8..4).prop_map(|(e, t)| Step::SelectTag(e, t)),
+        (0u8..4).prop_map(Step::ProjectArith),
+        Just(Step::AggrByTag),
+        Just(Step::AggrByA),
+        Just(Step::OrderByA),
+    ]
+}
+
+/// Compose the plan; returns `(plan, ordered)` where `ordered` says the
+/// output order is deterministic (ends in Order).
+fn build_plan(steps: &[Step]) -> (Plan, bool) {
+    use expr::*;
+    let mut plan = Plan::scan("t", &["a", "x", "tag"]);
+    // Track which columns survive (projections/aggregations reshape).
+    let mut has = (true, true, true); // (a, x, tag)
+    let mut ordered = false;
+    for s in steps {
+        ordered = false;
+        match s {
+            Step::SelectA(c, v) if has.0 => {
+                plan = plan.select(cmp(*c, col("a"), lit_i64(*v)));
+            }
+            Step::SelectAFloat(c, v) if has.0 => {
+                plan = plan.select(cmp(*c, col("a"), lit_f64(*v as f64 + 0.5)));
+            }
+            Step::SelectX(c, v) if has.1 => {
+                plan = plan.select(cmp(*c, col("x"), lit_f64(*v as f64)));
+            }
+            Step::SelectTag(is_eq, t) if has.2 => {
+                let lit = ["red", "green", "blue", "ABSENT"][(*t % 4) as usize];
+                let e = if *is_eq {
+                    eq(col("tag"), lit_str(lit))
+                } else {
+                    ne(col("tag"), lit_str(lit))
+                };
+                plan = plan.select(e);
+            }
+            Step::ProjectArith(k) if has.0 && has.1 => {
+                let e = match k % 4 {
+                    0 => add(col("x"), cast(x100_vector::ScalarType::F64, col("a"))),
+                    1 => mul(sub(lit_f64(1.0), col("x")), col("x")),
+                    2 => sub(col("a"), lit_i64(3)),
+                    _ => mul(col("x"), lit_f64(2.0)),
+                };
+                let keep_tag = has.2;
+                let mut exprs: Vec<(&str, Expr)> = vec![("a", col("a")), ("x", col("x")), ("y", e)];
+                if keep_tag {
+                    exprs.push(("tag", col("tag")));
+                }
+                plan = plan.project(exprs);
+            }
+            Step::AggrByTag if has.2 => {
+                let mut aggs = vec![AggExpr::count("n")];
+                if has.1 {
+                    aggs.push(AggExpr::sum("sx", col("x")));
+                    aggs.push(AggExpr::min("mnx", col("x")));
+                    aggs.push(AggExpr::max("mxx", col("x")));
+                }
+                plan = plan.aggr(vec![("tag", col("tag"))], aggs);
+                has = (false, false, true);
+            }
+            Step::AggrByA if has.0 => {
+                let mut aggs = vec![AggExpr::count("n")];
+                if has.1 {
+                    aggs.push(AggExpr::sum("sx", col("x")));
+                }
+                plan = plan.aggr(vec![("a", col("a"))], aggs);
+                has = (true, false, false);
+            }
+            Step::OrderByA if has.0 => {
+                plan = plan.order(vec![OrdExp::asc("a")]);
+                ordered = true;
+            }
+            _ => {} // step not applicable to current shape
+        }
+    }
+    (plan, ordered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_plans_agree_across_engines(
+        rows in prop::collection::vec((-50i64..50, -40i64..40, any::<u8>()), 0..200),
+        steps in prop::collection::vec(step_strategy(), 0..5),
+    ) {
+        let rows: Vec<(i64, f64, u8)> = rows.into_iter().map(|(a, x, t)| (a, x as f64, t)).collect();
+        let db = make_db(&rows);
+        let (plan, ordered) = build_plan(&steps);
+
+        let (base, _) = execute(&db, &plan, &ExecOptions::with_vector_size(1024)).expect("x100");
+        let mut base_rows = base.row_strings();
+        if !ordered {
+            base_rows.sort();
+        }
+        // Vector-size invariance.
+        for vs in [1usize, 7, 64] {
+            let (r, _) = execute(&db, &plan, &ExecOptions::with_vector_size(vs)).expect("x100 vs");
+            let mut rr = r.row_strings();
+            if !ordered {
+                rr.sort();
+            }
+            prop_assert_eq!(&rr, &base_rows, "vector size {} diverged", vs);
+        }
+        // Compound-primitive toggle invariance.
+        let o = ExecOptions { compound_primitives: false, ..Default::default() };
+        let (r, _) = execute(&db, &plan, &o).expect("x100 nofuse");
+        let mut rr = r.row_strings();
+        if !ordered {
+            rr.sort();
+        }
+        prop_assert_eq!(&rr, &base_rows, "compound toggle diverged");
+        // Predicated select strategy invariance.
+        let o = ExecOptions {
+            select_strategy: x100_vector::SelectStrategy::Predicated,
+            ..Default::default()
+        };
+        let (r, _) = execute(&db, &plan, &o).expect("x100 pred");
+        let mut rr = r.row_strings();
+        if !ordered {
+            rr.sort();
+        }
+        prop_assert_eq!(&rr, &base_rows, "predicated strategy diverged");
+        // Textual algebra round trip: render → parse → execute.
+        let text = x100_engine::render_plan(&plan);
+        let reparsed = x100_engine::parse_plan(&text)
+            .unwrap_or_else(|e| panic!("render output failed to parse: {e}\n{text}"));
+        let (r, _) = execute(&db, &reparsed, &ExecOptions::default()).expect("reparsed plan");
+        let mut rr = r.row_strings();
+        if !ordered {
+            rr.sort();
+        }
+        prop_assert_eq!(&rr, &base_rows, "render/parse roundtrip diverged:\n{}", text);
+        // MIL column-at-a-time interpreter agreement.
+        let (mil, _) = milql::run_plan(&db, &plan).expect("mil");
+        let mut mm = mil.row_strings();
+        if !ordered {
+            mm.sort();
+        }
+        prop_assert_eq!(&mm, &base_rows, "MIL diverged");
+    }
+}

@@ -1,0 +1,47 @@
+//! Coherence between the engine and the primitive registry: every
+//! primitive signature the engine traces while running the full TPC-H
+//! suite must be registered in [`PrimitiveRegistry::builtin`] — the
+//! paper's "signature request" discipline (§4.2) enforced as a test.
+
+use std::collections::BTreeSet;
+use tpch::gen::{generate, GenConfig};
+use tpch::queries::{all_specs, QuerySpec};
+use x100_engine::session::{execute, ExecOptions};
+use x100_vector::PrimitiveRegistry;
+
+#[test]
+fn every_traced_primitive_is_registered() {
+    let data = generate(&GenConfig { sf: 0.002, seed: 3 });
+    let db = tpch::build_x100_db(&data);
+    let reg = PrimitiveRegistry::builtin();
+    let opts = ExecOptions::default().profiled();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut missing: BTreeSet<String> = BTreeSet::new();
+    for (_q, spec) in all_specs() {
+        // Two-phase specs: trace both phases.
+        let plans: Vec<x100_engine::Plan> = match spec {
+            QuerySpec::Single(p) => vec![p],
+            QuerySpec::TwoPhase(tp) => {
+                let (r1, prof1) = execute(&db, &tp.phase1, &opts).expect("phase1");
+                for (sig, _) in prof1.primitives() {
+                    seen.insert(sig.to_owned());
+                }
+                let scalar = r1.value(0, r1.col_index(tp.scalar_col).expect("scalar")).as_f64();
+                vec![(tp.phase2)(scalar)]
+            }
+        };
+        for plan in plans {
+            let (_, prof) = execute(&db, &plan, &opts).expect("runs");
+            for (sig, _) in prof.primitives() {
+                seen.insert(sig.to_owned());
+            }
+        }
+    }
+    assert!(seen.len() > 25, "suspiciously few primitives traced: {}", seen.len());
+    for sig in &seen {
+        if !reg.contains(sig) {
+            missing.insert(sig.clone());
+        }
+    }
+    assert!(missing.is_empty(), "unregistered primitives traced: {missing:?}");
+}

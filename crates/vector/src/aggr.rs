@@ -1,0 +1,213 @@
+//! `aggr_*` primitives: vectorized aggregate updates.
+//!
+//! The paper generates, per aggregate function, an *initialization*, an
+//! *update* and an *epilogue* routine (§4.2). Here:
+//!
+//! * initialization = allocating / growing the accumulator arrays,
+//! * update = the `aggr_*` functions below: one pass over a value vector
+//!   plus a *group-position* vector (`u32` slots into the accumulator
+//!   table, produced by hash- or direct-grouping),
+//! * epilogue = finalization helpers (`avg` from sum+count).
+//!
+//! All update primitives honor an optional selection vector, like maps.
+
+use crate::sel::SelVec;
+
+macro_rules! aggr_grouped {
+    ($sum:ident, $min:ident, $max:ident, $ty:ty, $min_init:expr, $max_init:expr) => {
+        /// Grouped SUM update: `acc[grp[i]] += vals[i]` for selected `i`.
+        #[inline]
+        pub fn $sum(acc: &mut [$ty], vals: &[$ty], grp: &[u32], sel: Option<&SelVec>) {
+            match sel {
+                None => {
+                    for (&v, &g) in vals.iter().zip(grp.iter()) {
+                        acc[g as usize] += v;
+                    }
+                }
+                Some(sel) => {
+                    for i in sel.iter() {
+                        acc[grp[i] as usize] += vals[i];
+                    }
+                }
+            }
+        }
+
+        /// Grouped MIN update. Initialize accumulators to the type's
+        /// maximum before the first update pass.
+        #[inline]
+        pub fn $min(acc: &mut [$ty], vals: &[$ty], grp: &[u32], sel: Option<&SelVec>) {
+            match sel {
+                None => {
+                    for (&v, &g) in vals.iter().zip(grp.iter()) {
+                        let a = &mut acc[g as usize];
+                        if v < *a {
+                            *a = v;
+                        }
+                    }
+                }
+                Some(sel) => {
+                    for i in sel.iter() {
+                        let a = &mut acc[grp[i] as usize];
+                        if vals[i] < *a {
+                            *a = vals[i];
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Grouped MAX update. Initialize accumulators to the type's
+        /// minimum before the first update pass.
+        #[inline]
+        pub fn $max(acc: &mut [$ty], vals: &[$ty], grp: &[u32], sel: Option<&SelVec>) {
+            match sel {
+                None => {
+                    for (&v, &g) in vals.iter().zip(grp.iter()) {
+                        let a = &mut acc[g as usize];
+                        if v > *a {
+                            *a = v;
+                        }
+                    }
+                }
+                Some(sel) => {
+                    for i in sel.iter() {
+                        let a = &mut acc[grp[i] as usize];
+                        if vals[i] > *a {
+                            *a = vals[i];
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+aggr_grouped!(aggr_sum_f64_col, aggr_min_f64_col, aggr_max_f64_col, f64, f64::MAX, f64::MIN);
+aggr_grouped!(aggr_sum_i64_col, aggr_min_i64_col, aggr_max_i64_col, i64, i64::MAX, i64::MIN);
+aggr_grouped!(aggr_sum_i32_col, aggr_min_i32_col, aggr_max_i32_col, i32, i32::MAX, i32::MIN);
+
+/// Grouped COUNT update: `counts[grp[i]] += 1` for selected `i`.
+#[inline]
+pub fn aggr_count(counts: &mut [i64], grp: &[u32], sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for &g in grp.iter() {
+                counts[g as usize] += 1;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                counts[grp[i] as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Ungrouped (scalar) SUM over a vector — the degenerate single-group case.
+#[inline]
+pub fn aggr_sum_f64_scalar(vals: &[f64], sel: Option<&SelVec>) -> f64 {
+    match sel {
+        None => vals.iter().sum(),
+        Some(sel) => sel.iter().map(|i| vals[i]).sum(),
+    }
+}
+
+/// Ungrouped SUM over an i64 vector.
+#[inline]
+pub fn aggr_sum_i64_scalar(vals: &[i64], sel: Option<&SelVec>) -> i64 {
+    match sel {
+        None => vals.iter().sum(),
+        Some(sel) => sel.iter().map(|i| vals[i]).sum(),
+    }
+}
+
+/// Ungrouped MIN; `None` on empty input.
+#[inline]
+pub fn aggr_min_f64_scalar(vals: &[f64], sel: Option<&SelVec>) -> Option<f64> {
+    match sel {
+        None => vals.iter().copied().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
+        Some(sel) => sel.iter().map(|i| vals[i]).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
+    }
+}
+
+/// Epilogue: AVG from SUM and COUNT accumulators (`sum[g] / count[g]`).
+///
+/// Groups with a zero count produce `f64::NAN`, matching SQL's undefined
+/// average over an empty group (never surfaced: empty groups are not
+/// emitted by the aggregation operators).
+#[inline]
+pub fn aggr_avg_epilogue(res: &mut [f64], sums: &[f64], counts: &[i64]) {
+    for ((r, &s), &c) in res.iter_mut().zip(sums.iter()).zip(counts.iter()) {
+        *r = s / c as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_sum() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let grp = [0, 1, 0, 1];
+        let mut acc = [0.0; 2];
+        aggr_sum_f64_col(&mut acc, &vals, &grp, None);
+        assert_eq!(acc, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn grouped_sum_with_sel() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let grp = [0, 1, 0, 1];
+        let sel = SelVec::from_positions(vec![0, 3]);
+        let mut acc = [0.0; 2];
+        aggr_sum_f64_col(&mut acc, &vals, &grp, Some(&sel));
+        assert_eq!(acc, [1.0, 4.0]);
+    }
+
+    #[test]
+    fn grouped_min_max() {
+        let vals = [5i64, -1, 9, 3];
+        let grp = [0, 0, 1, 1];
+        let mut mn = [i64::MAX; 2];
+        let mut mx = [i64::MIN; 2];
+        aggr_min_i64_col(&mut mn, &vals, &grp, None);
+        aggr_max_i64_col(&mut mx, &vals, &grp, None);
+        assert_eq!(mn, [-1, 3]);
+        assert_eq!(mx, [5, 9]);
+    }
+
+    #[test]
+    fn count_and_avg() {
+        let grp = [0, 1, 1, 1];
+        let mut cnt = [0i64; 2];
+        aggr_count(&mut cnt, &grp, None);
+        assert_eq!(cnt, [1, 3]);
+        let sums = [2.0, 9.0];
+        let mut avg = [0.0; 2];
+        aggr_avg_epilogue(&mut avg, &sums, &cnt);
+        assert_eq!(avg, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let vals = [3.0, 1.0, 2.0];
+        assert_eq!(aggr_sum_f64_scalar(&vals, None), 6.0);
+        assert_eq!(aggr_min_f64_scalar(&vals, None), Some(1.0));
+        assert_eq!(aggr_min_f64_scalar(&[], None), None);
+        let sel = SelVec::from_positions(vec![0, 2]);
+        assert_eq!(aggr_sum_f64_scalar(&vals, Some(&sel)), 5.0);
+        assert_eq!(aggr_min_f64_scalar(&vals, Some(&sel)), Some(2.0));
+        assert_eq!(aggr_sum_i64_scalar(&[1, 2, 3], None), 6);
+    }
+
+    #[test]
+    fn repeated_updates_accumulate() {
+        // Aggregation is incremental across vectors (batches).
+        let mut acc = [0.0; 1];
+        for batch in [[1.0, 2.0], [3.0, 4.0]] {
+            aggr_sum_f64_col(&mut acc, &batch, &[0, 0], None);
+        }
+        assert_eq!(acc, [10.0]);
+    }
+}

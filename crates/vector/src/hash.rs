@@ -1,0 +1,258 @@
+//! `map_hash_*` primitives and the direct-grouping map.
+//!
+//! Hash-aggregation and hash-join first compute, per tuple, a position in
+//! a hash table (paper Fig. 6: `map_hash_chr_col` → "position in hash
+//! table"). These primitives vectorize that computation: one pass hashes a
+//! whole key column; multi-column keys chain through `rehash` maps.
+//!
+//! `map_directgrp` implements the *direct aggregation* trick of §4.1.2 /
+//! §3.3: for small-domain keys the bit-concatenation of the key bytes is
+//! itself the aggregate-table slot (no hashing, no collision handling).
+
+use crate::sel::SelVec;
+
+/// Multiplicative mixing constant (64-bit golden-ratio; same family as
+/// FxHash / splitmix64 finalizers).
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mix one 64-bit word into a hash value.
+#[inline(always)]
+pub fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(K);
+    x ^= x >> 32;
+    x = x.wrapping_mul(K);
+    x ^= x >> 29;
+    x
+}
+
+/// Hash one scalar from a clean seed.
+#[inline(always)]
+pub fn hash_one(v: u64) -> u64 {
+    mix(0x5151_5151_5151_5151, v)
+}
+
+/// Hash a byte string (used for `str` group keys).
+#[inline]
+pub fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+    }
+    h
+}
+
+macro_rules! hash_instance {
+    ($hash:ident, $rehash:ident, $ty:ty) => {
+        /// Macro-generated hash map instance: `res[i] = hash(col[i])`.
+        #[inline]
+        pub fn $hash(res: &mut [u64], col: &[$ty], sel: Option<&SelVec>) {
+            crate::map::map1(res, col, sel, |x| hash_one(x as u64));
+        }
+
+        /// Macro-generated rehash instance: combine a further key column
+        /// into existing hash values (`res[i] = mix(res[i], col[i])`).
+        #[inline]
+        pub fn $rehash(res: &mut [u64], col: &[$ty], sel: Option<&SelVec>) {
+            match sel {
+                None => {
+                    for (r, &x) in res.iter_mut().zip(col.iter()) {
+                        *r = mix(*r, x as u64);
+                    }
+                }
+                Some(sel) => {
+                    for i in sel.iter() {
+                        res[i] = mix(res[i], col[i] as u64);
+                    }
+                }
+            }
+        }
+    };
+}
+
+hash_instance!(map_hash_u8_col, map_rehash_u8_col, u8);
+hash_instance!(map_hash_u16_col, map_rehash_u16_col, u16);
+hash_instance!(map_hash_u32_col, map_rehash_u32_col, u32);
+hash_instance!(map_hash_i32_col, map_rehash_i32_col, i32);
+hash_instance!(map_hash_i64_col, map_rehash_i64_col, i64);
+
+/// Hash an `f64` key column (bit pattern, normalizing `-0.0` to `0.0`).
+#[inline]
+pub fn map_hash_f64_col(res: &mut [u64], col: &[f64], sel: Option<&SelVec>) {
+    crate::map::map1(res, col, sel, |x| {
+        let x = if x == 0.0 { 0.0 } else { x };
+        hash_one(x.to_bits())
+    });
+}
+
+/// Hash a string key column.
+#[inline]
+pub fn map_hash_str_col(res: &mut [u64], col: &crate::StrVec, sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for (i, r) in res.iter_mut().enumerate().take(col.len()) {
+                *r = hash_bytes(0x5151_5151_5151_5151, col.get(i).as_bytes());
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = hash_bytes(0x5151_5151_5151_5151, col.get(i).as_bytes());
+            }
+        }
+    }
+}
+
+/// Rehash with a string key column.
+#[inline]
+pub fn map_rehash_str_col(res: &mut [u64], col: &crate::StrVec, sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for (i, r) in res.iter_mut().enumerate().take(col.len()) {
+                *r = hash_bytes(*r, col.get(i).as_bytes());
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = hash_bytes(res[i], col.get(i).as_bytes());
+            }
+        }
+    }
+}
+
+/// Direct-grouping start: slot = first key byte (paper `map_uidx_uchr_col`).
+#[inline]
+pub fn map_directgrp_u8_col(res: &mut [u32], col: &[u8], sel: Option<&SelVec>) {
+    crate::map::map1(res, col, sel, |x| x as u32);
+}
+
+/// Direct-grouping chain: `res[i] = res[i] * card + code[i]`
+/// (paper `map_directgrp_uidx_col_uchr_col`; §3.3's
+/// `(returnflag << 8) + linestatus` is the `card = 256` case).
+#[inline]
+pub fn map_directgrp_u8_chain(res: &mut [u32], col: &[u8], card: u32, sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for (r, &x) in res.iter_mut().zip(col.iter()) {
+                *r = *r * card + x as u32;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = res[i] * card + col[i] as u32;
+            }
+        }
+    }
+}
+
+/// Direct-grouping chain over u16 codes.
+#[inline]
+pub fn map_directgrp_u16_chain(res: &mut [u32], col: &[u16], card: u32, sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for (r, &x) in res.iter_mut().zip(col.iter()) {
+                *r = *r * card + x as u32;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = res[i] * card + col[i] as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        let h1 = hash_one(42);
+        let h2 = hash_one(42);
+        let h3 = hash_one(43);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        // Adjacent keys should not land in adjacent buckets for small tables.
+        assert_ne!(h1 % 16, h3 % 16);
+    }
+
+    #[test]
+    fn hash_column() {
+        let col = [1u32, 2, 1];
+        let mut res = [0u64; 3];
+        map_hash_u32_col(&mut res, &col, None);
+        assert_eq!(res[0], res[2]);
+        assert_ne!(res[0], res[1]);
+    }
+
+    #[test]
+    fn rehash_chains_keys() {
+        // (1,2) and (2,1) must hash differently; (1,2) twice identically.
+        let a = [1i64, 2, 1];
+        let b = [2i64, 1, 2];
+        let mut h = [0u64; 3];
+        map_hash_i64_col(&mut h, &a, None);
+        map_rehash_i64_col(&mut h, &b, None);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn string_hash() {
+        let v: crate::StrVec = ["abc", "abd", "abc", ""].into_iter().collect();
+        let mut h = [0u64; 4];
+        map_hash_str_col(&mut h, &v, None);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+        assert_ne!(h[0], h[3]);
+        // length-tagged: "a" vs "a\0" style collisions avoided
+        let v2: crate::StrVec = ["a", "a\0"].into_iter().collect();
+        let mut h2 = [0u64; 2];
+        map_hash_str_col(&mut h2, &v2, None);
+        assert_ne!(h2[0], h2[1]);
+    }
+
+    #[test]
+    fn f64_negative_zero_normalized() {
+        let mut h = [0u64; 2];
+        map_hash_f64_col(&mut h, &[0.0, -0.0], None);
+        assert_eq!(h[0], h[1]);
+    }
+
+    #[test]
+    fn directgrp_matches_hardcoded_shift() {
+        // The paper's UDF computes (returnflag << 8) + linestatus.
+        let rf = [b'A', b'N', b'R'];
+        let ls = [b'F', b'O', b'F'];
+        let mut g = [0u32; 3];
+        map_directgrp_u8_col(&mut g, &rf, None);
+        map_directgrp_u8_chain(&mut g, &ls, 256, None);
+        for i in 0..3 {
+            assert_eq!(g[i], ((rf[i] as u32) << 8) + ls[i] as u32);
+        }
+    }
+
+    #[test]
+    fn directgrp_respects_sel() {
+        let codes = [1u8, 2, 3];
+        let sel = SelVec::from_positions(vec![1]);
+        let mut g = [100u32, 100, 100];
+        map_directgrp_u8_chain(&mut g, &codes, 10, Some(&sel));
+        assert_eq!(g, [100, 1002, 100]);
+    }
+
+    #[test]
+    fn hash_bytes_chunks() {
+        // >8 byte strings exercise the chunked path.
+        let a = hash_bytes(1, b"0123456789abcdef");
+        let b = hash_bytes(1, b"0123456789abcdeg");
+        assert_ne!(a, b);
+        let c = hash_bytes(1, b"0123456789abcdef");
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,241 @@
+//! The primitive registry: a catalog of all vectorized primitives.
+//!
+//! The paper's X100 generates "hundreds of vectorized primitives … from
+//! primitive patterns" plus "signature requests", and dispatches on
+//! signature strings like `map_add_flt_col_flt_col` (§4.2). This module
+//! is the catalog side of that machinery: every primitive instance the
+//! engine can emit is described here, so that
+//!
+//! * the engine's expression compiler can record which primitive each
+//!   compiled instruction corresponds to (Table 5 traces),
+//! * extension developers can see the full primitive surface, and
+//! * tests can verify that every instruction the engine emits maps to a
+//!   registered primitive.
+
+use std::collections::BTreeMap;
+
+/// The family a primitive belongs to (paper §4.2's `map_*`, `select_*`,
+/// `aggr_*` groups, plus fetches and compounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PrimitiveKind {
+    /// Expression-calculation map (`map_*`).
+    Map,
+    /// Selection primitive producing a selection vector (`select_*`).
+    Select,
+    /// Aggregate update (`aggr_*`).
+    Aggr,
+    /// Positional gather (`map_fetch_*`).
+    Fetch,
+    /// Hash / rehash / direct-group maps.
+    Hash,
+    /// Fused compound primitive for an expression sub-tree.
+    Compound,
+}
+
+/// Description of one registered primitive instance.
+#[derive(Debug, Clone)]
+pub struct PrimitiveDesc {
+    /// Unique signature, e.g. `map_add_f64_col_f64_col`.
+    pub signature: &'static str,
+    /// Family.
+    pub kind: PrimitiveKind,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+/// The registry, keyed by signature.
+#[derive(Debug, Default)]
+pub struct PrimitiveRegistry {
+    by_sig: BTreeMap<&'static str, PrimitiveDesc>,
+}
+
+impl PrimitiveRegistry {
+    /// Build the registry with every built-in primitive registered.
+    pub fn builtin() -> Self {
+        let mut reg = PrimitiveRegistry::default();
+        for sig in crate::map::ARITH_SIGNATURES {
+            reg.register(PrimitiveDesc { signature: sig, kind: PrimitiveKind::Map, doc: "arithmetic map (generated)" });
+        }
+        // Comparison maps and selects: generated per (op, type, shape).
+        const CMP_OPS: [&str; 6] = ["eq", "ne", "lt", "le", "gt", "ge"];
+        const CMP_TYS: [&str; 7] = ["i8", "u8", "u16", "i32", "i64", "u32", "f64"];
+        for op in CMP_OPS {
+            for ty in CMP_TYS {
+                for shape in ["col_val", "col_col"] {
+                    reg.register_owned(
+                        format!("map_{op}_{ty}_{shape}"),
+                        PrimitiveKind::Map,
+                        "comparison map (generated)",
+                    );
+                    reg.register_owned(
+                        format!("select_{op}_{ty}_{shape}"),
+                        PrimitiveKind::Select,
+                        "selection primitive (generated)",
+                    );
+                }
+            }
+        }
+        reg.register_owned("select_true_bool_col".into(), PrimitiveKind::Select, "select on boolean column");
+        reg.register_owned("select_eq_str_col_val".into(), PrimitiveKind::Select, "string equality select");
+        for f in ["and", "or", "not"] {
+            reg.register_owned(format!("map_{f}_bool_col"), PrimitiveKind::Map, "boolean logic map");
+        }
+        for agg in ["sum", "min", "max"] {
+            for ty in ["i32", "i64", "f64"] {
+                reg.register_owned(format!("aggr_{agg}_{ty}_col_u32_col"), PrimitiveKind::Aggr, "grouped aggregate update (generated)");
+            }
+        }
+        reg.register_owned("aggr_count_u32_col".into(), PrimitiveKind::Aggr, "grouped count update");
+        reg.register_owned("aggr_avg_epilogue".into(), PrimitiveKind::Aggr, "avg = sum/count epilogue");
+        for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64", "str"] {
+            reg.register_owned(format!("map_fetch_u32_col_{ty}_col"), PrimitiveKind::Fetch, "positional gather (generated)");
+            reg.register_owned(format!("map_fetch_u8_col_{ty}_col"), PrimitiveKind::Fetch, "1-byte enum decompression gather");
+            reg.register_owned(format!("map_fetch_u16_col_{ty}_col"), PrimitiveKind::Fetch, "2-byte enum decompression gather");
+        }
+        for ty in ["u8", "u16", "u32", "i32", "i64", "f64", "str"] {
+            reg.register_owned(format!("map_hash_{ty}_col"), PrimitiveKind::Hash, "hash map (generated)");
+            reg.register_owned(format!("map_rehash_{ty}_col"), PrimitiveKind::Hash, "rehash map (generated)");
+        }
+        reg.register_owned("map_directgrp_u8_col".into(), PrimitiveKind::Hash, "direct-group start");
+        reg.register_owned("map_directgrp_u8_chain".into(), PrimitiveKind::Hash, "direct-group chain");
+        reg.register_owned("map_directgrp_u16_chain".into(), PrimitiveKind::Hash, "direct-group chain (u16)");
+        // Engine-side primitive instances: the operator kernels and the
+        // extended maps the expression compiler can emit.
+        reg.register_owned("map_uidx_u8_col".into(), PrimitiveKind::Hash, "direct-group start (paper's map_uidx_uchr_col)");
+        reg.register_owned("map_uidx_u16_col".into(), PrimitiveKind::Hash, "direct-group start (u16)");
+        reg.register_owned("map_directgrp_uidx_col_u8_col".into(), PrimitiveKind::Hash, "direct-group chain (paper naming)");
+        reg.register_owned("map_directgrp_uidx_col_u16_col".into(), PrimitiveKind::Hash, "direct-group chain (u16, paper naming)");
+        reg.register_owned("aggr_hashtable_maintain".into(), PrimitiveKind::Aggr, "hash-table probe/insert loop (Fig. 6's 'hash table maintenance')");
+        reg.register_owned("aggr_ordered_boundaries".into(), PrimitiveKind::Aggr, "ordered-aggregation boundary detection");
+        reg.register_owned("sort_permutation".into(), PrimitiveKind::Map, "order-by permutation sort");
+        reg.register_owned("map_fill_const".into(), PrimitiveKind::Map, "constant broadcast");
+        reg.register_owned("map_year_i32_col".into(), PrimitiveKind::Map, "calendar year of days-since-epoch");
+        reg.register_owned("map_contains_str_col_val".into(), PrimitiveKind::Map, "substring containment");
+        reg.register_owned("map_eq_str_col_val".into(), PrimitiveKind::Map, "string equality map");
+        for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "bool"] {
+            for to in ["i32", "i64", "f64", "u32"] {
+                if ty != to {
+                    reg.register_owned(format!("map_cast_{ty}_{to}_col"), PrimitiveKind::Map, "widening cast map (generated)");
+                }
+            }
+        }
+        reg.register(PrimitiveDesc {
+            signature: "map_fused_sub_f64_val_f64_col_mul_f64_col",
+            kind: PrimitiveKind::Compound,
+            doc: "fused (v - a) * b",
+        });
+        reg.register(PrimitiveDesc {
+            signature: "map_fused_add_f64_val_f64_col_mul_f64_col",
+            kind: PrimitiveKind::Compound,
+            doc: "fused (v + a) * b",
+        });
+        reg.register(PrimitiveDesc {
+            signature: "map_fused_mahalanobis_f64_col",
+            kind: PrimitiveKind::Compound,
+            doc: "fused ((a-b)^2)/c",
+        });
+        reg.register(PrimitiveDesc {
+            signature: "aggr_fused_sum_mul_f64_col",
+            kind: PrimitiveKind::Compound,
+            doc: "fused grouped sum(a*b)",
+        });
+        reg
+    }
+
+    fn register(&mut self, desc: PrimitiveDesc) {
+        let prev = self.by_sig.insert(desc.signature, desc);
+        debug_assert!(prev.is_none(), "duplicate primitive signature");
+    }
+
+    fn register_owned(&mut self, sig: String, kind: PrimitiveKind, doc: &'static str) {
+        // Signatures are leaked once at registry construction; the registry
+        // lives for the process lifetime (built once per session).
+        let signature: &'static str = Box::leak(sig.into_boxed_str());
+        self.register(PrimitiveDesc { signature, kind, doc });
+    }
+
+    /// Look up a primitive by signature.
+    pub fn get(&self, signature: &str) -> Option<&PrimitiveDesc> {
+        self.by_sig.get(signature)
+    }
+
+    /// True if `signature` is registered.
+    pub fn contains(&self, signature: &str) -> bool {
+        self.by_sig.contains_key(signature)
+    }
+
+    /// All registered primitives, ordered by signature.
+    pub fn iter(&self) -> impl Iterator<Item = &PrimitiveDesc> {
+        self.by_sig.values()
+    }
+
+    /// Number of registered primitives.
+    pub fn len(&self) -> usize {
+        self.by_sig.len()
+    }
+
+    /// True if the registry is empty (never for `builtin()`).
+    pub fn is_empty(&self) -> bool {
+        self.by_sig.is_empty()
+    }
+
+    /// Count primitives of a given kind.
+    pub fn count_kind(&self, kind: PrimitiveKind) -> usize {
+        self.by_sig.values().filter(|d| d.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_is_large() {
+        let reg = PrimitiveRegistry::builtin();
+        // The paper: "X100 contains hundreds of vectorized primitives".
+        assert!(reg.len() > 200, "only {} primitives registered", reg.len());
+    }
+
+    #[test]
+    fn lookup_known_signatures() {
+        let reg = PrimitiveRegistry::builtin();
+        for sig in [
+            "map_add_f64_col_f64_col",
+            "select_lt_i32_col_val",
+            "aggr_sum_f64_col_u32_col",
+            "map_fetch_u8_col_f64_col",
+            "map_hash_str_col",
+            "map_fused_sub_f64_val_f64_col_mul_f64_col",
+        ] {
+            assert!(reg.contains(sig), "missing {sig}");
+        }
+        assert!(!reg.contains("map_frobnicate_q7_col"));
+    }
+
+    #[test]
+    fn kinds_partition() {
+        let reg = PrimitiveRegistry::builtin();
+        let total: usize = [
+            PrimitiveKind::Map,
+            PrimitiveKind::Select,
+            PrimitiveKind::Aggr,
+            PrimitiveKind::Fetch,
+            PrimitiveKind::Hash,
+            PrimitiveKind::Compound,
+        ]
+        .into_iter()
+        .map(|k| reg.count_kind(k))
+        .sum();
+        assert_eq!(total, reg.len());
+        assert!(reg.count_kind(PrimitiveKind::Select) >= 84);
+        assert_eq!(reg.count_kind(PrimitiveKind::Compound), 4);
+    }
+
+    #[test]
+    fn every_arith_signature_registered() {
+        let reg = PrimitiveRegistry::builtin();
+        for sig in crate::map::ARITH_SIGNATURES {
+            assert!(reg.contains(sig));
+        }
+    }
+}

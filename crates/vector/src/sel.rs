@@ -1,0 +1,147 @@
+//! Selection vectors.
+//!
+//! A selection vector is the paper's central trick for making `Select`
+//! zero-copy: instead of compacting surviving tuples into new contiguous
+//! vectors, a `Select` produces a list of *positions* of qualifying tuples,
+//! and every downstream primitive accepts this list and computes only at
+//! those positions, writing results *at the same positions* in its output
+//! vector (§4.1.1, §4.2).
+
+/// A list of selected positions into a vector of length `n`.
+///
+/// Positions are strictly ascending `u32` indices. An absent selection
+/// vector (`Option<&SelVec>::None` at primitive boundaries) means *all*
+/// positions `0..n` are selected — the fast path the compiler can
+/// loop-pipeline without indirection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    pos: Vec<u32>,
+}
+
+impl SelVec {
+    /// An empty selection vector with capacity for `cap` positions.
+    pub fn with_capacity(cap: usize) -> Self {
+        SelVec { pos: Vec::with_capacity(cap) }
+    }
+
+    /// Build from an explicit position list.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if positions are not strictly ascending.
+    pub fn from_positions(pos: Vec<u32>) -> Self {
+        debug_assert!(pos.windows(2).all(|w| w[0] < w[1]), "positions must be strictly ascending");
+        SelVec { pos }
+    }
+
+    /// The identity selection `0..n` (used in tests; real code passes `None`).
+    pub fn identity(n: usize) -> Self {
+        SelVec { pos: (0..n as u32).collect() }
+    }
+
+    /// Number of selected positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if no position is selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// The selected positions as a slice.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// Clear all positions, keeping the allocation (vectors are reused
+    /// across `next()` calls).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.pos.clear();
+    }
+
+    /// Append a position. Callers must keep positions ascending.
+    #[inline]
+    pub fn push(&mut self, p: u32) {
+        debug_assert!(self.pos.last().is_none_or(|&last| last < p));
+        self.pos.push(p);
+    }
+
+    /// Mutable access to the underlying storage for select-primitives that
+    /// fill the buffer wholesale. The buffer is cleared first.
+    #[inline]
+    pub fn buf_mut(&mut self) -> &mut Vec<u32> {
+        self.pos.clear();
+        &mut self.pos
+    }
+
+    /// Iterate over selected positions as `usize`.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pos.iter().map(|&p| p as usize)
+    }
+
+    /// Selectivity relative to a vector of length `n`.
+    pub fn selectivity(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.pos.len() as f64 / n as f64
+        }
+    }
+}
+
+impl FromIterator<u32> for SelVec {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        SelVec::from_positions(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_all() {
+        let s = SelVec::identity(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.positions(), &[0, 1, 2, 3, 4]);
+        assert!((s.selectivity(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_and_clear_preserve_capacity() {
+        let mut s = SelVec::with_capacity(128);
+        for i in 0..100 {
+            s.push(i * 2);
+        }
+        assert_eq!(s.len(), 100);
+        let cap_before = s.pos.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pos.capacity(), cap_before);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: SelVec = (0u32..10).filter(|x| x % 3 == 0).collect();
+        assert_eq!(s.positions(), &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn selectivity_empty_vector() {
+        let s = SelVec::default();
+        assert_eq!(s.selectivity(0), 0.0);
+        assert_eq!(s.selectivity(100), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn non_ascending_positions_panic() {
+        SelVec::from_positions(vec![3, 1, 2]);
+    }
+}

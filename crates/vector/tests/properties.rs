@@ -1,0 +1,162 @@
+//! Property-based tests for the vectorized primitives.
+//!
+//! The central invariants:
+//! 1. branch and predicated select shapes are observationally identical;
+//! 2. a primitive run under a selection vector equals the dense run
+//!    restricted to the selected positions;
+//! 3. chained selects equal one conjunctive filter;
+//! 4. fused compound primitives equal their chained expansions.
+
+use proptest::prelude::*;
+use x100_vector::map::{self, CmpOp};
+use x100_vector::select::{select_cmp_col_val, SelectStrategy};
+use x100_vector::{aggr, compound, fetch, hash, SelVec};
+
+/// Strategy: a data vector plus a valid ascending selection over it.
+fn data_and_sel() -> impl Strategy<Value = (Vec<i64>, Vec<u32>)> {
+    prop::collection::vec(-1000i64..1000, 0..300).prop_flat_map(|data| {
+        let n = data.len();
+        let mask = prop::collection::vec(prop::bool::ANY, n);
+        (Just(data), mask).prop_map(|(data, mask)| {
+            let sel = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i as u32))
+                .collect::<Vec<_>>();
+            (data, sel)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn branch_equals_predicated((data, _) in data_and_sel(), v in -1000i64..1000) {
+        let mut s1 = SelVec::default();
+        let mut s2 = SelVec::default();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let n1 = select_cmp_col_val(&mut s1, &data, v, op, None, SelectStrategy::Branch);
+            let n2 = select_cmp_col_val(&mut s2, &data, v, op, None, SelectStrategy::Predicated);
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(&s1, &s2);
+        }
+    }
+
+    #[test]
+    fn selected_map_equals_dense_restriction((data, sel) in data_and_sel(), c in -100i64..100) {
+        let n = data.len();
+        let selvec = SelVec::from_positions(sel.clone());
+        // Dense run.
+        let mut dense = vec![0i64; n];
+        map::map_add_i64_col_i64_val(&mut dense, &data, c, None);
+        // Selected run over a poisoned output buffer.
+        let mut sparse = vec![i64::MIN; n];
+        map::map_add_i64_col_i64_val(&mut sparse, &data, c, Some(&selvec));
+        for i in 0..n {
+            if sel.contains(&(i as u32)) {
+                prop_assert_eq!(sparse[i], dense[i]);
+            } else {
+                prop_assert_eq!(sparse[i], i64::MIN, "unselected position written");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_selects_equal_conjunction((data, _) in data_and_sel(), lo in -500i64..0, hi in 0i64..500) {
+        // sel(ge lo) then refine with (lt hi)  ==  filter(lo <= x < hi)
+        let mut s1 = SelVec::default();
+        select_cmp_col_val(&mut s1, &data, lo, CmpOp::Ge, None, SelectStrategy::Branch);
+        let mut s2 = SelVec::default();
+        select_cmp_col_val(&mut s2, &data, hi, CmpOp::Lt, Some(&s1), SelectStrategy::Predicated);
+        let expect: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x >= lo && x < hi).then_some(i as u32))
+            .collect();
+        prop_assert_eq!(s2.positions(), &expect[..]);
+    }
+
+    #[test]
+    fn grouped_sum_equals_scalar_partition(vals in prop::collection::vec(-100i64..100, 1..200), ngroups in 1u32..8) {
+        let grp: Vec<u32> = (0..vals.len() as u32).map(|i| i % ngroups).collect();
+        let mut acc = vec![0i64; ngroups as usize];
+        aggr::aggr_sum_i64_col(&mut acc, &vals, &grp, None);
+        for g in 0..ngroups {
+            let expect: i64 = vals
+                .iter()
+                .zip(grp.iter())
+                .filter(|(_, &gg)| gg == g)
+                .map(|(&v, _)| v)
+                .sum();
+            prop_assert_eq!(acc[g as usize], expect);
+        }
+    }
+
+    #[test]
+    fn fetch_is_index_map(base in prop::collection::vec(any::<i32>(), 1..100), picks in prop::collection::vec(0usize..99, 0..50)) {
+        let idx: Vec<u32> = picks.iter().map(|&p| (p % base.len()) as u32).collect();
+        let mut res = vec![0i32; idx.len()];
+        fetch::map_fetch_u32_col_i32_col(&mut res, &base, &idx, None);
+        for (k, &j) in idx.iter().enumerate() {
+            prop_assert_eq!(res[k], base[j as usize]);
+        }
+    }
+
+    #[test]
+    fn hash_equal_keys_collide_equal(keys in prop::collection::vec(0u32..50, 2..100)) {
+        let mut h = vec![0u64; keys.len()];
+        hash::map_hash_u32_col(&mut h, &keys, None);
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                if keys[i] == keys[j] {
+                    prop_assert_eq!(h[i], h[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directgrp_is_injective_on_domain(a in prop::collection::vec(0u8..7, 1..100), b in prop::collection::vec(0u8..5, 1..100)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut g = vec![0u32; n];
+        hash::map_directgrp_u8_col(&mut g, a, None);
+        hash::map_directgrp_u8_chain(&mut g, b, 5, None);
+        for i in 0..n {
+            prop_assert_eq!(g[i], a[i] as u32 * 5 + b[i] as u32);
+            prop_assert!(g[i] < 35);
+        }
+        // Distinct key pairs get distinct group slots.
+        for i in 0..n {
+            for j in 0..n {
+                if (a[i], b[i]) != (a[j], b[j]) {
+                    prop_assert_ne!(g[i], g[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_equals_chained(v in -10.0f64..10.0,
+                            ab in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..128)) {
+        let a: Vec<f64> = ab.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = ab.iter().map(|p| p.1).collect();
+        let n = a.len();
+        let mut fused = vec![0.0; n];
+        compound::map_fused_sub_f64_val_f64_col_mul_f64_col(&mut fused, v, &a, &b, None);
+        let mut tmp = vec![0.0; n];
+        let mut chained = vec![0.0; n];
+        map::map_sub_f64_val_f64_col(&mut tmp, v, &a, None);
+        map::map_mul_f64_col_f64_col(&mut chained, &tmp, &b, None);
+        for i in 0..n {
+            prop_assert!((fused[i] - chained[i]).abs() <= 1e-9 * (1.0 + chained[i].abs()));
+        }
+    }
+
+    #[test]
+    fn date_roundtrip(days in -20000i32..40000) {
+        let (y, m, d) = x100_vector::date::from_days(days);
+        prop_assert_eq!(x100_vector::date::to_days(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+}

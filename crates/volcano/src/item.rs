@@ -1,0 +1,252 @@
+//! The `Item` expression interpreter.
+//!
+//! MySQL evaluates expressions through a tree of `Item` objects whose
+//! virtual `val()` methods each perform *one* operation per tuple
+//! (paper §3.1): "Item_func_plus::val only performs one addition,
+//! preventing the compiler from creating a pipelined loop", and the
+//! call overhead "must be amortized over only one operation".
+//!
+//! We reproduce that architecture faithfully: boxed trait objects, a
+//! virtual call per node per tuple, `#[inline(never)]` so the optimizer
+//! cannot collapse the interpretation overhead away.
+
+use crate::profile::Counters;
+use crate::record::RowRef;
+use x100_vector::CmpOp;
+
+/// A MySQL-style expression item: one virtual `val()` per tuple.
+pub trait Item {
+    /// Evaluate to a double for the given row.
+    fn val(&self, row: RowRef<'_>, c: &mut Counters) -> f64;
+}
+
+/// A field operand (`Item_field`).
+pub struct ItemField {
+    /// NSM field index.
+    pub field: usize,
+}
+
+impl Item for ItemField {
+    #[inline(never)]
+    fn val(&self, row: RowRef<'_>, c: &mut Counters) -> f64 {
+        c.item_field_val += 1;
+        row.get_f64(self.field, c)
+    }
+}
+
+/// An i32 (date) field evaluated as double.
+pub struct ItemFieldI32 {
+    /// NSM field index.
+    pub field: usize,
+}
+
+impl Item for ItemFieldI32 {
+    #[inline(never)]
+    fn val(&self, row: RowRef<'_>, c: &mut Counters) -> f64 {
+        c.item_field_val += 1;
+        row.get_i32(self.field, c) as f64
+    }
+}
+
+/// A constant (`Item_real`).
+pub struct ItemConst(
+    /// The constant value.
+    pub f64,
+);
+
+impl Item for ItemConst {
+    #[inline(never)]
+    fn val(&self, _row: RowRef<'_>, c: &mut Counters) -> f64 {
+        c.null_flag = false;
+        self.0
+    }
+}
+
+/// `Item_func_plus` / `minus` / `mul` / `div`.
+pub struct ItemFunc {
+    /// Which arithmetic function.
+    pub op: ItemOp,
+    /// Left operand.
+    pub l: Box<dyn Item>,
+    /// Right operand.
+    pub r: Box<dyn Item>,
+}
+
+/// Arithmetic function selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemOp {
+    /// Addition.
+    Plus,
+    /// Subtraction.
+    Minus,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl Item for ItemFunc {
+    #[inline(never)]
+    fn val(&self, row: RowRef<'_>, c: &mut Counters) -> f64 {
+        // NULL propagation, MySQL-style: check the null flag after each
+        // operand evaluation.
+        let l = self.l.val(row, c);
+        if c.null_flag {
+            return 0.0;
+        }
+        let r = self.r.val(row, c);
+        if c.null_flag {
+            return 0.0;
+        }
+        match self.op {
+            ItemOp::Plus => {
+                c.item_func_plus += 1;
+                l + r
+            }
+            ItemOp::Minus => {
+                c.item_func_minus += 1;
+                l - r
+            }
+            ItemOp::Mul => {
+                c.item_func_mul += 1;
+                l * r
+            }
+            ItemOp::Div => {
+                c.item_func_div += 1;
+                l / r
+            }
+        }
+    }
+}
+
+/// A boolean predicate item over one row.
+pub trait CondItem {
+    /// Evaluate the condition for the given row.
+    fn val_bool(&self, row: RowRef<'_>, c: &mut Counters) -> bool;
+}
+
+/// Numeric comparison against the value of two items.
+pub struct ItemCmp {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub l: Box<dyn Item>,
+    /// Right operand.
+    pub r: Box<dyn Item>,
+}
+
+impl CondItem for ItemCmp {
+    #[inline(never)]
+    fn val_bool(&self, row: RowRef<'_>, c: &mut Counters) -> bool {
+        c.item_cmp_val += 1;
+        let l = self.l.val(row, c);
+        if c.null_flag {
+            return false;
+        }
+        let r = self.r.val(row, c);
+        if c.null_flag {
+            return false;
+        }
+        self.op.eval(l, r)
+    }
+}
+
+/// Comparison of an i32 (date) field against a constant — the Q1 WHERE
+/// clause shape.
+pub struct ItemCmpI32Field {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// NSM field index.
+    pub field: usize,
+    /// Literal right-hand side.
+    pub value: i32,
+}
+
+impl CondItem for ItemCmpI32Field {
+    #[inline(never)]
+    fn val_bool(&self, row: RowRef<'_>, c: &mut Counters) -> bool {
+        c.item_cmp_val += 1;
+        let v = row.get_i32(self.field, c);
+        self.op.eval(v, self.value)
+    }
+}
+
+/// Conjunction of conditions (`Item_cond_and`).
+pub struct ItemCondAnd {
+    /// The conjuncts.
+    pub items: Vec<Box<dyn CondItem>>,
+}
+
+impl CondItem for ItemCondAnd {
+    #[inline(never)]
+    fn val_bool(&self, row: RowRef<'_>, c: &mut Counters) -> bool {
+        self.items.iter().all(|i| i.val_bool(row, c))
+    }
+}
+
+/// Helpers for building item trees.
+pub mod build {
+    use super::*;
+
+    /// Field item.
+    pub fn field(i: usize) -> Box<dyn Item> {
+        Box::new(ItemField { field: i })
+    }
+
+    /// Constant item.
+    pub fn constant(v: f64) -> Box<dyn Item> {
+        Box::new(ItemConst(v))
+    }
+
+    /// Arithmetic item.
+    pub fn func(op: ItemOp, l: Box<dyn Item>, r: Box<dyn Item>) -> Box<dyn Item> {
+        Box::new(ItemFunc { op, l, r })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FieldType, RecordTable};
+
+    fn one_row_table() -> RecordTable {
+        let mut t = RecordTable::new(vec![
+            ("price".into(), FieldType::F64),
+            ("discount".into(), FieldType::F64),
+            ("day".into(), FieldType::I32),
+        ]);
+        t.append_row().set_f64(0, 100.0).set_f64(1, 0.1).set_i32(2, 42);
+        t
+    }
+
+    #[test]
+    fn item_tree_evaluates_per_tuple() {
+        let t = one_row_table();
+        let mut c = Counters::default();
+        // price * (1 - discount)
+        let expr = build::func(
+            ItemOp::Mul,
+            build::field(0),
+            build::func(ItemOp::Minus, build::constant(1.0), build::field(1)),
+        );
+        let v = expr.val(t.row(0), &mut c);
+        assert!((v - 90.0).abs() < 1e-12);
+        assert_eq!(c.item_func_mul, 1);
+        assert_eq!(c.item_func_minus, 1);
+        assert_eq!(c.item_field_val, 2);
+        assert_eq!(c.rec_get_nth_field, 2);
+    }
+
+    #[test]
+    fn conditions() {
+        let t = one_row_table();
+        let mut c = Counters::default();
+        let cond = ItemCmpI32Field { op: CmpOp::Le, field: 2, value: 42 };
+        assert!(cond.val_bool(t.row(0), &mut c));
+        let cond2 = ItemCmpI32Field { op: CmpOp::Lt, field: 2, value: 42 };
+        assert!(!cond2.val_bool(t.row(0), &mut c));
+        let both = ItemCondAnd { items: vec![Box::new(cond), Box::new(cond2)] };
+        assert!(!both.val_bool(t.row(0), &mut c));
+        assert!(c.item_cmp_val >= 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # volcano — the tuple-at-a-time baseline engine
+//!
+//! A faithful miniature of the architecture §3.1 of the paper dissects:
+//! NSM record storage with per-call field navigation
+//! ([`record::RecordTable`]), a MySQL-style interpreted `Item`
+//! expression tree with one virtual call per operation per tuple
+//! ([`item`]), Volcano iterators producing one tuple per `next()`
+//! ([`exec`]), and gprof-style per-routine call accounting
+//! ([`profile::Counters`]) that reproduces Table 2's headline: the
+//! query's actual work is a tiny fraction of executed routine calls.
+
+pub mod exec;
+pub mod item;
+pub mod profile;
+pub mod record;
+
+pub use exec::{AggKind, AggResult, AggSpec, HashAggregate, ScanSelect, TupleOp};
+pub use item::{build, CondItem, Item, ItemOp};
+pub use profile::Counters;
+pub use record::{FieldType, RecordTable};

@@ -1,0 +1,55 @@
+//! TPC-H Query 1 with the paper's Table 5-style primitive trace, plus
+//! the same query on the three baseline engines for comparison.
+//!
+//! ```sh
+//! cargo run --release --example tpch_q1_trace
+//! ```
+
+use monetdb_x100::engine::session::{execute, ExecOptions};
+use monetdb_x100::tpch::gen::{generate_lineitem_q1, GenConfig};
+use monetdb_x100::tpch::queries::q01;
+use std::time::Instant;
+
+fn main() {
+    let sf = 0.05;
+    println!("generating lineitem at SF={sf}…");
+    let li = generate_lineitem_q1(&GenConfig::new(sf));
+    let hi = q01::q1_hi_date();
+
+    // X100: run once cold, then traced.
+    let db = monetdb_x100::tpch::build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+    let t0 = Instant::now();
+    let (res, _) = execute(&db, &plan, &ExecOptions::default()).expect("q1");
+    let x100_t = t0.elapsed();
+    println!("\nX100 answer ({} groups):", res.num_rows());
+    println!("{}", res.to_table_string());
+
+    let (_, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("q1 traced");
+    println!("--- X100 primitive trace (paper Table 5) ---");
+    println!("{}", prof.render_table5());
+
+    // MIL with its statement trace (paper Table 3).
+    let bats = monetdb_x100::tpch::mil_bats(&li);
+    let t0 = Instant::now();
+    let (_, mil_session) = q01::mil_q1(&bats, hi);
+    let mil_t = t0.elapsed();
+    println!("--- MonetDB/MIL statement trace (paper Table 3) ---");
+    println!("{}", mil_session.render_table3());
+
+    // Volcano with its routine counters (paper Table 2).
+    let vt = monetdb_x100::tpch::build_volcano_lineitem(&li);
+    let t0 = Instant::now();
+    let (_, counters) = q01::volcano_q1(&vt, hi);
+    let volcano_t = t0.elapsed();
+    println!("--- tuple-at-a-time routine calls (paper Table 2) ---");
+    for (name, calls) in counters.rows() {
+        println!("{calls:>12}  {name}");
+    }
+    println!(
+        "\nwork fraction of calls: {:.1}%  (the paper's MySQL: <10% of time)",
+        100.0 * counters.work_fraction()
+    );
+
+    println!("\ntimes: volcano {volcano_t:?}, MIL {mil_t:?}, X100 {x100_t:?}");
+}
