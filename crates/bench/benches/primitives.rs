@@ -21,14 +21,25 @@ fn bench_primitives(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
 
     g.bench_function("map_add_f64_col_f64_col", |bch| {
-        bch.iter(|| map::map_add_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None))
+        bch.iter(|| {
+            map::map_add_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None)
+        })
     });
     g.bench_function("map_mul_f64_col_f64_col", |bch| {
-        bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None))
+        bch.iter(|| {
+            map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), None)
+        })
     });
     g.bench_function("map_mul_under_half_selection", |bch| {
         let sel = SelVec::from_positions((0..N as u32).step_by(2).collect());
-        bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), Some(&sel)))
+        bch.iter(|| {
+            map::map_mul_f64_col_f64_col(
+                black_box(&mut res),
+                black_box(&a),
+                black_box(&b),
+                Some(&sel),
+            )
+        })
     });
 
     let base: Vec<f64> = data_f64(3);
@@ -37,7 +48,14 @@ fn bench_primitives(c: &mut Criterion) {
         (0..N).map(|_| rng.gen_range(0..N as u32)).collect()
     };
     g.bench_function("map_fetch_u32_col_f64_col", |bch| {
-        bch.iter(|| fetch::map_fetch_u32_col_f64_col(black_box(&mut res), black_box(&base), black_box(&idx), None))
+        bch.iter(|| {
+            fetch::map_fetch_u32_col_f64_col(
+                black_box(&mut res),
+                black_box(&base),
+                black_box(&idx),
+                None,
+            )
+        })
     });
     let codes: Vec<u8> = {
         let mut rng = StdRng::seed_from_u64(5);
@@ -45,7 +63,14 @@ fn bench_primitives(c: &mut Criterion) {
     };
     let dict: Vec<f64> = (0..11).map(|i| i as f64 / 100.0).collect();
     g.bench_function("map_fetch_u8_col_f64_col (enum decode)", |bch| {
-        bch.iter(|| fetch::fetch_u8_codes(black_box(&mut res), black_box(&dict), black_box(&codes), None))
+        bch.iter(|| {
+            fetch::fetch_u8_codes(
+                black_box(&mut res),
+                black_box(&dict),
+                black_box(&codes),
+                None,
+            )
+        })
     });
 
     let keys: Vec<i64> = {
@@ -60,7 +85,9 @@ fn bench_primitives(c: &mut Criterion) {
     let grp: Vec<u32> = codes.iter().map(|&x| x as u32).collect();
     let mut acc = vec![0.0f64; 16];
     g.bench_function("aggr_sum_f64_col (16 groups)", |bch| {
-        bch.iter(|| aggr::aggr_sum_f64_col(black_box(&mut acc), black_box(&a), black_box(&grp), None))
+        bch.iter(|| {
+            aggr::aggr_sum_f64_col(black_box(&mut acc), black_box(&a), black_box(&grp), None)
+        })
     });
     g.finish();
 }

@@ -19,11 +19,15 @@ fn bench_q1(c: &mut Criterion) {
     g.bench_function("volcano_tuple_at_a_time", |b| {
         b.iter(|| q01::volcano_q1(black_box(&volcano_t), hi))
     });
-    g.bench_function("monetdb_mil", |b| b.iter(|| q01::mil_q1(black_box(&bats), hi)));
+    g.bench_function("monetdb_mil", |b| {
+        b.iter(|| q01::mil_q1(black_box(&bats), hi))
+    });
     g.bench_function("x100_vectorized", |b| {
         b.iter(|| execute(black_box(&db), black_box(&plan), &ExecOptions::default()).expect("q1"))
     });
-    g.bench_function("hardcoded_udf", |b| b.iter(|| tpch::run_hardcoded_q1(black_box(&li), hi)));
+    g.bench_function("hardcoded_udf", |b| {
+        b.iter(|| tpch::run_hardcoded_q1(black_box(&li), hi))
+    });
     g.finish();
 }
 

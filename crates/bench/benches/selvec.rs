@@ -23,23 +23,47 @@ fn bench_selvec(c: &mut Criterion) {
     let mut g = c.benchmark_group("selvec");
     g.throughput(Throughput::Elements(N as u64));
     for pct in [10usize, 50, 90, 99] {
-        let sel = SelVec::from_positions((0..N as u32).filter(|&i| (i as usize % 100) < pct).collect());
-        g.bench_with_input(BenchmarkId::new("selection_vector", pct), &sel, |bch, sel| {
-            bch.iter(|| map::map_mul_f64_col_f64_col(black_box(&mut res), black_box(&a), black_box(&b), Some(sel)))
-        });
-        g.bench_with_input(BenchmarkId::new("compact_then_dense", pct), &sel, |bch, sel| {
-            bch.iter(|| {
-                // Copy survivors into contiguous vectors, then dense map.
-                ca.clear();
-                cb.clear();
-                for i in sel.iter() {
-                    ca.push(a[i]);
-                    cb.push(b[i]);
-                }
-                let k = ca.len();
-                map::map_mul_f64_col_f64_col(black_box(&mut res[..k]), black_box(&ca), black_box(&cb), None)
-            })
-        });
+        let sel = SelVec::from_positions(
+            (0..N as u32)
+                .filter(|&i| (i as usize % 100) < pct)
+                .collect(),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("selection_vector", pct),
+            &sel,
+            |bch, sel| {
+                bch.iter(|| {
+                    map::map_mul_f64_col_f64_col(
+                        black_box(&mut res),
+                        black_box(&a),
+                        black_box(&b),
+                        Some(sel),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compact_then_dense", pct),
+            &sel,
+            |bch, sel| {
+                bch.iter(|| {
+                    // Copy survivors into contiguous vectors, then dense map.
+                    ca.clear();
+                    cb.clear();
+                    for i in sel.iter() {
+                        ca.push(a[i]);
+                        cb.push(b[i]);
+                    }
+                    let k = ca.len();
+                    map::map_mul_f64_col_f64_col(
+                        black_box(&mut res[..k]),
+                        black_box(&ca),
+                        black_box(&cb),
+                        None,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -17,13 +17,21 @@ fn bench_summary(c: &mut Criterion) {
         TableBuilder::new("t")
             .column("d", ColumnData::I32((0..N as i32).collect()))
             .with_summary()
-            .column("v", ColumnData::F64((0..N).map(|i| (i % 97) as f64).collect()))
+            .column(
+                "v",
+                ColumnData::F64((0..N).map(|i| (i % 97) as f64).collect()),
+            )
             .build(),
     );
-    let pred = and(ge(col("d"), lit_i32(500_000)), lt(col("d"), lit_i32(510_000)));
+    let pred = and(
+        ge(col("d"), lit_i32(500_000)),
+        lt(col("d"), lit_i32(510_000)),
+    );
     let agg = vec![AggExpr::sum("s", col("v")), AggExpr::count("n")];
 
-    let unpruned = Plan::scan("t", &["d", "v"]).select(pred.clone()).aggr(vec![], agg.clone());
+    let unpruned = Plan::scan("t", &["d", "v"])
+        .select(pred.clone())
+        .aggr(vec![], agg.clone());
     let pruned = Plan::scan("t", &["d", "v"])
         .pruned("d", Some(500_000), Some(509_999))
         .select(pred)

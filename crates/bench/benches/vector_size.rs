@@ -15,7 +15,12 @@ fn bench_vector_size(c: &mut Criterion) {
     for vs in [16usize, 128, 1024, 8192, 65536] {
         g.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, &vs| {
             b.iter(|| {
-                execute(black_box(&db), black_box(&plan), &ExecOptions::with_vector_size(vs)).expect("q1")
+                execute(
+                    black_box(&db),
+                    black_box(&plan),
+                    &ExecOptions::with_vector_size(vs),
+                )
+                .expect("q1")
             })
         });
     }

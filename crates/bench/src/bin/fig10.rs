@@ -24,10 +24,24 @@ fn main() {
     let bats = tpch::mil_bats(&li);
     let (mil_t, _) = time_best_of(reps, || q01::mil_q1(&bats, q01::q1_hi_date()));
 
-    println!("Q1 vs vector size (SF={sf}, {} tuples, best of {reps})\n", li.len());
+    println!(
+        "Q1 vs vector size (SF={sf}, {} tuples, best of {reps})\n",
+        li.len()
+    );
     println!("{:>12} {:>12}", "vector size", "time (s)");
     let sizes = [
-        1usize, 4, 16, 64, 256, 1024, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+        1usize,
+        4,
+        16,
+        64,
+        256,
+        1024,
+        4096,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
     ];
     for &vs in &sizes {
         let (d, res) = time_best_of(reps, || {
@@ -37,7 +51,11 @@ fn main() {
         assert_eq!(res.num_rows(), 4);
         println!("{:>12} {:>12.4}", vs, secs(d));
     }
-    println!("{:>12} {:>12.4}   (MonetDB/MIL reference)", "MIL", secs(mil_t));
+    println!(
+        "{:>12} {:>12.4}   (MonetDB/MIL reference)",
+        "MIL",
+        secs(mil_t)
+    );
     println!("\n(paper Fig. 10: optimum near 1K, all of 128..8K good; vector");
     println!(" size 1 ~2 orders of magnitude slower; 4M converges to MIL)");
 }

@@ -21,7 +21,10 @@ fn main() {
     let mut out: Vec<u32> = Vec::with_capacity(n);
 
     println!("Selection micro-benchmark: n={n}, col uniform over [0,100) (msec, best of {reps})\n");
-    println!("{:>12} {:>14} {:>14} {:>12}", "selectivity%", "branch (ms)", "predicated", "branch/pred");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "selectivity%", "branch (ms)", "predicated", "branch/pred"
+    );
     for x in (0..=100).step_by(10) {
         let (tb, cb) = time_best_of(reps, || sel_lt_i32_col_i32_val_branch(&mut out, &src, x));
         let (tp, cp) = time_best_of(reps, || sel_lt_i32_col_i32_val_pred(&mut out, &src, x));

@@ -1,0 +1,111 @@
+//! Morsel-driven parallel TPC-H Q1: thread-count sweep (beyond the paper).
+//!
+//! Runs Q1 at a given scale factor with threads ∈ {1, 2, 4, 8}, checks
+//! every parallel answer against the sequential one, and writes a
+//! machine-readable `BENCH_parallel.json` next to the working directory.
+//!
+//! The speedup you observe is bounded by the cores actually available:
+//! on a single-core host every configuration degenerates to ~1×, so the
+//! JSON records `available_parallelism` alongside the timings.
+//!
+//! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536]`
+
+use std::time::Instant;
+use tpch::gen::{generate_lineitem_q1, GenConfig};
+use tpch::queries::q01;
+use x100_bench::{arg_f64, arg_usize, secs};
+use x100_engine::session::{execute, ExecOptions};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Q1 rows match: keys and counts exact, float sums within the
+/// summation-order tolerance (parallel merge adds in a different order).
+fn q1_matches(a: &[tpch::Q1Row], b: &[tpch::Q1Row]) -> bool {
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            (x.returnflag, x.linestatus, x.count_order)
+                == (y.returnflag, y.linestatus, y.count_order)
+                && close(x.sum_qty, y.sum_qty)
+                && close(x.sum_base_price, y.sum_base_price)
+                && close(x.sum_disc_price, y.sum_disc_price)
+                && close(x.sum_charge, y.sum_charge)
+                && close(x.avg_qty, y.avg_qty)
+                && close(x.avg_price, y.avg_price)
+                && close(x.avg_disc, y.avg_disc)
+        })
+}
+
+fn main() {
+    let sf = arg_f64("--sf", 0.1);
+    let reps = arg_usize("--reps", 5);
+    let morsel = arg_usize("--morsel", x100_engine::DEFAULT_MORSEL_SIZE);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let li = generate_lineitem_q1(&GenConfig::new(sf));
+    let rows = li.len();
+    let db = tpch::build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+
+    let (seq, _) = execute(&db, &plan, &ExecOptions::default()).expect("sequential q1");
+    let reference = q01::rows_from_x100(&seq);
+
+    println!("TPC-H Q1, SF {sf} ({rows} rows), morsel {morsel}, {cores} core(s) available");
+    println!(
+        "{:>8} {:>12} {:>9}  check",
+        "threads", "median (s)", "speedup"
+    );
+
+    let mut results: Vec<(usize, f64, bool)> = Vec::new();
+    let mut base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions::default()
+            .parallel(threads)
+            .with_morsel_size(morsel);
+        let mut times = Vec::with_capacity(reps);
+        let mut ok = true;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (res, _) = execute(&db, &plan, &opts).expect("parallel q1");
+            times.push(secs(t0.elapsed()));
+            ok &= q1_matches(&q01::rows_from_x100(&res), &reference);
+        }
+        let med = median(times);
+        if threads == 1 {
+            base = med;
+        }
+        let speedup = if med > 0.0 { base / med } else { 0.0 };
+        println!(
+            "{threads:>8} {med:>12.6} {speedup:>8.2}x  {}",
+            if ok { "match" } else { "MISMATCH" }
+        );
+        results.push((threads, med, ok));
+    }
+
+    // Hand-rolled JSON — the workspace deliberately has no serde.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"q1_parallel\",\n  \"sf\": {sf},\n"));
+    json.push_str(&format!(
+        "  \"rows\": {rows},\n  \"reps\": {reps},\n  \"morsel_size\": {morsel},\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, (threads, med, ok)) in results.iter().enumerate() {
+        let speedup = if *med > 0.0 { base / med } else { 0.0 };
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"median_s\": {med:.6}, \"speedup\": {speedup:.3}, \"matches_sequential\": {ok}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+
+    if results.iter().any(|(_, _, ok)| !ok) {
+        std::process::exit(1);
+    }
+}

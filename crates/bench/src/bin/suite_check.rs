@@ -16,15 +16,24 @@ fn main() {
     let data = generate(&GenConfig::new(sf));
     let db = tpch::build_x100_db(&data);
     println!("generate+load SF={sf}: {:?}", t0.elapsed());
-    let opts = if profile { ExecOptions::default().profiled() } else { ExecOptions::default() };
+    let opts = if profile {
+        ExecOptions::default().profiled()
+    } else {
+        ExecOptions::default()
+    };
     for (q, spec) in all_specs() {
         let t0 = Instant::now();
         let rows = match spec {
             QuerySpec::Single(p) => execute(&db, &p, &opts).expect("runs").0.num_rows(),
             QuerySpec::TwoPhase(tp) => {
                 let (r1, _) = execute(&db, &tp.phase1, &opts).expect("phase 1");
-                let scalar = r1.value(0, r1.col_index(tp.scalar_col).expect("scalar")).as_f64();
-                execute(&db, &(tp.phase2)(scalar), &opts).expect("phase 2").0.num_rows()
+                let scalar = r1
+                    .value(0, r1.col_index(tp.scalar_col).expect("scalar"))
+                    .as_f64();
+                execute(&db, &(tp.phase2)(scalar), &opts)
+                    .expect("phase 2")
+                    .0
+                    .num_rows()
             }
         };
         println!("q{q:<2} {:>10.2?}  ({rows} rows)", t0.elapsed());

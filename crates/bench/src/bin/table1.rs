@@ -46,10 +46,19 @@ fn main() {
     rows.push(("hard-coded", secs(d), r.len()));
 
     let x100_time = rows[2].1;
-    println!("{:<28} {:>10} {:>12} {:>10}", "engine", "time (s)", "sec/(SF=1)", "vs X100");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "engine", "time (s)", "sec/(SF=1)", "vs X100"
+    );
     for (name, t, groups) in &rows {
         assert_eq!(*groups, 4, "{name} returned {groups} groups");
-        println!("{:<28} {:>10.4} {:>12.3} {:>9.1}x", name, t, t / sf, t / x100_time);
+        println!(
+            "{:<28} {:>10.4} {:>12.3} {:>9.1}x",
+            name,
+            t,
+            t / sf,
+            t / x100_time
+        );
     }
     println!("\n(paper, AthlonMP @SF=1: MySQL 26.6s, DBMS \"X\" 28.1s, MIL 3.7s,");
     println!(" X100 0.50s, hard-coded 0.22s — expect the same ordering and");

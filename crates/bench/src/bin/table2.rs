@@ -17,7 +17,10 @@ use x100_bench::arg_sf;
 fn calibrate() -> Vec<(&'static str, f64)> {
     use volcano::item::{build, ItemOp};
     use volcano::{Counters, FieldType, RecordTable};
-    let mut t = RecordTable::new(vec![("a".into(), FieldType::F64), ("c".into(), FieldType::Char)]);
+    let mut t = RecordTable::new(vec![
+        ("a".into(), FieldType::F64),
+        ("c".into(), FieldType::Char),
+    ]);
     for i in 0..4096 {
         t.append_row().set_f64(0, i as f64).set_char(1, b'A');
     }
@@ -70,7 +73,11 @@ fn main() {
     let total = t0.elapsed();
 
     let cal = calibrate();
-    let cost = |name: &str| cal.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, c)| *c);
+    let cost = |name: &str| {
+        cal.iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, c)| *c)
+    };
     let mut rows: Vec<(&str, u64, f64)> = counters
         .rows()
         .into_iter()
@@ -79,8 +86,15 @@ fn main() {
     let est_total: f64 = rows.iter().map(|r| r.2).sum();
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
 
-    println!("Tuple-at-a-time Q1 trace (SF={sf}, {} tuples, wall {:.3}s)\n", li.len(), total.as_secs_f64());
-    println!("{:>6} {:>6} {:>12}  routine  (est. shares from calibration)", "cum.%", "excl.%", "calls");
+    println!(
+        "Tuple-at-a-time Q1 trace (SF={sf}, {} tuples, wall {:.3}s)\n",
+        li.len(),
+        total.as_secs_f64()
+    );
+    println!(
+        "{:>6} {:>6} {:>12}  routine  (est. shares from calibration)",
+        "cum.%", "excl.%", "calls"
+    );
     let mut cum = 0.0;
     for (name, calls, est_ns) in &rows {
         let pct = 100.0 * est_ns / est_total;
@@ -88,7 +102,10 @@ fn main() {
         println!("{cum:>6.1} {pct:>6.1} {calls:>12}  {name}");
     }
     let work = 100.0 * counters.work_fraction();
-    println!("\nboldface work routines (+,-,*,SUM/AVG updates): {:.1}% of calls", work);
+    println!(
+        "\nboldface work routines (+,-,*,SUM/AVG updates): {:.1}% of calls",
+        work
+    );
 
     // The paper's headline: the *pure computational work* is a tiny
     // fraction of total time — even inside `Item_func_plus::val`, only

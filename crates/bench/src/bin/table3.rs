@@ -41,5 +41,8 @@ fn main() {
     println!("\nSummary (paper: SF=1 stuck at ~500MB/s; SF=0.001 >1.5GB/s, ~2x faster/tuple):");
     println!("  SF={sf:<8} total {big_ms:>9.1} ms   avg bandwidth {big_bw:>8.0} MB/s");
     println!("  SF={sf_small:<8} total {small_ms:>9.1} ms   avg bandwidth {small_bw:>8.0} MB/s");
-    println!("  bandwidth ratio (cache/memory): {:.2}x", small_bw / big_bw);
+    println!(
+        "  bandwidth ratio (cache/memory): {:.2}x",
+        small_bw / big_bw
+    );
 }

@@ -42,20 +42,33 @@ fn main() {
         mil_bytes as f64 / x100_bytes as f64,
     );
 
-    println!("{:>4} {:>14} {:>14} {:>10}   (paper @SF=1: MIL/X100 ratios 5-250x)", "Q", "MonetDB/MIL", "MonetDB/X100", "MIL/X100");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}   (paper @SF=1: MIL/X100 ratios 5-250x)",
+        "Q", "MonetDB/MIL", "MonetDB/X100", "MIL/X100"
+    );
     let mut geo = 1.0f64;
     let mut n = 0u32;
     let opts = ExecOptions::default();
     for (q, spec) in all_specs() {
         let (mil_t, mil_rows) =
             time_best_of(reps, || run_mil(&db, &spec).expect("mil run").row_strings());
-        let (x_t, x_rows) =
-            time_best_of(reps, || run_x100(&db, &spec, &opts).expect("x100 run").row_strings());
+        let (x_t, x_rows) = time_best_of(reps, || {
+            run_x100(&db, &spec, &opts).expect("x100 run").row_strings()
+        });
         assert_eq!(mil_rows, x_rows, "q{q}: engines disagree");
         let ratio = secs(mil_t) / secs(x_t);
         geo *= ratio;
         n += 1;
-        println!("{:>4} {:>14.4} {:>14.4} {:>9.1}x", q, secs(mil_t), secs(x_t), ratio);
+        println!(
+            "{:>4} {:>14.4} {:>14.4} {:>9.1}x",
+            q,
+            secs(mil_t),
+            secs(x_t),
+            ratio
+        );
     }
-    println!("\ngeometric mean speedup X100 over MIL over all 22 queries: {:.1}x", geo.powf(1.0 / n as f64));
+    println!(
+        "\ngeometric mean speedup X100 over MIL over all 22 queries: {:.1}x",
+        geo.powf(1.0 / n as f64)
+    );
 }

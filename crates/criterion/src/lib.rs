@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the API surface the workspace's `harness = false` benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `throughput` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: a short warm-up, then batches
+//! of iterations timed with `std::time::Instant` until a per-benchmark
+//! wall-clock budget is spent; the median batch time is reported as
+//! ns/iter (plus derived element throughput when set). No statistics
+//! machinery, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many items.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Two-part benchmark name: function plus parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Number of timed samples to collect (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(&id.to_string(), &mut |b| f(b));
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.id, &mut |b| f(b, input));
+    }
+
+    /// End the group (parity with criterion; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let Some(median) = b.median_ns() else {
+            eprintln!("{}/{id:<40} (no samples)", self.name);
+            return;
+        };
+        let mut line = format!("{}/{id}: {} ns/iter", self.name, fmt_thousands(median));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0 => {
+                let rate = n as f64 / (median as f64 * 1e-9) / 1e6;
+                line.push_str(&format!(" ({rate:.1} Melem/s)"));
+            }
+            Some(Throughput::Bytes(n)) if median > 0 => {
+                let rate = n as f64 / (median as f64 * 1e-9) / 1e6;
+                line.push_str(&format!(" ({rate:.1} MB/s)"));
+            }
+            _ => {}
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Collects timed samples of the closure under test.
+pub struct Bencher {
+    samples: Vec<u64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called in warm-up plus `sample_size` timed
+    /// batches sized to a total budget of ~300 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(30) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let budget_ns = 300_000_000u64;
+        let iters_per_sample =
+            (budget_ns / self.sample_size as u64 / per_iter.max(1)).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as u64 / iters_per_sample);
+        }
+    }
+
+    fn median_ns(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        Some(s[s.len() / 2])
+    }
+}
+
+fn fmt_thousands(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if n < 1000 {
+            parts.push(n.to_string());
+            break;
+        }
+        parts.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+/// Declare a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("branch", 50).to_string(), "branch/50");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_thousands(5), "5");
+        assert_eq!(fmt_thousands(1_234), "1,234");
+        assert_eq!(fmt_thousands(12_345_678), "12,345,678");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut g = Criterion::default().benchmark_group("t");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+        g.finish();
+    }
+}

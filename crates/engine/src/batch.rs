@@ -25,7 +25,10 @@ pub struct OutField {
 impl OutField {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
-        OutField { name: name.into(), ty }
+        OutField {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -89,7 +92,11 @@ pub struct VecPool {
 impl VecPool {
     /// A pool producing vectors of `ty` with capacity `cap`.
     pub fn new(ty: ScalarType, cap: usize) -> Self {
-        VecPool { slot: None, ty, cap }
+        VecPool {
+            slot: None,
+            ty,
+            cap,
+        }
     }
 
     /// The vector type this pool produces.

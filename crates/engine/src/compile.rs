@@ -32,17 +32,52 @@ pub enum Src {
 #[derive(Debug, Clone)]
 pub enum Instr {
     /// `dst = l ⊕ r` (column ⊕ column).
-    ArithCC { op: ArithOp, ty: ScalarType, l: Src, r: Src, dst: u16 },
+    ArithCC {
+        op: ArithOp,
+        ty: ScalarType,
+        l: Src,
+        r: Src,
+        dst: u16,
+    },
     /// `dst = l ⊕ v` (column ⊕ constant).
-    ArithCV { op: ArithOp, ty: ScalarType, l: Src, v: Value, dst: u16 },
+    ArithCV {
+        op: ArithOp,
+        ty: ScalarType,
+        l: Src,
+        v: Value,
+        dst: u16,
+    },
     /// `dst = v ⊕ r` (constant ⊕ column).
-    ArithVC { op: ArithOp, ty: ScalarType, v: Value, r: Src, dst: u16 },
+    ArithVC {
+        op: ArithOp,
+        ty: ScalarType,
+        v: Value,
+        r: Src,
+        dst: u16,
+    },
     /// `dst = l ⊙ r` (boolean result).
-    CmpCC { op: CmpOp, ty: ScalarType, l: Src, r: Src, dst: u16 },
+    CmpCC {
+        op: CmpOp,
+        ty: ScalarType,
+        l: Src,
+        r: Src,
+        dst: u16,
+    },
     /// `dst = l ⊙ v` (boolean result).
-    CmpCV { op: CmpOp, ty: ScalarType, l: Src, v: Value, dst: u16 },
+    CmpCV {
+        op: CmpOp,
+        ty: ScalarType,
+        l: Src,
+        v: Value,
+        dst: u16,
+    },
     /// `dst = (l == v)` or `!=` for string columns.
-    StrEqCV { l: Src, v: String, negate: bool, dst: u16 },
+    StrEqCV {
+        l: Src,
+        v: String,
+        negate: bool,
+        dst: u16,
+    },
     /// `dst = l AND r`.
     And { l: Src, r: Src, dst: u16 },
     /// `dst = l OR r`.
@@ -50,7 +85,12 @@ pub enum Instr {
     /// `dst = NOT s`.
     Not { s: Src, dst: u16 },
     /// `dst = cast(s)`.
-    Cast { from: ScalarType, to: ScalarType, s: Src, dst: u16 },
+    Cast {
+        from: ScalarType,
+        to: ScalarType,
+        s: Src,
+        dst: u16,
+    },
     /// `dst = v` broadcast.
     Fill { v: Value, dst: u16 },
     /// Compound: `dst = (v - a) * b` in one loop.
@@ -67,7 +107,8 @@ pub enum Instr {
 #[derive(Debug)]
 pub struct ExprProg {
     instrs: Vec<(Instr, String)>,
-    #[allow(dead_code)] reg_types: Vec<ScalarType>,
+    #[allow(dead_code)]
+    reg_types: Vec<ScalarType>,
     regs: Vec<Vector>,
     result: Src,
     ty: ScalarType,
@@ -99,7 +140,9 @@ impl std::error::Error for PlanError {}
 /// Numeric promotion rank (i32-class < i64-class < f64).
 fn rank(ty: ScalarType) -> Option<u8> {
     match ty {
-        ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::U8 | ScalarType::U16 => Some(1),
+        ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::U8 | ScalarType::U16 => {
+            Some(1)
+        }
         ScalarType::I64 | ScalarType::U32 => Some(2),
         ScalarType::F64 => Some(3),
         _ => None,
@@ -118,7 +161,8 @@ fn rank_type(r: u8) -> ScalarType {
 struct Lowering<'a> {
     fields: &'a [OutField],
     instrs: Vec<(Instr, String)>,
-    #[allow(dead_code)] reg_types: Vec<ScalarType>,
+    #[allow(dead_code)]
+    reg_types: Vec<ScalarType>,
     compound: bool,
 }
 
@@ -143,18 +187,47 @@ impl<'a> Lowering<'a> {
         }
         let ok = matches!(
             (from, ty),
-            (ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::U8 | ScalarType::U16 | ScalarType::U32 | ScalarType::I64, ScalarType::I64)
-                | (ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::U8 | ScalarType::U16, ScalarType::I32)
-                | (ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::U8 | ScalarType::U16 | ScalarType::U32 | ScalarType::I64, ScalarType::F64)
-                | (ScalarType::U8 | ScalarType::U16, ScalarType::U32)
+            (
+                ScalarType::I8
+                    | ScalarType::I16
+                    | ScalarType::I32
+                    | ScalarType::U8
+                    | ScalarType::U16
+                    | ScalarType::U32
+                    | ScalarType::I64,
+                ScalarType::I64
+            ) | (
+                ScalarType::I8
+                    | ScalarType::I16
+                    | ScalarType::I32
+                    | ScalarType::U8
+                    | ScalarType::U16,
+                ScalarType::I32
+            ) | (
+                ScalarType::I8
+                    | ScalarType::I16
+                    | ScalarType::I32
+                    | ScalarType::U8
+                    | ScalarType::U16
+                    | ScalarType::U32
+                    | ScalarType::I64,
+                ScalarType::F64
+            ) | (ScalarType::U8 | ScalarType::U16, ScalarType::U32)
                 | (ScalarType::Bool, ScalarType::I64 | ScalarType::F64)
         );
         if !ok {
-            return Err(PlanError::TypeMismatch(format!("cannot cast {from} to {ty}")));
+            return Err(PlanError::TypeMismatch(format!(
+                "cannot cast {from} to {ty}"
+            )));
         }
         let dst = self.alloc(ty);
         self.instrs.push((
-            Instr::Cast { from, to: ty, s, dst },
+            Instr::Cast {
+                from,
+                to: ty,
+                s,
+                dst,
+            },
             format!("map_cast_{}_{}_col", from.sig_name(), ty.sig_name()),
         ));
         Ok(Src::Reg(dst))
@@ -162,20 +235,23 @@ impl<'a> Lowering<'a> {
 
     /// Coerce a literal to `ty`.
     fn coerce_value(v: &Value, ty: ScalarType) -> Result<Value, PlanError> {
-        let out = match ty {
-            ScalarType::F64 => Value::F64(v.as_f64()),
-            ScalarType::I64 => Value::I64(v.as_i64()),
-            ScalarType::I32 => Value::I32(i32::try_from(v.as_i64()).map_err(|_| {
-                PlanError::TypeMismatch(format!("literal {v} out of i32 range"))
-            })?),
-            other => {
-                if v.scalar_type() == other {
-                    v.clone()
-                } else {
-                    return Err(PlanError::TypeMismatch(format!("literal {v} is not {other}")));
+        let out =
+            match ty {
+                ScalarType::F64 => Value::F64(v.as_f64()),
+                ScalarType::I64 => Value::I64(v.as_i64()),
+                ScalarType::I32 => Value::I32(i32::try_from(v.as_i64()).map_err(|_| {
+                    PlanError::TypeMismatch(format!("literal {v} out of i32 range"))
+                })?),
+                other => {
+                    if v.scalar_type() == other {
+                        v.clone()
+                    } else {
+                        return Err(PlanError::TypeMismatch(format!(
+                            "literal {v} is not {other}"
+                        )));
+                    }
                 }
-            }
-        };
+            };
         Ok(out)
     }
 
@@ -208,7 +284,8 @@ impl<'a> Lowering<'a> {
             Expr::Not(x) => {
                 let s = self.lower_bool(x)?;
                 let dst = self.alloc(ScalarType::Bool);
-                self.instrs.push((Instr::Not { s, dst }, "map_not_bool_col".to_owned()));
+                self.instrs
+                    .push((Instr::Not { s, dst }, "map_not_bool_col".to_owned()));
                 Ok((Lowered::Src(Src::Reg(dst)), ScalarType::Bool))
             }
             Expr::Cast(ty, x) => {
@@ -231,12 +308,15 @@ impl<'a> Lowering<'a> {
                 }
                 match lx {
                     Lowered::Const(v) => Ok((
-                        Lowered::Const(Value::I32(x100_vector::date::from_days(v.as_i64() as i32).0)),
+                        Lowered::Const(Value::I32(
+                            x100_vector::date::from_days(v.as_i64() as i32).0,
+                        )),
                         ScalarType::I32,
                     )),
                     Lowered::Src(s) => {
                         let dst = self.alloc(ScalarType::I32);
-                        self.instrs.push((Instr::YearOf { s, dst }, "map_year_i32_col".to_owned()));
+                        self.instrs
+                            .push((Instr::YearOf { s, dst }, "map_year_i32_col".to_owned()));
                         Ok((Lowered::Src(Src::Reg(dst)), ScalarType::I32))
                     }
                 }
@@ -249,14 +329,19 @@ impl<'a> Lowering<'a> {
                     )));
                 }
                 match lx {
-                    Lowered::Const(Value::Str(s)) => {
-                        Ok((Lowered::Const(Value::Bool(s.contains(needle))), ScalarType::Bool))
-                    }
+                    Lowered::Const(Value::Str(s)) => Ok((
+                        Lowered::Const(Value::Bool(s.contains(needle))),
+                        ScalarType::Bool,
+                    )),
                     Lowered::Const(_) => unreachable!("typed as Str above"),
                     Lowered::Src(s) => {
                         let dst = self.alloc(ScalarType::Bool);
                         self.instrs.push((
-                            Instr::StrContainsCV { s, needle: needle.clone(), dst },
+                            Instr::StrContainsCV {
+                                s,
+                                needle: needle.clone(),
+                                dst,
+                            },
                             "map_contains_str_col_val".to_owned(),
                         ));
                         Ok((Lowered::Src(Src::Reg(dst)), ScalarType::Bool))
@@ -269,19 +354,27 @@ impl<'a> Lowering<'a> {
     fn lower_bool(&mut self, e: &Expr) -> Result<Src, PlanError> {
         let (l, ty) = self.lower(e)?;
         if ty != ScalarType::Bool {
-            return Err(PlanError::TypeMismatch(format!("expected boolean expression, got {ty}")));
+            return Err(PlanError::TypeMismatch(format!(
+                "expected boolean expression, got {ty}"
+            )));
         }
         match l {
             Lowered::Src(s) => Ok(s),
             Lowered::Const(v) => {
                 let dst = self.alloc(ScalarType::Bool);
-                self.instrs.push((Instr::Fill { v, dst }, "map_fill_const".to_owned()));
+                self.instrs
+                    .push((Instr::Fill { v, dst }, "map_fill_const".to_owned()));
                 Ok(Src::Reg(dst))
             }
         }
     }
 
-    fn lower_arith(&mut self, op: ArithOp, l: &Expr, r: &Expr) -> Result<(Lowered, ScalarType), PlanError> {
+    fn lower_arith(
+        &mut self,
+        op: ArithOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(Lowered, ScalarType), PlanError> {
         let (ll, lty) = self.lower(l)?;
         let (rl, rty) = self.lower(r)?;
         let lr = rank(lty).ok_or_else(|| PlanError::TypeMismatch(format!("{op:?} on {lty}")))?;
@@ -310,7 +403,11 @@ impl<'a> Lowering<'a> {
                         ArithOp::Mul => a.wrapping_mul(b),
                         ArithOp::Div => unreachable!("div folded as f64"),
                     };
-                    if ty == ScalarType::I32 { Value::I32(x as i32) } else { Value::I64(x) }
+                    if ty == ScalarType::I32 {
+                        Value::I32(x as i32)
+                    } else {
+                        Value::I64(x)
+                    }
                 }
             };
             return Ok((Lowered::Const(folded), ty));
@@ -336,7 +433,13 @@ impl<'a> Lowering<'a> {
                 let ls = self.coerce(ls, ty)?;
                 let rs = self.coerce(rs, ty)?;
                 (
-                    Box::new(move |dst| Instr::ArithCC { op, ty, l: ls, r: rs, dst }),
+                    Box::new(move |dst| Instr::ArithCC {
+                        op,
+                        ty,
+                        l: ls,
+                        r: rs,
+                        dst,
+                    }),
                     format!("map_{opn}_{tyn}_col_{tyn}_col"),
                 )
             }
@@ -344,7 +447,13 @@ impl<'a> Lowering<'a> {
                 let ls = self.coerce(ls, ty)?;
                 let rv = Self::coerce_value(&rv, ty)?;
                 (
-                    Box::new(move |dst| Instr::ArithCV { op, ty, l: ls, v: rv, dst }),
+                    Box::new(move |dst| Instr::ArithCV {
+                        op,
+                        ty,
+                        l: ls,
+                        v: rv,
+                        dst,
+                    }),
                     format!("map_{opn}_{tyn}_col_{tyn}_val"),
                 )
             }
@@ -352,7 +461,13 @@ impl<'a> Lowering<'a> {
                 let rs = self.coerce(rs, ty)?;
                 let lv = Self::coerce_value(&lv, ty)?;
                 (
-                    Box::new(move |dst| Instr::ArithVC { op, ty, v: lv, r: rs, dst }),
+                    Box::new(move |dst| Instr::ArithVC {
+                        op,
+                        ty,
+                        v: lv,
+                        r: rs,
+                        dst,
+                    }),
                     format!("map_{opn}_{tyn}_val_{tyn}_col"),
                 )
             }
@@ -365,7 +480,11 @@ impl<'a> Lowering<'a> {
 
     /// Detect the fusable shapes: the last emitted instruction produced
     /// one multiplicand as `const ± col`.
-    fn try_fuse(&mut self, ll: &Lowered, rl: &Lowered) -> Result<Option<(FusedShape, String)>, PlanError> {
+    fn try_fuse(
+        &mut self,
+        ll: &Lowered,
+        rl: &Lowered,
+    ) -> Result<Option<(FusedShape, String)>, PlanError> {
         // Only Src×Src shapes can fuse (a constant multiplicand folds anyway).
         let (Lowered::Src(ls), Lowered::Src(rs)) = (ll, rl) else {
             return Ok(None);
@@ -374,7 +493,17 @@ impl<'a> Lowering<'a> {
         // preceding* `ArithVC{Sub|Add, F64}` instruction; if so, replace it.
         let candidate = |s: &Src, instrs: &[(Instr, String)]| -> Option<(f64, Src, ArithOp)> {
             let Src::Reg(r) = s else { return None };
-            let (Instr::ArithVC { op, ty: ScalarType::F64, v, r: inner, dst }, _) = instrs.last()? else {
+            let (
+                Instr::ArithVC {
+                    op,
+                    ty: ScalarType::F64,
+                    v,
+                    r: inner,
+                    dst,
+                },
+                _,
+            ) = instrs.last()?
+            else {
                 return None;
             };
             if *dst == *r && matches!(op, ArithOp::Sub | ArithOp::Add) {
@@ -407,7 +536,12 @@ impl<'a> Lowering<'a> {
         Ok(None)
     }
 
-    fn lower_cmp(&mut self, op: CmpOp, l: &Expr, r: &Expr) -> Result<(Lowered, ScalarType), PlanError> {
+    fn lower_cmp(
+        &mut self,
+        op: CmpOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(Lowered, ScalarType), PlanError> {
         let (ll, lty) = self.lower(l)?;
         let (rl, rty) = self.lower(r)?;
         // String equality special case.
@@ -416,7 +550,9 @@ impl<'a> Lowering<'a> {
                 CmpOp::Eq => false,
                 CmpOp::Ne => true,
                 other => {
-                    return Err(PlanError::TypeMismatch(format!("{other:?} not supported on strings")))
+                    return Err(PlanError::TypeMismatch(format!(
+                        "{other:?} not supported on strings"
+                    )))
                 }
             };
             let (s, v) = match (ll, rl) {
@@ -430,7 +566,12 @@ impl<'a> Lowering<'a> {
             };
             let dst = self.alloc(ScalarType::Bool);
             self.instrs.push((
-                Instr::StrEqCV { l: s, v, negate, dst },
+                Instr::StrEqCV {
+                    l: s,
+                    v,
+                    negate,
+                    dst,
+                },
                 "map_eq_str_col_val".to_owned(),
             ));
             return Ok((Lowered::Src(Src::Reg(dst)), ScalarType::Bool));
@@ -440,8 +581,10 @@ impl<'a> Lowering<'a> {
         let ty = if lty == rty {
             lty
         } else {
-            let lr = rank(lty).ok_or_else(|| PlanError::TypeMismatch(format!("{op:?} on {lty}")))?;
-            let rr = rank(rty).ok_or_else(|| PlanError::TypeMismatch(format!("{op:?} on {rty}")))?;
+            let lr =
+                rank(lty).ok_or_else(|| PlanError::TypeMismatch(format!("{op:?} on {lty}")))?;
+            let rr =
+                rank(rty).ok_or_else(|| PlanError::TypeMismatch(format!("{op:?} on {rty}")))?;
             rank_type(lr.max(rr))
         };
         if let (Lowered::Const(a), Lowered::Const(b)) = (&ll, &rl) {
@@ -461,7 +604,13 @@ impl<'a> Lowering<'a> {
                 let ls = self.coerce(ls, ty)?;
                 let rs = self.coerce(rs, ty)?;
                 (
-                    Box::new(move |dst| Instr::CmpCC { op, ty, l: ls, r: rs, dst }),
+                    Box::new(move |dst| Instr::CmpCC {
+                        op,
+                        ty,
+                        l: ls,
+                        r: rs,
+                        dst,
+                    }),
                     format!("map_{opn}_{tyn}_col_col"),
                 )
             }
@@ -471,7 +620,13 @@ impl<'a> Lowering<'a> {
                 let (ls, rv) = self.narrow_or_promote(ls, rv, ty)?;
                 let sty = self.src_type(ls);
                 (
-                    Box::new(move |dst| Instr::CmpCV { op, ty: sty, l: ls, v: rv, dst }),
+                    Box::new(move |dst| Instr::CmpCV {
+                        op,
+                        ty: sty,
+                        l: ls,
+                        v: rv,
+                        dst,
+                    }),
                     format!("map_{opn}_{}_col_val", sty.sig_name()),
                 )
             }
@@ -488,7 +643,13 @@ impl<'a> Lowering<'a> {
                 let (rs, lv) = self.narrow_or_promote(rs, lv, ty)?;
                 let sty = self.src_type(rs);
                 (
-                    Box::new(move |dst| Instr::CmpCV { op: flipped, ty: sty, l: rs, v: lv, dst }),
+                    Box::new(move |dst| Instr::CmpCV {
+                        op: flipped,
+                        ty: sty,
+                        l: rs,
+                        v: lv,
+                        dst,
+                    }),
                     format!("map_{}_{}_col_val", flipped.sig_name(), sty.sig_name()),
                 )
             }
@@ -502,16 +663,33 @@ impl<'a> Lowering<'a> {
     /// For `col ⊙ literal`: keep the column's native type when the literal
     /// fits it (avoids casting 6M enum codes to compare against one value),
     /// else cast the column up to `ty`.
-    fn narrow_or_promote(&mut self, s: Src, v: Value, ty: ScalarType) -> Result<(Src, Value), PlanError> {
+    fn narrow_or_promote(
+        &mut self,
+        s: Src,
+        v: Value,
+        ty: ScalarType,
+    ) -> Result<(Src, Value), PlanError> {
         let sty = self.src_type(s);
         let fits = match sty {
-            ScalarType::I8 => i8::try_from(v.as_i64()).is_ok() && v.scalar_type() != ScalarType::F64,
-            ScalarType::I16 => i16::try_from(v.as_i64()).is_ok() && v.scalar_type() != ScalarType::F64,
-            ScalarType::I32 => v.scalar_type() != ScalarType::F64 && i32::try_from(v.as_i64()).is_ok(),
+            ScalarType::I8 => {
+                i8::try_from(v.as_i64()).is_ok() && v.scalar_type() != ScalarType::F64
+            }
+            ScalarType::I16 => {
+                i16::try_from(v.as_i64()).is_ok() && v.scalar_type() != ScalarType::F64
+            }
+            ScalarType::I32 => {
+                v.scalar_type() != ScalarType::F64 && i32::try_from(v.as_i64()).is_ok()
+            }
             ScalarType::I64 => v.scalar_type() != ScalarType::F64,
-            ScalarType::U8 => v.scalar_type() != ScalarType::F64 && u8::try_from(v.as_i64()).is_ok(),
-            ScalarType::U16 => v.scalar_type() != ScalarType::F64 && u16::try_from(v.as_i64()).is_ok(),
-            ScalarType::U32 => v.scalar_type() != ScalarType::F64 && u32::try_from(v.as_i64()).is_ok(),
+            ScalarType::U8 => {
+                v.scalar_type() != ScalarType::F64 && u8::try_from(v.as_i64()).is_ok()
+            }
+            ScalarType::U16 => {
+                v.scalar_type() != ScalarType::F64 && u16::try_from(v.as_i64()).is_ok()
+            }
+            ScalarType::U32 => {
+                v.scalar_type() != ScalarType::F64 && u32::try_from(v.as_i64()).is_ok()
+            }
             ScalarType::F64 => true,
             _ => false,
         };
@@ -556,19 +734,35 @@ impl ExprProg {
         vector_size: usize,
         compound: bool,
     ) -> Result<Self, PlanError> {
-        let mut low = Lowering { fields, instrs: Vec::new(), reg_types: Vec::new(), compound };
+        let mut low = Lowering {
+            fields,
+            instrs: Vec::new(),
+            reg_types: Vec::new(),
+            compound,
+        };
         let (res, ty) = low.lower(expr)?;
         let result = match res {
             Lowered::Src(s) => s,
             Lowered::Const(v) => {
                 // Pure-literal expression: broadcast per batch.
                 let dst = low.alloc(v.scalar_type());
-                low.instrs.push((Instr::Fill { v, dst }, "map_fill_const".to_owned()));
+                low.instrs
+                    .push((Instr::Fill { v, dst }, "map_fill_const".to_owned()));
                 Src::Reg(dst)
             }
         };
-        let regs = low.reg_types.iter().map(|&t| Vector::with_capacity(t, vector_size)).collect();
-        Ok(ExprProg { instrs: low.instrs, reg_types: low.reg_types, regs, result, ty })
+        let regs = low
+            .reg_types
+            .iter()
+            .map(|&t| Vector::with_capacity(t, vector_size))
+            .collect();
+        Ok(ExprProg {
+            instrs: low.instrs,
+            reg_types: low.reg_types,
+            regs,
+            result,
+            ty,
+        })
     }
 
     /// The result type of the expression.
@@ -613,7 +807,12 @@ impl ExprProg {
     /// Results are positional: only selected positions are computed and
     /// valid. The returned reference borrows either the batch (bare
     /// column refs) or this program's register file.
-    pub fn eval<'a>(&'a mut self, batch: &'a Batch, sel: Option<&SelVec>, prof: &mut Profiler) -> &'a Vector {
+    pub fn eval<'a>(
+        &'a mut self,
+        batch: &'a Batch,
+        sel: Option<&SelVec>,
+        prof: &mut Profiler,
+    ) -> &'a Vector {
         let n = batch.len;
         for (instr, sig) in &self.instrs {
             let t0 = prof.start();
@@ -673,7 +872,9 @@ fn exec_instr(
             match ty {
                 ScalarType::F64 => arith_cv_f64(*op, d.as_f64_mut(), lv.as_f64(), v.as_f64(), sel),
                 ScalarType::I64 => arith_cv_i64(*op, d.as_i64_mut(), lv.as_i64(), v.as_i64(), sel),
-                ScalarType::I32 => arith_cv_i32(*op, d.as_i32_mut(), lv.as_i32(), v.as_i64() as i32, sel),
+                ScalarType::I32 => {
+                    arith_cv_i32(*op, d.as_i32_mut(), lv.as_i32(), v.as_i64() as i32, sel)
+                }
                 other => panic!("arith on {other}"),
             }
             (live, bytes)
@@ -684,7 +885,9 @@ fn exec_instr(
             match ty {
                 ScalarType::F64 => arith_vc_f64(*op, d.as_f64_mut(), v.as_f64(), rv.as_f64(), sel),
                 ScalarType::I64 => arith_vc_i64(*op, d.as_i64_mut(), v.as_i64(), rv.as_i64(), sel),
-                ScalarType::I32 => arith_vc_i32(*op, d.as_i32_mut(), v.as_i64() as i32, rv.as_i32(), sel),
+                ScalarType::I32 => {
+                    arith_vc_i32(*op, d.as_i32_mut(), v.as_i64() as i32, rv.as_i32(), sel)
+                }
                 other => panic!("arith on {other}"),
             }
             (live, bytes)
@@ -709,12 +912,20 @@ fn exec_instr(
             match ty {
                 ScalarType::F64 => map::map_cmp_col_val(o, lv.as_f64(), v.as_f64(), *op, sel),
                 ScalarType::I64 => map::map_cmp_col_val(o, lv.as_i64(), v.as_i64(), *op, sel),
-                ScalarType::I32 => map::map_cmp_col_val(o, lv.as_i32(), v.as_i64() as i32, *op, sel),
-                ScalarType::I16 => map::map_cmp_col_val(o, lv.as_i16(), v.as_i64() as i16, *op, sel),
+                ScalarType::I32 => {
+                    map::map_cmp_col_val(o, lv.as_i32(), v.as_i64() as i32, *op, sel)
+                }
+                ScalarType::I16 => {
+                    map::map_cmp_col_val(o, lv.as_i16(), v.as_i64() as i16, *op, sel)
+                }
                 ScalarType::I8 => map::map_cmp_col_val(o, lv.as_i8(), v.as_i64() as i8, *op, sel),
                 ScalarType::U8 => map::map_cmp_col_val(o, lv.as_u8(), v.as_i64() as u8, *op, sel),
-                ScalarType::U16 => map::map_cmp_col_val(o, lv.as_u16(), v.as_i64() as u16, *op, sel),
-                ScalarType::U32 => map::map_cmp_col_val(o, lv.as_u32(), v.as_i64() as u32, *op, sel),
+                ScalarType::U16 => {
+                    map::map_cmp_col_val(o, lv.as_u16(), v.as_i64() as u16, *op, sel)
+                }
+                ScalarType::U32 => {
+                    map::map_cmp_col_val(o, lv.as_u32(), v.as_i64() as u32, *op, sel)
+                }
                 other => panic!("cmp on {other}"),
             }
             (live, bytes)
@@ -906,8 +1117,20 @@ fn mul_op<T: ArithScalar>(a: T, b: T) -> T {
 }
 
 arith_impl!(arith_cc_f64, arith_cv_f64, arith_vc_f64, f64, |a, b| a / b);
-arith_impl!(arith_cc_i64, arith_cv_i64, arith_vc_i64, i64, |_a, _b| panic!("integer division lowers to f64"));
-arith_impl!(arith_cc_i32, arith_cv_i32, arith_vc_i32, i32, |_a, _b| panic!("integer division lowers to f64"));
+arith_impl!(
+    arith_cc_i64,
+    arith_cv_i64,
+    arith_vc_i64,
+    i64,
+    |_a, _b| panic!("integer division lowers to f64")
+);
+arith_impl!(
+    arith_cc_i32,
+    arith_cv_i32,
+    arith_vc_i32,
+    i32,
+    |_a, _b| panic!("integer division lowers to f64")
+);
 
 fn cast_vec(from: ScalarType, to: ScalarType, s: &Vector, d: &mut Vector, sel: Option<&SelVec>) {
     use x100_vector::map::map1;
@@ -932,7 +1155,9 @@ fn cast_vec(from: ScalarType, to: ScalarType, s: &Vector, d: &mut Vector, sel: O
         (ScalarType::U8, ScalarType::U32) => map1(d.as_u32_mut(), s.as_u8(), sel, |x| x as u32),
         (ScalarType::U16, ScalarType::U32) => map1(d.as_u32_mut(), s.as_u16(), sel, |x| x as u32),
         (ScalarType::Bool, ScalarType::I64) => map1(d.as_i64_mut(), s.as_bool(), sel, |x| x as i64),
-        (ScalarType::Bool, ScalarType::F64) => map1(d.as_f64_mut(), s.as_bool(), sel, |x| x as u8 as f64),
+        (ScalarType::Bool, ScalarType::F64) => {
+            map1(d.as_f64_mut(), s.as_bool(), sel, |x| x as u8 as f64)
+        }
         (f, t) => panic!("unsupported cast {f} -> {t}"),
     }
 }
@@ -949,7 +1174,11 @@ fn fill_vec(d: &mut Vector, v: &Value, n: usize) {
                 b.push(x);
             }
         }
-        (d, v) => panic!("fill mismatch: {:?} <- {:?}", d.scalar_type(), v.scalar_type()),
+        (d, v) => panic!(
+            "fill mismatch: {:?} <- {:?}",
+            d.scalar_type(),
+            v.scalar_type()
+        ),
     }
 }
 
@@ -971,10 +1200,14 @@ mod tests {
 
     fn batch() -> Batch {
         let mut b = Batch::new();
-        b.columns.push(Rc::new(Vector::F64(vec![1.0, 2.0, 3.0, 4.0])));
-        b.columns.push(Rc::new(Vector::F64(vec![10.0, 20.0, 30.0, 40.0])));
+        b.columns
+            .push(Rc::new(Vector::F64(vec![1.0, 2.0, 3.0, 4.0])));
+        b.columns
+            .push(Rc::new(Vector::F64(vec![10.0, 20.0, 30.0, 40.0])));
         b.columns.push(Rc::new(Vector::I32(vec![5, 6, 7, 8])));
-        b.columns.push(Rc::new(Vector::Str(["x", "y", "x", "z"].into_iter().collect())));
+        b.columns.push(Rc::new(Vector::Str(
+            ["x", "y", "x", "z"].into_iter().collect(),
+        )));
         b.columns.push(Rc::new(Vector::U8(vec![0, 1, 2, 3])));
         b.len = 4;
         b
@@ -1038,7 +1271,10 @@ mod tests {
         let f = fields();
         let fused = ExprProg::compile(&e, &f, 4, true).expect("compiles");
         assert_eq!(fused.num_instrs(), 1);
-        assert_eq!(fused.signatures().next(), Some("map_fused_sub_f64_val_f64_col_mul_f64_col"));
+        assert_eq!(
+            fused.signatures().next(),
+            Some("map_fused_sub_f64_val_f64_col_mul_f64_col")
+        );
         let unfused = ExprProg::compile(&e, &f, 4, false).expect("compiles");
         assert_eq!(unfused.num_instrs(), 2);
         // Both produce identical results.
@@ -1067,7 +1303,10 @@ mod tests {
     fn comparisons_and_logic() {
         let v = run(&lt(col("a"), lit_f64(2.5)), true);
         assert_eq!(v.as_bool(), &[true, true, false, false]);
-        let v = run(&and(gt(col("a"), lit_f64(1.5)), lt(col("b"), lit_f64(35.0))), true);
+        let v = run(
+            &and(gt(col("a"), lit_f64(1.5)), lt(col("b"), lit_f64(35.0))),
+            true,
+        );
         assert_eq!(v.as_bool(), &[false, true, true, false]);
         let v = run(&not(eq(col("s"), lit_str("x"))), true);
         assert_eq!(v.as_bool(), &[false, true, false, true]);
@@ -1114,19 +1353,22 @@ mod tests {
     #[test]
     fn string_range_comparison_rejected() {
         let f = fields();
-        let err = ExprProg::compile(&lt(col("s"), lit_str("m")), &f, 4, true).expect_err("must fail");
+        let err =
+            ExprProg::compile(&lt(col("s"), lit_str("m")), &f, 4, true).expect_err("must fail");
         assert!(matches!(err, PlanError::TypeMismatch(_)));
     }
 
     #[test]
     fn profiling_records_signatures() {
         let f = fields();
-        let mut prog =
-            ExprProg::compile(&mul(sub(lit_f64(1.0), col("a")), col("b")), &f, 4, true).expect("compiles");
+        let mut prog = ExprProg::compile(&mul(sub(lit_f64(1.0), col("a")), col("b")), &f, 4, true)
+            .expect("compiles");
         let b = batch();
         let mut prof = Profiler::new(true);
         prog.eval(&b, None, &mut prof);
-        let st = prof.primitive("map_fused_sub_f64_val_f64_col_mul_f64_col").expect("traced");
+        let st = prof
+            .primitive("map_fused_sub_f64_val_f64_col_mul_f64_col")
+            .expect("traced");
         assert_eq!(st.calls, 1);
         assert_eq!(st.tuples, 4);
     }

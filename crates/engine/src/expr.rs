@@ -236,27 +236,47 @@ pub struct AggExpr {
 impl AggExpr {
     /// `SUM(arg) AS name`.
     pub fn sum(name: impl Into<String>, arg: Expr) -> Self {
-        AggExpr { name: name.into(), func: AggFunc::Sum, arg: Some(arg) }
+        AggExpr {
+            name: name.into(),
+            func: AggFunc::Sum,
+            arg: Some(arg),
+        }
     }
 
     /// `MIN(arg) AS name`.
     pub fn min(name: impl Into<String>, arg: Expr) -> Self {
-        AggExpr { name: name.into(), func: AggFunc::Min, arg: Some(arg) }
+        AggExpr {
+            name: name.into(),
+            func: AggFunc::Min,
+            arg: Some(arg),
+        }
     }
 
     /// `MAX(arg) AS name`.
     pub fn max(name: impl Into<String>, arg: Expr) -> Self {
-        AggExpr { name: name.into(), func: AggFunc::Max, arg: Some(arg) }
+        AggExpr {
+            name: name.into(),
+            func: AggFunc::Max,
+            arg: Some(arg),
+        }
     }
 
     /// `COUNT(*) AS name`.
     pub fn count(name: impl Into<String>) -> Self {
-        AggExpr { name: name.into(), func: AggFunc::Count, arg: None }
+        AggExpr {
+            name: name.into(),
+            func: AggFunc::Count,
+            arg: None,
+        }
     }
 
     /// `AVG(arg) AS name`.
     pub fn avg(name: impl Into<String>, arg: Expr) -> Self {
-        AggExpr { name: name.into(), func: AggFunc::Avg, arg: Some(arg) }
+        AggExpr {
+            name: name.into(),
+            func: AggFunc::Avg,
+            arg: Some(arg),
+        }
     }
 }
 

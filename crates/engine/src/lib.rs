@@ -26,16 +26,19 @@ pub mod expr;
 pub mod ops;
 pub mod parser;
 pub mod plan;
-pub mod render;
 pub mod profile;
+pub mod render;
 pub mod session;
 
 pub use batch::{Batch, OutField};
+/// Typed engine error (alias of [`PlanError`]): binding, validation and
+/// execution failures that used to be panics surface as this.
+pub use compile::PlanError as EngineError;
 pub use compile::{ExprProg, PlanError};
 pub use expr::{AggExpr, AggFunc, ArithOp, Expr};
-pub use ops::Operator;
+pub use ops::{AggrPartial, MergeAggrOp, MergeSpec, Operator, PartialAcc};
 pub use parser::{parse_expr, parse_plan};
-pub use render::{render_expr, render_plan};
 pub use plan::Plan;
-pub use profile::{Profiler, TraceStat};
-pub use session::{Database, ExecOptions, QueryResult};
+pub use profile::{Profiler, TraceStat, WorkerTrace};
+pub use render::{render_expr, render_plan};
+pub use session::{Database, ExecOptions, QueryResult, DEFAULT_MORSEL_SIZE};

@@ -31,6 +31,78 @@ enum AccData {
     I64(Vec<i64>),
 }
 
+/// An aggregate accumulator detached from its operator: the
+/// thread-safe (no `Rc`) payload a parallel worker ships to the merge
+/// stage. Same layout as the internal accumulator storage.
+#[derive(Debug, Clone)]
+pub enum PartialAcc {
+    /// f64 accumulators (sums, f64 min/max).
+    F64(Vec<f64>),
+    /// i64 accumulators (counts, integer sums/min/max).
+    I64(Vec<i64>),
+}
+
+impl PartialAcc {
+    /// Accumulator scalar type.
+    pub fn ty(&self) -> ScalarType {
+        match self {
+            PartialAcc::F64(_) => ScalarType::F64,
+            PartialAcc::I64(_) => ScalarType::I64,
+        }
+    }
+
+    /// Resize to `n` entries, filling new ones with `init`.
+    pub fn grow(&mut self, n: usize, init: f64) {
+        match self {
+            PartialAcc::F64(v) => v.resize(n, init),
+            PartialAcc::I64(v) => v.resize(n, init as i64),
+        }
+    }
+}
+
+/// Materialized partial aggregation state of one worker: group keys,
+/// per-group tuple counts, and one accumulator array per aggregate.
+/// All owned data — `Send` across the worker channel.
+#[derive(Debug)]
+pub struct AggrPartial {
+    /// One key vector per grouping key (raw codes for enum keys).
+    pub keys: Vec<Vector>,
+    /// Per-group tuple counts (drives the AVG epilogue).
+    pub counts: Vec<i64>,
+    /// Per-aggregate accumulator arrays, indexed like `keys`' groups.
+    pub accs: Vec<PartialAcc>,
+    /// Number of groups (every array above has this length).
+    pub n_groups: usize,
+}
+
+/// How to merge one aggregate's partial accumulators.
+#[derive(Debug, Clone)]
+pub struct MergeAgg {
+    /// Aggregate function (decides the merge rule and epilogue).
+    pub func: AggFunc,
+    /// Accumulator scalar type (`F64` or `I64`).
+    pub acc_ty: ScalarType,
+    /// Init value for groups absent from a partial.
+    pub init: f64,
+}
+
+/// Everything the merge stage needs to combine worker partials and
+/// emit final batches, captured from a bound aggregation operator.
+#[derive(Debug, Clone)]
+pub struct MergeSpec {
+    /// Output shape (keys then aggregates), identical to the
+    /// aggregation operator's own fields.
+    pub fields: Vec<OutField>,
+    /// Physical key types as stored in partials (codes for enums).
+    pub key_types: Vec<ScalarType>,
+    /// Dictionaries for enum keys, applied at emission.
+    pub key_dicts: Vec<Option<EnumDict>>,
+    /// Per-aggregate merge rules.
+    pub aggs: Vec<MergeAgg>,
+    /// Ungrouped aggregation: empty input still yields one zero row.
+    pub ungrouped: bool,
+}
+
 impl AccData {
     #[allow(dead_code)]
     fn len(&self) -> usize {
@@ -66,9 +138,18 @@ struct AggState {
 }
 
 impl AggState {
-    fn bind(spec: &AggExpr, fields: &[OutField], vector_size: usize, compound: bool) -> Result<Self, PlanError> {
+    fn bind(
+        spec: &AggExpr,
+        fields: &[OutField],
+        vector_size: usize,
+        compound: bool,
+    ) -> Result<Self, PlanError> {
         let (prog, acc, sig) = match spec.func {
-            AggFunc::Count => (None, AccData::I64(Vec::new()), "aggr_count_u32_col".to_owned()),
+            AggFunc::Count => (
+                None,
+                AccData::I64(Vec::new()),
+                "aggr_count_u32_col".to_owned(),
+            ),
             _ => {
                 let arg = spec.arg.as_ref().ok_or_else(|| {
                     PlanError::Invalid(format!("aggregate {} needs an argument", spec.name))
@@ -105,7 +186,13 @@ impl AggState {
                 (Some(prog), acc, sig)
             }
         };
-        Ok(AggState { name: spec.name.clone(), func: spec.func, prog, acc, sig })
+        Ok(AggState {
+            name: spec.name.clone(),
+            func: spec.func,
+            prog,
+            acc,
+            sig,
+        })
     }
 
     /// Accumulator init value for newly created groups.
@@ -141,7 +228,9 @@ impl AggState {
         let live = sel.map_or(batch.len, |s| s.len());
         match (&mut self.prog, self.func) {
             (None, AggFunc::Count) => {
-                let AccData::I64(acc) = &mut self.acc else { unreachable!() };
+                let AccData::I64(acc) = &mut self.acc else {
+                    unreachable!()
+                };
                 let t0 = prof.start();
                 vaggr::aggr_count(acc, grp, sel);
                 prof.record_prim(&self.sig, t0, live, live * 4 + live * 8);
@@ -184,7 +273,11 @@ impl AggState {
                 let o = out.as_f64_mut();
                 let base = o.len();
                 o.resize(base + n, 0.0);
-                vaggr::aggr_avg_epilogue(&mut o[base..], &sums[start..start + n], &counts[start..start + n]);
+                vaggr::aggr_avg_epilogue(
+                    &mut o[base..],
+                    &sums[start..start + n],
+                    &counts[start..start + n],
+                );
                 prof.record_prim("aggr_avg_epilogue", t0, n, n * 24);
             }
             (_, AccData::F64(v)) => out.as_f64_mut().extend_from_slice(&v[start..start + n]),
@@ -195,7 +288,13 @@ impl AggState {
 
 /// Compute the hash vector of the key columns (hash + rehash chain).
 /// Shared with the hash join.
-pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: Option<&SelVec>, prof: &mut Profiler) {
+pub(crate) fn hash_keys(
+    keys: &[&Vector],
+    hash_buf: &mut [u64],
+    n: usize,
+    sel: Option<&SelVec>,
+    prof: &mut Profiler,
+) {
     for (ki, kv) in keys.iter().enumerate() {
         let first = ki == 0;
         let t0 = prof.start();
@@ -206,7 +305,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_u8_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_u8_col" } else { "map_rehash_u8_col" }
+                if first {
+                    "map_hash_u8_col"
+                } else {
+                    "map_rehash_u8_col"
+                }
             }
             Vector::U16(v) => {
                 if first {
@@ -214,7 +317,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_u16_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_u16_col" } else { "map_rehash_u16_col" }
+                if first {
+                    "map_hash_u16_col"
+                } else {
+                    "map_rehash_u16_col"
+                }
             }
             Vector::U32(v) => {
                 if first {
@@ -222,7 +329,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_u32_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_u32_col" } else { "map_rehash_u32_col" }
+                if first {
+                    "map_hash_u32_col"
+                } else {
+                    "map_rehash_u32_col"
+                }
             }
             Vector::I32(v) => {
                 if first {
@@ -230,7 +341,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_i32_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_i32_col" } else { "map_rehash_i32_col" }
+                if first {
+                    "map_hash_i32_col"
+                } else {
+                    "map_rehash_i32_col"
+                }
             }
             Vector::I64(v) => {
                 if first {
@@ -238,7 +353,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_i64_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_i64_col" } else { "map_rehash_i64_col" }
+                if first {
+                    "map_hash_i64_col"
+                } else {
+                    "map_rehash_i64_col"
+                }
             }
             Vector::F64(v) => {
                 if first {
@@ -258,7 +377,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                         }
                     }
                 }
-                if first { "map_hash_f64_col" } else { "map_rehash_f64_col" }
+                if first {
+                    "map_hash_f64_col"
+                } else {
+                    "map_rehash_f64_col"
+                }
             }
             Vector::Str(v) => {
                 if first {
@@ -266,7 +389,11 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
                 } else {
                     vhash::map_rehash_str_col(hash_buf, v, sel)
                 }
-                if first { "map_hash_str_col" } else { "map_rehash_str_col" }
+                if first {
+                    "map_hash_str_col"
+                } else {
+                    "map_rehash_str_col"
+                }
             }
             other => panic!("cannot hash {:?} keys", other.scalar_type()),
         };
@@ -278,7 +405,12 @@ pub(crate) fn hash_keys(keys: &[&Vector], hash_buf: &mut [u64], n: usize, sel: O
 /// Grow an open-addressing bucket array until it can absorb `target`
 /// groups at ≤70% load, rehashing the existing `n_groups` entries.
 #[allow(clippy::needless_range_loop)] // indexing both hash and bucket arrays
-fn ensure_capacity(buckets: &mut Vec<u32>, group_hashes: &[u64], n_groups: usize, target: usize) {
+pub(crate) fn ensure_capacity(
+    buckets: &mut Vec<u32>,
+    group_hashes: &[u64],
+    n_groups: usize,
+    target: usize,
+) {
     let mut cap = buckets.len();
     while cap * 7 <= target * 10 {
         cap *= 4;
@@ -342,14 +474,20 @@ impl HashAggrOp {
         let mut key_progs = Vec::new();
         let mut fields = Vec::new();
         let mut key_store = Vec::new();
-        let mut key_dicts = if key_dicts.is_empty() { vec![None; keys.len()] } else { key_dicts };
+        let mut key_dicts = if key_dicts.is_empty() {
+            vec![None; keys.len()]
+        } else {
+            key_dicts
+        };
         for (i, (name, e)) in keys.iter().enumerate() {
             let prog = ExprProg::compile(e, child.fields(), vector_size, compound)?;
             // Dictionaries only apply to code-typed keys.
             if !matches!(prog.result_type(), ScalarType::U8 | ScalarType::U16) {
                 key_dicts[i] = None;
             }
-            let out_ty = key_dicts[i].as_ref().map_or(prog.result_type(), |d| d.value_type());
+            let out_ty = key_dicts[i]
+                .as_ref()
+                .map_or(prog.result_type(), |d| d.value_type());
             fields.push(OutField::new(name.clone(), out_ty));
             key_store.push(Vector::with_capacity(prog.result_type(), 16));
             key_progs.push(prog);
@@ -360,7 +498,10 @@ impl HashAggrOp {
             fields.push(OutField::new(st.name.clone(), st.out_type()));
             states.push(st);
         }
-        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         Ok(HashAggrOp {
             child,
             key_progs,
@@ -382,7 +523,6 @@ impl HashAggrOp {
         })
     }
 
-
     /// Consume the whole child dataflow into the hash table.
     fn build(&mut self, prof: &mut Profiler) {
         while let Some(batch) = self.child.next(prof) {
@@ -393,10 +533,18 @@ impl HashAggrOp {
             // (every live tuple a new group) before the insertion loop:
             // the open-addressing probe must never face a full table.
             let live_worst = sel.map_or(n, |s| s.len());
-            ensure_capacity(&mut self.buckets, &self.group_hashes, self.n_groups, self.n_groups + live_worst);
+            ensure_capacity(
+                &mut self.buckets,
+                &self.group_hashes,
+                self.n_groups,
+                self.n_groups + live_worst,
+            );
             // 1. Evaluate key expressions.
-            let key_vecs: Vec<&Vector> =
-                self.key_progs.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            let key_vecs: Vec<&Vector> = self
+                .key_progs
+                .iter_mut()
+                .map(|p| p.eval(batch, sel, prof))
+                .collect();
             // 2. Vectorized hash of the keys.
             self.hash_buf.resize(n, 0);
             self.grp_buf.resize(n, 0);
@@ -426,7 +574,10 @@ impl HashAggrOp {
                     }
                     let g = (slot - 1) as usize;
                     if group_hashes[g] == h
-                        && key_store.iter().zip(key_vecs.iter()).all(|(ks, kv)| eq_at(ks, g, kv, i))
+                        && key_store
+                            .iter()
+                            .zip(key_vecs.iter())
+                            .all(|(ks, kv)| eq_at(ks, g, kv, i))
                     {
                         self.grp_buf[i] = g as u32;
                         break;
@@ -438,12 +589,24 @@ impl HashAggrOp {
             match sel {
                 None => {
                     for i in 0..n {
-                        maintain(i, &mut self.buckets, &mut self.key_store, &mut self.group_hashes, &mut self.n_groups);
+                        maintain(
+                            i,
+                            &mut self.buckets,
+                            &mut self.key_store,
+                            &mut self.group_hashes,
+                            &mut self.n_groups,
+                        );
                     }
                 }
                 Some(s) => {
                     for i in s.iter() {
-                        maintain(i, &mut self.buckets, &mut self.key_store, &mut self.group_hashes, &mut self.n_groups);
+                        maintain(
+                            i,
+                            &mut self.buckets,
+                            &mut self.key_store,
+                            &mut self.group_hashes,
+                            &mut self.n_groups,
+                        );
                     }
                 }
             }
@@ -534,6 +697,51 @@ impl Operator for HashAggrOp {
             }
         }
     }
+
+    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Option<AggrPartial> {
+        if !self.built {
+            self.build(prof);
+        }
+        // No ungrouped-empty synthesis here: the merge stage decides
+        // whether the *combined* result is empty.
+        for agg in &mut self.aggs {
+            agg.acc.grow(self.n_groups, agg.init_value());
+        }
+        self.group_counts.resize(self.n_groups, 0);
+        Some(AggrPartial {
+            keys: std::mem::take(&mut self.key_store),
+            counts: std::mem::take(&mut self.group_counts),
+            accs: self
+                .aggs
+                .iter_mut()
+                .map(
+                    |a| match std::mem::replace(&mut a.acc, AccData::I64(Vec::new())) {
+                        AccData::F64(v) => PartialAcc::F64(v),
+                        AccData::I64(v) => PartialAcc::I64(v),
+                    },
+                )
+                .collect(),
+            n_groups: self.n_groups,
+        })
+    }
+
+    fn partial_merge_spec(&self) -> Option<MergeSpec> {
+        Some(MergeSpec {
+            fields: self.fields.clone(),
+            key_types: self.key_store.iter().map(|v| v.scalar_type()).collect(),
+            key_dicts: self.key_dicts.clone(),
+            aggs: self
+                .aggs
+                .iter()
+                .map(|a| MergeAgg {
+                    func: a.func,
+                    acc_ty: a.acc.ty(),
+                    init: a.init_value(),
+                })
+                .collect(),
+            ungrouped: self.key_progs.is_empty(),
+        })
+    }
 }
 
 /// One key of a direct aggregation: a small-domain code column.
@@ -603,7 +811,10 @@ impl DirectAggrOp {
             fields.push(OutField::new(st.name.clone(), st.out_type()));
             states.push(st);
         }
-        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         Ok(DirectAggrOp {
             child,
             keys,
@@ -760,6 +971,74 @@ impl Operator for DirectAggrOp {
             }
         }
     }
+
+    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Option<AggrPartial> {
+        if !self.built {
+            self.build(prof);
+        }
+        // Compact the direct table down to occupied slots, emitting raw
+        // key codes; the merge stage re-groups by (code…) tuples.
+        let n = self.occupied.len();
+        let mut keys = Vec::with_capacity(self.keys.len());
+        for (ki, key) in self.keys.iter().enumerate() {
+            let ty = self.child.fields()[key.col].ty;
+            let mut v = Vector::with_capacity(ty, n);
+            for &slot in &self.occupied {
+                let code = self.key_code(slot, ki);
+                match &mut v {
+                    Vector::U8(b) => b.push(code as u8),
+                    Vector::U16(b) => b.push(code as u16),
+                    other => panic!("direct key codes are {:?}", other.scalar_type()),
+                }
+            }
+            keys.push(v);
+        }
+        let counts: Vec<i64> = self
+            .occupied
+            .iter()
+            .map(|&s| self.group_counts[s as usize])
+            .collect();
+        let accs: Vec<PartialAcc> = self
+            .aggs
+            .iter()
+            .map(|a| match &a.acc {
+                AccData::F64(v) => {
+                    PartialAcc::F64(self.occupied.iter().map(|&s| v[s as usize]).collect())
+                }
+                AccData::I64(v) => {
+                    PartialAcc::I64(self.occupied.iter().map(|&s| v[s as usize]).collect())
+                }
+            })
+            .collect();
+        Some(AggrPartial {
+            keys,
+            counts,
+            accs,
+            n_groups: n,
+        })
+    }
+
+    fn partial_merge_spec(&self) -> Option<MergeSpec> {
+        Some(MergeSpec {
+            fields: self.fields.clone(),
+            key_types: self
+                .keys
+                .iter()
+                .map(|k| self.child.fields()[k.col].ty)
+                .collect(),
+            key_dicts: self.keys.iter().map(|k| k.dict.clone()).collect(),
+            aggs: self
+                .aggs
+                .iter()
+                .map(|a| MergeAgg {
+                    func: a.func,
+                    acc_ty: a.acc.ty(),
+                    init: a.init_value(),
+                })
+                .collect(),
+            ungrouped: self.keys.is_empty(),
+        })
+    }
 }
 
 /// `OrdAggr` — ordered aggregation: "chosen if all group-members will
@@ -807,7 +1086,10 @@ impl OrdAggrOp {
             fields.push(OutField::new(st.name.clone(), st.out_type()));
             states.push(st);
         }
-        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         Ok(OrdAggrOp {
             child,
             key_progs,
@@ -832,17 +1114,21 @@ impl OrdAggrOp {
             let n = batch.len;
             let sel = batch.sel.as_deref();
             let live = sel.map_or(n, |s| s.len());
-            let key_vecs: Vec<&Vector> =
-                self.key_progs.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            let key_vecs: Vec<&Vector> = self
+                .key_progs
+                .iter_mut()
+                .map(|p| p.eval(batch, sel, prof))
+                .collect();
             // Assign group ids by detecting boundaries in arrival order.
             let t0 = prof.start();
             self.grp_buf.resize(n, 0);
             let mut assign = |i: usize| {
                 let same = match &self.cur_keys {
                     None => false,
-                    Some(cur) => {
-                        cur.iter().zip(key_vecs.iter()).all(|(c, kv)| eq_at(c, 0, kv, i))
-                    }
+                    Some(cur) => cur
+                        .iter()
+                        .zip(key_vecs.iter())
+                        .all(|(c, kv)| eq_at(c, 0, kv, i)),
                 };
                 if !same {
                     // Open a new group: record its keys.

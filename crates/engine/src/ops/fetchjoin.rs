@@ -158,7 +158,10 @@ fn gather_positional(
             }
         }
     } else {
-        assert!(!as_codes, "code fetch into the delta region (binder forbids this)");
+        assert!(
+            !as_codes,
+            "code fetch into the delta region (binder forbids this)"
+        );
         // Slow path: some rowids live in the delta region.
         match sel {
             None => {
@@ -195,7 +198,14 @@ fn gather_positional(
     }
 }
 
-fn gather_decode<T: Copy>(codes: &[u8], dict: &[T], rowids: &[u32], n: usize, sel: Option<&SelVec>, out: &mut [T]) {
+fn gather_decode<T: Copy>(
+    codes: &[u8],
+    dict: &[T],
+    rowids: &[u32],
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut [T],
+) {
     match sel {
         None => {
             for (o, &r) in out.iter_mut().zip(rowids.iter()).take(n) {
@@ -210,7 +220,14 @@ fn gather_decode<T: Copy>(codes: &[u8], dict: &[T], rowids: &[u32], n: usize, se
     }
 }
 
-fn gather_decode16<T: Copy>(codes: &[u16], dict: &[T], rowids: &[u32], n: usize, sel: Option<&SelVec>, out: &mut [T]) {
+fn gather_decode16<T: Copy>(
+    codes: &[u16],
+    dict: &[T],
+    rowids: &[u32],
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut [T],
+) {
     match sel {
         None => {
             for (o, &r) in out.iter_mut().zip(rowids.iter()).take(n) {
@@ -243,7 +260,11 @@ fn set_value_at(out: &mut Vector, i: usize, v: &x100_vector::Value) {
         (Vector::U64(o), Value::U64(x)) => o[i] = *x,
         (Vector::F64(o), Value::F64(x)) => o[i] = *x,
         (Vector::Bool(o), Value::Bool(x)) => o[i] = *x,
-        (o, v) => panic!("set_value_at mismatch: {:?} <- {:?}", o.scalar_type(), v.scalar_type()),
+        (o, v) => panic!(
+            "set_value_at mismatch: {:?} <- {:?}",
+            o.scalar_type(),
+            v.scalar_type()
+        ),
     }
 }
 
@@ -299,7 +320,11 @@ impl Fetch1JoinOp {
             let sc = table.column(ci);
             let ty = sc.field().logical;
             let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
-            fetch_cols.push(FetchCol { col: ci, sig, as_codes: false });
+            fetch_cols.push(FetchCol {
+                col: ci,
+                sig,
+                as_codes: false,
+            });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
         }
@@ -315,7 +340,11 @@ impl Fetch1JoinOp {
             }
             let ty = sc.physical_type();
             let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
-            fetch_cols.push(FetchCol { col: ci, sig, as_codes: true });
+            fetch_cols.push(FetchCol {
+                col: ci,
+                sig,
+                as_codes: true,
+            });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
         }
@@ -355,7 +384,15 @@ impl Operator for Fetch1JoinOp {
         for (k, fc) in self.fetch_cols.iter().enumerate() {
             let t0 = prof.start();
             let mut v = self.pools[k].writable();
-            gather_positional(&self.table, fc.col, fc.as_codes, &self.rowid_buf, n, sel, &mut v);
+            gather_positional(
+                &self.table,
+                fc.col,
+                fc.as_codes,
+                &self.rowid_buf,
+                n,
+                sel,
+                &mut v,
+            );
             let bytes = live * 4 + v.byte_size();
             prof.record_prim(&fc.sig, t0, live, bytes);
             self.pools[k].publish(v, &mut self.out);
@@ -421,14 +458,21 @@ impl FetchNJoinOp {
         let child_arity = child.fields().len();
         let mut fields: Vec<OutField> = child.fields().to_vec();
         let mut fetch_cols = Vec::new();
-        let mut pools: Vec<VecPool> = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let mut pools: Vec<VecPool> = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         for (src, alias) in fetch {
             let ci = table
                 .column_index(src)
                 .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", table.name(), src)))?;
             let ty = table.column(ci).field().logical;
             let sig = format!("map_fetch_u32_col_{}_col", ty.sig_name());
-            fetch_cols.push(FetchCol { col: ci, sig, as_codes: false });
+            fetch_cols.push(FetchCol {
+                col: ci,
+                sig,
+                as_codes: false,
+            });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
         }
@@ -538,7 +582,15 @@ impl Operator for FetchNJoinOp {
         for (j, fc) in self.fetch_cols.iter().enumerate() {
             let t0 = prof.start();
             let mut v = self.pools[self.child_arity + j].writable();
-            gather_positional(&self.table, fc.col, fc.as_codes, &self.rowid_scratch, n, None, &mut v);
+            gather_positional(
+                &self.table,
+                fc.col,
+                fc.as_codes,
+                &self.rowid_scratch,
+                n,
+                None,
+                &mut v,
+            );
             let bytes = n * 4 + v.byte_size();
             prof.record_prim(&fc.sig, t0, n, bytes);
             self.pools[self.child_arity + j].publish(v, &mut self.out);

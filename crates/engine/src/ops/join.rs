@@ -13,10 +13,10 @@
 //! semi/anti output *selection vectors* over the probe dataflow, so they
 //! are zero-copy like `Select`.
 
+use super::aggr::hash_keys;
 use crate::batch::{Batch, OutField, SelPool, VecPool};
 use crate::compile::ExprProg;
 use crate::expr::Expr;
-use super::aggr::hash_keys;
 use crate::ops::{eq_at, push_from, Operator};
 use crate::profile::Profiler;
 use crate::PlanError;
@@ -55,7 +55,8 @@ pub struct CartProdOp {
     cpos_idx: usize,
     trow: u32,
     out: Batch,
-    #[allow(dead_code)] vector_size: usize,
+    #[allow(dead_code)]
+    vector_size: usize,
     done: bool,
 }
 
@@ -74,7 +75,10 @@ impl CartProdOp {
         }
         let child_arity = child.fields().len();
         let mut fields: Vec<OutField> = child.fields().to_vec();
-        let mut pools: Vec<VecPool> = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let mut pools: Vec<VecPool> = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         let mut fetch_cols = Vec::new();
         for (src, alias) in fetch {
             let ci = table
@@ -202,7 +206,8 @@ pub struct HashJoinOp {
     pools: Vec<VecPool>,
     sel_pool: SelPool,
     out: Batch,
-    #[allow(dead_code)] vector_size: usize,
+    #[allow(dead_code)]
+    vector_size: usize,
 }
 
 impl HashJoinOp {
@@ -221,10 +226,14 @@ impl HashJoinOp {
         compound: bool,
     ) -> Result<Self, PlanError> {
         if build_key_exprs.len() != probe_key_exprs.len() || build_key_exprs.is_empty() {
-            return Err(PlanError::Invalid("hash join needs matching, non-empty key lists".to_owned()));
+            return Err(PlanError::Invalid(
+                "hash join needs matching, non-empty key lists".to_owned(),
+            ));
         }
         if matches!(join_type, JoinType::LeftSemi | JoinType::LeftAnti) && !payload.is_empty() {
-            return Err(PlanError::Invalid("semi/anti joins cannot carry build payload".to_owned()));
+            return Err(PlanError::Invalid(
+                "semi/anti joins cannot carry build payload".to_owned(),
+            ));
         }
         let mut build_keys = Vec::new();
         let mut b_key_store = Vec::new();
@@ -261,7 +270,10 @@ impl HashJoinOp {
             payload_cols.push(ci);
             b_cols.push(Vector::with_capacity(ty, 16));
         }
-        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         Ok(HashJoinOp {
             build,
             probe,
@@ -290,8 +302,11 @@ impl HashJoinOp {
         while let Some(batch) = self.build.next(prof) {
             let n = batch.len;
             let sel = batch.sel.as_deref();
-            let key_vecs: Vec<&Vector> =
-                self.build_keys.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            let key_vecs: Vec<&Vector> = self
+                .build_keys
+                .iter_mut()
+                .map(|p| p.eval(batch, sel, prof))
+                .collect();
             self.hash_buf.resize(n, 0);
             hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
             let mut insert = |i: usize| {
@@ -348,8 +363,11 @@ impl Operator for HashJoinOp {
             let sel = batch.sel.as_deref();
             let live = batch.live();
             let t_op = prof.start();
-            let key_vecs: Vec<&Vector> =
-                self.probe_keys.iter_mut().map(|p| p.eval(batch, sel, prof)).collect();
+            let key_vecs: Vec<&Vector> = self
+                .probe_keys
+                .iter_mut()
+                .map(|p| p.eval(batch, sel, prof))
+                .collect();
             self.hash_buf.resize(n, 0);
             hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
             let mask = (self.buckets.len() - 1) as u64;

@@ -13,15 +13,19 @@ mod aggr;
 mod array;
 mod fetchjoin;
 mod join;
+pub(crate) mod parallel;
 mod project;
 mod scan;
 mod select;
 mod sort;
 
-pub use aggr::{DirectAggrOp, DirectKey, HashAggrOp, OrdAggrOp};
+pub use aggr::{
+    AggrPartial, DirectAggrOp, DirectKey, HashAggrOp, MergeAgg, MergeSpec, OrdAggrOp, PartialAcc,
+};
 pub use array::ArrayOp;
 pub use fetchjoin::{Fetch1JoinOp, FetchNJoinOp};
 pub use join::{CartProdOp, HashJoinOp, JoinType};
+pub use parallel::MergeAggrOp;
 pub use project::ProjectOp;
 pub use scan::ScanOp;
 pub use select::SelectOp;
@@ -40,6 +44,21 @@ pub trait Operator {
 
     /// Rewind to the start of the dataflow (re-execution support).
     fn reset(&mut self);
+
+    /// Parallel-execution hook: consume the whole input and surrender
+    /// the materialized partial aggregation state instead of emitting
+    /// final batches. `None` (the default) marks operators that cannot
+    /// act as a partial-aggregation pipeline root.
+    fn take_partial_aggr(&mut self, _prof: &mut Profiler) -> Option<AggrPartial> {
+        None
+    }
+
+    /// Parallel-execution hook: the merge recipe for partials produced
+    /// by [`Operator::take_partial_aggr`]. `None` for operators without
+    /// mergeable aggregation state.
+    fn partial_merge_spec(&self) -> Option<MergeSpec> {
+        None
+    }
 }
 
 /// Append value `i` of `src` to `dst` (same types). Slow path used by
@@ -57,7 +76,11 @@ pub(crate) fn push_from(dst: &mut Vector, src: &Vector, i: usize) {
         (Vector::F64(d), Vector::F64(s)) => d.push(s[i]),
         (Vector::Bool(d), Vector::Bool(s)) => d.push(s[i]),
         (Vector::Str(d), Vector::Str(s)) => d.push(s.get(i)),
-        (d, s) => panic!("push_from type mismatch: {:?} <- {:?}", d.scalar_type(), s.scalar_type()),
+        (d, s) => panic!(
+            "push_from type mismatch: {:?} <- {:?}",
+            d.scalar_type(),
+            s.scalar_type()
+        ),
     }
 }
 
@@ -79,7 +102,11 @@ pub(crate) fn cmp_at(a: &Vector, i: usize, b: &Vector, j: usize) -> std::cmp::Or
         (Vector::Str(x), Vector::Str(y)) => x.get(i).cmp(y.get(j)),
         (a, b) => {
             let _ = Ordering::Equal;
-            panic!("cmp_at type mismatch: {:?} vs {:?}", a.scalar_type(), b.scalar_type())
+            panic!(
+                "cmp_at type mismatch: {:?} vs {:?}",
+                a.scalar_type(),
+                b.scalar_type()
+            )
         }
     }
 }
@@ -109,6 +136,10 @@ pub(crate) fn extend_range(dst: &mut Vector, src: &Vector, start: usize, n: usiz
                 d.push(s.get(i));
             }
         }
-        (d, s) => panic!("extend_range type mismatch: {:?} <- {:?}", d.scalar_type(), s.scalar_type()),
+        (d, s) => panic!(
+            "extend_range type mismatch: {:?} <- {:?}",
+            d.scalar_type(),
+            s.scalar_type()
+        ),
     }
 }

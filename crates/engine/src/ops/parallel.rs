@@ -1,0 +1,444 @@
+//! Morsel-driven parallel execution (beyond the paper).
+//!
+//! The paper's engine is single-threaded; this module adds intra-query
+//! parallelism for the most bandwidth-hungry plan shape — an
+//! aggregation over a scan pipeline — without touching the sequential
+//! path:
+//!
+//! 1. [`decompose`] splits a plan into *wrappers* (`Order` / `TopN` /
+//!    `Project` / `Select` above the aggregation) and the aggregation
+//!    subtree (`Aggr`/`DirectAggr` over a `Select`/`Project` chain
+//!    ending in a `Scan`). Any other shape falls back to sequential
+//!    execution.
+//! 2. The scan's row space — the (summary-pruned) fragment range plus
+//!    the insert-delta tail — is cut into [`Morsel`]s. Worker `w` of
+//!    `T` statically takes morsels `w, w+T, w+2T, …`: assignment does
+//!    not depend on thread timing, so a given `(threads, morsel_size)`
+//!    always aggregates the same rows in the same per-worker order.
+//! 3. Each worker binds its *own* clone of the vector pipeline (the
+//!    `Rc`-based batch machinery stays thread-local) over its morsels
+//!    and materializes partial aggregation state
+//!    ([`Operator::take_partial_aggr`]).
+//! 4. [`MergeAggrOp`] re-aggregates the partials in worker order —
+//!    sums/counts add, `min`/`max` fold, AVG divides merged sums by
+//!    merged counts at emission — and feeds the rebound wrappers.
+//!
+//! Worker results merge in worker-index order, so output is
+//! deterministic for a fixed `(threads, morsel_size)`. Floating-point
+//! sums may differ from the sequential plan in the last ulp (different
+//! association order); integer results are exact.
+
+use crate::batch::{Batch, OutField, VecPool};
+use crate::expr::{AggFunc, Expr};
+use crate::ops::aggr::{ensure_capacity, hash_keys, AggrPartial, MergeSpec, PartialAcc};
+use crate::ops::{eq_at, push_from, Operator, OrdExp, OrderOp, ProjectOp, SelectOp, TopNOp};
+use crate::plan::{scan_prune_range, Plan};
+use crate::profile::Profiler;
+use crate::session::{run_operator, Database, ExecOptions, QueryResult};
+use crate::PlanError;
+use std::time::Instant;
+use x100_storage::{plan_morsels, Morsel};
+use x100_vector::{aggr as vaggr, Vector};
+
+/// A plan node sitting above the aggregation, to be rebound over the
+/// merge operator.
+enum Wrap<'a> {
+    Select(&'a Expr),
+    Project(&'a [(String, Expr)]),
+    TopN(&'a [OrdExp], usize),
+    Order(&'a [OrdExp]),
+}
+
+/// Split `plan` into wrappers above the topmost `Aggr`/`DirectAggr`
+/// (outermost first), the aggregation subtree, and its leaf `Scan`.
+/// `None` if the plan does not have the parallelizable shape.
+fn decompose(plan: &Plan) -> Option<(Vec<Wrap<'_>>, &Plan, &Plan)> {
+    let mut wrappers = Vec::new();
+    let mut cur = plan;
+    let aggr = loop {
+        match cur {
+            Plan::Order { input, keys } => {
+                wrappers.push(Wrap::Order(keys));
+                cur = input;
+            }
+            Plan::TopN { input, keys, limit } => {
+                wrappers.push(Wrap::TopN(keys, *limit));
+                cur = input;
+            }
+            Plan::Project { input, exprs } => {
+                wrappers.push(Wrap::Project(exprs));
+                cur = input;
+            }
+            Plan::Select { input, pred } => {
+                wrappers.push(Wrap::Select(pred));
+                cur = input;
+            }
+            Plan::Aggr { .. } | Plan::DirectAggr { .. } => break cur,
+            _ => return None,
+        }
+    };
+    // Wrong turn: a Select/Project consumed above was actually part of
+    // the pre-aggregation chain only if no aggregation exists — but the
+    // loop already required one, so wrappers are genuinely above it.
+    let below = match aggr {
+        Plan::Aggr { input, .. } | Plan::DirectAggr { input, .. } => input,
+        _ => unreachable!(),
+    };
+    let mut leaf = below.as_ref();
+    let scan = loop {
+        match leaf {
+            Plan::Select { input, .. } | Plan::Project { input, .. } => leaf = input,
+            Plan::Scan { .. } => break leaf,
+            _ => return None,
+        }
+    };
+    Some((wrappers, aggr, scan))
+}
+
+/// Execute `plan` with `opts.threads` morsel-parallel workers, if it
+/// has the supported shape. `Ok(None)` means "not parallelizable here —
+/// run sequentially"; errors are real binding/validation failures.
+pub(crate) fn try_execute_parallel(
+    db: &Database,
+    plan: &Plan,
+    opts: &ExecOptions,
+) -> Result<Option<(QueryResult, Profiler)>, PlanError> {
+    let Some((wrappers, aggr, scan)) = decompose(plan) else {
+        return Ok(None);
+    };
+    let Plan::Scan { table, prune, .. } = scan else {
+        unreachable!()
+    };
+    // Template bind: validates the subtree once up front (surfacing
+    // bind errors on the caller's thread) and yields the merge recipe.
+    let (template, _) = aggr.bind_inner(db, opts, Some(&[]))?;
+    let Some(spec) = template.partial_merge_spec() else {
+        return Ok(None);
+    };
+    drop(template);
+
+    let (t, range) = scan_prune_range(db, table, prune.as_ref())?;
+    let frag_range = range.unwrap_or((0, t.fragment_rows()));
+    let morsels = plan_morsels(frag_range, t.delta_rows(), opts.morsel_size);
+    let nworkers = opts.threads.min(morsels.len()).max(1);
+
+    let mut prof = Profiler::new(opts.profile);
+    let mut partials: Vec<AggrPartial> = Vec::with_capacity(nworkers);
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|w| {
+                let assigned: Vec<Morsel> =
+                    morsels.iter().copied().skip(w).step_by(nworkers).collect();
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut wprof = Profiler::new(opts.profile);
+                    let partial = aggr
+                        .bind_inner(db, opts, Some(&assigned))
+                        .map(|(mut op, _)| op.take_partial_aggr(&mut wprof));
+                    (partial, wprof, t0.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect::<Vec<_>>()
+    });
+    for (w, (partial, wprof, wall)) in results.into_iter().enumerate() {
+        let partial = partial?.ok_or_else(|| {
+            PlanError::Invalid("parallel worker produced no partial aggregate".into())
+        })?;
+        if opts.profile {
+            prof.absorb_worker(format!("worker-{w}"), wall, wprof);
+        }
+        partials.push(partial);
+    }
+
+    // Merge stage plus the rebound wrappers, innermost first. Aggregate
+    // outputs carry no enum-code dictionaries, so no literal rewriting
+    // is needed above the merge.
+    let vs = opts.vector_size;
+    let comp = opts.compound_primitives;
+    let mut op: Box<dyn Operator> = Box::new(MergeAggrOp::new(spec, partials, vs));
+    for w in wrappers.into_iter().rev() {
+        op = match w {
+            Wrap::Select(pred) => {
+                Box::new(SelectOp::new(op, pred, vs, comp, opts.select_strategy)?)
+            }
+            Wrap::Project(exprs) => Box::new(ProjectOp::new(op, exprs, vs, comp)?),
+            Wrap::TopN(keys, limit) => Box::new(TopNOp::new(op, keys, limit, vs)?),
+            Wrap::Order(keys) => Box::new(OrderOp::new(op, keys, vs)?),
+        };
+    }
+    let result = run_operator(op.as_mut(), &mut prof);
+    Ok(Some((result, prof)))
+}
+
+/// `MergeAggr` — re-aggregates worker partials into final groups.
+///
+/// Keys are re-grouped through a hash table (raw codes for enum keys,
+/// decoded only at emission, like `HashAggr`); accumulators merge by
+/// function: SUM/COUNT/AVG add, MIN/MAX fold. Partials are consumed in
+/// worker-index order, so group emission order is deterministic.
+pub struct MergeAggrOp {
+    spec: MergeSpec,
+    partials: Vec<AggrPartial>,
+    buckets: Vec<u32>,
+    group_hashes: Vec<u64>,
+    key_store: Vec<Vector>,
+    group_counts: Vec<i64>,
+    accs: Vec<PartialAcc>,
+    n_groups: usize,
+    hash_buf: Vec<u64>,
+    built: bool,
+    emit_pos: usize,
+    pools: Vec<VecPool>,
+    out: Batch,
+    vector_size: usize,
+}
+
+impl MergeAggrOp {
+    /// A merge stage over `partials` (one per worker, in worker order).
+    pub fn new(spec: MergeSpec, partials: Vec<AggrPartial>, vector_size: usize) -> Self {
+        let key_store = spec
+            .key_types
+            .iter()
+            .map(|&ty| Vector::with_capacity(ty, 16))
+            .collect();
+        let accs = spec
+            .aggs
+            .iter()
+            .map(|a| match a.acc_ty {
+                x100_vector::ScalarType::F64 => PartialAcc::F64(Vec::new()),
+                _ => PartialAcc::I64(Vec::new()),
+            })
+            .collect();
+        let pools = spec
+            .fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
+        MergeAggrOp {
+            spec,
+            partials,
+            buckets: vec![0; 1024],
+            group_hashes: Vec::new(),
+            key_store,
+            group_counts: Vec::new(),
+            accs,
+            n_groups: 0,
+            hash_buf: Vec::new(),
+            built: false,
+            emit_pos: 0,
+            pools,
+            out: Batch::new(),
+            vector_size,
+        }
+    }
+
+    /// Fold `partial` group `g` into global group `target` (which must
+    /// already exist).
+    fn merge_into(&mut self, target: usize, partial: &AggrPartial, g: usize) {
+        self.group_counts[target] += partial.counts[g];
+        for (ai, spec) in self.spec.aggs.iter().enumerate() {
+            match (&mut self.accs[ai], &partial.accs[ai]) {
+                (PartialAcc::F64(dst), PartialAcc::F64(src)) => {
+                    let v = src[g];
+                    match spec.func {
+                        AggFunc::Min => {
+                            if v < dst[target] {
+                                dst[target] = v;
+                            }
+                        }
+                        AggFunc::Max => {
+                            if v > dst[target] {
+                                dst[target] = v;
+                            }
+                        }
+                        _ => dst[target] += v,
+                    }
+                }
+                (PartialAcc::I64(dst), PartialAcc::I64(src)) => {
+                    let v = src[g];
+                    match spec.func {
+                        AggFunc::Min => {
+                            if v < dst[target] {
+                                dst[target] = v;
+                            }
+                        }
+                        AggFunc::Max => {
+                            if v > dst[target] {
+                                dst[target] = v;
+                            }
+                        }
+                        _ => dst[target] += v,
+                    }
+                }
+                (dst, src) => panic!(
+                    "merge accumulator type mismatch: {:?} <- {:?}",
+                    dst.ty(),
+                    src.ty()
+                ),
+            }
+        }
+    }
+
+    /// Open a new global group from `partial` group `g`; returns its id.
+    fn insert_group(&mut self, hash: u64, partial: &AggrPartial, g: usize) -> usize {
+        let id = self.n_groups;
+        self.n_groups += 1;
+        for (ks, kv) in self.key_store.iter_mut().zip(partial.keys.iter()) {
+            push_from(ks, kv, g);
+        }
+        self.group_hashes.push(hash);
+        self.group_counts.push(partial.counts[g]);
+        for (dst, src) in self.accs.iter_mut().zip(partial.accs.iter()) {
+            match (dst, src) {
+                (PartialAcc::F64(d), PartialAcc::F64(s)) => d.push(s[g]),
+                (PartialAcc::I64(d), PartialAcc::I64(s)) => d.push(s[g]),
+                (d, s) => panic!(
+                    "merge accumulator type mismatch: {:?} <- {:?}",
+                    d.ty(),
+                    s.ty()
+                ),
+            }
+        }
+        id
+    }
+
+    fn build(&mut self, prof: &mut Profiler) {
+        let partials = std::mem::take(&mut self.partials);
+        let t_op = prof.start();
+        let mut total_in = 0usize;
+        for partial in &partials {
+            let n = partial.n_groups;
+            if n == 0 {
+                continue;
+            }
+            total_in += n;
+            if self.spec.key_types.is_empty() {
+                // Ungrouped: everything folds into global group 0.
+                if self.n_groups == 0 {
+                    self.insert_group(0, partial, 0);
+                } else {
+                    self.merge_into(0, partial, 0);
+                }
+                continue;
+            }
+            ensure_capacity(
+                &mut self.buckets,
+                &self.group_hashes,
+                self.n_groups,
+                self.n_groups + n,
+            );
+            self.hash_buf.resize(n, 0);
+            let key_refs: Vec<&Vector> = partial.keys.iter().collect();
+            hash_keys(&key_refs, &mut self.hash_buf, n, None, prof);
+            let mask = (self.buckets.len() - 1) as u64;
+            for g in 0..n {
+                let h = self.hash_buf[g];
+                let mut b = (h & mask) as usize;
+                loop {
+                    let slot = self.buckets[b];
+                    if slot == 0 {
+                        let id = self.insert_group(h, partial, g);
+                        self.buckets[b] = id as u32 + 1;
+                        break;
+                    }
+                    let cand = (slot - 1) as usize;
+                    if self.group_hashes[cand] == h
+                        && self
+                            .key_store
+                            .iter()
+                            .zip(partial.keys.iter())
+                            .all(|(ks, kv)| eq_at(ks, cand, kv, g))
+                    {
+                        self.merge_into(cand, partial, g);
+                        break;
+                    }
+                    b = (b + 1) & mask as usize;
+                }
+            }
+        }
+        // SQL semantics: an ungrouped aggregation over an empty input
+        // still yields one row (count 0, sums 0) — the sequential
+        // HashAggr synthesizes the same row.
+        if self.spec.ungrouped && self.n_groups == 0 {
+            self.n_groups = 1;
+            self.group_counts.push(0);
+            for (acc, spec) in self.accs.iter_mut().zip(self.spec.aggs.iter()) {
+                acc.grow(1, spec.init);
+            }
+        }
+        prof.record_op("MergeAggr", t_op, total_in);
+        self.built = true;
+    }
+}
+
+impl Operator for MergeAggrOp {
+    fn fields(&self) -> &[OutField] {
+        &self.spec.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if !self.built {
+            self.build(prof);
+        }
+        if self.emit_pos >= self.n_groups {
+            return None;
+        }
+        let start = self.emit_pos;
+        let n = (self.n_groups - start).min(self.vector_size);
+        self.emit_pos += n;
+        self.out.reset();
+        self.out.len = n;
+        let nkeys = self.key_store.len();
+        for k in 0..nkeys {
+            let mut v = self.pools[k].writable();
+            match &self.spec.key_dicts[k] {
+                None => crate::ops::extend_range(&mut v, &self.key_store[k], start, n),
+                Some(dict) => {
+                    for g in start..start + n {
+                        let code = match &self.key_store[k] {
+                            Vector::U8(c) => c[g] as usize,
+                            Vector::U16(c) => c[g] as usize,
+                            other => panic!("code key is {:?}", other.scalar_type()),
+                        };
+                        v.push_value(&dict.decode(code));
+                    }
+                }
+            }
+            self.pools[k].publish(v, &mut self.out);
+        }
+        for (a, spec) in self.spec.aggs.iter().enumerate() {
+            let mut v = self.pools[nkeys + a].writable();
+            match (spec.func, &self.accs[a]) {
+                (AggFunc::Avg, PartialAcc::F64(sums)) => {
+                    let t0 = prof.start();
+                    let o = v.as_f64_mut();
+                    let base = o.len();
+                    o.resize(base + n, 0.0);
+                    vaggr::aggr_avg_epilogue(
+                        &mut o[base..],
+                        &sums[start..start + n],
+                        &self.group_counts[start..start + n],
+                    );
+                    prof.record_prim("aggr_avg_epilogue", t0, n, n * 24);
+                }
+                (_, PartialAcc::F64(vals)) => {
+                    v.as_f64_mut().extend_from_slice(&vals[start..start + n])
+                }
+                (_, PartialAcc::I64(vals)) => {
+                    v.as_i64_mut().extend_from_slice(&vals[start..start + n])
+                }
+            }
+            self.pools[nkeys + a].publish(v, &mut self.out);
+        }
+        Some(&self.out)
+    }
+
+    fn reset(&mut self) {
+        // Partials are consumed on build; reset only rewinds emission.
+        self.emit_pos = 0;
+    }
+}

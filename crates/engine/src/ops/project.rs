@@ -25,7 +25,10 @@ enum ProjCol {
     /// Zero-copy pass-through of input column `i`.
     Pass(usize),
     /// Computed column: expression program + reusable output slot.
-    Compute { prog: ExprProg, slot: Option<Rc<Vector>> },
+    Compute {
+        prog: ExprProg,
+        slot: Option<Rc<Vector>>,
+    },
 }
 
 /// The projection operator.
@@ -55,7 +58,13 @@ impl ProjectOp {
                 None => cols.push(ProjCol::Compute { prog, slot: None }),
             }
         }
-        Ok(ProjectOp { child, cols, fields, vector_size, out: Batch::new() })
+        Ok(ProjectOp {
+            child,
+            cols,
+            fields,
+            vector_size,
+            out: Batch::new(),
+        })
     }
 }
 

@@ -16,7 +16,7 @@ use crate::batch::{Batch, OutField, SelPool, VecPool};
 use crate::ops::Operator;
 use crate::profile::Profiler;
 use std::sync::Arc;
-use x100_storage::{ColumnBM, ColumnData, Table};
+use x100_storage::{ColumnBM, ColumnData, Morsel, Table};
 use x100_vector::Vector;
 
 /// How one scanned column is produced.
@@ -43,6 +43,11 @@ pub struct ScanOp {
     range: (usize, usize),
     pos: usize,
     delta_pos: usize,
+    /// Morsel mode: scan only these row ranges (parallel workers get
+    /// disjoint subsets). `None` scans `range` + the whole delta.
+    morsels: Option<Vec<Morsel>>,
+    mcur: usize,
+    moff: usize,
     vector_size: usize,
     scratch_del: Vec<u32>,
     bm: Option<Arc<ColumnBM>>,
@@ -62,6 +67,40 @@ impl ScanOp {
         col_names: &[&str],
         code_cols: &[&str],
         range: Option<(usize, usize)>,
+        vector_size: usize,
+        bm: Option<Arc<ColumnBM>>,
+    ) -> Result<Self, crate::PlanError> {
+        Self::build(table, col_names, code_cols, range, None, vector_size, bm)
+    }
+
+    /// Build a scan restricted to `morsels` (disjoint row ranges handed
+    /// to one parallel worker). `range`/delta iteration is replaced by
+    /// the morsel list; everything else matches [`ScanOp::new`].
+    pub fn with_morsels(
+        table: Arc<Table>,
+        col_names: &[&str],
+        code_cols: &[&str],
+        morsels: Vec<Morsel>,
+        vector_size: usize,
+        bm: Option<Arc<ColumnBM>>,
+    ) -> Result<Self, crate::PlanError> {
+        Self::build(
+            table,
+            col_names,
+            code_cols,
+            None,
+            Some(morsels),
+            vector_size,
+            bm,
+        )
+    }
+
+    fn build(
+        table: Arc<Table>,
+        col_names: &[&str],
+        code_cols: &[&str],
+        range: Option<(usize, usize)>,
+        morsels: Option<Vec<Morsel>>,
         vector_size: usize,
         bm: Option<Arc<ColumnBM>>,
     ) -> Result<Self, crate::PlanError> {
@@ -86,7 +125,10 @@ impl ScanOp {
                         dict.value_type().sig_name()
                     );
                     (
-                        ColMode::Decode { codes: Vector::with_capacity(code_ty, vector_size), sig },
+                        ColMode::Decode {
+                            codes: Vector::with_capacity(code_ty, vector_size),
+                            sig,
+                        },
                         dict.value_type(),
                     )
                 }
@@ -95,6 +137,19 @@ impl ScanOp {
             fields.push(OutField::new(name, ty));
             pools.push(VecPool::new(ty, vector_size));
             modes.push(mode);
+        }
+        // Raw codes cannot be served from the (logical-value) insert
+        // delta: reject at bind time rather than panic mid-scan.
+        if table.delta_rows() > 0 {
+            if let Some((&name, _)) = col_names
+                .iter()
+                .zip(modes.iter())
+                .find(|(_, m)| matches!(m, ColMode::Codes))
+            {
+                return Err(crate::PlanError::Invalid(format!(
+                    "raw-code scan of column `{name}` with pending insert deltas; reorganize first"
+                )));
+            }
         }
         let frag = table.fragment_rows();
         let range = match range {
@@ -112,6 +167,9 @@ impl ScanOp {
             range,
             pos: range.0,
             delta_pos: 0,
+            morsels,
+            mcur: 0,
+            moff: 0,
             vector_size,
             scratch_del: Vec::new(),
             bm,
@@ -134,7 +192,11 @@ impl ScanOp {
                     sc.physical().read_into(start, n, &mut v);
                     scan_bytes += v.byte_size();
                     if let Some(bm) = &self.bm {
-                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, v.byte_size() as u64);
+                        bm.access(
+                            ci as u32,
+                            (start * sc.physical_type().width()) as u64,
+                            v.byte_size() as u64,
+                        );
                     }
                     self.pools[k].publish(v, &mut self.out);
                 }
@@ -143,7 +205,11 @@ impl ScanOp {
                     sc.physical().read_into(start, n, &mut v);
                     scan_bytes += v.byte_size();
                     if let Some(bm) = &self.bm {
-                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, v.byte_size() as u64);
+                        bm.access(
+                            ci as u32,
+                            (start * sc.physical_type().width()) as u64,
+                            v.byte_size() as u64,
+                        );
                     }
                     self.pools[k].publish(v, &mut self.out);
                 }
@@ -153,7 +219,11 @@ impl ScanOp {
                     sc.physical().read_into(start, n, codes);
                     scan_bytes += codes.byte_size();
                     if let Some(bm) = &self.bm {
-                        bm.access(ci as u32, (start * sc.physical_type().width()) as u64, codes.byte_size() as u64);
+                        bm.access(
+                            ci as u32,
+                            (start * sc.physical_type().width()) as u64,
+                            codes.byte_size() as u64,
+                        );
                     }
                     // Placeholder slot; replaced by the decode pass below.
                     self.out.columns.push(self.placeholder.clone());
@@ -179,7 +249,11 @@ impl ScanOp {
         }
         // Deletion mask.
         self.scratch_del.clear();
-        self.table.deletes().deleted_in_range(start as u32, (start + n) as u32, &mut self.scratch_del);
+        self.table.deletes().deleted_in_range(
+            start as u32,
+            (start + n) as u32,
+            &mut self.scratch_del,
+        );
         if !self.scratch_del.is_empty() {
             let mut sel = self.sel_pool.writable();
             let buf = sel.buf_mut();
@@ -203,11 +277,11 @@ impl ScanOp {
         for (k, &ci) in self.cols.iter().enumerate() {
             let mut v = self.pools[k].writable();
             // Delta rows are stored logically; code columns cannot be
-            // served from the delta (the binder forbids code scans on
+            // served from the delta (the binder rejects code scans on
             // tables with pending inserts).
             match self.modes[k] {
-                ColMode::Codes => panic!(
-                    "raw-code scan of column `{}` with pending insert deltas; reorganize first",
+                ColMode::Codes => unreachable!(
+                    "raw-code scan of column `{}` with pending insert deltas rejected at bind",
                     self.fields[k].name
                 ),
                 _ => self.table.read_delta(ci, start, n, &mut v),
@@ -217,7 +291,9 @@ impl ScanOp {
         prof.record_op("Scan(delta)", t_scan, n);
         let base = (self.table.fragment_rows() + start) as u32;
         self.scratch_del.clear();
-        self.table.deletes().deleted_in_range(base, base + n as u32, &mut self.scratch_del);
+        self.table
+            .deletes()
+            .deleted_in_range(base, base + n as u32, &mut self.scratch_del);
         if !self.scratch_del.is_empty() {
             let mut sel = self.sel_pool.writable();
             let buf = sel.buf_mut();
@@ -271,6 +347,28 @@ impl Operator for ScanOp {
     }
 
     fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.morsels.is_some() {
+            loop {
+                let m = match self.morsels.as_ref().unwrap().get(self.mcur) {
+                    None => return None,
+                    Some(&m) => m,
+                };
+                if self.moff >= m.len {
+                    self.mcur += 1;
+                    self.moff = 0;
+                    continue;
+                }
+                let n = (m.len - self.moff).min(self.vector_size);
+                let start = m.start + self.moff;
+                self.moff += n;
+                if m.delta {
+                    self.emit_delta(start, n, prof);
+                } else {
+                    self.emit_fragment(start, n, prof);
+                }
+                return Some(&self.out);
+            }
+        }
         if self.pos < self.range.1 {
             let n = (self.range.1 - self.pos).min(self.vector_size);
             let start = self.pos;
@@ -292,5 +390,7 @@ impl Operator for ScanOp {
     fn reset(&mut self) {
         self.pos = self.range.0;
         self.delta_pos = 0;
+        self.mcur = 0;
+        self.moff = 0;
     }
 }

@@ -22,16 +22,30 @@ use crate::ops::Operator;
 use crate::profile::Profiler;
 use crate::PlanError;
 use x100_vector::select::{select_cmp_col_col, select_cmp_col_val, select_str_eq, select_true};
-use x100_vector::{CmpOp, ScalarType, SelectStrategy, SelVec, Value, Vector};
+use x100_vector::{CmpOp, ScalarType, SelVec, SelectStrategy, Value, Vector};
 
 /// One conjunct of a compiled predicate.
 enum PredStep {
     /// `lhs ⊙ literal` via a select primitive.
-    CmpVal { lhs: ExprProg, op: CmpOp, v: Value, sig: String },
+    CmpVal {
+        lhs: ExprProg,
+        op: CmpOp,
+        v: Value,
+        sig: String,
+    },
     /// `lhs ⊙ rhs` (both columns/expressions) via a select primitive.
-    CmpCol { lhs: ExprProg, rhs: ExprProg, op: CmpOp, sig: String },
+    CmpCol {
+        lhs: ExprProg,
+        rhs: ExprProg,
+        op: CmpOp,
+        sig: String,
+    },
     /// String equality select.
-    StrEq { lhs: ExprProg, v: String, negate: bool },
+    StrEq {
+        lhs: ExprProg,
+        v: String,
+        negate: bool,
+    },
     /// General boolean expression + `select_true`.
     Bool(ExprProg),
     /// Statically empty (e.g. `enum_col = literal` not in the dictionary).
@@ -109,15 +123,24 @@ fn build_steps(
                         ))
                     }
                 };
-                out.push(PredStep::StrEq { lhs: lty, v, negate });
+                out.push(PredStep::StrEq {
+                    lhs: lty,
+                    v,
+                    negate,
+                });
                 return Ok(());
             }
             match r.as_ref() {
                 Expr::Lit(v) => {
                     // A float literal against an integer column needs the
                     // promoting map path (the select primitive would
-                    // truncate the literal).
-                    if lty.result_type().is_integer() && v.scalar_type() == ScalarType::F64 {
+                    // truncate the literal). Types without a select
+                    // primitive also fall back to the boolean map path,
+                    // whose compiler reports a typed error if the
+                    // comparison itself is unsupported.
+                    if (lty.result_type().is_integer() && v.scalar_type() == ScalarType::F64)
+                        || !select_val_supported(lty.result_type())
+                    {
                         let prog = ExprProg::compile(pred, fields, vector_size, compound)?;
                         out.push(PredStep::Bool(prog));
                         return Ok(());
@@ -127,14 +150,22 @@ fn build_steps(
                         op.sig_name(),
                         lty.result_type().sig_name()
                     );
-                    out.push(PredStep::CmpVal { lhs: lty, op: *op, v: v.clone(), sig });
+                    out.push(PredStep::CmpVal {
+                        lhs: lty,
+                        op: *op,
+                        v: v.clone(),
+                        sig,
+                    });
                     Ok(())
                 }
                 _ => {
                     let rty = ExprProg::compile(r, fields, vector_size, compound)?;
-                    if rty.result_type() != lty.result_type() {
+                    if rty.result_type() != lty.result_type()
+                        || !select_col_supported(lty.result_type())
+                    {
                         // Fall back to the general boolean path, which
-                        // handles promotion in the map layer.
+                        // handles promotion in the map layer (and yields
+                        // a typed error for unsupported comparisons).
                         let prog = ExprProg::compile(pred, fields, vector_size, compound)?;
                         out.push(PredStep::Bool(prog));
                         return Ok(());
@@ -144,7 +175,12 @@ fn build_steps(
                         op.sig_name(),
                         lty.result_type().sig_name()
                     );
-                    out.push(PredStep::CmpCol { lhs: lty, rhs: rty, op: *op, sig });
+                    out.push(PredStep::CmpCol {
+                        lhs: lty,
+                        rhs: rty,
+                        op: *op,
+                        sig,
+                    });
                     Ok(())
                 }
             }
@@ -161,6 +197,34 @@ fn build_steps(
             Ok(())
         }
     }
+}
+
+/// Types with a `select_*_col_val` primitive ([`run_select_val`]).
+fn select_val_supported(ty: ScalarType) -> bool {
+    matches!(
+        ty,
+        ScalarType::I8
+            | ScalarType::I16
+            | ScalarType::I32
+            | ScalarType::I64
+            | ScalarType::U8
+            | ScalarType::U16
+            | ScalarType::U32
+            | ScalarType::F64
+    )
+}
+
+/// Types with a `select_*_col_col` primitive ([`run_select_col`]).
+fn select_col_supported(ty: ScalarType) -> bool {
+    matches!(
+        ty,
+        ScalarType::I32
+            | ScalarType::I64
+            | ScalarType::F64
+            | ScalarType::U8
+            | ScalarType::U16
+            | ScalarType::U32
+    )
 }
 
 /// Run one select primitive: vector dispatch on the lhs type.
@@ -181,7 +245,10 @@ fn run_select_val(
         Vector::U16(a) => select_cmp_col_val(out, a, v.as_i64() as u16, op, sel, strategy),
         Vector::U32(a) => select_cmp_col_val(out, a, v.as_i64() as u32, op, sel, strategy),
         Vector::F64(a) => select_cmp_col_val(out, a, v.as_f64(), op, sel, strategy),
-        other => panic!("select on {:?}", other.scalar_type()),
+        other => unreachable!(
+            "select_val on {:?}: unsupported types are routed to the boolean path at bind",
+            other.scalar_type()
+        ),
     }
 }
 
@@ -200,7 +267,11 @@ fn run_select_col(
         (Vector::U8(a), Vector::U8(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
         (Vector::U16(a), Vector::U16(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
         (Vector::U32(a), Vector::U32(b)) => select_cmp_col_col(out, a, b, op, sel, strategy),
-        (a, b) => panic!("select on {:?} vs {:?}", a.scalar_type(), b.scalar_type()),
+        (a, b) => unreachable!(
+            "select_col on {:?} vs {:?}: unsupported pairs are routed to the boolean path at bind",
+            a.scalar_type(),
+            b.scalar_type()
+        ),
     }
 }
 
@@ -225,8 +296,14 @@ impl Operator for SelectOp {
                     PredStep::CmpVal { lhs, op, v, sig } => {
                         let lv = lhs.eval(batch, cur.as_ref(), prof);
                         let t0 = prof.start();
-                        let cnt = run_select_val(&mut next_sel, lv, *op, v, cur.as_ref(), self.strategy);
-                        prof.record_prim(sig, t0, live_in, live_in * lv.scalar_type().width() + cnt * 4);
+                        let cnt =
+                            run_select_val(&mut next_sel, lv, *op, v, cur.as_ref(), self.strategy);
+                        prof.record_prim(
+                            sig,
+                            t0,
+                            live_in,
+                            live_in * lv.scalar_type().width() + cnt * 4,
+                        );
                         cnt
                     }
                     PredStep::CmpCol { lhs, rhs, op, sig } => {
@@ -237,7 +314,12 @@ impl Operator for SelectOp {
                         let t0 = prof.start();
                         let cnt =
                             run_select_col(&mut next_sel, lv, rv, *op, cur.as_ref(), self.strategy);
-                        prof.record_prim(sig, t0, live_in, 2 * live_in * lv.scalar_type().width() + cnt * 4);
+                        prof.record_prim(
+                            sig,
+                            t0,
+                            live_in,
+                            2 * live_in * lv.scalar_type().width() + cnt * 4,
+                        );
                         cnt
                     }
                     PredStep::StrEq { lhs, v, negate } => {
@@ -268,7 +350,12 @@ impl Operator for SelectOp {
                         } else {
                             select_str_eq(&mut next_sel, lv.as_str(), v, cur.as_ref())
                         };
-                        prof.record_prim("select_eq_str_col_val", t0, live_in, live_in * 16 + cnt * 4);
+                        prof.record_prim(
+                            "select_eq_str_col_val",
+                            t0,
+                            live_in,
+                            live_in * 16 + cnt * 4,
+                        );
                         cnt
                     }
                     PredStep::Bool(prog) => {

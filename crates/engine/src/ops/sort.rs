@@ -35,12 +35,18 @@ pub struct OrdExp {
 impl OrdExp {
     /// `col ASC`.
     pub fn asc(col: impl Into<String>) -> Self {
-        OrdExp { col: col.into(), order: SortOrder::Asc }
+        OrdExp {
+            col: col.into(),
+            order: SortOrder::Asc,
+        }
     }
 
     /// `col DESC`.
     pub fn desc(col: impl Into<String>) -> Self {
-        OrdExp { col: col.into(), order: SortOrder::Desc }
+        OrdExp {
+            col: col.into(),
+            order: SortOrder::Desc,
+        }
     }
 }
 
@@ -75,8 +81,14 @@ impl OrderOp {
                 .ok_or_else(|| PlanError::UnknownColumn(k.col.clone()))?;
             bound.push((i, k.order));
         }
-        let store = fields.iter().map(|f| Vector::with_capacity(f.ty, 0)).collect();
-        let pools = fields.iter().map(|f| VecPool::new(f.ty, vector_size)).collect();
+        let store = fields
+            .iter()
+            .map(|f| Vector::with_capacity(f.ty, 0))
+            .collect();
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
         Ok(OrderOp {
             child,
             keys: bound,
@@ -118,7 +130,11 @@ impl OrderOp {
         self.perm.sort_by(|&a, &b| {
             for &(col, ord) in keys {
                 let c = cmp_at(&store[col], a as usize, &store[col], b as usize);
-                let c = if ord == SortOrder::Desc { c.reverse() } else { c };
+                let c = if ord == SortOrder::Desc {
+                    c.reverse()
+                } else {
+                    c
+                };
                 if c != Ordering::Equal {
                     return c;
                 }
@@ -187,7 +203,10 @@ impl TopNOp {
         limit: usize,
         vector_size: usize,
     ) -> Result<Self, PlanError> {
-        Ok(TopNOp { inner: OrderOp::new(child, keys, vector_size)?, limit })
+        Ok(TopNOp {
+            inner: OrderOp::new(child, keys, vector_size)?,
+            limit,
+        })
     }
 }
 

@@ -62,7 +62,10 @@ impl<'a> Parser<'a> {
 
     fn err(&self, msg: &str) -> PlanError {
         let rest: String = self.src[self.pos..].chars().take(30).collect();
-        PlanError::Invalid(format!("parse error at byte {}: {msg} (near `{rest}`)", self.pos))
+        PlanError::Invalid(format!(
+            "parse error at byte {}: {msg} (near `{rest}`)",
+            self.pos
+        ))
     }
 
     fn eof(&self) -> bool {
@@ -159,7 +162,10 @@ impl<'a> Parser<'a> {
                 let input = self.plan()?;
                 self.eat(',')?;
                 let exprs = self.named_expr_list()?;
-                Plan::Project { input: Box::new(input), exprs }
+                Plan::Project {
+                    input: Box::new(input),
+                    exprs,
+                }
             }
             "Aggr" => {
                 let input = self.plan()?;
@@ -167,7 +173,11 @@ impl<'a> Parser<'a> {
                 let keys = self.named_expr_list()?;
                 self.eat(',')?;
                 let aggs = self.agg_list()?;
-                Plan::Aggr { input: Box::new(input), keys, aggs }
+                Plan::Aggr {
+                    input: Box::new(input),
+                    keys,
+                    aggs,
+                }
             }
             "OrdAggr" => {
                 let input = self.plan()?;
@@ -175,7 +185,11 @@ impl<'a> Parser<'a> {
                 let keys = self.named_expr_list()?;
                 self.eat(',')?;
                 let aggs = self.agg_list()?;
-                Plan::OrdAggr { input: Box::new(input), keys, aggs }
+                Plan::OrdAggr {
+                    input: Box::new(input),
+                    keys,
+                    aggs,
+                }
             }
             "Fetch1Join" => {
                 let input = self.plan()?;
@@ -185,8 +199,18 @@ impl<'a> Parser<'a> {
                 let rowid = self.expr()?;
                 self.eat(',')?;
                 let fetch = self.alias_list()?;
-                let fetch_codes = if self.eat_opt(',') { self.alias_list()? } else { Vec::new() };
-                Plan::Fetch1Join { input: Box::new(input), table, rowid, fetch, fetch_codes }
+                let fetch_codes = if self.eat_opt(',') {
+                    self.alias_list()?
+                } else {
+                    Vec::new()
+                };
+                Plan::Fetch1Join {
+                    input: Box::new(input),
+                    table,
+                    rowid,
+                    fetch,
+                    fetch_codes,
+                }
             }
             "FetchNJoin" => {
                 let input = self.plan()?;
@@ -198,7 +222,13 @@ impl<'a> Parser<'a> {
                 let cnt = self.expr()?;
                 self.eat(',')?;
                 let fetch = self.alias_list()?;
-                Plan::FetchNJoin { input: Box::new(input), table, lo, cnt, fetch }
+                Plan::FetchNJoin {
+                    input: Box::new(input),
+                    table,
+                    lo,
+                    cnt,
+                    fetch,
+                }
             }
             "CartProd" => {
                 let input = self.plan()?;
@@ -206,7 +236,11 @@ impl<'a> Parser<'a> {
                 let table = self.ident()?;
                 self.eat(',')?;
                 let fetch = self.alias_list()?;
-                Plan::CartProd { input: Box::new(input), table, fetch }
+                Plan::CartProd {
+                    input: Box::new(input),
+                    table,
+                    fetch,
+                }
             }
             "Join" => {
                 let input = self.plan()?;
@@ -216,7 +250,12 @@ impl<'a> Parser<'a> {
                 let pred = self.expr()?;
                 self.eat(',')?;
                 let fetch = self.alias_list()?;
-                Plan::Join { input: Box::new(input), table, pred, fetch }
+                Plan::Join {
+                    input: Box::new(input),
+                    table,
+                    pred,
+                    fetch,
+                }
             }
             "TopN" => {
                 let input = self.plan()?;
@@ -224,13 +263,20 @@ impl<'a> Parser<'a> {
                 let keys = self.ord_list()?;
                 self.eat(',')?;
                 let limit = self.integer()? as usize;
-                Plan::TopN { input: Box::new(input), keys, limit }
+                Plan::TopN {
+                    input: Box::new(input),
+                    keys,
+                    limit,
+                }
             }
             "Order" => {
                 let input = self.plan()?;
                 self.eat(',')?;
                 let keys = self.ord_list()?;
-                Plan::Order { input: Box::new(input), keys }
+                Plan::Order {
+                    input: Box::new(input),
+                    keys,
+                }
             }
             "Array" => {
                 let dims = self.bracketed(|p| p.integer())?;
@@ -263,7 +309,12 @@ impl<'a> Parser<'a> {
             self.eat('=')?;
             code_cols = self.bracketed(|p| p.ident())?;
         }
-        Ok(Plan::Scan { table, cols, code_cols, prune: None })
+        Ok(Plan::Scan {
+            table,
+            cols,
+            code_cols,
+            prune: None,
+        })
     }
 
     /// `[a, b = expr, …]` — bare identifiers name themselves.
@@ -365,7 +416,9 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.bump();
         }
-        self.src[start..self.pos].parse().map_err(|_| self.err("expected integer"))
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("expected integer"))
     }
 
     // ---------------- expressions ----------------
@@ -387,7 +440,9 @@ impl<'a> Parser<'a> {
             ("/", Head::Arith(expr::ArithOp::Div)),
         ] {
             if self.src[self.pos..].starts_with(sym)
-                && self.src[self.pos + sym.len()..].trim_start().starts_with('(')
+                && self.src[self.pos + sym.len()..]
+                    .trim_start()
+                    .starts_with('(')
             {
                 self.pos += sym.len();
                 self.eat('(')?;
@@ -518,7 +573,10 @@ mod tests {
 
     #[test]
     fn parses_expressions() {
-        assert_eq!(parse_expr("l_discount").expect("parses"), Expr::Col("l_discount".into()));
+        assert_eq!(
+            parse_expr("l_discount").expect("parses"),
+            Expr::Col("l_discount".into())
+        );
         let e = parse_expr("*( -( flt('1.0'), l_discount), l_extendedprice)").expect("parses");
         assert_eq!(
             e,
@@ -528,11 +586,17 @@ mod tests {
             )
         );
         let e = parse_expr("<=(l_shipdate, date('1998-09-02'))").expect("parses");
-        assert_eq!(e, expr::le(expr::col("l_shipdate"), expr::lit_date(1998, 9, 2)));
+        assert_eq!(
+            e,
+            expr::le(expr::col("l_shipdate"), expr::lit_date(1998, 9, 2))
+        );
         let e = parse_expr("and(>(a, 1), contains(s, 'green'))").expect("parses");
         assert_eq!(
             e,
-            expr::and(expr::gt(expr::col("a"), expr::lit_i64(1)), expr::contains(expr::col("s"), "green"))
+            expr::and(
+                expr::gt(expr::col("a"), expr::lit_i64(1)),
+                expr::contains(expr::col("s"), "green")
+            )
         );
         let e = parse_expr("cast(f64, year(d))").expect("parses");
         assert_eq!(e, expr::cast(ScalarType::F64, expr::year(expr::col("d"))));
@@ -593,10 +657,18 @@ mod tests {
         )
         .expect("parses");
         match plan {
-            Plan::Fetch1Join { table, fetch, fetch_codes, .. } => {
+            Plan::Fetch1Join {
+                table,
+                fetch,
+                fetch_codes,
+                ..
+            } => {
                 assert_eq!(table, "orders");
                 assert_eq!(fetch, vec![("o_orderdate".to_owned(), "od".to_owned())]);
-                assert_eq!(fetch_codes, vec![("o_orderpriority".to_owned(), "o_orderpriority".to_owned())]);
+                assert_eq!(
+                    fetch_codes,
+                    vec![("o_orderpriority".to_owned(), "o_orderpriority".to_owned())]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -27,12 +27,13 @@
 use crate::expr::{AggExpr, Expr};
 use crate::ops::{
     ArrayOp, CartProdOp, DirectAggrOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
-    OrdAggrOp, OrdExp, Operator, ProjectOp, ScanOp, SelectOp, TopNOp,
+    Operator, OrdAggrOp, OrdExp, ProjectOp, ScanOp, SelectOp, TopNOp,
 };
 use crate::ops::{DirectKey, JoinType, OrderOp};
 use crate::session::{Database, ExecOptions};
 use crate::PlanError;
-use x100_storage::EnumDict;
+use std::sync::Arc;
+use x100_storage::{EnumDict, Morsel, Table};
 
 /// A key of a `DirectAggr`: must resolve to a code column with a known
 /// small domain.
@@ -207,30 +208,48 @@ type Bound = (Box<dyn Operator>, Vec<Option<EnumDict>>);
 impl Plan {
     /// Bind this plan against `db`, producing an executable pipeline.
     pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
-        Ok(self.bind_inner(db, opts)?.0)
+        Ok(self.bind_inner(db, opts, None)?.0)
     }
 
-    fn bind_inner(&self, db: &Database, opts: &ExecOptions) -> Result<Bound, PlanError> {
+    /// Bind with an optional morsel restriction on the leaf `Scan`
+    /// (parallel workers bind one pipeline clone per disjoint morsel
+    /// set). `None` reproduces the ordinary full-range bind.
+    pub(crate) fn bind_inner(
+        &self,
+        db: &Database,
+        opts: &ExecOptions,
+        morsels: Option<&[Morsel]>,
+    ) -> Result<Bound, PlanError> {
         let vs = opts.vector_size;
         let comp = opts.compound_primitives;
         match self {
-            Plan::Scan { table, cols, code_cols, prune } => {
-                let t = db.table(table)?;
-                let range = match prune {
-                    None => None,
-                    Some(p) => {
-                        let ci = t
-                            .column_index(&p.col)
-                            .ok_or_else(|| PlanError::UnknownColumn(p.col.clone()))?;
-                        let summary = t.column(ci).summary().ok_or_else(|| {
-                            PlanError::Invalid(format!("column `{}` has no summary index", p.col))
-                        })?;
-                        Some(summary.range_candidates(p.lo, p.hi))
-                    }
-                };
+            Plan::Scan {
+                table,
+                cols,
+                code_cols,
+                prune,
+            } => {
+                let (t, range) = scan_prune_range(db, table, prune.as_ref())?;
                 let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
                 let code_refs: Vec<&str> = code_cols.iter().map(|s| s.as_str()).collect();
-                let op = ScanOp::new(t.clone(), &col_refs, &code_refs, range, vs, db.buffer_manager())?;
+                let op = match morsels {
+                    None => ScanOp::new(
+                        t.clone(),
+                        &col_refs,
+                        &code_refs,
+                        range,
+                        vs,
+                        db.buffer_manager(),
+                    )?,
+                    Some(ms) => ScanOp::with_morsels(
+                        t.clone(),
+                        &col_refs,
+                        &code_refs,
+                        ms.to_vec(),
+                        vs,
+                        db.buffer_manager(),
+                    )?,
+                };
                 let dicts = cols
                     .iter()
                     .map(|c| {
@@ -244,13 +263,13 @@ impl Plan {
                 Ok((Box::new(op), dicts))
             }
             Plan::Select { input, pred } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 let pred = rewrite_enum_literals(pred, child.fields(), &dicts);
                 let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy)?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Project { input, exprs } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 let exprs: Vec<(String, Expr)> = exprs
                     .iter()
                     .map(|(n, e)| (n.clone(), rewrite_enum_literals(e, child.fields(), &dicts)))
@@ -271,7 +290,7 @@ impl Plan {
                 Ok((Box::new(op), out_dicts))
             }
             Plan::Aggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 // Direct aggregation if *every* key is a bare reference to
                 // a code column with a dictionary.
                 let direct: Option<Vec<DirectKeySpec>> = keys
@@ -279,9 +298,10 @@ impl Plan {
                     .map(|(name, e)| match e {
                         Expr::Col(c) => {
                             let i = child.fields().iter().position(|f| &f.name == c)?;
-                            dicts[i]
-                                .as_ref()
-                                .map(|_| DirectKeySpec { name: name.clone(), col: c.clone() })
+                            dicts[i].as_ref().map(|_| DirectKeySpec {
+                                name: name.clone(),
+                                col: c.clone(),
+                            })
                         }
                         _ => None,
                     })
@@ -312,17 +332,23 @@ impl Plan {
                 }
             }
             Plan::DirectAggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 bind_direct(child, &dicts, keys, aggs, vs, comp)
             }
             Plan::OrdAggr { input, keys, aggs } => {
-                let (child, _) = input.bind_inner(db, opts)?;
+                let (child, _) = input.bind_inner(db, opts, morsels)?;
                 let op = OrdAggrOp::new(child, keys, aggs, vs, comp)?;
                 let nd = op.fields().len();
                 Ok((Box::new(op), vec![None; nd]))
             }
-            Plan::Fetch1Join { input, table, rowid, fetch, fetch_codes } => {
-                let (child, mut dicts) = input.bind_inner(db, opts)?;
+            Plan::Fetch1Join {
+                input,
+                table,
+                rowid,
+                fetch,
+                fetch_codes,
+            } => {
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
                 let t = db.table(table)?;
                 if !fetch_codes.is_empty() && (t.delta_rows() > 0 || !t.deletes().is_empty()) {
                     return Err(PlanError::Invalid(format!(
@@ -331,47 +357,77 @@ impl Plan {
                 }
                 let op = Fetch1JoinOp::new(child, t.clone(), rowid, fetch, fetch_codes, vs, comp)?;
                 dicts.extend(fetch.iter().map(|_| None));
-                dicts.extend(fetch_codes.iter().map(|(src, _)| t.column_by_name(src).dict().cloned()));
+                dicts.extend(
+                    fetch_codes
+                        .iter()
+                        .map(|(src, _)| t.column_by_name(src).dict().cloned()),
+                );
                 Ok((Box::new(op), dicts))
             }
-            Plan::FetchNJoin { input, table, lo, cnt, fetch } => {
-                let (child, mut dicts) = input.bind_inner(db, opts)?;
+            Plan::FetchNJoin {
+                input,
+                table,
+                lo,
+                cnt,
+                fetch,
+            } => {
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
                 let t = db.table(table)?;
                 let op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
-            Plan::CartProd { input, table, fetch } => {
-                let (child, mut dicts) = input.bind_inner(db, opts)?;
+            Plan::CartProd {
+                input,
+                table,
+                fetch,
+            } => {
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
                 let t = db.table(table)?;
                 let op = CartProdOp::new(child, t, fetch, vs)?;
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
-            Plan::Join { input, table, pred, fetch } => {
+            Plan::Join {
+                input,
+                table,
+                pred,
+                fetch,
+            } => {
                 // The paper's default join: CartProd with a Select on top.
-                let (child, mut dicts) = input.bind_inner(db, opts)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
                 let t = db.table(table)?;
                 let cart = CartProdOp::new(child, t, fetch, vs)?;
                 let op = SelectOp::new(Box::new(cart), pred, vs, comp, opts.select_strategy)?;
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
-            Plan::HashJoin { build, probe, build_keys, probe_keys, payload, join_type } => {
-                let (b, _) = build.bind_inner(db, opts)?;
-                let (p, pdicts) = probe.bind_inner(db, opts)?;
-                let op = HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, vs, comp)?;
+            Plan::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                payload,
+                join_type,
+            } => {
+                // Morsel restriction is ambiguous with two scan leaves;
+                // joins always bind full-range (the parallel driver
+                // rejects join shapes before getting here).
+                let (b, _) = build.bind_inner(db, opts, None)?;
+                let (p, pdicts) = probe.bind_inner(db, opts, None)?;
+                let op =
+                    HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, vs, comp)?;
                 let mut dicts = pdicts;
                 dicts.extend(payload.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
             Plan::TopN { input, keys, limit } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 let op = TopNOp::new(child, keys, *limit, vs)?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Order { input, keys } => {
-                let (child, dicts) = input.bind_inner(db, opts)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
                 let op = OrderOp::new(child, keys, vs)?;
                 Ok((Box::new(op), dicts))
             }
@@ -382,6 +438,31 @@ impl Plan {
             }
         }
     }
+}
+
+/// Resolve a `Scan`'s table and optional summary-index prune range.
+/// Shared between the sequential binder and the parallel driver (which
+/// needs the pruned range up front to plan morsels).
+#[allow(clippy::type_complexity)]
+pub(crate) fn scan_prune_range(
+    db: &Database,
+    table: &str,
+    prune: Option<&RangePrune>,
+) -> Result<(Arc<Table>, Option<(usize, usize)>), PlanError> {
+    let t = db.table(table)?;
+    let range = match prune {
+        None => None,
+        Some(p) => {
+            let ci = t
+                .column_index(&p.col)
+                .ok_or_else(|| PlanError::UnknownColumn(p.col.clone()))?;
+            let summary = t.column(ci).summary().ok_or_else(|| {
+                PlanError::Invalid(format!("column `{}` has no summary index", p.col))
+            })?;
+            Some(summary.range_candidates(p.lo, p.hi))
+        }
+    };
+    Ok((t, range))
 }
 
 /// Rewrite string-literal equality comparisons on enum *code* columns
@@ -423,9 +504,11 @@ fn rewrite_enum_literals(
                     _ => return None,
                 };
                 Some(match code_of(c, s)? {
-                    Some(code) => {
-                        Expr::Cmp(*op, Box::new(Expr::Col(c.clone())), Box::new(Expr::Lit(code)))
-                    }
+                    Some(code) => Expr::Cmp(
+                        *op,
+                        Box::new(Expr::Col(c.clone())),
+                        Box::new(Expr::Lit(code)),
+                    ),
                     None => Expr::Lit(Value::Bool(*op == CmpOp::Ne)),
                 })
             })();
@@ -482,7 +565,12 @@ fn bind_direct(
                 )))
             }
         };
-        dkeys.push(DirectKey { name: k.name.clone(), col: i, card, dict });
+        dkeys.push(DirectKey {
+            name: k.name.clone(),
+            col: i,
+            card,
+            dict,
+        });
     }
     let op = DirectAggrOp::new(child, dkeys, aggs, vs, comp)?;
     let nd = op.fields().len();
@@ -514,11 +602,20 @@ impl Plan {
     /// Attach a summary-index range prune to a `Scan`.
     pub fn pruned(self, col: impl Into<String>, lo: Option<i64>, hi: Option<i64>) -> Plan {
         match self {
-            Plan::Scan { table, cols, code_cols, .. } => Plan::Scan {
+            Plan::Scan {
                 table,
                 cols,
                 code_cols,
-                prune: Some(RangePrune { col: col.into(), lo, hi }),
+                ..
+            } => Plan::Scan {
+                table,
+                cols,
+                code_cols,
+                prune: Some(RangePrune {
+                    col: col.into(),
+                    lo,
+                    hi,
+                }),
             },
             other => panic!("pruned() applies to Scan, got {other:?}"),
         }
@@ -526,7 +623,10 @@ impl Plan {
 
     /// `Select(self, pred)`.
     pub fn select(self, pred: Expr) -> Plan {
-        Plan::Select { input: Box::new(self), pred }
+        Plan::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// `Project(self, exprs)`.
@@ -552,7 +652,10 @@ impl Plan {
             input: Box::new(self),
             table: table.into(),
             rowid,
-            fetch: fetch.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            fetch: fetch
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
             fetch_codes: Vec::new(),
         }
     }
@@ -571,18 +674,31 @@ impl Plan {
             input: Box::new(self),
             table: table.into(),
             rowid,
-            fetch: fetch.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
-            fetch_codes: fetch_codes.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            fetch: fetch
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            fetch_codes: fetch_codes
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
         }
     }
 
     /// `TopN(self, keys, limit)`.
     pub fn topn(self, keys: Vec<OrdExp>, limit: usize) -> Plan {
-        Plan::TopN { input: Box::new(self), keys, limit }
+        Plan::TopN {
+            input: Box::new(self),
+            keys,
+            limit,
+        }
     }
 
     /// `Order(self, keys)`.
     pub fn order(self, keys: Vec<OrdExp>) -> Plan {
-        Plan::Order { input: Box::new(self), keys }
+        Plan::Order {
+            input: Box::new(self),
+            keys,
+        }
     }
 }

@@ -60,6 +60,17 @@ impl TraceStat {
     }
 }
 
+/// Summary of one parallel worker's contribution to a query.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Worker label (e.g. `worker-0`).
+    pub label: String,
+    /// Wall-clock nanoseconds the worker's pipeline ran.
+    pub wall_nanos: u64,
+    /// Tuples the worker's partial aggregation consumed.
+    pub tuples: u64,
+}
+
 /// The session profiler. One per executed query.
 #[derive(Debug, Default)]
 pub struct Profiler {
@@ -69,12 +80,17 @@ pub struct Profiler {
     /// Insertion order of first appearance, for paper-like trace listings.
     prim_order: Vec<String>,
     op_order: Vec<String>,
+    /// Per-worker summaries of a parallel run (empty when sequential).
+    workers: Vec<WorkerTrace>,
 }
 
 impl Profiler {
     /// A profiler; `enabled == false` makes all recording free.
     pub fn new(enabled: bool) -> Self {
-        Profiler { enabled, ..Default::default() }
+        Profiler {
+            enabled,
+            ..Default::default()
+        }
     }
 
     /// Whether recording is active.
@@ -95,7 +111,13 @@ impl Profiler {
 
     /// Record a primitive invocation against signature `sig`.
     #[inline]
-    pub fn record_prim(&mut self, sig: &str, started: Option<Instant>, tuples: usize, bytes: usize) {
+    pub fn record_prim(
+        &mut self,
+        sig: &str,
+        started: Option<Instant>,
+        tuples: usize,
+        bytes: usize,
+    ) {
         if let Some(t0) = started {
             let nanos = t0.elapsed().as_nanos() as u64;
             if !self.prims.contains_key(sig) {
@@ -126,17 +148,66 @@ impl Profiler {
 
     /// Primitive-level statistics in first-appearance order.
     pub fn primitives(&self) -> impl Iterator<Item = (&str, &TraceStat)> {
-        self.prim_order.iter().map(move |k| (k.as_str(), &self.prims[k]))
+        self.prim_order
+            .iter()
+            .map(move |k| (k.as_str(), &self.prims[k]))
     }
 
     /// Operator-level statistics in first-appearance order.
     pub fn operators(&self) -> impl Iterator<Item = (&str, &TraceStat)> {
-        self.op_order.iter().map(move |k| (k.as_str(), &self.ops[k]))
+        self.op_order
+            .iter()
+            .map(move |k| (k.as_str(), &self.ops[k]))
     }
 
     /// Look up one primitive's stats.
     pub fn primitive(&self, sig: &str) -> Option<&TraceStat> {
         self.prims.get(sig)
+    }
+
+    /// Fold a parallel worker's profiler into this one: primitive and
+    /// operator stats merge into the global tables (preserving
+    /// first-appearance order), and a [`WorkerTrace`] summary is kept.
+    /// Note the merged `nanos` are summed *CPU* time across workers —
+    /// wall-clock speedup shows up in `wall_nanos` instead.
+    pub fn absorb_worker(&mut self, label: impl Into<String>, wall_nanos: u64, worker: Profiler) {
+        let mut tuples = 0u64;
+        for (op, st) in worker.operators() {
+            if op.starts_with("Aggr") {
+                tuples += st.tuples;
+            }
+        }
+        for sig in &worker.prim_order {
+            let st = worker.prims[sig];
+            if !self.prims.contains_key(sig) {
+                self.prim_order.push(sig.clone());
+            }
+            let e = self.prims.entry(sig.clone()).or_default();
+            e.calls += st.calls;
+            e.tuples += st.tuples;
+            e.bytes += st.bytes;
+            e.nanos += st.nanos;
+        }
+        for op in &worker.op_order {
+            let st = worker.ops[op];
+            if !self.ops.contains_key(op) {
+                self.op_order.push(op.clone());
+            }
+            let e = self.ops.entry(op.clone()).or_default();
+            e.calls += st.calls;
+            e.tuples += st.tuples;
+            e.nanos += st.nanos;
+        }
+        self.workers.push(WorkerTrace {
+            label: label.into(),
+            wall_nanos,
+            tuples,
+        });
+    }
+
+    /// Per-worker summaries of a parallel run (empty when sequential).
+    pub fn workers(&self) -> &[WorkerTrace] {
+        &self.workers
     }
 
     /// Render a Table 5-style trace: per-primitive rows then per-operator
@@ -169,10 +240,31 @@ impl Profiler {
             )
             .expect("write to String");
         }
-        writeln!(s, "\n{:>10} {:>10}  X100 operator", "tuples", "time (us)").expect("write to String");
+        writeln!(s, "\n{:>10} {:>10}  X100 operator", "tuples", "time (us)")
+            .expect("write to String");
         for (op, st) in self.operators() {
-            writeln!(s, "{:>10} {:>10.0}  {}", st.tuples, st.nanos as f64 / 1000.0, op)
+            writeln!(
+                s,
+                "{:>10} {:>10.0}  {}",
+                st.tuples,
+                st.nanos as f64 / 1000.0,
+                op
+            )
+            .expect("write to String");
+        }
+        if !self.workers.is_empty() {
+            writeln!(s, "\n{:>10} {:>10}  parallel worker", "tuples", "wall (us)")
                 .expect("write to String");
+            for w in &self.workers {
+                writeln!(
+                    s,
+                    "{:>10} {:>10.0}  {}",
+                    w.tuples,
+                    w.wall_nanos as f64 / 1000.0,
+                    w.label
+                )
+                .expect("write to String");
+            }
         }
         s
     }
@@ -219,7 +311,12 @@ mod tests {
 
     #[test]
     fn stat_derivations() {
-        let st = TraceStat { calls: 1, tuples: 1000, bytes: 1 << 20, nanos: 1_000_000 };
+        let st = TraceStat {
+            calls: 1,
+            tuples: 1000,
+            bytes: 1 << 20,
+            nanos: 1_000_000,
+        };
         assert!((st.mb_per_sec() - 1000.0).abs() < 1e-9);
         assert!((st.ns_per_tuple() - 1000.0).abs() < 1e-9);
         assert!((st.cycles_per_tuple() - 1300.0).abs() < 1e-9);

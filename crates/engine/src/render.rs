@@ -72,14 +72,22 @@ fn indent(depth: usize, out: &mut String) {
 fn render(plan: &Plan, depth: usize, out: &mut String) {
     indent(depth, out);
     match plan {
-        Plan::Scan { table, cols, code_cols, prune } => {
+        Plan::Scan {
+            table,
+            cols,
+            code_cols,
+            prune,
+        } => {
             out.push_str(&format!("Scan({table}, [{}]", cols.join(", ")));
             if !code_cols.is_empty() {
                 out.push_str(&format!(", codes=[{}]", code_cols.join(", ")));
             }
             out.push(')');
             if let Some(p) = prune {
-                out.push_str(&format!(" /* pruned on {} {:?}..{:?} */", p.col, p.lo, p.hi));
+                out.push_str(&format!(
+                    " /* pruned on {} {:?}..{:?} */",
+                    p.col, p.lo, p.hi
+                ));
             }
         }
         Plan::Select { input, pred } => {
@@ -95,17 +103,25 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
             render(input, depth + 1, out);
             out.push_str(",\n");
             indent(depth + 1, out);
-            let items: Vec<String> =
-                exprs.iter().map(|(n, e)| format!("{n} = {}", render_expr(e))).collect();
+            let items: Vec<String> = exprs
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", render_expr(e)))
+                .collect();
             out.push_str(&format!("[ {} ])", items.join(", ")));
         }
         Plan::Aggr { input, keys, aggs } | Plan::OrdAggr { input, keys, aggs } => {
-            out.push_str(if matches!(plan, Plan::OrdAggr { .. }) { "OrdAggr(\n" } else { "Aggr(\n" });
+            out.push_str(if matches!(plan, Plan::OrdAggr { .. }) {
+                "OrdAggr(\n"
+            } else {
+                "Aggr(\n"
+            });
             render(input, depth + 1, out);
             out.push_str(",\n");
             indent(depth + 1, out);
-            let ks: Vec<String> =
-                keys.iter().map(|(n, e)| format!("{n} = {}", render_expr(e))).collect();
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", render_expr(e)))
+                .collect();
             out.push_str(&format!("[ {} ],\n", ks.join(", ")));
             indent(depth + 1, out);
             let ags: Vec<String> = aggs
@@ -131,24 +147,43 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
             // with a comment.
             let as_aggr = Plan::Aggr {
                 input: input.clone(),
-                keys: keys.iter().map(|k| (k.name.clone(), Expr::Col(k.col.clone()))).collect(),
+                keys: keys
+                    .iter()
+                    .map(|k| (k.name.clone(), Expr::Col(k.col.clone())))
+                    .collect(),
                 aggs: aggs.clone(),
             };
             render(&as_aggr, depth, out);
             out.push_str(" /* DIRECT */");
         }
-        Plan::Fetch1Join { input, table, rowid, fetch, fetch_codes } => {
+        Plan::Fetch1Join {
+            input,
+            table,
+            rowid,
+            fetch,
+            fetch_codes,
+        } => {
             out.push_str("Fetch1Join(\n");
             render(input, depth + 1, out);
             out.push_str(",\n");
             indent(depth + 1, out);
-            out.push_str(&format!("{table}, {}, [{}]", render_expr(rowid), alias_list(fetch)));
+            out.push_str(&format!(
+                "{table}, {}, [{}]",
+                render_expr(rowid),
+                alias_list(fetch)
+            ));
             if !fetch_codes.is_empty() {
                 out.push_str(&format!(", [{}]", alias_list(fetch_codes)));
             }
             out.push(')');
         }
-        Plan::FetchNJoin { input, table, lo, cnt, fetch } => {
+        Plan::FetchNJoin {
+            input,
+            table,
+            lo,
+            cnt,
+            fetch,
+        } => {
             out.push_str("FetchNJoin(\n");
             render(input, depth + 1, out);
             out.push_str(",\n");
@@ -160,21 +195,41 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
                 alias_list(fetch)
             ));
         }
-        Plan::CartProd { input, table, fetch } => {
+        Plan::CartProd {
+            input,
+            table,
+            fetch,
+        } => {
             out.push_str("CartProd(\n");
             render(input, depth + 1, out);
             out.push_str(",\n");
             indent(depth + 1, out);
             out.push_str(&format!("{table}, [{}])", alias_list(fetch)));
         }
-        Plan::Join { input, table, pred, fetch } => {
+        Plan::Join {
+            input,
+            table,
+            pred,
+            fetch,
+        } => {
             out.push_str("Join(\n");
             render(input, depth + 1, out);
             out.push_str(",\n");
             indent(depth + 1, out);
-            out.push_str(&format!("{table}, {}, [{}])", render_expr(pred), alias_list(fetch)));
+            out.push_str(&format!(
+                "{table}, {}, [{}])",
+                render_expr(pred),
+                alias_list(fetch)
+            ));
         }
-        Plan::HashJoin { build, probe, build_keys, probe_keys, payload, join_type } => {
+        Plan::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            payload,
+            join_type,
+        } => {
             // Not part of the paper's textual algebra; rendered in the
             // same style for EXPLAIN purposes (not re-parseable).
             out.push_str(&format!("HashJoin[{join_type:?}](\n"));
@@ -185,7 +240,12 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
             indent(depth + 1, out);
             let bk: Vec<String> = build_keys.iter().map(render_expr).collect();
             let pk: Vec<String> = probe_keys.iter().map(render_expr).collect();
-            out.push_str(&format!("[{}] = [{}], [{}])", bk.join(", "), pk.join(", "), alias_list(payload)));
+            out.push_str(&format!(
+                "[{}] = [{}], [{}])",
+                bk.join(", "),
+                pk.join(", "),
+                alias_list(payload)
+            ));
         }
         Plan::TopN { input, keys, limit } => {
             out.push_str("TopN(\n");
@@ -225,7 +285,15 @@ fn alias_list(items: &[(String, String)]) -> String {
 fn ord_list(keys: &[crate::ops::OrdExp]) -> String {
     keys.iter()
         .map(|k| {
-            format!("{} {}", k.col, if k.order == SortOrder::Desc { "DESC" } else { "ASC" })
+            format!(
+                "{} {}",
+                k.col,
+                if k.order == SortOrder::Desc {
+                    "DESC"
+                } else {
+                    "ASC"
+                }
+            )
         })
         .collect::<Vec<_>>()
         .join(", ")
@@ -255,10 +323,16 @@ mod tests {
     #[test]
     fn exprs_roundtrip() {
         let cases = [
-            expr::mul(expr::sub(expr::lit_f64(1.0), expr::col("d")), expr::col("p")),
+            expr::mul(
+                expr::sub(expr::lit_f64(1.0), expr::col("d")),
+                expr::col("p"),
+            ),
             expr::and(
                 expr::le(expr::col("a"), expr::lit_date(1998, 9, 2)),
-                expr::or(expr::eq(expr::col("s"), expr::lit_str("X")), expr::not(expr::gt(expr::col("b"), expr::lit_i64(3)))),
+                expr::or(
+                    expr::eq(expr::col("s"), expr::lit_str("X")),
+                    expr::not(expr::gt(expr::col("b"), expr::lit_i64(3))),
+                ),
             ),
             expr::cast(ScalarType::F64, expr::year(expr::col("d"))),
             expr::contains(expr::col("name"), "green"),
@@ -266,7 +340,11 @@ mod tests {
         for e in cases {
             let text = render_expr(&e);
             let back = parse_expr(&text).unwrap_or_else(|err| panic!("`{text}`: {err}"));
-            assert_eq!(format!("{e:?}"), format!("{back:?}"), "roundtrip failed for `{text}`");
+            assert_eq!(
+                format!("{e:?}"),
+                format!("{back:?}"),
+                "roundtrip failed for `{text}`"
+            );
         }
     }
 
@@ -274,7 +352,10 @@ mod tests {
     fn plans_roundtrip() {
         let plan = Plan::scan_with_codes("lineitem", &["a", "b", "s"], &["s"])
             .select(expr::lt(expr::col("a"), expr::lit_i64(10)))
-            .project(vec![("x", expr::mul(expr::col("a"), expr::col("b"))), ("s", expr::col("s"))])
+            .project(vec![
+                ("x", expr::mul(expr::col("a"), expr::col("b"))),
+                ("s", expr::col("s")),
+            ])
             .aggr(
                 vec![("s", expr::col("s"))],
                 vec![AggExpr::sum("t", expr::col("x")), AggExpr::count("n")],
@@ -282,13 +363,20 @@ mod tests {
             .topn(vec![OrdExp::desc("t"), OrdExp::asc("s")], 5);
         let text = render_plan(&plan);
         let back = parse_plan(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
-        assert!(plans_equal(&plan, &back), "\nrendered:\n{text}\nparsed:\n{back:#?}");
+        assert!(
+            plans_equal(&plan, &back),
+            "\nrendered:\n{text}\nparsed:\n{back:#?}"
+        );
     }
 
     #[test]
     fn fetch_joins_roundtrip() {
-        let plan = Plan::scan("t", &["k"])
-            .fetch1_with_codes("dim", expr::col("k"), &[("v", "val")], &[("tag", "tag")]);
+        let plan = Plan::scan("t", &["k"]).fetch1_with_codes(
+            "dim",
+            expr::col("k"),
+            &[("v", "val")],
+            &[("tag", "tag")],
+        );
         let text = render_plan(&plan);
         let back = parse_plan(&text).expect("parses");
         assert!(plans_equal(&plan, &back), "\n{text}");

@@ -10,6 +10,10 @@ use std::sync::Arc;
 use x100_storage::{ColumnBM, Table};
 use x100_vector::{SelectStrategy, Value, Vector, DEFAULT_VECTOR_SIZE};
 
+/// Default morsel size for parallel scans: large enough to amortize
+/// per-morsel dispatch, small enough to balance skewed selections.
+pub const DEFAULT_MORSEL_SIZE: usize = 64 * 1024;
+
 /// Execution options of one query run.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -21,6 +25,14 @@ pub struct ExecOptions {
     pub compound_primitives: bool,
     /// Select primitive code shape (Fig. 2).
     pub select_strategy: SelectStrategy,
+    /// Worker threads for morsel-driven parallel execution. `1` (the
+    /// default) runs the unchanged single-threaded pipeline; `> 1`
+    /// parallelizes aggregation-rooted scan pipelines (other plan
+    /// shapes silently fall back to single-threaded execution).
+    pub threads: usize,
+    /// Rows per morsel for parallel scans (`0` = one morsel per whole
+    /// fragment range / delta). Ignored when `threads == 1`.
+    pub morsel_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -30,6 +42,8 @@ impl Default for ExecOptions {
             profile: false,
             compound_primitives: true,
             select_strategy: SelectStrategy::Branch,
+            threads: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
         }
     }
 }
@@ -37,12 +51,27 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// Options with a specific vector size.
     pub fn with_vector_size(vector_size: usize) -> Self {
-        ExecOptions { vector_size, ..Default::default() }
+        ExecOptions {
+            vector_size,
+            ..Default::default()
+        }
     }
 
     /// Enable tracing.
     pub fn profiled(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Use `threads` parallel workers.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Use `morsel_size`-row morsels for parallel scans.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size;
         self
     }
 }
@@ -132,7 +161,9 @@ impl QueryResult {
     /// # Panics
     /// Panics if absent.
     pub fn column_by_name(&self, name: &str) -> &Vector {
-        let i = self.col_index(name).unwrap_or_else(|| panic!("no result column `{name}`"));
+        let i = self
+            .col_index(name)
+            .unwrap_or_else(|| panic!("no result column `{name}`"));
         &self.cols[i]
     }
 
@@ -157,8 +188,16 @@ impl QueryResult {
     pub fn to_table_string(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        writeln!(s, "{}", self.fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(" | "))
-            .expect("write to String");
+        writeln!(
+            s,
+            "{}",
+            self.fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        )
+        .expect("write to String");
         for row in self.row_strings() {
             writeln!(s, "{}", row.replace('|', " | ")).expect("write to String");
         }
@@ -167,7 +206,20 @@ impl QueryResult {
 }
 
 /// Execute a plan to completion, materializing the result.
-pub fn execute(db: &Database, plan: &Plan, opts: &ExecOptions) -> Result<(QueryResult, Profiler), PlanError> {
+///
+/// With `opts.threads > 1`, aggregation-rooted scan pipelines run
+/// morsel-parallel (see [`crate::ops::MergeAggrOp`]); unsupported plan
+/// shapes transparently fall back to the single-threaded path.
+pub fn execute(
+    db: &Database,
+    plan: &Plan,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, Profiler), PlanError> {
+    if opts.threads > 1 {
+        if let Some(res) = crate::ops::parallel::try_execute_parallel(db, plan, opts)? {
+            return Ok(res);
+        }
+    }
     let mut op = plan.bind(db, opts)?;
     let mut prof = Profiler::new(opts.profile);
     let result = run_operator(op.as_mut(), &mut prof);
@@ -177,8 +229,10 @@ pub fn execute(db: &Database, plan: &Plan, opts: &ExecOptions) -> Result<(QueryR
 /// Drain an operator into a compacted [`QueryResult`].
 pub fn run_operator(op: &mut dyn Operator, prof: &mut Profiler) -> QueryResult {
     let fields = op.fields().to_vec();
-    let mut cols: Vec<Vector> =
-        fields.iter().map(|f| Vector::with_capacity(f.ty, 0)).collect();
+    let mut cols: Vec<Vector> = fields
+        .iter()
+        .map(|f| Vector::with_capacity(f.ty, 0))
+        .collect();
     let mut rows = 0usize;
     while let Some(batch) = op.next(prof) {
         match batch.sel.as_deref() {

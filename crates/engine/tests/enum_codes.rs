@@ -18,16 +18,32 @@ fn db() -> Database {
             .column("id", ColumnData::I64((0..n).collect()))
             .auto_enum_str(
                 "status",
-                (0..n).map(|i| ["NEW", "OPEN", "SHIPPED"][(i % 3) as usize].to_owned()).collect(),
+                (0..n)
+                    .map(|i| ["NEW", "OPEN", "SHIPPED"][(i % 3) as usize].to_owned())
+                    .collect(),
             )
-            .column("dim_idx", ColumnData::U32((0..n as u32).map(|i| i % 4).collect()))
-            .column("amount", ColumnData::F64((0..n).map(|i| i as f64).collect()))
+            .column(
+                "dim_idx",
+                ColumnData::U32((0..n as u32).map(|i| i % 4).collect()),
+            )
+            .column(
+                "amount",
+                ColumnData::F64((0..n).map(|i| i as f64).collect()),
+            )
             .build(),
     );
     db.register(
         TableBuilder::new("dim")
             .column("k", ColumnData::I64(vec![0, 1, 2, 3]))
-            .auto_enum_str("grade", vec!["gold".into(), "silver".into(), "bronze".into(), "gold".into()])
+            .auto_enum_str(
+                "grade",
+                vec![
+                    "gold".into(),
+                    "silver".into(),
+                    "bronze".into(),
+                    "gold".into(),
+                ],
+            )
             .build(),
     );
     db
@@ -43,9 +59,18 @@ fn enum_predicate_runs_on_codes() {
     assert_eq!(res.num_rows(), 333);
     assert_eq!(res.column_by_name("id").as_i64()[0], 1);
     // The trace must show a code select, and no string machinery.
-    assert!(prof.primitive("select_eq_u8_col_val").is_some(), "code select missing");
-    assert!(prof.primitive("select_eq_str_col_val").is_none(), "string select used");
-    assert!(prof.primitive("map_fetch_u8_col_str_col").is_none(), "column was decoded");
+    assert!(
+        prof.primitive("select_eq_u8_col_val").is_some(),
+        "code select missing"
+    );
+    assert!(
+        prof.primitive("select_eq_str_col_val").is_none(),
+        "string select used"
+    );
+    assert!(
+        prof.primitive("map_fetch_u8_col_str_col").is_none(),
+        "column was decoded"
+    );
 }
 
 #[test]
@@ -76,13 +101,17 @@ fn decoded_columns_still_use_string_compare() {
     // Without scan_with_codes the column decodes and the string path runs;
     // results must agree with the code path.
     let db = db();
-    let decoded = Plan::scan("orders", &["id", "status"]).select(eq(col("status"), lit_str("OPEN")));
+    let decoded =
+        Plan::scan("orders", &["id", "status"]).select(eq(col("status"), lit_str("OPEN")));
     let coded = Plan::scan_with_codes("orders", &["id", "status"], &["status"])
         .select(eq(col("status"), lit_str("OPEN")));
     let (r1, p1) = execute(&db, &decoded, &ExecOptions::default().profiled()).expect("runs");
     let (r2, _) = execute(&db, &coded, &ExecOptions::default()).expect("runs");
     assert!(p1.primitive("select_eq_str_col_val").is_some());
-    assert_eq!(r1.column_by_name("id").as_i64(), r2.column_by_name("id").as_i64());
+    assert_eq!(
+        r1.column_by_name("id").as_i64(),
+        r2.column_by_name("id").as_i64()
+    );
 }
 
 #[test]
@@ -92,11 +121,18 @@ fn fetch_codes_propagates_dictionary() {
     let plan = Plan::scan("orders", &["dim_idx", "amount"])
         .fetch1_with_codes("dim", col("dim_idx"), &[], &[("grade", "grade")])
         .select(eq(col("grade"), lit_str("gold")))
-        .aggr(vec![("grade", col("grade"))], vec![AggExpr::count("n"), AggExpr::sum("total", col("amount"))]);
+        .aggr(
+            vec![("grade", col("grade"))],
+            vec![AggExpr::count("n"), AggExpr::sum("total", col("amount"))],
+        );
     let (res, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("runs");
     // dim rows 0 and 3 are gold → dim_idx 0 or 3 → 500 rows, one group.
     assert_eq!(res.num_rows(), 1);
-    assert_eq!(res.fields()[0].ty, ScalarType::Str, "group key decodes on emission");
+    assert_eq!(
+        res.fields()[0].ty,
+        ScalarType::Str,
+        "group key decodes on emission"
+    );
     assert_eq!(res.value(0, 0).to_string(), "gold");
     assert_eq!(res.column_by_name("n").as_i64()[0], 500);
     // The whole path ran on codes: direct aggregation, code select.
@@ -108,9 +144,16 @@ fn fetch_codes_propagates_dictionary() {
 #[test]
 fn fetch_codes_rejects_plain_columns() {
     let db = db();
-    let plan = Plan::scan("orders", &["dim_idx"])
-        .fetch1_with_codes("dim", col("dim_idx"), &[], &[("k", "k")]);
-    assert!(execute(&db, &plan, &ExecOptions::default()).is_err(), "k is not enum-typed");
+    let plan = Plan::scan("orders", &["dim_idx"]).fetch1_with_codes(
+        "dim",
+        col("dim_idx"),
+        &[],
+        &[("k", "k")],
+    );
+    assert!(
+        execute(&db, &plan, &ExecOptions::default()).is_err(),
+        "k is not enum-typed"
+    );
 }
 
 #[test]
@@ -121,7 +164,13 @@ fn rewrite_reaches_nested_expressions() {
         .project(vec![(
             "flagged",
             mul(
-                cast(ScalarType::F64, or(eq(col("status"), lit_str("NEW")), eq(col("status"), lit_str("SHIPPED")))),
+                cast(
+                    ScalarType::F64,
+                    or(
+                        eq(col("status"), lit_str("NEW")),
+                        eq(col("status"), lit_str("SHIPPED")),
+                    ),
+                ),
                 col("amount"),
             ),
         )])

@@ -15,10 +15,18 @@ fn sales_db() -> Database {
         .column("id", ColumnData::I64((0..n).collect()))
         .auto_enum_str(
             "flag",
-            (0..n).map(|i| if i % 3 == 0 { "A".into() } else { "B".into() }).collect(),
+            (0..n)
+                .map(|i| if i % 3 == 0 { "A".into() } else { "B".into() })
+                .collect(),
         )
-        .column("qty", ColumnData::F64((0..n).map(|i| (i % 5) as f64).collect()))
-        .column("price", ColumnData::F64((0..n).map(|i| 10.0 + i as f64).collect()))
+        .column(
+            "qty",
+            ColumnData::F64((0..n).map(|i| (i % 5) as f64).collect()),
+        )
+        .column(
+            "price",
+            ColumnData::F64((0..n).map(|i| 10.0 + i as f64).collect()),
+        )
         .column("day", ColumnData::I32((0..n as i32).collect()))
         .build();
     let mut db = Database::new();
@@ -108,8 +116,10 @@ fn select_on_strings() {
 #[test]
 fn project_computes_expressions() {
     let db = sales_db();
-    let plan = Plan::scan("sales", &["qty", "price"])
-        .project(vec![("total", mul(col("qty"), col("price"))), ("qty", col("qty"))]);
+    let plan = Plan::scan("sales", &["qty", "price"]).project(vec![
+        ("total", mul(col("qty"), col("price"))),
+        ("qty", col("qty")),
+    ]);
     let (res, _) = execute(&db, &plan, &opts()).expect("runs");
     assert_eq!(res.num_rows(), 20);
     let total = res.column_by_name("total").as_f64();
@@ -142,7 +152,7 @@ fn hash_aggregation_groups_correctly() {
     );
     let (res, _) = execute(&db, &plan, &opts()).expect("runs");
     assert_eq!(res.num_rows(), 5); // qty in {0..4}
-    // Find bucket 0.0: ids 0,5,10,15.
+                                   // Find bucket 0.0: ids 0,5,10,15.
     let buckets = res.column_by_name("bucket").as_f64();
     let i = buckets.iter().position(|&b| b == 0.0).expect("bucket 0");
     assert_eq!(res.column_by_name("cnt").as_i64()[i], 4);
@@ -232,7 +242,9 @@ fn fetch1join_after_select_is_positional() {
         .column("keep", ColumnData::I64(vec![0, 1, 0, 1, 0]))
         .build();
     db.register(t);
-    let d = TableBuilder::new("dim").column("val", ColumnData::I64(vec![100, 101, 102, 103, 104])).build();
+    let d = TableBuilder::new("dim")
+        .column("val", ColumnData::I64(vec![100, 101, 102, 103, 104]))
+        .build();
     db.register(d);
     let plan = Plan::scan("facts", &["fk", "keep"])
         .select(eq(col("keep"), lit_i64(1)))
@@ -266,7 +278,10 @@ fn fetchnjoin_expands_ranges() {
     let (res, _) = execute(&db, &plan, &opts()).expect("runs");
     assert_eq!(res.num_rows(), 5);
     assert_eq!(res.column_by_name("okey").as_i64(), &[10, 10, 20, 20, 20]);
-    assert_eq!(res.column_by_name("price").as_f64(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(
+        res.column_by_name("price").as_f64(),
+        &[1.0, 2.0, 3.0, 4.0, 5.0]
+    );
 }
 
 #[test]
@@ -276,7 +291,10 @@ fn nested_loop_join_is_cartprod_plus_select() {
         input: Box::new(Plan::scan("sales", &["id", "qty"]).select(lt(col("id"), lit_i64(3)))),
         table: "dim".into(),
         pred: eq(cast(ScalarType::F64, col("code")), col("qty")),
-        fetch: vec![("code".into(), "code".into()), ("label".into(), "label".into())],
+        fetch: vec![
+            ("code".into(), "code".into()),
+            ("label".into(), "label".into()),
+        ],
     };
     let (res, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("runs");
     // Each of ids 0,1,2 matches exactly the dim row with code == qty.
@@ -302,14 +320,21 @@ fn hash_join_inner() {
     // id 7 has qty 2 → label "two".
     let ids = res.column_by_name("id").as_i64();
     let r = ids.iter().position(|&i| i == 7).expect("id 7");
-    assert_eq!(res.value(r, res.col_index("label").expect("label")), Value::Str("two".into()));
+    assert_eq!(
+        res.value(r, res.col_index("label").expect("label")),
+        Value::Str("two".into())
+    );
 }
 
 #[test]
 fn hash_join_semi_and_anti() {
     let mut db = Database::new();
-    let probe = TableBuilder::new("p").column("k", ColumnData::I64(vec![1, 2, 3, 4, 5])).build();
-    let build = TableBuilder::new("b").column("k", ColumnData::I64(vec![2, 4, 9])).build();
+    let probe = TableBuilder::new("p")
+        .column("k", ColumnData::I64(vec![1, 2, 3, 4, 5]))
+        .build();
+    let build = TableBuilder::new("b")
+        .column("k", ColumnData::I64(vec![2, 4, 9]))
+        .build();
     db.register(probe);
     db.register(build);
     let semi = Plan::HashJoin {
@@ -337,7 +362,8 @@ fn hash_join_semi_and_anti() {
 #[test]
 fn order_and_topn() {
     let db = sales_db();
-    let sorted = Plan::scan("sales", &["id", "qty"]).order(vec![OrdExp::desc("qty"), OrdExp::asc("id")]);
+    let sorted =
+        Plan::scan("sales", &["id", "qty"]).order(vec![OrdExp::desc("qty"), OrdExp::asc("id")]);
     let (res, _) = execute(&db, &sorted, &opts()).expect("runs");
     assert_eq!(res.num_rows(), 20);
     assert_eq!(res.value(0, 1), Value::F64(4.0));
@@ -360,7 +386,9 @@ fn array_coordinates_column_major() {
 #[test]
 fn scan_sees_deltas_and_masks_deletes() {
     let mut db = Database::new();
-    let mut t = TableBuilder::new("t").column("v", ColumnData::I64((0..10).collect())).build();
+    let mut t = TableBuilder::new("t")
+        .column("v", ColumnData::I64((0..10).collect()))
+        .build();
     t.delete(0);
     t.delete(5);
     t.insert(&[Value::I64(100)]);
@@ -369,7 +397,10 @@ fn scan_sees_deltas_and_masks_deletes() {
     db.register(t);
     let plan = Plan::scan("t", &["v"]);
     let (res, _) = execute(&db, &plan, &opts()).expect("runs");
-    assert_eq!(res.column_by_name("v").as_i64(), &[1, 2, 3, 4, 6, 7, 8, 9, 101]);
+    assert_eq!(
+        res.column_by_name("v").as_i64(),
+        &[1, 2, 3, 4, 6, 7, 8, 9, 101]
+    );
 }
 
 #[test]
@@ -382,11 +413,18 @@ fn summary_prune_limits_scan() {
     db.register(t);
     let plan = Plan::scan("t", &["d"])
         .pruned("d", Some(50_000), Some(50_099))
-        .select(and(ge(col("d"), lit_i32(50_000)), le(col("d"), lit_i32(50_099))));
+        .select(and(
+            ge(col("d"), lit_i32(50_000)),
+            le(col("d"), lit_i32(50_099)),
+        ));
     let (res, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("runs");
     assert_eq!(res.num_rows(), 100);
     // Scan touched ~2 granules, not 100k rows.
-    let scanned = prof.operators().find(|(k, _)| *k == "Scan").map(|(_, s)| s.tuples).expect("scan traced");
+    let scanned = prof
+        .operators()
+        .find(|(k, _)| *k == "Scan")
+        .map(|(_, s)| s.tuples)
+        .expect("scan traced");
     assert!(scanned <= 2000, "scanned {scanned} rows despite prune");
 }
 
@@ -399,7 +437,10 @@ fn results_invariant_under_vector_size() {
             ("id", col("id")),
             ("rev", mul(sub(lit_f64(1.0), col("qty")), col("price"))),
         ])
-        .aggr(vec![("id_parity_rev", col("rev"))], vec![AggExpr::count("c")]);
+        .aggr(
+            vec![("id_parity_rev", col("rev"))],
+            vec![AggExpr::count("c")],
+        );
     let (base, _) = execute(&db, &plan, &ExecOptions::with_vector_size(1024)).expect("runs");
     let mut base_rows = base.row_strings();
     base_rows.sort();
@@ -416,10 +457,15 @@ fn profiler_traces_primitives_and_operators() {
     let db = sales_db();
     let plan = Plan::scan("sales", &["id", "qty", "price"])
         .select(lt(col("id"), lit_i64(10)))
-        .project(vec![("rev", mul(sub(lit_f64(1.0), col("qty")), col("price")))]);
+        .project(vec![(
+            "rev",
+            mul(sub(lit_f64(1.0), col("qty")), col("price")),
+        )]);
     let (_, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("runs");
     // The fused compound primitive fired.
-    assert!(prof.primitive("map_fused_sub_f64_val_f64_col_mul_f64_col").is_some());
+    assert!(prof
+        .primitive("map_fused_sub_f64_val_f64_col_mul_f64_col")
+        .is_some());
     assert!(prof.primitive("select_lt_i64_col_val").is_some());
     let render = prof.render_table5();
     assert!(render.contains("Select"));
@@ -429,8 +475,10 @@ fn profiler_traces_primitives_and_operators() {
 #[test]
 fn compound_toggle_changes_trace_not_result() {
     let db = sales_db();
-    let plan = Plan::scan("sales", &["qty", "price"])
-        .project(vec![("rev", mul(sub(lit_f64(1.0), col("qty")), col("price")))]);
+    let plan = Plan::scan("sales", &["qty", "price"]).project(vec![(
+        "rev",
+        mul(sub(lit_f64(1.0), col("qty")), col("price")),
+    )]);
     let mut o1 = ExecOptions::default().profiled();
     o1.compound_primitives = true;
     let mut o2 = ExecOptions::default().profiled();
@@ -438,8 +486,12 @@ fn compound_toggle_changes_trace_not_result() {
     let (r1, p1) = execute(&db, &plan, &o1).expect("runs");
     let (r2, p2) = execute(&db, &plan, &o2).expect("runs");
     assert_eq!(r1.row_strings(), r2.row_strings());
-    assert!(p1.primitive("map_fused_sub_f64_val_f64_col_mul_f64_col").is_some());
-    assert!(p2.primitive("map_fused_sub_f64_val_f64_col_mul_f64_col").is_none());
+    assert!(p1
+        .primitive("map_fused_sub_f64_val_f64_col_mul_f64_col")
+        .is_some());
+    assert!(p2
+        .primitive("map_fused_sub_f64_val_f64_col_mul_f64_col")
+        .is_none());
     assert!(p2.primitive("map_sub_f64_val_f64_col").is_some());
     assert!(p2.primitive("map_mul_f64_col_f64_col").is_some());
 }
@@ -481,9 +533,18 @@ fn direct_aggr_rejects_wide_domains() {
     let plan = Plan::DirectAggr {
         input: Box::new(Plan::scan("t", &["a", "b", "c"])),
         keys: vec![
-            DirectKeySpec { name: "a".into(), col: "a".into() },
-            DirectKeySpec { name: "b".into(), col: "b".into() },
-            DirectKeySpec { name: "c".into(), col: "c".into() },
+            DirectKeySpec {
+                name: "a".into(),
+                col: "a".into(),
+            },
+            DirectKeySpec {
+                name: "b".into(),
+                col: "b".into(),
+            },
+            DirectKeySpec {
+                name: "c".into(),
+                col: "c".into(),
+            },
         ],
         aggs: vec![AggExpr::count("n")],
     };
@@ -493,8 +554,11 @@ fn direct_aggr_rejects_wide_domains() {
 #[test]
 fn cmp_op_between_columns() {
     let db = sales_db();
-    let plan = Plan::scan("sales", &["qty", "price"])
-        .select(cmp(CmpOp::Gt, col("price"), mul(col("qty"), lit_f64(7.0))));
+    let plan = Plan::scan("sales", &["qty", "price"]).select(cmp(
+        CmpOp::Gt,
+        col("price"),
+        mul(col("qty"), lit_f64(7.0)),
+    ));
     let (res, _) = execute(&db, &plan, &opts()).expect("runs");
     // price = 10+i, qty = i%5: check a few survivors manually.
     for r in 0..res.num_rows() {
@@ -508,7 +572,9 @@ fn cmp_op_between_columns() {
 #[test]
 fn hash_join_left_outer_fills_defaults() {
     let mut db = Database::new();
-    let probe = TableBuilder::new("p").column("k", ColumnData::I64(vec![1, 2, 3, 4])).build();
+    let probe = TableBuilder::new("p")
+        .column("k", ColumnData::I64(vec![1, 2, 3, 4]))
+        .build();
     let build = TableBuilder::new("b")
         .column("k", ColumnData::I64(vec![2, 4]))
         .column("v", ColumnData::F64(vec![20.0, 40.0]))
@@ -543,11 +609,14 @@ fn year_and_contains_expressions() {
     let mut db = Database::new();
     use x100_vector::date::to_days;
     let t = TableBuilder::new("t")
-        .column("d", ColumnData::I32(vec![
-            to_days(1995, 3, 14),
-            to_days(1996, 12, 31),
-            to_days(1995, 1, 1),
-        ]))
+        .column(
+            "d",
+            ColumnData::I32(vec![
+                to_days(1995, 3, 14),
+                to_days(1996, 12, 31),
+                to_days(1995, 1, 1),
+            ]),
+        )
         .column("note", {
             let mut c = ColumnData::new(ScalarType::Str);
             for s in ["urgent green order", "plain order", "forest green"] {
@@ -587,7 +656,10 @@ fn parsed_plan_equals_built_plan() {
     let parsed = x100_engine::parse_plan(text).expect("parses");
     let built = Plan::scan("sales", &["id", "qty"])
         .select(lt(col("id"), lit_i64(10)))
-        .aggr(vec![("qty", col("qty"))], vec![AggExpr::count("n"), AggExpr::sum("s", col("id"))]);
+        .aggr(
+            vec![("qty", col("qty"))],
+            vec![AggExpr::count("n"), AggExpr::sum("s", col("id"))],
+        );
     let (a, _) = execute(&db, &parsed, &ExecOptions::default()).expect("parsed runs");
     let (b, _) = execute(&db, &built, &ExecOptions::default()).expect("built runs");
     assert_eq!(a.row_strings(), b.row_strings());

@@ -265,7 +265,12 @@ pub fn count_grouped(groups: &Bat, n_groups: usize) -> Bat {
 pub fn div_f64_i64(sums: &Bat, counts: &Bat) -> Bat {
     let s = sums.as_f64();
     let c = counts.as_i64();
-    Bat::F64(s.iter().zip(c.iter()).map(|(&x, &n)| x / n as f64).collect())
+    Bat::F64(
+        s.iter()
+            .zip(c.iter())
+            .map(|(&x, &n)| x / n as f64)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -293,9 +298,15 @@ mod tests {
     #[test]
     fn multiplex_ops() {
         let b = Bat::F64(vec![0.1, 0.2]);
-        assert_eq!(multiplex_val_f64(MilArith::Sub, 1.0, &b).as_f64(), &[0.9, 0.8]);
+        assert_eq!(
+            multiplex_val_f64(MilArith::Sub, 1.0, &b).as_f64(),
+            &[0.9, 0.8]
+        );
         let a = Bat::F64(vec![10.0, 10.0]);
-        assert_eq!(multiplex_col_f64(MilArith::Mul, &a, &b).as_f64(), &[1.0, 2.0]);
+        assert_eq!(
+            multiplex_col_f64(MilArith::Mul, &a, &b).as_f64(),
+            &[1.0, 2.0]
+        );
     }
 
     #[test]
@@ -328,7 +339,10 @@ mod tests {
         let vals = Bat::F64(vec![1.0, 2.0, 3.0]);
         assert_eq!(sum_grouped_f64(&vals, &groups, 2).as_f64(), &[4.0, 2.0]);
         assert_eq!(count_grouped(&groups, 2).as_i64(), &[2, 1]);
-        let avg = div_f64_i64(&sum_grouped_f64(&vals, &groups, 2), &count_grouped(&groups, 2));
+        let avg = div_f64_i64(
+            &sum_grouped_f64(&vals, &groups, 2),
+            &count_grouped(&groups, 2),
+        );
         assert_eq!(avg.as_f64(), &[2.0, 2.0]);
     }
 }

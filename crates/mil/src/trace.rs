@@ -81,8 +81,12 @@ impl MilSession {
     pub fn render_table3(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        writeln!(s, "{:>9} {:>9} {:>9} {:>9}  MIL statement", "us", "BW MB/s", "MB", "result")
-            .expect("write to String");
+        writeln!(
+            s,
+            "{:>9} {:>9} {:>9} {:>9}  MIL statement",
+            "us", "BW MB/s", "MB", "result"
+        )
+        .expect("write to String");
         for e in &self.entries {
             writeln!(
                 s,
@@ -95,8 +99,13 @@ impl MilSession {
             )
             .expect("write to String");
         }
-        writeln!(s, "{:>9.1} ms TOTAL, {:.1} MB materialized", self.total_millis(), self.total_bytes() as f64 / (1 << 20) as f64)
-            .expect("write to String");
+        writeln!(
+            s,
+            "{:>9.1} ms TOTAL, {:.1} MB materialized",
+            self.total_millis(),
+            self.total_bytes() as f64 / (1 << 20) as f64
+        )
+        .expect("write to String");
         s
     }
 }
@@ -115,7 +124,9 @@ mod tests {
             ops::select_cmp(&col, CmpOp::Lt, &Value::I64(500))
         });
         assert_eq!(sel.len(), 500);
-        let fetched = s.run("s1 := join(s0, col)", &[&sel, &col], || ops::join_fetch(&sel, &col));
+        let fetched = s.run("s1 := join(s0, col)", &[&sel, &col], || {
+            ops::join_fetch(&sel, &col)
+        });
         assert_eq!(fetched.len(), 500);
         assert_eq!(s.entries().len(), 2);
         // Byte accounting: first stmt = input col + oid list out.

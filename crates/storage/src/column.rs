@@ -120,7 +120,11 @@ impl ColumnData {
             (ColumnData::F64(b), Value::F64(x)) => b.push(*x),
             (ColumnData::Str(b), Value::Str(x)) => b.push(x),
             (this, v) => {
-                panic!("push_value type mismatch: column {:?}, value {:?}", this.scalar_type(), v.scalar_type())
+                panic!(
+                    "push_value type mismatch: column {:?}, value {:?}",
+                    this.scalar_type(),
+                    v.scalar_type()
+                )
             }
         }
     }
@@ -186,15 +190,33 @@ impl ColumnData {
     pub fn gather_into(&self, rowids: &[u32], out: &mut Vector) {
         out.clear();
         match (self, out) {
-            (ColumnData::I8(src), Vector::I8(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::I16(src), Vector::I16(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::I32(src), Vector::I32(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::I64(src), Vector::I64(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::U8(src), Vector::U8(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::U16(src), Vector::U16(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::U32(src), Vector::U32(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::U64(src), Vector::U64(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
-            (ColumnData::F64(src), Vector::F64(dst)) => dst.extend(rowids.iter().map(|&r| src[r as usize])),
+            (ColumnData::I8(src), Vector::I8(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::I16(src), Vector::I16(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::I32(src), Vector::I32(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::I64(src), Vector::I64(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::U8(src), Vector::U8(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::U16(src), Vector::U16(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::U32(src), Vector::U32(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::U64(src), Vector::U64(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
+            (ColumnData::F64(src), Vector::F64(dst)) => {
+                dst.extend(rowids.iter().map(|&r| src[r as usize]))
+            }
             (ColumnData::Str(src), Vector::Str(dst)) => {
                 for &r in rowids {
                     dst.push(src.get(r as usize));

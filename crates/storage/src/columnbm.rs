@@ -16,8 +16,8 @@
 //! each chunk once; vertical fragmentation means unread columns cost no
 //! I/O — without requiring an actual disk.
 
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Default chunk size: 1 MiB, the paper's ">1MB chunks".
 pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
@@ -65,7 +65,11 @@ impl ColumnBM {
     /// A buffer manager with custom chunk size (tests use small chunks).
     pub fn with_chunk_bytes(capacity_chunks: usize, chunk_bytes: usize) -> Self {
         assert!(capacity_chunks > 0 && chunk_bytes > 0);
-        ColumnBM { chunk_bytes, capacity_chunks, state: Mutex::new(BmState::default()) }
+        ColumnBM {
+            chunk_bytes,
+            capacity_chunks,
+            state: Mutex::new(BmState::default()),
+        }
     }
 
     /// Chunk size in bytes.
@@ -81,7 +85,7 @@ impl ColumnBM {
         }
         let first = (offset / self.chunk_bytes as u64) as u32;
         let last = ((offset + len - 1) / self.chunk_bytes as u64) as u32;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.bytes_requested += len;
         for chunk in first..=last {
             let id = (col, chunk);
@@ -103,17 +107,17 @@ impl ColumnBM {
 
     /// Snapshot the counters.
     pub fn stats(&self) -> BmStats {
-        self.state.lock().stats
+        self.state.lock().unwrap().stats
     }
 
     /// Number of chunks currently resident.
     pub fn resident_chunks(&self) -> usize {
-        self.state.lock().lru.len()
+        self.state.lock().unwrap().lru.len()
     }
 
     /// Reset counters and drop all resident chunks.
     pub fn reset(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.lru.clear();
         st.stats = BmStats::default();
     }

@@ -81,7 +81,10 @@ pub struct InsertDelta {
 impl InsertDelta {
     /// Empty deltas for a table with the given column types.
     pub fn new(types: &[ScalarType]) -> Self {
-        InsertDelta { cols: types.iter().map(|&t| ColumnData::new(t)).collect(), rows: 0 }
+        InsertDelta {
+            cols: types.iter().map(|&t| ColumnData::new(t)).collect(),
+            rows: 0,
+        }
     }
 
     /// Append one row.

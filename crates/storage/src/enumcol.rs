@@ -23,7 +23,11 @@ pub struct EnumDict {
 impl EnumDict {
     /// Wrap a dictionary column. `values.len()` must fit enum codes.
     pub fn new(values: ColumnData) -> Self {
-        assert!(values.len() <= MAX_ENUM_CARD, "enum cardinality {} exceeds u16 codes", values.len());
+        assert!(
+            values.len() <= MAX_ENUM_CARD,
+            "enum cardinality {} exceeds u16 codes",
+            values.len()
+        );
         EnumDict { values }
     }
 
@@ -70,7 +74,11 @@ pub fn encode_str(values: impl Iterator<Item = String> + Clone) -> Option<Encode
     if distinct.len() > MAX_ENUM_CARD {
         return None;
     }
-    let lookup = |s: &str| distinct.binary_search_by(|d| d.as_str().cmp(s)).expect("value in dict");
+    let lookup = |s: &str| {
+        distinct
+            .binary_search_by(|d| d.as_str().cmp(s))
+            .expect("value in dict")
+    };
     let codes = if distinct.len() <= 256 {
         ColumnData::U8(values.map(|s| lookup(&s) as u8).collect())
     } else {
@@ -80,7 +88,10 @@ pub fn encode_str(values: impl Iterator<Item = String> + Clone) -> Option<Encode
     for v in &distinct {
         dictcol.push_value(&Value::Str(v.clone()));
     }
-    Some(Encoded { codes, dict: EnumDict::new(dictcol) })
+    Some(Encoded {
+        codes,
+        dict: EnumDict::new(dictcol),
+    })
 }
 
 /// Dictionary-encode an `f64` column (e.g. TPC-H `l_discount`, `l_tax`,
@@ -105,7 +116,10 @@ pub fn encode_f64(values: &[f64]) -> Option<Encoded> {
     } else {
         ColumnData::U16(values.iter().map(|&x| lookup(x) as u16).collect())
     };
-    Some(Encoded { codes, dict: EnumDict::new(ColumnData::F64(distinct)) })
+    Some(Encoded {
+        codes,
+        dict: EnumDict::new(ColumnData::F64(distinct)),
+    })
 }
 
 /// Dictionary-encode an `i64` column.
@@ -122,7 +136,10 @@ pub fn encode_i64(values: &[i64]) -> Option<Encoded> {
     } else {
         ColumnData::U16(values.iter().map(|&x| lookup(x) as u16).collect())
     };
-    Some(Encoded { codes, dict: EnumDict::new(ColumnData::I64(distinct)) })
+    Some(Encoded {
+        codes,
+        dict: EnumDict::new(ColumnData::I64(distinct)),
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +148,12 @@ mod tests {
 
     #[test]
     fn encode_strings_u8() {
-        let data = vec!["N".to_string(), "A".to_string(), "N".to_string(), "R".to_string()];
+        let data = vec![
+            "N".to_string(),
+            "A".to_string(),
+            "N".to_string(),
+            "R".to_string(),
+        ];
         let enc = encode_str(data.clone().into_iter()).expect("fits");
         assert_eq!(enc.dict.cardinality(), 3);
         assert_eq!(enc.dict.value_type(), ScalarType::Str);
@@ -177,6 +199,11 @@ mod tests {
         let plain = ColumnData::F64(data.clone());
         let enc = encode_f64(&data).expect("fits");
         let compressed = enc.codes.byte_size() + enc.dict.values().byte_size();
-        assert!(compressed * 7 < plain.byte_size(), "{} vs {}", compressed, plain.byte_size());
+        assert!(
+            compressed * 7 < plain.byte_size(),
+            "{} vs {}",
+            compressed,
+            plain.byte_size()
+        );
     }
 }

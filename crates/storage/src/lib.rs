@@ -19,6 +19,7 @@ pub mod column;
 pub mod columnbm;
 pub mod delta;
 pub mod enumcol;
+pub mod morsel;
 pub mod summary;
 pub mod table;
 
@@ -26,5 +27,6 @@ pub use column::ColumnData;
 pub use columnbm::{BmStats, ColumnBM, DEFAULT_CHUNK_BYTES};
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};
+pub use morsel::{plan_morsels, Morsel};
 pub use summary::{SummaryIndex, DEFAULT_GRANULARITY};
 pub use table::{Field, StoredColumn, Table, TableBuilder};

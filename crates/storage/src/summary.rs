@@ -57,7 +57,11 @@ impl SummaryIndex {
                 running_max = running_max.max(col[idx]);
                 idx += 1;
             }
-            entries.push(Entry { row: end as u32, running_max, reverse_min: i64::MAX });
+            entries.push(Entry {
+                row: end as u32,
+                running_max,
+                reverse_min: i64::MAX,
+            });
         }
         // Backward pass: reverse running min from each granule start to the end.
         let mut reverse_min = i64::MAX;
@@ -70,7 +74,11 @@ impl SummaryIndex {
             }
             entries[g].reverse_min = reverse_min;
         }
-        SummaryIndex { entries, granularity, rows: n }
+        SummaryIndex {
+            entries,
+            granularity,
+            rows: n,
+        }
     }
 
     /// Number of summary entries.
@@ -134,7 +142,10 @@ mod tests {
         for (i, &v) in col.iter().enumerate() {
             let qualifies = lo.is_none_or(|lo| v >= lo) && hi.is_none_or(|hi| v <= hi);
             if qualifies {
-                assert!(s <= i && i < e, "row {i} (v={v}) outside candidate range [{s},{e}) for {lo:?}..{hi:?}");
+                assert!(
+                    s <= i && i < e,
+                    "row {i} (v={v}) outside candidate range [{s},{e}) for {lo:?}..{hi:?}"
+                );
             }
         }
     }
@@ -160,7 +171,12 @@ mod tests {
             c.reverse();
         }
         let idx = SummaryIndex::build_with_granularity(&col, 64);
-        for (lo, hi) in [(None, Some(100)), (Some(4900), None), (Some(1000), Some(1200)), (None, None)] {
+        for (lo, hi) in [
+            (None, Some(100)),
+            (Some(4900), None),
+            (Some(1000), Some(1200)),
+            (None, None),
+        ] {
             check_conservative(&col, &idx, lo, hi);
         }
     }

@@ -86,14 +86,20 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        TableBuilder { name: name.into(), columns: Vec::new() }
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     /// Add a plain (uncompressed) column.
     pub fn column(mut self, name: impl Into<String>, data: ColumnData) -> Self {
         let logical = data.scalar_type();
         self.columns.push(StoredColumn {
-            field: Field { name: name.into(), logical },
+            field: Field {
+                name: name.into(),
+                logical,
+            },
             data,
             dict: None,
             summary: None,
@@ -102,13 +108,21 @@ impl TableBuilder {
     }
 
     /// Add an enumeration-typed column from pre-built codes + dictionary.
-    pub fn enum_column(mut self, name: impl Into<String>, codes: ColumnData, dict: EnumDict) -> Self {
+    pub fn enum_column(
+        mut self,
+        name: impl Into<String>,
+        codes: ColumnData,
+        dict: EnumDict,
+    ) -> Self {
         assert!(
             matches!(codes.scalar_type(), ScalarType::U8 | ScalarType::U16),
             "enum codes must be U8 or U16"
         );
         self.columns.push(StoredColumn {
-            field: Field { name: name.into(), logical: dict.value_type() },
+            field: Field {
+                name: name.into(),
+                logical: dict.value_type(),
+            },
             data: codes,
             dict: Some(dict),
             summary: None,
@@ -150,11 +164,17 @@ impl TableBuilder {
     /// Build a summary index on the most recently added column (must be
     /// an integer-comparable plain column: `I32` dates or `I64`).
     pub fn with_summary(mut self) -> Self {
-        let col = self.columns.last_mut().expect("with_summary after a column");
+        let col = self
+            .columns
+            .last_mut()
+            .expect("with_summary after a column");
         let widened: Vec<i64> = match &col.data {
             ColumnData::I32(v) => v.iter().map(|&x| x as i64).collect(),
             ColumnData::I64(v) => v.clone(),
-            other => panic!("summary index needs I32/I64 column, got {:?}", other.scalar_type()),
+            other => panic!(
+                "summary index needs I32/I64 column, got {:?}",
+                other.scalar_type()
+            ),
         };
         col.summary = Some(SummaryIndex::build(&widened));
         self
@@ -167,7 +187,12 @@ impl TableBuilder {
     pub fn build(self) -> Table {
         let rows = self.columns.first().map_or(0, |c| c.data.len());
         for c in &self.columns {
-            assert_eq!(c.data.len(), rows, "column {} length mismatch", c.field.name);
+            assert_eq!(
+                c.data.len(),
+                rows,
+                "column {} length mismatch",
+                c.field.name
+            );
         }
         let types: Vec<ScalarType> = self.columns.iter().map(|c| c.field.logical).collect();
         Table {
@@ -221,7 +246,9 @@ impl Table {
     /// # Panics
     /// Panics if absent.
     pub fn column_by_name(&self, name: &str) -> &StoredColumn {
-        let i = self.column_index(name).unwrap_or_else(|| panic!("no column `{name}` in table `{}`", self.name));
+        let i = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("no column `{name}` in table `{}`", self.name));
         &self.columns[i]
     }
 
@@ -262,7 +289,9 @@ impl Table {
             .iter()
             .map(|c| c.data.byte_size() + c.dict.as_ref().map_or(0, |d| d.values().byte_size()))
             .sum();
-        let delta: usize = (0..self.columns.len()).map(|i| self.inserts.column(i).byte_size()).sum();
+        let delta: usize = (0..self.columns.len())
+            .map(|i| self.inserts.column(i).byte_size())
+            .sum();
         frag + delta
     }
 
@@ -316,22 +345,31 @@ impl Table {
         } else {
             let d = r - self.frag_rows;
             assert!(d < self.inserts.len(), "row {rowid} out of range");
-            (0..self.columns.len()).map(|i| self.inserts.column(i).get_value(d)).collect()
+            (0..self.columns.len())
+                .map(|i| self.inserts.column(i).get_value(d))
+                .collect()
         }
     }
 
     /// Read a fragment range of a column *logically* (decoding enums) into
     /// a vector buffer. `start + rows` must stay within the fragments.
     pub fn read_logical(&self, col: usize, start: usize, rows: usize, out: &mut Vector) {
-        assert!(start + rows <= self.frag_rows, "read_logical beyond fragments");
+        assert!(
+            start + rows <= self.frag_rows,
+            "read_logical beyond fragments"
+        );
         let c = &self.columns[col];
         match &c.dict {
             None => c.data.read_into(start, rows, out),
             Some(dict) => {
                 out.clear();
                 match (&c.data, dict.values()) {
-                    (ColumnData::U8(codes), vals) => gather_codes(vals, &codes[start..start + rows], out),
-                    (ColumnData::U16(codes), vals) => gather_codes16(vals, &codes[start..start + rows], out),
+                    (ColumnData::U8(codes), vals) => {
+                        gather_codes(vals, &codes[start..start + rows], out)
+                    }
+                    (ColumnData::U16(codes), vals) => {
+                        gather_codes16(vals, &codes[start..start + rows], out)
+                    }
                     _ => unreachable!("enum codes are U8/U16"),
                 }
             }
@@ -390,7 +428,9 @@ impl Table {
     /// Row ids are re-densified (0..live_rows); callers holding old row
     /// ids (e.g. join indices) must re-derive them.
     pub fn reorganize(&mut self) {
-        let live: Vec<u32> = (0..self.total_rows() as u32).filter(|&r| !self.deletes.contains(r)).collect();
+        let live: Vec<u32> = (0..self.total_rows() as u32)
+            .filter(|&r| !self.deletes.contains(r))
+            .collect();
         let ncols = self.columns.len();
         let mut new_cols = Vec::with_capacity(ncols);
         for i in 0..ncols {
@@ -405,7 +445,12 @@ impl Table {
             }
             let (data, dict) = if was_enum {
                 match &values {
-                    ColumnData::Str(s) => match encode_str(s.iter().map(|x| x.to_owned()).collect::<Vec<_>>().into_iter()) {
+                    ColumnData::Str(s) => match encode_str(
+                        s.iter()
+                            .map(|x| x.to_owned())
+                            .collect::<Vec<_>>()
+                            .into_iter(),
+                    ) {
                         Some(enc) => (enc.codes, Some(enc.dict)),
                         None => (values, None),
                     },
@@ -436,7 +481,12 @@ impl Table {
             } else {
                 None
             };
-            new_cols.push(StoredColumn { field: old.field.clone(), data, dict, summary });
+            new_cols.push(StoredColumn {
+                field: old.field.clone(),
+                data,
+                dict,
+                summary,
+            });
         }
         self.frag_rows = live.len();
         self.columns = new_cols;
@@ -455,7 +505,11 @@ fn gather_codes(vals: &ColumnData, codes: &[u8], out: &mut Vector) {
                 o.push(d.get(c as usize));
             }
         }
-        (v, o) => panic!("enum decode mismatch: dict {:?}, out {:?}", v.scalar_type(), o.scalar_type()),
+        (v, o) => panic!(
+            "enum decode mismatch: dict {:?}, out {:?}",
+            v.scalar_type(),
+            o.scalar_type()
+        ),
     }
 }
 
@@ -469,7 +523,11 @@ fn gather_codes16(vals: &ColumnData, codes: &[u16], out: &mut Vector) {
                 o.push(d.get(c as usize));
             }
         }
-        (v, o) => panic!("enum decode mismatch: dict {:?}, out {:?}", v.scalar_type(), o.scalar_type()),
+        (v, o) => panic!(
+            "enum decode mismatch: dict {:?}, out {:?}",
+            v.scalar_type(),
+            o.scalar_type()
+        ),
     }
 }
 
@@ -480,8 +538,16 @@ mod tests {
     fn small_table() -> Table {
         TableBuilder::new("t")
             .column("id", ColumnData::I64((0..10).collect()))
-            .auto_enum_str("flag", (0..10).map(|i| if i % 2 == 0 { "A".into() } else { "B".into() }).collect())
-            .column("price", ColumnData::F64((0..10).map(|i| i as f64 * 1.5).collect()))
+            .auto_enum_str(
+                "flag",
+                (0..10)
+                    .map(|i| if i % 2 == 0 { "A".into() } else { "B".into() })
+                    .collect(),
+            )
+            .column(
+                "price",
+                ColumnData::F64((0..10).map(|i| i as f64 * 1.5).collect()),
+            )
             .build()
     }
 
@@ -502,7 +568,10 @@ mod tests {
         let t = small_table();
         let mut v = Vector::with_capacity(ScalarType::Str, 4);
         t.read_logical(1, 2, 4, &mut v);
-        assert_eq!(v.as_str().iter().collect::<Vec<_>>(), vec!["A", "B", "A", "B"]);
+        assert_eq!(
+            v.as_str().iter().collect::<Vec<_>>(),
+            vec!["A", "B", "A", "B"]
+        );
     }
 
     #[test]
@@ -511,13 +580,21 @@ mod tests {
         let id = t.insert(&[Value::I64(100), Value::Str("C".into()), Value::F64(9.9)]);
         assert_eq!(id, 10);
         assert_eq!(t.live_rows(), 11);
-        assert_eq!(t.get_row(10), vec![Value::I64(100), Value::Str("C".into()), Value::F64(9.9)]);
+        assert_eq!(
+            t.get_row(10),
+            vec![Value::I64(100), Value::Str("C".into()), Value::F64(9.9)]
+        );
 
         assert!(t.delete(3));
         assert!(!t.delete(3));
         assert_eq!(t.live_rows(), 10);
 
-        let new_id = t.update(10, &[Value::I64(101), Value::Str("D".into()), Value::F64(1.0)]).expect("exists");
+        let new_id = t
+            .update(
+                10,
+                &[Value::I64(101), Value::Str("D".into()), Value::F64(1.0)],
+            )
+            .expect("exists");
         assert_eq!(new_id, 11);
         assert_eq!(t.live_rows(), 10);
         assert!(t.update(99, &[]).is_none());
@@ -551,8 +628,14 @@ mod tests {
         // Row ids are densified: first live row was old rowid 1.
         assert_eq!(t.get_row(0)[0], Value::I64(1));
         // The inserted row is last and re-encoded into the enum column.
-        assert_eq!(t.get_row(8), vec![Value::I64(77), Value::Str("B".into()), Value::F64(7.7)]);
-        assert!(t.column(1).dict().is_some(), "enum column stays enum after reorganize");
+        assert_eq!(
+            t.get_row(8),
+            vec![Value::I64(77), Value::Str("B".into()), Value::F64(7.7)]
+        );
+        assert!(
+            t.column(1).dict().is_some(),
+            "enum column stays enum after reorganize"
+        );
     }
 
     #[test]

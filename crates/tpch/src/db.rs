@@ -64,24 +64,42 @@ pub fn build_x100_db(data: &TpchData) -> Database {
     let mut db = Database::new();
     db.register(
         TableBuilder::new("region")
-            .column("r_regionkey", ColumnData::I64(data.region.regionkey.clone()))
+            .column(
+                "r_regionkey",
+                ColumnData::I64(data.region.regionkey.clone()),
+            )
             .auto_enum_str("r_name", data.region.name.clone())
             .build(),
     );
     db.register(
         TableBuilder::new("nation")
-            .column("n_nationkey", ColumnData::I64(data.nation.nationkey.clone()))
+            .column(
+                "n_nationkey",
+                ColumnData::I64(data.nation.nationkey.clone()),
+            )
             .auto_enum_str("n_name", data.nation.name.clone())
-            .column("n_regionkey", ColumnData::I64(data.nation.regionkey.clone()))
-            .column("n_region_idx", ColumnData::U32(data.nation.regionkey.iter().map(|&r| r as u32).collect()))
+            .column(
+                "n_regionkey",
+                ColumnData::I64(data.nation.regionkey.clone()),
+            )
+            .column(
+                "n_region_idx",
+                ColumnData::U32(data.nation.regionkey.iter().map(|&r| r as u32).collect()),
+            )
             .build(),
     );
     db.register(
         TableBuilder::new("supplier")
             .column("s_suppkey", ColumnData::I64(data.supplier.suppkey.clone()))
             .column("s_name", str_col(&data.supplier.name))
-            .column("s_nationkey", ColumnData::I64(data.supplier.nationkey.clone()))
-            .column("s_nation_idx", ColumnData::U32(data.supplier.nationkey.iter().map(|&n| n as u32).collect()))
+            .column(
+                "s_nationkey",
+                ColumnData::I64(data.supplier.nationkey.clone()),
+            )
+            .column(
+                "s_nation_idx",
+                ColumnData::U32(data.supplier.nationkey.iter().map(|&n| n as u32).collect()),
+            )
             .column("s_acctbal", ColumnData::F64(data.supplier.acctbal.clone()))
             .column("s_comment", str_col(&data.supplier.comment))
             .build(),
@@ -90,8 +108,14 @@ pub fn build_x100_db(data: &TpchData) -> Database {
         TableBuilder::new("customer")
             .column("c_custkey", ColumnData::I64(data.customer.custkey.clone()))
             .column("c_name", str_col(&data.customer.name))
-            .column("c_nationkey", ColumnData::I64(data.customer.nationkey.clone()))
-            .column("c_nation_idx", ColumnData::U32(data.customer.nationkey.iter().map(|&n| n as u32).collect()))
+            .column(
+                "c_nationkey",
+                ColumnData::I64(data.customer.nationkey.clone()),
+            )
+            .column(
+                "c_nation_idx",
+                ColumnData::U32(data.customer.nationkey.iter().map(|&n| n as u32).collect()),
+            )
             .auto_enum_str("c_mktsegment", data.customer.mktsegment.clone())
             .column("c_acctbal", ColumnData::F64(data.customer.acctbal.clone()))
             .column("c_phone", str_col(&data.customer.phone))
@@ -110,31 +134,79 @@ pub fn build_x100_db(data: &TpchData) -> Database {
             .auto_enum_str("p_type3", data.part.type3.clone())
             .auto_enum_i64("p_size", data.part.size.clone())
             .auto_enum_str("p_container", data.part.container.clone())
-            .column("p_retailprice", ColumnData::F64(data.part.retailprice.clone()))
+            .column(
+                "p_retailprice",
+                ColumnData::F64(data.part.retailprice.clone()),
+            )
             .build(),
     );
     db.register(
         TableBuilder::new("partsupp")
             .column("ps_partkey", ColumnData::I64(data.partsupp.partkey.clone()))
             .column("ps_suppkey", ColumnData::I64(data.partsupp.suppkey.clone()))
-            .column("ps_rowid", ColumnData::U32((0..data.partsupp.partkey.len() as u32).collect()))
-            .column("ps_part_idx", ColumnData::U32(data.partsupp.partkey.iter().map(|&p| (p - 1) as u32).collect()))
-            .column("ps_supp_idx", ColumnData::U32(data.partsupp.suppkey.iter().map(|&s| (s - 1) as u32).collect()))
-            .column("ps_availqty", ColumnData::I64(data.partsupp.availqty.clone()))
-            .column("ps_supplycost", ColumnData::F64(data.partsupp.supplycost.clone()))
+            .column(
+                "ps_rowid",
+                ColumnData::U32((0..data.partsupp.partkey.len() as u32).collect()),
+            )
+            .column(
+                "ps_part_idx",
+                ColumnData::U32(
+                    data.partsupp
+                        .partkey
+                        .iter()
+                        .map(|&p| (p - 1) as u32)
+                        .collect(),
+                ),
+            )
+            .column(
+                "ps_supp_idx",
+                ColumnData::U32(
+                    data.partsupp
+                        .suppkey
+                        .iter()
+                        .map(|&s| (s - 1) as u32)
+                        .collect(),
+                ),
+            )
+            .column(
+                "ps_availqty",
+                ColumnData::I64(data.partsupp.availqty.clone()),
+            )
+            .column(
+                "ps_supplycost",
+                ColumnData::F64(data.partsupp.supplycost.clone()),
+            )
             .build(),
     );
     db.register(
         TableBuilder::new("orders")
             .column("o_orderkey", ColumnData::I64(data.orders.orderkey.clone()))
             .column("o_custkey", ColumnData::I64(data.orders.custkey.clone()))
-            .column("o_cust_idx", ColumnData::U32(data.orders.custkey.iter().map(|&c| (c - 1) as u32).collect()))
+            .column(
+                "o_cust_idx",
+                ColumnData::U32(
+                    data.orders
+                        .custkey
+                        .iter()
+                        .map(|&c| (c - 1) as u32)
+                        .collect(),
+                ),
+            )
             .auto_enum_str("o_orderstatus", data.orders.orderstatus.clone())
-            .column("o_totalprice", ColumnData::F64(data.orders.totalprice.clone()))
-            .column("o_orderdate", ColumnData::I32(data.orders.orderdate.clone()))
+            .column(
+                "o_totalprice",
+                ColumnData::F64(data.orders.totalprice.clone()),
+            )
+            .column(
+                "o_orderdate",
+                ColumnData::I32(data.orders.orderdate.clone()),
+            )
             .with_summary()
             .auto_enum_str("o_orderpriority", data.orders.orderpriority.clone())
-            .column("o_shippriority", ColumnData::I64(data.orders.shippriority.clone()))
+            .column(
+                "o_shippriority",
+                ColumnData::I64(data.orders.shippriority.clone()),
+            )
             .column("o_li_lo", ColumnData::U32(data.orders.li_lo.clone()))
             .column("o_li_cnt", ColumnData::U32(data.orders.li_cnt.clone()))
             .column("o_comment", str_col(&data.orders.comment))
@@ -188,8 +260,14 @@ pub fn mil_bats(li: &RawLineitem) -> BTreeMap<&'static str, Bat> {
     m.insert("l_extendedprice", Bat::F64(li.extendedprice.clone()));
     m.insert("l_discount", Bat::F64(li.discount.clone()));
     m.insert("l_tax", Bat::F64(li.tax.clone()));
-    m.insert("l_returnflag", Bat::U8(li.returnflag.iter().map(|s| s.as_bytes()[0]).collect()));
-    m.insert("l_linestatus", Bat::U8(li.linestatus.iter().map(|s| s.as_bytes()[0]).collect()));
+    m.insert(
+        "l_returnflag",
+        Bat::U8(li.returnflag.iter().map(|s| s.as_bytes()[0]).collect()),
+    );
+    m.insert(
+        "l_linestatus",
+        Bat::U8(li.linestatus.iter().map(|s| s.as_bytes()[0]).collect()),
+    );
     m.insert("l_shipdate", Bat::I32(li.shipdate.clone()));
     m
 }
@@ -203,13 +281,22 @@ mod tests {
     fn x100_db_has_all_tables() {
         let data = generate(&GenConfig { sf: 0.001, seed: 1 });
         let db = build_x100_db(&data);
-        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             let tab = db.table(t).expect(t);
             assert!(tab.live_rows() > 0, "{t} empty");
         }
         let li = db.table("lineitem").expect("lineitem");
         // The paper's enum columns are enum-encoded.
-        for c in ["l_quantity", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipmode"] {
+        for c in [
+            "l_quantity",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipmode",
+        ] {
             assert!(li.column_by_name(c).dict().is_some(), "{c} should be enum");
         }
         assert!(li.column_by_name("l_extendedprice").dict().is_none());
@@ -224,7 +311,13 @@ mod tests {
         let data = generate(&GenConfig { sf: 0.002, seed: 1 });
         let li = &data.lineitem;
         let table = build_lineitem(li);
-        let q1_cols = ["l_quantity", "l_discount", "l_tax", "l_returnflag", "l_linestatus"];
+        let q1_cols = [
+            "l_quantity",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+        ];
         let compressed: usize = q1_cols
             .iter()
             .map(|c| {
@@ -234,12 +327,18 @@ mod tests {
             .sum();
         let n = li.len();
         let uncompressed = n * (8 + 8 + 8 + 1 + 1);
-        assert!(compressed * 2 < uncompressed, "{compressed} vs {uncompressed}");
+        assert!(
+            compressed * 2 < uncompressed,
+            "{compressed} vs {uncompressed}"
+        );
     }
 
     #[test]
     fn volcano_table_matches_raw() {
-        let li = generate_lineitem_q1(&GenConfig { sf: 0.0005, seed: 2 });
+        let li = generate_lineitem_q1(&GenConfig {
+            sf: 0.0005,
+            seed: 2,
+        });
         let t = build_volcano_lineitem(&li);
         assert_eq!(t.num_rows(), li.len());
         let mut c = volcano::Counters::default();
@@ -250,9 +349,15 @@ mod tests {
 
     #[test]
     fn mil_bats_match_raw() {
-        let li = generate_lineitem_q1(&GenConfig { sf: 0.0005, seed: 2 });
+        let li = generate_lineitem_q1(&GenConfig {
+            sf: 0.0005,
+            seed: 2,
+        });
         let bats = mil_bats(&li);
         assert_eq!(bats["l_quantity"].as_f64(), &li.quantity[..]);
-        assert_eq!(bats["l_returnflag"].as_u8()[0], li.returnflag[0].as_bytes()[0]);
+        assert_eq!(
+            bats["l_returnflag"].as_u8()[0],
+            li.returnflag[0].as_bytes()[0]
+        );
     }
 }

@@ -28,7 +28,10 @@ pub struct GenConfig {
 impl GenConfig {
     /// Config at scale factor `sf` with the default seed.
     pub fn new(sf: f64) -> Self {
-        GenConfig { sf, seed: 0x7c05_1915 }
+        GenConfig {
+            sf,
+            seed: 0x7c05_1915,
+        }
     }
 
     fn scaled(&self, base: usize) -> usize {
@@ -69,7 +72,13 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// TPC-H market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// TPC-H order priorities.
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -78,8 +87,12 @@ pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC
 pub const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 
 /// TPC-H ship instructions.
-pub const SHIPINSTRUCTS: [&str; 4] =
-    ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
+pub const SHIPINSTRUCTS: [&str; 4] = [
+    "COLLECT COD",
+    "DELIVER IN PERSON",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Type prefixes (`p_type` word 1) — `PROMO` drives Q14.
 pub const TYPE_SYLL1: [&str; 6] = ["ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"];
@@ -341,7 +354,9 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
         db.supplier.suppkey.push(k);
         db.supplier.name.push(format!("Supplier#{k:09}"));
         db.supplier.nationkey.push(rng.gen_range(0..25));
-        db.supplier.acctbal.push(rng.gen_range(-99999..=999999) as f64 / 100.0);
+        db.supplier
+            .acctbal
+            .push(rng.gen_range(-99999..=999999) as f64 / 100.0);
         // TPC-H: a handful of suppliers have complaint comments.
         db.supplier.comment.push(if rng.gen_ratio(1, 2000) {
             format!("wait Customer slyly Complaints about supplier {k}")
@@ -355,8 +370,12 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
         db.customer.custkey.push(k);
         db.customer.name.push(format!("Customer#{k:09}"));
         db.customer.nationkey.push(rng.gen_range(0..25));
-        db.customer.mktsegment.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_owned());
-        db.customer.acctbal.push(rng.gen_range(-99999..=999999) as f64 / 100.0);
+        db.customer
+            .mktsegment
+            .push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_owned());
+        db.customer
+            .acctbal
+            .push(rng.gen_range(-99999..=999999) as f64 / 100.0);
         // Phone country code = nationkey + 10 (TPC-H's formula).
         let cc = db.customer.nationkey.last().expect("just pushed") + 10;
         db.customer.cntrycode.push(format!("{cc}"));
@@ -370,8 +389,18 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
 
     // part.
     const P_WORDS: [&str; 12] = [
-        "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-        "blue", "blush", "forest", "green",
+        "almond",
+        "antique",
+        "aquamarine",
+        "azure",
+        "beige",
+        "bisque",
+        "black",
+        "blanched",
+        "blue",
+        "blush",
+        "forest",
+        "green",
     ];
     for k in 1..=n_part as i64 {
         db.part.partkey.push(k);
@@ -400,7 +429,8 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
     // (part, supp) unique; tiny scale factors with fewer suppliers get
     // proportionally fewer rows.
     let per_part = 4.min(n_supp) as i64;
-    let mut ps_lookup: std::collections::HashMap<(i64, i64), u32> = std::collections::HashMap::new();
+    let mut ps_lookup: std::collections::HashMap<(i64, i64), u32> =
+        std::collections::HashMap::new();
     for k in 1..=n_part as i64 {
         for s in 0..per_part {
             let suppkey = (k - 1 + s * (n_supp as i64 / per_part)) % n_supp as i64 + 1;
@@ -408,14 +438,17 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
             db.partsupp.partkey.push(k);
             db.partsupp.suppkey.push(suppkey);
             db.partsupp.availqty.push(rng.gen_range(1..=9999));
-            db.partsupp.supplycost.push(rng.gen_range(100..=100000) as f64 / 100.0);
+            db.partsupp
+                .supplycost
+                .push(rng.gen_range(100..=100000) as f64 / 100.0);
         }
     }
 
     // orders: draw dates, sort ascending (paper: "we sorted the orders
     // table on date"), then generate clustered lineitems.
-    let mut order_dates: Vec<i32> =
-        (0..n_orders).map(|_| rng.gen_range(dates::start()..=dates::last_order())).collect();
+    let mut order_dates: Vec<i32> = (0..n_orders)
+        .map(|_| rng.gen_range(dates::start()..=dates::last_order()))
+        .collect();
     order_dates.sort_unstable();
 
     let split = dates::split();
@@ -467,8 +500,10 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
             li.shipdate.push(shipdate);
             li.commitdate.push(commitdate);
             li.receiptdate.push(receiptdate);
-            li.shipinstruct.push(SHIPINSTRUCTS[rng.gen_range(0..SHIPINSTRUCTS.len())].to_owned());
-            li.shipmode.push(SHIPMODES[rng.gen_range(0..SHIPMODES.len())].to_owned());
+            li.shipinstruct
+                .push(SHIPINSTRUCTS[rng.gen_range(0..SHIPINSTRUCTS.len())].to_owned());
+            li.shipmode
+                .push(SHIPMODES[rng.gen_range(0..SHIPMODES.len())].to_owned());
             li.order_idx.push(oi as u32);
             li.part_idx.push((partkey - 1) as u32);
             li.supp_idx.push((suppkey - 1) as u32);
@@ -477,10 +512,20 @@ pub fn generate(cfg: &GenConfig) -> TpchData {
         let o = &mut db.orders;
         o.orderkey.push(orderkey);
         o.custkey.push(custkey);
-        o.orderstatus.push(if all_f { "F" } else if all_o { "O" } else { "P" }.to_owned());
+        o.orderstatus.push(
+            if all_f {
+                "F"
+            } else if all_o {
+                "O"
+            } else {
+                "P"
+            }
+            .to_owned(),
+        );
         o.totalprice.push((total * 100.0).round() / 100.0);
         o.orderdate.push(odate);
-        o.orderpriority.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_owned());
+        o.orderpriority
+            .push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_owned());
         o.shippriority.push(0);
         // TPC-H: ~1% of order comments mention "special requests".
         o.comment.push(if rng.gen_ratio(1, 100) {
@@ -535,7 +580,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> TpchData {
-        generate(&GenConfig { sf: 0.001, seed: 42 })
+        generate(&GenConfig {
+            sf: 0.001,
+            seed: 42,
+        })
     }
 
     #[test]
@@ -566,7 +614,10 @@ mod tests {
     #[test]
     fn orders_sorted_lineitem_clustered() {
         let db = tiny();
-        assert!(db.orders.orderdate.windows(2).all(|w| w[0] <= w[1]), "orders sorted on date");
+        assert!(
+            db.orders.orderdate.windows(2).all(|w| w[0] <= w[1]),
+            "orders sorted on date"
+        );
         // li_lo/li_cnt partition the lineitem table contiguously.
         let mut expect = 0u32;
         for (lo, cnt) in db.orders.li_lo.iter().zip(db.orders.li_cnt.iter()) {
@@ -587,11 +638,20 @@ mod tests {
         assert!(li.quantity.iter().all(|&q| (1.0..=50.0).contains(&q)));
         assert!(li.discount.iter().all(|&d| (0.0..=0.10001).contains(&d)));
         assert!(li.tax.iter().all(|&t| (0.0..=0.08001).contains(&t)));
-        assert!(li.returnflag.iter().all(|f| ["A", "N", "R"].contains(&f.as_str())));
-        assert!(li.linestatus.iter().all(|s| ["F", "O"].contains(&s.as_str())));
+        assert!(li
+            .returnflag
+            .iter()
+            .all(|f| ["A", "N", "R"].contains(&f.as_str())));
+        assert!(li
+            .linestatus
+            .iter()
+            .all(|s| ["F", "O"].contains(&s.as_str())));
         for i in 0..li.len() {
             assert!(li.shipdate[i] < li.receiptdate[i]);
-            assert_eq!(li.extendedprice[i], li.quantity[i] * retail_price(li.partkey[i]));
+            assert_eq!(
+                li.extendedprice[i],
+                li.quantity[i] * retail_price(li.partkey[i])
+            );
         }
         // returnflag/linestatus correlation: N ⇒ receipt after split.
         let split = to_days(1995, 6, 17);

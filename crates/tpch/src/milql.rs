@@ -53,7 +53,10 @@ impl MatFlow {
     }
 
     fn idx(&self, name: &str) -> Result<usize, PlanError> {
-        self.names.iter().position(|n| n == name).ok_or_else(|| PlanError::UnknownColumn(name.to_owned()))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| PlanError::UnknownColumn(name.to_owned()))
     }
 
     /// Render rows as strings matching
@@ -61,7 +64,11 @@ impl MatFlow {
     pub fn row_strings(&self) -> Vec<String> {
         (0..self.rows)
             .map(|r| {
-                self.cols.iter().map(|c| c.get(r).to_string()).collect::<Vec<_>>().join("|")
+                self.cols
+                    .iter()
+                    .map(|c| c.get(r).to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
             })
             .collect()
     }
@@ -115,7 +122,11 @@ fn eval_expr(e: &Expr, flow: &MatFlow, s: &mut MilSession) -> Result<Bat, PlanEr
                             MilArith::Mul => d.iter().map(|&x| vi * x).collect(),
                             MilArith::Div => panic!("integer division lowers to f64"),
                         };
-                        return Ok(s.run(&format!("[{}]({vi},col)", mop_name(mop)), &[&rb], || Bat::I64(out)));
+                        return Ok(s.run(
+                            &format!("[{}]({vi},col)", mop_name(mop)),
+                            &[&rb],
+                            || Bat::I64(out),
+                        ));
                     }
                     let rb = to_f64(rb);
                     let v = v.as_f64();
@@ -134,7 +145,11 @@ fn eval_expr(e: &Expr, flow: &MatFlow, s: &mut MilSession) -> Result<Bat, PlanEr
                             MilArith::Mul => d.iter().map(|&x| x * vi).collect(),
                             MilArith::Div => panic!("integer division lowers to f64"),
                         };
-                        return Ok(s.run(&format!("[{}](col,{vi})", mop_name(mop)), &[&lb0], || Bat::I64(out)));
+                        return Ok(s.run(
+                            &format!("[{}](col,{vi})", mop_name(mop)),
+                            &[&lb0],
+                            || Bat::I64(out),
+                        ));
                     }
                     let lb = to_f64(lb0);
                     let v = v.as_f64();
@@ -157,9 +172,11 @@ fn eval_expr(e: &Expr, flow: &MatFlow, s: &mut MilSession) -> Result<Bat, PlanEr
                 (ll, rr) => {
                     let lb = to_f64(eval_expr(ll, flow, s)?);
                     let rb = to_f64(eval_expr(rr, flow, s)?);
-                    Ok(s.run(&format!("[{}](col,col)", mop_name(mop)), &[&lb, &rb], || {
-                        ops::multiplex_col_f64(mop, &lb, &rb)
-                    }))
+                    Ok(s.run(
+                        &format!("[{}](col,col)", mop_name(mop)),
+                        &[&lb, &rb],
+                        || ops::multiplex_col_f64(mop, &lb, &rb),
+                    ))
                 }
             }
         }
@@ -177,19 +194,33 @@ fn eval_expr(e: &Expr, flow: &MatFlow, s: &mut MilSession) -> Result<Bat, PlanEr
             let lb = eval_expr(l, flow, s)?;
             let rb = eval_expr(r, flow, s)?;
             Ok(s.run("[and](col,col)", &[&lb, &rb], || {
-                Bat::U8(lb.as_u8().iter().zip(rb.as_u8()).map(|(&a, &b)| a & b).collect())
+                Bat::U8(
+                    lb.as_u8()
+                        .iter()
+                        .zip(rb.as_u8())
+                        .map(|(&a, &b)| a & b)
+                        .collect(),
+                )
             }))
         }
         Expr::Or(l, r) => {
             let lb = eval_expr(l, flow, s)?;
             let rb = eval_expr(r, flow, s)?;
             Ok(s.run("[or](col,col)", &[&lb, &rb], || {
-                Bat::U8(lb.as_u8().iter().zip(rb.as_u8()).map(|(&a, &b)| a | b).collect())
+                Bat::U8(
+                    lb.as_u8()
+                        .iter()
+                        .zip(rb.as_u8())
+                        .map(|(&a, &b)| a | b)
+                        .collect(),
+                )
             }))
         }
         Expr::Not(x) => {
             let xb = eval_expr(x, flow, s)?;
-            Ok(s.run("[not](col)", &[&xb], || Bat::U8(xb.as_u8().iter().map(|&a| a ^ 1).collect())))
+            Ok(s.run("[not](col)", &[&xb], || {
+                Bat::U8(xb.as_u8().iter().map(|&a| a ^ 1).collect())
+            }))
         }
         Expr::Cast(ty, x) => {
             let xb = eval_expr(x, flow, s)?;
@@ -199,14 +230,25 @@ fn eval_expr(e: &Expr, flow: &MatFlow, s: &mut MilSession) -> Result<Bat, PlanEr
         Expr::Year(x) => {
             let xb = eval_expr(x, flow, s)?;
             Ok(s.run("[year](col)", &[&xb], || {
-                Bat::I32(xb.as_i32().iter().map(|&d| x100_vector::date::from_days(d).0).collect())
+                Bat::I32(
+                    xb.as_i32()
+                        .iter()
+                        .map(|&d| x100_vector::date::from_days(d).0)
+                        .collect(),
+                )
             }))
         }
         Expr::StrContains(x, needle) => {
             let xb = eval_expr(x, flow, s)?;
-            let Bat::Str(d) = &xb else { panic!("contains() on {}", xb.tail_type()) };
+            let Bat::Str(d) = &xb else {
+                panic!("contains() on {}", xb.tail_type())
+            };
             Ok(s.run(&format!("[contains](col,'{needle}')"), &[&xb], || {
-                Bat::U8((0..d.len()).map(|i| d.get(i).contains(needle.as_str()) as u8).collect())
+                Bat::U8(
+                    (0..d.len())
+                        .map(|i| d.get(i).contains(needle.as_str()) as u8)
+                        .collect(),
+                )
             }))
         }
     }
@@ -271,7 +313,9 @@ fn cmp_val_bool(b: &Bat, op: CmpOp, v: &Value, s: &mut MilSession) -> Bat {
     }
     macro_rules! go {
         ($data:expr, $v:expr) => {
-            s.run(&stmt, &[b], || Bat::U8($data.iter().map(|&x| op.eval(x, $v) as u8).collect()))
+            s.run(&stmt, &[b], || {
+                Bat::U8($data.iter().map(|&x| op.eval(x, $v) as u8).collect())
+            })
         };
     }
     match b {
@@ -282,9 +326,15 @@ fn cmp_val_bool(b: &Bat, op: CmpOp, v: &Value, s: &mut MilSession) -> Bat {
         Bat::U16(d) => go!(d, v.as_i64() as u16),
         Bat::Oid(d) => go!(d, v.as_i64() as u32),
         Bat::Str(d) => {
-            let Value::Str(vs) = v else { panic!("string compare needs string literal") };
+            let Value::Str(vs) = v else {
+                panic!("string compare needs string literal")
+            };
             s.run(&stmt, &[b], || {
-                Bat::U8((0..d.len()).map(|i| op.eval(d.get(i), vs.as_str()) as u8).collect())
+                Bat::U8(
+                    (0..d.len())
+                        .map(|i| op.eval(d.get(i), vs.as_str()) as u8)
+                        .collect(),
+                )
             })
         }
     }
@@ -295,15 +345,34 @@ fn cmp_col_bool(a: &Bat, op: CmpOp, b: &Bat, s: &mut MilSession) -> Bat {
     let stmt = format!("[{}](col,col)", op.sig_name());
     match (a, b) {
         (Bat::I32(x), Bat::I32(y)) => s.run(&stmt, &[a, b], || {
-            Bat::U8(x.iter().zip(y).map(|(&p, &q)| op.eval(p, q) as u8).collect())
+            Bat::U8(
+                x.iter()
+                    .zip(y)
+                    .map(|(&p, &q)| op.eval(p, q) as u8)
+                    .collect(),
+            )
         }),
         (Bat::I64(x), Bat::I64(y)) => s.run(&stmt, &[a, b], || {
-            Bat::U8(x.iter().zip(y).map(|(&p, &q)| op.eval(p, q) as u8).collect())
+            Bat::U8(
+                x.iter()
+                    .zip(y)
+                    .map(|(&p, &q)| op.eval(p, q) as u8)
+                    .collect(),
+            )
         }),
         (Bat::F64(x), Bat::F64(y)) => s.run(&stmt, &[a, b], || {
-            Bat::U8(x.iter().zip(y).map(|(&p, &q)| op.eval(p, q) as u8).collect())
+            Bat::U8(
+                x.iter()
+                    .zip(y)
+                    .map(|(&p, &q)| op.eval(p, q) as u8)
+                    .collect(),
+            )
         }),
-        (a, b) => panic!("unsupported MIL compare {} vs {}", a.tail_type(), b.tail_type()),
+        (a, b) => panic!(
+            "unsupported MIL compare {} vs {}",
+            a.tail_type(),
+            b.tail_type()
+        ),
     }
 }
 
@@ -321,13 +390,19 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
             // requested column materializes fully (decoded).
             let t = db.table(table)?;
             if t.delta_rows() > 0 || !t.deletes().is_empty() {
-                return Err(PlanError::Invalid("MIL interpreter requires reorganized tables".into()));
+                return Err(PlanError::Invalid(
+                    "MIL interpreter requires reorganized tables".into(),
+                ));
             }
             let mut flow = MatFlow::default();
             flow.rows = t.fragment_rows();
             for c in cols {
-                let ci = t.column_index(c).ok_or_else(|| PlanError::UnknownColumn(c.clone()))?;
-                let bat = s.run(&format!("{c} := bat(\"{table}\",\"{c}\")"), &[], || column_to_bat(&t, ci));
+                let ci = t
+                    .column_index(c)
+                    .ok_or_else(|| PlanError::UnknownColumn(c.clone()))?;
+                let bat = s.run(&format!("{c} := bat(\"{table}\",\"{c}\")"), &[], || {
+                    column_to_bat(&t, ci)
+                });
                 flow.names.push(c.clone());
                 flow.cols.push(bat);
             }
@@ -348,7 +423,9 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
                             || matches!(&flow.cols[flow.idx(c)?], Bat::F64(_)) =>
                     {
                         let b = &flow.cols[flow.idx(c)?];
-                        s.run(&format!("s := select({c}).mark"), &[b], || ops::select_cmp(b, *op, v))
+                        s.run(&format!("s := select({c}).mark"), &[b], || {
+                            ops::select_cmp(b, *op, v)
+                        })
                     }
                     _ => {
                         let bools = eval_expr(pred, &flow, s)?;
@@ -367,8 +444,11 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
             let mut out = MatFlow::default();
             out.rows = oids.len();
             for (name, colbat) in flow.names.iter().zip(flow.cols.iter()) {
-                let joined =
-                    s.run(&format!("{name} := join(s,{name})"), &[&oids, colbat], || ops::join_fetch(&oids, colbat));
+                let joined = s.run(
+                    &format!("{name} := join(s,{name})"),
+                    &[&oids, colbat],
+                    || ops::join_fetch(&oids, colbat),
+                );
                 out.names.push(name.clone());
                 out.cols.push(joined);
             }
@@ -391,11 +471,19 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
         }
         Plan::DirectAggr { input, keys, aggs } => {
             let flow = exec(db, input, s)?;
-            let keyexprs: Vec<(String, Expr)> =
-                keys.iter().map(|k| (k.name.clone(), Expr::Col(k.col.clone()))).collect();
+            let keyexprs: Vec<(String, Expr)> = keys
+                .iter()
+                .map(|k| (k.name.clone(), Expr::Col(k.col.clone())))
+                .collect();
             exec_aggr(db, flow, &keyexprs, aggs, s)
         }
-        Plan::Fetch1Join { input, table, rowid, fetch, fetch_codes } => {
+        Plan::Fetch1Join {
+            input,
+            table,
+            rowid,
+            fetch,
+            fetch_codes,
+        } => {
             let mut flow = exec(db, input, s)?;
             let t = db.table(table)?;
             let rowids = match eval_expr(rowid, &flow, s)? {
@@ -404,27 +492,47 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
             };
             // MIL storage has no enumeration types: code fetches decode.
             for (src, alias) in fetch.iter().chain(fetch_codes.iter()) {
-                let ci = t.column_index(src).ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
-                let base = s.run(&format!("{src} := bat(\"{table}\",\"{src}\")"), &[], || column_to_bat(&t, ci));
-                let joined = s.run(&format!("{alias} := join(rowids,{src})"), &[&rowids, &base], || {
-                    ops::join_fetch(&rowids, &base)
+                let ci = t
+                    .column_index(src)
+                    .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
+                let base = s.run(&format!("{src} := bat(\"{table}\",\"{src}\")"), &[], || {
+                    column_to_bat(&t, ci)
                 });
+                let joined = s.run(
+                    &format!("{alias} := join(rowids,{src})"),
+                    &[&rowids, &base],
+                    || ops::join_fetch(&rowids, &base),
+                );
                 flow.names.push(alias.clone());
                 flow.cols.push(joined);
             }
             Ok(flow)
         }
-        Plan::HashJoin { build, probe, build_keys, probe_keys, payload, join_type } => {
+        Plan::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            payload,
+            join_type,
+        } => {
             use x100_engine::ops::JoinType;
             let bflow = exec(db, build, s)?;
             let pflow = exec(db, probe, s)?;
             // Key columns as comparable u64/string keys.
-            let bkeys: Vec<Bat> =
-                build_keys.iter().map(|e| eval_expr(e, &bflow, s)).collect::<Result<_, _>>()?;
-            let pkeys: Vec<Bat> =
-                probe_keys.iter().map(|e| eval_expr(e, &pflow, s)).collect::<Result<_, _>>()?;
+            let bkeys: Vec<Bat> = build_keys
+                .iter()
+                .map(|e| eval_expr(e, &bflow, s))
+                .collect::<Result<_, _>>()?;
+            let pkeys: Vec<Bat> = probe_keys
+                .iter()
+                .map(|e| eval_expr(e, &pflow, s))
+                .collect::<Result<_, _>>()?;
             let key_of = |cols: &[Bat], i: usize| -> String {
-                cols.iter().map(|c| c.get(i).to_string()).collect::<Vec<_>>().join("\u{1}")
+                cols.iter()
+                    .map(|c| c.get(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
             };
             let mut table: HashMap<String, Vec<u32>> = HashMap::new();
             for i in 0..bflow.rows {
@@ -462,9 +570,11 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
             let mut out = MatFlow::default();
             out.rows = p_sel.len();
             for (name, colbat) in pflow.names.iter().zip(pflow.cols.iter()) {
-                let joined = s.run(&format!("{name} := join(match,{name})"), &[&p_sel, colbat], || {
-                    ops::join_fetch(&p_sel, colbat)
-                });
+                let joined = s.run(
+                    &format!("{name} := join(match,{name})"),
+                    &[&p_sel, colbat],
+                    || ops::join_fetch(&p_sel, colbat),
+                );
                 out.names.push(name.clone());
                 out.cols.push(joined);
             }
@@ -472,16 +582,24 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
                 let b_sel = Bat::Oid(b_oids);
                 for (src, alias) in payload {
                     let ci = bflow.idx(src)?;
-                    let joined = s.run(&format!("{alias} := join(match,{src})"), &[&b_sel, &bflow.cols[ci]], || {
-                        outer_join_fetch(&b_sel, &bflow.cols[ci])
-                    });
+                    let joined = s.run(
+                        &format!("{alias} := join(match,{src})"),
+                        &[&b_sel, &bflow.cols[ci]],
+                        || outer_join_fetch(&b_sel, &bflow.cols[ci]),
+                    );
                     out.names.push(alias.clone());
                     out.cols.push(joined);
                 }
             }
             Ok(out)
         }
-        Plan::FetchNJoin { input, table, lo, cnt, fetch } => {
+        Plan::FetchNJoin {
+            input,
+            table,
+            lo,
+            cnt,
+            fetch,
+        } => {
             let flow = exec(db, input, s)?;
             let t = db.table(table)?;
             let lob = eval_expr(lo, &flow, s)?;
@@ -500,18 +618,24 @@ fn exec(db: &Database, plan: &Plan, s: &mut MilSession) -> Result<MatFlow, PlanE
             let mut out = MatFlow::default();
             out.rows = child_sel.len();
             for (name, colbat) in flow.names.iter().zip(flow.cols.iter()) {
-                let joined = s.run(&format!("{name} := join(exp,{name})"), &[&child_sel, colbat], || {
-                    ops::join_fetch(&child_sel, colbat)
-                });
+                let joined = s.run(
+                    &format!("{name} := join(exp,{name})"),
+                    &[&child_sel, colbat],
+                    || ops::join_fetch(&child_sel, colbat),
+                );
                 out.names.push(name.clone());
                 out.cols.push(joined);
             }
             for (src, alias) in fetch {
-                let ci = t.column_index(src).ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
+                let ci = t
+                    .column_index(src)
+                    .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
                 let base = column_to_bat(&t, ci);
-                let joined = s.run(&format!("{alias} := join(exp,{src})"), &[&target_sel, &base], || {
-                    ops::join_fetch(&target_sel, &base)
-                });
+                let joined = s.run(
+                    &format!("{alias} := join(exp,{src})"),
+                    &[&target_sel, &base],
+                    || ops::join_fetch(&target_sel, &base),
+                );
                 out.names.push(alias.clone());
                 out.cols.push(joined);
             }
@@ -574,7 +698,10 @@ fn exec_aggr(
         Some(g) => g,
         None => {
             // No keys: a single group.
-            (Bat::Oid(vec![0; flow.rows]), usize::from(flow.rows > 0).max(1))
+            (
+                Bat::Oid(vec![0; flow.rows]),
+                usize::from(flow.rows > 0).max(1),
+            )
         }
     };
     // Representative oid per group (first occurrence).
@@ -584,19 +711,28 @@ fn exec_aggr(
             first[g as usize] = i as u32;
         }
     }
-    let first = Bat::Oid(first.into_iter().map(|x| if x == u32::MAX { 0 } else { x }).collect());
+    let first = Bat::Oid(
+        first
+            .into_iter()
+            .map(|x| if x == u32::MAX { 0 } else { x })
+            .collect(),
+    );
 
     let mut out = MatFlow::default();
     out.rows = n_groups;
     for (name, kb) in &key_bats {
-        let rep = s.run(&format!("{name} := join(first,{name})"), &[&first, kb], || {
-            ops::join_fetch(&first, kb)
-        });
+        let rep = s.run(
+            &format!("{name} := join(first,{name})"),
+            &[&first, kb],
+            || ops::join_fetch(&first, kb),
+        );
         out.names.push(name.clone());
         out.cols.push(rep);
     }
     // Counts are shared by COUNT and AVG.
-    let counts = s.run("cnt := {count}(g)", &[&groups], || ops::count_grouped(&groups, n_groups));
+    let counts = s.run("cnt := {count}(g)", &[&groups], || {
+        ops::count_grouped(&groups, n_groups)
+    });
     for agg in aggs {
         use AggFunc::*;
         match agg.func {
@@ -610,22 +746,26 @@ fn exec_aggr(
                 })?;
                 let vb = eval_expr(arg, &flow, s)?;
                 let sums = match &vb {
-                    Bat::I64(_) if agg.func == Sum => {
-                        s.run(&format!("{} := {{sum}}(col,g)", agg.name), &[&vb, &groups], || {
-                            ops::sum_grouped_i64(&vb, &groups, n_groups)
-                        })
-                    }
+                    Bat::I64(_) if agg.func == Sum => s.run(
+                        &format!("{} := {{sum}}(col,g)", agg.name),
+                        &[&vb, &groups],
+                        || ops::sum_grouped_i64(&vb, &groups, n_groups),
+                    ),
                     _ => {
                         let fb = to_f64(vb);
-                        s.run(&format!("{} := {{sum}}(col,g)", agg.name), &[&fb, &groups], || {
-                            ops::sum_grouped_f64(&fb, &groups, n_groups)
-                        })
+                        s.run(
+                            &format!("{} := {{sum}}(col,g)", agg.name),
+                            &[&fb, &groups],
+                            || ops::sum_grouped_f64(&fb, &groups, n_groups),
+                        )
                     }
                 };
                 let outcol = if agg.func == Avg {
-                    s.run(&format!("{} := [/](sum,cnt)", agg.name), &[&sums, &counts], || {
-                        ops::div_f64_i64(&sums, &counts)
-                    })
+                    s.run(
+                        &format!("{} := [/](sum,cnt)", agg.name),
+                        &[&sums, &counts],
+                        || ops::div_f64_i64(&sums, &counts),
+                    )
                 } else {
                     sums
                 };
@@ -639,22 +779,30 @@ fn exec_aggr(
                 let vb = eval_expr(arg, &flow, s)?;
                 let fname = if agg.func == Min { "min" } else { "max" };
                 let outcol = match &vb {
-                    Bat::I64(_) => s.run(&format!("{} := {{{fname}}}(col,g)", agg.name), &[&vb, &groups], || {
-                        if agg.func == Min {
-                            ops::min_grouped_i64(&vb, &groups, n_groups)
-                        } else {
-                            ops::max_grouped_i64(&vb, &groups, n_groups)
-                        }
-                    }),
+                    Bat::I64(_) => s.run(
+                        &format!("{} := {{{fname}}}(col,g)", agg.name),
+                        &[&vb, &groups],
+                        || {
+                            if agg.func == Min {
+                                ops::min_grouped_i64(&vb, &groups, n_groups)
+                            } else {
+                                ops::max_grouped_i64(&vb, &groups, n_groups)
+                            }
+                        },
+                    ),
                     _ => {
                         let fb = to_f64(vb);
-                        s.run(&format!("{} := {{{fname}}}(col,g)", agg.name), &[&fb, &groups], || {
-                            if agg.func == Min {
-                                ops::min_grouped_f64(&fb, &groups, n_groups)
-                            } else {
-                                ops::max_grouped_f64(&fb, &groups, n_groups)
-                            }
-                        })
+                        s.run(
+                            &format!("{} := {{{fname}}}(col,g)", agg.name),
+                            &[&fb, &groups],
+                            || {
+                                if agg.func == Min {
+                                    ops::min_grouped_f64(&fb, &groups, n_groups)
+                                } else {
+                                    ops::max_grouped_f64(&fb, &groups, n_groups)
+                                }
+                            },
+                        )
                     }
                 };
                 out.names.push(agg.name.clone());
@@ -665,7 +813,11 @@ fn exec_aggr(
     Ok(out)
 }
 
-fn sort_flow(flow: MatFlow, keys: &[x100_engine::ops::OrdExp], s: &mut MilSession) -> Result<MatFlow, PlanError> {
+fn sort_flow(
+    flow: MatFlow,
+    keys: &[x100_engine::ops::OrdExp],
+    s: &mut MilSession,
+) -> Result<MatFlow, PlanError> {
     let mut perm: Vec<u32> = (0..flow.rows as u32).collect();
     let key_cols: Vec<(usize, SortOrder)> = keys
         .iter()
@@ -674,7 +826,11 @@ fn sort_flow(flow: MatFlow, keys: &[x100_engine::ops::OrdExp], s: &mut MilSessio
     perm.sort_by(|&a, &b| {
         for &(c, ord) in &key_cols {
             let cmpv = bat_cmp(&flow.cols[c], a as usize, b as usize);
-            let cmpv = if ord == SortOrder::Desc { cmpv.reverse() } else { cmpv };
+            let cmpv = if ord == SortOrder::Desc {
+                cmpv.reverse()
+            } else {
+                cmpv
+            };
             if cmpv != std::cmp::Ordering::Equal {
                 return cmpv;
             }
@@ -685,9 +841,11 @@ fn sort_flow(flow: MatFlow, keys: &[x100_engine::ops::OrdExp], s: &mut MilSessio
     let mut out = MatFlow::default();
     out.rows = flow.rows;
     for (name, colbat) in flow.names.iter().zip(flow.cols.iter()) {
-        let joined = s.run(&format!("{name} := join(sort,{name})"), &[&sel, colbat], || {
-            ops::join_fetch(&sel, colbat)
-        });
+        let joined = s.run(
+            &format!("{name} := join(sort,{name})"),
+            &[&sel, colbat],
+            || ops::join_fetch(&sel, colbat),
+        );
         out.names.push(name.clone());
         out.cols.push(joined);
     }
@@ -705,7 +863,13 @@ fn outer_join_fetch(oids: &Bat, col: &Bat) -> Bat {
         ($d:expr, $variant:ident, $default:expr) => {
             Bat::$variant(
                 idx.iter()
-                    .map(|&i| if i == u32::MAX { $default } else { $d[i as usize] })
+                    .map(|&i| {
+                        if i == u32::MAX {
+                            $default
+                        } else {
+                            $d[i as usize]
+                        }
+                    })
                     .collect(),
             )
         };
@@ -738,4 +902,3 @@ fn bat_cmp(b: &Bat, i: usize, j: usize) -> std::cmp::Ordering {
         Bat::Str(v) => v.get(i).cmp(v.get(j)),
     }
 }
-

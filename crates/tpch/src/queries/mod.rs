@@ -59,13 +59,19 @@ pub enum QuerySpec {
 }
 
 /// Run a query spec on the X100 engine.
-pub fn run_x100(db: &Database, spec: &QuerySpec, opts: &ExecOptions) -> Result<QueryResult, PlanError> {
+pub fn run_x100(
+    db: &Database,
+    spec: &QuerySpec,
+    opts: &ExecOptions,
+) -> Result<QueryResult, PlanError> {
     match spec {
         QuerySpec::Single(plan) => Ok(execute(db, plan, opts)?.0),
         QuerySpec::TwoPhase(tp) => {
             let (r1, _) = execute(db, &tp.phase1, opts)?;
             assert_eq!(r1.num_rows(), 1, "phase 1 must yield one row");
-            let scalar = r1.value(0, r1.col_index(tp.scalar_col).expect("scalar column")).as_f64();
+            let scalar = r1
+                .value(0, r1.col_index(tp.scalar_col).expect("scalar column"))
+                .as_f64();
             Ok(execute(db, &(tp.phase2)(scalar), opts)?.0)
         }
     }

@@ -52,7 +52,10 @@ pub fn x100_plan() -> Plan {
     )
     .select(le(col("l_shipdate"), lit_date(1998, 9, 2)))
     .aggr(
-        vec![("l_returnflag", col("l_returnflag")), ("l_linestatus", col("l_linestatus"))],
+        vec![
+            ("l_returnflag", col("l_returnflag")),
+            ("l_linestatus", col("l_linestatus")),
+        ],
         vec![
             AggExpr::sum("sum_qty", col("l_quantity")),
             AggExpr::sum("sum_base_price", col("l_extendedprice")),
@@ -69,17 +72,35 @@ pub fn x100_plan() -> Plan {
         ("sum_base_price", col("sum_base_price")),
         ("sum_disc_price", col("sum_disc_price")),
         ("sum_charge", col("sum_charge")),
-        ("avg_qty", div(col("sum_qty"), cast(ScalarType::F64, col("count_order")))),
-        ("avg_price", div(col("sum_base_price"), cast(ScalarType::F64, col("count_order")))),
-        ("avg_disc", div(col("sum_disc"), cast(ScalarType::F64, col("count_order")))),
+        (
+            "avg_qty",
+            div(col("sum_qty"), cast(ScalarType::F64, col("count_order"))),
+        ),
+        (
+            "avg_price",
+            div(
+                col("sum_base_price"),
+                cast(ScalarType::F64, col("count_order")),
+            ),
+        ),
+        (
+            "avg_disc",
+            div(col("sum_disc"), cast(ScalarType::F64, col("count_order"))),
+        ),
         ("count_order", col("count_order")),
     ])
-    .order(vec![OrdExp::asc("l_returnflag"), OrdExp::asc("l_linestatus")])
+    .order(vec![
+        OrdExp::asc("l_returnflag"),
+        OrdExp::asc("l_linestatus"),
+    ])
 }
 
 /// Convert an X100 [`QueryResult`] of the plan above into [`Q1Row`]s.
 pub fn rows_from_x100(res: &QueryResult) -> Vec<Q1Row> {
-    let get = |name: &str| res.col_index(name).unwrap_or_else(|| panic!("missing {name}"));
+    let get = |name: &str| {
+        res.col_index(name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
     (0..res.num_rows())
         .map(|r| {
             let ch = |c: usize| match res.value(r, c) {
@@ -112,24 +133,34 @@ pub fn mil_q1(bats: &BTreeMap<&'static str, Bat>, hi_date: i32) -> (Vec<Q1Row>, 
     let s0 = s.run("s0 := select(l_shipdate).mark", &[shipdate], || {
         ops::select_cmp(shipdate, CmpOp::Le, &Value::I32(hi_date))
     });
-    let s1 = s.run("s1 := join(s0,l_returnflag)", &[&s0, &bats["l_returnflag"]], || {
-        ops::join_fetch(&s0, &bats["l_returnflag"])
-    });
-    let s2 = s.run("s2 := join(s0,l_linestatus)", &[&s0, &bats["l_linestatus"]], || {
-        ops::join_fetch(&s0, &bats["l_linestatus"])
-    });
-    let s3 = s.run("s3 := join(s0,l_extprice)", &[&s0, &bats["l_extendedprice"]], || {
-        ops::join_fetch(&s0, &bats["l_extendedprice"])
-    });
-    let s4 = s.run("s4 := join(s0,l_discount)", &[&s0, &bats["l_discount"]], || {
-        ops::join_fetch(&s0, &bats["l_discount"])
-    });
+    let s1 = s.run(
+        "s1 := join(s0,l_returnflag)",
+        &[&s0, &bats["l_returnflag"]],
+        || ops::join_fetch(&s0, &bats["l_returnflag"]),
+    );
+    let s2 = s.run(
+        "s2 := join(s0,l_linestatus)",
+        &[&s0, &bats["l_linestatus"]],
+        || ops::join_fetch(&s0, &bats["l_linestatus"]),
+    );
+    let s3 = s.run(
+        "s3 := join(s0,l_extprice)",
+        &[&s0, &bats["l_extendedprice"]],
+        || ops::join_fetch(&s0, &bats["l_extendedprice"]),
+    );
+    let s4 = s.run(
+        "s4 := join(s0,l_discount)",
+        &[&s0, &bats["l_discount"]],
+        || ops::join_fetch(&s0, &bats["l_discount"]),
+    );
     let s5 = s.run("s5 := join(s0,l_tax)", &[&s0, &bats["l_tax"]], || {
         ops::join_fetch(&s0, &bats["l_tax"])
     });
-    let s6 = s.run("s6 := join(s0,l_quantity)", &[&s0, &bats["l_quantity"]], || {
-        ops::join_fetch(&s0, &bats["l_quantity"])
-    });
+    let s6 = s.run(
+        "s6 := join(s0,l_quantity)",
+        &[&s0, &bats["l_quantity"]],
+        || ops::join_fetch(&s0, &bats["l_quantity"]),
+    );
     let mut n7 = 0usize;
     let s7 = s.run("s7 := group(s1)", &[&s1], || {
         let (g, n) = ops::group(&s1);
@@ -143,16 +174,36 @@ pub fn mil_q1(bats: &BTreeMap<&'static str, Bat>, hi_date: i32) -> (Vec<Q1Row>, 
         g
     });
     let _s9 = s.run("s9 := unique(s8.mirror)", &[&s8], || ops::unique(n8));
-    let r0 = s.run("r0 := [+](1.0,s5)", &[&s5], || ops::multiplex_val_f64(MilArith::Add, 1.0, &s5));
-    let r1 = s.run("r1 := [-](1.0,s4)", &[&s4], || ops::multiplex_val_f64(MilArith::Sub, 1.0, &s4));
-    let r2 = s.run("r2 := [*](s3,r1)", &[&s3, &r1], || ops::multiplex_col_f64(MilArith::Mul, &s3, &r1));
-    let r3 = s.run("r3 := [*](r2,r0)", &[&r2, &r0], || ops::multiplex_col_f64(MilArith::Mul, &r2, &r0));
-    let r4 = s.run("r4 := {sum}(r3,s8,s9)", &[&r3, &s8], || ops::sum_grouped_f64(&r3, &s8, n8));
-    let r5 = s.run("r5 := {sum}(r2,s8,s9)", &[&r2, &s8], || ops::sum_grouped_f64(&r2, &s8, n8));
-    let r6 = s.run("r6 := {sum}(s3,s8,s9)", &[&s3, &s8], || ops::sum_grouped_f64(&s3, &s8, n8));
-    let r7 = s.run("r7 := {sum}(s4,s8,s9)", &[&s4, &s8], || ops::sum_grouped_f64(&s4, &s8, n8));
-    let r8 = s.run("r8 := {sum}(s6,s8,s9)", &[&s6, &s8], || ops::sum_grouped_f64(&s6, &s8, n8));
-    let r9 = s.run("r9 := {count}(s7,s8,s9)", &[&s8], || ops::count_grouped(&s8, n8));
+    let r0 = s.run("r0 := [+](1.0,s5)", &[&s5], || {
+        ops::multiplex_val_f64(MilArith::Add, 1.0, &s5)
+    });
+    let r1 = s.run("r1 := [-](1.0,s4)", &[&s4], || {
+        ops::multiplex_val_f64(MilArith::Sub, 1.0, &s4)
+    });
+    let r2 = s.run("r2 := [*](s3,r1)", &[&s3, &r1], || {
+        ops::multiplex_col_f64(MilArith::Mul, &s3, &r1)
+    });
+    let r3 = s.run("r3 := [*](r2,r0)", &[&r2, &r0], || {
+        ops::multiplex_col_f64(MilArith::Mul, &r2, &r0)
+    });
+    let r4 = s.run("r4 := {sum}(r3,s8,s9)", &[&r3, &s8], || {
+        ops::sum_grouped_f64(&r3, &s8, n8)
+    });
+    let r5 = s.run("r5 := {sum}(r2,s8,s9)", &[&r2, &s8], || {
+        ops::sum_grouped_f64(&r2, &s8, n8)
+    });
+    let r6 = s.run("r6 := {sum}(s3,s8,s9)", &[&s3, &s8], || {
+        ops::sum_grouped_f64(&s3, &s8, n8)
+    });
+    let r7 = s.run("r7 := {sum}(s4,s8,s9)", &[&s4, &s8], || {
+        ops::sum_grouped_f64(&s4, &s8, n8)
+    });
+    let r8 = s.run("r8 := {sum}(s6,s8,s9)", &[&s6, &s8], || {
+        ops::sum_grouped_f64(&s6, &s8, n8)
+    });
+    let r9 = s.run("r9 := {count}(s7,s8,s9)", &[&s8], || {
+        ops::count_grouped(&s8, n8)
+    });
 
     // Group-representative keys: first occurrence of each group id.
     let g = s8.as_oid();
@@ -191,10 +242,19 @@ pub fn volcano_q1(table: &volcano::RecordTable, hi_date: i32) -> (Vec<Q1Row>, vo
     use volcano::exec::{AggKind, AggSpec, HashAggregate, ScanSelect};
     use volcano::item::{build, ItemCmpI32Field, ItemOp};
     let mut c = volcano::Counters::default();
-    let f = |n: &str| table.field_index(n).unwrap_or_else(|| panic!("missing field {n}"));
+    let f = |n: &str| {
+        table
+            .field_index(n)
+            .unwrap_or_else(|| panic!("missing field {n}"))
+    };
     let (rf, ls) = (f("l_returnflag"), f("l_linestatus"));
-    let (qty, price, disc, tax, ship) =
-        (f("l_quantity"), f("l_extendedprice"), f("l_discount"), f("l_tax"), f("l_shipdate"));
+    let (qty, price, disc, tax, ship) = (
+        f("l_quantity"),
+        f("l_extendedprice"),
+        f("l_discount"),
+        f("l_tax"),
+        f("l_shipdate"),
+    );
     let disc_price = || {
         build::func(
             ItemOp::Mul,
@@ -209,19 +269,55 @@ pub fn volcano_q1(table: &volcano::RecordTable, hi_date: i32) -> (Vec<Q1Row>, vo
     );
     let mut scan = ScanSelect::new(
         table,
-        Some(Box::new(ItemCmpI32Field { op: CmpOp::Le, field: ship, value: hi_date })),
+        Some(Box::new(ItemCmpI32Field {
+            op: CmpOp::Le,
+            field: ship,
+            value: hi_date,
+        })),
     );
     let agg = HashAggregate::new(
         vec![rf, ls],
         vec![
-            AggSpec { name: "sum_qty".into(), kind: AggKind::Sum, item: Some(build::field(qty)) },
-            AggSpec { name: "sum_base_price".into(), kind: AggKind::Sum, item: Some(build::field(price)) },
-            AggSpec { name: "sum_disc_price".into(), kind: AggKind::Sum, item: Some(disc_price()) },
-            AggSpec { name: "sum_charge".into(), kind: AggKind::Sum, item: Some(charge) },
-            AggSpec { name: "avg_qty".into(), kind: AggKind::Avg, item: Some(build::field(qty)) },
-            AggSpec { name: "avg_price".into(), kind: AggKind::Avg, item: Some(build::field(price)) },
-            AggSpec { name: "avg_disc".into(), kind: AggKind::Avg, item: Some(build::field(disc)) },
-            AggSpec { name: "count".into(), kind: AggKind::Count, item: None },
+            AggSpec {
+                name: "sum_qty".into(),
+                kind: AggKind::Sum,
+                item: Some(build::field(qty)),
+            },
+            AggSpec {
+                name: "sum_base_price".into(),
+                kind: AggKind::Sum,
+                item: Some(build::field(price)),
+            },
+            AggSpec {
+                name: "sum_disc_price".into(),
+                kind: AggKind::Sum,
+                item: Some(disc_price()),
+            },
+            AggSpec {
+                name: "sum_charge".into(),
+                kind: AggKind::Sum,
+                item: Some(charge),
+            },
+            AggSpec {
+                name: "avg_qty".into(),
+                kind: AggKind::Avg,
+                item: Some(build::field(qty)),
+            },
+            AggSpec {
+                name: "avg_price".into(),
+                kind: AggKind::Avg,
+                item: Some(build::field(price)),
+            },
+            AggSpec {
+                name: "avg_disc".into(),
+                kind: AggKind::Avg,
+                item: Some(build::field(disc)),
+            },
+            AggSpec {
+                name: "count".into(),
+                kind: AggKind::Count,
+                item: None,
+            },
         ],
     );
     let res = agg.run(&mut scan, &mut c);

@@ -30,19 +30,26 @@ use x100_engine::AggExpr;
 /// Qualifying partsupp rows: suppliers in EUROPE, with supplier and
 /// nation attributes attached.
 fn europe_partsupp() -> Plan {
-    Plan::scan("partsupp", &["ps_partkey", "ps_supplycost", "ps_supp_idx", "ps_part_idx"])
-        .fetch1(
-            "supplier",
-            col("ps_supp_idx"),
-            &[("s_name", "s_name"), ("s_acctbal", "s_acctbal"), ("s_nation_idx", "s_nation_idx")],
-        )
-        .fetch1(
-            "nation",
-            col("s_nation_idx"),
-            &[("n_region_idx", "n_region_idx"), ("n_name", "n_name")],
-        )
-        .fetch1_with_codes("region", col("n_region_idx"), &[], &[("r_name", "r_name")])
-        .select(eq(col("r_name"), lit_str("EUROPE")))
+    Plan::scan(
+        "partsupp",
+        &["ps_partkey", "ps_supplycost", "ps_supp_idx", "ps_part_idx"],
+    )
+    .fetch1(
+        "supplier",
+        col("ps_supp_idx"),
+        &[
+            ("s_name", "s_name"),
+            ("s_acctbal", "s_acctbal"),
+            ("s_nation_idx", "s_nation_idx"),
+        ],
+    )
+    .fetch1(
+        "nation",
+        col("s_nation_idx"),
+        &[("n_region_idx", "n_region_idx"), ("n_name", "n_name")],
+    )
+    .fetch1_with_codes("region", col("n_region_idx"), &[], &[("r_name", "r_name")])
+    .select(eq(col("r_name"), lit_str("EUROPE")))
 }
 
 /// The X100 plan.
@@ -55,7 +62,10 @@ pub fn x100_plan() -> Plan {
     let candidates = europe_partsupp()
         .fetch1("part", col("ps_part_idx"), &[("p_size", "p_size")])
         .fetch1_with_codes("part", col("ps_part_idx"), &[], &[("p_type3", "p_type3")])
-        .select(and(eq(col("p_size"), lit_i64(15)), eq(col("p_type3"), lit_str("BRASS"))));
+        .select(and(
+            eq(col("p_size"), lit_i64(15)),
+            eq(col("p_type3"), lit_str("BRASS")),
+        ));
     Plan::HashJoin {
         build: Box::new(min_cost),
         probe: Box::new(candidates),
@@ -71,7 +81,12 @@ pub fn x100_plan() -> Plan {
         ("p_partkey", col("ps_partkey")),
     ])
     .topn(
-        vec![OrdExp::desc("s_acctbal"), OrdExp::asc("n_name"), OrdExp::asc("s_name"), OrdExp::asc("p_partkey")],
+        vec![
+            OrdExp::desc("s_acctbal"),
+            OrdExp::asc("n_name"),
+            OrdExp::asc("s_name"),
+            OrdExp::asc("p_partkey"),
+        ],
         100,
     )
 }
@@ -115,7 +130,10 @@ pub fn reference(data: &TpchData) -> Vec<(f64, i64)> {
         ));
     }
     rows.sort_by(|a, b| {
-        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)).then(a.3.cmp(&b.3))
+        b.0.total_cmp(&a.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .then(a.3.cmp(&b.3))
     });
     rows.truncate(100);
     rows.into_iter().map(|(bal, _, _, pk)| (bal, pk)).collect()

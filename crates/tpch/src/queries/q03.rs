@@ -35,16 +35,31 @@ fn cutoff() -> i32 {
 pub fn x100_plan() -> Plan {
     Plan::scan(
         "lineitem",
-        &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate", "li_order_idx"],
+        &[
+            "l_orderkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+            "li_order_idx",
+        ],
     )
     .select(gt(col("l_shipdate"), lit_i32(cutoff())))
     .fetch1(
         "orders",
         col("li_order_idx"),
-        &[("o_orderdate", "o_orderdate"), ("o_shippriority", "o_shippriority"), ("o_cust_idx", "o_cust_idx")],
+        &[
+            ("o_orderdate", "o_orderdate"),
+            ("o_shippriority", "o_shippriority"),
+            ("o_cust_idx", "o_cust_idx"),
+        ],
     )
     .select(lt(col("o_orderdate"), lit_i32(cutoff())))
-    .fetch1_with_codes("customer", col("o_cust_idx"), &[], &[("c_mktsegment", "c_mktsegment")])
+    .fetch1_with_codes(
+        "customer",
+        col("o_cust_idx"),
+        &[],
+        &[("c_mktsegment", "c_mktsegment")],
+    )
     .select(eq(col("c_mktsegment"), lit_str("BUILDING")))
     .aggr(
         vec![
@@ -57,7 +72,14 @@ pub fn x100_plan() -> Plan {
             mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
         )],
     )
-    .topn(vec![OrdExp::desc("revenue"), OrdExp::asc("o_orderdate"), OrdExp::asc("l_orderkey")], 10)
+    .topn(
+        vec![
+            OrdExp::desc("revenue"),
+            OrdExp::asc("o_orderdate"),
+            OrdExp::asc("l_orderkey"),
+        ],
+        10,
+    )
 }
 
 /// Reference implementation: top-10 `(orderkey, revenue)` pairs.

@@ -33,8 +33,11 @@ pub fn x100_plan() -> Plan {
         &["o_orderkey", "o_orderdate", "o_orderpriority"],
         &["o_orderpriority"],
     )
-        .pruned("o_orderdate", Some(lo as i64), Some(hi as i64 - 1))
-        .select(and(ge(col("o_orderdate"), lit_i32(lo)), lt(col("o_orderdate"), lit_i32(hi))));
+    .pruned("o_orderdate", Some(lo as i64), Some(hi as i64 - 1))
+    .select(and(
+        ge(col("o_orderdate"), lit_i32(lo)),
+        lt(col("o_orderdate"), lit_i32(hi)),
+    ));
     Plan::HashJoin {
         build: Box::new(late_lineitems),
         probe: Box::new(orders),
@@ -43,7 +46,10 @@ pub fn x100_plan() -> Plan {
         payload: vec![],
         join_type: JoinType::LeftSemi,
     }
-    .aggr(vec![("o_orderpriority", col("o_orderpriority"))], vec![AggExpr::count("order_count")])
+    .aggr(
+        vec![("o_orderpriority", col("o_orderpriority"))],
+        vec![AggExpr::count("order_count")],
+    )
     .order(vec![OrdExp::asc("o_orderpriority")])
 }
 

@@ -30,32 +30,54 @@ use x100_vector::date::to_days;
 pub fn x100_plan() -> Plan {
     let lo = to_days(1994, 1, 1);
     let hi = to_days(1995, 1, 1);
-    Plan::scan("lineitem", &["l_extendedprice", "l_discount", "li_order_idx", "li_supp_idx"])
-        .fetch1("orders", col("li_order_idx"), &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")])
-        .select(and(ge(col("o_orderdate"), lit_i32(lo)), lt(col("o_orderdate"), lit_i32(hi))))
-        .fetch1(
-            "supplier",
-            col("li_supp_idx"),
-            &[("s_nationkey", "s_nationkey"), ("s_nation_idx", "s_nation_idx")],
-        )
-        .fetch1("customer", col("o_cust_idx"), &[("c_nationkey", "c_nationkey")])
-        .select(eq(col("c_nationkey"), col("s_nationkey")))
-        .fetch1_with_codes(
-            "nation",
-            col("s_nation_idx"),
-            &[("n_region_idx", "n_region_idx")],
-            &[("n_name", "n_name")],
-        )
-        .fetch1_with_codes("region", col("n_region_idx"), &[], &[("r_name", "r_name")])
-        .select(eq(col("r_name"), lit_str("ASIA")))
-        .aggr(
-            vec![("n_name", col("n_name"))],
-            vec![AggExpr::sum(
-                "revenue",
-                mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
-            )],
-        )
-        .order(vec![OrdExp::desc("revenue")])
+    Plan::scan(
+        "lineitem",
+        &[
+            "l_extendedprice",
+            "l_discount",
+            "li_order_idx",
+            "li_supp_idx",
+        ],
+    )
+    .fetch1(
+        "orders",
+        col("li_order_idx"),
+        &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")],
+    )
+    .select(and(
+        ge(col("o_orderdate"), lit_i32(lo)),
+        lt(col("o_orderdate"), lit_i32(hi)),
+    ))
+    .fetch1(
+        "supplier",
+        col("li_supp_idx"),
+        &[
+            ("s_nationkey", "s_nationkey"),
+            ("s_nation_idx", "s_nation_idx"),
+        ],
+    )
+    .fetch1(
+        "customer",
+        col("o_cust_idx"),
+        &[("c_nationkey", "c_nationkey")],
+    )
+    .select(eq(col("c_nationkey"), col("s_nationkey")))
+    .fetch1_with_codes(
+        "nation",
+        col("s_nation_idx"),
+        &[("n_region_idx", "n_region_idx")],
+        &[("n_name", "n_name")],
+    )
+    .fetch1_with_codes("region", col("n_region_idx"), &[], &[("r_name", "r_name")])
+    .select(eq(col("r_name"), lit_str("ASIA")))
+    .aggr(
+        vec![("n_name", col("n_name"))],
+        vec![AggExpr::sum(
+            "revenue",
+            mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
+        )],
+    )
+    .order(vec![OrdExp::desc("revenue")])
 }
 
 /// Reference implementation: `(nation, revenue)` by descending revenue.
@@ -80,10 +102,13 @@ pub fn reference(data: &TpchData) -> Vec<(String, f64)> {
         if data.region.name[region as usize] != "ASIA" {
             continue;
         }
-        *rev.entry(s_nation as usize).or_insert(0.0) += li.extendedprice[i] * (1.0 - li.discount[i]);
+        *rev.entry(s_nation as usize).or_insert(0.0) +=
+            li.extendedprice[i] * (1.0 - li.discount[i]);
     }
-    let mut rows: Vec<(String, f64)> =
-        rev.into_iter().map(|(n, r)| (data.nation.name[n].clone(), r)).collect();
+    let mut rows: Vec<(String, f64)> = rev
+        .into_iter()
+        .map(|(n, r)| (data.nation.name[n].clone(), r))
+        .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     rows
 }

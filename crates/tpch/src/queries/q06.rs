@@ -23,16 +23,31 @@ use x100_vector::date::to_days;
 pub fn x100_plan() -> Plan {
     let lo = to_days(1994, 1, 1);
     let hi = to_days(1995, 1, 1);
-    Plan::scan("lineitem", &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])
-        .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
-        .select(and(
-            and(ge(col("l_shipdate"), lit_i32(lo)), lt(col("l_shipdate"), lit_i32(hi))),
+    Plan::scan(
+        "lineitem",
+        &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
+    )
+    .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
+    .select(and(
+        and(
+            ge(col("l_shipdate"), lit_i32(lo)),
+            lt(col("l_shipdate"), lit_i32(hi)),
+        ),
+        and(
             and(
-                and(ge(col("l_discount"), lit_f64(0.05)), le(col("l_discount"), lit_f64(0.07))),
-                lt(col("l_quantity"), lit_f64(24.0)),
+                ge(col("l_discount"), lit_f64(0.05)),
+                le(col("l_discount"), lit_f64(0.07)),
             ),
-        ))
-        .aggr(vec![], vec![AggExpr::sum("revenue", mul(col("l_extendedprice"), col("l_discount")))])
+            lt(col("l_quantity"), lit_f64(24.0)),
+        ),
+    ))
+    .aggr(
+        vec![],
+        vec![AggExpr::sum(
+            "revenue",
+            mul(col("l_extendedprice"), col("l_discount")),
+        )],
+    )
 }
 
 /// Reference implementation (row loop over the raw data).

@@ -35,27 +35,61 @@ use x100_vector::date::{from_days, to_days};
 /// The X100 plan.
 pub fn x100_plan() -> Plan {
     let pair = |a: &str, b: &str| {
-        and(eq(col("supp_nation"), lit_str(a)), eq(col("cust_nation"), lit_str(b)))
+        and(
+            eq(col("supp_nation"), lit_str(a)),
+            eq(col("cust_nation"), lit_str(b)),
+        )
     };
     Plan::scan(
         "lineitem",
-        &["l_shipdate", "l_extendedprice", "l_discount", "li_supp_idx", "li_order_idx"],
+        &[
+            "l_shipdate",
+            "l_extendedprice",
+            "l_discount",
+            "li_supp_idx",
+            "li_order_idx",
+        ],
     )
     .select(and(
         ge(col("l_shipdate"), lit_date(1995, 1, 1)),
         le(col("l_shipdate"), lit_date(1996, 12, 31)),
     ))
-    .fetch1("supplier", col("li_supp_idx"), &[("s_nation_idx", "s_nation_idx")])
-    .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "supp_nation")])
-    .fetch1("orders", col("li_order_idx"), &[("o_cust_idx", "o_cust_idx")])
-    .fetch1("customer", col("o_cust_idx"), &[("c_nation_idx", "c_nation_idx")])
-    .fetch1_with_codes("nation", col("c_nation_idx"), &[], &[("n_name", "cust_nation")])
+    .fetch1(
+        "supplier",
+        col("li_supp_idx"),
+        &[("s_nation_idx", "s_nation_idx")],
+    )
+    .fetch1_with_codes(
+        "nation",
+        col("s_nation_idx"),
+        &[],
+        &[("n_name", "supp_nation")],
+    )
+    .fetch1(
+        "orders",
+        col("li_order_idx"),
+        &[("o_cust_idx", "o_cust_idx")],
+    )
+    .fetch1(
+        "customer",
+        col("o_cust_idx"),
+        &[("c_nation_idx", "c_nation_idx")],
+    )
+    .fetch1_with_codes(
+        "nation",
+        col("c_nation_idx"),
+        &[],
+        &[("n_name", "cust_nation")],
+    )
     .select(or(pair("FRANCE", "GERMANY"), pair("GERMANY", "FRANCE")))
     .project(vec![
         ("supp_nation", col("supp_nation")),
         ("cust_nation", col("cust_nation")),
         ("l_year", year(col("l_shipdate"))),
-        ("volume", mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount")))),
+        (
+            "volume",
+            mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
+        ),
     ])
     .aggr(
         vec![
@@ -65,7 +99,11 @@ pub fn x100_plan() -> Plan {
         ],
         vec![AggExpr::sum("revenue", col("volume"))],
     )
-    .order(vec![OrdExp::asc("supp_nation"), OrdExp::asc("cust_nation"), OrdExp::asc("l_year")])
+    .order(vec![
+        OrdExp::asc("supp_nation"),
+        OrdExp::asc("cust_nation"),
+        OrdExp::asc("l_year"),
+    ])
 }
 
 /// Reference: `(supp_nation, cust_nation, year, revenue)` sorted.
@@ -82,8 +120,8 @@ pub fn reference(data: &TpchData) -> Vec<(String, String, i32, f64)> {
         let oi = li.order_idx[i] as usize;
         let cn = data.customer.nationkey[(data.orders.custkey[oi] - 1) as usize] as usize;
         let (sname, cname) = (&data.nation.name[sn], &data.nation.name[cn]);
-        let franco_german = (sname == "FRANCE" && cname == "GERMANY")
-            || (sname == "GERMANY" && cname == "FRANCE");
+        let franco_german =
+            (sname == "FRANCE" && cname == "GERMANY") || (sname == "GERMANY" && cname == "FRANCE");
         if !franco_german {
             continue;
         }
@@ -92,7 +130,14 @@ pub fn reference(data: &TpchData) -> Vec<(String, String, i32, f64)> {
     }
     let mut rows: Vec<(String, String, i32, f64)> = acc
         .into_iter()
-        .map(|((s, c, y), v)| (data.nation.name[s].clone(), data.nation.name[c].clone(), y, v))
+        .map(|((s, c, y), v)| {
+            (
+                data.nation.name[s].clone(),
+                data.nation.name[c].clone(),
+                y,
+                v,
+            )
+        })
         .collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     rows

@@ -35,34 +35,70 @@ pub fn x100_plan() -> Plan {
     let volume = mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount")));
     Plan::scan(
         "lineitem",
-        &["l_extendedprice", "l_discount", "li_part_idx", "li_supp_idx", "li_order_idx"],
+        &[
+            "l_extendedprice",
+            "l_discount",
+            "li_part_idx",
+            "li_supp_idx",
+            "li_order_idx",
+        ],
     )
     .fetch1_with_codes("part", col("li_part_idx"), &[], &[("p_type", "p_type")])
     .select(eq(col("p_type"), lit_str("ECONOMY ANODIZED STEEL")))
-    .fetch1("orders", col("li_order_idx"), &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")])
+    .fetch1(
+        "orders",
+        col("li_order_idx"),
+        &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")],
+    )
     .select(and(
         ge(col("o_orderdate"), lit_date(1995, 1, 1)),
         le(col("o_orderdate"), lit_date(1996, 12, 31)),
     ))
-    .fetch1("customer", col("o_cust_idx"), &[("c_nation_idx", "c_nation_idx")])
-    .fetch1("nation", col("c_nation_idx"), &[("n_region_idx", "n_region_idx")])
+    .fetch1(
+        "customer",
+        col("o_cust_idx"),
+        &[("c_nation_idx", "c_nation_idx")],
+    )
+    .fetch1(
+        "nation",
+        col("c_nation_idx"),
+        &[("n_region_idx", "n_region_idx")],
+    )
     .fetch1_with_codes("region", col("n_region_idx"), &[], &[("r_name", "r_name")])
     .select(eq(col("r_name"), lit_str("AMERICA")))
-    .fetch1("supplier", col("li_supp_idx"), &[("s_nation_idx", "s_nation_idx")])
-    .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "supp_nation")])
+    .fetch1(
+        "supplier",
+        col("li_supp_idx"),
+        &[("s_nation_idx", "s_nation_idx")],
+    )
+    .fetch1_with_codes(
+        "nation",
+        col("s_nation_idx"),
+        &[],
+        &[("n_name", "supp_nation")],
+    )
     .project(vec![
         ("o_year", year(col("o_orderdate"))),
         ("volume", volume.clone()),
         (
             "brazil_volume",
-            mul(volume, cast(ScalarType::F64, eq(col("supp_nation"), lit_str("BRAZIL")))),
+            mul(
+                volume,
+                cast(ScalarType::F64, eq(col("supp_nation"), lit_str("BRAZIL"))),
+            ),
         ),
     ])
     .aggr(
         vec![("o_year", col("o_year"))],
-        vec![AggExpr::sum("brazil", col("brazil_volume")), AggExpr::sum("total", col("volume"))],
+        vec![
+            AggExpr::sum("brazil", col("brazil_volume")),
+            AggExpr::sum("total", col("volume")),
+        ],
     )
-    .project(vec![("o_year", col("o_year")), ("mkt_share", div(col("brazil"), col("total")))])
+    .project(vec![
+        ("o_year", col("o_year")),
+        ("mkt_share", div(col("brazil"), col("total"))),
+    ])
     .order(vec![OrdExp::asc("o_year")])
 }
 

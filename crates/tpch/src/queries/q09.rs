@@ -42,10 +42,22 @@ pub fn x100_plan() -> Plan {
     )
     .fetch1("part", col("li_part_idx"), &[("p_name", "p_name")])
     .select(contains(col("p_name"), "green"))
-    .fetch1("partsupp", col("li_ps_idx"), &[("ps_supplycost", "ps_supplycost")])
-    .fetch1("supplier", col("li_supp_idx"), &[("s_nation_idx", "s_nation_idx")])
+    .fetch1(
+        "partsupp",
+        col("li_ps_idx"),
+        &[("ps_supplycost", "ps_supplycost")],
+    )
+    .fetch1(
+        "supplier",
+        col("li_supp_idx"),
+        &[("s_nation_idx", "s_nation_idx")],
+    )
     .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "nation")])
-    .fetch1("orders", col("li_order_idx"), &[("o_orderdate", "o_orderdate")])
+    .fetch1(
+        "orders",
+        col("li_order_idx"),
+        &[("o_orderdate", "o_orderdate")],
+    )
     .project(vec![
         ("nation", col("nation")),
         ("o_year", year(col("o_orderdate"))),
@@ -78,8 +90,10 @@ pub fn reference(data: &TpchData) -> Vec<(String, i32, f64)> {
         let amount = li.extendedprice[i] * (1.0 - li.discount[i]) - cost * li.quantity[i];
         *acc.entry((sn, y)).or_insert(0.0) += amount;
     }
-    let mut rows: Vec<(String, i32, f64)> =
-        acc.into_iter().map(|((n, y), v)| (data.nation.name[n].clone(), y, v)).collect();
+    let mut rows: Vec<(String, i32, f64)> = acc
+        .into_iter()
+        .map(|((n, y), v)| (data.nation.name[n].clone(), y, v))
+        .collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
     rows
 }

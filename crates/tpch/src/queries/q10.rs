@@ -31,36 +31,48 @@ pub fn x100_plan() -> Plan {
     let hi = to_days(1994, 1, 1);
     Plan::scan_with_codes(
         "lineitem",
-        &["l_extendedprice", "l_discount", "l_returnflag", "li_order_idx"],
+        &[
+            "l_extendedprice",
+            "l_discount",
+            "l_returnflag",
+            "li_order_idx",
+        ],
         &["l_returnflag"],
     )
     .select(eq(col("l_returnflag"), lit_str("R")))
-        .fetch1("orders", col("li_order_idx"), &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")])
-        .select(and(ge(col("o_orderdate"), lit_i32(lo)), lt(col("o_orderdate"), lit_i32(hi))))
-        .fetch1(
-            "customer",
-            col("o_cust_idx"),
-            &[
-                ("c_custkey", "c_custkey"),
-                ("c_name", "c_name"),
-                ("c_acctbal", "c_acctbal"),
-                ("c_nation_idx", "c_nation_idx"),
-            ],
-        )
-        .fetch1("nation", col("c_nation_idx"), &[("n_name", "n_name")])
-        .aggr(
-            vec![
-                ("c_custkey", col("c_custkey")),
-                ("c_name", col("c_name")),
-                ("c_acctbal", col("c_acctbal")),
-                ("n_name", col("n_name")),
-            ],
-            vec![AggExpr::sum(
-                "revenue",
-                mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
-            )],
-        )
-        .topn(vec![OrdExp::desc("revenue"), OrdExp::asc("c_custkey")], 20)
+    .fetch1(
+        "orders",
+        col("li_order_idx"),
+        &[("o_orderdate", "o_orderdate"), ("o_cust_idx", "o_cust_idx")],
+    )
+    .select(and(
+        ge(col("o_orderdate"), lit_i32(lo)),
+        lt(col("o_orderdate"), lit_i32(hi)),
+    ))
+    .fetch1(
+        "customer",
+        col("o_cust_idx"),
+        &[
+            ("c_custkey", "c_custkey"),
+            ("c_name", "c_name"),
+            ("c_acctbal", "c_acctbal"),
+            ("c_nation_idx", "c_nation_idx"),
+        ],
+    )
+    .fetch1("nation", col("c_nation_idx"), &[("n_name", "n_name")])
+    .aggr(
+        vec![
+            ("c_custkey", col("c_custkey")),
+            ("c_name", col("c_name")),
+            ("c_acctbal", col("c_acctbal")),
+            ("n_name", col("n_name")),
+        ],
+        vec![AggExpr::sum(
+            "revenue",
+            mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
+        )],
+    )
+    .topn(vec![OrdExp::desc("revenue"), OrdExp::asc("c_custkey")], 20)
 }
 
 /// Reference implementation: `(custkey, revenue)` top 20.

@@ -34,14 +34,27 @@ use x100_engine::AggExpr;
 pub const FRACTION: f64 = 0.0001;
 
 fn germany_stock() -> Plan {
-    Plan::scan("partsupp", &["ps_partkey", "ps_availqty", "ps_supplycost", "ps_supp_idx"])
-        .fetch1("supplier", col("ps_supp_idx"), &[("s_nation_idx", "s_nation_idx")])
-        .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "n_name")])
-        .select(eq(col("n_name"), lit_str("GERMANY")))
-        .project(vec![
-            ("ps_partkey", col("ps_partkey")),
-            ("value", mul(col("ps_supplycost"), cast(x100_vector::ScalarType::F64, col("ps_availqty")))),
-        ])
+    Plan::scan(
+        "partsupp",
+        &["ps_partkey", "ps_availqty", "ps_supplycost", "ps_supp_idx"],
+    )
+    .fetch1(
+        "supplier",
+        col("ps_supp_idx"),
+        &[("s_nation_idx", "s_nation_idx")],
+    )
+    .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "n_name")])
+    .select(eq(col("n_name"), lit_str("GERMANY")))
+    .project(vec![
+        ("ps_partkey", col("ps_partkey")),
+        (
+            "value",
+            mul(
+                col("ps_supplycost"),
+                cast(x100_vector::ScalarType::F64, col("ps_availqty")),
+            ),
+        ),
+    ])
 }
 
 /// The two-phase spec.
@@ -51,7 +64,10 @@ pub fn x100_spec() -> TwoPhase {
         scalar_col: "total",
         phase2: |total| {
             germany_stock()
-                .aggr(vec![("ps_partkey", col("ps_partkey"))], vec![AggExpr::sum("value", col("value"))])
+                .aggr(
+                    vec![("ps_partkey", col("ps_partkey"))],
+                    vec![AggExpr::sum("value", col("value"))],
+                )
                 .select(gt(col("value"), lit_f64(total * FRACTION)))
                 .order(vec![OrdExp::desc("value"), OrdExp::asc("ps_partkey")])
         },
@@ -72,8 +88,10 @@ pub fn reference(data: &TpchData) -> Vec<(i64, f64)> {
         *per_part.entry(ps.partkey[i]).or_insert(0.0) += v;
         total += v;
     }
-    let mut rows: Vec<(i64, f64)> =
-        per_part.into_iter().filter(|&(_, v)| v > total * FRACTION).collect();
+    let mut rows: Vec<(i64, f64)> = per_part
+        .into_iter()
+        .filter(|&(_, v)| v > total * FRACTION)
+        .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     rows
 }

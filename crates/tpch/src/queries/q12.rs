@@ -34,21 +34,44 @@ pub fn x100_plan() -> Plan {
     let hi = to_days(1995, 1, 1);
     let high = cast(
         ScalarType::I64,
-        or(eq(col("o_orderpriority"), lit_str("1-URGENT")), eq(col("o_orderpriority"), lit_str("2-HIGH"))),
+        or(
+            eq(col("o_orderpriority"), lit_str("1-URGENT")),
+            eq(col("o_orderpriority"), lit_str("2-HIGH")),
+        ),
     );
     Plan::scan_with_codes(
         "lineitem",
-        &["l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate", "li_order_idx"],
+        &[
+            "l_shipmode",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "li_order_idx",
+        ],
         &["l_shipmode"],
     )
     .select(and(
-        or(eq(col("l_shipmode"), lit_str("MAIL")), eq(col("l_shipmode"), lit_str("SHIP"))),
+        or(
+            eq(col("l_shipmode"), lit_str("MAIL")),
+            eq(col("l_shipmode"), lit_str("SHIP")),
+        ),
         and(
-            and(lt(col("l_commitdate"), col("l_receiptdate")), lt(col("l_shipdate"), col("l_commitdate"))),
-            and(ge(col("l_receiptdate"), lit_i32(lo)), lt(col("l_receiptdate"), lit_i32(hi))),
+            and(
+                lt(col("l_commitdate"), col("l_receiptdate")),
+                lt(col("l_shipdate"), col("l_commitdate")),
+            ),
+            and(
+                ge(col("l_receiptdate"), lit_i32(lo)),
+                lt(col("l_receiptdate"), lit_i32(hi)),
+            ),
         ),
     ))
-    .fetch1_with_codes("orders", col("li_order_idx"), &[], &[("o_orderpriority", "o_orderpriority")])
+    .fetch1_with_codes(
+        "orders",
+        col("li_order_idx"),
+        &[],
+        &[("o_orderpriority", "o_orderpriority")],
+    )
     .project(vec![
         ("l_shipmode", col("l_shipmode")),
         ("high", high.clone()),

@@ -30,7 +30,10 @@ pub fn x100_plan() -> Plan {
             contains(col("o_comment"), "special"),
             contains(col("o_comment"), "requests"),
         )))
-        .aggr(vec![("o_custkey", col("o_custkey"))], vec![AggExpr::count("c_count")]);
+        .aggr(
+            vec![("o_custkey", col("o_custkey"))],
+            vec![AggExpr::count("c_count")],
+        );
     Plan::HashJoin {
         build: Box::new(per_customer),
         probe: Box::new(Plan::scan("customer", &["c_custkey"])),
@@ -39,7 +42,10 @@ pub fn x100_plan() -> Plan {
         payload: vec![("c_count".into(), "c_count".into())],
         join_type: JoinType::LeftOuter,
     }
-    .aggr(vec![("c_count", col("c_count"))], vec![AggExpr::count("custdist")])
+    .aggr(
+        vec![("c_count", col("c_count"))],
+        vec![AggExpr::count("custdist")],
+    )
     .order(vec![OrdExp::desc("custdist"), OrdExp::desc("c_count")])
 }
 

@@ -29,19 +29,31 @@ pub fn x100_plan() -> Plan {
     let hi = to_days(1995, 10, 1);
     let rev = mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount")));
     let is_promo = cast(ScalarType::F64, eq(col("p_type1"), lit_str("PROMO")));
-    Plan::scan("lineitem", &["l_extendedprice", "l_discount", "l_shipdate", "li_part_idx"])
-        .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
-        .select(and(ge(col("l_shipdate"), lit_i32(lo)), lt(col("l_shipdate"), lit_i32(hi))))
-        .fetch1_with_codes("part", col("li_part_idx"), &[], &[("p_type1", "p_type1")])
-        .project(vec![("rev", rev.clone()), ("promo_rev", mul(rev, is_promo))])
-        .aggr(
-            vec![],
-            vec![AggExpr::sum("sum_promo", col("promo_rev")), AggExpr::sum("sum_rev", col("rev"))],
-        )
-        .project(vec![(
-            "promo_revenue",
-            div(mul(lit_f64(100.0), col("sum_promo")), col("sum_rev")),
-        )])
+    Plan::scan(
+        "lineitem",
+        &["l_extendedprice", "l_discount", "l_shipdate", "li_part_idx"],
+    )
+    .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
+    .select(and(
+        ge(col("l_shipdate"), lit_i32(lo)),
+        lt(col("l_shipdate"), lit_i32(hi)),
+    ))
+    .fetch1_with_codes("part", col("li_part_idx"), &[], &[("p_type1", "p_type1")])
+    .project(vec![
+        ("rev", rev.clone()),
+        ("promo_rev", mul(rev, is_promo)),
+    ])
+    .aggr(
+        vec![],
+        vec![
+            AggExpr::sum("sum_promo", col("promo_rev")),
+            AggExpr::sum("sum_rev", col("rev")),
+        ],
+    )
+    .project(vec![(
+        "promo_revenue",
+        div(mul(lit_f64(100.0), col("sum_promo")), col("sum_rev")),
+    )])
 }
 
 /// Reference implementation: the promo revenue percentage.

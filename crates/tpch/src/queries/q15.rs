@@ -29,16 +29,22 @@ use x100_vector::date::to_days;
 fn revenue_view() -> Plan {
     let lo = to_days(1996, 1, 1);
     let hi = to_days(1996, 4, 1);
-    Plan::scan("lineitem", &["l_shipdate", "l_extendedprice", "l_discount", "li_supp_idx"])
-        .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
-        .select(and(ge(col("l_shipdate"), lit_i32(lo)), lt(col("l_shipdate"), lit_i32(hi))))
-        .aggr(
-            vec![("supplier_no", col("li_supp_idx"))],
-            vec![AggExpr::sum(
-                "total_revenue",
-                mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
-            )],
-        )
+    Plan::scan(
+        "lineitem",
+        &["l_shipdate", "l_extendedprice", "l_discount", "li_supp_idx"],
+    )
+    .pruned("l_shipdate", Some(lo as i64), Some(hi as i64 - 1))
+    .select(and(
+        ge(col("l_shipdate"), lit_i32(lo)),
+        lt(col("l_shipdate"), lit_i32(hi)),
+    ))
+    .aggr(
+        vec![("supplier_no", col("li_supp_idx"))],
+        vec![AggExpr::sum(
+            "total_revenue",
+            mul(col("l_extendedprice"), sub(lit_f64(1.0), col("l_discount"))),
+        )],
+    )
 }
 
 /// The two-phase spec; output `(s_suppkey, s_name, total_revenue)`.
@@ -53,7 +59,11 @@ pub fn x100_spec() -> TwoPhase {
         phase2: |mx| {
             revenue_view()
                 .select(ge(col("total_revenue"), lit_f64(mx)))
-                .fetch1("supplier", col("supplier_no"), &[("s_suppkey", "s_suppkey"), ("s_name", "s_name")])
+                .fetch1(
+                    "supplier",
+                    col("supplier_no"),
+                    &[("s_suppkey", "s_suppkey"), ("s_name", "s_name")],
+                )
                 .project(vec![
                     ("s_suppkey", col("s_suppkey")),
                     ("s_name", col("s_name")),
@@ -72,7 +82,8 @@ pub fn reference(data: &TpchData) -> Vec<(i64, f64)> {
     let mut rev: HashMap<i64, f64> = HashMap::new();
     for i in 0..li.len() {
         if li.shipdate[i] >= lo && li.shipdate[i] < hi {
-            *rev.entry(li.suppkey[i]).or_insert(0.0) += li.extendedprice[i] * (1.0 - li.discount[i]);
+            *rev.entry(li.suppkey[i]).or_insert(0.0) +=
+                li.extendedprice[i] * (1.0 - li.discount[i]);
         }
     }
     let mx = rev.values().cloned().fold(f64::MIN, f64::max);

@@ -44,12 +44,20 @@ pub fn x100_plan() -> Plan {
             "part",
             col("ps_part_idx"),
             &[("p_size", "p_size")],
-            &[("p_brand", "p_brand"), ("p_type", "p_type"), ("p_type1", "p_type1"), ("p_type2", "p_type2")],
+            &[
+                ("p_brand", "p_brand"),
+                ("p_type", "p_type"),
+                ("p_type1", "p_type1"),
+                ("p_type2", "p_type2"),
+            ],
         )
         .select(and(
             and(
                 ne(col("p_brand"), lit_str("Brand#45")),
-                not(and(eq(col("p_type1"), lit_str("MEDIUM")), eq(col("p_type2"), lit_str("POLISHED")))),
+                not(and(
+                    eq(col("p_type1"), lit_str("MEDIUM")),
+                    eq(col("p_type2"), lit_str("POLISHED")),
+                )),
             ),
             size_in,
         ));
@@ -73,7 +81,11 @@ pub fn x100_plan() -> Plan {
     )
     // … then count suppliers per (brand, type, size).
     .aggr(
-        vec![("p_brand", col("p_brand")), ("p_type", col("p_type")), ("p_size", col("p_size"))],
+        vec![
+            ("p_brand", col("p_brand")),
+            ("p_type", col("p_type")),
+            ("p_size", col("p_size")),
+        ],
         vec![AggExpr::count("supplier_cnt")],
     )
     .order(vec![
@@ -121,8 +133,15 @@ pub fn reference(data: &TpchData) -> Vec<(String, String, i64, i64)> {
     for (b, t, s, _) in distinct {
         *counts.entry((b, t, s)).or_insert(0) += 1;
     }
-    let mut rows: Vec<(String, String, i64, i64)> =
-        counts.into_iter().map(|((b, t, s), c)| (b, t, s, c)).collect();
-    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut rows: Vec<(String, String, i64, i64)> = counts
+        .into_iter()
+        .map(|((b, t, s), c)| (b, t, s, c))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.3.cmp(&a.3)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
     rows
 }

@@ -27,14 +27,20 @@ pub fn x100_plan() -> Plan {
         vec![("pk", col("li_part_idx"))],
         vec![AggExpr::avg("avg_qty", col("l_quantity"))],
     );
-    let candidates = Plan::scan("lineitem", &["li_part_idx", "l_quantity", "l_extendedprice"])
-        .fetch1_with_codes(
-            "part",
-            col("li_part_idx"),
-            &[],
-            &[("p_brand", "p_brand"), ("p_container", "p_container")],
-        )
-        .select(and(eq(col("p_brand"), lit_str("Brand#23")), eq(col("p_container"), lit_str("MED BOX"))));
+    let candidates = Plan::scan(
+        "lineitem",
+        &["li_part_idx", "l_quantity", "l_extendedprice"],
+    )
+    .fetch1_with_codes(
+        "part",
+        col("li_part_idx"),
+        &[],
+        &[("p_brand", "p_brand"), ("p_container", "p_container")],
+    )
+    .select(and(
+        eq(col("p_brand"), lit_str("Brand#23")),
+        eq(col("p_container"), lit_str("MED BOX")),
+    ));
     Plan::HashJoin {
         build: Box::new(per_part_avg),
         probe: Box::new(candidates),
@@ -44,7 +50,10 @@ pub fn x100_plan() -> Plan {
         join_type: JoinType::Inner,
     }
     .select(lt(col("l_quantity"), mul(lit_f64(0.2), col("avg_qty"))))
-    .aggr(vec![], vec![AggExpr::sum("sum_price", col("l_extendedprice"))])
+    .aggr(
+        vec![],
+        vec![AggExpr::sum("sum_price", col("l_extendedprice"))],
+    )
     .project(vec![("avg_yearly", div(col("sum_price"), lit_f64(7.0)))])
 }
 

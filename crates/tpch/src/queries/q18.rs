@@ -30,7 +30,10 @@ pub const THRESHOLD: f64 = 300.0;
 /// `(c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty)`.
 pub fn x100_plan() -> Plan {
     let big_orders = Plan::scan("lineitem", &["l_orderkey", "l_quantity"])
-        .aggr(vec![("bo_orderkey", col("l_orderkey"))], vec![AggExpr::sum("sum_qty", col("l_quantity"))])
+        .aggr(
+            vec![("bo_orderkey", col("l_orderkey"))],
+            vec![AggExpr::sum("sum_qty", col("l_quantity"))],
+        )
         .select(gt(col("sum_qty"), lit_f64(THRESHOLD)));
     Plan::HashJoin {
         build: Box::new(big_orders),
@@ -43,7 +46,11 @@ pub fn x100_plan() -> Plan {
         payload: vec![("sum_qty".into(), "sum_qty".into())],
         join_type: JoinType::Inner,
     }
-    .fetch1("customer", col("o_cust_idx"), &[("c_name", "c_name"), ("c_custkey", "c_custkey")])
+    .fetch1(
+        "customer",
+        col("o_cust_idx"),
+        &[("c_name", "c_name"), ("c_custkey", "c_custkey")],
+    )
     .project(vec![
         ("c_name", col("c_name")),
         ("c_custkey", col("c_custkey")),
@@ -52,7 +59,14 @@ pub fn x100_plan() -> Plan {
         ("o_totalprice", col("o_totalprice")),
         ("sum_qty", col("sum_qty")),
     ])
-    .topn(vec![OrdExp::desc("o_totalprice"), OrdExp::asc("o_orderdate"), OrdExp::asc("o_orderkey")], 100)
+    .topn(
+        vec![
+            OrdExp::desc("o_totalprice"),
+            OrdExp::asc("o_orderdate"),
+            OrdExp::asc("o_orderkey"),
+        ],
+        100,
+    )
 }
 
 /// Reference: `(orderkey, sum_qty)` of the top rows.

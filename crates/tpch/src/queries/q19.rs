@@ -34,10 +34,19 @@ fn in_list(c: &str, values: &[&str]) -> Expr {
 
 fn branch(brand: &str, containers: &[&str], qty_lo: f64, size_hi: i64) -> Expr {
     and(
-        and(eq(col("p_brand"), lit_str(brand)), in_list("p_container", containers)),
         and(
-            and(ge(col("l_quantity"), lit_f64(qty_lo)), le(col("l_quantity"), lit_f64(qty_lo + 10.0))),
-            and(ge(col("p_size"), lit_i64(1)), le(col("p_size"), lit_i64(size_hi))),
+            eq(col("p_brand"), lit_str(brand)),
+            in_list("p_container", containers),
+        ),
+        and(
+            and(
+                ge(col("l_quantity"), lit_f64(qty_lo)),
+                le(col("l_quantity"), lit_f64(qty_lo + 10.0)),
+            ),
+            and(
+                ge(col("p_size"), lit_i64(1)),
+                le(col("p_size"), lit_i64(size_hi)),
+            ),
         ),
     )
 }
@@ -46,7 +55,14 @@ fn branch(brand: &str, containers: &[&str], qty_lo: f64, size_hi: i64) -> Expr {
 pub fn x100_plan() -> Plan {
     Plan::scan_with_codes(
         "lineitem",
-        &["l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct", "li_part_idx"],
+        &[
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipmode",
+            "l_shipinstruct",
+            "li_part_idx",
+        ],
         &["l_shipmode", "l_shipinstruct"],
     )
     .select(and(
@@ -61,10 +77,25 @@ pub fn x100_plan() -> Plan {
     )
     .select(or(
         or(
-            branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 5),
-            branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 10),
+            branch(
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1.0,
+                5,
+            ),
+            branch(
+                "Brand#23",
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10.0,
+                10,
+            ),
         ),
-        branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 15),
+        branch(
+            "Brand#34",
+            &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            15,
+        ),
     ))
     .aggr(
         vec![],

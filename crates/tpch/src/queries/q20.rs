@@ -34,22 +34,34 @@ pub fn x100_plan() -> Plan {
     let hi = to_days(1995, 1, 1);
     // Quantity shipped in 1994 per partsupp row.
     let shipped = Plan::scan("lineitem", &["l_shipdate", "l_quantity", "li_ps_idx"])
-        .select(and(ge(col("l_shipdate"), lit_i32(lo)), lt(col("l_shipdate"), lit_i32(hi))))
-        .aggr(vec![("sh_ps", col("li_ps_idx"))], vec![AggExpr::sum("shipped_qty", col("l_quantity"))]);
+        .select(and(
+            ge(col("l_shipdate"), lit_i32(lo)),
+            lt(col("l_shipdate"), lit_i32(hi)),
+        ))
+        .aggr(
+            vec![("sh_ps", col("li_ps_idx"))],
+            vec![AggExpr::sum("shipped_qty", col("l_quantity"))],
+        );
     // Forest-part partsupp rows with enough stock.
     let qualifying = Plan::HashJoin {
         build: Box::new(shipped),
         probe: Box::new(
-            Plan::scan("partsupp", &["ps_rowid", "ps_availqty", "ps_part_idx", "ps_supp_idx"])
-                .fetch1_with_codes("part", col("ps_part_idx"), &[], &[("p_name1", "p_name1")])
-                .select(eq(col("p_name1"), lit_str("forest"))),
+            Plan::scan(
+                "partsupp",
+                &["ps_rowid", "ps_availqty", "ps_part_idx", "ps_supp_idx"],
+            )
+            .fetch1_with_codes("part", col("ps_part_idx"), &[], &[("p_name1", "p_name1")])
+            .select(eq(col("p_name1"), lit_str("forest"))),
         ),
         build_keys: vec![col("sh_ps")],
         probe_keys: vec![col("ps_rowid")],
         payload: vec![("shipped_qty".into(), "shipped_qty".into())],
         join_type: JoinType::Inner,
     }
-    .select(gt(cast(ScalarType::F64, col("ps_availqty")), mul(lit_f64(0.5), col("shipped_qty"))));
+    .select(gt(
+        cast(ScalarType::F64, col("ps_availqty")),
+        mul(lit_f64(0.5), col("shipped_qty")),
+    ));
     // Suppliers (in CANADA) having at least one qualifying row.
     Plan::HashJoin {
         build: Box::new(qualifying),
@@ -84,7 +96,9 @@ pub fn reference(data: &TpchData) -> Vec<String> {
         if data.part.name1[(ps.partkey[i] - 1) as usize] != "forest" {
             continue;
         }
-        let Some(&sq) = shipped.get(&(i as u32)) else { continue };
+        let Some(&sq) = shipped.get(&(i as u32)) else {
+            continue;
+        };
         if ps.availqty[i] as f64 > 0.5 * sq {
             supps.insert(ps.suppkey[i]);
         }

@@ -34,24 +34,49 @@ use x100_engine::plan::Plan;
 use x100_engine::AggExpr;
 
 fn late_lineitems() -> Plan {
-    Plan::scan("lineitem", &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate", "li_order_idx", "li_supp_idx"])
-        .select(gt(col("l_receiptdate"), col("l_commitdate")))
+    Plan::scan(
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_suppkey",
+            "l_commitdate",
+            "l_receiptdate",
+            "li_order_idx",
+            "li_supp_idx",
+        ],
+    )
+    .select(gt(col("l_receiptdate"), col("l_commitdate")))
 }
 
 /// The X100 plan; output `(s_name, numwait)` top 100.
 pub fn x100_plan() -> Plan {
     let all_supp = Plan::scan("lineitem", &["l_orderkey", "l_suppkey"]).aggr(
         vec![("ao_orderkey", col("l_orderkey"))],
-        vec![AggExpr::min("mn", col("l_suppkey")), AggExpr::max("mx", col("l_suppkey"))],
+        vec![
+            AggExpr::min("mn", col("l_suppkey")),
+            AggExpr::max("mx", col("l_suppkey")),
+        ],
     );
     let late_supp = late_lineitems().aggr(
         vec![("lo_orderkey", col("l_orderkey"))],
-        vec![AggExpr::min("lmn", col("l_suppkey")), AggExpr::max("lmx", col("l_suppkey"))],
+        vec![
+            AggExpr::min("lmn", col("l_suppkey")),
+            AggExpr::max("lmx", col("l_suppkey")),
+        ],
     );
     let probe = late_lineitems()
-        .fetch1_with_codes("orders", col("li_order_idx"), &[], &[("o_orderstatus", "o_orderstatus")])
+        .fetch1_with_codes(
+            "orders",
+            col("li_order_idx"),
+            &[],
+            &[("o_orderstatus", "o_orderstatus")],
+        )
         .select(eq(col("o_orderstatus"), lit_str("F")))
-        .fetch1("supplier", col("li_supp_idx"), &[("s_name", "s_name"), ("s_nation_idx", "s_nation_idx")])
+        .fetch1(
+            "supplier",
+            col("li_supp_idx"),
+            &[("s_name", "s_name"), ("s_nation_idx", "s_nation_idx")],
+        )
         .fetch1_with_codes("nation", col("s_nation_idx"), &[], &[("n_name", "n_name")])
         .select(eq(col("n_name"), lit_str("SAUDI ARABIA")));
     let with_all = Plan::HashJoin {
@@ -71,8 +96,14 @@ pub fn x100_plan() -> Plan {
         payload: vec![("lmn".into(), "lmn".into()), ("lmx".into(), "lmx".into())],
         join_type: JoinType::Inner,
     }
-    .select(and(eq(col("lmn"), col("l_suppkey")), eq(col("lmx"), col("l_suppkey"))))
-    .aggr(vec![("s_name", col("s_name"))], vec![AggExpr::count("numwait")])
+    .select(and(
+        eq(col("lmn"), col("l_suppkey")),
+        eq(col("lmx"), col("l_suppkey")),
+    ))
+    .aggr(
+        vec![("s_name", col("s_name"))],
+        vec![AggExpr::count("numwait")],
+    )
     .topn(vec![OrdExp::desc("numwait"), OrdExp::asc("s_name")], 100)
 }
 

@@ -67,7 +67,10 @@ pub fn x100_spec() -> TwoPhase {
             }
             .aggr(
                 vec![("cntrycode", col("c_cntrycode"))],
-                vec![AggExpr::count("numcust"), AggExpr::sum("totacctbal", col("c_acctbal"))],
+                vec![
+                    AggExpr::count("numcust"),
+                    AggExpr::sum("totacctbal", col("c_acctbal")),
+                ],
             )
             .order(vec![OrdExp::asc("cntrycode")])
         },

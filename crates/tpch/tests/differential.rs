@@ -18,7 +18,12 @@ fn make_db(rows: &[(i64, f64, u8)]) -> Database {
     let t = TableBuilder::new("t")
         .column("a", ColumnData::I64(rows.iter().map(|r| r.0).collect()))
         .column("x", ColumnData::F64(rows.iter().map(|r| r.1).collect()))
-        .auto_enum_str("tag", rows.iter().map(|r| tags[(r.2 % 3) as usize].to_owned()).collect())
+        .auto_enum_str(
+            "tag",
+            rows.iter()
+                .map(|r| tags[(r.2 % 3) as usize].to_owned())
+                .collect(),
+        )
         .build();
     let mut db = Database::new();
     db.register(t);
@@ -29,8 +34,8 @@ fn make_db(rows: &[(i64, f64, u8)]) -> Database {
 enum Step {
     SelectA(CmpOp, i64),
     SelectAFloat(CmpOp, i64), // i64 column vs x.5 float literal (promotion)
-    SelectX(CmpOp, i64), // compares x against a small integer literal
-    SelectTag(bool, u8), // eq/ne against one of the tags
+    SelectX(CmpOp, i64),      // compares x against a small integer literal
+    SelectTag(bool, u8),      // eq/ne against one of the tags
     ProjectArith(u8),
     AggrByTag,
     AggrByA,

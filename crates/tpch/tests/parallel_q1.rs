@@ -1,0 +1,77 @@
+//! TPC-H Q1 determinism under morsel-driven parallel execution: every
+//! `(threads, morsel_size)` combination must reproduce the sequential
+//! answer (float aggregates within last-ulp tolerance, counts exactly).
+
+use tpch::gen::{generate_lineitem_q1, GenConfig};
+use tpch::queries::q01;
+use tpch::{build_x100_q1_db, Q1Row};
+use x100_engine::session::{execute, ExecOptions};
+
+fn close(a: f64, b: f64, what: &str) {
+    let tol = 1e-6 * (1.0 + a.abs().max(b.abs()));
+    assert!((a - b).abs() <= tol, "{what}: {a} vs {b}");
+}
+
+fn assert_q1_rows_eq(a: &[Q1Row], b: &[Q1Row], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: group count");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            (x.returnflag, x.linestatus),
+            (y.returnflag, y.linestatus),
+            "{what}: keys"
+        );
+        close(x.sum_qty, y.sum_qty, what);
+        close(x.sum_base_price, y.sum_base_price, what);
+        close(x.sum_disc_price, y.sum_disc_price, what);
+        close(x.sum_charge, y.sum_charge, what);
+        close(x.avg_qty, y.avg_qty, what);
+        close(x.avg_price, y.avg_price, what);
+        close(x.avg_disc, y.avg_disc, what);
+        assert_eq!(x.count_order, y.count_order, "{what}: count");
+    }
+}
+
+#[test]
+fn q1_parallel_matches_sequential_across_threads_and_morsels() {
+    let li = generate_lineitem_q1(&GenConfig {
+        sf: 0.005,
+        seed: 42,
+    });
+    let db = build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+    let (seq, _) = execute(&db, &plan, &ExecOptions::default()).expect("sequential q1");
+    let reference = q01::rows_from_x100(&seq);
+    assert_eq!(reference.len(), 4, "Q1 yields 4 groups");
+    for threads in [1usize, 2, 4, 8] {
+        for morsel in [1024usize, 4096, 0] {
+            let opts = ExecOptions::default()
+                .parallel(threads)
+                .with_morsel_size(morsel);
+            let (res, _) = execute(&db, &plan, &opts).expect("parallel q1");
+            let rows = q01::rows_from_x100(&res);
+            assert_q1_rows_eq(
+                &rows,
+                &reference,
+                &format!("threads={threads} morsel_size={morsel}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn q1_parallel_uses_workers_and_merge() {
+    let li = generate_lineitem_q1(&GenConfig { sf: 0.002, seed: 7 });
+    let db = build_x100_q1_db(&li);
+    let plan = q01::x100_plan();
+    let opts = ExecOptions::default()
+        .profiled()
+        .parallel(4)
+        .with_morsel_size(1024);
+    let (res, prof) = execute(&db, &plan, &opts).expect("parallel q1");
+    assert_eq!(res.num_rows(), 4);
+    assert!(
+        !prof.workers().is_empty(),
+        "profiled parallel Q1 must record worker traces"
+    );
+    assert!(prof.operators().any(|(op, _)| op == "MergeAggr"));
+}

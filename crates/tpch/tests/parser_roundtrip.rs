@@ -57,7 +57,10 @@ fn figure9_text_equals_programmatic_plan() {
 
 #[test]
 fn parsed_plans_run_on_mil_interpreter_too() {
-    let li = generate_lineitem_q1(&GenConfig { sf: 0.001, seed: 10 });
+    let li = generate_lineitem_q1(&GenConfig {
+        sf: 0.001,
+        seed: 10,
+    });
     let db = tpch::build_x100_q1_db(&li);
     let parsed = parse_plan(FIG9_Q1).expect("parses");
     let (x100, _) = execute(&db, &parsed, &ExecOptions::default()).expect("x100");

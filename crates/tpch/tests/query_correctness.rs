@@ -14,7 +14,11 @@ fn close(a: f64, b: f64, what: &str) {
 fn assert_q1_rows_eq(a: &[Q1Row], b: &[Q1Row], what: &str) {
     assert_eq!(a.len(), b.len(), "{what}: group count");
     for (x, y) in a.iter().zip(b.iter()) {
-        assert_eq!((x.returnflag, x.linestatus), (y.returnflag, y.linestatus), "{what}: keys");
+        assert_eq!(
+            (x.returnflag, x.linestatus),
+            (y.returnflag, y.linestatus),
+            "{what}: keys"
+        );
         close(x.sum_qty, y.sum_qty, what);
         close(x.sum_base_price, y.sum_base_price, what);
         close(x.sum_disc_price, y.sum_disc_price, what);
@@ -28,7 +32,10 @@ fn assert_q1_rows_eq(a: &[Q1Row], b: &[Q1Row], what: &str) {
 
 #[test]
 fn q1_all_four_engines_agree() {
-    let li = generate_lineitem_q1(&GenConfig { sf: 0.003, seed: 11 });
+    let li = generate_lineitem_q1(&GenConfig {
+        sf: 0.003,
+        seed: 11,
+    });
     let hi = q01::q1_hi_date();
     // 1. Hard-coded UDF (the reference).
     let reference = tpch::run_hardcoded_q1(&li, hi);
@@ -48,7 +55,11 @@ fn q1_all_four_engines_agree() {
     let (vol, counters) = q01::volcano_q1(&vt, hi);
     assert_q1_rows_eq(&vol, &reference, "volcano vs hard-coded");
     // Table 2's headline: work is a small fraction of all calls.
-    assert!(counters.work_fraction() < 0.35, "work fraction {}", counters.work_fraction());
+    assert!(
+        counters.work_fraction() < 0.35,
+        "work fraction {}",
+        counters.work_fraction()
+    );
 }
 
 #[test]
@@ -64,7 +75,8 @@ fn q1_via_mil_interpreter_matches_x100() {
 
 /// Generation + loading dominates; share one database per test binary.
 fn full_db() -> &'static (tpch::TpchData, x100_engine::Database) {
-    static DB: std::sync::OnceLock<(tpch::TpchData, x100_engine::Database)> = std::sync::OnceLock::new();
+    static DB: std::sync::OnceLock<(tpch::TpchData, x100_engine::Database)> =
+        std::sync::OnceLock::new();
     DB.get_or_init(|| {
         let data = generate(&GenConfig { sf: 0.01, seed: 77 });
         let db = build_x100_db(&data);
@@ -74,7 +86,10 @@ fn full_db() -> &'static (tpch::TpchData, x100_engine::Database) {
 
 #[test]
 fn q3_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q03::x100_plan(), &ExecOptions::default()).expect("q3");
     let expect = q03::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -88,43 +103,75 @@ fn q3_matches_reference() {
 
 #[test]
 fn q4_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q04::x100_plan(), &ExecOptions::default()).expect("q4");
     let expect = q04::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (prio, cnt)) in expect.iter().enumerate() {
         assert_eq!(&res.value(i, 0).to_string(), prio, "q4 priority");
-        assert_eq!(res.column_by_name("order_count").as_i64()[i], *cnt, "q4 count");
+        assert_eq!(
+            res.column_by_name("order_count").as_i64()[i],
+            *cnt,
+            "q4 count"
+        );
     }
 }
 
 #[test]
 fn q5_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q05::x100_plan(), &ExecOptions::default()).expect("q5");
     let expect = q05::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (nation, rev)) in expect.iter().enumerate() {
         assert_eq!(&res.value(i, 0).to_string(), nation, "q5 nation");
-        close(res.column_by_name("revenue").as_f64()[i], *rev, "q5 revenue");
+        close(
+            res.column_by_name("revenue").as_f64()[i],
+            *rev,
+            "q5 revenue",
+        );
     }
 }
 
 #[test]
 fn q6_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
-    let (res, prof) = execute(db, &q06::x100_plan(), &ExecOptions::default().profiled()).expect("q6");
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
+    let (res, prof) =
+        execute(db, &q06::x100_plan(), &ExecOptions::default().profiled()).expect("q6");
     assert_eq!(res.num_rows(), 1);
-    close(res.column_by_name("revenue").as_f64()[0], q06::reference(data), "q6 revenue");
+    close(
+        res.column_by_name("revenue").as_f64()[0],
+        q06::reference(data),
+        "q6 revenue",
+    );
     // The summary prune must have cut the scan down to ~1 year of data.
-    let scanned = prof.operators().find(|(k, _)| *k == "Scan").map(|(_, s)| s.tuples).expect("scan");
+    let scanned = prof
+        .operators()
+        .find(|(k, _)| *k == "Scan")
+        .map(|(_, s)| s.tuples)
+        .expect("scan");
     let total = db.table("lineitem").expect("t").fragment_rows() as u64;
-    assert!(scanned < total * 2 / 3, "prune ineffective: {scanned}/{total}");
+    assert!(
+        scanned < total * 2 / 3,
+        "prune ineffective: {scanned}/{total}"
+    );
 }
 
 #[test]
 fn q10_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q10::x100_plan(), &ExecOptions::default()).expect("q10");
     let expect = q10::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -138,7 +185,10 @@ fn q10_matches_reference() {
 
 #[test]
 fn q12_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q12::x100_plan(), &ExecOptions::default()).expect("q12");
     let expect = q12::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -151,18 +201,32 @@ fn q12_matches_reference() {
 
 #[test]
 fn q14_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q14::x100_plan(), &ExecOptions::default()).expect("q14");
     assert_eq!(res.num_rows(), 1);
-    close(res.column_by_name("promo_revenue").as_f64()[0], q14::reference(data), "q14");
+    close(
+        res.column_by_name("promo_revenue").as_f64()[0],
+        q14::reference(data),
+        "q14",
+    );
 }
 
 #[test]
 fn q19_matches_reference() {
-    let (data, db) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let (res, _) = execute(db, &q19::x100_plan(), &ExecOptions::default()).expect("q19");
     assert_eq!(res.num_rows(), 1);
-    close(res.column_by_name("revenue").as_f64()[0], q19::reference(data), "q19");
+    close(
+        res.column_by_name("revenue").as_f64()[0],
+        q19::reference(data),
+        "q19",
+    );
 }
 
 #[test]
@@ -171,7 +235,8 @@ fn all_plans_run_on_mil_interpreter() {
     // interpreter and the X100 engine.
     let db = &full_db().1;
     for (q, plan) in all_plans() {
-        let (res, _) = execute(db, &plan, &ExecOptions::default()).unwrap_or_else(|e| panic!("x100 q{q}: {e}"));
+        let (res, _) = execute(db, &plan, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("x100 q{q}: {e}"));
         let (mat, _) = tpch::milql::run_plan(db, &plan).unwrap_or_else(|e| panic!("mil q{q}: {e}"));
         assert_eq!(mat.row_strings(), res.row_strings(), "q{q} MIL vs X100");
     }

@@ -28,7 +28,10 @@ fn run(db: &Database, spec: &QuerySpec) -> x100_engine::QueryResult {
 
 #[test]
 fn q2_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q02::x100_plan()));
     let expect = q02::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -42,7 +45,10 @@ fn q2_matches_reference() {
 
 #[test]
 fn q7_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q07::x100_plan()));
     let expect = q07::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -56,68 +62,110 @@ fn q7_matches_reference() {
 
 #[test]
 fn q8_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q08::x100_plan()));
     let expect = q08::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (y, share)) in expect.iter().enumerate() {
         assert_eq!(res.column_by_name("o_year").as_i32()[i], *y);
-        close(res.column_by_name("mkt_share").as_f64()[i], *share, "q8 share");
+        close(
+            res.column_by_name("mkt_share").as_f64()[i],
+            *share,
+            "q8 share",
+        );
     }
 }
 
 #[test]
 fn q9_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q09::x100_plan()));
     let expect = q09::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (n, y, v)) in expect.iter().enumerate() {
         assert_eq!(&res.value(i, 0).to_string(), n, "q9 nation at {i}");
         assert_eq!(res.column_by_name("o_year").as_i32()[i], *y);
-        close(res.column_by_name("sum_profit").as_f64()[i], *v, "q9 profit");
+        close(
+            res.column_by_name("sum_profit").as_f64()[i],
+            *v,
+            "q9 profit",
+        );
     }
 }
 
 #[test]
 fn q11_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::TwoPhase(q11::x100_spec()));
     let expect = q11::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (pk, v)) in expect.iter().enumerate() {
-        assert_eq!(res.column_by_name("ps_partkey").as_i64()[i], *pk, "q11 partkey at {i}");
+        assert_eq!(
+            res.column_by_name("ps_partkey").as_i64()[i],
+            *pk,
+            "q11 partkey at {i}"
+        );
         close(res.column_by_name("value").as_f64()[i], *v, "q11 value");
     }
 }
 
 #[test]
 fn q13_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q13::x100_plan()));
     let expect = q13::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (cc, dist)) in expect.iter().enumerate() {
-        assert_eq!(res.column_by_name("c_count").as_i64()[i], *cc, "q13 c_count at {i}");
-        assert_eq!(res.column_by_name("custdist").as_i64()[i], *dist, "q13 custdist at {i}");
+        assert_eq!(
+            res.column_by_name("c_count").as_i64()[i],
+            *cc,
+            "q13 c_count at {i}"
+        );
+        assert_eq!(
+            res.column_by_name("custdist").as_i64()[i],
+            *dist,
+            "q13 custdist at {i}"
+        );
     }
 }
 
 #[test]
 fn q15_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::TwoPhase(q15::x100_spec()));
     let expect = q15::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (sk, v)) in expect.iter().enumerate() {
         assert_eq!(res.column_by_name("s_suppkey").as_i64()[i], *sk);
-        close(res.column_by_name("total_revenue").as_f64()[i], *v, "q15 revenue");
+        close(
+            res.column_by_name("total_revenue").as_f64()[i],
+            *v,
+            "q15 revenue",
+        );
     }
 }
 
 #[test]
 fn q16_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q16::x100_plan()));
     let expect = q16::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -131,27 +179,44 @@ fn q16_matches_reference() {
 
 #[test]
 fn q17_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q17::x100_plan()));
     assert_eq!(res.num_rows(), 1);
-    close(res.column_by_name("avg_yearly").as_f64()[0], q17::reference(data), "q17");
+    close(
+        res.column_by_name("avg_yearly").as_f64()[0],
+        q17::reference(data),
+        "q17",
+    );
 }
 
 #[test]
 fn q18_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q18::x100_plan()));
     let expect = q18::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (ok, q)) in expect.iter().enumerate() {
-        assert_eq!(res.column_by_name("o_orderkey").as_i64()[i], *ok, "q18 orderkey at {i}");
+        assert_eq!(
+            res.column_by_name("o_orderkey").as_i64()[i],
+            *ok,
+            "q18 orderkey at {i}"
+        );
         close(res.column_by_name("sum_qty").as_f64()[i], *q, "q18 qty");
     }
 }
 
 #[test]
 fn q20_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q20::x100_plan()));
     let expect = q20::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -162,7 +227,10 @@ fn q20_matches_reference() {
 
 #[test]
 fn q21_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::Single(q21::x100_plan()));
     let expect = q21::reference(data);
     assert_eq!(res.num_rows(), expect.len());
@@ -174,14 +242,21 @@ fn q21_matches_reference() {
 
 #[test]
 fn q22_matches_reference() {
-    let (data, db): (&tpch::TpchData, &Database) = { let t = full_db(); (&t.0, &t.1) };
+    let (data, db): (&tpch::TpchData, &Database) = {
+        let t = full_db();
+        (&t.0, &t.1)
+    };
     let res = run(db, &QuerySpec::TwoPhase(q22::x100_spec()));
     let expect = q22::reference(data);
     assert_eq!(res.num_rows(), expect.len());
     for (i, (cc, n, total)) in expect.iter().enumerate() {
         assert_eq!(&res.value(i, 0).to_string(), cc, "q22 code at {i}");
         assert_eq!(res.column_by_name("numcust").as_i64()[i], *n);
-        close(res.column_by_name("totacctbal").as_f64()[i], *total, "q22 total");
+        close(
+            res.column_by_name("totacctbal").as_f64()[i],
+            *total,
+            "q22 total",
+        );
     }
 }
 

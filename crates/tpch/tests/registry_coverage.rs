@@ -26,7 +26,9 @@ fn every_traced_primitive_is_registered() {
                 for (sig, _) in prof1.primitives() {
                     seen.insert(sig.to_owned());
                 }
-                let scalar = r1.value(0, r1.col_index(tp.scalar_col).expect("scalar")).as_f64();
+                let scalar = r1
+                    .value(0, r1.col_index(tp.scalar_col).expect("scalar"))
+                    .as_f64();
                 vec![(tp.phase2)(scalar)]
             }
         };
@@ -37,11 +39,18 @@ fn every_traced_primitive_is_registered() {
             }
         }
     }
-    assert!(seen.len() > 25, "suspiciously few primitives traced: {}", seen.len());
+    assert!(
+        seen.len() > 25,
+        "suspiciously few primitives traced: {}",
+        seen.len()
+    );
     for sig in &seen {
         if !reg.contains(sig) {
             missing.insert(sig.clone());
         }
     }
-    assert!(missing.is_empty(), "unregistered primitives traced: {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "unregistered primitives traced: {missing:?}"
+    );
 }

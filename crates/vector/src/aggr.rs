@@ -82,9 +82,30 @@ macro_rules! aggr_grouped {
     };
 }
 
-aggr_grouped!(aggr_sum_f64_col, aggr_min_f64_col, aggr_max_f64_col, f64, f64::MAX, f64::MIN);
-aggr_grouped!(aggr_sum_i64_col, aggr_min_i64_col, aggr_max_i64_col, i64, i64::MAX, i64::MIN);
-aggr_grouped!(aggr_sum_i32_col, aggr_min_i32_col, aggr_max_i32_col, i32, i32::MAX, i32::MIN);
+aggr_grouped!(
+    aggr_sum_f64_col,
+    aggr_min_f64_col,
+    aggr_max_f64_col,
+    f64,
+    f64::MAX,
+    f64::MIN
+);
+aggr_grouped!(
+    aggr_sum_i64_col,
+    aggr_min_i64_col,
+    aggr_max_i64_col,
+    i64,
+    i64::MAX,
+    i64::MIN
+);
+aggr_grouped!(
+    aggr_sum_i32_col,
+    aggr_min_i32_col,
+    aggr_max_i32_col,
+    i32,
+    i32::MAX,
+    i32::MIN
+);
 
 /// Grouped COUNT update: `counts[grp[i]] += 1` for selected `i`.
 #[inline]
@@ -125,8 +146,14 @@ pub fn aggr_sum_i64_scalar(vals: &[i64], sel: Option<&SelVec>) -> i64 {
 #[inline]
 pub fn aggr_min_f64_scalar(vals: &[f64], sel: Option<&SelVec>) -> Option<f64> {
     match sel {
-        None => vals.iter().copied().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
-        Some(sel) => sel.iter().map(|i| vals[i]).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
+        None => vals
+            .iter()
+            .copied()
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
+        Some(sel) => sel
+            .iter()
+            .map(|i| vals[i])
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v)))),
     }
 }
 

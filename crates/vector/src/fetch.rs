@@ -152,7 +152,10 @@ mod tests {
         let idx = [2, 2, 0];
         let mut res = StrVec::new();
         fetch_str(&mut res, &base, &idx, 3, None);
-        assert_eq!(res.iter().collect::<Vec<_>>(), vec!["gamma", "gamma", "alpha"]);
+        assert_eq!(
+            res.iter().collect::<Vec<_>>(),
+            vec!["gamma", "gamma", "alpha"]
+        );
     }
 
     #[test]

@@ -129,30 +129,110 @@ macro_rules! arith_instance {
     };
 }
 
-arith_instance!(map_add_i32_col_i32_col, map_add_i32_col_i32_val, map_add_i32_val_i32_col, i32, |x, y| x.wrapping_add(y));
-arith_instance!(map_add_i64_col_i64_col, map_add_i64_col_i64_val, map_add_i64_val_i64_col, i64, |x, y| x.wrapping_add(y));
-arith_instance!(map_add_f64_col_f64_col, map_add_f64_col_f64_val, map_add_f64_val_f64_col, f64, |x, y| x + y);
-arith_instance!(map_sub_i32_col_i32_col, map_sub_i32_col_i32_val, map_sub_i32_val_i32_col, i32, |x, y| x.wrapping_sub(y));
-arith_instance!(map_sub_i64_col_i64_col, map_sub_i64_col_i64_val, map_sub_i64_val_i64_col, i64, |x, y| x.wrapping_sub(y));
-arith_instance!(map_sub_f64_col_f64_col, map_sub_f64_col_f64_val, map_sub_f64_val_f64_col, f64, |x, y| x - y);
-arith_instance!(map_mul_i32_col_i32_col, map_mul_i32_col_i32_val, map_mul_i32_val_i32_col, i32, |x, y| x.wrapping_mul(y));
-arith_instance!(map_mul_i64_col_i64_col, map_mul_i64_col_i64_val, map_mul_i64_val_i64_col, i64, |x, y| x.wrapping_mul(y));
-arith_instance!(map_mul_f64_col_f64_col, map_mul_f64_col_f64_val, map_mul_f64_val_f64_col, f64, |x, y| x * y);
-arith_instance!(map_div_f64_col_f64_col, map_div_f64_col_f64_val, map_div_f64_val_f64_col, f64, |x, y| x / y);
+arith_instance!(
+    map_add_i32_col_i32_col,
+    map_add_i32_col_i32_val,
+    map_add_i32_val_i32_col,
+    i32,
+    |x, y| x.wrapping_add(y)
+);
+arith_instance!(
+    map_add_i64_col_i64_col,
+    map_add_i64_col_i64_val,
+    map_add_i64_val_i64_col,
+    i64,
+    |x, y| x.wrapping_add(y)
+);
+arith_instance!(
+    map_add_f64_col_f64_col,
+    map_add_f64_col_f64_val,
+    map_add_f64_val_f64_col,
+    f64,
+    |x, y| x + y
+);
+arith_instance!(
+    map_sub_i32_col_i32_col,
+    map_sub_i32_col_i32_val,
+    map_sub_i32_val_i32_col,
+    i32,
+    |x, y| x.wrapping_sub(y)
+);
+arith_instance!(
+    map_sub_i64_col_i64_col,
+    map_sub_i64_col_i64_val,
+    map_sub_i64_val_i64_col,
+    i64,
+    |x, y| x.wrapping_sub(y)
+);
+arith_instance!(
+    map_sub_f64_col_f64_col,
+    map_sub_f64_col_f64_val,
+    map_sub_f64_val_f64_col,
+    f64,
+    |x, y| x - y
+);
+arith_instance!(
+    map_mul_i32_col_i32_col,
+    map_mul_i32_col_i32_val,
+    map_mul_i32_val_i32_col,
+    i32,
+    |x, y| x.wrapping_mul(y)
+);
+arith_instance!(
+    map_mul_i64_col_i64_col,
+    map_mul_i64_col_i64_val,
+    map_mul_i64_val_i64_col,
+    i64,
+    |x, y| x.wrapping_mul(y)
+);
+arith_instance!(
+    map_mul_f64_col_f64_col,
+    map_mul_f64_col_f64_val,
+    map_mul_f64_val_f64_col,
+    f64,
+    |x, y| x * y
+);
+arith_instance!(
+    map_div_f64_col_f64_col,
+    map_div_f64_col_f64_val,
+    map_div_f64_val_f64_col,
+    f64,
+    |x, y| x / y
+);
 
 /// Catalog of the macro-generated arithmetic instances (signature →
 /// existence proof; used by the primitive registry and its tests).
 pub const ARITH_SIGNATURES: &[&str] = &[
-    "map_add_i32_col_i32_col", "map_add_i32_col_i32_val", "map_add_i32_val_i32_col",
-    "map_add_i64_col_i64_col", "map_add_i64_col_i64_val", "map_add_i64_val_i64_col",
-    "map_add_f64_col_f64_col", "map_add_f64_col_f64_val", "map_add_f64_val_f64_col",
-    "map_sub_i32_col_i32_col", "map_sub_i32_col_i32_val", "map_sub_i32_val_i32_col",
-    "map_sub_i64_col_i64_col", "map_sub_i64_col_i64_val", "map_sub_i64_val_i64_col",
-    "map_sub_f64_col_f64_col", "map_sub_f64_col_f64_val", "map_sub_f64_val_f64_col",
-    "map_mul_i32_col_i32_col", "map_mul_i32_col_i32_val", "map_mul_i32_val_i32_col",
-    "map_mul_i64_col_i64_col", "map_mul_i64_col_i64_val", "map_mul_i64_val_i64_col",
-    "map_mul_f64_col_f64_col", "map_mul_f64_col_f64_val", "map_mul_f64_val_f64_col",
-    "map_div_f64_col_f64_col", "map_div_f64_col_f64_val", "map_div_f64_val_f64_col",
+    "map_add_i32_col_i32_col",
+    "map_add_i32_col_i32_val",
+    "map_add_i32_val_i32_col",
+    "map_add_i64_col_i64_col",
+    "map_add_i64_col_i64_val",
+    "map_add_i64_val_i64_col",
+    "map_add_f64_col_f64_col",
+    "map_add_f64_col_f64_val",
+    "map_add_f64_val_f64_col",
+    "map_sub_i32_col_i32_col",
+    "map_sub_i32_col_i32_val",
+    "map_sub_i32_val_i32_col",
+    "map_sub_i64_col_i64_col",
+    "map_sub_i64_col_i64_val",
+    "map_sub_i64_val_i64_col",
+    "map_sub_f64_col_f64_col",
+    "map_sub_f64_col_f64_val",
+    "map_sub_f64_val_f64_col",
+    "map_mul_i32_col_i32_col",
+    "map_mul_i32_col_i32_val",
+    "map_mul_i32_val_i32_col",
+    "map_mul_i64_col_i64_col",
+    "map_mul_i64_col_i64_val",
+    "map_mul_i64_val_i64_col",
+    "map_mul_f64_col_f64_col",
+    "map_mul_f64_col_f64_val",
+    "map_mul_f64_val_f64_col",
+    "map_div_f64_col_f64_col",
+    "map_div_f64_col_f64_val",
+    "map_div_f64_val_f64_col",
 ];
 
 /// Comparison maps produce a full boolean vector (`res[i] = a[i] ⊙ b[i]`).

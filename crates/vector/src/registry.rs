@@ -54,7 +54,11 @@ impl PrimitiveRegistry {
     pub fn builtin() -> Self {
         let mut reg = PrimitiveRegistry::default();
         for sig in crate::map::ARITH_SIGNATURES {
-            reg.register(PrimitiveDesc { signature: sig, kind: PrimitiveKind::Map, doc: "arithmetic map (generated)" });
+            reg.register(PrimitiveDesc {
+                signature: sig,
+                kind: PrimitiveKind::Map,
+                doc: "arithmetic map (generated)",
+            });
         }
         // Comparison maps and selects: generated per (op, type, shape).
         const CMP_OPS: [&str; 6] = ["eq", "ne", "lt", "le", "gt", "ge"];
@@ -75,47 +79,151 @@ impl PrimitiveRegistry {
                 }
             }
         }
-        reg.register_owned("select_true_bool_col".into(), PrimitiveKind::Select, "select on boolean column");
-        reg.register_owned("select_eq_str_col_val".into(), PrimitiveKind::Select, "string equality select");
+        reg.register_owned(
+            "select_true_bool_col".into(),
+            PrimitiveKind::Select,
+            "select on boolean column",
+        );
+        reg.register_owned(
+            "select_eq_str_col_val".into(),
+            PrimitiveKind::Select,
+            "string equality select",
+        );
         for f in ["and", "or", "not"] {
-            reg.register_owned(format!("map_{f}_bool_col"), PrimitiveKind::Map, "boolean logic map");
+            reg.register_owned(
+                format!("map_{f}_bool_col"),
+                PrimitiveKind::Map,
+                "boolean logic map",
+            );
         }
         for agg in ["sum", "min", "max"] {
             for ty in ["i32", "i64", "f64"] {
-                reg.register_owned(format!("aggr_{agg}_{ty}_col_u32_col"), PrimitiveKind::Aggr, "grouped aggregate update (generated)");
+                reg.register_owned(
+                    format!("aggr_{agg}_{ty}_col_u32_col"),
+                    PrimitiveKind::Aggr,
+                    "grouped aggregate update (generated)",
+                );
             }
         }
-        reg.register_owned("aggr_count_u32_col".into(), PrimitiveKind::Aggr, "grouped count update");
-        reg.register_owned("aggr_avg_epilogue".into(), PrimitiveKind::Aggr, "avg = sum/count epilogue");
+        reg.register_owned(
+            "aggr_count_u32_col".into(),
+            PrimitiveKind::Aggr,
+            "grouped count update",
+        );
+        reg.register_owned(
+            "aggr_avg_epilogue".into(),
+            PrimitiveKind::Aggr,
+            "avg = sum/count epilogue",
+        );
         for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64", "str"] {
-            reg.register_owned(format!("map_fetch_u32_col_{ty}_col"), PrimitiveKind::Fetch, "positional gather (generated)");
-            reg.register_owned(format!("map_fetch_u8_col_{ty}_col"), PrimitiveKind::Fetch, "1-byte enum decompression gather");
-            reg.register_owned(format!("map_fetch_u16_col_{ty}_col"), PrimitiveKind::Fetch, "2-byte enum decompression gather");
+            reg.register_owned(
+                format!("map_fetch_u32_col_{ty}_col"),
+                PrimitiveKind::Fetch,
+                "positional gather (generated)",
+            );
+            reg.register_owned(
+                format!("map_fetch_u8_col_{ty}_col"),
+                PrimitiveKind::Fetch,
+                "1-byte enum decompression gather",
+            );
+            reg.register_owned(
+                format!("map_fetch_u16_col_{ty}_col"),
+                PrimitiveKind::Fetch,
+                "2-byte enum decompression gather",
+            );
         }
         for ty in ["u8", "u16", "u32", "i32", "i64", "f64", "str"] {
-            reg.register_owned(format!("map_hash_{ty}_col"), PrimitiveKind::Hash, "hash map (generated)");
-            reg.register_owned(format!("map_rehash_{ty}_col"), PrimitiveKind::Hash, "rehash map (generated)");
+            reg.register_owned(
+                format!("map_hash_{ty}_col"),
+                PrimitiveKind::Hash,
+                "hash map (generated)",
+            );
+            reg.register_owned(
+                format!("map_rehash_{ty}_col"),
+                PrimitiveKind::Hash,
+                "rehash map (generated)",
+            );
         }
-        reg.register_owned("map_directgrp_u8_col".into(), PrimitiveKind::Hash, "direct-group start");
-        reg.register_owned("map_directgrp_u8_chain".into(), PrimitiveKind::Hash, "direct-group chain");
-        reg.register_owned("map_directgrp_u16_chain".into(), PrimitiveKind::Hash, "direct-group chain (u16)");
+        reg.register_owned(
+            "map_directgrp_u8_col".into(),
+            PrimitiveKind::Hash,
+            "direct-group start",
+        );
+        reg.register_owned(
+            "map_directgrp_u8_chain".into(),
+            PrimitiveKind::Hash,
+            "direct-group chain",
+        );
+        reg.register_owned(
+            "map_directgrp_u16_chain".into(),
+            PrimitiveKind::Hash,
+            "direct-group chain (u16)",
+        );
         // Engine-side primitive instances: the operator kernels and the
         // extended maps the expression compiler can emit.
-        reg.register_owned("map_uidx_u8_col".into(), PrimitiveKind::Hash, "direct-group start (paper's map_uidx_uchr_col)");
-        reg.register_owned("map_uidx_u16_col".into(), PrimitiveKind::Hash, "direct-group start (u16)");
-        reg.register_owned("map_directgrp_uidx_col_u8_col".into(), PrimitiveKind::Hash, "direct-group chain (paper naming)");
-        reg.register_owned("map_directgrp_uidx_col_u16_col".into(), PrimitiveKind::Hash, "direct-group chain (u16, paper naming)");
-        reg.register_owned("aggr_hashtable_maintain".into(), PrimitiveKind::Aggr, "hash-table probe/insert loop (Fig. 6's 'hash table maintenance')");
-        reg.register_owned("aggr_ordered_boundaries".into(), PrimitiveKind::Aggr, "ordered-aggregation boundary detection");
-        reg.register_owned("sort_permutation".into(), PrimitiveKind::Map, "order-by permutation sort");
-        reg.register_owned("map_fill_const".into(), PrimitiveKind::Map, "constant broadcast");
-        reg.register_owned("map_year_i32_col".into(), PrimitiveKind::Map, "calendar year of days-since-epoch");
-        reg.register_owned("map_contains_str_col_val".into(), PrimitiveKind::Map, "substring containment");
-        reg.register_owned("map_eq_str_col_val".into(), PrimitiveKind::Map, "string equality map");
+        reg.register_owned(
+            "map_uidx_u8_col".into(),
+            PrimitiveKind::Hash,
+            "direct-group start (paper's map_uidx_uchr_col)",
+        );
+        reg.register_owned(
+            "map_uidx_u16_col".into(),
+            PrimitiveKind::Hash,
+            "direct-group start (u16)",
+        );
+        reg.register_owned(
+            "map_directgrp_uidx_col_u8_col".into(),
+            PrimitiveKind::Hash,
+            "direct-group chain (paper naming)",
+        );
+        reg.register_owned(
+            "map_directgrp_uidx_col_u16_col".into(),
+            PrimitiveKind::Hash,
+            "direct-group chain (u16, paper naming)",
+        );
+        reg.register_owned(
+            "aggr_hashtable_maintain".into(),
+            PrimitiveKind::Aggr,
+            "hash-table probe/insert loop (Fig. 6's 'hash table maintenance')",
+        );
+        reg.register_owned(
+            "aggr_ordered_boundaries".into(),
+            PrimitiveKind::Aggr,
+            "ordered-aggregation boundary detection",
+        );
+        reg.register_owned(
+            "sort_permutation".into(),
+            PrimitiveKind::Map,
+            "order-by permutation sort",
+        );
+        reg.register_owned(
+            "map_fill_const".into(),
+            PrimitiveKind::Map,
+            "constant broadcast",
+        );
+        reg.register_owned(
+            "map_year_i32_col".into(),
+            PrimitiveKind::Map,
+            "calendar year of days-since-epoch",
+        );
+        reg.register_owned(
+            "map_contains_str_col_val".into(),
+            PrimitiveKind::Map,
+            "substring containment",
+        );
+        reg.register_owned(
+            "map_eq_str_col_val".into(),
+            PrimitiveKind::Map,
+            "string equality map",
+        );
         for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "bool"] {
             for to in ["i32", "i64", "f64", "u32"] {
                 if ty != to {
-                    reg.register_owned(format!("map_cast_{ty}_{to}_col"), PrimitiveKind::Map, "widening cast map (generated)");
+                    reg.register_owned(
+                        format!("map_cast_{ty}_{to}_col"),
+                        PrimitiveKind::Map,
+                        "widening cast map (generated)",
+                    );
                 }
             }
         }
@@ -151,7 +259,11 @@ impl PrimitiveRegistry {
         // Signatures are leaked once at registry construction; the registry
         // lives for the process lifetime (built once per session).
         let signature: &'static str = Box::leak(sig.into_boxed_str());
-        self.register(PrimitiveDesc { signature, kind, doc });
+        self.register(PrimitiveDesc {
+            signature,
+            kind,
+            doc,
+        });
     }
 
     /// Look up a primitive by signature.

@@ -21,7 +21,9 @@ pub struct SelVec {
 impl SelVec {
     /// An empty selection vector with capacity for `cap` positions.
     pub fn with_capacity(cap: usize) -> Self {
-        SelVec { pos: Vec::with_capacity(cap) }
+        SelVec {
+            pos: Vec::with_capacity(cap),
+        }
     }
 
     /// Build from an explicit position list.
@@ -29,13 +31,18 @@ impl SelVec {
     /// # Panics
     /// Panics (debug builds) if positions are not strictly ascending.
     pub fn from_positions(pos: Vec<u32>) -> Self {
-        debug_assert!(pos.windows(2).all(|w| w[0] < w[1]), "positions must be strictly ascending");
+        debug_assert!(
+            pos.windows(2).all(|w| w[0] < w[1]),
+            "positions must be strictly ascending"
+        );
         SelVec { pos }
     }
 
     /// The identity selection `0..n` (used in tests; real code passes `None`).
     pub fn identity(n: usize) -> Self {
-        SelVec { pos: (0..n as u32).collect() }
+        SelVec {
+            pos: (0..n as u32).collect(),
+        }
     }
 
     /// Number of selected positions.

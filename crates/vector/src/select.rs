@@ -192,12 +192,7 @@ pub fn select_true(out: &mut SelVec, a: &[bool], sel: Option<&SelVec>) -> usize 
 
 /// Select rows whose string equals `v` (column-vs-constant on `StrVec`).
 #[inline]
-pub fn select_str_eq(
-    out: &mut SelVec,
-    a: &crate::StrVec,
-    v: &str,
-    sel: Option<&SelVec>,
-) -> usize {
+pub fn select_str_eq(out: &mut SelVec, a: &crate::StrVec, v: &str, sel: Option<&SelVec>) -> usize {
     let buf = out.buf_mut();
     buf.clear();
     match sel {
@@ -257,9 +252,22 @@ mod tests {
         let pre = SelVec::from_positions((0..64).filter(|i| i % 2 == 0).collect());
         let mut s1 = SelVec::default();
         let mut s2 = SelVec::default();
-        let n1 = select_cmp_col_val(&mut s1, &a, 8, CmpOp::Le, Some(&pre), SelectStrategy::Branch);
-        let n2 =
-            select_cmp_col_val(&mut s2, &a, 8, CmpOp::Le, Some(&pre), SelectStrategy::Predicated);
+        let n1 = select_cmp_col_val(
+            &mut s1,
+            &a,
+            8,
+            CmpOp::Le,
+            Some(&pre),
+            SelectStrategy::Branch,
+        );
+        let n2 = select_cmp_col_val(
+            &mut s2,
+            &a,
+            8,
+            CmpOp::Le,
+            Some(&pre),
+            SelectStrategy::Predicated,
+        );
         assert_eq!(n1, n2);
         assert_eq!(s1, s2);
         // All surviving positions must come from the input selection.
@@ -273,7 +281,14 @@ mod tests {
         select_cmp_col_val(&mut first, &a, 8, CmpOp::Lt, None, SelectStrategy::Branch);
         assert_eq!(first.positions(), &[0, 1, 3, 5]);
         let mut second = SelVec::default();
-        select_cmp_col_val(&mut second, &a, 2, CmpOp::Gt, Some(&first), SelectStrategy::Branch);
+        select_cmp_col_val(
+            &mut second,
+            &a,
+            2,
+            CmpOp::Gt,
+            Some(&first),
+            SelectStrategy::Branch,
+        );
         assert_eq!(second.positions(), &[0, 3]);
     }
 
@@ -326,7 +341,10 @@ mod tests {
     fn empty_input() {
         let a: [i32; 0] = [];
         let mut s = SelVec::default();
-        assert_eq!(select_cmp_col_val(&mut s, &a, 1, CmpOp::Lt, None, SelectStrategy::Branch), 0);
+        assert_eq!(
+            select_cmp_col_val(&mut s, &a, 1, CmpOp::Lt, None, SelectStrategy::Branch),
+            0
+        );
         assert_eq!(
             select_cmp_col_val(&mut s, &a, 1, CmpOp::Lt, None, SelectStrategy::Predicated),
             0

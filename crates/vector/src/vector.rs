@@ -24,14 +24,20 @@ pub struct StrVec {
 impl StrVec {
     /// New empty string vector.
     pub fn new() -> Self {
-        StrVec { offsets: vec![0], bytes: Vec::new() }
+        StrVec {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
     }
 
     /// New with room for `n` strings of ~`avg` bytes.
     pub fn with_capacity(n: usize, avg: usize) -> Self {
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
-        StrVec { offsets, bytes: Vec::with_capacity(n * avg) }
+        StrVec {
+            offsets,
+            bytes: Vec::with_capacity(n * avg),
+        }
     }
 
     /// Number of strings stored.
@@ -305,7 +311,11 @@ impl Vector {
             (Vector::F64(b), Value::F64(x)) => b.push(*x),
             (Vector::Bool(b), Value::Bool(x)) => b.push(*x),
             (Vector::Str(b), Value::Str(x)) => b.push(x),
-            (this, v) => panic!("push_value type mismatch: vector {:?}, value {:?}", this.scalar_type(), v.scalar_type()),
+            (this, v) => panic!(
+                "push_value type mismatch: vector {:?}, value {:?}",
+                this.scalar_type(),
+                v.scalar_type()
+            ),
         }
     }
 

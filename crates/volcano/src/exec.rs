@@ -32,7 +32,12 @@ pub struct ScanSelect<'a> {
 impl<'a> ScanSelect<'a> {
     /// Scan `table`, keeping rows satisfying `cond` (all rows if `None`).
     pub fn new(table: &'a RecordTable, cond: Option<Box<dyn CondItem>>) -> Self {
-        ScanSelect { table, pos: 0, cond, rec_buf: Vec::new() }
+        ScanSelect {
+            table,
+            pos: 0,
+            cond,
+            rec_buf: Vec::new(),
+        }
     }
 }
 
@@ -148,7 +153,11 @@ impl HashAggregate {
                 match spec.kind {
                     AggKind::Count => {}
                     AggKind::Sum | AggKind::Avg => {
-                        let v = spec.item.as_ref().expect("sum/avg need an item").val(row, c);
+                        let v = spec
+                            .item
+                            .as_ref()
+                            .expect("sum/avg need an item")
+                            .val(row, c);
                         update_field(&mut st.sums[a], v, c);
                     }
                 }
@@ -210,7 +219,11 @@ mod tests {
         let mut c = Counters::default();
         let mut scan = ScanSelect::new(
             &t,
-            Some(Box::new(ItemCmpI32Field { op: CmpOp::Lt, field: 2, value: 5 })),
+            Some(Box::new(ItemCmpI32Field {
+                op: CmpOp::Lt,
+                field: 2,
+                value: 5,
+            })),
         );
         let mut n = 0;
         while scan.next(&mut c).is_some() {
@@ -230,9 +243,21 @@ mod tests {
         let agg = HashAggregate::new(
             vec![0],
             vec![
-                AggSpec { name: "sum_qty".into(), kind: AggKind::Sum, item: Some(build::field(1)) },
-                AggSpec { name: "avg_qty".into(), kind: AggKind::Avg, item: Some(build::field(1)) },
-                AggSpec { name: "n".into(), kind: AggKind::Count, item: None },
+                AggSpec {
+                    name: "sum_qty".into(),
+                    kind: AggKind::Sum,
+                    item: Some(build::field(1)),
+                },
+                AggSpec {
+                    name: "avg_qty".into(),
+                    kind: AggKind::Avg,
+                    item: Some(build::field(1)),
+                },
+                AggSpec {
+                    name: "n".into(),
+                    kind: AggKind::Count,
+                    item: None,
+                },
             ],
         );
         let res = agg.run(&mut scan, &mut c);

@@ -215,7 +215,10 @@ mod tests {
             ("discount".into(), FieldType::F64),
             ("day".into(), FieldType::I32),
         ]);
-        t.append_row().set_f64(0, 100.0).set_f64(1, 0.1).set_i32(2, 42);
+        t.append_row()
+            .set_f64(0, 100.0)
+            .set_f64(1, 0.1)
+            .set_i32(2, 42);
         t
     }
 
@@ -241,11 +244,21 @@ mod tests {
     fn conditions() {
         let t = one_row_table();
         let mut c = Counters::default();
-        let cond = ItemCmpI32Field { op: CmpOp::Le, field: 2, value: 42 };
+        let cond = ItemCmpI32Field {
+            op: CmpOp::Le,
+            field: 2,
+            value: 42,
+        };
         assert!(cond.val_bool(t.row(0), &mut c));
-        let cond2 = ItemCmpI32Field { op: CmpOp::Lt, field: 2, value: 42 };
+        let cond2 = ItemCmpI32Field {
+            op: CmpOp::Lt,
+            field: 2,
+            value: 42,
+        };
         assert!(!cond2.val_bool(t.row(0), &mut c));
-        let both = ItemCondAnd { items: vec![Box::new(cond), Box::new(cond2)] };
+        let both = ItemCondAnd {
+            items: vec![Box::new(cond), Box::new(cond2)],
+        };
         assert!(!both.val_bool(t.row(0), &mut c));
         assert!(c.item_cmp_val >= 3);
     }

@@ -59,7 +59,11 @@ impl Counters {
     /// Calls that perform the query's actual "work" (+, -, *, SUM/AVG
     /// updates) — the boldface rows of Table 2.
     pub fn work_calls(&self) -> u64 {
-        self.item_func_plus + self.item_func_minus + self.item_func_mul + self.item_func_div + self.item_sum_update
+        self.item_func_plus
+            + self.item_func_minus
+            + self.item_func_mul
+            + self.item_func_div
+            + self.item_sum_update
     }
 
     /// The paper's headline ratio: work calls / total calls.
@@ -110,7 +114,11 @@ mod tests {
 
     #[test]
     fn rows_sorted_descending() {
-        let c = Counters { item_func_mul: 3, rec_get_nth_field: 10, ..Default::default() };
+        let c = Counters {
+            item_func_mul: 3,
+            rec_get_nth_field: 10,
+            ..Default::default()
+        };
         let rows = c.rows();
         assert_eq!(rows[0], ("rec_get_nth_field", 10));
         assert_eq!(rows[1], ("Item_func_mul::val", 3));

@@ -57,7 +57,14 @@ impl RecordTable {
             offsets.push(off);
             off += t.width();
         }
-        RecordTable { fields, offsets, row_width: off, null_bytes, data: Vec::new(), rows: 0 }
+        RecordTable {
+            fields,
+            offsets,
+            row_width: off,
+            null_bytes,
+            data: Vec::new(),
+            rows: 0,
+        }
     }
 
     /// Number of rows.
@@ -101,7 +108,10 @@ impl RecordTable {
     /// Row accessor for tuple-at-a-time field navigation.
     #[inline]
     pub fn row(&self, r: usize) -> RowRef<'_> {
-        RowRef { table: self, base: r * self.row_width }
+        RowRef {
+            table: self,
+            base: r * self.row_width,
+        }
     }
 
     /// Copy row `r` into a server-format record buffer — the

@@ -18,10 +18,18 @@ fn main() {
         .column("id", ColumnData::I64((0..n).collect()))
         .auto_enum_str(
             "symbol",
-            (0..n).map(|i| ["ABC", "MEGA", "TINY"][(i % 3) as usize].to_owned()).collect(),
+            (0..n)
+                .map(|i| ["ABC", "MEGA", "TINY"][(i % 3) as usize].to_owned())
+                .collect(),
         )
-        .column("price", ColumnData::F64((0..n).map(|i| 50.0 + (i % 100) as f64).collect()))
-        .column("qty", ColumnData::F64((0..n).map(|i| (1 + i % 9) as f64).collect()))
+        .column(
+            "price",
+            ColumnData::F64((0..n).map(|i| 50.0 + (i % 100) as f64).collect()),
+        )
+        .column(
+            "qty",
+            ColumnData::F64((0..n).map(|i| (1 + i % 9) as f64).collect()),
+        )
         .build();
 
     let mut db = Database::new();

@@ -27,8 +27,9 @@ fn main() {
 
     // Readings arrive in timestamp order → the summary index prunes.
     let ts: Vec<i32> = (0..n as i32).collect();
-    let device: Vec<String> =
-        (0..n).map(|_| devices[rng.gen_range(0..devices.len())].to_owned()).collect();
+    let device: Vec<String> = (0..n)
+        .map(|_| devices[rng.gen_range(0..devices.len())].to_owned())
+        .collect();
     let temperature: Vec<f64> = (0..n).map(|_| 20.0 + rng.gen_range(0.0..80.0)).collect();
 
     let mut table = TableBuilder::new("readings")
@@ -41,7 +42,11 @@ fn main() {
     // Late-arriving corrections: updates go to the delta structures;
     // the immutable fragments stay untouched (paper Fig. 8).
     table.delete(100);
-    table.insert(&[Value::I32(n as i32), Value::Str("mixer".into()), Value::F64(99.5)]);
+    table.insert(&[
+        Value::I32(n as i32),
+        Value::Str("mixer".into()),
+        Value::F64(99.5),
+    ]);
     println!(
         "after updates: {} live rows, delta fraction {:.6}",
         table.live_rows(),
@@ -49,7 +54,10 @@ fn main() {
     );
     // Periodic maintenance merges deltas back into fragments.
     table.reorganize();
-    println!("after reorganize: {} fragment rows, deltas empty\n", table.fragment_rows());
+    println!(
+        "after reorganize: {} fragment rows, deltas empty\n",
+        table.fragment_rows()
+    );
 
     let mut db = Database::new();
     db.register(table);
@@ -70,7 +78,8 @@ fn main() {
         )
         .order(vec![OrdExp::desc("max_temp")]);
 
-    let (result, prof) = execute(&db, &plan, &ExecOptions::default().profiled()).expect("dashboard");
+    let (result, prof) =
+        execute(&db, &plan, &ExecOptions::default().profiled()).expect("dashboard");
     println!("{}", result.to_table_string());
 
     let scanned = prof

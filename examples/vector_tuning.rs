@@ -21,15 +21,30 @@ fn main() {
     let mut db = Database::new();
     db.register(
         TableBuilder::new("events")
-            .column("kind", ColumnData::U8((0..n).map(|i| (i % 17) as u8).collect()))
-            .column("a", ColumnData::F64((0..n).map(|i| (i % 1000) as f64).collect()))
-            .column("b", ColumnData::F64((0..n).map(|i| ((i * 7) % 1000) as f64 / 10.0).collect()))
+            .column(
+                "kind",
+                ColumnData::U8((0..n).map(|i| (i % 17) as u8).collect()),
+            )
+            .column(
+                "a",
+                ColumnData::F64((0..n).map(|i| (i % 1000) as f64).collect()),
+            )
+            .column(
+                "b",
+                ColumnData::F64((0..n).map(|i| ((i * 7) % 1000) as f64 / 10.0).collect()),
+            )
             .build(),
     );
     let plan = Plan::scan("events", &["kind", "a", "b"])
         .select(lt(col("a"), lit_f64(900.0)))
-        .project(vec![("kind", col("kind")), ("score", mul(sub(lit_f64(1.0), col("b")), col("a")))])
-        .aggr(vec![("kind", col("kind"))], vec![AggExpr::sum("total", col("score")), AggExpr::count("n")]);
+        .project(vec![
+            ("kind", col("kind")),
+            ("score", mul(sub(lit_f64(1.0), col("b")), col("a"))),
+        ])
+        .aggr(
+            vec![("kind", col("kind"))],
+            vec![AggExpr::sum("total", col("score")), AggExpr::count("n")],
+        );
 
     println!("{:>12} {:>10}", "vector size", "time (ms)");
     let mut best = (0usize, f64::MAX);
@@ -49,6 +64,10 @@ fn main() {
             best = (vs, t_best);
         }
     }
-    println!("\nbest vector size for this workload: {} ({:.2} ms)", best.0, best.1 * 1e3);
+    println!(
+        "\nbest vector size for this workload: {} ({:.2} ms)",
+        best.0,
+        best.1 * 1e3
+    );
     println!("(the paper's default of 1024 should be at or near the optimum)");
 }

@@ -30,14 +30,28 @@ fn updates_flow_through_queries() {
     // change query answers.
     let mut t = TableBuilder::new("t")
         .column("k", ColumnData::I64((0..100).collect()))
-        .auto_enum_str("tag", (0..100).map(|i| if i % 2 == 0 { "even".into() } else { "odd".into() }).collect())
+        .auto_enum_str(
+            "tag",
+            (0..100)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        "even".into()
+                    } else {
+                        "odd".into()
+                    }
+                })
+                .collect(),
+        )
         .build();
     t.delete(10);
     t.delete(11);
     t.insert(&[Value::I64(1000), Value::Str("even".into())]);
     let plan = Plan::scan("t", &["k", "tag"])
         .select(eq(col("tag"), lit_str("even")))
-        .aggr(vec![], vec![AggExpr::sum("sum_k", col("k")), AggExpr::count("n")]);
+        .aggr(
+            vec![],
+            vec![AggExpr::sum("sum_k", col("k")), AggExpr::count("n")],
+        );
 
     let mut db = Database::new();
     db.register(t.clone());
@@ -76,7 +90,11 @@ fn columnbm_accounts_scans() {
     let stats = bm.stats();
     // Only the two touched columns cost I/O: a (800KB) + b (800KB) in
     // 64KB chunks ≈ 26 chunk loads; the unused columns cost nothing.
-    assert!(stats.misses >= 24 && stats.misses <= 30, "misses {}", stats.misses);
+    assert!(
+        stats.misses >= 24 && stats.misses <= 30,
+        "misses {}",
+        stats.misses
+    );
     assert_eq!(stats.bytes_read, stats.misses * 64 * 1024);
 
     // Rescanning is served from the buffer pool.
@@ -92,7 +110,9 @@ fn engines_cross_check_on_custom_data() {
     // aggregation (mirrors the TPC-H cross-checks on non-TPC-H data).
     let n = 5_000i64;
     let vals: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64).collect();
-    let flags: Vec<String> = (0..n).map(|i| ["x", "y", "z"][(i % 3) as usize].to_owned()).collect();
+    let flags: Vec<String> = (0..n)
+        .map(|i| ["x", "y", "z"][(i % 3) as usize].to_owned())
+        .collect();
 
     let mut db = Database::new();
     db.register(
@@ -103,7 +123,10 @@ fn engines_cross_check_on_custom_data() {
     );
     let plan = Plan::scan("d", &["flag", "v"])
         .select(lt(col("v"), lit_f64(50.0)))
-        .aggr(vec![("flag", col("flag"))], vec![AggExpr::sum("s", col("v")), AggExpr::count("n")])
+        .aggr(
+            vec![("flag", col("flag"))],
+            vec![AggExpr::sum("s", col("v")), AggExpr::count("n")],
+        )
         .order(vec![monetdb_x100::engine::ops::OrdExp::asc("flag")]);
     let (x100, _) = execute(&db, &plan, &ExecOptions::default()).expect("x100");
     let (mil, _) = tpch::milql::run_plan(&db, &plan).expect("mil");
@@ -131,9 +154,11 @@ fn array_operator_feeds_pipeline() {
     // The paper's Array operator (RAM front-end): aggregate over the
     // coordinates of a 3-D array.
     let db = Database::new();
-    let plan = Plan::Array { dims: vec![4, 5, 6] }
-        .select(eq(col("d2"), lit_i64(3)))
-        .aggr(vec![("d0", col("d0"))], vec![AggExpr::count("n")]);
+    let plan = Plan::Array {
+        dims: vec![4, 5, 6],
+    }
+    .select(eq(col("d2"), lit_i64(3)))
+    .aggr(vec![("d0", col("d0"))], vec![AggExpr::count("n")]);
     let (res, _) = execute(&db, &plan, &ExecOptions::default()).expect("array");
     assert_eq!(res.num_rows(), 4);
     for i in 0..4 {
