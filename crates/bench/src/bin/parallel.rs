@@ -8,12 +8,16 @@
 //! on a single-core host every configuration degenerates to ~1×, so the
 //! JSON records `available_parallelism` alongside the timings.
 //!
-//! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536]`
+//! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536] [--smoke]`
+//!
+//! `--smoke` shrinks the run to a CI-sized correctness pass (SF 0.01,
+//! one rep): it still sweeps every thread count and fails on mismatch,
+//! but makes no timing claims.
 
 use std::time::Instant;
 use tpch::gen::{generate_lineitem_q1, GenConfig};
 use tpch::queries::q01;
-use x100_bench::{arg_f64, arg_usize, secs};
+use x100_bench::{arg_f64, arg_flag, arg_usize, secs};
 use x100_engine::session::{execute, ExecOptions};
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -40,8 +44,9 @@ fn q1_matches(a: &[tpch::Q1Row], b: &[tpch::Q1Row]) -> bool {
 }
 
 fn main() {
-    let sf = arg_f64("--sf", 0.1);
-    let reps = arg_usize("--reps", 5);
+    let smoke = arg_flag("--smoke");
+    let sf = arg_f64("--sf", if smoke { 0.01 } else { 0.1 });
+    let reps = arg_usize("--reps", if smoke { 1 } else { 5 });
     let morsel = arg_usize("--morsel", x100_engine::DEFAULT_MORSEL_SIZE);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 

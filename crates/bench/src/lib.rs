@@ -11,6 +11,8 @@
 //! | `table5` | Table 5 — X100 per-primitive trace |
 //! | `fig2`   | Figure 2 — branch vs predicated selection |
 //! | `fig10`  | Figure 10 — Q1 time vs vector size |
+//! | `parallel` | beyond the paper — morsel-parallel Q1 thread sweep |
+//! | `join`   | beyond the paper — radix hash join cardinality × bits × threads |
 //!
 //! plus Criterion micro-benchmarks (`benches/`) covering primitives and
 //! the ablations called out in `DESIGN.md`.
@@ -40,6 +42,11 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// True when the bare flag `name` appears in argv (e.g. `--smoke`).
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// Run `f` `reps` times, returning the best wall-clock duration and the
@@ -80,5 +87,6 @@ mod tests {
     fn arg_parsing_defaults() {
         assert_eq!(arg_sf(0.5), 0.5);
         assert_eq!(arg_usize("--none", 7), 7);
+        assert!(!arg_flag("--absent"));
     }
 }

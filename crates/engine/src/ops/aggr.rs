@@ -363,19 +363,7 @@ pub(crate) fn hash_keys(
                 if first {
                     vhash::map_hash_f64_col(hash_buf, v, sel)
                 } else {
-                    // rehash f64: mix bit patterns
-                    match sel {
-                        None => {
-                            for (h, &x) in hash_buf.iter_mut().zip(v.iter()).take(n) {
-                                *h = vhash::mix(*h, x.to_bits());
-                            }
-                        }
-                        Some(s) => {
-                            for i in s.iter() {
-                                hash_buf[i] = vhash::mix(hash_buf[i], v[i].to_bits());
-                            }
-                        }
-                    }
+                    vhash::map_rehash_f64_col(hash_buf, v, sel)
                 }
                 if first {
                     "map_hash_f64_col"

@@ -1,4 +1,4 @@
-//! Joins: `CartProd` and hash join.
+//! Joins: `CartProd` and the radix-partitioned hash join.
 //!
 //! "X100 currently only supports left-deep joins. The default physical
 //! implementation is a CartProd operator with a Select on top (i.e.
@@ -8,10 +8,23 @@
 //! [`crate::ops::Fetch1JoinOp`]).
 //!
 //! [`HashJoinOp`] is our extension beyond the paper's operator list
-//! (the paper's TPC-H setup avoids it via join indices): a classic
-//! build+probe equi-join, with inner, left-semi and left-anti modes —
+//! (the paper's TPC-H setup avoids it via join indices): a build+probe
+//! equi-join, with inner, left-outer, left-semi and left-anti modes —
 //! semi/anti output *selection vectors* over the probe dataflow, so they
 //! are zero-copy like `Select`.
+//!
+//! The build side is **radix-partitioned** on the top bits of the key
+//! hash (paper §3: the hot loop must stay cache-resident): instead of
+//! one monolithic bucket array that thrashes L2 for large build sides,
+//! rows are scattered into `2^B` partition ranges, each with its own
+//! bucket array sized under [`crate::ExecOptions::join_cache_budget`].
+//! Partition bucket chains build in parallel across worker threads. A
+//! blocked Bloom filter over all build hashes is probed *before* the
+//! hash table so probe tuples with no possible match skip the chain
+//! walk entirely. The finished [`JoinBuildTable`] is immutable and
+//! `Send + Sync`: the morsel-parallel driver builds it once and lets
+//! every worker probe it through [`HashJoinProbeOp`] (build once,
+//! probe many).
 
 use super::aggr::hash_keys;
 use crate::batch::{Batch, OutField, SelPool, VecPool};
@@ -19,10 +32,16 @@ use crate::compile::ExprProg;
 use crate::expr::Expr;
 use crate::ops::{eq_at, push_from, Operator};
 use crate::profile::Profiler;
+use crate::session::ExecOptions;
 use crate::PlanError;
 use std::sync::Arc;
 use x100_storage::Table;
-use x100_vector::Vector;
+use x100_vector::partition::{
+    self, bloom_insert_u64_col, bloom_test_u64_col, gather_rows, map_radix_partition_u64_col,
+    map_scatter_u32_col_u32_col, offsets_from_histogram, radix_histogram_u32_col,
+    radix_scatter_positions, BlockedBloom, MAX_RADIX_BITS,
+};
+use x100_vector::{ScalarType, Vector};
 
 /// Join semantics for [`HashJoinOp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,143 +200,136 @@ impl Operator for CartProdOp {
     }
 }
 
-/// Hash equi-join: build side fully consumed into a chained hash table,
-/// probe side streamed.
-pub struct HashJoinOp {
-    build: Box<dyn Operator>,
-    probe: Box<dyn Operator>,
-    build_keys: Vec<ExprProg>,
-    probe_keys: Vec<ExprProg>,
-    join_type: JoinType,
-    /// Build columns carried to the output (inner join only).
-    payload_cols: Vec<usize>,
-    fields: Vec<OutField>,
-    probe_arity: usize,
-    // Hash table over build rows.
-    b_key_store: Vec<Vector>,
-    b_cols: Vec<Vector>,
-    b_hashes: Vec<u64>,
-    buckets: Vec<u32>,
-    chain: Vec<u32>,
-    n_build: usize,
-    built: bool,
-    // Scratch.
-    hash_buf: Vec<u64>,
-    pools: Vec<VecPool>,
-    sel_pool: SelPool,
-    out: Batch,
-    #[allow(dead_code)]
-    vector_size: usize,
+/// Build-phase configuration, extracted from [`ExecOptions`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JoinBuildConfig {
+    /// Explicit partition bits (`Some(0)` = monolithic), or `None` to
+    /// derive from the cache budget.
+    pub partition_bits: Option<u32>,
+    /// Per-partition byte budget when deriving the bit count.
+    pub cache_budget: usize,
+    /// Worker threads for the per-partition bucket-chain build.
+    pub threads: usize,
 }
 
-impl HashJoinOp {
-    /// Bind a hash join. `payload` lists build columns (by name) to
-    /// carry into the output for inner joins (must be empty for
-    /// semi/anti joins).
-    #[allow(clippy::too_many_arguments)] // mirrors the algebra operator's arity
-    pub fn new(
-        build: Box<dyn Operator>,
-        probe: Box<dyn Operator>,
-        build_key_exprs: &[Expr],
-        probe_key_exprs: &[Expr],
-        payload: &[(String, String)],
-        join_type: JoinType,
-        vector_size: usize,
-        compound: bool,
-    ) -> Result<Self, PlanError> {
-        if build_key_exprs.len() != probe_key_exprs.len() || build_key_exprs.is_empty() {
-            return Err(PlanError::Invalid(
-                "hash join needs matching, non-empty key lists".to_owned(),
-            ));
+impl JoinBuildConfig {
+    pub(crate) fn from_opts(opts: &ExecOptions) -> Self {
+        JoinBuildConfig {
+            partition_bits: opts.join_partition_bits,
+            cache_budget: opts.join_cache_budget.max(1),
+            threads: opts.threads.max(1),
         }
-        if matches!(join_type, JoinType::LeftSemi | JoinType::LeftAnti) && !payload.is_empty() {
-            return Err(PlanError::Invalid(
-                "semi/anti joins cannot carry build payload".to_owned(),
-            ));
-        }
-        let mut build_keys = Vec::new();
-        let mut b_key_store = Vec::new();
-        for e in build_key_exprs {
-            let p = ExprProg::compile(e, build.fields(), vector_size, compound)?;
-            b_key_store.push(Vector::with_capacity(p.result_type(), 16));
-            build_keys.push(p);
-        }
-        let mut probe_keys = Vec::new();
-        for (i, e) in probe_key_exprs.iter().enumerate() {
-            let p = ExprProg::compile(e, probe.fields(), vector_size, compound)?;
-            if p.result_type() != build_keys[i].result_type() {
-                return Err(PlanError::TypeMismatch(format!(
-                    "join key {} type mismatch: build {}, probe {}",
-                    i,
-                    build_keys[i].result_type(),
-                    p.result_type()
-                )));
-            }
-            probe_keys.push(p);
-        }
-        let probe_arity = probe.fields().len();
-        let mut fields: Vec<OutField> = probe.fields().to_vec();
-        let mut payload_cols = Vec::new();
-        let mut b_cols = Vec::new();
-        for (src, alias) in payload {
-            let ci = build
-                .fields()
-                .iter()
-                .position(|f| &f.name == src)
-                .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
-            let ty = build.fields()[ci].ty;
-            fields.push(OutField::new(alias.clone(), ty));
-            payload_cols.push(ci);
-            b_cols.push(Vector::with_capacity(ty, 16));
-        }
-        let pools = fields
-            .iter()
-            .map(|f| VecPool::new(f.ty, vector_size))
-            .collect();
-        Ok(HashJoinOp {
-            build,
-            probe,
-            build_keys,
-            probe_keys,
-            join_type,
-            payload_cols,
-            fields,
-            probe_arity,
-            b_key_store,
-            b_cols,
-            b_hashes: Vec::new(),
-            buckets: Vec::new(),
-            chain: Vec::new(),
-            n_build: 0,
-            built: false,
-            hash_buf: Vec::new(),
-            pools,
-            sel_pool: SelPool::default(),
-            out: Batch::new(),
-            vector_size,
-        })
+    }
+}
+
+/// One radix partition's bucket array (heads index *global* rows + 1;
+/// `0` = empty).
+#[derive(Debug, Default)]
+struct PartBuckets {
+    buckets: Vec<u32>,
+    mask: u64,
+}
+
+/// The immutable, partition-ordered build side of a hash join.
+///
+/// Rows are stored in partition order: partition `p` owns global rows
+/// `offsets[p]..offsets[p+1]` of `keys` / `payload` / `hashes`. Bucket
+/// heads and chain links hold *global* row ids, so match emission needs
+/// no partition-local translation. `Send + Sync`: after `build` it is
+/// only ever read, so parallel probe workers share one `Arc` of it.
+pub struct JoinBuildTable {
+    key_types: Vec<ScalarType>,
+    payload_fields: Vec<OutField>,
+    keys: Vec<Vector>,
+    payload: Vec<Vector>,
+    hashes: Vec<u64>,
+    /// `chain[r]` = next global row + 1 within `r`'s partition (0 = end).
+    chain: Vec<u32>,
+    /// Partition row offsets (`len == nparts + 1`).
+    offsets: Vec<u32>,
+    parts: Vec<PartBuckets>,
+    bloom: BlockedBloom,
+    bits: u32,
+    n_build: usize,
+}
+
+impl JoinBuildTable {
+    /// Key result types, for probe-side validation.
+    pub(crate) fn key_types(&self) -> &[ScalarType] {
+        &self.key_types
     }
 
-    fn build_table(&mut self, prof: &mut Profiler) {
-        while let Some(batch) = self.build.next(prof) {
+    /// Aliased payload output fields.
+    pub(crate) fn payload_fields(&self) -> &[OutField] {
+        &self.payload_fields
+    }
+
+    /// Number of build rows.
+    pub fn n_build(&self) -> usize {
+        self.n_build
+    }
+
+    /// Radix partition bits in effect (0 = monolithic).
+    pub fn partition_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Partition boundaries in the partition-ordered store: partition
+    /// `p` owns rows `offsets[p]..offsets[p+1]`. `[0, n]` when
+    /// monolithic.
+    pub fn partition_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    #[inline(always)]
+    fn first_slot(&self, h: u64) -> u32 {
+        let p = if self.bits == 0 {
+            0
+        } else {
+            (h >> (64 - self.bits)) as usize
+        };
+        let pt = &self.parts[p];
+        pt.buckets[(h & pt.mask) as usize]
+    }
+
+    /// Drain `build`, hash its keys, radix-partition the rows, and build
+    /// per-partition bucket chains (in parallel when `cfg.threads > 1`).
+    fn build(
+        build: &mut dyn Operator,
+        build_keys: &mut [ExprProg],
+        payload_cols: &[usize],
+        payload_fields: Vec<OutField>,
+        cfg: &JoinBuildConfig,
+        prof: &mut Profiler,
+    ) -> JoinBuildTable {
+        let key_types: Vec<ScalarType> = build_keys.iter().map(|p| p.result_type()).collect();
+        let mut keys: Vec<Vector> = key_types
+            .iter()
+            .map(|&ty| Vector::with_capacity(ty, 16))
+            .collect();
+        let mut payload: Vec<Vector> = payload_fields
+            .iter()
+            .map(|f| Vector::with_capacity(f.ty, 16))
+            .collect();
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut hash_buf: Vec<u64> = Vec::new();
+        while let Some(batch) = build.next(prof) {
             let n = batch.len;
             let sel = batch.sel.as_deref();
-            let key_vecs: Vec<&Vector> = self
-                .build_keys
+            let key_vecs: Vec<&Vector> = build_keys
                 .iter_mut()
                 .map(|p| p.eval(batch, sel, prof))
                 .collect();
-            self.hash_buf.resize(n, 0);
-            hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
+            hash_buf.resize(n, 0);
+            hash_keys(&key_vecs, &mut hash_buf, n, sel, prof);
             let mut insert = |i: usize| {
-                for (ks, kv) in self.b_key_store.iter_mut().zip(key_vecs.iter()) {
+                for (ks, kv) in keys.iter_mut().zip(key_vecs.iter()) {
                     push_from(ks, kv, i);
                 }
-                for (bs, &ci) in self.b_cols.iter_mut().zip(self.payload_cols.iter()) {
+                for (bs, &ci) in payload.iter_mut().zip(payload_cols.iter()) {
                     push_from(bs, &batch.columns[ci], i);
                 }
-                self.b_hashes.push(self.hash_buf[i]);
-                self.n_build += 1;
+                hashes.push(hash_buf[i]);
             };
             match sel {
                 None => {
@@ -332,33 +344,221 @@ impl HashJoinOp {
                 }
             }
         }
-        // Build the bucket chains.
-        let cap = (self.n_build.max(1) * 2).next_power_of_two();
-        let mask = (cap - 1) as u64;
-        self.buckets = vec![0; cap];
-        self.chain = vec![0; self.n_build];
-        for r in 0..self.n_build {
-            let b = (self.b_hashes[r] & mask) as usize;
-            self.chain[r] = self.buckets[b];
-            self.buckets[b] = r as u32 + 1;
+        let n = hashes.len();
+
+        // Blocked Bloom filter over every build hash: a negative probe
+        // test later proves absence, skipping the chain walk.
+        let mut bloom = BlockedBloom::with_capacity(n);
+        let t0 = prof.start();
+        bloom_insert_u64_col(&mut bloom, &hashes, None);
+        prof.record_prim("bloom_insert_u64_col", t0, n, n * 8 + bloom.byte_size());
+
+        let bits = match cfg.partition_bits {
+            Some(b) => b.min(MAX_RADIX_BITS),
+            None => derive_partition_bits(&keys, &payload, n, cfg.cache_budget),
+        };
+
+        let (keys, payload, hashes, offsets) = if bits == 0 {
+            (keys, payload, hashes, vec![0, n as u32])
+        } else {
+            // Radix scatter: partition ids from top hash bits, histogram,
+            // stable scatter positions, then reorder every column (and
+            // the hashes) into partition order with one gather each.
+            let nparts = 1usize << bits;
+            let mut parts_ids = vec![0u32; n];
+            let t0 = prof.start();
+            map_radix_partition_u64_col(&mut parts_ids, &hashes, bits, None);
+            prof.record_prim("map_radix_partition_u64_col", t0, n, n * 12);
+            let mut hist = vec![0u32; nparts];
+            radix_histogram_u32_col(&mut hist, &parts_ids, n, None);
+            let offsets = offsets_from_histogram(&hist);
+            let mut pos = vec![0u32; n];
+            let t0 = prof.start();
+            radix_scatter_positions(&mut pos, &parts_ids, &offsets, n, None);
+            prof.record_prim("radix_scatter_positions", t0, n, n * 8);
+            let rowids: Vec<u32> = (0..n as u32).collect();
+            let mut order = vec![0u32; n];
+            let t0 = prof.start();
+            map_scatter_u32_col_u32_col(&mut order, &pos, &rowids, None);
+            prof.record_prim("map_scatter_u32_col_u32_col", t0, n, n * 8);
+            let reorder = |src: Vec<Vector>, prof: &mut Profiler| -> Vec<Vector> {
+                src.into_iter()
+                    .map(|v| {
+                        let mut dst = Vector::with_capacity(v.scalar_type(), n);
+                        let t0 = prof.start();
+                        gather_rows(&mut dst, &v, &order);
+                        prof.record_prim(
+                            &format!("map_fetch_u32_col_{}_col", v.scalar_type()),
+                            t0,
+                            n,
+                            v.byte_size(),
+                        );
+                        dst
+                    })
+                    .collect()
+            };
+            let keys = reorder(keys, prof);
+            let payload = reorder(payload, prof);
+            let mut h2 = vec![0u64; n];
+            partition::scatter(&mut h2, &pos, &hashes, None);
+            (keys, payload, h2, offsets)
+        };
+
+        // Per-partition bucket chains over contiguous row ranges. Each
+        // partition's chain slice is disjoint, so partitions build in
+        // parallel with plain scoped threads.
+        type PartitionTask<'a> = (usize, u32, &'a [u64], &'a mut [u32]);
+        let nparts = offsets.len() - 1;
+        let mut chain = vec![0u32; n];
+        let mut parts: Vec<PartBuckets> = (0..nparts).map(|_| PartBuckets::default()).collect();
+        let t0 = prof.start();
+        {
+            // Carve (partition id, base row, hash slice, chain slice) tasks.
+            let mut tasks: Vec<PartitionTask> = Vec::with_capacity(nparts);
+            let mut rest: &mut [u32] = &mut chain;
+            for p in 0..nparts {
+                let base = offsets[p];
+                let end = offsets[p + 1];
+                let (head, tail) = rest.split_at_mut((end - base) as usize);
+                rest = tail;
+                tasks.push((p, base, &hashes[base as usize..end as usize], head));
+            }
+            let nworkers = cfg.threads.min(nparts);
+            if nworkers > 1 {
+                let mut groups: Vec<Vec<PartitionTask>> =
+                    (0..nworkers).map(|_| Vec::new()).collect();
+                for (k, task) in tasks.into_iter().enumerate() {
+                    groups[k % nworkers].push(task);
+                }
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = groups
+                        .into_iter()
+                        .map(|group| {
+                            s.spawn(move || {
+                                group
+                                    .into_iter()
+                                    .map(|(p, base, h, c)| (p, build_partition(base, h, c)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (p, pb) in h.join().expect("partition build worker panicked") {
+                            parts[p] = pb;
+                        }
+                    }
+                });
+            } else {
+                for (p, base, h, c) in tasks {
+                    parts[p] = build_partition(base, h, c);
+                }
+            }
         }
-        self.built = true;
+        prof.record_op("HashJoin(partition)", t0, n);
+        prof.add_counter("join_partitions", nparts as u64);
+        let max_rows = (0..nparts)
+            .map(|p| (offsets[p + 1] - offsets[p]) as u64)
+            .max()
+            .unwrap_or(0);
+        prof.max_counter("join_partition_max_rows", max_rows);
+
+        JoinBuildTable {
+            key_types,
+            payload_fields,
+            keys,
+            payload,
+            hashes,
+            chain,
+            offsets,
+            parts,
+            bloom,
+            bits,
+            n_build: n,
+        }
     }
 }
 
-impl Operator for HashJoinOp {
-    fn fields(&self) -> &[OutField] {
-        &self.fields
+/// Build one partition's bucket array over its contiguous hash slice.
+/// Bucket heads and chain links are *global* row ids + 1; rows chain in
+/// reverse arrival order, so the probe walk emits matches newest-first —
+/// identical to the pre-partitioned layout within a partition.
+fn build_partition(base: u32, hashes: &[u64], chain: &mut [u32]) -> PartBuckets {
+    let cap = (hashes.len().max(1) * 2).next_power_of_two();
+    let mask = (cap - 1) as u64;
+    let mut buckets = vec![0u32; cap];
+    for (j, &h) in hashes.iter().enumerate() {
+        let b = (h & mask) as usize;
+        chain[j] = buckets[b];
+        buckets[b] = base + j as u32 + 1;
+    }
+    PartBuckets { buckets, mask }
+}
+
+/// Pick the smallest partition-bit count whose average partition stays
+/// under `budget` bytes (keys + payload + hash/bucket/chain overhead:
+/// 8 B hash + ~12 B bucket/chain slots per row).
+fn derive_partition_bits(keys: &[Vector], payload: &[Vector], n: usize, budget: usize) -> u32 {
+    let col_bytes: usize = keys
+        .iter()
+        .chain(payload.iter())
+        .map(|v| v.byte_size())
+        .sum();
+    let total = col_bytes + n * 20;
+    let nparts = total.div_ceil(budget).max(1);
+    (nparts.next_power_of_two().trailing_zeros()).min(MAX_RADIX_BITS)
+}
+
+/// The probe-side machinery shared by [`HashJoinOp`] (which owns its
+/// build) and [`HashJoinProbeOp`] (which probes a shared table).
+struct ProbeCore {
+    probe_keys: Vec<ExprProg>,
+    join_type: JoinType,
+    fields: Vec<OutField>,
+    probe_arity: usize,
+    hash_buf: Vec<u64>,
+    bloom_ok: Vec<bool>,
+    pools: Vec<VecPool>,
+    sel_pool: SelPool,
+    out: Batch,
+}
+
+impl ProbeCore {
+    fn new(
+        probe_fields: &[OutField],
+        payload_fields: &[OutField],
+        probe_keys: Vec<ExprProg>,
+        join_type: JoinType,
+        vector_size: usize,
+    ) -> Self {
+        let probe_arity = probe_fields.len();
+        let mut fields: Vec<OutField> = probe_fields.to_vec();
+        fields.extend(payload_fields.iter().cloned());
+        let pools = fields
+            .iter()
+            .map(|f| VecPool::new(f.ty, vector_size))
+            .collect();
+        ProbeCore {
+            probe_keys,
+            join_type,
+            fields,
+            probe_arity,
+            hash_buf: Vec::new(),
+            bloom_ok: Vec::new(),
+            pools,
+            sel_pool: SelPool::default(),
+            out: Batch::new(),
+        }
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
-        if !self.built {
-            let t0 = prof.start();
-            self.build_table(prof);
-            prof.record_op("HashJoin(build)", t0, self.n_build);
-        }
+    /// Pull probe batches and emit join output against `table`.
+    fn next(
+        &mut self,
+        probe: &mut dyn Operator,
+        table: &JoinBuildTable,
+        prof: &mut Profiler,
+    ) -> Option<&Batch> {
         loop {
-            let batch = self.probe.next(prof)?;
+            let batch = probe.next(prof)?;
             let n = batch.len;
             let sel = batch.sel.as_deref();
             let live = batch.live();
@@ -370,20 +570,34 @@ impl Operator for HashJoinOp {
                 .collect();
             self.hash_buf.resize(n, 0);
             hash_keys(&key_vecs, &mut self.hash_buf, n, sel, prof);
-            let mask = (self.buckets.len() - 1) as u64;
+            // Bloom prepass: a negative test proves the key misses the
+            // whole build side, so the chain walk is skipped.
+            self.bloom_ok.clear();
+            self.bloom_ok.resize(n, false);
+            let t_bloom = prof.start();
+            let rejected =
+                bloom_test_u64_col(&mut self.bloom_ok, &table.bloom, &self.hash_buf, sel);
+            prof.record_prim("bloom_test_u64_col", t_bloom, live, live * 9);
+            prof.add_counter("join_bloom_tested", live as u64);
+            prof.add_counter("join_bloom_rejected", rejected);
             // Collect matches.
             let mut m_probe: Vec<u32> = Vec::new();
             let mut m_build: Vec<u32> = Vec::new();
             let semi = matches!(self.join_type, JoinType::LeftSemi | JoinType::LeftAnti);
+            let hash_buf = &self.hash_buf;
+            let bloom_ok = &self.bloom_ok;
             let probe_one = |i: usize, m_probe: &mut Vec<u32>, m_build: &mut Vec<u32>| {
-                let h = self.hash_buf[i];
-                let mut slot = self.buckets[(h & mask) as usize];
+                if !bloom_ok[i] {
+                    return false;
+                }
+                let h = hash_buf[i];
+                let mut slot = table.first_slot(h);
                 let mut matched = false;
                 while slot != 0 {
                     let r = (slot - 1) as usize;
-                    if self.b_hashes[r] == h
-                        && self
-                            .b_key_store
+                    if table.hashes[r] == h
+                        && table
+                            .keys
                             .iter()
                             .zip(key_vecs.iter())
                             .all(|(ks, kv)| eq_at(ks, r, kv, i))
@@ -395,7 +609,7 @@ impl Operator for HashJoinOp {
                         m_probe.push(i as u32);
                         m_build.push(r as u32);
                     }
-                    slot = self.chain[r];
+                    slot = table.chain[r];
                 }
                 matched
             };
@@ -434,7 +648,7 @@ impl Operator for HashJoinOp {
                         }
                         self.pools[k].publish(v, &mut self.out);
                     }
-                    for (j, bs) in self.b_cols.iter().enumerate() {
+                    for (j, bs) in table.payload.iter().enumerate() {
                         let mut v = self.pools[self.probe_arity + j].writable();
                         for &r in &m_build {
                             if r == u32::MAX {
@@ -485,23 +699,248 @@ impl Operator for HashJoinOp {
     }
 
     fn reset(&mut self) {
+        self.hash_buf.clear();
+        self.bloom_ok.clear();
+    }
+}
+
+/// Hash equi-join: build side fully consumed into a radix-partitioned
+/// hash table, probe side streamed.
+pub struct HashJoinOp {
+    build: Box<dyn Operator>,
+    probe: Box<dyn Operator>,
+    build_keys: Vec<ExprProg>,
+    payload_cols: Vec<usize>,
+    payload_fields: Vec<OutField>,
+    cfg: JoinBuildConfig,
+    table: Option<Arc<JoinBuildTable>>,
+    core: ProbeCore,
+}
+
+impl HashJoinOp {
+    /// Bind a hash join. `payload` lists build columns (by name) to
+    /// carry into the output for inner/outer joins (must be empty for
+    /// semi/anti joins).
+    #[allow(clippy::too_many_arguments)] // mirrors the algebra operator's arity
+    pub fn new(
+        build: Box<dyn Operator>,
+        probe: Box<dyn Operator>,
+        build_key_exprs: &[Expr],
+        probe_key_exprs: &[Expr],
+        payload: &[(String, String)],
+        join_type: JoinType,
+        opts: &ExecOptions,
+    ) -> Result<Self, PlanError> {
+        if build_key_exprs.len() != probe_key_exprs.len() || build_key_exprs.is_empty() {
+            return Err(PlanError::Invalid(
+                "hash join needs matching, non-empty key lists".to_owned(),
+            ));
+        }
+        if matches!(join_type, JoinType::LeftSemi | JoinType::LeftAnti) && !payload.is_empty() {
+            return Err(PlanError::Invalid(
+                "semi/anti joins cannot carry build payload".to_owned(),
+            ));
+        }
+        let vector_size = opts.vector_size;
+        let compound = opts.compound_primitives;
+        let mut build_keys = Vec::new();
+        for e in build_key_exprs {
+            build_keys.push(ExprProg::compile(e, build.fields(), vector_size, compound)?);
+        }
+        let mut probe_keys = Vec::new();
+        for (i, e) in probe_key_exprs.iter().enumerate() {
+            let p = ExprProg::compile(e, probe.fields(), vector_size, compound)?;
+            if p.result_type() != build_keys[i].result_type() {
+                return Err(PlanError::TypeMismatch(format!(
+                    "join key {} type mismatch: build {}, probe {}",
+                    i,
+                    build_keys[i].result_type(),
+                    p.result_type()
+                )));
+            }
+            probe_keys.push(p);
+        }
+        let mut payload_cols = Vec::new();
+        let mut payload_fields = Vec::new();
+        for (src, alias) in payload {
+            let ci = build
+                .fields()
+                .iter()
+                .position(|f| &f.name == src)
+                .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
+            payload_cols.push(ci);
+            payload_fields.push(OutField::new(alias.clone(), build.fields()[ci].ty));
+        }
+        let core = ProbeCore::new(
+            probe.fields(),
+            &payload_fields,
+            probe_keys,
+            join_type,
+            vector_size,
+        );
+        Ok(HashJoinOp {
+            build,
+            probe,
+            build_keys,
+            payload_cols,
+            payload_fields,
+            cfg: JoinBuildConfig::from_opts(opts),
+            table: None,
+            core,
+        })
+    }
+
+    /// Build the partitioned table without probing, handing it out for
+    /// sharing across parallel probe pipelines (build once, probe many).
+    pub(crate) fn build_shared(
+        build: &mut dyn Operator,
+        build_key_exprs: &[Expr],
+        payload: &[(String, String)],
+        opts: &ExecOptions,
+        prof: &mut Profiler,
+    ) -> Result<Arc<JoinBuildTable>, PlanError> {
+        let mut build_keys = Vec::new();
+        for e in build_key_exprs {
+            build_keys.push(ExprProg::compile(
+                e,
+                build.fields(),
+                opts.vector_size,
+                opts.compound_primitives,
+            )?);
+        }
+        let mut payload_cols = Vec::new();
+        let mut payload_fields = Vec::new();
+        for (src, alias) in payload {
+            let ci = build
+                .fields()
+                .iter()
+                .position(|f| &f.name == src)
+                .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
+            payload_cols.push(ci);
+            payload_fields.push(OutField::new(alias.clone(), build.fields()[ci].ty));
+        }
+        let cfg = JoinBuildConfig::from_opts(opts);
+        let t0 = prof.start();
+        let table = JoinBuildTable::build(
+            build,
+            &mut build_keys,
+            &payload_cols,
+            payload_fields,
+            &cfg,
+            prof,
+        );
+        prof.record_op("HashJoin(build)", t0, table.n_build);
+        Ok(Arc::new(table))
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn fields(&self) -> &[OutField] {
+        &self.core.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        if self.table.is_none() {
+            let t0 = prof.start();
+            let table = JoinBuildTable::build(
+                self.build.as_mut(),
+                &mut self.build_keys,
+                &self.payload_cols,
+                self.payload_fields.clone(),
+                &self.cfg,
+                prof,
+            );
+            prof.record_op("HashJoin(build)", t0, table.n_build);
+            self.table = Some(Arc::new(table));
+        }
+        let table = self.table.clone().expect("table just built");
+        self.core.next(self.probe.as_mut(), &table, prof)
+    }
+
+    fn reset(&mut self) {
         self.build.reset();
         self.probe.reset();
-        for v in &mut self.b_key_store {
-            v.clear();
+        self.table = None;
+        self.core.reset();
+    }
+}
+
+/// Probe-only hash join against a pre-built shared [`JoinBuildTable`] —
+/// the worker-side half of the morsel-parallel join (build once on the
+/// main thread, probe many across workers).
+pub struct HashJoinProbeOp {
+    probe: Box<dyn Operator>,
+    table: Arc<JoinBuildTable>,
+    core: ProbeCore,
+}
+
+impl HashJoinProbeOp {
+    /// Bind a probe pipeline over `table`. Probe key expressions must
+    /// match the build-side key types recorded in the table.
+    pub(crate) fn new(
+        probe: Box<dyn Operator>,
+        table: Arc<JoinBuildTable>,
+        probe_key_exprs: &[Expr],
+        join_type: JoinType,
+        opts: &ExecOptions,
+    ) -> Result<Self, PlanError> {
+        if probe_key_exprs.len() != table.key_types().len() {
+            return Err(PlanError::Invalid(
+                "probe key count differs from shared build table".to_owned(),
+            ));
         }
-        for v in &mut self.b_cols {
-            v.clear();
+        let mut probe_keys = Vec::new();
+        for (i, e) in probe_key_exprs.iter().enumerate() {
+            let p = ExprProg::compile(
+                e,
+                probe.fields(),
+                opts.vector_size,
+                opts.compound_primitives,
+            )?;
+            if p.result_type() != table.key_types()[i] {
+                return Err(PlanError::TypeMismatch(format!(
+                    "join key {} type mismatch: build {}, probe {}",
+                    i,
+                    table.key_types()[i],
+                    p.result_type()
+                )));
+            }
+            probe_keys.push(p);
         }
-        self.b_hashes.clear();
-        self.buckets.clear();
-        self.chain.clear();
-        self.n_build = 0;
-        self.built = false;
+        let core = ProbeCore::new(
+            probe.fields(),
+            table.payload_fields(),
+            probe_keys,
+            join_type,
+            opts.vector_size,
+        );
+        Ok(HashJoinProbeOp { probe, table, core })
+    }
+}
+
+impl Operator for HashJoinProbeOp {
+    fn fields(&self) -> &[OutField] {
+        &self.core.fields
+    }
+
+    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+        let table = self.table.clone();
+        self.core.next(self.probe.as_mut(), &table, prof)
+    }
+
+    fn reset(&mut self) {
+        self.probe.reset();
+        self.core.reset();
     }
 }
 
 /// Default value appended for unmatched outer-join payload slots.
+/// Exhaustive over every [`Vector`] variant — a new variant must fail to
+/// compile here rather than panic at runtime on the first unmatched
+/// outer tuple. Enum-coded (`U8`/`U16`) payload columns default to code
+/// 0 like any other unsigned column; the binder keeps their output
+/// dictionary-free, so no decode can turn that 0 into a spurious
+/// dictionary entry.
 fn push_default(v: &mut Vector) {
     match v {
         Vector::I8(b) => b.push(0),

@@ -24,7 +24,7 @@ pub use aggr::{
 };
 pub use array::ArrayOp;
 pub use fetchjoin::{Fetch1JoinOp, FetchNJoinOp};
-pub use join::{CartProdOp, HashJoinOp, JoinType};
+pub use join::{CartProdOp, HashJoinOp, HashJoinProbeOp, JoinBuildTable, JoinType};
 pub use parallel::MergeAggrOp;
 pub use project::ProjectOp;
 pub use scan::ScanOp;

@@ -7,9 +7,13 @@
 //!
 //! 1. [`decompose`] splits a plan into *wrappers* (`Order` / `TopN` /
 //!    `Project` / `Select` above the aggregation) and the aggregation
-//!    subtree (`Aggr`/`DirectAggr` over a `Select`/`Project` chain
-//!    ending in a `Scan`). Any other shape falls back to sequential
-//!    execution.
+//!    subtree (`Aggr`/`DirectAggr` over a
+//!    `Select`/`Project`/`Fetch1Join`/`FetchNJoin`/`HashJoin`-probe
+//!    chain ending in a `Scan`). Any other shape falls back to
+//!    sequential execution. For each `HashJoin` on the chain the driver
+//!    builds the radix-partitioned [`crate::ops::JoinBuildTable`] *once*
+//!    on the main thread; workers probe it through read-only
+//!    [`crate::ops::HashJoinProbeOp`]s (build once, probe many).
 //! 2. The scan's row space — the (summary-pruned) fragment range plus
 //!    the insert-delta tail — is cut into [`Morsel`]s. Worker `w` of
 //!    `T` statically takes morsels `w, w+T, w+2T, …`: assignment does
@@ -31,8 +35,9 @@
 use crate::batch::{Batch, OutField, VecPool};
 use crate::expr::{AggFunc, Expr};
 use crate::ops::aggr::{ensure_capacity, hash_keys, AggrPartial, MergeSpec, PartialAcc};
+use crate::ops::join::HashJoinOp;
 use crate::ops::{eq_at, push_from, Operator, OrdExp, OrderOp, ProjectOp, SelectOp, TopNOp};
-use crate::plan::{scan_prune_range, Plan};
+use crate::plan::{plan_key, scan_prune_range, Plan, SharedJoinMap};
 use crate::profile::Profiler;
 use crate::session::{run_operator, Database, ExecOptions, QueryResult};
 use crate::PlanError;
@@ -50,9 +55,12 @@ enum Wrap<'a> {
 }
 
 /// Split `plan` into wrappers above the topmost `Aggr`/`DirectAggr`
-/// (outermost first), the aggregation subtree, and its leaf `Scan`.
-/// `None` if the plan does not have the parallelizable shape.
-fn decompose(plan: &Plan) -> Option<(Vec<Wrap<'_>>, &Plan, &Plan)> {
+/// (outermost first), the aggregation subtree, its leaf `Scan`, and any
+/// `HashJoin` nodes on the probe spine between the aggregation and the
+/// scan (outermost first). `None` if the plan does not have the
+/// parallelizable shape.
+#[allow(clippy::type_complexity)] // one-shot internal decomposition tuple
+fn decompose(plan: &Plan) -> Option<(Vec<Wrap<'_>>, &Plan, &Plan, Vec<&Plan>)> {
     let mut wrappers = Vec::new();
     let mut cur = plan;
     let aggr = loop {
@@ -84,15 +92,25 @@ fn decompose(plan: &Plan) -> Option<(Vec<Wrap<'_>>, &Plan, &Plan)> {
         Plan::Aggr { input, .. } | Plan::DirectAggr { input, .. } => input,
         _ => unreachable!(),
     };
+    let mut joins = Vec::new();
     let mut leaf = below.as_ref();
     let scan = loop {
         match leaf {
-            Plan::Select { input, .. } | Plan::Project { input, .. } => leaf = input,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Fetch1Join { input, .. }
+            | Plan::FetchNJoin { input, .. } => leaf = input,
+            Plan::HashJoin { probe, .. } => {
+                // The morsel restriction follows the probe side; the
+                // build side materializes once, shared across workers.
+                joins.push(leaf);
+                leaf = probe;
+            }
             Plan::Scan { .. } => break leaf,
             _ => return None,
         }
     };
-    Some((wrappers, aggr, scan))
+    Some((wrappers, aggr, scan, joins))
 }
 
 /// Execute `plan` with `opts.threads` morsel-parallel workers, if it
@@ -103,15 +121,36 @@ pub(crate) fn try_execute_parallel(
     plan: &Plan,
     opts: &ExecOptions,
 ) -> Result<Option<(QueryResult, Profiler)>, PlanError> {
-    let Some((wrappers, aggr, scan)) = decompose(plan) else {
+    let Some((wrappers, aggr, scan, joins)) = decompose(plan) else {
         return Ok(None);
     };
     let Plan::Scan { table, prune, .. } = scan else {
         unreachable!()
     };
+    let mut prof = Profiler::new(opts.profile);
+
+    // Build once, probe many: materialize each hash-join build side on
+    // the main thread into a shared radix-partitioned table; workers
+    // then bind read-only probe pipelines against it.
+    let mut shared = SharedJoinMap::new();
+    for &jp in &joins {
+        let Plan::HashJoin {
+            build,
+            build_keys,
+            payload,
+            ..
+        } = jp
+        else {
+            unreachable!()
+        };
+        let (mut b, _) = build.bind_inner(db, opts, None, None)?;
+        let table = HashJoinOp::build_shared(b.as_mut(), build_keys, payload, opts, &mut prof)?;
+        shared.insert(plan_key(jp), table);
+    }
+
     // Template bind: validates the subtree once up front (surfacing
     // bind errors on the caller's thread) and yields the merge recipe.
-    let (template, _) = aggr.bind_inner(db, opts, Some(&[]))?;
+    let (template, _) = aggr.bind_inner(db, opts, Some(&[]), Some(&shared))?;
     let Some(spec) = template.partial_merge_spec() else {
         return Ok(None);
     };
@@ -122,8 +161,8 @@ pub(crate) fn try_execute_parallel(
     let morsels = plan_morsels(frag_range, t.delta_rows(), opts.morsel_size);
     let nworkers = opts.threads.min(morsels.len()).max(1);
 
-    let mut prof = Profiler::new(opts.profile);
     let mut partials: Vec<AggrPartial> = Vec::with_capacity(nworkers);
+    let shared_ref = &shared;
     let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..nworkers)
             .map(|w| {
@@ -133,7 +172,7 @@ pub(crate) fn try_execute_parallel(
                     let t0 = Instant::now();
                     let mut wprof = Profiler::new(opts.profile);
                     let partial = aggr
-                        .bind_inner(db, opts, Some(&assigned))
+                        .bind_inner(db, opts, Some(&assigned), Some(shared_ref))
                         .map(|(mut op, _)| op.take_partial_aggr(&mut wprof));
                     (partial, wprof, t0.elapsed().as_nanos() as u64)
                 })

@@ -27,13 +27,28 @@
 use crate::expr::{AggExpr, Expr};
 use crate::ops::{
     ArrayOp, CartProdOp, DirectAggrOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
-    Operator, OrdAggrOp, OrdExp, ProjectOp, ScanOp, SelectOp, TopNOp,
+    HashJoinProbeOp, JoinBuildTable, Operator, OrdAggrOp, OrdExp, ProjectOp, ScanOp, SelectOp,
+    TopNOp,
 };
 use crate::ops::{DirectKey, JoinType, OrderOp};
 use crate::session::{Database, ExecOptions};
 use crate::PlanError;
+use std::collections::HashMap;
 use std::sync::Arc;
 use x100_storage::{EnumDict, Morsel, Table};
+
+/// Pre-built shared join tables, keyed by the address of the
+/// `Plan::HashJoin` node they were built for. The parallel driver builds
+/// each join's table once on the main thread; worker binds look their
+/// node up here and get a probe-only operator over the shared table.
+/// Addresses are stable because driver and workers traverse the *same*
+/// borrowed plan tree.
+pub(crate) type SharedJoinMap = HashMap<usize, Arc<JoinBuildTable>>;
+
+/// Key of a plan node in a [`SharedJoinMap`].
+pub(crate) fn plan_key(p: &Plan) -> usize {
+    p as *const Plan as usize
+}
 
 /// A key of a `DirectAggr`: must resolve to a code column with a known
 /// small domain.
@@ -208,17 +223,20 @@ type Bound = (Box<dyn Operator>, Vec<Option<EnumDict>>);
 impl Plan {
     /// Bind this plan against `db`, producing an executable pipeline.
     pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
-        Ok(self.bind_inner(db, opts, None)?.0)
+        Ok(self.bind_inner(db, opts, None, None)?.0)
     }
 
     /// Bind with an optional morsel restriction on the leaf `Scan`
     /// (parallel workers bind one pipeline clone per disjoint morsel
-    /// set). `None` reproduces the ordinary full-range bind.
+    /// set) and an optional map of pre-built shared join tables
+    /// (`HashJoin` nodes present in the map bind as probe-only
+    /// operators). `None, None` reproduces the ordinary full-range bind.
     pub(crate) fn bind_inner(
         &self,
         db: &Database,
         opts: &ExecOptions,
         morsels: Option<&[Morsel]>,
+        shared: Option<&SharedJoinMap>,
     ) -> Result<Bound, PlanError> {
         let vs = opts.vector_size;
         let comp = opts.compound_primitives;
@@ -263,13 +281,13 @@ impl Plan {
                 Ok((Box::new(op), dicts))
             }
             Plan::Select { input, pred } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let pred = rewrite_enum_literals(pred, child.fields(), &dicts);
                 let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy)?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Project { input, exprs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let exprs: Vec<(String, Expr)> = exprs
                     .iter()
                     .map(|(n, e)| (n.clone(), rewrite_enum_literals(e, child.fields(), &dicts)))
@@ -290,7 +308,7 @@ impl Plan {
                 Ok((Box::new(op), out_dicts))
             }
             Plan::Aggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 // Direct aggregation if *every* key is a bare reference to
                 // a code column with a dictionary.
                 let direct: Option<Vec<DirectKeySpec>> = keys
@@ -332,11 +350,11 @@ impl Plan {
                 }
             }
             Plan::DirectAggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 bind_direct(child, &dicts, keys, aggs, vs, comp)
             }
             Plan::OrdAggr { input, keys, aggs } => {
-                let (child, _) = input.bind_inner(db, opts, morsels)?;
+                let (child, _) = input.bind_inner(db, opts, morsels, shared)?;
                 let op = OrdAggrOp::new(child, keys, aggs, vs, comp)?;
                 let nd = op.fields().len();
                 Ok((Box::new(op), vec![None; nd]))
@@ -348,7 +366,7 @@ impl Plan {
                 fetch,
                 fetch_codes,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let t = db.table(table)?;
                 if !fetch_codes.is_empty() && (t.delta_rows() > 0 || !t.deletes().is_empty()) {
                     return Err(PlanError::Invalid(format!(
@@ -371,7 +389,7 @@ impl Plan {
                 cnt,
                 fetch,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let t = db.table(table)?;
                 let op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
                 dicts.extend(fetch.iter().map(|_| None));
@@ -382,7 +400,7 @@ impl Plan {
                 table,
                 fetch,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let t = db.table(table)?;
                 let op = CartProdOp::new(child, t, fetch, vs)?;
                 dicts.extend(fetch.iter().map(|_| None));
@@ -395,7 +413,7 @@ impl Plan {
                 fetch,
             } => {
                 // The paper's default join: CartProd with a Select on top.
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let t = db.table(table)?;
                 let cart = CartProdOp::new(child, t, fetch, vs)?;
                 let op = SelectOp::new(Box::new(cart), pred, vs, comp, opts.select_strategy)?;
@@ -410,24 +428,32 @@ impl Plan {
                 payload,
                 join_type,
             } => {
-                // Morsel restriction is ambiguous with two scan leaves;
-                // joins always bind full-range (the parallel driver
-                // rejects join shapes before getting here).
-                let (b, _) = build.bind_inner(db, opts, None)?;
-                let (p, pdicts) = probe.bind_inner(db, opts, None)?;
-                let op =
-                    HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, vs, comp)?;
+                // With a pre-built shared table for this node, bind only
+                // the probe side (over the worker's morsels) and probe
+                // the table through a shared-table operator.
+                if let Some(table) = shared.and_then(|m| m.get(&plan_key(self))) {
+                    let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared)?;
+                    let op = HashJoinProbeOp::new(p, table.clone(), probe_keys, *join_type, opts)?;
+                    let mut dicts = pdicts;
+                    dicts.extend(payload.iter().map(|_| None));
+                    return Ok((Box::new(op), dicts));
+                }
+                // The morsel restriction flows into the probe side only;
+                // the build side always materializes full-range.
+                let (b, _) = build.bind_inner(db, opts, None, shared)?;
+                let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared)?;
+                let op = HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, opts)?;
                 let mut dicts = pdicts;
                 dicts.extend(payload.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
             Plan::TopN { input, keys, limit } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let op = TopNOp::new(child, keys, *limit, vs)?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Order { input, keys } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
                 let op = OrderOp::new(child, keys, vs)?;
                 Ok((Box::new(op), dicts))
             }

@@ -82,6 +82,9 @@ pub struct Profiler {
     op_order: Vec<String>,
     /// Per-worker summaries of a parallel run (empty when sequential).
     workers: Vec<WorkerTrace>,
+    /// Named event counters (Bloom rejects, partition stats, …).
+    counters: BTreeMap<String, u64>,
+    counter_order: Vec<String>,
 }
 
 impl Profiler {
@@ -146,6 +149,44 @@ impl Profiler {
         }
     }
 
+    /// Add `n` to the named event counter (no-op when disabled). Counters
+    /// record *event counts* with no timing attached — Bloom-prepass
+    /// rejects, radix partition counts, per-partition build statistics.
+    #[inline]
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            if !self.counters.contains_key(name) {
+                self.counter_order.push(name.to_owned());
+            }
+            *self.counters.entry(name.to_owned()).or_default() += n;
+        }
+    }
+
+    /// Set the named counter to the maximum of its current value and `n`
+    /// (for high-water marks like the largest partition).
+    #[inline]
+    pub fn max_counter(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            if !self.counters.contains_key(name) {
+                self.counter_order.push(name.to_owned());
+            }
+            let e = self.counters.entry(name.to_owned()).or_default();
+            *e = (*e).max(n);
+        }
+    }
+
+    /// Look up one counter's value.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Named counters in first-appearance order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_order
+            .iter()
+            .map(move |k| (k.as_str(), self.counters[k]))
+    }
+
     /// Primitive-level statistics in first-appearance order.
     pub fn primitives(&self) -> impl Iterator<Item = (&str, &TraceStat)> {
         self.prim_order
@@ -197,6 +238,12 @@ impl Profiler {
             e.calls += st.calls;
             e.tuples += st.tuples;
             e.nanos += st.nanos;
+        }
+        for name in &worker.counter_order {
+            if !self.counters.contains_key(name) {
+                self.counter_order.push(name.clone());
+            }
+            *self.counters.entry(name.clone()).or_default() += worker.counters[name];
         }
         self.workers.push(WorkerTrace {
             label: label.into(),
@@ -251,6 +298,12 @@ impl Profiler {
                 op
             )
             .expect("write to String");
+        }
+        if !self.counters.is_empty() {
+            writeln!(s, "\n{:>10}  event counter", "count").expect("write to String");
+            for (name, n) in self.counters() {
+                writeln!(s, "{n:>10}  {name}").expect("write to String");
+            }
         }
         if !self.workers.is_empty() {
             writeln!(s, "\n{:>10} {:>10}  parallel worker", "tuples", "wall (us)")
@@ -307,6 +360,32 @@ mod tests {
         }
         let order: Vec<&str> = p.primitives().map(|(k, _)| k).collect();
         assert_eq!(order, vec!["z_prim", "a_prim"]);
+    }
+
+    #[test]
+    fn counters_aggregate_and_render() {
+        let mut p = Profiler::new(true);
+        p.add_counter("join_bloom_rejected", 10);
+        p.add_counter("join_bloom_rejected", 5);
+        p.max_counter("join_partition_max_rows", 100);
+        p.max_counter("join_partition_max_rows", 40);
+        assert_eq!(p.counter("join_bloom_rejected"), Some(15));
+        assert_eq!(p.counter("join_partition_max_rows"), Some(100));
+        // Worker counters fold in additively.
+        let mut w = Profiler::new(true);
+        w.add_counter("join_bloom_rejected", 7);
+        p.absorb_worker("worker-0", 1, w);
+        assert_eq!(p.counter("join_bloom_rejected"), Some(22));
+        let out = p.render_table5();
+        assert!(out.contains("event counter"));
+        assert!(out.contains("join_bloom_rejected"));
+    }
+
+    #[test]
+    fn disabled_profiler_skips_counters() {
+        let mut p = Profiler::new(false);
+        p.add_counter("join_bloom_rejected", 3);
+        assert_eq!(p.counter("join_bloom_rejected"), None);
     }
 
     #[test]

@@ -703,3 +703,255 @@ fn hash_aggr_survives_dense_new_groups_after_selection() {
     assert_eq!(res.num_rows(), 2500);
     assert!(res.column_by_name("c").as_i64().iter().all(|&c| c == 1));
 }
+
+#[test]
+fn hash_join_empty_build_side() {
+    // An empty build table: the Bloom filter rejects every probe hash,
+    // so each join type must resolve without touching a bucket chain.
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("p")
+            .column("k", ColumnData::I64(vec![1, 2, 3]))
+            .build(),
+    );
+    db.register(
+        TableBuilder::new("b")
+            .column("k", ColumnData::I64(vec![]))
+            .column("v", ColumnData::I64(vec![]))
+            .build(),
+    );
+    let mk = |join_type, payload: Vec<(String, String)>| Plan::HashJoin {
+        build: Box::new(Plan::scan("b", &["k", "v"])),
+        probe: Box::new(Plan::scan("p", &["k"])),
+        build_keys: vec![col("k")],
+        probe_keys: vec![col("k")],
+        payload,
+        join_type,
+    };
+    let pay = vec![("v".to_string(), "v".to_string())];
+    let (res, prof) = execute(
+        &db,
+        &mk(JoinType::Inner, pay.clone()),
+        &ExecOptions::default().profiled(),
+    )
+    .expect("inner");
+    assert_eq!(res.num_rows(), 0);
+    assert_eq!(prof.counter("join_bloom_tested"), Some(3));
+    assert_eq!(prof.counter("join_bloom_rejected"), Some(3));
+    let (res, _) = execute(&db, &mk(JoinType::LeftOuter, pay), &opts()).expect("outer");
+    assert_eq!(res.column_by_name("k").as_i64(), &[1, 2, 3]);
+    assert_eq!(res.column_by_name("v").as_i64(), &[0, 0, 0]);
+    let (res, _) = execute(&db, &mk(JoinType::LeftSemi, vec![]), &opts()).expect("semi");
+    assert_eq!(res.num_rows(), 0);
+    let (res, _) = execute(&db, &mk(JoinType::LeftAnti, vec![]), &opts()).expect("anti");
+    assert_eq!(res.column_by_name("k").as_i64(), &[1, 2, 3]);
+}
+
+#[test]
+fn hash_join_build_larger_than_cache_budget_partitions() {
+    // A 20_000-row build side under a 1 KiB budget must split into the
+    // maximum number of radix partitions and still agree with the
+    // monolithic layout.
+    let n = 20_000i64;
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("b")
+            .column("k", ColumnData::I64((0..n).collect()))
+            .column("v", ColumnData::I64((0..n).map(|i| i * 3).collect()))
+            .build(),
+    );
+    db.register(
+        TableBuilder::new("p")
+            .column("k", ColumnData::I64((0..500).map(|i| i * 40).collect()))
+            .build(),
+    );
+    let plan = Plan::HashJoin {
+        build: Box::new(Plan::scan("b", &["k", "v"])),
+        probe: Box::new(Plan::scan("p", &["k"])),
+        build_keys: vec![col("k")],
+        probe_keys: vec![col("k")],
+        payload: vec![("v".into(), "v".into())],
+        join_type: JoinType::Inner,
+    };
+    let (mono, _) = execute(
+        &db,
+        &plan,
+        &ExecOptions::default().with_join_partition_bits(0),
+    )
+    .expect("monolithic");
+    let (part, prof) = execute(
+        &db,
+        &plan,
+        &ExecOptions::default()
+            .profiled()
+            .with_join_cache_budget(1024),
+    )
+    .expect("partitioned");
+    assert_eq!(part.row_strings(), mono.row_strings());
+    assert_eq!(part.num_rows(), 500);
+    let nparts = prof.counter("join_partitions").expect("partition count");
+    assert!(nparts > 1, "1 KiB budget must force partitioning");
+    assert!(
+        prof.counter("join_partition_max_rows").unwrap_or(0) < 20_000,
+        "partitioning must actually split the build rows"
+    );
+}
+
+#[test]
+fn hash_join_reset_midstream_and_rerun() {
+    // Abandon the probe mid-stream, reset(), and re-execute: the build
+    // table is rebuilt and the replay must equal a fresh run.
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("p")
+            .column("k", ColumnData::I64((0..100).map(|i| i % 10).collect()))
+            .column("v", ColumnData::I64((0..100).collect()))
+            .build(),
+    );
+    db.register(
+        TableBuilder::new("b")
+            .column("k", ColumnData::I64(vec![0, 2, 4, 6, 8]))
+            .column("w", ColumnData::I64(vec![10, 12, 14, 16, 18]))
+            .build(),
+    );
+    let plan = Plan::HashJoin {
+        build: Box::new(Plan::scan("b", &["k", "w"])),
+        probe: Box::new(Plan::scan("p", &["k", "v"])),
+        build_keys: vec![col("k")],
+        probe_keys: vec![col("k")],
+        payload: vec![("w".into(), "w".into())],
+        join_type: JoinType::Inner,
+    };
+    let eopts = ExecOptions::with_vector_size(16); // many probe batches
+    let mut op = plan.bind(&db, &eopts).expect("binds");
+    let mut prof = x100_engine::Profiler::new(false);
+    assert!(op.next(&mut prof).is_some(), "first batch");
+    op.reset();
+    let replay = x100_engine::session::run_operator(op.as_mut(), &mut prof);
+    let (fresh, _) = execute(&db, &plan, &eopts).expect("fresh");
+    assert_eq!(replay.row_strings(), fresh.row_strings());
+    assert_eq!(replay.num_rows(), 50);
+}
+
+#[test]
+fn hash_join_n_to_m_duplicates_across_vector_boundaries() {
+    // Duplicate keys on both sides, with both dataflows spanning many
+    // 8-row vectors: every (probe, build) pairing must surface exactly
+    // once. Build: key 1 x3, key 2 x2 (plus noise); probe: 60 rows
+    // cycling keys 0..5.
+    let mut db = Database::new();
+    let build_keys = [1i64, 9, 1, 7, 2, 1, 2, 5, 11, 13];
+    db.register(
+        TableBuilder::new("b")
+            .column("k", ColumnData::I64(build_keys.to_vec()))
+            .column(
+                "id",
+                ColumnData::I64((0..build_keys.len() as i64).collect()),
+            )
+            .build(),
+    );
+    let probe_keys: Vec<i64> = (0..60).map(|i| i % 5).collect();
+    db.register(
+        TableBuilder::new("p")
+            .column("k", ColumnData::I64(probe_keys.clone()))
+            .column("v", ColumnData::I64((0..60).collect()))
+            .build(),
+    );
+    let plan = Plan::HashJoin {
+        build: Box::new(Plan::scan("b", &["k", "id"])),
+        probe: Box::new(Plan::scan("p", &["k", "v"])),
+        build_keys: vec![col("k")],
+        probe_keys: vec![col("k")],
+        payload: vec![("id".into(), "id".into())],
+        join_type: JoinType::Inner,
+    };
+    let (res, _) = execute(&db, &plan, &ExecOptions::with_vector_size(8)).expect("runs");
+    // Expected multiset: each probe row pairs with every build row of
+    // the same key.
+    let mut expected = Vec::new();
+    for (i, &pk) in probe_keys.iter().enumerate() {
+        for (id, &bk) in build_keys.iter().enumerate() {
+            if pk == bk {
+                expected.push((i as i64, id as i64));
+            }
+        }
+    }
+    let mut got: Vec<(i64, i64)> = (0..res.num_rows())
+        .map(|r| {
+            let v = res.value(r, res.col_index("v").expect("v"));
+            let id = res.value(r, res.col_index("id").expect("id"));
+            match (v, id) {
+                (Value::I64(v), Value::I64(id)) => (v, id),
+                other => panic!("unexpected row {other:?}"),
+            }
+        })
+        .collect();
+    expected.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, expected);
+    assert_eq!(res.num_rows(), 12 * 3 + 12 * 2); // key1: 12x3, key2: 12x2
+}
+
+#[test]
+fn left_outer_defaults_cover_every_payload_type() {
+    // push_default regression: an unmatched outer row must supply a
+    // zero/empty default for payload columns of every storable type.
+    let mut db = Database::new();
+    db.register(
+        TableBuilder::new("p")
+            .column("k", ColumnData::I64(vec![1, 2]))
+            .build(),
+    );
+    db.register(
+        TableBuilder::new("b")
+            .column("k", ColumnData::I64(vec![2]))
+            .column("c_i8", ColumnData::I8(vec![-8]))
+            .column("c_i16", ColumnData::I16(vec![-16]))
+            .column("c_i32", ColumnData::I32(vec![-32]))
+            .column("c_i64", ColumnData::I64(vec![-64]))
+            .column("c_u8", ColumnData::U8(vec![8]))
+            .column("c_u16", ColumnData::U16(vec![16]))
+            .column("c_u32", ColumnData::U32(vec![32]))
+            .column("c_u64", ColumnData::U64(vec![64]))
+            .column("c_f64", ColumnData::F64(vec![6.4]))
+            .column("c_str", {
+                let mut c = ColumnData::new(ScalarType::Str);
+                c.push_value(&Value::Str("match".into()));
+                c
+            })
+            .build(),
+    );
+    let cols = [
+        "c_i8", "c_i16", "c_i32", "c_i64", "c_u8", "c_u16", "c_u32", "c_u64", "c_f64", "c_str",
+    ];
+    let mut scan_cols = vec!["k"];
+    scan_cols.extend(cols);
+    let plan = Plan::HashJoin {
+        build: Box::new(Plan::scan("b", &scan_cols)),
+        probe: Box::new(Plan::scan("p", &["k"])),
+        build_keys: vec![col("k")],
+        probe_keys: vec![col("k")],
+        payload: cols
+            .iter()
+            .map(|c| (c.to_string(), c.to_string()))
+            .collect(),
+        join_type: JoinType::LeftOuter,
+    };
+    let (res, _) = execute(&db, &plan, &opts()).expect("runs");
+    assert_eq!(res.column_by_name("k").as_i64(), &[1, 2]);
+    // Row 0 (k=1) is unmatched: all defaults. Row 1 (k=2) matched.
+    let at = |r: usize, name: &str| res.value(r, res.col_index(name).expect(name));
+    assert_eq!(at(0, "c_i8"), Value::I8(0));
+    assert_eq!(at(0, "c_i16"), Value::I16(0));
+    assert_eq!(at(0, "c_i32"), Value::I32(0));
+    assert_eq!(at(0, "c_i64"), Value::I64(0));
+    assert_eq!(at(0, "c_u8"), Value::U8(0));
+    assert_eq!(at(0, "c_u16"), Value::U16(0));
+    assert_eq!(at(0, "c_u32"), Value::U32(0));
+    assert_eq!(at(0, "c_u64"), Value::U64(0));
+    assert_eq!(at(0, "c_f64"), Value::F64(0.0));
+    assert_eq!(at(0, "c_str"), Value::Str("".into()));
+    assert_eq!(at(1, "c_i8"), Value::I8(-8));
+    assert_eq!(at(1, "c_f64"), Value::F64(6.4));
+    assert_eq!(at(1, "c_str"), Value::Str("match".into()));
+}

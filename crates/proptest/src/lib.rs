@@ -53,7 +53,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
     }
 }
 

@@ -90,6 +90,26 @@ pub fn map_hash_f64_col(res: &mut [u64], col: &[f64], sel: Option<&SelVec>) {
     });
 }
 
+/// Rehash with an `f64` key column: combine the bit pattern of a further
+/// `f64` key into existing hash values, normalizing `-0.0` to `0.0` so both
+/// zeroes land in the same bucket (matching `map_hash_f64_col`).
+#[inline]
+pub fn map_rehash_f64_col(res: &mut [u64], col: &[f64], sel: Option<&SelVec>) {
+    let bits = |x: f64| if x == 0.0 { 0.0f64 } else { x }.to_bits();
+    match sel {
+        None => {
+            for (r, &x) in res.iter_mut().zip(col.iter()) {
+                *r = mix(*r, bits(x));
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = mix(res[i], bits(col[i]));
+            }
+        }
+    }
+}
+
 /// Hash a string key column.
 #[inline]
 pub fn map_hash_str_col(res: &mut [u64], col: &crate::StrVec, sel: Option<&SelVec>) {
@@ -222,6 +242,33 @@ mod tests {
         let mut h = [0u64; 2];
         map_hash_f64_col(&mut h, &[0.0, -0.0], None);
         assert_eq!(h[0], h[1]);
+    }
+
+    #[test]
+    fn f64_rehash_chains_and_normalizes() {
+        // (1, 2.5) and (2, 2.5) must differ; (1, 2.5) twice identical.
+        let a = [1i64, 2, 1];
+        let b = [2.5f64, 2.5, 2.5];
+        let mut h = [0u64; 3];
+        map_hash_i64_col(&mut h, &a, None);
+        map_rehash_f64_col(&mut h, &b, None);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+        // -0.0 chains like 0.0.
+        let mut h2 = [0u64; 2];
+        map_hash_i64_col(&mut h2, &[7, 7], None);
+        map_rehash_f64_col(&mut h2, &[0.0, -0.0], None);
+        assert_eq!(h2[0], h2[1]);
+    }
+
+    #[test]
+    fn f64_rehash_respects_sel() {
+        let sel = SelVec::from_positions(vec![1]);
+        let mut h = [5u64, 5, 5];
+        map_rehash_f64_col(&mut h, &[1.0, 2.0, 3.0], Some(&sel));
+        assert_eq!(h[0], 5);
+        assert_eq!(h[2], 5);
+        assert_ne!(h[1], 5);
     }
 
     #[test]

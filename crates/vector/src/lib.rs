@@ -26,6 +26,7 @@ pub mod compound;
 pub mod fetch;
 pub mod hash;
 pub mod map;
+pub mod partition;
 pub mod registry;
 pub mod sel;
 pub mod select;

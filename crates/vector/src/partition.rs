@@ -1,0 +1,426 @@
+//! Radix partitioning and blocked Bloom-filter primitives for the
+//! cache-conscious hash join.
+//!
+//! The paper's core argument (§3, Table 2) is that the hot loop must stay
+//! in-cache: one monolithic join hash table blows past L2 as the build
+//! side grows, and every probe becomes a cache miss. Radix-partitioning
+//! the build side on the *top* bits of the key hash yields `2^B`
+//! independent sub-tables, each small enough to stay cache-resident
+//! while it is probed.
+//!
+//! Hash-bit budget (one 64-bit hash serves four consumers, all disjoint):
+//!
+//! ```text
+//!   bits  0..20   per-partition bucket index (table sizes ≤ 2^20 slots)
+//!   bits 20..42   Bloom-filter block index
+//!   bits 42..54   Bloom-filter bit positions (2 × 6 bits)
+//!   bits 54..64   radix partition id (top `B ≤ 10` bits)
+//! ```
+//!
+//! Everything here follows the primitive rules of §4.2: whole-vector
+//! calls, `Option<&SelVec>` selection awareness, positional writes.
+
+use crate::sel::SelVec;
+use crate::vector::Vector;
+
+/// Upper bound on radix partition bits, keeping the partition-id bits
+/// disjoint from the Bloom bit-position field (see module docs).
+pub const MAX_RADIX_BITS: u32 = 10;
+
+/// `map_radix_partition_u64_col`: partition id from the top `bits` bits of
+/// each hash (`res[i] = hashes[i] >> (64 - bits)`).
+///
+/// The *top* bits are used because per-partition bucket indices consume
+/// the *low* bits — deriving both from the same bits would collapse every
+/// partition's rows into a handful of buckets.
+#[inline]
+pub fn map_radix_partition_u64_col(
+    res: &mut [u32],
+    hashes: &[u64],
+    bits: u32,
+    sel: Option<&SelVec>,
+) {
+    assert!(bits > 0 && bits <= MAX_RADIX_BITS, "bits out of range");
+    let shift = 64 - bits;
+    match sel {
+        None => {
+            for (r, &h) in res.iter_mut().zip(hashes.iter()) {
+                *r = (h >> shift) as u32;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[i] = (hashes[i] >> shift) as u32;
+            }
+        }
+    }
+}
+
+/// Histogram pass: `hist[parts[i]] += 1` over the selected positions.
+/// `hist` must be sized `2^bits`; it is zeroed first.
+#[inline]
+pub fn radix_histogram_u32_col(hist: &mut [u32], parts: &[u32], n: usize, sel: Option<&SelVec>) {
+    hist.fill(0);
+    match sel {
+        None => {
+            for &p in parts.iter().take(n) {
+                hist[p as usize] += 1;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                hist[parts[i] as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Exclusive prefix sum of a histogram → partition offsets
+/// (`offsets.len() == hist.len() + 1`; partition `p` owns rows
+/// `offsets[p]..offsets[p+1]` of the partition-ordered store).
+pub fn offsets_from_histogram(hist: &[u32]) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(hist.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in hist {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Scatter-position pass: `pos[i] = cursor[parts[i]]++`, with cursors
+/// starting at the partition offsets. After this pass, `pos[i]` is row
+/// `i`'s destination in the partition-ordered store, and rows keep their
+/// arrival order within a partition (a *stable* scatter — required for
+/// deterministic join output).
+#[inline]
+pub fn radix_scatter_positions(
+    pos: &mut [u32],
+    parts: &[u32],
+    offsets: &[u32],
+    n: usize,
+    sel: Option<&SelVec>,
+) {
+    let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+    match sel {
+        None => {
+            for (r, &p) in pos.iter_mut().zip(parts.iter()).take(n) {
+                let c = &mut cursor[p as usize];
+                *r = *c;
+                *c += 1;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                let c = &mut cursor[parts[i] as usize];
+                pos[i] = *c;
+                *c += 1;
+            }
+        }
+    }
+}
+
+/// Generic scatter: `res[pos[i]] = col[i]` at selected positions — the
+/// positional-write dual of [`crate::fetch::fetch`].
+#[inline]
+pub fn scatter<T: Copy>(res: &mut [T], pos: &[u32], col: &[T], sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for (&p, &x) in pos.iter().zip(col.iter()) {
+                res[p as usize] = x;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                res[pos[i] as usize] = col[i];
+            }
+        }
+    }
+}
+
+macro_rules! scatter_instance {
+    ($name:ident, $ty:ty) => {
+        /// Macro-generated scatter instance: `res[pos[i]] = col[i]`.
+        #[inline]
+        pub fn $name(res: &mut [$ty], pos: &[u32], col: &[$ty], sel: Option<&SelVec>) {
+            scatter(res, pos, col, sel);
+        }
+    };
+}
+
+scatter_instance!(map_scatter_u32_col_i8_col, i8);
+scatter_instance!(map_scatter_u32_col_i16_col, i16);
+scatter_instance!(map_scatter_u32_col_i32_col, i32);
+scatter_instance!(map_scatter_u32_col_i64_col, i64);
+scatter_instance!(map_scatter_u32_col_u8_col, u8);
+scatter_instance!(map_scatter_u32_col_u16_col, u16);
+scatter_instance!(map_scatter_u32_col_u32_col, u32);
+scatter_instance!(map_scatter_u32_col_u64_col, u64);
+scatter_instance!(map_scatter_u32_col_f64_col, f64);
+
+/// Typed gather over a whole [`Vector`]: `dst[i] = src[idx[i]]`, resizing
+/// `dst` to `idx.len()`. Strings rebuild through the `StrVec` gather path;
+/// every fixed-width type routes through the macro-generated fetch
+/// kernels. Used to reorder build-side columns into partition order.
+pub fn gather_rows(dst: &mut Vector, src: &Vector, idx: &[u32]) {
+    use crate::fetch;
+    let n = idx.len();
+    match (dst, src) {
+        (Vector::Str(d), Vector::Str(s)) => fetch::fetch_str(d, s, idx, n, None),
+        (d, s) => {
+            d.resize_zeroed(n);
+            match (d, s) {
+                (Vector::I8(d), Vector::I8(s)) => fetch::map_fetch_u32_col_i8_col(d, s, idx, None),
+                (Vector::I16(d), Vector::I16(s)) => {
+                    fetch::map_fetch_u32_col_i16_col(d, s, idx, None)
+                }
+                (Vector::I32(d), Vector::I32(s)) => {
+                    fetch::map_fetch_u32_col_i32_col(d, s, idx, None)
+                }
+                (Vector::I64(d), Vector::I64(s)) => {
+                    fetch::map_fetch_u32_col_i64_col(d, s, idx, None)
+                }
+                (Vector::U8(d), Vector::U8(s)) => fetch::map_fetch_u32_col_u8_col(d, s, idx, None),
+                (Vector::U16(d), Vector::U16(s)) => {
+                    fetch::map_fetch_u32_col_u16_col(d, s, idx, None)
+                }
+                (Vector::U32(d), Vector::U32(s)) => {
+                    fetch::map_fetch_u32_col_u32_col(d, s, idx, None)
+                }
+                (Vector::U64(d), Vector::U64(s)) => fetch::fetch(d, s, idx, None),
+                (Vector::F64(d), Vector::F64(s)) => {
+                    fetch::map_fetch_u32_col_f64_col(d, s, idx, None)
+                }
+                (Vector::Bool(d), Vector::Bool(s)) => fetch::fetch(d, s, idx, None),
+                (d, s) => panic!(
+                    "gather_rows type mismatch: dst {:?}, src {:?}",
+                    d.scalar_type(),
+                    s.scalar_type()
+                ),
+            }
+        }
+    }
+}
+
+/// A blocked Bloom filter over build-side key hashes (one cache-line-friendly
+/// 64-bit word per block, two bit positions per key).
+///
+/// Probed *before* the partitioned hash table: a negative test proves the
+/// key is absent from the whole build side, so the probe tuple skips the
+/// chain walk entirely. Sized at ~1 word per 8 build rows (≈ 8 bits/row,
+/// two probes → roughly 5–10 % false positives), never any false negative.
+#[derive(Debug, Clone)]
+pub struct BlockedBloom {
+    words: Vec<u64>,
+    mask: usize,
+}
+
+impl BlockedBloom {
+    /// Allocate a filter for an expected `n` inserted hashes.
+    pub fn with_capacity(n: usize) -> Self {
+        let nwords = (n / 8).max(1).next_power_of_two();
+        BlockedBloom {
+            words: vec![0; nwords],
+            mask: nwords - 1,
+        }
+    }
+
+    /// Block index + 2-bit mask for a hash (bit layout in module docs).
+    #[inline(always)]
+    fn slot(&self, h: u64) -> (usize, u64) {
+        let block = ((h >> 20) as usize) & self.mask;
+        let m = (1u64 << ((h >> 42) & 63)) | (1u64 << ((h >> 48) & 63));
+        (block, m)
+    }
+
+    /// Insert one hash.
+    #[inline]
+    pub fn insert(&mut self, h: u64) {
+        let (b, m) = self.slot(h);
+        self.words[b] |= m;
+    }
+
+    /// Test one hash: `false` proves the hash was never inserted.
+    #[inline]
+    pub fn test(&self, h: u64) -> bool {
+        let (b, m) = self.slot(h);
+        self.words[b] & m == m
+    }
+
+    /// Filter size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// `bloom_insert_u64_col`: insert a hash column into the filter.
+#[inline]
+pub fn bloom_insert_u64_col(bloom: &mut BlockedBloom, hashes: &[u64], sel: Option<&SelVec>) {
+    match sel {
+        None => {
+            for &h in hashes {
+                bloom.insert(h);
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                bloom.insert(hashes[i]);
+            }
+        }
+    }
+}
+
+/// `bloom_test_u64_col`: test a hash column against the filter, writing
+/// `res[i] = maybe-present` positionally. Returns the number of *rejected*
+/// (provably absent) tuples among those tested, for profiler counters.
+#[inline]
+pub fn bloom_test_u64_col(
+    res: &mut [bool],
+    bloom: &BlockedBloom,
+    hashes: &[u64],
+    sel: Option<&SelVec>,
+) -> u64 {
+    let mut rejected = 0u64;
+    match sel {
+        None => {
+            for (r, &h) in res.iter_mut().zip(hashes.iter()) {
+                let hit = bloom.test(h);
+                *r = hit;
+                rejected += !hit as u64;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                let hit = bloom.test(hashes[i]);
+                res[i] = hit;
+                rejected += !hit as u64;
+            }
+        }
+    }
+    rejected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_one;
+    use crate::vector::StrVec;
+
+    #[test]
+    fn partition_ids_use_top_bits_and_stay_in_range() {
+        let hashes: Vec<u64> = (0..1000u64).map(hash_one).collect();
+        let mut parts = vec![0u32; hashes.len()];
+        map_radix_partition_u64_col(&mut parts, &hashes, 4, None);
+        assert!(parts.iter().all(|&p| p < 16));
+        for (i, &h) in hashes.iter().enumerate() {
+            assert_eq!(parts[i], (h >> 60) as u32);
+        }
+        // A golden-ratio hash should spread 1000 keys over all 16 partitions.
+        let mut seen = [false; 16];
+        for &p in &parts {
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn histogram_offsets_and_stable_scatter_roundtrip() {
+        let hashes: Vec<u64> = (0..257u64).map(hash_one).collect();
+        let n = hashes.len();
+        let bits = 3u32;
+        let nparts = 1usize << bits;
+        let mut parts = vec![0u32; n];
+        map_radix_partition_u64_col(&mut parts, &hashes, bits, None);
+        let mut hist = vec![0u32; nparts];
+        radix_histogram_u32_col(&mut hist, &parts, n, None);
+        assert_eq!(hist.iter().sum::<u32>(), n as u32);
+        let offsets = offsets_from_histogram(&hist);
+        assert_eq!(offsets.len(), nparts + 1);
+        assert_eq!(offsets[nparts], n as u32);
+
+        let mut pos = vec![0u32; n];
+        radix_scatter_positions(&mut pos, &parts, &offsets, n, None);
+        // Scatter positions are a permutation of 0..n.
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+
+        // Scatter row ids, then verify partition-contiguity and stability.
+        let rowids: Vec<u32> = (0..n as u32).collect();
+        let mut order = vec![0u32; n];
+        map_scatter_u32_col_u32_col(&mut order, &pos, &rowids, None);
+        for p in 0..nparts {
+            let rows = &order[offsets[p] as usize..offsets[p + 1] as usize];
+            assert!(rows.iter().all(|&r| parts[r as usize] as usize == p));
+            // Stable: original arrival order preserved within the partition.
+            assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn scatter_respects_sel() {
+        let pos = [2u32, 0, 1];
+        let col = [10i64, 20, 30];
+        let sel = SelVec::from_positions(vec![0, 2]);
+        let mut res = [-1i64; 3];
+        map_scatter_u32_col_i64_col(&mut res, &pos, &col, Some(&sel));
+        assert_eq!(res, [-1, 30, 10]);
+    }
+
+    #[test]
+    fn gather_rows_all_types() {
+        let idx = [2u32, 0, 2];
+        let src = Vector::I32(vec![5, 6, 7]);
+        let mut dst = Vector::with_capacity(crate::ScalarType::I32, 0);
+        gather_rows(&mut dst, &src, &idx);
+        assert_eq!(dst.as_i32(), &[7, 5, 7]);
+
+        let s: StrVec = ["a", "b", "c"].into_iter().collect();
+        let mut dst = Vector::Str(StrVec::new());
+        gather_rows(&mut dst, &Vector::Str(s), &idx);
+        assert_eq!(dst.as_str().iter().collect::<Vec<_>>(), vec!["c", "a", "c"]);
+
+        let mut dst = Vector::Bool(vec![]);
+        gather_rows(&mut dst, &Vector::Bool(vec![true, false, true]), &idx);
+        assert_eq!(dst.as_bool(), &[true, true, true]);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives_and_some_rejects() {
+        let build: Vec<u64> = (0..1000u64).map(|k| hash_one(k * 2)).collect();
+        let mut bloom = BlockedBloom::with_capacity(build.len());
+        bloom_insert_u64_col(&mut bloom, &build, None);
+        // Every inserted hash must test positive.
+        let mut res = vec![false; build.len()];
+        let rejected = bloom_test_u64_col(&mut res, &bloom, &build, None);
+        assert_eq!(rejected, 0);
+        assert!(res.iter().all(|&r| r));
+        // Probing disjoint keys must reject most of them.
+        let probe: Vec<u64> = (0..1000u64).map(|k| hash_one(k * 2 + 1)).collect();
+        let mut res = vec![true; probe.len()];
+        let rejected = bloom_test_u64_col(&mut res, &bloom, &probe, None);
+        assert!(rejected > 500, "only {rejected} of 1000 rejected");
+    }
+
+    #[test]
+    fn bloom_test_respects_sel() {
+        let mut bloom = BlockedBloom::with_capacity(4);
+        bloom_insert_u64_col(&mut bloom, &[hash_one(1)], None);
+        let hashes = [hash_one(1), hash_one(2), hash_one(1)];
+        let sel = SelVec::from_positions(vec![0, 1]);
+        let mut res = [false; 3];
+        bloom_test_u64_col(&mut res, &bloom, &hashes, Some(&sel));
+        assert!(res[0]);
+        assert!(!res[2], "unselected position must stay untouched");
+    }
+
+    #[test]
+    fn empty_build_bloom_rejects_everything() {
+        let bloom = BlockedBloom::with_capacity(0);
+        let hashes: Vec<u64> = (0..100u64).map(hash_one).collect();
+        let mut res = vec![true; hashes.len()];
+        let rejected = bloom_test_u64_col(&mut res, &bloom, &hashes, None);
+        assert_eq!(rejected, 100);
+    }
+}

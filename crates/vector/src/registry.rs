@@ -145,6 +145,33 @@ impl PrimitiveRegistry {
             );
         }
         reg.register_owned(
+            "map_radix_partition_u64_col".into(),
+            PrimitiveKind::Hash,
+            "radix partition id from top hash bits",
+        );
+        reg.register_owned(
+            "radix_scatter_positions".into(),
+            PrimitiveKind::Hash,
+            "stable scatter-position pass (histogram cursors)",
+        );
+        reg.register_owned(
+            "bloom_insert_u64_col".into(),
+            PrimitiveKind::Hash,
+            "blocked Bloom filter insert",
+        );
+        reg.register_owned(
+            "bloom_test_u64_col".into(),
+            PrimitiveKind::Hash,
+            "blocked Bloom filter prepass test",
+        );
+        for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64", "f64"] {
+            reg.register_owned(
+                format!("map_scatter_u32_col_{ty}_col"),
+                PrimitiveKind::Fetch,
+                "positional scatter (generated)",
+            );
+        }
+        reg.register_owned(
             "map_directgrp_u8_col".into(),
             PrimitiveKind::Hash,
             "direct-group start",
@@ -317,6 +344,11 @@ mod tests {
             "aggr_sum_f64_col_u32_col",
             "map_fetch_u8_col_f64_col",
             "map_hash_str_col",
+            "map_rehash_f64_col",
+            "map_radix_partition_u64_col",
+            "map_scatter_u32_col_i64_col",
+            "bloom_insert_u64_col",
+            "bloom_test_u64_col",
             "map_fused_sub_f64_val_f64_col_mul_f64_col",
         ] {
             assert!(reg.contains(sig), "missing {sig}");
