@@ -8,17 +8,26 @@
 //! on a single-core host every configuration degenerates to ~1×, so the
 //! JSON records `available_parallelism` alongside the timings.
 //!
-//! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536] [--smoke]`
+//! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536] [--smoke]
+//! [--fault-rate 0.0]`
 //!
 //! `--smoke` shrinks the run to a CI-sized correctness pass (SF 0.01,
 //! one rep): it still sweeps every thread count and fails on mismatch,
 //! but makes no timing claims.
+//!
+//! `--fault-rate` injects chunk-read failures at the given probability
+//! through the buffer manager; the run must still match the sequential
+//! answer (faults are absorbed by bounded retry). Only effective when
+//! built with `--features fault-inject`; inert otherwise.
 
+use std::sync::Arc;
 use std::time::Instant;
 use tpch::gen::{generate_lineitem_q1, GenConfig};
 use tpch::queries::q01;
 use x100_bench::{arg_f64, arg_flag, arg_usize, secs};
 use x100_engine::session::{execute, ExecOptions};
+use x100_engine::FaultPlan;
+use x100_storage::ColumnBM;
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.total_cmp(b));
@@ -48,17 +57,35 @@ fn main() {
     let sf = arg_f64("--sf", if smoke { 0.01 } else { 0.1 });
     let reps = arg_usize("--reps", if smoke { 1 } else { 5 });
     let morsel = arg_usize("--morsel", x100_engine::DEFAULT_MORSEL_SIZE);
+    let fault_rate = arg_f64("--fault-rate", 0.0);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let li = generate_lineitem_q1(&GenConfig::new(sf));
     let rows = li.len();
-    let db = tpch::build_x100_q1_db(&li);
+    let mut db = tpch::build_x100_q1_db(&li);
+    if fault_rate > 0.0 {
+        // Faults are injected at the chunk-read layer, so the scans
+        // must be routed through a buffer manager.
+        db.attach_buffer_manager(Arc::new(ColumnBM::with_chunk_bytes(4096, 64 * 1024)));
+    }
+    let fault_plan = (fault_rate > 0.0).then(|| FaultPlan {
+        max_retries: 32,
+        backoff_base_us: 0,
+        ..FaultPlan::with_rate(fault_rate, 0xC1D7_2005)
+    });
     let plan = q01::x100_plan();
 
     let (seq, _) = execute(&db, &plan, &ExecOptions::default()).expect("sequential q1");
     let reference = q01::rows_from_x100(&seq);
 
-    println!("TPC-H Q1, SF {sf} ({rows} rows), morsel {morsel}, {cores} core(s) available");
+    println!(
+        "TPC-H Q1, SF {sf} ({rows} rows), morsel {morsel}, {cores} core(s) available{}",
+        if fault_rate > 0.0 {
+            format!(", chunk fault rate {fault_rate}")
+        } else {
+            String::new()
+        }
+    );
     println!(
         "{:>8} {:>12} {:>9}  check",
         "threads", "median (s)", "speedup"
@@ -67,9 +94,12 @@ fn main() {
     let mut results: Vec<(usize, f64, bool)> = Vec::new();
     let mut base = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
-        let opts = ExecOptions::default()
+        let mut opts = ExecOptions::default()
             .parallel(threads)
             .with_morsel_size(morsel);
+        if let Some(fp) = &fault_plan {
+            opts = opts.with_fault_plan(fp.clone());
+        }
         let mut times = Vec::with_capacity(reps);
         let mut ok = true;
         for _ in 0..reps {
@@ -98,6 +128,7 @@ fn main() {
         "  \"rows\": {rows},\n  \"reps\": {reps},\n  \"morsel_size\": {morsel},\n"
     ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"fault_rate\": {fault_rate},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, (threads, med, ok)) in results.iter().enumerate() {
         let speedup = if *med > 0.0 { base / med } else { 0.0 };

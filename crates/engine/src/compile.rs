@@ -114,7 +114,8 @@ pub struct ExprProg {
     ty: ScalarType,
 }
 
-/// Errors from binding / lowering an expression against a dataflow shape.
+/// Errors from binding / lowering an expression against a dataflow
+/// shape, or from the resource governor during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
     /// A referenced column is not in the input shape.
@@ -123,6 +124,28 @@ pub enum PlanError {
     TypeMismatch(String),
     /// A table or plan-structure problem.
     Invalid(String),
+    /// A stateful operator would exceed the query's memory budget.
+    ResourceExhausted {
+        /// Operator that requested the memory (e.g. `hash-join build`).
+        operator: String,
+        /// Bytes the operator wanted charged in total.
+        requested: usize,
+        /// The query's budget in bytes.
+        budget: usize,
+    },
+    /// The query's cancel token was triggered.
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
+    /// A morsel worker panicked; siblings were cancelled and joined.
+    WorkerPanic {
+        /// Index of the panicking worker.
+        worker: usize,
+        /// Stringified panic payload.
+        cause: String,
+    },
+    /// A storage chunk read kept failing after its retry budget.
+    Io(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -131,6 +154,20 @@ impl std::fmt::Display for PlanError {
             PlanError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             PlanError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             PlanError::Invalid(m) => write!(f, "invalid plan: {m}"),
+            PlanError::ResourceExhausted {
+                operator,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "resource exhausted: {operator} needs {requested} bytes, budget is {budget}"
+            ),
+            PlanError::Cancelled => write!(f, "query cancelled"),
+            PlanError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            PlanError::WorkerPanic { worker, cause } => {
+                write!(f, "worker {worker} panicked: {cause}")
+            }
+            PlanError::Io(m) => write!(f, "storage I/O error: {m}"),
         }
     }
 }

@@ -15,6 +15,8 @@
 //! * [`plan`] — declarative plan trees bound into operator pipelines.
 //! * [`parser`] / [`render`] — the textual X100 algebra of the paper's
 //!   Figs. 6 & 9: parse it, and pretty-print plans back (EXPLAIN).
+//! * [`govern`] — the per-query resource governor: memory budgets,
+//!   cancellation/deadlines, worker-panic containment, fault injection.
 //! * [`profile`] — per-primitive and per-operator tracing (Table 5).
 //! * [`session`] — the catalog ([`Database`]), execution options
 //!   (vector size, select strategy, compound toggle), and result
@@ -23,6 +25,7 @@
 pub mod batch;
 pub mod compile;
 pub mod expr;
+pub mod govern;
 pub mod ops;
 pub mod parser;
 pub mod plan;
@@ -36,9 +39,11 @@ pub use batch::{Batch, OutField};
 pub use compile::PlanError as EngineError;
 pub use compile::{ExprProg, PlanError};
 pub use expr::{AggExpr, AggFunc, ArithOp, Expr};
+pub use govern::{CancelToken, MemTracker, QueryContext};
 pub use ops::{AggrPartial, MergeAggrOp, MergeSpec, Operator, PartialAcc};
 pub use parser::{parse_expr, parse_plan};
 pub use plan::Plan;
 pub use profile::{Profiler, TraceStat, WorkerTrace};
 pub use render::{render_expr, render_plan};
 pub use session::{Database, ExecOptions, QueryResult, DEFAULT_MORSEL_SIZE};
+pub use x100_storage::{FaultPlan, PinnedFault};

@@ -19,6 +19,7 @@
 use crate::batch::{Batch, OutField, VecPool};
 use crate::compile::ExprProg;
 use crate::expr::{AggExpr, AggFunc, Expr};
+use crate::govern::{MemTracker, QueryContext};
 use crate::ops::{eq_at, extend_range, push_from, Operator};
 use crate::profile::Profiler;
 use crate::PlanError;
@@ -442,6 +443,7 @@ pub struct HashAggrOp {
     pools: Vec<VecPool>,
     out: Batch,
     vector_size: usize,
+    mem: MemTracker,
 }
 
 impl HashAggrOp {
@@ -457,6 +459,7 @@ impl HashAggrOp {
         aggs: &[AggExpr],
         vector_size: usize,
         compound: bool,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         assert!(key_dicts.is_empty() || key_dicts.len() == keys.len());
         let mut key_progs = Vec::new();
@@ -508,12 +511,22 @@ impl HashAggrOp {
             pools,
             out: Batch::new(),
             vector_size,
+            mem: MemTracker::new(ctx, "hash aggregation table"),
         })
     }
 
+    /// The hash table's current footprint, charged against the budget.
+    fn footprint(&self) -> usize {
+        self.buckets.len() * 4
+            + self.group_hashes.len() * 8
+            + self.key_store.iter().map(|v| v.byte_size()).sum::<usize>()
+            + self.group_counts.len() * 8
+            + self.aggs.len() * self.n_groups * 8
+    }
+
     /// Consume the whole child dataflow into the hash table.
-    fn build(&mut self, prof: &mut Profiler) {
-        while let Some(batch) = self.child.next(prof) {
+    fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        while let Some(batch) = self.child.next(prof)? {
             let t_op = prof.start();
             let n = batch.len;
             let sel = batch.sel.as_deref();
@@ -608,8 +621,10 @@ impl HashAggrOp {
                 agg.update(batch, &self.grp_buf, sel, self.n_groups, prof);
             }
             prof.record_op("Aggr(HASH)", t_op, live);
+            self.mem.ensure(self.footprint())?;
         }
         self.built = true;
+        Ok(())
     }
 }
 
@@ -618,9 +633,9 @@ impl Operator for HashAggrOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
             // SQL semantics: an ungrouped aggregation over an empty
             // input still yields one row (count 0, sums 0).
             if self.key_progs.is_empty() && self.n_groups == 0 {
@@ -632,7 +647,7 @@ impl Operator for HashAggrOp {
             }
         }
         if self.emit_pos >= self.n_groups {
-            return None;
+            return Ok(None);
         }
         let start = self.emit_pos;
         let n = (self.n_groups - start).min(self.vector_size);
@@ -663,11 +678,12 @@ impl Operator for HashAggrOp {
             agg.emit(&mut v, start, n, &self.group_counts, prof);
             self.pools[nkeys + a].publish(v, &mut self.out);
         }
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
         self.child.reset();
+        self.mem.release_all();
         self.buckets = vec![0; 1024];
         self.group_hashes.clear();
         for v in &mut self.key_store {
@@ -686,9 +702,9 @@ impl Operator for HashAggrOp {
         }
     }
 
-    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Option<AggrPartial> {
+    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Result<Option<AggrPartial>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
         }
         // No ungrouped-empty synthesis here: the merge stage decides
         // whether the *combined* result is empty.
@@ -696,7 +712,7 @@ impl Operator for HashAggrOp {
             agg.acc.grow(self.n_groups, agg.init_value());
         }
         self.group_counts.resize(self.n_groups, 0);
-        Some(AggrPartial {
+        Ok(Some(AggrPartial {
             keys: std::mem::take(&mut self.key_store),
             counts: std::mem::take(&mut self.group_counts),
             accs: self
@@ -710,7 +726,7 @@ impl Operator for HashAggrOp {
                 )
                 .collect(),
             n_groups: self.n_groups,
-        })
+        }))
     }
 
     fn partial_merge_spec(&self) -> Option<MergeSpec> {
@@ -760,6 +776,7 @@ pub struct DirectAggrOp {
     pools: Vec<VecPool>,
     out: Batch,
     vector_size: usize,
+    mem: MemTracker,
 }
 
 impl DirectAggrOp {
@@ -773,6 +790,7 @@ impl DirectAggrOp {
         aggs: &[AggExpr],
         vector_size: usize,
         compound: bool,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         let mut slots = 1usize;
         let mut fields = Vec::new();
@@ -817,16 +835,21 @@ impl DirectAggrOp {
             pools,
             out: Batch::new(),
             vector_size,
+            mem: MemTracker::new(ctx, "direct aggregation table"),
         })
     }
 
-    fn build(&mut self, prof: &mut Profiler) {
-        // Pre-size accumulators to the full (small) domain.
+    fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        // Pre-size accumulators to the full (small) domain; the whole
+        // table is charged up front (its size is fixed by the key
+        // domain, not the data).
+        self.mem
+            .ensure(self.slots * (8 + self.aggs.len() * 8 + 4))?;
         self.group_counts.resize(self.slots, 0);
         for agg in &mut self.aggs {
             agg.acc.grow(self.slots, agg.init_value());
         }
-        while let Some(batch) = self.child.next(prof) {
+        while let Some(batch) = self.child.next(prof)? {
             let t_op = prof.start();
             let n = batch.len;
             let sel = batch.sel.as_deref();
@@ -889,6 +912,7 @@ impl DirectAggrOp {
             prof.record_op("Aggr(DIRECT)", t_op, live);
         }
         self.built = true;
+        Ok(())
     }
 
     /// Decode slot id into the key value for key `ki`.
@@ -907,12 +931,12 @@ impl Operator for DirectAggrOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
         }
         if self.emit_pos >= self.occupied.len() {
-            return None;
+            return Ok(None);
         }
         let start = self.emit_pos;
         let n = (self.occupied.len() - start).min(self.vector_size);
@@ -943,11 +967,12 @@ impl Operator for DirectAggrOp {
             }
             self.pools[nkeys + a].publish(v, &mut self.out);
         }
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
         self.child.reset();
+        self.mem.release_all();
         self.group_counts.clear();
         self.occupied.clear();
         self.built = false;
@@ -960,9 +985,9 @@ impl Operator for DirectAggrOp {
         }
     }
 
-    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Option<AggrPartial> {
+    fn take_partial_aggr(&mut self, prof: &mut Profiler) -> Result<Option<AggrPartial>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
         }
         // Compact the direct table down to occupied slots, emitting raw
         // key codes; the merge stage re-groups by (code…) tuples.
@@ -998,12 +1023,12 @@ impl Operator for DirectAggrOp {
                 }
             })
             .collect();
-        Some(AggrPartial {
+        Ok(Some(AggrPartial {
             keys,
             counts,
             accs,
             n_groups: n,
-        })
+        }))
     }
 
     fn partial_merge_spec(&self) -> Option<MergeSpec> {
@@ -1048,6 +1073,7 @@ pub struct OrdAggrOp {
     pools: Vec<VecPool>,
     out: Batch,
     vector_size: usize,
+    mem: MemTracker,
 }
 
 impl OrdAggrOp {
@@ -1058,6 +1084,7 @@ impl OrdAggrOp {
         aggs: &[AggExpr],
         vector_size: usize,
         compound: bool,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         let mut key_progs = Vec::new();
         let mut fields = Vec::new();
@@ -1093,11 +1120,12 @@ impl OrdAggrOp {
             pools,
             out: Batch::new(),
             vector_size,
+            mem: MemTracker::new(ctx, "ordered aggregation state"),
         })
     }
 
-    fn build(&mut self, prof: &mut Profiler) {
-        while let Some(batch) = self.child.next(prof) {
+    fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        while let Some(batch) = self.child.next(prof)? {
             let t_op = prof.start();
             let n = batch.len;
             let sel = batch.sel.as_deref();
@@ -1154,8 +1182,12 @@ impl OrdAggrOp {
                 agg.update(batch, &self.grp_buf, sel, self.n_groups, prof);
             }
             prof.record_op("Aggr(ORDERED)", t_op, live);
+            let bytes = self.done_keys.iter().map(|v| v.byte_size()).sum::<usize>()
+                + self.n_groups * (8 + self.aggs.len() * 8);
+            self.mem.ensure(bytes)?;
         }
         self.input_done = true;
+        Ok(())
     }
 }
 
@@ -1164,12 +1196,12 @@ impl Operator for OrdAggrOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.input_done {
-            self.build(prof);
+            self.build(prof)?;
         }
         if self.emit_pos >= self.n_groups {
-            return None;
+            return Ok(None);
         }
         let start = self.emit_pos;
         let n = (self.n_groups - start).min(self.vector_size);
@@ -1187,11 +1219,12 @@ impl Operator for OrdAggrOp {
             agg.emit(&mut v, start, n, &self.group_counts, prof);
             self.pools[nkeys + a].publish(v, &mut self.out);
         }
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
         self.child.reset();
+        self.mem.release_all();
         self.cur_keys = None;
         self.group_counts.clear();
         for v in &mut self.done_keys {

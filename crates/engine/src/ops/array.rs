@@ -58,9 +58,9 @@ impl Operator for ArrayOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if self.pos >= self.total {
-            return None;
+            return Ok(None);
         }
         let t0 = prof.start();
         let n = ((self.total - self.pos) as usize).min(self.vector_size);
@@ -82,7 +82,7 @@ impl Operator for ArrayOp {
         }
         self.pos += n as u64;
         prof.record_op("Array", t0, n);
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {

@@ -366,8 +366,10 @@ impl Operator for Fetch1JoinOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
-        let batch = self.child.next(prof)?;
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
+        let Some(batch) = self.child.next(prof)? else {
+            return Ok(None);
+        };
         let n = batch.len;
         let sel = batch.sel.as_deref();
         let live = batch.live();
@@ -398,7 +400,7 @@ impl Operator for Fetch1JoinOp {
             self.pools[k].publish(v, &mut self.out);
         }
         prof.record_op("Fetch1Join", t_op, live);
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
@@ -497,10 +499,10 @@ impl FetchNJoinOp {
     }
 
     /// Pull the next child batch and compute its expansion ranges.
-    fn refill(&mut self, prof: &mut Profiler) -> bool {
+    fn refill(&mut self, prof: &mut Profiler) -> Result<bool, PlanError> {
         loop {
-            let Some(batch) = self.child.next(prof) else {
-                return false;
+            let Some(batch) = self.child.next(prof)? else {
+                return Ok(false);
             };
             let sel = batch.sel.as_deref();
             let lo = self.lo_prog.eval(batch, sel, prof).as_u32().to_vec();
@@ -528,7 +530,7 @@ impl FetchNJoinOp {
             self.cur_cols = batch.columns.clone();
             self.pend_idx = 0;
             self.pend_off = 0;
-            return true;
+            return Ok(true);
         }
     }
 }
@@ -538,13 +540,13 @@ impl Operator for FetchNJoinOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if self.done {
-            return None;
+            return Ok(None);
         }
-        if self.pend_idx >= self.pending.len() && !self.refill(prof) {
+        if self.pend_idx >= self.pending.len() && !self.refill(prof)? {
             self.done = true;
-            return None;
+            return Ok(None);
         }
         let t_op = prof.start();
         // Fill up to vector_size expanded tuples.
@@ -596,7 +598,7 @@ impl Operator for FetchNJoinOp {
             self.pools[self.child_arity + j].publish(v, &mut self.out);
         }
         prof.record_op("FetchNJoin", t_op, n);
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {

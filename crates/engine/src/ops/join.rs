@@ -30,6 +30,7 @@ use super::aggr::hash_keys;
 use crate::batch::{Batch, OutField, SelPool, VecPool};
 use crate::compile::ExprProg;
 use crate::expr::Expr;
+use crate::govern::{panic_cause, MemTracker, QueryContext};
 use crate::ops::{eq_at, push_from, Operator};
 use crate::profile::Profiler;
 use crate::session::ExecOptions;
@@ -77,6 +78,7 @@ pub struct CartProdOp {
     #[allow(dead_code)]
     vector_size: usize,
     done: bool,
+    ctx: Arc<QueryContext>,
 }
 
 impl CartProdOp {
@@ -86,6 +88,7 @@ impl CartProdOp {
         table: Arc<Table>,
         fetch: &[(String, String)],
         vector_size: usize,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         if !table.deletes().is_empty() {
             return Err(PlanError::Invalid(
@@ -122,21 +125,26 @@ impl CartProdOp {
             out: Batch::new(),
             vector_size,
             done: false,
+            ctx,
         })
     }
 
-    fn refill(&mut self, prof: &mut Profiler) -> bool {
-        let Some(batch) = self.child.next(prof) else {
-            return false;
-        };
-        self.cur_live = match batch.sel.as_deref() {
-            None => (0..batch.len as u32).collect(),
-            Some(s) => s.positions().to_vec(),
-        };
-        self.cur_cols = batch.columns.clone();
-        self.cpos_idx = 0;
-        self.trow = 0;
-        !self.cur_live.is_empty() || self.refill(prof)
+    fn refill(&mut self, prof: &mut Profiler) -> Result<bool, PlanError> {
+        loop {
+            let Some(batch) = self.child.next(prof)? else {
+                return Ok(false);
+            };
+            self.cur_live = match batch.sel.as_deref() {
+                None => (0..batch.len as u32).collect(),
+                Some(s) => s.positions().to_vec(),
+            };
+            self.cur_cols = batch.columns.clone();
+            self.cpos_idx = 0;
+            self.trow = 0;
+            if !self.cur_live.is_empty() {
+                return Ok(true);
+            }
+        }
     }
 }
 
@@ -145,18 +153,19 @@ impl Operator for CartProdOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if self.done {
-            return None;
+            return Ok(None);
         }
+        self.ctx.check()?;
         let nrows = self.table.total_rows() as u32;
         if nrows == 0 {
             self.done = true;
-            return None;
+            return Ok(None);
         }
-        if self.cpos_idx >= self.cur_live.len() && !self.refill(prof) {
+        if self.cpos_idx >= self.cur_live.len() && !self.refill(prof)? {
             self.done = true;
-            return None;
+            return Ok(None);
         }
         let t_op = prof.start();
         // Gather up to vector_size (child pos, table row) pairs.
@@ -187,7 +196,7 @@ impl Operator for CartProdOp {
             self.pools[self.child_arity + j].publish(v, &mut self.out);
         }
         prof.record_op("CartProd", t_op, n);
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
@@ -251,6 +260,10 @@ pub struct JoinBuildTable {
     bloom: BlockedBloom,
     bits: u32,
     n_build: usize,
+    /// Held for its `Drop`: releases the build side's budget charge
+    /// when the table itself goes away.
+    #[allow(dead_code)]
+    mem: MemTracker,
 }
 
 impl JoinBuildTable {
@@ -300,8 +313,10 @@ impl JoinBuildTable {
         payload_cols: &[usize],
         payload_fields: Vec<OutField>,
         cfg: &JoinBuildConfig,
+        ctx: &Arc<QueryContext>,
         prof: &mut Profiler,
-    ) -> JoinBuildTable {
+    ) -> Result<JoinBuildTable, PlanError> {
+        let mut mem = MemTracker::new(ctx.clone(), "hash-join build");
         let key_types: Vec<ScalarType> = build_keys.iter().map(|p| p.result_type()).collect();
         let mut keys: Vec<Vector> = key_types
             .iter()
@@ -313,7 +328,8 @@ impl JoinBuildTable {
             .collect();
         let mut hashes: Vec<u64> = Vec::new();
         let mut hash_buf: Vec<u64> = Vec::new();
-        while let Some(batch) = build.next(prof) {
+        while let Some(batch) = build.next(prof)? {
+            ctx.check()?;
             let n = batch.len;
             let sel = batch.sel.as_deref();
             let key_vecs: Vec<&Vector> = build_keys
@@ -343,12 +359,30 @@ impl JoinBuildTable {
                     }
                 }
             }
+            let col_bytes: usize = keys
+                .iter()
+                .chain(payload.iter())
+                .map(|v| v.byte_size())
+                .sum();
+            mem.ensure(col_bytes + hashes.len() * 8)?;
         }
         let n = hashes.len();
 
-        // Blocked Bloom filter over every build hash: a negative probe
-        // test later proves absence, skipping the chain walk.
-        let mut bloom = BlockedBloom::with_capacity(n);
+        // Blocked Bloom filter over every build hash, sized adaptively
+        // from the observed build cardinality: small builds afford a
+        // generous 16 bits/key (false-positive rate well under 1%),
+        // huge builds drop to 8 bits/key to stay cache-friendly. A
+        // negative probe test later proves absence, skipping the chain
+        // walk.
+        let bits_per_key: usize = if n <= 1 << 16 {
+            16
+        } else if n <= 1 << 20 {
+            12
+        } else {
+            8
+        };
+        let mut bloom = BlockedBloom::with_bits_per_key(n, bits_per_key);
+        prof.max_counter("join_bloom_bits_per_key", bits_per_key as u64);
         let t0 = prof.start();
         bloom_insert_u64_col(&mut bloom, &hashes, None);
         prof.record_prim("bloom_insert_u64_col", t0, n, n * 8 + bloom.byte_size());
@@ -442,12 +476,27 @@ impl JoinBuildTable {
                             })
                         })
                         .collect();
-                    for h in handles {
-                        for (p, pb) in h.join().expect("partition build worker panicked") {
-                            parts[p] = pb;
+                    let mut res = Ok(());
+                    for (w, h) in handles.into_iter().enumerate() {
+                        match h.join() {
+                            Ok(built) => {
+                                for (p, pb) in built {
+                                    parts[p] = pb;
+                                }
+                            }
+                            Err(e) => {
+                                ctx.cancel();
+                                if res.is_ok() {
+                                    res = Err(PlanError::WorkerPanic {
+                                        worker: w,
+                                        cause: panic_cause(e.as_ref()),
+                                    });
+                                }
+                            }
                         }
                     }
-                });
+                    res
+                })?;
             } else {
                 for (p, base, h, c) in tasks {
                     parts[p] = build_partition(base, h, c);
@@ -462,7 +511,17 @@ impl JoinBuildTable {
             .unwrap_or(0);
         prof.max_counter("join_partition_max_rows", max_rows);
 
-        JoinBuildTable {
+        // Final footprint: columns + hashes + chain links + bucket
+        // arrays + the Bloom filter.
+        let col_bytes: usize = keys
+            .iter()
+            .chain(payload.iter())
+            .map(|v| v.byte_size())
+            .sum();
+        let bucket_bytes: usize = parts.iter().map(|p| p.buckets.len() * 4).sum();
+        mem.ensure(col_bytes + n * 12 + bucket_bytes + bloom.byte_size())?;
+
+        Ok(JoinBuildTable {
             key_types,
             payload_fields,
             keys,
@@ -474,7 +533,8 @@ impl JoinBuildTable {
             bloom,
             bits,
             n_build: n,
-        }
+            mem,
+        })
     }
 }
 
@@ -511,6 +571,7 @@ fn derive_partition_bits(keys: &[Vector], payload: &[Vector], n: usize, budget: 
 /// The probe-side machinery shared by [`HashJoinOp`] (which owns its
 /// build) and [`HashJoinProbeOp`] (which probes a shared table).
 struct ProbeCore {
+    ctx: Arc<QueryContext>,
     probe_keys: Vec<ExprProg>,
     join_type: JoinType,
     fields: Vec<OutField>,
@@ -529,6 +590,7 @@ impl ProbeCore {
         probe_keys: Vec<ExprProg>,
         join_type: JoinType,
         vector_size: usize,
+        ctx: Arc<QueryContext>,
     ) -> Self {
         let probe_arity = probe_fields.len();
         let mut fields: Vec<OutField> = probe_fields.to_vec();
@@ -538,6 +600,7 @@ impl ProbeCore {
             .map(|f| VecPool::new(f.ty, vector_size))
             .collect();
         ProbeCore {
+            ctx,
             probe_keys,
             join_type,
             fields,
@@ -556,9 +619,12 @@ impl ProbeCore {
         probe: &mut dyn Operator,
         table: &JoinBuildTable,
         prof: &mut Profiler,
-    ) -> Option<&Batch> {
+    ) -> Result<Option<&Batch>, PlanError> {
         loop {
-            let batch = probe.next(prof)?;
+            self.ctx.check()?;
+            let Some(batch) = probe.next(prof)? else {
+                return Ok(None);
+            };
             let n = batch.len;
             let sel = batch.sel.as_deref();
             let live = batch.live();
@@ -659,7 +725,7 @@ impl ProbeCore {
                         }
                         self.pools[self.probe_arity + j].publish(v, &mut self.out);
                     }
-                    return Some(&self.out);
+                    return Ok(Some(&self.out));
                 }
                 JoinType::LeftSemi | JoinType::LeftAnti => {
                     let want = self.join_type == JoinType::LeftSemi;
@@ -692,7 +758,7 @@ impl ProbeCore {
                     self.out.len = n;
                     self.out.columns.extend(batch.columns.iter().cloned());
                     self.sel_pool.publish(newsel, &mut self.out);
-                    return Some(&self.out);
+                    return Ok(Some(&self.out));
                 }
             }
         }
@@ -715,6 +781,7 @@ pub struct HashJoinOp {
     cfg: JoinBuildConfig,
     table: Option<Arc<JoinBuildTable>>,
     core: ProbeCore,
+    ctx: Arc<QueryContext>,
 }
 
 impl HashJoinOp {
@@ -730,6 +797,7 @@ impl HashJoinOp {
         payload: &[(String, String)],
         join_type: JoinType,
         opts: &ExecOptions,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         if build_key_exprs.len() != probe_key_exprs.len() || build_key_exprs.is_empty() {
             return Err(PlanError::Invalid(
@@ -777,6 +845,7 @@ impl HashJoinOp {
             probe_keys,
             join_type,
             vector_size,
+            ctx.clone(),
         );
         Ok(HashJoinOp {
             build,
@@ -787,6 +856,7 @@ impl HashJoinOp {
             cfg: JoinBuildConfig::from_opts(opts),
             table: None,
             core,
+            ctx,
         })
     }
 
@@ -797,6 +867,7 @@ impl HashJoinOp {
         build_key_exprs: &[Expr],
         payload: &[(String, String)],
         opts: &ExecOptions,
+        ctx: &Arc<QueryContext>,
         prof: &mut Profiler,
     ) -> Result<Arc<JoinBuildTable>, PlanError> {
         let mut build_keys = Vec::new();
@@ -827,8 +898,9 @@ impl HashJoinOp {
             &payload_cols,
             payload_fields,
             &cfg,
+            ctx,
             prof,
-        );
+        )?;
         prof.record_op("HashJoin(build)", t0, table.n_build);
         Ok(Arc::new(table))
     }
@@ -839,21 +911,24 @@ impl Operator for HashJoinOp {
         &self.core.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
-        if self.table.is_none() {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
+        let table = if let Some(t) = &self.table {
+            t.clone()
+        } else {
             let t0 = prof.start();
-            let table = JoinBuildTable::build(
+            let table = Arc::new(JoinBuildTable::build(
                 self.build.as_mut(),
                 &mut self.build_keys,
                 &self.payload_cols,
                 self.payload_fields.clone(),
                 &self.cfg,
+                &self.ctx,
                 prof,
-            );
+            )?);
             prof.record_op("HashJoin(build)", t0, table.n_build);
-            self.table = Some(Arc::new(table));
-        }
-        let table = self.table.clone().expect("table just built");
+            self.table = Some(table.clone());
+            table
+        };
         self.core.next(self.probe.as_mut(), &table, prof)
     }
 
@@ -883,6 +958,7 @@ impl HashJoinProbeOp {
         probe_key_exprs: &[Expr],
         join_type: JoinType,
         opts: &ExecOptions,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         if probe_key_exprs.len() != table.key_types().len() {
             return Err(PlanError::Invalid(
@@ -913,6 +989,7 @@ impl HashJoinProbeOp {
             probe_keys,
             join_type,
             opts.vector_size,
+            ctx,
         );
         Ok(HashJoinProbeOp { probe, table, core })
     }
@@ -923,7 +1000,7 @@ impl Operator for HashJoinProbeOp {
         &self.core.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         let table = self.table.clone();
         self.core.next(self.probe.as_mut(), &table, prof)
     }

@@ -1,11 +1,15 @@
 //! The X100 algebra operators (paper Fig. 7).
 //!
 //! Operators form a Volcano-style pull pipeline at vector granularity:
-//! `next()` produces the next [`Batch`] of the dataflow, or `None` when
-//! exhausted. `Table`s are materialized relations; a `Dataflow` is what
-//! flows between operators (paper §4.1.2).
+//! `next()` produces the next [`Batch`] of the dataflow, `Ok(None)`
+//! when exhausted, or a typed [`PlanError`] when the resource governor
+//! aborts the query (budget, cancellation, deadline, I/O fault).
+//! `Table`s are materialized relations; a `Dataflow` is what flows
+//! between operators (paper §4.1.2).
+#![warn(clippy::unwrap_used)]
 
 use crate::batch::Batch;
+use crate::compile::PlanError;
 use crate::profile::Profiler;
 use x100_vector::Vector;
 
@@ -36,21 +40,26 @@ pub trait Operator {
     /// The output shape (column names and types).
     fn fields(&self) -> &[crate::batch::OutField];
 
-    /// Produce the next batch, or `None` when the dataflow is exhausted.
+    /// Produce the next batch, `Ok(None)` when the dataflow is
+    /// exhausted, or an error when the resource governor aborts the
+    /// query (memory budget, cancellation, deadline, storage fault).
     ///
     /// The returned batch borrows the operator; consume it before the
     /// next call. `prof` collects primitive/operator traces when enabled.
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch>;
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError>;
 
     /// Rewind to the start of the dataflow (re-execution support).
     fn reset(&mut self);
 
     /// Parallel-execution hook: consume the whole input and surrender
     /// the materialized partial aggregation state instead of emitting
-    /// final batches. `None` (the default) marks operators that cannot
-    /// act as a partial-aggregation pipeline root.
-    fn take_partial_aggr(&mut self, _prof: &mut Profiler) -> Option<AggrPartial> {
-        None
+    /// final batches. `Ok(None)` (the default) marks operators that
+    /// cannot act as a partial-aggregation pipeline root.
+    fn take_partial_aggr(
+        &mut self,
+        _prof: &mut Profiler,
+    ) -> Result<Option<AggrPartial>, PlanError> {
+        Ok(None)
     }
 
     /// Parallel-execution hook: the merge recipe for partials produced

@@ -34,6 +34,7 @@
 
 use crate::batch::{Batch, OutField, VecPool};
 use crate::expr::{AggFunc, Expr};
+use crate::govern::{panic_cause, QueryContext};
 use crate::ops::aggr::{ensure_capacity, hash_keys, AggrPartial, MergeSpec, PartialAcc};
 use crate::ops::join::HashJoinOp;
 use crate::ops::{eq_at, push_from, Operator, OrdExp, OrderOp, ProjectOp, SelectOp, TopNOp};
@@ -41,6 +42,7 @@ use crate::plan::{plan_key, scan_prune_range, Plan, SharedJoinMap};
 use crate::profile::Profiler;
 use crate::session::{run_operator, Database, ExecOptions, QueryResult};
 use crate::PlanError;
+use std::sync::Arc;
 use std::time::Instant;
 use x100_storage::{plan_morsels, Morsel};
 use x100_vector::{aggr as vaggr, Vector};
@@ -120,6 +122,7 @@ pub(crate) fn try_execute_parallel(
     db: &Database,
     plan: &Plan,
     opts: &ExecOptions,
+    ctx: &Arc<QueryContext>,
 ) -> Result<Option<(QueryResult, Profiler)>, PlanError> {
     let Some((wrappers, aggr, scan, joins)) = decompose(plan) else {
         return Ok(None);
@@ -143,14 +146,15 @@ pub(crate) fn try_execute_parallel(
         else {
             unreachable!()
         };
-        let (mut b, _) = build.bind_inner(db, opts, None, None)?;
-        let table = HashJoinOp::build_shared(b.as_mut(), build_keys, payload, opts, &mut prof)?;
+        let (mut b, _) = build.bind_inner(db, opts, None, None, ctx)?;
+        let table =
+            HashJoinOp::build_shared(b.as_mut(), build_keys, payload, opts, ctx, &mut prof)?;
         shared.insert(plan_key(jp), table);
     }
 
     // Template bind: validates the subtree once up front (surfacing
     // bind errors on the caller's thread) and yields the merge recipe.
-    let (template, _) = aggr.bind_inner(db, opts, Some(&[]), Some(&shared))?;
+    let (template, _) = aggr.bind_inner(db, opts, Some(&[]), Some(&shared), ctx)?;
     let Some(spec) = template.partial_merge_spec() else {
         return Ok(None);
     };
@@ -163,6 +167,10 @@ pub(crate) fn try_execute_parallel(
 
     let mut partials: Vec<AggrPartial> = Vec::with_capacity(nworkers);
     let shared_ref = &shared;
+    // Panic containment: each worker runs under `catch_unwind`; the
+    // first panic (or governor error) cancels the shared context, so
+    // sibling workers unwind cleanly at their next per-vector check.
+    // Every worker is always joined before any error is reported.
     let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..nworkers)
             .map(|w| {
@@ -171,26 +179,68 @@ pub(crate) fn try_execute_parallel(
                 s.spawn(move || {
                     let t0 = Instant::now();
                     let mut wprof = Profiler::new(opts.profile);
-                    let partial = aggr
-                        .bind_inner(db, opts, Some(&assigned), Some(shared_ref))
-                        .map(|(mut op, _)| op.take_partial_aggr(&mut wprof));
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        aggr.bind_inner(db, opts, Some(&assigned), Some(shared_ref), ctx)
+                            .and_then(|(mut op, _)| op.take_partial_aggr(&mut wprof))
+                    }));
+                    let partial = match caught {
+                        Ok(res) => res,
+                        Err(payload) => Err(PlanError::WorkerPanic {
+                            worker: w,
+                            cause: panic_cause(payload.as_ref()),
+                        }),
+                    };
+                    if partial.is_err() {
+                        ctx.cancel();
+                    }
                     (partial, wprof, t0.elapsed().as_nanos() as u64)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .enumerate()
+            .map(|(w, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    // catch_unwind inside the worker makes this
+                    // unreachable short of an abort, but stay typed.
+                    (
+                        Err(PlanError::WorkerPanic {
+                            worker: w,
+                            cause: panic_cause(payload.as_ref()),
+                        }),
+                        Profiler::new(false),
+                        0,
+                    )
+                })
+            })
             .collect::<Vec<_>>()
     });
+    // Prefer the root-cause error: a sibling's `Cancelled` is a
+    // side-effect of whichever worker failed first.
+    let mut first_err: Option<PlanError> = None;
     for (w, (partial, wprof, wall)) in results.into_iter().enumerate() {
-        let partial = partial?.ok_or_else(|| {
-            PlanError::Invalid("parallel worker produced no partial aggregate".into())
-        })?;
-        if opts.profile {
-            prof.absorb_worker(format!("worker-{w}"), wall, wprof);
+        match partial {
+            Ok(Some(p)) => {
+                if opts.profile {
+                    prof.absorb_worker(format!("worker-{w}"), wall, wprof);
+                }
+                partials.push(p);
+            }
+            Ok(None) => {
+                first_err.get_or_insert(PlanError::Invalid(
+                    "parallel worker produced no partial aggregate".into(),
+                ));
+            }
+            Err(e) => match &first_err {
+                None => first_err = Some(e),
+                Some(PlanError::Cancelled) if e != PlanError::Cancelled => first_err = Some(e),
+                _ => {}
+            },
         }
-        partials.push(partial);
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
 
     // Merge stage plus the rebound wrappers, innermost first. Aggregate
@@ -198,18 +248,23 @@ pub(crate) fn try_execute_parallel(
     // is needed above the merge.
     let vs = opts.vector_size;
     let comp = opts.compound_primitives;
-    let mut op: Box<dyn Operator> = Box::new(MergeAggrOp::new(spec, partials, vs));
+    let mut op: Box<dyn Operator> = Box::new(MergeAggrOp::new(spec, partials, vs, ctx.clone()));
     for w in wrappers.into_iter().rev() {
         op = match w {
-            Wrap::Select(pred) => {
-                Box::new(SelectOp::new(op, pred, vs, comp, opts.select_strategy)?)
-            }
-            Wrap::Project(exprs) => Box::new(ProjectOp::new(op, exprs, vs, comp)?),
-            Wrap::TopN(keys, limit) => Box::new(TopNOp::new(op, keys, limit, vs)?),
-            Wrap::Order(keys) => Box::new(OrderOp::new(op, keys, vs)?),
+            Wrap::Select(pred) => Box::new(SelectOp::new(
+                op,
+                pred,
+                vs,
+                comp,
+                opts.select_strategy,
+                ctx.clone(),
+            )?),
+            Wrap::Project(exprs) => Box::new(ProjectOp::new(op, exprs, vs, comp, ctx.clone())?),
+            Wrap::TopN(keys, limit) => Box::new(TopNOp::new(op, keys, limit, vs, ctx.clone())?),
+            Wrap::Order(keys) => Box::new(OrderOp::new(op, keys, vs, ctx.clone())?),
         };
     }
-    let result = run_operator(op.as_mut(), &mut prof);
+    let result = run_operator(op.as_mut(), &mut prof)?;
     Ok(Some((result, prof)))
 }
 
@@ -234,11 +289,17 @@ pub struct MergeAggrOp {
     pools: Vec<VecPool>,
     out: Batch,
     vector_size: usize,
+    ctx: Arc<QueryContext>,
 }
 
 impl MergeAggrOp {
     /// A merge stage over `partials` (one per worker, in worker order).
-    pub fn new(spec: MergeSpec, partials: Vec<AggrPartial>, vector_size: usize) -> Self {
+    pub fn new(
+        spec: MergeSpec,
+        partials: Vec<AggrPartial>,
+        vector_size: usize,
+        ctx: Arc<QueryContext>,
+    ) -> Self {
         let key_store = spec
             .key_types
             .iter()
@@ -272,6 +333,7 @@ impl MergeAggrOp {
             pools,
             out: Batch::new(),
             vector_size,
+            ctx,
         }
     }
 
@@ -345,11 +407,12 @@ impl MergeAggrOp {
         id
     }
 
-    fn build(&mut self, prof: &mut Profiler) {
+    fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
         let partials = std::mem::take(&mut self.partials);
         let t_op = prof.start();
         let mut total_in = 0usize;
         for partial in &partials {
+            self.ctx.check()?;
             let n = partial.n_groups;
             if n == 0 {
                 continue;
@@ -411,6 +474,7 @@ impl MergeAggrOp {
         }
         prof.record_op("MergeAggr", t_op, total_in);
         self.built = true;
+        Ok(())
     }
 }
 
@@ -419,12 +483,12 @@ impl Operator for MergeAggrOp {
         &self.spec.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
         }
         if self.emit_pos >= self.n_groups {
-            return None;
+            return Ok(None);
         }
         let start = self.emit_pos;
         let n = (self.n_groups - start).min(self.vector_size);
@@ -473,7 +537,7 @@ impl Operator for MergeAggrOp {
             }
             self.pools[nkeys + a].publish(v, &mut self.out);
         }
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {

@@ -14,6 +14,7 @@
 use crate::batch::{Batch, OutField};
 use crate::compile::ExprProg;
 use crate::expr::Expr;
+use crate::govern::QueryContext;
 use crate::ops::Operator;
 use crate::profile::Profiler;
 use crate::PlanError;
@@ -38,6 +39,7 @@ pub struct ProjectOp {
     fields: Vec<OutField>,
     vector_size: usize,
     out: Batch,
+    ctx: std::sync::Arc<QueryContext>,
 }
 
 impl ProjectOp {
@@ -47,6 +49,7 @@ impl ProjectOp {
         exprs: &[(String, Expr)],
         vector_size: usize,
         compound: bool,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         let mut cols = Vec::new();
         let mut fields = Vec::new();
@@ -64,6 +67,7 @@ impl ProjectOp {
             fields,
             vector_size,
             out: Batch::new(),
+            ctx,
         })
     }
 }
@@ -73,8 +77,13 @@ impl Operator for ProjectOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
-        let batch = self.child.next(prof)?;
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
+        // One governance checkpoint per vector.
+        self.ctx.check()?;
+        let batch = match self.child.next(prof)? {
+            None => return Ok(None),
+            Some(b) => b,
+        };
         let t_op = prof.start();
         self.out.reset();
         self.out.len = batch.len;
@@ -99,7 +108,7 @@ impl Operator for ProjectOp {
             }
         }
         prof.record_op("Project", t_op, batch.live());
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {

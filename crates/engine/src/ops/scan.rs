@@ -13,8 +13,10 @@
 //! appended after the fragments.
 
 use crate::batch::{Batch, OutField, SelPool, VecPool};
+use crate::govern::QueryContext;
 use crate::ops::Operator;
 use crate::profile::Profiler;
+use crate::PlanError;
 use std::sync::Arc;
 use x100_storage::{ColumnBM, ColumnData, Morsel, Table};
 use x100_vector::Vector;
@@ -51,6 +53,7 @@ pub struct ScanOp {
     vector_size: usize,
     scratch_del: Vec<u32>,
     bm: Option<Arc<ColumnBM>>,
+    ctx: Arc<QueryContext>,
     /// Cheap stand-in pushed for decode columns until the decode pass
     /// replaces it (keeps column ordering without an allocation).
     placeholder: std::rc::Rc<Vector>,
@@ -69,8 +72,18 @@ impl ScanOp {
         range: Option<(usize, usize)>,
         vector_size: usize,
         bm: Option<Arc<ColumnBM>>,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, crate::PlanError> {
-        Self::build(table, col_names, code_cols, range, None, vector_size, bm)
+        Self::build(
+            table,
+            col_names,
+            code_cols,
+            range,
+            None,
+            vector_size,
+            bm,
+            ctx,
+        )
     }
 
     /// Build a scan restricted to `morsels` (disjoint row ranges handed
@@ -83,6 +96,7 @@ impl ScanOp {
         morsels: Vec<Morsel>,
         vector_size: usize,
         bm: Option<Arc<ColumnBM>>,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, crate::PlanError> {
         Self::build(
             table,
@@ -92,9 +106,11 @@ impl ScanOp {
             Some(morsels),
             vector_size,
             bm,
+            ctx,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         table: Arc<Table>,
         col_names: &[&str],
@@ -103,6 +119,7 @@ impl ScanOp {
         morsels: Option<Vec<Morsel>>,
         vector_size: usize,
         bm: Option<Arc<ColumnBM>>,
+        ctx: Arc<QueryContext>,
     ) -> Result<Self, crate::PlanError> {
         let mut cols = Vec::new();
         let mut modes = Vec::new();
@@ -173,44 +190,48 @@ impl ScanOp {
             vector_size,
             scratch_del: Vec::new(),
             bm,
+            ctx,
             placeholder: std::rc::Rc::new(Vector::Bool(Vec::new())),
         })
     }
 
+    /// Read `len` bytes of column `ci` at `offset` through the buffer
+    /// manager (if attached), under the query's fault-injection state.
+    fn bm_read(&self, ci: usize, offset: u64, len: u64) -> Result<(), PlanError> {
+        if let Some(bm) = &self.bm {
+            bm.try_access(ci as u32, offset, len, self.ctx.fault_state())
+                .map_err(|e| PlanError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
     /// Produce one batch from the fragment region `[start, start+n)`.
-    fn emit_fragment(&mut self, start: usize, n: usize, prof: &mut Profiler) {
+    fn emit_fragment(
+        &mut self,
+        start: usize,
+        n: usize,
+        prof: &mut Profiler,
+    ) -> Result<(), PlanError> {
         self.out.reset();
         self.out.len = n;
         let t_scan = prof.start();
         let mut scan_bytes = 0usize;
+        // Column reads to route through the buffer manager; collected
+        // so the fallible I/O happens outside the &mut modes borrow.
+        let mut reads: Vec<(usize, u64, u64)> = Vec::with_capacity(self.cols.len());
         // Plain/code reads first (the "Scan" operator's own work).
         for (k, &ci) in self.cols.iter().enumerate() {
             let sc = self.table.column(ci);
             match &mut self.modes[k] {
-                ColMode::Plain => {
+                ColMode::Plain | ColMode::Codes => {
                     let mut v = self.pools[k].writable();
                     sc.physical().read_into(start, n, &mut v);
                     scan_bytes += v.byte_size();
-                    if let Some(bm) = &self.bm {
-                        bm.access(
-                            ci as u32,
-                            (start * sc.physical_type().width()) as u64,
-                            v.byte_size() as u64,
-                        );
-                    }
-                    self.pools[k].publish(v, &mut self.out);
-                }
-                ColMode::Codes => {
-                    let mut v = self.pools[k].writable();
-                    sc.physical().read_into(start, n, &mut v);
-                    scan_bytes += v.byte_size();
-                    if let Some(bm) = &self.bm {
-                        bm.access(
-                            ci as u32,
-                            (start * sc.physical_type().width()) as u64,
-                            v.byte_size() as u64,
-                        );
-                    }
+                    reads.push((
+                        ci,
+                        (start * sc.physical_type().width()) as u64,
+                        v.byte_size() as u64,
+                    ));
                     self.pools[k].publish(v, &mut self.out);
                 }
                 ColMode::Decode { codes, .. } => {
@@ -218,13 +239,11 @@ impl ScanOp {
                     // fetch cost is attributed to Fetch1Join(ENUM).
                     sc.physical().read_into(start, n, codes);
                     scan_bytes += codes.byte_size();
-                    if let Some(bm) = &self.bm {
-                        bm.access(
-                            ci as u32,
-                            (start * sc.physical_type().width()) as u64,
-                            codes.byte_size() as u64,
-                        );
-                    }
+                    reads.push((
+                        ci,
+                        (start * sc.physical_type().width()) as u64,
+                        codes.byte_size() as u64,
+                    ));
                     // Placeholder slot; replaced by the decode pass below.
                     self.out.columns.push(self.placeholder.clone());
                 }
@@ -232,11 +251,18 @@ impl ScanOp {
         }
         prof.record_op("Scan", t_scan, n);
         let _ = scan_bytes;
+        for (ci, offset, len) in reads {
+            self.bm_read(ci, offset, len)?;
+        }
         // Decode pass: one Fetch1Join(ENUM) per enum column.
         for (k, &ci) in self.cols.iter().enumerate() {
             if let ColMode::Decode { codes, sig } = &self.modes[k] {
-                let sc = self.table.column(ci);
-                let dict = sc.dict().expect("decode mode has dict");
+                let dict = self.table.column(ci).dict().ok_or_else(|| {
+                    PlanError::Invalid(format!(
+                        "decode mode without dictionary on column `{}`",
+                        self.fields[k].name
+                    ))
+                })?;
                 let t0 = prof.start();
                 let mut v = self.pools[k].writable();
                 v.resize_zeroed(n);
@@ -267,6 +293,7 @@ impl ScanOp {
             }
             self.sel_pool.publish(sel, &mut self.out);
         }
+        Ok(())
     }
 
     /// Produce one batch from the delta region.
@@ -346,11 +373,13 @@ impl Operator for ScanOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
+        // One governance checkpoint per produced vector.
+        self.ctx.check()?;
         if self.morsels.is_some() {
             loop {
-                let m = match self.morsels.as_ref().unwrap().get(self.mcur) {
-                    None => return None,
+                let m = match self.morsels.as_ref().and_then(|ms| ms.get(self.mcur)) {
+                    None => return Ok(None),
                     Some(&m) => m,
                 };
                 if self.moff >= m.len {
@@ -364,17 +393,17 @@ impl Operator for ScanOp {
                 if m.delta {
                     self.emit_delta(start, n, prof);
                 } else {
-                    self.emit_fragment(start, n, prof);
+                    self.emit_fragment(start, n, prof)?;
                 }
-                return Some(&self.out);
+                return Ok(Some(&self.out));
             }
         }
         if self.pos < self.range.1 {
             let n = (self.range.1 - self.pos).min(self.vector_size);
             let start = self.pos;
             self.pos += n;
-            self.emit_fragment(start, n, prof);
-            return Some(&self.out);
+            self.emit_fragment(start, n, prof)?;
+            return Ok(Some(&self.out));
         }
         let delta = self.table.delta_rows();
         if self.delta_pos < delta {
@@ -382,9 +411,9 @@ impl Operator for ScanOp {
             let start = self.delta_pos;
             self.delta_pos += n;
             self.emit_delta(start, n, prof);
-            return Some(&self.out);
+            return Ok(Some(&self.out));
         }
-        None
+        Ok(None)
     }
 
     fn reset(&mut self) {

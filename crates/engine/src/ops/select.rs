@@ -18,6 +18,7 @@
 use crate::batch::{Batch, OutField, SelPool};
 use crate::compile::ExprProg;
 use crate::expr::Expr;
+use crate::govern::QueryContext;
 use crate::ops::Operator;
 use crate::profile::Profiler;
 use crate::PlanError;
@@ -60,6 +61,7 @@ pub struct SelectOp {
     sel_pool: SelPool,
     scratch: SelVec,
     out: Batch,
+    ctx: std::sync::Arc<QueryContext>,
 }
 
 impl SelectOp {
@@ -74,6 +76,7 @@ impl SelectOp {
         vector_size: usize,
         compound: bool,
         strategy: SelectStrategy,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         let mut steps = Vec::new();
         build_steps(pred, child.fields(), vector_size, compound, &mut steps)?;
@@ -84,6 +87,7 @@ impl SelectOp {
             sel_pool: SelPool::default(),
             scratch: SelVec::default(),
             out: Batch::new(),
+            ctx,
         })
     }
 }
@@ -280,9 +284,14 @@ impl Operator for SelectOp {
         self.child.fields()
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         loop {
-            let batch = self.child.next(prof)?;
+            // One governance checkpoint per consumed vector.
+            self.ctx.check()?;
+            let batch = match self.child.next(prof)? {
+                None => return Ok(None),
+                Some(b) => b,
+            };
             let n = batch.len;
             // Refinement chain: `cur` is the live selection so far.
             // `None` means "all of 0..n".
@@ -391,7 +400,7 @@ impl Operator for SelectOp {
             if let Some(sel) = cur {
                 self.sel_pool.publish(sel, &mut self.out);
             }
-            return Some(&self.out);
+            return Ok(Some(&self.out));
         }
     }
 

@@ -8,6 +8,7 @@
 //! bounded heap and emits the `n` smallest (per the sort spec) rows.
 
 use crate::batch::{Batch, OutField, VecPool};
+use crate::govern::{MemTracker, QueryContext};
 use crate::ops::{cmp_at, push_from, Operator};
 use crate::profile::Profiler;
 use crate::PlanError;
@@ -63,6 +64,7 @@ pub struct OrderOp {
     pools: Vec<VecPool>,
     out: Batch,
     vector_size: usize,
+    mem: MemTracker,
 }
 
 impl OrderOp {
@@ -71,6 +73,7 @@ impl OrderOp {
         child: Box<dyn Operator>,
         keys: &[OrdExp],
         vector_size: usize,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         let fields = child.fields().to_vec();
         let mut bound = Vec::new();
@@ -100,12 +103,14 @@ impl OrderOp {
             pools,
             out: Batch::new(),
             vector_size,
+            mem: MemTracker::new(ctx, "order/top-n buffer"),
         })
     }
 
-    fn build(&mut self, prof: &mut Profiler) {
-        // Materialize live tuples column-wise.
-        while let Some(batch) = self.child.next(prof) {
+    fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        // Materialize live tuples column-wise, charging the growing
+        // buffer (plus the permutation to come) against the budget.
+        while let Some(batch) = self.child.next(prof)? {
             match batch.sel.as_deref() {
                 None => {
                     for (s, c) in self.store.iter_mut().zip(batch.columns.iter()) {
@@ -120,6 +125,9 @@ impl OrderOp {
                     }
                 }
             }
+            let rows = self.store.first().map_or(0, |v| v.len());
+            let bytes: usize = self.store.iter().map(|v| v.byte_size()).sum();
+            self.mem.ensure(bytes + rows * 4)?;
         }
         let n = self.store.first().map_or(0, |v| v.len());
         let t_op = prof.start();
@@ -144,6 +152,7 @@ impl OrderOp {
         prof.record_prim("sort_permutation", t0, n, n * 4);
         prof.record_op("Order", t_op, n);
         self.built = true;
+        Ok(())
     }
 }
 
@@ -152,12 +161,12 @@ impl Operator for OrderOp {
         &self.fields
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.built {
-            self.build(prof);
+            self.build(prof)?;
         }
         if self.emit_pos >= self.perm.len() {
-            return None;
+            return Ok(None);
         }
         let start = self.emit_pos;
         let n = (self.perm.len() - start).min(self.vector_size);
@@ -171,7 +180,7 @@ impl Operator for OrderOp {
             }
             self.pools[k].publish(v, &mut self.out);
         }
-        Some(&self.out)
+        Ok(Some(&self.out))
     }
 
     fn reset(&mut self) {
@@ -182,6 +191,7 @@ impl Operator for OrderOp {
         self.perm.clear();
         self.built = false;
         self.emit_pos = 0;
+        self.mem.release_all();
     }
 }
 
@@ -202,9 +212,10 @@ impl TopNOp {
         keys: &[OrdExp],
         limit: usize,
         vector_size: usize,
+        ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
         Ok(TopNOp {
-            inner: OrderOp::new(child, keys, vector_size)?,
+            inner: OrderOp::new(child, keys, vector_size, ctx)?,
             limit,
         })
     }
@@ -215,9 +226,9 @@ impl Operator for TopNOp {
         self.inner.fields()
     }
 
-    fn next(&mut self, prof: &mut Profiler) -> Option<&Batch> {
+    fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.inner.built {
-            self.inner.build(prof);
+            self.inner.build(prof)?;
             self.inner.perm.truncate(self.limit);
         }
         self.inner.next(prof)

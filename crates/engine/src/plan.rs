@@ -25,6 +25,7 @@
 //! column, else *hash* (callers can force `OrdAggr`).
 
 use crate::expr::{AggExpr, Expr};
+use crate::govern::QueryContext;
 use crate::ops::{
     ArrayOp, CartProdOp, DirectAggrOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
     HashJoinProbeOp, JoinBuildTable, Operator, OrdAggrOp, OrdExp, ProjectOp, ScanOp, SelectOp,
@@ -221,9 +222,23 @@ pub enum Plan {
 type Bound = (Box<dyn Operator>, Vec<Option<EnumDict>>);
 
 impl Plan {
-    /// Bind this plan against `db`, producing an executable pipeline.
+    /// Bind this plan against `db`, producing an executable pipeline
+    /// with its own (unshared) governor context derived from `opts`.
     pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
-        Ok(self.bind_inner(db, opts, None, None)?.0)
+        let ctx = opts.query_context();
+        Ok(self.bind_inner(db, opts, None, None, &ctx)?.0)
+    }
+
+    /// Bind against an externally owned governor context (the executor
+    /// shares one context between the pipeline and its morsel workers,
+    /// and publishes its counters after the run).
+    pub fn bind_governed(
+        &self,
+        db: &Database,
+        opts: &ExecOptions,
+        ctx: &Arc<QueryContext>,
+    ) -> Result<Box<dyn Operator>, PlanError> {
+        Ok(self.bind_inner(db, opts, None, None, ctx)?.0)
     }
 
     /// Bind with an optional morsel restriction on the leaf `Scan`
@@ -237,6 +252,7 @@ impl Plan {
         opts: &ExecOptions,
         morsels: Option<&[Morsel]>,
         shared: Option<&SharedJoinMap>,
+        ctx: &Arc<QueryContext>,
     ) -> Result<Bound, PlanError> {
         let vs = opts.vector_size;
         let comp = opts.compound_primitives;
@@ -258,6 +274,7 @@ impl Plan {
                         range,
                         vs,
                         db.buffer_manager(),
+                        ctx.clone(),
                     )?,
                     Some(ms) => ScanOp::with_morsels(
                         t.clone(),
@@ -266,6 +283,7 @@ impl Plan {
                         ms.to_vec(),
                         vs,
                         db.buffer_manager(),
+                        ctx.clone(),
                     )?,
                 };
                 let dicts = cols
@@ -281,13 +299,13 @@ impl Plan {
                 Ok((Box::new(op), dicts))
             }
             Plan::Select { input, pred } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let pred = rewrite_enum_literals(pred, child.fields(), &dicts);
-                let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy)?;
+                let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy, ctx.clone())?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Project { input, exprs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let exprs: Vec<(String, Expr)> = exprs
                     .iter()
                     .map(|(n, e)| (n.clone(), rewrite_enum_literals(e, child.fields(), &dicts)))
@@ -304,11 +322,11 @@ impl Plan {
                         _ => None,
                     })
                     .collect();
-                let op = ProjectOp::new(child, &exprs, vs, comp)?;
+                let op = ProjectOp::new(child, &exprs, vs, comp, ctx.clone())?;
                 Ok((Box::new(op), out_dicts))
             }
             Plan::Aggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 // Direct aggregation if *every* key is a bare reference to
                 // a code column with a dictionary.
                 let direct: Option<Vec<DirectKeySpec>> = keys
@@ -326,7 +344,7 @@ impl Plan {
                     .collect();
                 match direct {
                     Some(dkeys) if !dkeys.is_empty() => {
-                        bind_direct(child, &dicts, &dkeys, aggs, vs, comp)
+                        bind_direct(child, &dicts, &dkeys, aggs, vs, comp, ctx)
                     }
                     _ => {
                         // Mixed / non-code keys: hash aggregation, but
@@ -343,19 +361,20 @@ impl Plan {
                                 _ => None,
                             })
                             .collect();
-                        let op = HashAggrOp::new(child, keys, key_dicts, aggs, vs, comp)?;
+                        let op =
+                            HashAggrOp::new(child, keys, key_dicts, aggs, vs, comp, ctx.clone())?;
                         let nd = op.fields().len();
                         Ok((Box::new(op), vec![None; nd]))
                     }
                 }
             }
             Plan::DirectAggr { input, keys, aggs } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
-                bind_direct(child, &dicts, keys, aggs, vs, comp)
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
+                bind_direct(child, &dicts, keys, aggs, vs, comp, ctx)
             }
             Plan::OrdAggr { input, keys, aggs } => {
-                let (child, _) = input.bind_inner(db, opts, morsels, shared)?;
-                let op = OrdAggrOp::new(child, keys, aggs, vs, comp)?;
+                let (child, _) = input.bind_inner(db, opts, morsels, shared, ctx)?;
+                let op = OrdAggrOp::new(child, keys, aggs, vs, comp, ctx.clone())?;
                 let nd = op.fields().len();
                 Ok((Box::new(op), vec![None; nd]))
             }
@@ -366,7 +385,7 @@ impl Plan {
                 fetch,
                 fetch_codes,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let t = db.table(table)?;
                 if !fetch_codes.is_empty() && (t.delta_rows() > 0 || !t.deletes().is_empty()) {
                     return Err(PlanError::Invalid(format!(
@@ -389,7 +408,7 @@ impl Plan {
                 cnt,
                 fetch,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let t = db.table(table)?;
                 let op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
                 dicts.extend(fetch.iter().map(|_| None));
@@ -400,9 +419,9 @@ impl Plan {
                 table,
                 fetch,
             } => {
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let t = db.table(table)?;
-                let op = CartProdOp::new(child, t, fetch, vs)?;
+                let op = CartProdOp::new(child, t, fetch, vs, ctx.clone())?;
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
@@ -413,10 +432,17 @@ impl Plan {
                 fetch,
             } => {
                 // The paper's default join: CartProd with a Select on top.
-                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared)?;
+                let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let t = db.table(table)?;
-                let cart = CartProdOp::new(child, t, fetch, vs)?;
-                let op = SelectOp::new(Box::new(cart), pred, vs, comp, opts.select_strategy)?;
+                let cart = CartProdOp::new(child, t, fetch, vs, ctx.clone())?;
+                let op = SelectOp::new(
+                    Box::new(cart),
+                    pred,
+                    vs,
+                    comp,
+                    opts.select_strategy,
+                    ctx.clone(),
+                )?;
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
@@ -432,29 +458,45 @@ impl Plan {
                 // the probe side (over the worker's morsels) and probe
                 // the table through a shared-table operator.
                 if let Some(table) = shared.and_then(|m| m.get(&plan_key(self))) {
-                    let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared)?;
-                    let op = HashJoinProbeOp::new(p, table.clone(), probe_keys, *join_type, opts)?;
+                    let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared, ctx)?;
+                    let op = HashJoinProbeOp::new(
+                        p,
+                        table.clone(),
+                        probe_keys,
+                        *join_type,
+                        opts,
+                        ctx.clone(),
+                    )?;
                     let mut dicts = pdicts;
                     dicts.extend(payload.iter().map(|_| None));
                     return Ok((Box::new(op), dicts));
                 }
                 // The morsel restriction flows into the probe side only;
                 // the build side always materializes full-range.
-                let (b, _) = build.bind_inner(db, opts, None, shared)?;
-                let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared)?;
-                let op = HashJoinOp::new(b, p, build_keys, probe_keys, payload, *join_type, opts)?;
+                let (b, _) = build.bind_inner(db, opts, None, shared, ctx)?;
+                let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared, ctx)?;
+                let op = HashJoinOp::new(
+                    b,
+                    p,
+                    build_keys,
+                    probe_keys,
+                    payload,
+                    *join_type,
+                    opts,
+                    ctx.clone(),
+                )?;
                 let mut dicts = pdicts;
                 dicts.extend(payload.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }
             Plan::TopN { input, keys, limit } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
-                let op = TopNOp::new(child, keys, *limit, vs)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
+                let op = TopNOp::new(child, keys, *limit, vs, ctx.clone())?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Order { input, keys } => {
-                let (child, dicts) = input.bind_inner(db, opts, morsels, shared)?;
-                let op = OrderOp::new(child, keys, vs)?;
+                let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
+                let op = OrderOp::new(child, keys, vs, ctx.clone())?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Array { dims } => {
@@ -571,6 +613,7 @@ fn bind_direct(
     aggs: &[AggExpr],
     vs: usize,
     comp: bool,
+    ctx: &Arc<QueryContext>,
 ) -> Result<Bound, PlanError> {
     let mut dkeys = Vec::new();
     for k in keys {
@@ -598,7 +641,7 @@ fn bind_direct(
             dict,
         });
     }
-    let op = DirectAggrOp::new(child, dkeys, aggs, vs, comp)?;
+    let op = DirectAggrOp::new(child, dkeys, aggs, vs, comp, ctx.clone())?;
     let nd = op.fields().len();
     Ok((Box::new(op), vec![None; nd]))
 }

@@ -1,13 +1,15 @@
 //! Sessions: the catalog, execution options, and result materialization.
 
 use crate::batch::OutField;
+use crate::govern::{CancelToken, QueryContext};
 use crate::ops::Operator;
 use crate::plan::Plan;
 use crate::profile::Profiler;
 use crate::PlanError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use x100_storage::{ColumnBM, Table};
+use std::time::Duration;
+use x100_storage::{ColumnBM, FaultPlan, Table};
 use x100_vector::{SelectStrategy, Value, Vector, DEFAULT_VECTOR_SIZE};
 
 /// Default morsel size for parallel scans: large enough to amortize
@@ -48,6 +50,22 @@ pub struct ExecOptions {
     /// the monolithic single-table layout; `None` derives the bit count
     /// from `join_cache_budget`).
     pub join_partition_bits: Option<u32>,
+    /// Byte budget for governed operator state (hash-join builds,
+    /// aggregation tables, Order/TopN buffers). Exceeding it aborts the
+    /// query with [`PlanError::ResourceExhausted`]. `None` = unbounded.
+    pub mem_budget: Option<usize>,
+    /// Wall-clock budget; converted to a deadline when execution
+    /// starts. Expiry aborts with [`PlanError::DeadlineExceeded`].
+    pub timeout: Option<Duration>,
+    /// External cancellation token; triggering it aborts the query with
+    /// [`PlanError::Cancelled`] at the next per-vector check.
+    pub cancel: Option<CancelToken>,
+    /// Chunk-read fault injection plan for the attached ColumnBM
+    /// (active only with the `fault-inject` cargo feature).
+    pub fault_plan: Option<FaultPlan>,
+    /// Testing aid: deliberately panic inside the pipeline after this
+    /// many governor checks (exercises worker-panic containment).
+    pub panic_probe: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -61,6 +79,11 @@ impl Default for ExecOptions {
             morsel_size: DEFAULT_MORSEL_SIZE,
             join_cache_budget: DEFAULT_JOIN_CACHE_BUDGET,
             join_partition_bits: None,
+            mem_budget: None,
+            timeout: None,
+            cancel: None,
+            fault_plan: None,
+            panic_probe: None,
         }
     }
 }
@@ -103,6 +126,49 @@ impl ExecOptions {
     pub fn with_join_cache_budget(mut self, bytes: usize) -> Self {
         self.join_cache_budget = bytes.max(1);
         self
+    }
+
+    /// Cap governed operator memory at `bytes`.
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Abort the query once `timeout` wall-clock time has elapsed.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attach an external cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Inject chunk-read faults per `plan` (needs the `fault-inject`
+    /// cargo feature to actually fire).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Testing aid: panic inside the pipeline after `checks` governor
+    /// checkpoints (see [`ExecOptions::panic_probe`]).
+    pub fn with_panic_probe(mut self, checks: u64) -> Self {
+        self.panic_probe = Some(checks);
+        self
+    }
+
+    /// Build the per-query governor context from these options.
+    pub(crate) fn query_context(&self) -> Arc<QueryContext> {
+        Arc::new(QueryContext::new(
+            self.mem_budget,
+            self.timeout,
+            self.cancel.clone(),
+            self.fault_plan.clone(),
+            self.panic_probe,
+        ))
     }
 }
 
@@ -245,26 +311,31 @@ pub fn execute(
     plan: &Plan,
     opts: &ExecOptions,
 ) -> Result<(QueryResult, Profiler), PlanError> {
+    let ctx = opts.query_context();
     if opts.threads > 1 {
-        if let Some(res) = crate::ops::parallel::try_execute_parallel(db, plan, opts)? {
-            return Ok(res);
+        if let Some((result, mut prof)) =
+            crate::ops::parallel::try_execute_parallel(db, plan, opts, &ctx)?
+        {
+            ctx.publish(&mut prof);
+            return Ok((result, prof));
         }
     }
-    let mut op = plan.bind(db, opts)?;
+    let mut op = plan.bind_governed(db, opts, &ctx)?;
     let mut prof = Profiler::new(opts.profile);
-    let result = run_operator(op.as_mut(), &mut prof);
+    let result = run_operator(op.as_mut(), &mut prof)?;
+    ctx.publish(&mut prof);
     Ok((result, prof))
 }
 
 /// Drain an operator into a compacted [`QueryResult`].
-pub fn run_operator(op: &mut dyn Operator, prof: &mut Profiler) -> QueryResult {
+pub fn run_operator(op: &mut dyn Operator, prof: &mut Profiler) -> Result<QueryResult, PlanError> {
     let fields = op.fields().to_vec();
     let mut cols: Vec<Vector> = fields
         .iter()
         .map(|f| Vector::with_capacity(f.ty, 0))
         .collect();
     let mut rows = 0usize;
-    while let Some(batch) = op.next(prof) {
+    while let Some(batch) = op.next(prof)? {
         match batch.sel.as_deref() {
             None => {
                 for (dst, src) in cols.iter_mut().zip(batch.columns.iter()) {
@@ -282,5 +353,5 @@ pub fn run_operator(op: &mut dyn Operator, prof: &mut Profiler) -> QueryResult {
             }
         }
     }
-    QueryResult { fields, cols, rows }
+    Ok(QueryResult { fields, cols, rows })
 }

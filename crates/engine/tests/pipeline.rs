@@ -642,9 +642,9 @@ fn operators_reset_and_rerun() {
         .aggr(vec![("bucket", col("qty"))], vec![AggExpr::count("n")]);
     let mut op = plan.bind(&db, &ExecOptions::default()).expect("binds");
     let mut prof = x100_engine::Profiler::new(false);
-    let first = x100_engine::session::run_operator(op.as_mut(), &mut prof);
+    let first = x100_engine::session::run_operator(op.as_mut(), &mut prof).expect("first run");
     op.reset();
-    let second = x100_engine::session::run_operator(op.as_mut(), &mut prof);
+    let second = x100_engine::session::run_operator(op.as_mut(), &mut prof).expect("second run");
     assert_eq!(first.row_strings(), second.row_strings());
     assert!(first.num_rows() > 0);
 }
@@ -825,9 +825,12 @@ fn hash_join_reset_midstream_and_rerun() {
     let eopts = ExecOptions::with_vector_size(16); // many probe batches
     let mut op = plan.bind(&db, &eopts).expect("binds");
     let mut prof = x100_engine::Profiler::new(false);
-    assert!(op.next(&mut prof).is_some(), "first batch");
+    assert!(
+        op.next(&mut prof).expect("no error").is_some(),
+        "first batch"
+    );
     op.reset();
-    let replay = x100_engine::session::run_operator(op.as_mut(), &mut prof);
+    let replay = x100_engine::session::run_operator(op.as_mut(), &mut prof).expect("replay");
     let (fresh, _) = execute(&db, &plan, &eopts).expect("fresh");
     assert_eq!(replay.row_strings(), fresh.row_strings());
     assert_eq!(replay.num_rows(), 50);

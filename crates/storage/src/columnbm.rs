@@ -15,8 +15,24 @@
 //! This preserves the paper-relevant behaviour — sequential scans touch
 //! each chunk once; vertical fragmentation means unread columns cost no
 //! I/O — without requiring an actual disk.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] describes chunk reads that should fail: a uniform
+//! probability per read attempt, plus pinned `(col, chunk)` slots that
+//! fail a fixed number of times before succeeding (deterministic
+//! "transient error" scenarios). The chunk reader retries a failed read
+//! up to [`FaultPlan::max_retries`] times with exponential backoff and
+//! surfaces a typed [`ChunkReadError`] only once retries are exhausted.
+//! Mutable injection state ([`FaultState`]: RNG position, remaining
+//! pinned failures, retry counters) is per *query*, not per buffer
+//! manager, so concurrent queries don't consume each other's faults.
+//! The types always compile; the injection behaviour itself is gated
+//! behind the `fault-inject` cargo feature so production builds carry
+//! zero probability checks.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default chunk size: 1 MiB, the paper's ">1MB chunks".
@@ -39,6 +55,181 @@ pub struct BmStats {
     /// Chunks evicted.
     pub evictions: u64,
 }
+
+/// One pinned fault: reads of chunk `(col, chunk)` fail their next
+/// `failures` attempts, then succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinnedFault {
+    /// Column id the fault is pinned to.
+    pub col: u32,
+    /// Chunk index within the column.
+    pub chunk: u32,
+    /// How many read attempts fail before the chunk reads cleanly.
+    pub failures: u32,
+}
+
+/// Declarative description of chunk-read faults to inject.
+///
+/// Carried by the engine's `ExecOptions`; consulted by
+/// [`ColumnBM::try_access`] on every chunk touch. With the
+/// `fault-inject` feature disabled the plan is inert.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any single chunk-read attempt fails.
+    pub fault_rate: f64,
+    /// Seed for the deterministic xorshift RNG driving `fault_rate`.
+    pub seed: u64,
+    /// Chunks that fail a fixed number of times before succeeding.
+    pub pinned: Vec<PinnedFault>,
+    /// Retry budget per chunk read before giving up with an error.
+    pub max_retries: u32,
+    /// Base backoff sleep in microseconds (doubles per attempt, capped
+    /// at 32×). Zero disables sleeping, for tests.
+    pub backoff_base_us: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            fault_rate: 0.0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            pinned: Vec::new(),
+            max_retries: 6,
+            backoff_base_us: 20,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan failing a uniform fraction of chunk-read attempts.
+    pub fn with_rate(fault_rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            fault_rate,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a pinned fault: `(col, chunk)` fails its next `failures`
+    /// read attempts, then succeeds.
+    pub fn pin(mut self, col: u32, chunk: u32, failures: u32) -> Self {
+        self.pinned.push(PinnedFault {
+            col,
+            chunk,
+            failures,
+        });
+        self
+    }
+}
+
+/// Per-query mutable injection state instantiated from a [`FaultPlan`].
+///
+/// Thread-safe: morsel workers share one `FaultState` per query, so the
+/// retry/injection counters aggregate across threads and pinned-fault
+/// budgets are consumed exactly once query-wide.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: AtomicU64,
+    pinned_left: Mutex<Vec<PinnedFault>>,
+    retries: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultState {
+    /// Fresh injection state for one query execution.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            rng: AtomicU64::new(plan.seed | 1),
+            pinned_left: Mutex::new(plan.pinned.clone()),
+            retries: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            plan,
+        }
+    }
+
+    /// The plan this state was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total retried chunk-read attempts so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far (each retry was preceded by one).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decide whether this read attempt of `(col, chunk)` fails.
+    #[cfg(feature = "fault-inject")]
+    fn should_fail(&self, col: u32, chunk: u32) -> bool {
+        {
+            let mut pins = self.pinned_left.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = pins
+                .iter_mut()
+                .find(|p| p.col == col && p.chunk == chunk && p.failures > 0)
+            {
+                p.failures -= 1;
+                return true;
+            }
+        }
+        if self.plan.fault_rate <= 0.0 {
+            return false;
+        }
+        // xorshift64* over an atomic word: deterministic for a given
+        // seed and total draw count, lock-free across workers.
+        let mut x = self.rng.load(Ordering::Relaxed);
+        loop {
+            let mut y = x;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            match self
+                .rng
+                .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    let unit = (y >> 11) as f64 / (1u64 << 53) as f64;
+                    return unit < self.plan.fault_rate;
+                }
+                Err(cur) => x = cur,
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn should_fail(&self, _col: u32, _chunk: u32) -> bool {
+        // Keep the state fields "live" for builds without the feature.
+        let _ = (&self.rng, &self.pinned_left);
+        false
+    }
+}
+
+/// A chunk read that kept failing after the full retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkReadError {
+    /// Column whose chunk failed.
+    pub col: u32,
+    /// Chunk index within the column.
+    pub chunk: u32,
+    /// Read attempts made (1 initial + retries).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ChunkReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chunk read failed: column {} chunk {} after {} attempts",
+            self.col, self.chunk, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for ChunkReadError {}
 
 /// The simulated buffer manager. Thread-safe; shared by reference.
 #[derive(Debug)]
@@ -79,45 +270,113 @@ impl ColumnBM {
 
     /// Record a scan touching `[offset, offset+len)` bytes of column
     /// `col`. Faults in the covering chunks through the LRU cache.
+    /// Infallible: no fault plan is consulted.
     pub fn access(&self, col: u32, offset: u64, len: u64) {
+        let ok = self.try_access(col, offset, len, None);
+        debug_assert!(ok.is_ok(), "access without a fault plan cannot fail");
+    }
+
+    /// Fallible variant of [`ColumnBM::access`]: each covering chunk is
+    /// read under `fault` (if any), retrying failed attempts with
+    /// exponential backoff up to the plan's retry budget. Returns the
+    /// first chunk whose retries were exhausted.
+    pub fn try_access(
+        &self,
+        col: u32,
+        offset: u64,
+        len: u64,
+        fault: Option<&FaultState>,
+    ) -> Result<(), ChunkReadError> {
         if len == 0 {
-            return;
+            return Ok(());
         }
         let first = (offset / self.chunk_bytes as u64) as u32;
         let last = ((offset + len - 1) / self.chunk_bytes as u64) as u32;
-        let mut st = self.state.lock().unwrap();
-        st.stats.bytes_requested += len;
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.stats.bytes_requested += len;
+        }
         for chunk in first..=last {
-            let id = (col, chunk);
-            if let Some(pos) = st.lru.iter().position(|&c| c == id) {
-                st.lru.remove(pos);
-                st.lru.push_back(id);
-                st.stats.hits += 1;
-            } else {
-                st.stats.misses += 1;
-                st.stats.bytes_read += self.chunk_bytes as u64;
-                if st.lru.len() == self.capacity_chunks {
-                    st.lru.pop_front();
-                    st.stats.evictions += 1;
-                }
-                st.lru.push_back(id);
+            self.read_chunk_retrying(col, chunk, fault)?;
+        }
+        Ok(())
+    }
+
+    /// Attempt one chunk read, retrying injected failures. The LRU is
+    /// only touched once the read succeeds; backoff sleeps happen
+    /// outside the state lock.
+    fn read_chunk_retrying(
+        &self,
+        col: u32,
+        chunk: u32,
+        fault: Option<&FaultState>,
+    ) -> Result<(), ChunkReadError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let failed = match fault {
+                Some(f) => f.should_fail(col, chunk),
+                None => false,
+            };
+            if !failed {
+                self.touch_chunk((col, chunk));
+                return Ok(());
             }
+            // `failed` implies a FaultState is present.
+            if let Some(f) = fault {
+                f.injected.fetch_add(1, Ordering::Relaxed);
+                if attempt >= f.plan.max_retries {
+                    return Err(ChunkReadError {
+                        col,
+                        chunk,
+                        attempts: attempt + 1,
+                    });
+                }
+                f.retries.fetch_add(1, Ordering::Relaxed);
+                if f.plan.backoff_base_us > 0 {
+                    let shift = attempt.min(5);
+                    let us = f.plan.backoff_base_us << shift;
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Pull one chunk through the LRU cache, updating the counters.
+    fn touch_chunk(&self, id: ChunkId) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = st.lru.iter().position(|&c| c == id) {
+            st.lru.remove(pos);
+            st.lru.push_back(id);
+            st.stats.hits += 1;
+        } else {
+            st.stats.misses += 1;
+            st.stats.bytes_read += self.chunk_bytes as u64;
+            if st.lru.len() == self.capacity_chunks {
+                st.lru.pop_front();
+                st.stats.evictions += 1;
+            }
+            st.lru.push_back(id);
         }
     }
 
     /// Snapshot the counters.
     pub fn stats(&self) -> BmStats {
-        self.state.lock().unwrap().stats
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// Number of chunks currently resident.
     pub fn resident_chunks(&self) -> usize {
-        self.state.lock().unwrap().lru.len()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lru
+            .len()
     }
 
     /// Reset counters and drop all resident chunks.
     pub fn reset(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.lru.clear();
         st.stats = BmStats::default();
     }
@@ -188,6 +447,86 @@ mod tests {
         assert_eq!(bm.stats().misses, 2);
         bm.access(0, 0, 0); // zero-length: no-op
         assert_eq!(bm.stats().misses, 2);
+    }
+
+    #[test]
+    fn try_access_without_fault_state_is_infallible() {
+        let bm = ColumnBM::with_chunk_bytes(4, 1024);
+        assert!(bm.try_access(0, 0, 4096, None).is_ok());
+        assert_eq!(bm.stats().misses, 4);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn pinned_fault_fails_then_succeeds_under_retry() {
+        let bm = ColumnBM::with_chunk_bytes(4, 1024);
+        let plan = FaultPlan {
+            backoff_base_us: 0,
+            ..FaultPlan::default()
+        }
+        .pin(0, 0, 2);
+        let fs = FaultState::new(plan);
+        // Two injected failures, two retries, then the read lands.
+        assert!(bm.try_access(0, 0, 1024, Some(&fs)).is_ok());
+        assert_eq!(fs.injected(), 2);
+        assert_eq!(fs.retries(), 2);
+        assert_eq!(bm.stats().misses, 1);
+        // The pinned budget is consumed: the next read is clean.
+        assert!(bm.try_access(0, 0, 1024, Some(&fs)).is_ok());
+        assert_eq!(fs.injected(), 2);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        let bm = ColumnBM::with_chunk_bytes(4, 1024);
+        let plan = FaultPlan {
+            max_retries: 3,
+            backoff_base_us: 0,
+            ..FaultPlan::default()
+        }
+        .pin(2, 1, 100);
+        let fs = FaultState::new(plan);
+        let err = bm.try_access(2, 1024, 512, Some(&fs)).unwrap_err();
+        assert_eq!(
+            err,
+            ChunkReadError {
+                col: 2,
+                chunk: 1,
+                attempts: 4
+            }
+        );
+        // The failed chunk never entered the cache.
+        assert_eq!(bm.stats().misses, 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_rate_is_deterministic_per_seed() {
+        let bm = ColumnBM::with_chunk_bytes(1024, 64);
+        let draws = |seed: u64| {
+            let fs = FaultState::new(FaultPlan {
+                backoff_base_us: 0,
+                ..FaultPlan::with_rate(0.2, seed)
+            });
+            for c in 0..512u64 {
+                bm.try_access(0, c * 64, 64, Some(&fs)).unwrap();
+            }
+            fs.injected()
+        };
+        let a = draws(42);
+        let b = draws(42);
+        assert_eq!(a, b, "same seed, same injected fault count");
+        assert!(a > 0, "20% rate over 512 chunk reads injects something");
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn fault_plan_is_inert_without_the_feature() {
+        let bm = ColumnBM::with_chunk_bytes(4, 1024);
+        let fs = FaultState::new(FaultPlan::with_rate(1.0, 7).pin(0, 0, 9));
+        assert!(bm.try_access(0, 0, 4096, Some(&fs)).is_ok());
+        assert_eq!(fs.injected(), 0);
     }
 
     #[test]

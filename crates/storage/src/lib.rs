@@ -24,7 +24,9 @@ pub mod summary;
 pub mod table;
 
 pub use column::ColumnData;
-pub use columnbm::{BmStats, ColumnBM, DEFAULT_CHUNK_BYTES};
+pub use columnbm::{
+    BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultState, PinnedFault, DEFAULT_CHUNK_BYTES,
+};
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};
 pub use morsel::{plan_morsels, Morsel};

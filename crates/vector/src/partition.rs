@@ -217,9 +217,21 @@ pub struct BlockedBloom {
 }
 
 impl BlockedBloom {
-    /// Allocate a filter for an expected `n` inserted hashes.
+    /// Allocate a filter for an expected `n` inserted hashes at the
+    /// default ~8 bits per key.
     pub fn with_capacity(n: usize) -> Self {
-        let nwords = (n / 8).max(1).next_power_of_two();
+        Self::with_bits_per_key(n, 8)
+    }
+
+    /// Allocate a filter sized for `n` keys at `bits_per_key` bits each
+    /// (rounded up to a power-of-two word count). More bits per key
+    /// lower the false-positive rate — callers pick the rate they can
+    /// afford from the observed build cardinality; false negatives are
+    /// impossible at any size.
+    pub fn with_bits_per_key(n: usize, bits_per_key: usize) -> Self {
+        let nwords = (n.saturating_mul(bits_per_key) / 64)
+            .max(1)
+            .next_power_of_two();
         BlockedBloom {
             words: vec![0; nwords],
             mask: nwords - 1,
@@ -401,6 +413,40 @@ mod tests {
         let mut res = vec![true; probe.len()];
         let rejected = bloom_test_u64_col(&mut res, &bloom, &probe, None);
         assert!(rejected > 500, "only {rejected} of 1000 rejected");
+    }
+
+    #[test]
+    fn bloom_bits_per_key_sizes_filter_and_lowers_fp_rate() {
+        // Word count scales with bits_per_key (power-of-two rounded).
+        assert_eq!(BlockedBloom::with_bits_per_key(1024, 8).byte_size(), 1024);
+        assert_eq!(BlockedBloom::with_bits_per_key(1024, 16).byte_size(), 2048);
+        // Degenerate sizes still allocate at least one word.
+        assert_eq!(BlockedBloom::with_bits_per_key(0, 8).byte_size(), 8);
+        // with_capacity is the 8-bits-per-key special case.
+        assert_eq!(
+            BlockedBloom::with_capacity(4096).byte_size(),
+            BlockedBloom::with_bits_per_key(4096, 8).byte_size()
+        );
+
+        // No false negatives at any sizing, and a roomier filter
+        // rejects at least as many disjoint probes as a tighter one.
+        let build: Vec<u64> = (0..4096u64).map(|k| hash_one(k * 2)).collect();
+        let probe: Vec<u64> = (0..4096u64).map(|k| hash_one(k * 2 + 1)).collect();
+        let mut rejects = Vec::new();
+        for bits in [2usize, 8, 16] {
+            let mut bloom = BlockedBloom::with_bits_per_key(build.len(), bits);
+            bloom_insert_u64_col(&mut bloom, &build, None);
+            let mut res = vec![false; build.len()];
+            assert_eq!(bloom_test_u64_col(&mut res, &bloom, &build, None), 0);
+            assert!(res.iter().all(|&r| r), "false negative at {bits} bits/key");
+            let mut res = vec![true; probe.len()];
+            rejects.push(bloom_test_u64_col(&mut res, &bloom, &probe, None));
+        }
+        assert!(
+            rejects.windows(2).all(|w| w[0] <= w[1]),
+            "rejects should not decrease with more bits/key: {rejects:?}"
+        );
+        assert!(rejects[2] > 3000, "16 bits/key should reject most probes");
     }
 
     #[test]
