@@ -146,6 +146,73 @@ pub enum PlanError {
     },
     /// A storage chunk read kept failing after its retry budget.
     Io(String),
+    /// The bind-time plan verifier rejected the compiled plan.
+    PlanCheck {
+        /// Path to the offending node, e.g. `root.Select.pred` or
+        /// `root.Project.expr[2].instr[1]`.
+        path: String,
+        /// The defect class and details.
+        violation: CheckViolation,
+    },
+}
+
+/// Defect classes the bind-time verifier ([`crate::check`]) rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckViolation {
+    /// A primitive was fed operands whose types don't match its
+    /// registered signature (or an expression cannot type at all).
+    TypeMismatch {
+        /// The signature or expression in question.
+        signature: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Selection-vector discipline violation: a `select_*` output fed
+    /// where a dense vector is required, or a dense-only primitive run
+    /// under a selection.
+    SelVectorMisuse {
+        /// The signature at the violation point.
+        signature: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An enum-code column escapes the plan in a decoded-value context
+    /// without a `Fetch1Join` dictionary decode.
+    UndecodedEnumColumn {
+        /// The code-carrying column.
+        column: String,
+        /// Where it leaked (e.g. `arithmetic operand`, `cast operand`).
+        context: String,
+    },
+    /// A compiled instruction's signature is not in the primitive
+    /// registry.
+    UnknownSignature {
+        /// The unregistered signature.
+        signature: String,
+    },
+}
+
+impl std::fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckViolation::TypeMismatch { signature, detail } => {
+                write!(f, "type mismatch in `{signature}`: {detail}")
+            }
+            CheckViolation::SelVectorMisuse { signature, detail } => {
+                write!(f, "selection-vector misuse at `{signature}`: {detail}")
+            }
+            CheckViolation::UndecodedEnumColumn { column, context } => write!(
+                f,
+                "enum-code column `{column}` used as {context} without a Fetch1Join decode"
+            ),
+            CheckViolation::UnknownSignature { signature } => {
+                write!(
+                    f,
+                    "signature `{signature}` is not in the primitive registry"
+                )
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for PlanError {
@@ -168,6 +235,9 @@ impl std::fmt::Display for PlanError {
                 write!(f, "worker {worker} panicked: {cause}")
             }
             PlanError::Io(m) => write!(f, "storage I/O error: {m}"),
+            PlanError::PlanCheck { path, violation } => {
+                write!(f, "plan check failed at {path}: {violation}")
+            }
         }
     }
 }
@@ -823,6 +893,18 @@ impl ExprProg {
     /// The primitive signatures this program invokes, in order.
     pub fn signatures(&self) -> impl Iterator<Item = &str> {
         self.instrs.iter().map(|(_, s)| s.as_str())
+    }
+
+    /// The lowered instructions with their signatures, for bind-time
+    /// verification ([`crate::check`]).
+    pub fn instr_list(&self) -> &[(Instr, String)] {
+        &self.instrs
+    }
+
+    /// Register types of the program's temp file (bind-time
+    /// verification resolves `Src::Reg` operand types through this).
+    pub fn reg_types(&self) -> &[ScalarType] {
+        &self.reg_types
     }
 
     /// Swap the result register's buffer with `buf` (zero-copy handoff

@@ -24,6 +24,12 @@
 //! `gov_mem_peak`, `gov_cancel_checks`, `io_retries`,
 //! `io_faults_injected`.
 
+// Under `--cfg loom` the governor's atomics are the loom shim's, so the
+// model in `tests/loom_govern.rs` exercises this exact code with
+// schedule points injected at every atomic operation.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

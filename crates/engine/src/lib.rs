@@ -21,8 +21,11 @@
 //! * [`session`] — the catalog ([`Database`]), execution options
 //!   (vector size, select strategy, compound toggle), and result
 //!   materialization.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod batch;
+pub mod check;
 pub mod compile;
 pub mod expr;
 pub mod govern;
@@ -34,10 +37,11 @@ pub mod render;
 pub mod session;
 
 pub use batch::{Batch, OutField};
+pub use check::{check_plan, explain_check, verify_program, CheckSummary};
 /// Typed engine error (alias of [`PlanError`]): binding, validation and
 /// execution failures that used to be panics surface as this.
 pub use compile::PlanError as EngineError;
-pub use compile::{ExprProg, PlanError};
+pub use compile::{CheckViolation, ExprProg, PlanError};
 pub use expr::{AggExpr, AggFunc, ArithOp, Expr};
 pub use govern::{CancelToken, MemTracker, QueryContext};
 pub use ops::{AggrPartial, MergeAggrOp, MergeSpec, Operator, PartialAcc};
@@ -46,4 +50,4 @@ pub use plan::Plan;
 pub use profile::{Profiler, TraceStat, WorkerTrace};
 pub use render::{render_expr, render_plan};
 pub use session::{Database, ExecOptions, QueryResult, DEFAULT_MORSEL_SIZE};
-pub use x100_storage::{FaultPlan, PinnedFault};
+pub use x100_storage::{FaultPlan, FaultSite, PinnedFault};

@@ -6,7 +6,6 @@
 //! aborts the query (budget, cancellation, deadline, I/O fault).
 //! `Table`s are materialized relations; a `Dataflow` is what flows
 //! between operators (paper §4.1.2).
-#![warn(clippy::unwrap_used)]
 
 use crate::batch::Batch;
 use crate::compile::PlanError;

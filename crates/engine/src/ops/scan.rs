@@ -254,9 +254,14 @@ impl ScanOp {
         for (ci, offset, len) in reads {
             self.bm_read(ci, offset, len)?;
         }
-        // Decode pass: one Fetch1Join(ENUM) per enum column.
+        // Decode pass: one Fetch1Join(ENUM) per enum column. The
+        // dictionary gather is its own fault-injection site.
         for (k, &ci) in self.cols.iter().enumerate() {
             if let ColMode::Decode { codes, sig } = &self.modes[k] {
+                if let Some(fs) = self.ctx.fault_state() {
+                    fs.check_site(x100_storage::FaultSite::DictLookup, ci as u32)
+                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                }
                 let dict = self.table.column(ci).dict().ok_or_else(|| {
                     PlanError::Invalid(format!(
                         "decode mode without dictionary on column `{}`",
@@ -296,12 +301,17 @@ impl ScanOp {
         Ok(())
     }
 
-    /// Produce one batch from the delta region.
-    fn emit_delta(&mut self, start: usize, n: usize, prof: &mut Profiler) {
+    /// Produce one batch from the delta region. Delta reads are their
+    /// own fault-injection site, distinct from chunked fragment reads.
+    fn emit_delta(&mut self, start: usize, n: usize, prof: &mut Profiler) -> Result<(), PlanError> {
         self.out.reset();
         self.out.len = n;
         let t_scan = prof.start();
         for (k, &ci) in self.cols.iter().enumerate() {
+            if let Some(fs) = self.ctx.fault_state() {
+                fs.check_site(x100_storage::FaultSite::DeltaRead, ci as u32)
+                    .map_err(|e| PlanError::Io(e.to_string()))?;
+            }
             let mut v = self.pools[k].writable();
             // Delta rows are stored logically; code columns cannot be
             // served from the delta (the binder rejects code scans on
@@ -334,6 +344,7 @@ impl ScanOp {
             }
             self.sel_pool.publish(sel, &mut self.out);
         }
+        Ok(())
     }
 }
 
@@ -391,7 +402,7 @@ impl Operator for ScanOp {
                 let start = m.start + self.moff;
                 self.moff += n;
                 if m.delta {
-                    self.emit_delta(start, n, prof);
+                    self.emit_delta(start, n, prof)?;
                 } else {
                     self.emit_fragment(start, n, prof)?;
                 }
@@ -410,7 +421,7 @@ impl Operator for ScanOp {
             let n = (delta - self.delta_pos).min(self.vector_size);
             let start = self.delta_pos;
             self.delta_pos += n;
-            self.emit_delta(start, n, prof);
+            self.emit_delta(start, n, prof)?;
             return Ok(Some(&self.out));
         }
         Ok(None)

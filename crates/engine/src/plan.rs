@@ -225,6 +225,9 @@ impl Plan {
     /// Bind this plan against `db`, producing an executable pipeline
     /// with its own (unshared) governor context derived from `opts`.
     pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
+        // Static verification first: ill-formed programs must never
+        // reach a kernel (see `crate::check`).
+        crate::check::check_plan(db, self, opts)?;
         let ctx = opts.query_context();
         Ok(self.bind_inner(db, opts, None, None, &ctx)?.0)
     }
@@ -537,7 +540,7 @@ pub(crate) fn scan_prune_range(
 /// into comparisons on the dictionary code, so predicates never decode
 /// (paper §4.3: enumeration types). Literals absent from the dictionary
 /// fold to boolean constants.
-fn rewrite_enum_literals(
+pub(crate) fn rewrite_enum_literals(
     e: &Expr,
     fields: &[crate::batch::OutField],
     dicts: &[Option<EnumDict>],

@@ -311,6 +311,9 @@ pub fn execute(
     plan: &Plan,
     opts: &ExecOptions,
 ) -> Result<(QueryResult, Profiler), PlanError> {
+    // Static verification gate: every plan is checked against the
+    // primitive catalog before any operator is constructed.
+    crate::check::check_plan(db, plan, opts)?;
     let ctx = opts.query_context();
     if opts.threads > 1 {
         if let Some((result, mut prof)) =

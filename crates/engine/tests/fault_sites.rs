@@ -1,0 +1,106 @@
+//! Fault injection beyond chunk reads: delta-insert reads and enum
+//! dictionary lookups each surface a typed `PlanError::Io` through the
+//! governor when their retry budget is exhausted (DESIGN.md §8).
+//!
+//! Run with `cargo test --features fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use x100_engine::expr::*;
+use x100_engine::plan::Plan;
+use x100_engine::session::{execute, Database, ExecOptions};
+use x100_engine::{FaultPlan, FaultSite, PlanError};
+use x100_storage::{ColumnData, FaultState, TableBuilder};
+use x100_vector::Value;
+
+fn db_with_delta_and_enum() -> Database {
+    let n = 500i64;
+    let mut db = Database::new();
+    let mut t = TableBuilder::new("orders")
+        .column("id", ColumnData::I64((0..n).collect()))
+        .column(
+            "amount",
+            ColumnData::F64((0..n).map(|i| i as f64).collect()),
+        )
+        .auto_enum_str(
+            "status",
+            (0..n)
+                .map(|i| ["NEW", "OPEN"][(i % 2) as usize].to_owned())
+                .collect(),
+        )
+        .build();
+    // A handful of uncheckpointed inserts so the scan has a delta tail.
+    for i in 0..10 {
+        t.insert(&[
+            Value::I64(n + i),
+            Value::F64(0.5),
+            Value::Str("NEW".to_owned()),
+        ]);
+    }
+    db.register(t);
+    db
+}
+
+fn certain(site_rate: fn(FaultPlan) -> FaultPlan) -> FaultPlan {
+    // Rate 1.0 with no backoff: the first access of the target site
+    // exhausts its retries immediately and deterministically.
+    site_rate(FaultPlan {
+        max_retries: 2,
+        backoff_base_us: 0,
+        ..FaultPlan::default()
+    })
+}
+
+#[test]
+fn delta_read_fault_surfaces_typed_io() {
+    let db = db_with_delta_and_enum();
+    let plan = Plan::scan("orders", &["id", "amount"]).select(gt(col("amount"), lit_f64(-1.0)));
+    let opts = ExecOptions::default().with_fault_plan(certain(|p| p.delta_rate(1.0)));
+    match execute(&db, &plan, &opts) {
+        Err(PlanError::Io(msg)) => {
+            assert!(msg.contains("delta read"), "message was: {msg}")
+        }
+        other => panic!("expected Io from the delta-read site, got {other:?}"),
+    }
+    // The same query with faults only on the (unused) dictionary path
+    // completes: 510 fragment+delta rows survive the filter.
+    let opts = ExecOptions::default().with_fault_plan(certain(|p| p.dict_rate(1.0)));
+    let (res, _) = execute(&db, &plan, &opts).expect("no dict lookups in this plan");
+    assert_eq!(res.num_rows(), 510);
+}
+
+#[test]
+fn dict_lookup_fault_surfaces_typed_io() {
+    let db = db_with_delta_and_enum();
+    // Scanning `status` WITHOUT code mode forces the Fetch1Join(ENUM)
+    // decode, i.e. a dictionary lookup per vector.
+    let plan = Plan::scan("orders", &["id", "status"]);
+    let opts = ExecOptions::default().with_fault_plan(certain(|p| p.dict_rate(1.0)));
+    match execute(&db, &plan, &opts) {
+        Err(PlanError::Io(msg)) => {
+            assert!(msg.contains("dictionary lookup"), "message was: {msg}")
+        }
+        other => panic!("expected Io from the dict-lookup site, got {other:?}"),
+    }
+}
+
+#[test]
+fn chunk_read_fault_still_surfaces_typed_io() {
+    // The original site keeps working alongside the new ones.
+    let fs = FaultState::new(certain(|p| p.delta_rate(1.0)));
+    assert!(fs.check_site(FaultSite::ChunkRead, 0).is_ok());
+    let err = fs.check_site(FaultSite::DeltaRead, 3).unwrap_err();
+    assert_eq!(err.site, FaultSite::DeltaRead);
+    assert_eq!(err.col, 3);
+    assert_eq!(err.attempts, 3); // 1 initial + max_retries(2)
+}
+
+#[test]
+fn site_rates_are_independent() {
+    let fs = FaultState::new(certain(|p| p.dict_rate(1.0)));
+    assert!(fs.check_site(FaultSite::DeltaRead, 0).is_ok());
+    assert!(fs.check_site(FaultSite::ChunkRead, 0).is_ok());
+    assert!(fs.check_site(FaultSite::DictLookup, 0).is_err());
+    // Counters aggregated across sites: 1 error = retries + final.
+    assert_eq!(fs.injected(), 3);
+    assert_eq!(fs.retries(), 2);
+}

@@ -1,0 +1,219 @@
+//! Offline shim of the [loom](https://docs.rs/loom) model-checker API.
+//!
+//! This repo builds with no network access, so the real loom crate is
+//! unavailable; this shim keeps the loom *programming model* — code
+//! under test imports `loom::sync::atomic` under `cfg(loom)` and tests
+//! wrap their bodies in [`model`] — while replacing loom's exhaustive
+//! DPOR exploration with **randomized schedule exploration**: the model
+//! body is executed many times (default 300 iterations,
+//! `LOOM_MAX_ITER` overrides) over real OS threads, and every shimmed
+//! atomic operation injects a deterministic pseudo-random
+//! `yield_now()`, derived from a per-iteration seed, to shake out
+//! interleavings that a plain test would almost never hit.
+//!
+//! The guarantees are accordingly weaker than real loom — a passing run
+//! is evidence, not proof — but the failure mode is identical: an
+//! interleaving that violates an assertion panics with the iteration
+//! number, and re-running with the same `LOOM_MAX_ITER` reproduces the
+//! schedule (seeds are a pure function of the iteration index). If the
+//! real loom crate becomes available, deleting this shim and adding
+//! `loom = "0.7"` under `[target.'cfg(loom)'.dependencies]` is a
+//! drop-in swap.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Per-iteration schedule seed; each spawned thread derives its own
+/// stream from this plus a thread counter.
+static MODEL_SEED: StdAtomicU64 = StdAtomicU64::new(0);
+static THREAD_COUNTER: StdAtomicU64 = StdAtomicU64::new(0);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn seed_this_thread() {
+    let base = MODEL_SEED.load(StdOrdering::Relaxed);
+    let tid = THREAD_COUNTER.fetch_add(1, StdOrdering::Relaxed);
+    RNG.with(|r| r.set(splitmix64(base ^ splitmix64(tid.wrapping_add(1)))));
+}
+
+/// The preemption point every shimmed atomic operation passes through:
+/// yield to the OS scheduler on roughly half the visits, pseudo-randomly
+/// but deterministically per (iteration, thread, visit).
+fn schedule_point() {
+    let roll = RNG.with(|r| {
+        let next = splitmix64(r.get());
+        r.set(next);
+        next
+    });
+    if roll & 1 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Run `f` under the model: many iterations, each with a distinct
+/// deterministic yield schedule. Panics propagate with the failing
+/// iteration number attached.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    for iter in 0..iters {
+        MODEL_SEED.store(splitmix64(iter.wrapping_add(1)), StdOrdering::Relaxed);
+        seed_this_thread();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(e) = r {
+            eprintln!("loom-shim: model failed on iteration {iter}/{iters}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+pub mod thread {
+    use super::seed_this_thread;
+
+    /// Spawn a model thread: a real OS thread whose shimmed atomics
+    /// follow its own deterministic yield stream.
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            seed_this_thread();
+            f()
+        })
+    }
+
+    pub use std::thread::yield_now;
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Mutex};
+
+    pub mod atomic {
+        use super::super::schedule_point;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $raw:ty) => {
+                /// Shimmed atomic: delegates to the std atomic with a
+                /// schedule point before every operation.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub fn new(v: $raw) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    pub fn load(&self, o: Ordering) -> $raw {
+                        schedule_point();
+                        self.0.load(o)
+                    }
+                    pub fn store(&self, v: $raw, o: Ordering) {
+                        schedule_point();
+                        self.0.store(v, o)
+                    }
+                    pub fn swap(&self, v: $raw, o: Ordering) -> $raw {
+                        schedule_point();
+                        self.0.swap(v, o)
+                    }
+                    pub fn fetch_add(&self, v: $raw, o: Ordering) -> $raw {
+                        schedule_point();
+                        self.0.fetch_add(v, o)
+                    }
+                    pub fn fetch_sub(&self, v: $raw, o: Ordering) -> $raw {
+                        schedule_point();
+                        self.0.fetch_sub(v, o)
+                    }
+                    pub fn fetch_max(&self, v: $raw, o: Ordering) -> $raw {
+                        schedule_point();
+                        self.0.fetch_max(v, o)
+                    }
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $raw,
+                        new: $raw,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        schedule_point();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        /// Shimmed `AtomicBool` (separate from the macro: no
+        /// `fetch_add`/`fetch_max` on bools).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+            pub fn load(&self, o: Ordering) -> bool {
+                schedule_point();
+                self.0.load(o)
+            }
+            pub fn store(&self, v: bool, o: Ordering) {
+                schedule_point();
+                self.0.store(v, o)
+            }
+            pub fn swap(&self, v: bool, o: Ordering) -> bool {
+                schedule_point();
+                self.0.swap(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_and_interleaves() {
+        std::env::set_var("LOOM_MAX_ITER", "16");
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("joins");
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 20);
+        });
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(super::splitmix64(1), super::splitmix64(1));
+        assert_ne!(super::splitmix64(1), super::splitmix64(2));
+    }
+}

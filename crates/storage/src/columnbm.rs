@@ -56,6 +56,56 @@ pub struct BmStats {
     pub evictions: u64,
 }
 
+/// Which storage access path a fault targets.
+///
+/// Chunk reads were the original injection site; delta-insert reads and
+/// enum dictionary lookups fail independently (different code paths,
+/// different recovery characteristics), each with its own rate knob on
+/// [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Chunked column reads through the buffer manager.
+    ChunkRead,
+    /// Insert-delta reads appended after the fragments during a scan.
+    DeltaRead,
+    /// Enum dictionary value lookups (code → value gather).
+    DictLookup,
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSite::ChunkRead => write!(f, "chunk read"),
+            FaultSite::DeltaRead => write!(f, "delta read"),
+            FaultSite::DictLookup => write!(f, "dictionary lookup"),
+        }
+    }
+}
+
+/// A non-chunk storage access that kept failing after the full retry
+/// budget (see [`FaultState::check_site`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultError {
+    /// The access path that failed.
+    pub site: FaultSite,
+    /// Column the access touched.
+    pub col: u32,
+    /// Attempts made (1 initial + retries).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for StorageFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed: column {} after {} attempts",
+            self.site, self.col, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for StorageFaultError {}
+
 /// One pinned fault: reads of chunk `(col, chunk)` fail their next
 /// `failures` attempts, then succeed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +127,11 @@ pub struct PinnedFault {
 pub struct FaultPlan {
     /// Probability in `[0, 1]` that any single chunk-read attempt fails.
     pub fault_rate: f64,
-    /// Seed for the deterministic xorshift RNG driving `fault_rate`.
+    /// Probability in `[0, 1]` that one delta-read attempt fails.
+    pub delta_fault_rate: f64,
+    /// Probability in `[0, 1]` that one dictionary-lookup attempt fails.
+    pub dict_fault_rate: f64,
+    /// Seed for the deterministic xorshift RNG driving the rates.
     pub seed: u64,
     /// Chunks that fail a fixed number of times before succeeding.
     pub pinned: Vec<PinnedFault>,
@@ -92,6 +146,8 @@ impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan {
             fault_rate: 0.0,
+            delta_fault_rate: 0.0,
+            dict_fault_rate: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
             pinned: Vec::new(),
             max_retries: 6,
@@ -108,6 +164,18 @@ impl FaultPlan {
             seed,
             ..FaultPlan::default()
         }
+    }
+
+    /// Set the probability that a delta-insert read attempt fails.
+    pub fn delta_rate(mut self, rate: f64) -> Self {
+        self.delta_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a dictionary-lookup attempt fails.
+    pub fn dict_rate(mut self, rate: f64) -> Self {
+        self.dict_fault_rate = rate;
+        self
     }
 
     /// Add a pinned fault: `(col, chunk)` fails its next `failures`
@@ -176,11 +244,17 @@ impl FaultState {
                 return true;
             }
         }
-        if self.plan.fault_rate <= 0.0 {
+        self.draw(self.plan.fault_rate)
+    }
+
+    /// One Bernoulli draw at `rate` from the shared RNG stream:
+    /// xorshift64* over an atomic word, deterministic for a given seed
+    /// and total draw count, lock-free across workers.
+    #[cfg(feature = "fault-inject")]
+    fn draw(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
             return false;
         }
-        // xorshift64* over an atomic word: deterministic for a given
-        // seed and total draw count, lock-free across workers.
         let mut x = self.rng.load(Ordering::Relaxed);
         loop {
             let mut y = x;
@@ -193,7 +267,7 @@ impl FaultState {
             {
                 Ok(_) => {
                     let unit = (y >> 11) as f64 / (1u64 << 53) as f64;
-                    return unit < self.plan.fault_rate;
+                    return unit < rate;
                 }
                 Err(cur) => x = cur,
             }
@@ -205,6 +279,48 @@ impl FaultState {
         // Keep the state fields "live" for builds without the feature.
         let _ = (&self.rng, &self.pinned_left);
         false
+    }
+
+    /// Consult the plan before one non-chunk storage access (a delta
+    /// read or a dictionary lookup of column `col`): injected failures
+    /// retry with the same exponential-backoff budget as chunk reads and
+    /// surface a typed [`StorageFaultError`] once it is exhausted.
+    /// Inert (always `Ok`) without the `fault-inject` feature.
+    pub fn check_site(&self, site: FaultSite, col: u32) -> Result<(), StorageFaultError> {
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = (site, col);
+            Ok(())
+        }
+        #[cfg(feature = "fault-inject")]
+        {
+            let rate = match site {
+                FaultSite::ChunkRead => self.plan.fault_rate,
+                FaultSite::DeltaRead => self.plan.delta_fault_rate,
+                FaultSite::DictLookup => self.plan.dict_fault_rate,
+            };
+            let mut attempt: u32 = 0;
+            loop {
+                if !self.draw(rate) {
+                    return Ok(());
+                }
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                if attempt >= self.plan.max_retries {
+                    return Err(StorageFaultError {
+                        site,
+                        col,
+                        attempts: attempt + 1,
+                    });
+                }
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                if self.plan.backoff_base_us > 0 {
+                    let shift = attempt.min(5);
+                    let us = self.plan.backoff_base_us << shift;
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
+                attempt += 1;
+            }
+        }
     }
 }
 

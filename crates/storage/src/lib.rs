@@ -14,6 +14,8 @@
 //!   indices for `#rowId` range derivation on clustered columns.
 //! * [`ColumnBM`] — a simulation of the chunked column buffer manager,
 //!   accounting chunk loads, cache hits and bandwidth amplification.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod column;
 pub mod columnbm;
@@ -25,7 +27,8 @@ pub mod table;
 
 pub use column::ColumnData;
 pub use columnbm::{
-    BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultState, PinnedFault, DEFAULT_CHUNK_BYTES,
+    BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultSite, FaultState, PinnedFault,
+    StorageFaultError, DEFAULT_CHUNK_BYTES,
 };
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};

@@ -36,7 +36,9 @@ pub fn hash_one(v: u64) -> u64 {
 pub fn hash_bytes(mut h: u64, bytes: &[u8]) -> u64 {
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
-        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(c);
+        h = mix(h, u64::from_le_bytes(word));
     }
     let rem = chunks.remainder();
     if !rem.is_empty() {

@@ -20,6 +20,8 @@
 //! 3. Primitive *patterns* are generic functions; concrete instances are
 //!    macro-generated per signature and cataloged in the
 //!    [`PrimitiveRegistry`].
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod aggr;
 pub mod compound;
@@ -34,7 +36,10 @@ pub mod types;
 pub mod vector;
 
 pub use map::CmpOp;
-pub use registry::{PrimitiveDesc, PrimitiveKind, PrimitiveRegistry};
+pub use registry::{
+    parse_signature, ArgTy, OutTy, PrimitiveDesc, PrimitiveKind, PrimitiveRegistry, SigInfo,
+    VecShape,
+};
 pub use sel::SelVec;
 pub use select::SelectStrategy;
 pub use types::{date, ScalarType, Value};

@@ -104,136 +104,117 @@ pub fn map2_val_col<T: Copy, U: Copy, R: Copy, F: Fn(T, U) -> R>(
 }
 
 /// Generates the monomorphic `map_<op>_<ty>_col_<ty>_col` / `_col_val` /
-/// `_val_col` instances for one (operator, type) pair — the Rust analogue
-/// of the paper's primitive generator expanding one line of a
-/// signature-request file into all column/constant combinations.
-macro_rules! arith_instance {
-    ($col_col:ident, $col_val:ident, $val_col:ident, $ty:ty, $f:expr) => {
-        /// Macro-generated arithmetic map instance (column ⊕ column).
-        #[inline]
-        pub fn $col_col(res: &mut [$ty], a: &[$ty], b: &[$ty], sel: Option<&SelVec>) {
-            map2_col_col(res, a, b, sel, $f);
-        }
+/// `_val_col` instances — the Rust analogue of the paper's primitive
+/// generator expanding a signature-request file into all column/constant
+/// combinations — **and** the `ARITH_SIGNATURES` catalog from the very
+/// same token list (via `stringify!`). One invocation emits both the
+/// kernels and their registry entries, so the catalog cannot name a
+/// function that does not exist nor omit one that does: registry and
+/// code move together by construction.
+macro_rules! arith_instances {
+    ($( ($col_col:ident, $col_val:ident, $val_col:ident, $ty:ty, $f:expr) ),+ $(,)?) => {
+        $(
+            /// Macro-generated arithmetic map instance (column ⊕ column).
+            #[inline]
+            pub fn $col_col(res: &mut [$ty], a: &[$ty], b: &[$ty], sel: Option<&SelVec>) {
+                map2_col_col(res, a, b, sel, $f);
+            }
 
-        /// Macro-generated arithmetic map instance (column ⊕ constant).
-        #[inline]
-        pub fn $col_val(res: &mut [$ty], a: &[$ty], v: $ty, sel: Option<&SelVec>) {
-            map2_col_val(res, a, v, sel, $f);
-        }
+            /// Macro-generated arithmetic map instance (column ⊕ constant).
+            #[inline]
+            pub fn $col_val(res: &mut [$ty], a: &[$ty], v: $ty, sel: Option<&SelVec>) {
+                map2_col_val(res, a, v, sel, $f);
+            }
 
-        /// Macro-generated arithmetic map instance (constant ⊕ column).
-        #[inline]
-        pub fn $val_col(res: &mut [$ty], v: $ty, a: &[$ty], sel: Option<&SelVec>) {
-            map2_val_col(res, v, a, sel, $f);
-        }
+            /// Macro-generated arithmetic map instance (constant ⊕ column).
+            #[inline]
+            pub fn $val_col(res: &mut [$ty], v: $ty, a: &[$ty], sel: Option<&SelVec>) {
+                map2_val_col(res, v, a, sel, $f);
+            }
+        )+
+
+        /// Catalog of the macro-generated arithmetic instances, emitted
+        /// by the same `arith_instances!` expansion that defines the
+        /// kernels (used by the primitive registry, the bind-time
+        /// verifier, and `cargo xtask lint`).
+        pub const ARITH_SIGNATURES: &[&str] = &[
+            $( stringify!($col_col), stringify!($col_val), stringify!($val_col), )+
+        ];
     };
 }
 
-arith_instance!(
-    map_add_i32_col_i32_col,
-    map_add_i32_col_i32_val,
-    map_add_i32_val_i32_col,
-    i32,
-    |x, y| x.wrapping_add(y)
+arith_instances!(
+    (
+        map_add_i32_col_i32_col,
+        map_add_i32_col_i32_val,
+        map_add_i32_val_i32_col,
+        i32,
+        |x, y| x.wrapping_add(y)
+    ),
+    (
+        map_add_i64_col_i64_col,
+        map_add_i64_col_i64_val,
+        map_add_i64_val_i64_col,
+        i64,
+        |x, y| x.wrapping_add(y)
+    ),
+    (
+        map_add_f64_col_f64_col,
+        map_add_f64_col_f64_val,
+        map_add_f64_val_f64_col,
+        f64,
+        |x, y| x + y
+    ),
+    (
+        map_sub_i32_col_i32_col,
+        map_sub_i32_col_i32_val,
+        map_sub_i32_val_i32_col,
+        i32,
+        |x, y| x.wrapping_sub(y)
+    ),
+    (
+        map_sub_i64_col_i64_col,
+        map_sub_i64_col_i64_val,
+        map_sub_i64_val_i64_col,
+        i64,
+        |x, y| x.wrapping_sub(y)
+    ),
+    (
+        map_sub_f64_col_f64_col,
+        map_sub_f64_col_f64_val,
+        map_sub_f64_val_f64_col,
+        f64,
+        |x, y| x - y
+    ),
+    (
+        map_mul_i32_col_i32_col,
+        map_mul_i32_col_i32_val,
+        map_mul_i32_val_i32_col,
+        i32,
+        |x, y| x.wrapping_mul(y)
+    ),
+    (
+        map_mul_i64_col_i64_col,
+        map_mul_i64_col_i64_val,
+        map_mul_i64_val_i64_col,
+        i64,
+        |x, y| x.wrapping_mul(y)
+    ),
+    (
+        map_mul_f64_col_f64_col,
+        map_mul_f64_col_f64_val,
+        map_mul_f64_val_f64_col,
+        f64,
+        |x, y| x * y
+    ),
+    (
+        map_div_f64_col_f64_col,
+        map_div_f64_col_f64_val,
+        map_div_f64_val_f64_col,
+        f64,
+        |x, y| x / y
+    ),
 );
-arith_instance!(
-    map_add_i64_col_i64_col,
-    map_add_i64_col_i64_val,
-    map_add_i64_val_i64_col,
-    i64,
-    |x, y| x.wrapping_add(y)
-);
-arith_instance!(
-    map_add_f64_col_f64_col,
-    map_add_f64_col_f64_val,
-    map_add_f64_val_f64_col,
-    f64,
-    |x, y| x + y
-);
-arith_instance!(
-    map_sub_i32_col_i32_col,
-    map_sub_i32_col_i32_val,
-    map_sub_i32_val_i32_col,
-    i32,
-    |x, y| x.wrapping_sub(y)
-);
-arith_instance!(
-    map_sub_i64_col_i64_col,
-    map_sub_i64_col_i64_val,
-    map_sub_i64_val_i64_col,
-    i64,
-    |x, y| x.wrapping_sub(y)
-);
-arith_instance!(
-    map_sub_f64_col_f64_col,
-    map_sub_f64_col_f64_val,
-    map_sub_f64_val_f64_col,
-    f64,
-    |x, y| x - y
-);
-arith_instance!(
-    map_mul_i32_col_i32_col,
-    map_mul_i32_col_i32_val,
-    map_mul_i32_val_i32_col,
-    i32,
-    |x, y| x.wrapping_mul(y)
-);
-arith_instance!(
-    map_mul_i64_col_i64_col,
-    map_mul_i64_col_i64_val,
-    map_mul_i64_val_i64_col,
-    i64,
-    |x, y| x.wrapping_mul(y)
-);
-arith_instance!(
-    map_mul_f64_col_f64_col,
-    map_mul_f64_col_f64_val,
-    map_mul_f64_val_f64_col,
-    f64,
-    |x, y| x * y
-);
-arith_instance!(
-    map_div_f64_col_f64_col,
-    map_div_f64_col_f64_val,
-    map_div_f64_val_f64_col,
-    f64,
-    |x, y| x / y
-);
-
-/// Catalog of the macro-generated arithmetic instances (signature →
-/// existence proof; used by the primitive registry and its tests).
-pub const ARITH_SIGNATURES: &[&str] = &[
-    "map_add_i32_col_i32_col",
-    "map_add_i32_col_i32_val",
-    "map_add_i32_val_i32_col",
-    "map_add_i64_col_i64_col",
-    "map_add_i64_col_i64_val",
-    "map_add_i64_val_i64_col",
-    "map_add_f64_col_f64_col",
-    "map_add_f64_col_f64_val",
-    "map_add_f64_val_f64_col",
-    "map_sub_i32_col_i32_col",
-    "map_sub_i32_col_i32_val",
-    "map_sub_i32_val_i32_col",
-    "map_sub_i64_col_i64_col",
-    "map_sub_i64_col_i64_val",
-    "map_sub_i64_val_i64_col",
-    "map_sub_f64_col_f64_col",
-    "map_sub_f64_col_f64_val",
-    "map_sub_f64_val_f64_col",
-    "map_mul_i32_col_i32_col",
-    "map_mul_i32_col_i32_val",
-    "map_mul_i32_val_i32_col",
-    "map_mul_i64_col_i64_col",
-    "map_mul_i64_col_i64_val",
-    "map_mul_i64_val_i64_col",
-    "map_mul_f64_col_f64_col",
-    "map_mul_f64_col_f64_val",
-    "map_mul_f64_val_f64_col",
-    "map_div_f64_col_f64_col",
-    "map_div_f64_col_f64_val",
-    "map_div_f64_val_f64_col",
-];
 
 /// Comparison maps produce a full boolean vector (`res[i] = a[i] ⊙ b[i]`).
 ///

@@ -8,10 +8,22 @@
 //!
 //! * the engine's expression compiler can record which primitive each
 //!   compiled instruction corresponds to (Table 5 traces),
+//! * the engine's bind-time verifier (`engine::check`) can type-check
+//!   every compiled primitive program against the catalog,
 //! * extension developers can see the full primitive surface, and
 //! * tests can verify that every instruction the engine emits maps to a
 //!   registered primitive.
+//!
+//! Every descriptor carries machine-readable typing ([`SigInfo`]):
+//! input types and shapes, output type, selection-vector behaviour, and
+//! fusability. The typing is *derived from the signature string itself*
+//! by [`parse_signature`] — the same grammar the kernel-instantiating
+//! macros follow — so the catalog cannot drift from the code: a
+//! signature that fails to parse panics at registry construction, and
+//! `cargo xtask lint` cross-checks exported kernel symbols against the
+//! catalog.
 
+use crate::types::ScalarType;
 use std::collections::BTreeMap;
 
 /// The family a primitive belongs to (paper §4.2's `map_*`, `select_*`,
@@ -32,6 +44,89 @@ pub enum PrimitiveKind {
     Compound,
 }
 
+/// Shape of one primitive argument: a full column vector or a broadcast
+/// scalar constant (the paper's `_col` / `_val` signature suffixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecShape {
+    /// One value per (selected) position.
+    Col,
+    /// A single constant broadcast over the vector.
+    Val,
+}
+
+/// One typed argument of a primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgTy {
+    /// Element type.
+    pub ty: ScalarType,
+    /// Column or broadcast constant.
+    pub shape: VecShape,
+}
+
+impl ArgTy {
+    /// A column argument of type `ty`.
+    pub fn col(ty: ScalarType) -> Self {
+        ArgTy {
+            ty,
+            shape: VecShape::Col,
+        }
+    }
+
+    /// A broadcast-constant argument of type `ty`.
+    pub fn val(ty: ScalarType) -> Self {
+        ArgTy {
+            ty,
+            shape: VecShape::Val,
+        }
+    }
+}
+
+/// What a primitive produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutTy {
+    /// A dense/positional result vector of the given type.
+    Vec(ScalarType),
+    /// A selection vector (positions of qualifying tuples).
+    Sel,
+    /// In-place state update (aggregate tables, Bloom filters,
+    /// scatter targets) — no result vector flows downstream.
+    State,
+    /// Polymorphic output (e.g. `map_fill_const` broadcasts any type).
+    Poly,
+}
+
+/// Machine-readable typing of one primitive signature.
+///
+/// Derived from the signature grammar by [`parse_signature`]; stored on
+/// every [`PrimitiveDesc`] so bind-time verification and the custom
+/// lints need no second source of truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigInfo {
+    /// Typed inputs, in signature order.
+    pub inputs: Vec<ArgTy>,
+    /// Result kind.
+    pub output: OutTy,
+    /// Whether the kernel honors an incoming selection vector
+    /// (`Option<&SelVec>` parameter). `false` marks *dense-only*
+    /// position-dependent kernels (scatter, Bloom, sort permutation,
+    /// hash-table maintenance) that must never run under a selection.
+    pub consumes_sel: bool,
+    /// Whether the kernel's output is a selection vector. Only a
+    /// predicate root may produce one; the verifier rejects programs
+    /// that feed a selection where a dense vector is required.
+    pub produces_sel: bool,
+    /// Whether the compound-fusion rewrite may absorb this primitive
+    /// into a fused loop (§4.2).
+    pub fusable: bool,
+}
+
+impl SigInfo {
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
 /// Description of one registered primitive instance.
 #[derive(Debug, Clone)]
 pub struct PrimitiveDesc {
@@ -41,6 +136,265 @@ pub struct PrimitiveDesc {
     pub kind: PrimitiveKind,
     /// One-line description.
     pub doc: &'static str,
+    /// Machine-readable typing derived from the signature.
+    pub info: SigInfo,
+}
+
+/// Parse a type token of the signature grammar.
+fn ty_token(tok: &str) -> Option<ScalarType> {
+    Some(match tok {
+        "i8" => ScalarType::I8,
+        "i16" => ScalarType::I16,
+        "i32" => ScalarType::I32,
+        "i64" => ScalarType::I64,
+        "u8" => ScalarType::U8,
+        "u16" => ScalarType::U16,
+        "u32" => ScalarType::U32,
+        "u64" => ScalarType::U64,
+        "f64" => ScalarType::F64,
+        "bool" => ScalarType::Bool,
+        "str" => ScalarType::Str,
+        // The paper's direct-group index type: a u32 group cursor.
+        "uidx" => ScalarType::U32,
+        _ => return None,
+    })
+}
+
+fn shape_token(tok: &str) -> Option<VecShape> {
+    match tok {
+        "col" => Some(VecShape::Col),
+        "val" => Some(VecShape::Val),
+        _ => None,
+    }
+}
+
+/// Parse a `<ty>_<shape>[_<shape>]…` suffix: a list of typed args where
+/// a bare shape token reuses the preceding type (the generator's
+/// shorthand `map_eq_u8_col_val` ≡ `map_eq_u8_col_u8_val`).
+fn parse_args(toks: &[&str]) -> Result<Vec<ArgTy>, String> {
+    let mut args = Vec::new();
+    let mut i = 0;
+    let mut last_ty: Option<ScalarType> = None;
+    while i < toks.len() {
+        let ty = match ty_token(toks[i]) {
+            Some(t) => {
+                i += 1;
+                last_ty = Some(t);
+                t
+            }
+            None => last_ty.ok_or_else(|| format!("expected type token, got `{}`", toks[i]))?,
+        };
+        let shape = toks.get(i).and_then(|t| shape_token(t)).ok_or_else(|| {
+            format!(
+                "missing col/val shape token after type in `{}`",
+                toks.join("_")
+            )
+        })?;
+        i += 1;
+        args.push(ArgTy { ty, shape });
+    }
+    Ok(args)
+}
+
+const ARITH_OPS: [&str; 4] = ["add", "sub", "mul", "div"];
+const CMP_OPS: [&str; 6] = ["eq", "ne", "lt", "le", "gt", "ge"];
+
+/// Derive the machine-readable typing of a signature string.
+///
+/// This is the single definition of the signature grammar the primitive
+/// generator follows. Regular families (arith / comparison / cast /
+/// fetch / scatter / hash / aggregate-update signatures) parse
+/// structurally; the small set of irregular kernel names (sorts, Bloom
+/// filters, direct grouping, compounds) is typed explicitly here.
+/// Unknown shapes are an error — the registry panics on them at
+/// construction, so a new primitive cannot be cataloged without also
+/// extending the grammar.
+pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
+    let dense = |inputs: Vec<ArgTy>, output: OutTy| SigInfo {
+        inputs,
+        output,
+        consumes_sel: false,
+        produces_sel: false,
+        fusable: false,
+    };
+    let selful = |inputs: Vec<ArgTy>, output: OutTy| SigInfo {
+        inputs,
+        output,
+        consumes_sel: true,
+        produces_sel: output == OutTy::Sel,
+        fusable: false,
+    };
+    use ScalarType::*;
+
+    // Irregular signatures first: explicit typing.
+    match sig {
+        "select_true_bool_col" => return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Sel)),
+        "select_eq_str_col_val" => {
+            return Ok(selful(vec![ArgTy::col(Str), ArgTy::val(Str)], OutTy::Sel))
+        }
+        "map_and_bool_col" | "map_or_bool_col" => {
+            return Ok(selful(
+                vec![ArgTy::col(Bool), ArgTy::col(Bool)],
+                OutTy::Vec(Bool),
+            ))
+        }
+        "map_not_bool_col" => return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Vec(Bool))),
+        "map_fill_const" => return Ok(selful(vec![], OutTy::Poly)),
+        "map_year_i32_col" => return Ok(selful(vec![ArgTy::col(I32)], OutTy::Vec(I32))),
+        "map_contains_str_col_val" => {
+            return Ok(selful(
+                vec![ArgTy::col(Str), ArgTy::val(Str)],
+                OutTy::Vec(Bool),
+            ))
+        }
+        "aggr_count_u32_col" => return Ok(selful(vec![ArgTy::col(U32)], OutTy::State)),
+        "aggr_avg_epilogue" => {
+            return Ok(dense(
+                vec![ArgTy::col(F64), ArgTy::col(I64)],
+                OutTy::Vec(F64),
+            ))
+        }
+        "aggr_hashtable_maintain" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State)),
+        "aggr_ordered_boundaries" => return Ok(dense(vec![], OutTy::State)),
+        "sort_permutation" => return Ok(dense(vec![], OutTy::Vec(U32))),
+        "radix_scatter_positions" => return Ok(dense(vec![ArgTy::col(U32)], OutTy::Vec(U32))),
+        "bloom_insert_u64_col" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State)),
+        "bloom_test_u64_col" => {
+            let mut s = selful(vec![ArgTy::col(U64)], OutTy::Sel);
+            s.produces_sel = true;
+            return Ok(s);
+        }
+        "map_radix_partition_u64_col" => return Ok(selful(vec![ArgTy::col(U64)], OutTy::Vec(U32))),
+        "map_uidx_u8_col" | "map_directgrp_u8_col" => {
+            return Ok(selful(vec![ArgTy::col(U8)], OutTy::Vec(U32)))
+        }
+        "map_uidx_u16_col" => return Ok(selful(vec![ArgTy::col(U16)], OutTy::Vec(U32))),
+        "map_directgrp_u8_chain" | "map_directgrp_uidx_col_u8_col" => {
+            return Ok(selful(
+                vec![ArgTy::col(U32), ArgTy::col(U8)],
+                OutTy::Vec(U32),
+            ))
+        }
+        "map_directgrp_u16_chain" | "map_directgrp_uidx_col_u16_col" => {
+            return Ok(selful(
+                vec![ArgTy::col(U32), ArgTy::col(U16)],
+                OutTy::Vec(U32),
+            ))
+        }
+        "map_fused_sub_f64_val_f64_col_mul_f64_col"
+        | "map_fused_add_f64_val_f64_col_mul_f64_col" => {
+            let mut s = selful(
+                vec![ArgTy::val(F64), ArgTy::col(F64), ArgTy::col(F64)],
+                OutTy::Vec(F64),
+            );
+            s.fusable = true;
+            return Ok(s);
+        }
+        "map_fused_mahalanobis_f64_col" | "map_chained_mahalanobis_f64_col" => {
+            let mut s = selful(
+                vec![ArgTy::col(F64), ArgTy::col(F64), ArgTy::col(F64)],
+                OutTy::Vec(F64),
+            );
+            s.fusable = sig.starts_with("map_fused");
+            return Ok(s);
+        }
+        "aggr_fused_sum_mul_f64_col" => {
+            let mut s = selful(
+                vec![ArgTy::col(F64), ArgTy::col(F64), ArgTy::col(U32)],
+                OutTy::State,
+            );
+            s.fusable = true;
+            return Ok(s);
+        }
+        _ => {}
+    }
+
+    // Regular grammar: `<family>_<op>_<args…>`.
+    let toks: Vec<&str> = sig.split('_').collect();
+    if toks.len() < 3 {
+        return Err(format!("signature `{sig}` too short"));
+    }
+    let (family, op, rest) = (toks[0], toks[1], &toks[2..]);
+    match (family, op) {
+        ("map", "cast") => {
+            // map_cast_<from>_<to>_col
+            let [from, to, shape] = rest else {
+                return Err(format!("cast signature `{sig}` malformed"));
+            };
+            let from = ty_token(from).ok_or_else(|| format!("bad cast source in `{sig}`"))?;
+            let to = ty_token(to).ok_or_else(|| format!("bad cast target in `{sig}`"))?;
+            if shape_token(shape) != Some(VecShape::Col) {
+                return Err(format!("cast signature `{sig}` must end in _col"));
+            }
+            Ok(selful(vec![ArgTy::col(from)], OutTy::Vec(to)))
+        }
+        ("map", "fetch") | ("map", "scatter") => {
+            // map_fetch_<idx>_col_<val>_col: gathers `<val>` by `<idx>`
+            // positions; the trailing pair names the *output*. Scatter is
+            // the position-dependent inverse and is dense-only.
+            let args = parse_args(rest)?;
+            let [idx, out] = args.as_slice() else {
+                return Err(format!(
+                    "fetch/scatter signature `{sig}` needs 2 typed args"
+                ));
+            };
+            if !idx.ty.is_integer() {
+                return Err(format!("fetch index type must be integral in `{sig}`"));
+            }
+            if op == "fetch" {
+                Ok(selful(vec![*idx], OutTy::Vec(out.ty)))
+            } else {
+                Ok(dense(vec![*idx, ArgTy::col(out.ty)], OutTy::State))
+            }
+        }
+        ("map", "hash") | ("map", "rehash") => {
+            let args = parse_args(rest)?;
+            let [key] = args.as_slice() else {
+                return Err(format!("hash signature `{sig}` needs 1 typed arg"));
+            };
+            let mut inputs = vec![*key];
+            if op == "rehash" {
+                // Rehash folds a new key column into existing hashes.
+                inputs.insert(0, ArgTy::col(ScalarType::U64));
+            }
+            Ok(selful(inputs, OutTy::Vec(ScalarType::U64)))
+        }
+        ("map", a) if ARITH_OPS.contains(&a) => {
+            let args = parse_args(rest)?;
+            if args.len() != 2 || args[0].ty != args[1].ty {
+                return Err(format!("arith signature `{sig}` needs 2 same-typed args"));
+            }
+            let mut s = selful(args.clone(), OutTy::Vec(args[0].ty));
+            s.fusable = true;
+            Ok(s)
+        }
+        ("map", c) if CMP_OPS.contains(&c) => {
+            let args = parse_args(rest)?;
+            if args.len() != 2 || args[0].ty != args[1].ty {
+                return Err(format!("cmp signature `{sig}` needs 2 same-typed args"));
+            }
+            Ok(selful(args, OutTy::Vec(ScalarType::Bool)))
+        }
+        ("select", c) if CMP_OPS.contains(&c) => {
+            let args = parse_args(rest)?;
+            if args.len() != 2 || args[0].ty != args[1].ty {
+                return Err(format!("select signature `{sig}` needs 2 same-typed args"));
+            }
+            Ok(selful(args, OutTy::Sel))
+        }
+        ("aggr", a) if ["sum", "min", "max"].contains(&a) => {
+            // aggr_<agg>_<ty>_col_u32_col: value column + group-id column.
+            let args = parse_args(rest)?;
+            let [v, g] = args.as_slice() else {
+                return Err(format!("aggregate signature `{sig}` needs 2 typed args"));
+            };
+            if g.ty != ScalarType::U32 || g.shape != VecShape::Col {
+                return Err(format!("aggregate group arg must be u32_col in `{sig}`"));
+            }
+            Ok(selful(vec![*v, *g], OutTy::State))
+        }
+        _ => Err(format!("unrecognized signature `{sig}`")),
+    }
 }
 
 /// The registry, keyed by signature.
@@ -53,39 +407,61 @@ impl PrimitiveRegistry {
     /// Build the registry with every built-in primitive registered.
     pub fn builtin() -> Self {
         let mut reg = PrimitiveRegistry::default();
+        // Arithmetic instances: the signature list is emitted by the
+        // *same* macro expansion that instantiates the kernels
+        // (`arith_instances!` in `map.rs`), so catalog and code move
+        // together by construction.
         for sig in crate::map::ARITH_SIGNATURES {
-            reg.register(PrimitiveDesc {
-                signature: sig,
-                kind: PrimitiveKind::Map,
-                doc: "arithmetic map (generated)",
-            });
+            reg.register(sig, PrimitiveKind::Map, "arithmetic map (generated)");
         }
         // Comparison maps and selects: generated per (op, type, shape).
-        const CMP_OPS: [&str; 6] = ["eq", "ne", "lt", "le", "gt", "ge"];
-        const CMP_TYS: [&str; 7] = ["i8", "u8", "u16", "i32", "i64", "u32", "f64"];
+        // Each list mirrors the exact dispatch surface of the engine's
+        // interpreter (`compile::exec_instr`) and select runner
+        // (`ops::select::run_select_val/_col`) — the catalog registers
+        // precisely the instances the engine can actually execute, so
+        // the bind-time verifier rejects signatures that would panic in
+        // kernel dispatch (e.g. a `map_eq_u64_col_col` projection).
+        const MAP_CMP_CV_TYS: [&str; 8] = ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64"];
+        const MAP_CMP_CC_TYS: [&str; 3] = ["i32", "i64", "f64"];
+        const SEL_CMP_CV_TYS: [&str; 8] = ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64"];
+        const SEL_CMP_CC_TYS: [&str; 6] = ["i32", "i64", "f64", "u8", "u16", "u32"];
         for op in CMP_OPS {
-            for ty in CMP_TYS {
-                for shape in ["col_val", "col_col"] {
-                    reg.register_owned(
-                        format!("map_{op}_{ty}_{shape}"),
-                        PrimitiveKind::Map,
-                        "comparison map (generated)",
-                    );
-                    reg.register_owned(
-                        format!("select_{op}_{ty}_{shape}"),
-                        PrimitiveKind::Select,
-                        "selection primitive (generated)",
-                    );
-                }
+            for ty in MAP_CMP_CV_TYS {
+                reg.register_owned(
+                    format!("map_{op}_{ty}_col_val"),
+                    PrimitiveKind::Map,
+                    "comparison map (generated)",
+                );
+            }
+            for ty in MAP_CMP_CC_TYS {
+                reg.register_owned(
+                    format!("map_{op}_{ty}_col_col"),
+                    PrimitiveKind::Map,
+                    "comparison map (generated)",
+                );
+            }
+            for ty in SEL_CMP_CV_TYS {
+                reg.register_owned(
+                    format!("select_{op}_{ty}_col_val"),
+                    PrimitiveKind::Select,
+                    "selection primitive (generated)",
+                );
+            }
+            for ty in SEL_CMP_CC_TYS {
+                reg.register_owned(
+                    format!("select_{op}_{ty}_col_col"),
+                    PrimitiveKind::Select,
+                    "selection primitive (generated)",
+                );
             }
         }
-        reg.register_owned(
-            "select_true_bool_col".into(),
+        reg.register(
+            "select_true_bool_col",
             PrimitiveKind::Select,
             "select on boolean column",
         );
-        reg.register_owned(
-            "select_eq_str_col_val".into(),
+        reg.register(
+            "select_eq_str_col_val",
             PrimitiveKind::Select,
             "string equality select",
         );
@@ -105,13 +481,13 @@ impl PrimitiveRegistry {
                 );
             }
         }
-        reg.register_owned(
-            "aggr_count_u32_col".into(),
+        reg.register(
+            "aggr_count_u32_col",
             PrimitiveKind::Aggr,
             "grouped count update",
         );
-        reg.register_owned(
-            "aggr_avg_epilogue".into(),
+        reg.register(
+            "aggr_avg_epilogue",
             PrimitiveKind::Aggr,
             "avg = sum/count epilogue",
         );
@@ -144,23 +520,23 @@ impl PrimitiveRegistry {
                 "rehash map (generated)",
             );
         }
-        reg.register_owned(
-            "map_radix_partition_u64_col".into(),
+        reg.register(
+            "map_radix_partition_u64_col",
             PrimitiveKind::Hash,
             "radix partition id from top hash bits",
         );
-        reg.register_owned(
-            "radix_scatter_positions".into(),
+        reg.register(
+            "radix_scatter_positions",
             PrimitiveKind::Hash,
             "stable scatter-position pass (histogram cursors)",
         );
-        reg.register_owned(
-            "bloom_insert_u64_col".into(),
+        reg.register(
+            "bloom_insert_u64_col",
             PrimitiveKind::Hash,
             "blocked Bloom filter insert",
         );
-        reg.register_owned(
-            "bloom_test_u64_col".into(),
+        reg.register(
+            "bloom_test_u64_col",
             PrimitiveKind::Hash,
             "blocked Bloom filter prepass test",
         );
@@ -171,75 +547,71 @@ impl PrimitiveRegistry {
                 "positional scatter (generated)",
             );
         }
-        reg.register_owned(
-            "map_directgrp_u8_col".into(),
+        reg.register(
+            "map_directgrp_u8_col",
             PrimitiveKind::Hash,
             "direct-group start",
         );
-        reg.register_owned(
-            "map_directgrp_u8_chain".into(),
+        reg.register(
+            "map_directgrp_u8_chain",
             PrimitiveKind::Hash,
             "direct-group chain",
         );
-        reg.register_owned(
-            "map_directgrp_u16_chain".into(),
+        reg.register(
+            "map_directgrp_u16_chain",
             PrimitiveKind::Hash,
             "direct-group chain (u16)",
         );
         // Engine-side primitive instances: the operator kernels and the
         // extended maps the expression compiler can emit.
-        reg.register_owned(
-            "map_uidx_u8_col".into(),
+        reg.register(
+            "map_uidx_u8_col",
             PrimitiveKind::Hash,
             "direct-group start (paper's map_uidx_uchr_col)",
         );
-        reg.register_owned(
-            "map_uidx_u16_col".into(),
+        reg.register(
+            "map_uidx_u16_col",
             PrimitiveKind::Hash,
             "direct-group start (u16)",
         );
-        reg.register_owned(
-            "map_directgrp_uidx_col_u8_col".into(),
+        reg.register(
+            "map_directgrp_uidx_col_u8_col",
             PrimitiveKind::Hash,
             "direct-group chain (paper naming)",
         );
-        reg.register_owned(
-            "map_directgrp_uidx_col_u16_col".into(),
+        reg.register(
+            "map_directgrp_uidx_col_u16_col",
             PrimitiveKind::Hash,
             "direct-group chain (u16, paper naming)",
         );
-        reg.register_owned(
-            "aggr_hashtable_maintain".into(),
+        reg.register(
+            "aggr_hashtable_maintain",
             PrimitiveKind::Aggr,
             "hash-table probe/insert loop (Fig. 6's 'hash table maintenance')",
         );
-        reg.register_owned(
-            "aggr_ordered_boundaries".into(),
+        reg.register(
+            "aggr_ordered_boundaries",
             PrimitiveKind::Aggr,
             "ordered-aggregation boundary detection",
         );
-        reg.register_owned(
-            "sort_permutation".into(),
+        reg.register(
+            "sort_permutation",
             PrimitiveKind::Map,
             "order-by permutation sort",
         );
-        reg.register_owned(
-            "map_fill_const".into(),
-            PrimitiveKind::Map,
-            "constant broadcast",
-        );
-        reg.register_owned(
-            "map_year_i32_col".into(),
+        reg.register("map_fill_const", PrimitiveKind::Map, "constant broadcast");
+        reg.register(
+            "map_year_i32_col",
             PrimitiveKind::Map,
             "calendar year of days-since-epoch",
         );
-        reg.register_owned(
-            "map_contains_str_col_val".into(),
+        reg.register(
+            "map_contains_str_col_val",
             PrimitiveKind::Map,
             "substring containment",
         );
-        reg.register_owned(
-            "map_eq_str_col_val".into(),
+        reg.register(
+            "map_eq_str_col_val",
             PrimitiveKind::Map,
             "string equality map",
         );
@@ -254,43 +626,68 @@ impl PrimitiveRegistry {
                 }
             }
         }
-        reg.register(PrimitiveDesc {
-            signature: "map_fused_sub_f64_val_f64_col_mul_f64_col",
-            kind: PrimitiveKind::Compound,
-            doc: "fused (v - a) * b",
-        });
-        reg.register(PrimitiveDesc {
-            signature: "map_fused_add_f64_val_f64_col_mul_f64_col",
-            kind: PrimitiveKind::Compound,
-            doc: "fused (v + a) * b",
-        });
-        reg.register(PrimitiveDesc {
-            signature: "map_fused_mahalanobis_f64_col",
-            kind: PrimitiveKind::Compound,
-            doc: "fused ((a-b)^2)/c",
-        });
-        reg.register(PrimitiveDesc {
-            signature: "aggr_fused_sum_mul_f64_col",
-            kind: PrimitiveKind::Compound,
-            doc: "fused grouped sum(a*b)",
-        });
+        reg.register(
+            "map_chained_mahalanobis_f64_col",
+            PrimitiveKind::Map,
+            "chained (unfused) mahalanobis ablation",
+        );
+        reg.register(
+            "map_fused_sub_f64_val_f64_col_mul_f64_col",
+            PrimitiveKind::Compound,
+            "fused (v - a) * b",
+        );
+        reg.register(
+            "map_fused_add_f64_val_f64_col_mul_f64_col",
+            PrimitiveKind::Compound,
+            "fused (v + a) * b",
+        );
+        reg.register(
+            "map_fused_mahalanobis_f64_col",
+            PrimitiveKind::Compound,
+            "fused ((a-b)^2)/c",
+        );
+        reg.register(
+            "aggr_fused_sum_mul_f64_col",
+            PrimitiveKind::Compound,
+            "fused grouped sum(a*b)",
+        );
         reg
     }
 
-    fn register(&mut self, desc: PrimitiveDesc) {
-        let prev = self.by_sig.insert(desc.signature, desc);
-        debug_assert!(prev.is_none(), "duplicate primitive signature");
+    /// Register a signature with a static name. Panics if the signature
+    /// does not parse under the grammar or is a duplicate: the catalog
+    /// is constructed from the kernel generator's output, so either
+    /// condition means registry and code have drifted.
+    fn register(&mut self, signature: &'static str, kind: PrimitiveKind, doc: &'static str) {
+        let info = match parse_signature(signature) {
+            Ok(i) => i,
+            Err(e) => panic!("unparseable primitive signature `{signature}`: {e}"),
+        };
+        debug_assert!(
+            (kind == PrimitiveKind::Select) == (info.output == OutTy::Sel)
+                || signature.starts_with("bloom_test"),
+            "kind/typing mismatch for `{signature}`"
+        );
+        let prev = self.by_sig.insert(
+            signature,
+            PrimitiveDesc {
+                signature,
+                kind,
+                doc,
+                info,
+            },
+        );
+        assert!(
+            prev.is_none(),
+            "duplicate primitive signature `{signature}`"
+        );
     }
 
     fn register_owned(&mut self, sig: String, kind: PrimitiveKind, doc: &'static str) {
         // Signatures are leaked once at registry construction; the registry
         // lives for the process lifetime (built once per session).
         let signature: &'static str = Box::leak(sig.into_boxed_str());
-        self.register(PrimitiveDesc {
-            signature,
-            kind,
-            doc,
-        });
+        self.register(signature, kind, doc);
     }
 
     /// Look up a primitive by signature.
@@ -380,6 +777,76 @@ mod tests {
         let reg = PrimitiveRegistry::builtin();
         for sig in crate::map::ARITH_SIGNATURES {
             assert!(reg.contains(sig));
+        }
+    }
+
+    #[test]
+    fn typed_metadata_matches_grammar() {
+        let reg = PrimitiveRegistry::builtin();
+        // Spot-check derived typing on each signature family.
+        let add = reg.get("map_add_f64_col_f64_val").expect("registered");
+        assert_eq!(
+            add.info.inputs,
+            vec![ArgTy::col(ScalarType::F64), ArgTy::val(ScalarType::F64)]
+        );
+        assert_eq!(add.info.output, OutTy::Vec(ScalarType::F64));
+        assert!(add.info.consumes_sel && !add.info.produces_sel && add.info.fusable);
+
+        let sel = reg.get("select_le_u16_col_val").expect("registered");
+        assert_eq!(
+            sel.info.inputs,
+            vec![ArgTy::col(ScalarType::U16), ArgTy::val(ScalarType::U16)]
+        );
+        assert!(sel.info.produces_sel);
+
+        let cast = reg.get("map_cast_u8_i32_col").expect("registered");
+        assert_eq!(cast.info.inputs, vec![ArgTy::col(ScalarType::U8)]);
+        assert_eq!(cast.info.output, OutTy::Vec(ScalarType::I32));
+
+        let fetch = reg.get("map_fetch_u8_col_str_col").expect("registered");
+        assert_eq!(fetch.info.inputs, vec![ArgTy::col(ScalarType::U8)]);
+        assert_eq!(fetch.info.output, OutTy::Vec(ScalarType::Str));
+
+        let aggr = reg.get("aggr_sum_i64_col_u32_col").expect("registered");
+        assert_eq!(aggr.info.output, OutTy::State);
+        assert_eq!(aggr.info.arity(), 2);
+
+        // Dense-only position-dependent kernels never consume a selection.
+        for dense in [
+            "radix_scatter_positions",
+            "bloom_insert_u64_col",
+            "sort_permutation",
+            "aggr_hashtable_maintain",
+            "map_scatter_u32_col_f64_col",
+        ] {
+            assert!(
+                !reg.get(dense).expect("registered").info.consumes_sel,
+                "{dense} must be dense-only"
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_parses_and_agrees_with_kind() {
+        let reg = PrimitiveRegistry::builtin();
+        for d in reg.iter() {
+            let parsed = parse_signature(d.signature).expect("grammar covers catalog");
+            assert_eq!(parsed, d.info, "{} drifted", d.signature);
+            if d.kind == PrimitiveKind::Select {
+                assert!(d.info.produces_sel, "{} must produce a SelVec", d.signature);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_signatures_are_rejected() {
+        for bad in [
+            "map_frobnicate_q7_col",
+            "map_add_f64_col_i32_col",  // mixed arith types
+            "select_lt_f64",            // missing shape
+            "aggr_sum_f64_col_i64_col", // group arg must be u32
+        ] {
+            assert!(parse_signature(bad).is_err(), "{bad} should not parse");
         }
     }
 }

@@ -1,0 +1,411 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! The only subcommand today is `lint`: a custom source-level pass
+//! enforcing project invariants that clippy cannot express (see
+//! DESIGN.md §9). Rules:
+//!
+//! 1. **Registry parity** — every concrete exported `map_*` /
+//!    `select_*` / `aggr_*` kernel symbol in `crates/vector` resolves to
+//!    a descriptor in `PrimitiveRegistry::builtin()`, every identifier
+//!    that *parses* as a primitive signature is registered, and every
+//!    registered signature is backed by code (a literal symbol, a
+//!    generic kernel family, or the interpreter's inline dispatch).
+//! 2. **Kernel hygiene** — no `.unwrap()` / `.expect(` in vector kernel
+//!    modules outside tests (kernels must be total over their slices),
+//!    and no counted `for _ in 0..` loops in the *dense* kernel modules
+//!    (`map.rs`, `aggr.rs`, `compound.rs`, `hash.rs`): dense loops must
+//!    be iterator zips so LLVM auto-vectorizes without bounds checks.
+//!    Position-producing/consuming kernels (`select.rs`, `fetch.rs`,
+//!    `sel.rs`, `partition.rs`) index by design.
+//! 3. **Ordering discipline** — `Ordering::Relaxed` appears only in the
+//!    governor's counters (`engine/src/govern.rs`), the buffer-manager
+//!    statistics (`storage/src/columnbm.rs`), and the loom shim's own
+//!    seed plumbing (`crates/loom`). Everywhere else, relaxed atomics
+//!    are a review smell the loom model cannot vouch for.
+//!
+//! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use x100_vector::{parse_signature, PrimitiveRegistry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let failures = lint();
+            if failures.is_empty() {
+                println!("xtask lint: OK");
+            } else {
+                for f in &failures {
+                    eprintln!("xtask lint: {f}");
+                }
+                eprintln!("xtask lint: {} failure(s)", failures.len());
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("usage: cargo xtask lint (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// A source file with its `#[cfg(test)]` blocks and comment lines
+/// stripped, line-by-line (1-based numbers preserved for reporting).
+struct StrippedFile {
+    lines: Vec<(usize, String)>,
+}
+
+fn strip_tests(path: &Path) -> StrippedFile {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut lines = Vec::new();
+    let mut skip_depth: i64 = -1; // ≥0: inside a cfg(test) item, tracking braces
+    let mut pending_cfg_test = false;
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if skip_depth >= 0 {
+            skip_depth += brace_delta(raw);
+            if skip_depth <= 0 {
+                skip_depth = -1;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            // The item under the attribute: skip it, tracking braces
+            // until they balance (single-line items close immediately).
+            let d = brace_delta(raw);
+            if raw.contains('{') && d > 0 {
+                skip_depth = d;
+            } else if !trimmed.starts_with('#') {
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        lines.push((i + 1, raw.to_owned()));
+    }
+    StrippedFile { lines }
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0i64;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn lint() -> Vec<String> {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    registry_parity(&root, &mut failures);
+    kernel_hygiene(&root, &mut failures);
+    ordering_discipline(&root, &mut failures);
+    failures
+}
+
+/// Word tokens (identifier-shaped) of a stripped file.
+fn tokens(f: &StrippedFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (_, line) in &f.lines {
+        let mut cur = String::new();
+        for c in line.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                out.insert(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            out.insert(cur);
+        }
+    }
+    out
+}
+
+/// Rule 1: the primitive registry and the kernel code cannot drift.
+fn registry_parity(root: &Path, failures: &mut Vec<String>) {
+    let reg = PrimitiveRegistry::builtin();
+    let registered: BTreeSet<&str> = reg.iter().map(|d| d.signature).collect();
+
+    // Generic kernels: monomorphic primitive *instances* dispatch onto
+    // these, so their names are not full signatures.
+    const GENERIC_KERNELS: &[&str] = &[
+        "map1",
+        "map2_col_col",
+        "map2_col_val",
+        "map2_val_col",
+        "map_cmp_col_col",
+        "map_cmp_col_val",
+        "select_cmp_col_col",
+        "select_cmp_col_val",
+        "select_str_eq",
+    ];
+    // Signature families executed by generic kernels or the
+    // interpreter's inline dispatch rather than a same-named symbol.
+    const CMP_OPS: &[&str] = &["eq", "ne", "lt", "le", "gt", "ge"];
+    let family_backed = |sig: &str| -> bool {
+        let cmp = |prefix: &str| {
+            CMP_OPS
+                .iter()
+                .any(|op| sig.starts_with(&format!("{prefix}_{op}_")))
+        };
+        cmp("map") && (sig.ends_with("_col_col") || sig.ends_with("_col_val"))
+            || cmp("select")
+            || sig.starts_with("map_cast_")       // interpreter inline cast
+            || sig.starts_with("map_fetch_")      // generic gather (fetch.rs)
+            || sig.starts_with("map_scatter_")    // generic scatter (fetch.rs)
+            || sig.starts_with("map_hash_")       // generic hash_col (hash.rs)
+            || sig.starts_with("map_rehash_")     // generic rehash_col (hash.rs)
+            || sig.starts_with("aggr_sum_")       // generic accumulate (aggr.rs)
+            || sig.starts_with("aggr_min_")
+            || sig.starts_with("aggr_max_")
+            || sig.starts_with("map_uidx_")       // generic widen (fetch.rs)
+            || sig == "map_fill_const"            // interpreter inline fill
+            || sig == "aggr_hashtable_maintain"   // HashAggrOp infrastructure
+            || sig == "aggr_ordered_boundaries"   // OrdAggrOp infrastructure
+            || sig == "sort_permutation"          // OrderOp infrastructure
+            || sig == "radix_scatter_positions"   // partition.rs infrastructure
+            || sig.starts_with("bloom_")          // hash.rs bloom filter
+            || sig.starts_with("map_directgrp_")  // aggr.rs direct grouping
+            || sig == "select_true_bool_col"      // select_true kernel
+            || sig == "select_eq_str_col_val"     // select_str_eq kernel
+            || sig == "map_eq_str_col_val"        // StrVec eq map (interpreter)
+            || sig == "map_ne_str_col_val"
+            || sig.starts_with("map_and_")        // map_and kernel
+            || sig.starts_with("map_or_")
+            || sig.starts_with("map_not_")
+            || sig == "map_contains_str_col_val" // interpreter inline contains
+    };
+
+    let vector_src = root.join("crates/vector/src");
+    let mut files = Vec::new();
+    rs_files(&vector_src, &mut files);
+    let mut source_tokens: BTreeSet<String> = BTreeSet::new();
+    let mut exported: Vec<(PathBuf, usize, String, bool)> = Vec::new(); // (file, line, name, generic)
+    for path in &files {
+        // The registry is the catalog itself: its construction strings
+        // and negative-test fixtures are not kernel exports.
+        if path.file_name().is_some_and(|n| n == "registry.rs") {
+            continue;
+        }
+        let f = strip_tests(path);
+        source_tokens.extend(tokens(&f));
+        for (ln, line) in &f.lines {
+            let t = line.trim_start();
+            if let Some(rest) = t.strip_prefix("pub fn ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if name.starts_with("map_")
+                    || name.starts_with("select_")
+                    || name.starts_with("aggr_")
+                {
+                    let generic = rest[name.len()..].starts_with('<');
+                    exported.push((path.clone(), *ln, name, generic));
+                }
+            }
+        }
+    }
+
+    // 1a. Every identifier that parses as a full primitive signature
+    // must be registered (this is what pins the `arith_instances!`
+    // macro's stringified names to the catalog).
+    for tok in &source_tokens {
+        if !(tok.starts_with("map_") || tok.starts_with("select_") || tok.starts_with("aggr_")) {
+            continue;
+        }
+        if parse_signature(tok).is_ok() && !registered.contains(tok.as_str()) {
+            failures.push(format!(
+                "registry parity: `{tok}` in crates/vector parses as a primitive \
+                 signature but has no registry descriptor"
+            ));
+        }
+    }
+
+    // 1b. Every concrete exported primitive symbol resolves to a
+    // descriptor (exact, or with the conventional suffix the
+    // signature grammar adds), unless it is a generic kernel or a
+    // per-group scalar helper.
+    for (path, ln, name, generic) in &exported {
+        if *generic || GENERIC_KERNELS.contains(&name.as_str()) || name.ends_with("_scalar") {
+            continue;
+        }
+        let candidates = [
+            name.clone(),
+            format!("{name}_col"),
+            format!("{name}_bool_col"),
+            format!("{name}_u32_col"),
+        ];
+        if !candidates.iter().any(|c| registered.contains(c.as_str())) {
+            failures.push(format!(
+                "registry parity: exported kernel `{name}` ({}:{ln}) has no registry \
+                 descriptor (tried {candidates:?})",
+                path.strip_prefix(root).unwrap_or(path).display()
+            ));
+        }
+    }
+
+    // 1c. Every registered signature is backed by code: a literal
+    // symbol, a prefix-matching exported kernel, or a generic family.
+    let exported_names: BTreeSet<&str> = exported.iter().map(|(_, _, n, _)| n.as_str()).collect();
+    for sig in &registered {
+        let stripped = sig
+            .strip_suffix("_u32_col")
+            .or_else(|| sig.strip_suffix("_bool_col"))
+            .or_else(|| sig.strip_suffix("_col"))
+            .unwrap_or(sig);
+        let backed = source_tokens.contains(*sig)
+            || exported_names.contains(sig)
+            || exported_names.contains(stripped)
+            || family_backed(sig);
+        if !backed {
+            failures.push(format!(
+                "registry parity: signature `{sig}` is registered but no kernel code \
+                 backs it (no symbol, no generic family)"
+            ));
+        }
+    }
+}
+
+/// Rule 2: kernel module hygiene.
+fn kernel_hygiene(root: &Path, failures: &mut Vec<String>) {
+    const KERNEL_MODULES: &[&str] = &[
+        "map.rs",
+        "select.rs",
+        "aggr.rs",
+        "fetch.rs",
+        "hash.rs",
+        "compound.rs",
+        "partition.rs",
+        "sel.rs",
+    ];
+    // Dense kernels must be zip loops (auto-vectorizable, no bounds
+    // checks); position-producing/consuming kernels index by design.
+    const DENSE_MODULES: &[&str] = &["map.rs", "aggr.rs", "compound.rs", "hash.rs"];
+    for module in KERNEL_MODULES {
+        let path = root.join("crates/vector/src").join(module);
+        if !path.exists() {
+            continue;
+        }
+        let f = strip_tests(&path);
+        for (ln, line) in &f.lines {
+            if line.contains(".unwrap()") || line.contains(".expect(") {
+                failures.push(format!(
+                    "kernel hygiene: crates/vector/src/{module}:{ln} uses unwrap/expect \
+                     inside a kernel module (kernels must be total)"
+                ));
+            }
+            if DENSE_MODULES.contains(module)
+                && line.contains("for ")
+                && line.contains(" in 0..")
+                && !line.contains("lint: allow-index-loop")
+            {
+                failures.push(format!(
+                    "kernel hygiene: crates/vector/src/{module}:{ln} uses a counted \
+                     index loop in a dense kernel module (write it as an iterator zip, \
+                     or annotate `// lint: allow-index-loop` with justification)"
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 3: `Ordering::Relaxed` stays inside the governor/statistics
+/// counters the loom model and reviews know about.
+fn ordering_discipline(root: &Path, failures: &mut Vec<String>) {
+    const ALLOWED: &[&str] = &[
+        "crates/engine/src/govern.rs",
+        "crates/storage/src/columnbm.rs",
+        "crates/loom/src/lib.rs",
+    ];
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files);
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if ALLOWED.contains(&rel_str.as_str()) || rel_str.starts_with("crates/xtask/") {
+            continue;
+        }
+        let f = strip_tests(path);
+        for (ln, line) in &f.lines {
+            if line.contains("Ordering::Relaxed") {
+                failures.push(format!(
+                    "ordering discipline: {rel_str}:{ln} uses Ordering::Relaxed outside \
+                     the governor/statistics allowlist (use Acquire/Release/SeqCst, or \
+                     move the counter into govern.rs)"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_passes_on_this_workspace() {
+        let failures = lint();
+        assert!(
+            failures.is_empty(),
+            "lint failures:\n{}",
+            failures.join("\n")
+        );
+    }
+
+    #[test]
+    fn strip_tests_removes_test_mods() {
+        let dir = std::env::temp_dir().join("xtask-strip-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let p = dir.join("sample.rs");
+        std::fs::write(
+            &p,
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn dead() { x.unwrap(); }\n}\nfn also_live() {}\n",
+        )
+        .expect("write sample");
+        let f = strip_tests(&p);
+        let text: String = f.lines.iter().map(|(_, l)| l.clone()).collect();
+        assert!(text.contains("live"));
+        assert!(!text.contains("unwrap"));
+    }
+}
