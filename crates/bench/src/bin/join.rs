@@ -103,6 +103,14 @@ fn main() {
     };
     let threads_axis: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Single-core runs cannot show thread scaling; mark them so the
+    // JSON consumer does not read the flat speedup curve as a regression.
+    let degraded = cores == 1;
+    if degraded {
+        eprintln!(
+            "warning: only 1 core available; speedups will be flat and this run is marked \"degraded\": true"
+        );
+    }
     let plan = join_plan();
 
     println!(
@@ -171,6 +179,7 @@ fn main() {
         "  \"probe_rows\": {probe_rows},\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n"
     ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"degraded\": {degraded},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let bits = r.bits.map_or("\"derived\"".to_string(), |b| b.to_string());

@@ -59,6 +59,15 @@ fn main() {
     let morsel = arg_usize("--morsel", x100_engine::DEFAULT_MORSEL_SIZE);
     let fault_rate = arg_f64("--fault-rate", 0.0);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // A single-core box cannot demonstrate scaling: the numbers are
+    // still valid timings, but speedup conclusions drawn from them are
+    // not. Flag the run instead of silently producing flat curves.
+    let degraded = cores == 1;
+    if degraded {
+        eprintln!(
+            "warning: only 1 core available; speedups will be flat and this run is marked \"degraded\": true"
+        );
+    }
 
     let li = generate_lineitem_q1(&GenConfig::new(sf));
     let rows = li.len();
@@ -128,6 +137,7 @@ fn main() {
         "  \"rows\": {rows},\n  \"reps\": {reps},\n  \"morsel_size\": {morsel},\n"
     ));
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"degraded\": {degraded},\n"));
     json.push_str(&format!("  \"fault_rate\": {fault_rate},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, (threads, med, ok)) in results.iter().enumerate() {

@@ -486,6 +486,21 @@ impl<'a> Checker<'a> {
                         .column_index(name)
                         .ok_or_else(|| PlanError::UnknownColumn(name.clone()))?;
                     let sc = t.column(ci);
+                    // Checkpoint-compressed columns decode on refill:
+                    // the decompress primitive the scan will call must
+                    // be cataloged, same rule as the enum fetch below.
+                    if let Some(cc) = sc.compressed() {
+                        let sig = cc.decode_sig();
+                        self.summary.instrs += 1;
+                        if !self.reg.contains(sig) {
+                            return Err(PlanError::PlanCheck {
+                                path: format!("{path}.Scan.col[{name}]"),
+                                violation: CheckViolation::UnknownSignature {
+                                    signature: sig.to_owned(),
+                                },
+                            });
+                        }
+                    }
                     let as_codes = code_cols.contains(name);
                     let ty = match (sc.dict(), as_codes) {
                         (None, _) => sc.field().logical,
@@ -641,15 +656,17 @@ impl<'a> Checker<'a> {
                 // apply to its (widening) program.
                 match raw.result_type() {
                     ScalarType::U32 | ScalarType::U8 | ScalarType::U16 => {}
-                    other => return Err(PlanError::PlanCheck {
-                        path: rpath,
-                        violation: CheckViolation::TypeMismatch {
-                            signature: "map_fetch_u32_col".to_owned(),
-                            detail: format!(
+                    other => {
+                        return Err(PlanError::PlanCheck {
+                            path: rpath,
+                            violation: CheckViolation::TypeMismatch {
+                                signature: "map_fetch_u32_col".to_owned(),
+                                detail: format!(
                                 "Fetch1Join rowid expression must be u32 (join index), got {other}"
                             ),
-                        },
-                    }),
+                            },
+                        })
+                    }
                 }
                 for (i, (src, alias)) in fetch.iter().enumerate() {
                     let ci = t

@@ -219,6 +219,11 @@ pub(crate) struct JoinBuildConfig {
     pub cache_budget: usize,
     /// Worker threads for the per-partition bucket-chain build.
     pub threads: usize,
+    /// Bind-time estimate of probe-side rows (from table cardinalities;
+    /// `None` when the probe shape defies estimation). A probe far
+    /// larger than the build makes every Bloom bit cheaper per lookup,
+    /// so the filter sizing steps up a tier.
+    pub probe_rows_hint: Option<usize>,
 }
 
 impl JoinBuildConfig {
@@ -227,6 +232,7 @@ impl JoinBuildConfig {
             partition_bits: opts.join_partition_bits,
             cache_budget: opts.join_cache_budget.max(1),
             threads: opts.threads.max(1),
+            probe_rows_hint: None,
         }
     }
 }
@@ -374,13 +380,22 @@ impl JoinBuildTable {
         // huge builds drop to 8 bits/key to stay cache-friendly. A
         // negative probe test later proves absence, skipping the chain
         // walk.
-        let bits_per_key: usize = if n <= 1 << 16 {
+        let mut bits_per_key: usize = if n <= 1 << 16 {
             16
         } else if n <= 1 << 20 {
             12
         } else {
             8
         };
+        // Probe/build ratio feedback: when the bind-time estimate says
+        // the probe side outnumbers the build 32:1 or more, each filter
+        // bit is amortized over many lookups — one extra tier of bits
+        // per key buys a lower false-positive rate for the whole stream.
+        if let Some(probe) = cfg.probe_rows_hint {
+            if n > 0 && probe / n >= 32 {
+                bits_per_key = (bits_per_key + 4).min(16);
+            }
+        }
         let mut bloom = BlockedBloom::with_bits_per_key(n, bits_per_key);
         prof.max_counter("join_bloom_bits_per_key", bits_per_key as u64);
         let t0 = prof.start();
@@ -860,12 +875,19 @@ impl HashJoinOp {
         })
     }
 
+    /// Supply the bind-time probe cardinality estimate (Bloom sizing
+    /// feedback). Only meaningful before the build side materializes.
+    pub(crate) fn set_probe_rows_hint(&mut self, hint: Option<usize>) {
+        self.cfg.probe_rows_hint = hint;
+    }
+
     /// Build the partitioned table without probing, handing it out for
     /// sharing across parallel probe pipelines (build once, probe many).
     pub(crate) fn build_shared(
         build: &mut dyn Operator,
         build_key_exprs: &[Expr],
         payload: &[(String, String)],
+        probe_rows_hint: Option<usize>,
         opts: &ExecOptions,
         ctx: &Arc<QueryContext>,
         prof: &mut Profiler,
@@ -890,7 +912,8 @@ impl HashJoinOp {
             payload_cols.push(ci);
             payload_fields.push(OutField::new(alias.clone(), build.fields()[ci].ty));
         }
-        let cfg = JoinBuildConfig::from_opts(opts);
+        let mut cfg = JoinBuildConfig::from_opts(opts);
+        cfg.probe_rows_hint = probe_rows_hint;
         let t0 = prof.start();
         let table = JoinBuildTable::build(
             build,

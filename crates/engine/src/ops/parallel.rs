@@ -139,6 +139,7 @@ pub(crate) fn try_execute_parallel(
     for &jp in &joins {
         let Plan::HashJoin {
             build,
+            probe,
             build_keys,
             payload,
             ..
@@ -147,8 +148,9 @@ pub(crate) fn try_execute_parallel(
             unreachable!()
         };
         let (mut b, _) = build.bind_inner(db, opts, None, None, ctx)?;
+        let hint = crate::plan::probe_rows_estimate(probe, db);
         let table =
-            HashJoinOp::build_shared(b.as_mut(), build_keys, payload, opts, ctx, &mut prof)?;
+            HashJoinOp::build_shared(b.as_mut(), build_keys, payload, hint, opts, ctx, &mut prof)?;
         shared.insert(plan_key(jp), table);
     }
 

@@ -13,12 +13,12 @@
 //! appended after the fragments.
 
 use crate::batch::{Batch, OutField, SelPool, VecPool};
-use crate::govern::QueryContext;
+use crate::govern::{MemTracker, QueryContext};
 use crate::ops::Operator;
 use crate::profile::Profiler;
 use crate::PlanError;
 use std::sync::Arc;
-use x100_storage::{ColumnBM, ColumnData, Morsel, Table};
+use x100_storage::{ColumnBM, ColumnData, DecodeCursor, Morsel, Table};
 use x100_vector::Vector;
 
 /// How one scanned column is produced.
@@ -30,6 +30,18 @@ enum ColMode {
     Decode { codes: Vector, sig: String },
     /// Enum column surfaced as raw codes (no decode).
     Codes,
+}
+
+/// Per-column state for a checkpoint-compressed fragment column:
+/// decode-on-refill replaces the raw `read_into` memcpy, keeping
+/// decompression inside the CPU cache at vector granularity (§5).
+struct CompState {
+    /// Sequential decode position (PFOR-DELTA continuation carry).
+    cursor: DecodeCursor,
+    /// Reused frame buffer; its bytes are charged to the governor.
+    scratch: Vec<u64>,
+    /// Registered decompress primitive this column resolves to.
+    sig: &'static str,
 }
 
 /// The scan operator.
@@ -52,6 +64,11 @@ pub struct ScanOp {
     moff: usize,
     vector_size: usize,
     scratch_del: Vec<u32>,
+    /// Decode state per scanned column; `Some` iff the column was
+    /// rewritten as compressed chunks by `Table::checkpoint`.
+    comp: Vec<Option<CompState>>,
+    /// Governor charge for the decode scratch buffers.
+    mem: Option<MemTracker>,
     bm: Option<Arc<ColumnBM>>,
     ctx: Arc<QueryContext>,
     /// Cheap stand-in pushed for decode columns until the decode pass
@@ -173,6 +190,28 @@ impl ScanOp {
             None => (0, frag),
             Some((s, e)) => (s.min(frag), e.min(frag)),
         };
+        // Decode-on-refill state for compressed columns. The scratch
+        // frame buffers are a real allocation the query keeps for its
+        // lifetime, so charge them up front (worst case: one vector of
+        // u64 frames plus a sync-interval replay window per column).
+        let comp: Vec<Option<CompState>> = cols
+            .iter()
+            .map(|&ci| {
+                table.column(ci).compressed().map(|cc| CompState {
+                    cursor: DecodeCursor::default(),
+                    scratch: Vec::new(),
+                    sig: cc.decode_sig(),
+                })
+            })
+            .collect();
+        let n_comp = comp.iter().filter(|c| c.is_some()).count();
+        let mem = if n_comp > 0 {
+            let mut t = MemTracker::new(ctx.clone(), "Scan(decode)");
+            t.ensure(n_comp * (vector_size + 1024) * std::mem::size_of::<u64>())?;
+            Some(t)
+        } else {
+            None
+        };
         Ok(ScanOp {
             table,
             cols,
@@ -189,6 +228,8 @@ impl ScanOp {
             moff: 0,
             vector_size,
             scratch_del: Vec::new(),
+            comp,
+            mem,
             bm,
             ctx,
             placeholder: std::rc::Rc::new(Vector::Bool(Vec::new())),
@@ -216,34 +257,82 @@ impl ScanOp {
         self.out.len = n;
         let t_scan = prof.start();
         let mut scan_bytes = 0usize;
+        // Decode-on-refill accounting across all compressed columns in
+        // this fragment (raw-equivalent bytes, compressed bytes touched,
+        // exception patches applied).
+        let mut dec_raw = 0u64;
+        let mut dec_comp = 0u64;
+        let mut dec_exc = 0u64;
         // Column reads to route through the buffer manager; collected
         // so the fallible I/O happens outside the &mut modes borrow.
         let mut reads: Vec<(usize, u64, u64)> = Vec::with_capacity(self.cols.len());
         // Plain/code reads first (the "Scan" operator's own work).
         for (k, &ci) in self.cols.iter().enumerate() {
             let sc = self.table.column(ci);
+            let cs = &mut self.comp[k];
+            // Compressed chunk reads are their own fault-injection site.
+            if cs.is_some() {
+                if let Some(fs) = self.ctx.fault_state() {
+                    fs.check_site(x100_storage::FaultSite::CompressedRead, ci as u32)
+                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                }
+            }
             match &mut self.modes[k] {
                 ColMode::Plain | ColMode::Codes => {
-                    let mut v = self.pools[k].writable();
-                    sc.physical().read_into(start, n, &mut v);
+                    // Dense decode overwrites every position, so the
+                    // recycled vector can skip its clear + re-zero pass.
+                    let mut v = if cs.is_some() {
+                        self.pools[k].writable_dirty()
+                    } else {
+                        self.pools[k].writable()
+                    };
+                    if let Some(cs) = cs {
+                        let cc = sc
+                            .compressed()
+                            .expect("CompState without compressed column");
+                        let t0 = prof.start();
+                        let st = cc.decode_range(start, n, &mut v, &mut cs.cursor, &mut cs.scratch);
+                        prof.record_prim(cs.sig, t0, n, st.comp_len as usize + v.byte_size());
+                        prof.max_counter("compress_ratio", cc.ratio_pct());
+                        dec_raw += v.byte_size() as u64;
+                        dec_comp += st.comp_len;
+                        dec_exc += st.exceptions;
+                        reads.push((ci, st.comp_offset, st.comp_len));
+                    } else {
+                        sc.physical().read_into(start, n, &mut v);
+                        reads.push((
+                            ci,
+                            (start * sc.physical_type().width()) as u64,
+                            v.byte_size() as u64,
+                        ));
+                    }
                     scan_bytes += v.byte_size();
-                    reads.push((
-                        ci,
-                        (start * sc.physical_type().width()) as u64,
-                        v.byte_size() as u64,
-                    ));
                     self.pools[k].publish(v, &mut self.out);
                 }
                 ColMode::Decode { codes, .. } => {
                     // Read raw codes now; decode in a second pass so the
                     // fetch cost is attributed to Fetch1Join(ENUM).
-                    sc.physical().read_into(start, n, codes);
+                    if let Some(cs) = cs {
+                        let cc = sc
+                            .compressed()
+                            .expect("CompState without compressed column");
+                        let t0 = prof.start();
+                        let st = cc.decode_range(start, n, codes, &mut cs.cursor, &mut cs.scratch);
+                        prof.record_prim(cs.sig, t0, n, st.comp_len as usize + codes.byte_size());
+                        prof.max_counter("compress_ratio", cc.ratio_pct());
+                        dec_raw += codes.byte_size() as u64;
+                        dec_comp += st.comp_len;
+                        dec_exc += st.exceptions;
+                        reads.push((ci, st.comp_offset, st.comp_len));
+                    } else {
+                        sc.physical().read_into(start, n, codes);
+                        reads.push((
+                            ci,
+                            (start * sc.physical_type().width()) as u64,
+                            codes.byte_size() as u64,
+                        ));
+                    }
                     scan_bytes += codes.byte_size();
-                    reads.push((
-                        ci,
-                        (start * sc.physical_type().width()) as u64,
-                        codes.byte_size() as u64,
-                    ));
                     // Placeholder slot; replaced by the decode pass below.
                     self.out.columns.push(self.placeholder.clone());
                 }
@@ -251,6 +340,23 @@ impl ScanOp {
         }
         prof.record_op("Scan", t_scan, n);
         let _ = scan_bytes;
+        if dec_raw > 0 {
+            prof.add_counter("scan_bytes_raw", dec_raw);
+            prof.add_counter("scan_bytes_compressed", dec_comp);
+            prof.add_counter("decode_exceptions", dec_exc);
+        }
+        // Re-check the governor charge against what the decode scratch
+        // buffers actually grew to (PFOR-DELTA sync replay can extend
+        // them past one vector).
+        if let Some(mem) = &mut self.mem {
+            let total: usize = self
+                .comp
+                .iter()
+                .flatten()
+                .map(|cs| cs.scratch.capacity() * std::mem::size_of::<u64>())
+                .sum();
+            mem.ensure(total)?;
+        }
         for (ci, offset, len) in reads {
             self.bm_read(ci, offset, len)?;
         }
@@ -432,5 +538,9 @@ impl Operator for ScanOp {
         self.delta_pos = 0;
         self.mcur = 0;
         self.moff = 0;
+        // Drop sequential decode positions so a re-run starts clean.
+        for cs in self.comp.iter_mut().flatten() {
+            cs.cursor = DecodeCursor::default();
+        }
     }
 }

@@ -478,7 +478,7 @@ impl Plan {
                 // the build side always materializes full-range.
                 let (b, _) = build.bind_inner(db, opts, None, shared, ctx)?;
                 let (p, pdicts) = probe.bind_inner(db, opts, morsels, shared, ctx)?;
-                let op = HashJoinOp::new(
+                let mut op = HashJoinOp::new(
                     b,
                     p,
                     build_keys,
@@ -488,6 +488,9 @@ impl Plan {
                     opts,
                     ctx.clone(),
                 )?;
+                // Bloom sizing feedback: a probe side that dwarfs the
+                // build justifies more filter bits per build key.
+                op.set_probe_rows_hint(probe_rows_estimate(probe, db));
                 let mut dicts = pdicts;
                 dicts.extend(payload.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
@@ -534,6 +537,41 @@ pub(crate) fn scan_prune_range(
         }
     };
     Ok((t, range))
+}
+
+/// Conservative bind-time upper bound on the rows a subtree can stream,
+/// used as the hash join's probe-cardinality hint for Bloom filter
+/// sizing. `Scan` reads the table cardinality (respecting a prune
+/// range); row-preserving and row-reducing shapes pass through or clamp;
+/// anything that can grow the stream or whose output cardinality is
+/// data-dependent in both directions (aggregation group counts, inner
+/// joins, cross products) gives up with `None`.
+pub(crate) fn probe_rows_estimate(plan: &Plan, db: &Database) -> Option<usize> {
+    match plan {
+        Plan::Scan { table, prune, .. } => {
+            let (t, range) = scan_prune_range(db, table, prune.as_ref()).ok()?;
+            let frag = match range {
+                Some((s, e)) => e.saturating_sub(s),
+                None => t.fragment_rows(),
+            };
+            Some(frag + t.delta_rows())
+        }
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Fetch1Join { input, .. }
+        | Plan::Order { input, .. } => probe_rows_estimate(input, db),
+        Plan::TopN { input, limit, .. } => Some(probe_rows_estimate(input, db)?.min(*limit)),
+        // Semi/anti joins emit at most one row per probe row.
+        Plan::HashJoin {
+            probe,
+            join_type: JoinType::LeftSemi | JoinType::LeftAnti,
+            ..
+        } => probe_rows_estimate(probe, db),
+        Plan::Array { dims } => dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(usize::try_from(d).ok()?)),
+        _ => None,
+    }
 }
 
 /// Rewrite string-literal equality comparisons on enum *code* columns

@@ -85,6 +85,9 @@ pub struct Profiler {
     /// Named event counters (Bloom rejects, partition stats, …).
     counters: BTreeMap<String, u64>,
     counter_order: Vec<String>,
+    /// Counters with high-water-mark semantics (`max_counter`): worker
+    /// merges take the max instead of summing.
+    max_names: std::collections::BTreeSet<String>,
 }
 
 impl Profiler {
@@ -170,6 +173,7 @@ impl Profiler {
             if !self.counters.contains_key(name) {
                 self.counter_order.push(name.to_owned());
             }
+            self.max_names.insert(name.to_owned());
             let e = self.counters.entry(name.to_owned()).or_default();
             *e = (*e).max(n);
         }
@@ -243,7 +247,16 @@ impl Profiler {
             if !self.counters.contains_key(name) {
                 self.counter_order.push(name.clone());
             }
-            *self.counters.entry(name.clone()).or_default() += worker.counters[name];
+            let e = self.counters.entry(name.clone()).or_default();
+            if worker.max_names.contains(name) {
+                // High-water marks (largest partition, worst compression
+                // ratio) stay maxima across workers; summing them would
+                // scale with the thread count.
+                self.max_names.insert(name.clone());
+                *e = (*e).max(worker.counters[name]);
+            } else {
+                *e += worker.counters[name];
+            }
         }
         self.workers.push(WorkerTrace {
             label: label.into(),
@@ -371,11 +384,20 @@ mod tests {
         p.max_counter("join_partition_max_rows", 40);
         assert_eq!(p.counter("join_bloom_rejected"), Some(15));
         assert_eq!(p.counter("join_partition_max_rows"), Some(100));
-        // Worker counters fold in additively.
+        // Worker counters fold in additively — except high-water marks,
+        // which take the max (summing would scale with thread count).
         let mut w = Profiler::new(true);
         w.add_counter("join_bloom_rejected", 7);
+        w.max_counter("join_partition_max_rows", 60);
+        w.max_counter("compress_ratio", 65);
         p.absorb_worker("worker-0", 1, w);
         assert_eq!(p.counter("join_bloom_rejected"), Some(22));
+        assert_eq!(p.counter("join_partition_max_rows"), Some(100));
+        assert_eq!(p.counter("compress_ratio"), Some(65));
+        let mut w2 = Profiler::new(true);
+        w2.max_counter("compress_ratio", 65);
+        p.absorb_worker("worker-1", 1, w2);
+        assert_eq!(p.counter("compress_ratio"), Some(65), "max, not sum");
         let out = p.render_table5();
         assert!(out.contains("event counter"));
         assert!(out.contains("join_bloom_rejected"));

@@ -95,6 +95,56 @@ fn chunk_read_fault_still_surfaces_typed_io() {
 }
 
 #[test]
+fn compressed_read_fault_surfaces_typed_io() {
+    let n = 500i64;
+    let mut t = TableBuilder::new("orders")
+        .column("id", ColumnData::I64((0..n).collect()))
+        .column(
+            "amount",
+            ColumnData::F64((0..n).map(|i| (i % 7) as f64).collect()),
+        )
+        .build();
+    t.checkpoint();
+    assert!(
+        t.column(1).compressed().is_some(),
+        "low-entropy f64 column should compress"
+    );
+    let mut db = Database::new();
+    db.register(t);
+    let plan = Plan::scan("orders", &["id", "amount"]).select(gt(col("amount"), lit_f64(-1.0)));
+    let opts = ExecOptions::default().with_fault_plan(certain(|p| p.compressed_rate(1.0)));
+    match execute(&db, &plan, &opts) {
+        Err(PlanError::Io(msg)) => {
+            assert!(msg.contains("compressed chunk read"), "message was: {msg}")
+        }
+        other => panic!("expected Io from the compressed-read site, got {other:?}"),
+    }
+    // The plain chunk-read site never fires when every scanned column
+    // decodes from compressed chunks.
+    let opts = ExecOptions::default().with_fault_plan(certain(|p| p.compressed_rate(0.0)));
+    let (res, _) = execute(&db, &plan, &opts).expect("fault-free compressed scan");
+    assert_eq!(res.num_rows(), 500);
+}
+
+#[test]
+fn checkpoint_write_fault_is_typed_and_recoverable() {
+    let n = 200i64;
+    let mut t = TableBuilder::new("t")
+        .column("id", ColumnData::I64((0..n).collect()))
+        .build();
+    let fs = FaultState::new(certain(|p| p.checkpoint_rate(1.0)));
+    let err = t
+        .try_checkpoint(Some(&fs))
+        .expect_err("checkpoint must fail under injected write faults");
+    assert_eq!(err.site, FaultSite::CheckpointWrite);
+    // The failed checkpoint leaves the table readable and a fault-free
+    // retry succeeds (partial progress is not corruption).
+    let formats = t.try_checkpoint(None).expect("clean retry");
+    assert!(!formats.is_empty());
+    assert!(t.column(0).compressed().is_some());
+}
+
+#[test]
 fn site_rates_are_independent() {
     let fs = FaultState::new(certain(|p| p.dict_rate(1.0)));
     assert!(fs.check_site(FaultSite::DeltaRead, 0).is_ok());

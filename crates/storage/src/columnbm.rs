@@ -70,6 +70,11 @@ pub enum FaultSite {
     DeltaRead,
     /// Enum dictionary value lookups (code → value gather).
     DictLookup,
+    /// Compressed-chunk reads/decodes (PFOR / PDICT / PFOR-DELTA
+    /// expansion inside the scan).
+    CompressedRead,
+    /// Compressed-chunk writes during checkpoint / reorganize.
+    CheckpointWrite,
 }
 
 impl std::fmt::Display for FaultSite {
@@ -78,6 +83,8 @@ impl std::fmt::Display for FaultSite {
             FaultSite::ChunkRead => write!(f, "chunk read"),
             FaultSite::DeltaRead => write!(f, "delta read"),
             FaultSite::DictLookup => write!(f, "dictionary lookup"),
+            FaultSite::CompressedRead => write!(f, "compressed chunk read"),
+            FaultSite::CheckpointWrite => write!(f, "checkpoint write"),
         }
     }
 }
@@ -131,6 +138,12 @@ pub struct FaultPlan {
     pub delta_fault_rate: f64,
     /// Probability in `[0, 1]` that one dictionary-lookup attempt fails.
     pub dict_fault_rate: f64,
+    /// Probability in `[0, 1]` that one compressed-chunk read/decode
+    /// attempt fails.
+    pub compressed_fault_rate: f64,
+    /// Probability in `[0, 1]` that one compressed-chunk write during
+    /// checkpoint/reorganize fails.
+    pub checkpoint_fault_rate: f64,
     /// Seed for the deterministic xorshift RNG driving the rates.
     pub seed: u64,
     /// Chunks that fail a fixed number of times before succeeding.
@@ -148,6 +161,8 @@ impl Default for FaultPlan {
             fault_rate: 0.0,
             delta_fault_rate: 0.0,
             dict_fault_rate: 0.0,
+            compressed_fault_rate: 0.0,
+            checkpoint_fault_rate: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
             pinned: Vec::new(),
             max_retries: 6,
@@ -175,6 +190,18 @@ impl FaultPlan {
     /// Set the probability that a dictionary-lookup attempt fails.
     pub fn dict_rate(mut self, rate: f64) -> Self {
         self.dict_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a compressed-chunk read/decode fails.
+    pub fn compressed_rate(mut self, rate: f64) -> Self {
+        self.compressed_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a checkpoint/reorganize chunk write fails.
+    pub fn checkpoint_rate(mut self, rate: f64) -> Self {
+        self.checkpoint_fault_rate = rate;
         self
     }
 
@@ -298,6 +325,8 @@ impl FaultState {
                 FaultSite::ChunkRead => self.plan.fault_rate,
                 FaultSite::DeltaRead => self.plan.delta_fault_rate,
                 FaultSite::DictLookup => self.plan.dict_fault_rate,
+                FaultSite::CompressedRead => self.plan.compressed_fault_rate,
+                FaultSite::CheckpointWrite => self.plan.checkpoint_fault_rate,
             };
             let mut attempt: u32 = 0;
             loop {

@@ -1,0 +1,886 @@
+//! Compressed column fragments: the storage half of lightweight
+//! compression (paper §4.3 / §5).
+//!
+//! At checkpoint / reorganize time a per-column *format chooser* samples
+//! each fragment's value range, sort order and cardinality and rewrites
+//! it as a sequence of compressed chunks — PFOR, PFOR-DELTA or PDICT —
+//! each carrying a self-describing [`ChunkHeader`] plus exception
+//! blocks. Columns where compression would not pay (savings below 10%)
+//! stay raw. The scan decompresses vector-at-a-time through
+//! [`CompressedColumn::decode_range`], so compressed data stays
+//! compressed in the buffer pool and expands only into cache-resident
+//! vectors.
+
+use crate::column::ColumnData;
+use x100_vector::compress as k;
+use x100_vector::{ScalarType, StrVec, Vector};
+
+/// Rows per compressed chunk. A multiple of the vector size and of
+/// [`k::DELTA_SYNC`], so vector refills decode aligned lanes.
+pub const CHUNK_ROWS: usize = 65536;
+
+/// Encoded size of a [`ChunkHeader`].
+pub const HEADER_BYTES: usize = 32;
+
+const HEADER_MAGIC: u8 = 0xCB;
+
+/// Physical format of one compressed chunk (or of a whole column, as
+/// the chooser's verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkFormat {
+    /// Uncompressed — the chooser's fallback when compression won't pay.
+    Raw,
+    /// Patched frame-of-reference.
+    Pfor,
+    /// PFOR over deltas of a non-decreasing column.
+    PforDelta,
+    /// Dictionary codes into a column-wide sorted dictionary.
+    Pdict,
+}
+
+impl ChunkFormat {
+    /// Short lowercase name (bench JSON, stats display).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkFormat::Raw => "raw",
+            ChunkFormat::Pfor => "pfor",
+            ChunkFormat::PforDelta => "pfordelta",
+            ChunkFormat::Pdict => "pdict",
+        }
+    }
+}
+
+/// Self-describing header written in front of every compressed chunk.
+///
+/// The header is what makes a chunk readable without consulting the
+/// catalog: format tag, row count, frame lane, frame base, decimal
+/// scale, payload length and the sizes of the exception / sync blocks
+/// that follow the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Chunk format tag.
+    pub format: ChunkFormat,
+    /// Frame lane in bits (PFOR / PFOR-DELTA) or code width (PDICT).
+    pub lane: u8,
+    /// Rows in this chunk.
+    pub rows: u32,
+    /// Decimal scale for f64 frames (0 = integer frames).
+    pub scale: u32,
+    /// Frame base (chunk minimum / minimum delta).
+    pub base: u64,
+    /// Packed payload length in bytes.
+    pub payload_bytes: u32,
+    /// Entries in the exception block.
+    pub exceptions: u32,
+    /// Entries in the sync-carry block (PFOR-DELTA only).
+    pub sync_points: u32,
+}
+
+impl ChunkHeader {
+    /// Serialize to the on-chunk byte layout.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut b = [0u8; HEADER_BYTES];
+        b[0] = HEADER_MAGIC;
+        b[1] = match self.format {
+            ChunkFormat::Raw => 0,
+            ChunkFormat::Pfor => 1,
+            ChunkFormat::PforDelta => 2,
+            ChunkFormat::Pdict => 3,
+        };
+        b[2] = self.lane;
+        b[4..8].copy_from_slice(&self.rows.to_le_bytes());
+        b[8..12].copy_from_slice(&self.scale.to_le_bytes());
+        b[12..20].copy_from_slice(&self.base.to_le_bytes());
+        b[20..24].copy_from_slice(&self.payload_bytes.to_le_bytes());
+        b[24..28].copy_from_slice(&self.exceptions.to_le_bytes());
+        b[28..32].copy_from_slice(&self.sync_points.to_le_bytes());
+        b
+    }
+
+    /// Parse the on-chunk byte layout back.
+    pub fn decode(b: &[u8; HEADER_BYTES]) -> Result<ChunkHeader, String> {
+        if b[0] != HEADER_MAGIC {
+            return Err(format!("bad chunk magic 0x{:02x}", b[0]));
+        }
+        let format = match b[1] {
+            0 => ChunkFormat::Raw,
+            1 => ChunkFormat::Pfor,
+            2 => ChunkFormat::PforDelta,
+            3 => ChunkFormat::Pdict,
+            t => return Err(format!("unknown chunk format tag {t}")),
+        };
+        let word32 = |at: usize| u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]);
+        let mut base = [0u8; 8];
+        base.copy_from_slice(&b[12..20]);
+        Ok(ChunkHeader {
+            format,
+            lane: b[2],
+            rows: word32(4),
+            scale: word32(8),
+            base: u64::from_le_bytes(base),
+            payload_bytes: word32(20),
+            exceptions: word32(24),
+            sync_points: word32(28),
+        })
+    }
+}
+
+/// Compressed payload of one chunk.
+#[derive(Debug, Clone)]
+pub enum ChunkBody {
+    /// Patched frame-of-reference frames + exception block.
+    Pfor(k::PforChunk),
+    /// Delta frames + sync carries + exception block.
+    PforDelta(k::PforDeltaChunk),
+    /// Packed dictionary codes (dictionary lives on the column).
+    Pdict(Vec<u8>),
+}
+
+/// One compressed chunk: header + typed body.
+#[derive(Debug, Clone)]
+pub struct CompressedChunk {
+    /// The self-describing header.
+    pub header: ChunkHeader,
+    /// The compressed payload.
+    pub body: ChunkBody,
+}
+
+impl CompressedChunk {
+    /// Total compressed footprint including the header.
+    pub fn byte_size(&self) -> usize {
+        HEADER_BYTES
+            + match &self.body {
+                ChunkBody::Pfor(c) => c.byte_size(),
+                ChunkBody::PforDelta(c) => c.byte_size(),
+                ChunkBody::Pdict(p) => p.len(),
+            }
+    }
+}
+
+/// Column-wide sorted dictionary for PDICT columns.
+#[derive(Debug, Clone)]
+pub enum PdictValues {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(StrVec),
+}
+
+impl PdictValues {
+    fn byte_size(&self) -> usize {
+        match self {
+            PdictValues::I32(v) => v.len() * 4,
+            PdictValues::I64(v) => v.len() * 8,
+            PdictValues::F64(v) => v.len() * 8,
+            PdictValues::Str(v) => v.byte_size(),
+        }
+    }
+}
+
+/// Decode progress of one scan over one compressed column. Sequential
+/// refills continue PFOR-DELTA prefix sums from the saved carry instead
+/// of replaying from the nearest sync point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeCursor {
+    chunk: usize,
+    next_row: usize,
+    carry: u64,
+}
+
+/// Accounting of one `decode_range` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeStats {
+    /// Exception patches applied in the decoded window.
+    pub exceptions: u64,
+    /// Byte offset of the first compressed byte touched (for chunked
+    /// buffer-manager accounting).
+    pub comp_offset: u64,
+    /// Compressed bytes touched (payload window + exceptions + header).
+    pub comp_len: u64,
+}
+
+/// One column fragment rewritten as compressed chunks.
+#[derive(Debug, Clone)]
+pub struct CompressedColumn {
+    format: ChunkFormat,
+    physical: ScalarType,
+    rows: usize,
+    chunks: Vec<CompressedChunk>,
+    /// Byte offset of each chunk in the compressed stream.
+    chunk_offsets: Vec<u64>,
+    dict: Option<PdictValues>,
+    dict_lane: u32,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+}
+
+impl CompressedColumn {
+    /// The chooser's format verdict for this column.
+    pub fn format(&self) -> ChunkFormat {
+        self.format
+    }
+
+    /// The physical scalar type the chunks decode to.
+    pub fn physical_type(&self) -> ScalarType {
+        self.physical
+    }
+
+    /// Rows covered (the whole fragment at checkpoint time).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Uncompressed fragment size in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Compressed size in bytes (headers + payloads + dictionary).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+
+    /// Compressed size as a percentage of raw (lower = better).
+    pub fn ratio_pct(&self) -> u64 {
+        (self.compressed_bytes * 100)
+            .checked_div(self.raw_bytes)
+            .unwrap_or(100)
+    }
+
+    /// The registered decompress-primitive signature the scan must run
+    /// to expand this column — `engine::check` verifies it against the
+    /// primitive registry like any other compiled instruction.
+    pub fn decode_sig(&self) -> &'static str {
+        macro_rules! sig {
+            ($codec:literal) => {
+                match self.physical {
+                    ScalarType::I8 => concat!("decompress_", $codec, "_i8_col"),
+                    ScalarType::I16 => concat!("decompress_", $codec, "_i16_col"),
+                    ScalarType::I32 => concat!("decompress_", $codec, "_i32_col"),
+                    ScalarType::I64 => concat!("decompress_", $codec, "_i64_col"),
+                    ScalarType::U8 => concat!("decompress_", $codec, "_u8_col"),
+                    ScalarType::U16 => concat!("decompress_", $codec, "_u16_col"),
+                    ScalarType::U32 => concat!("decompress_", $codec, "_u32_col"),
+                    ScalarType::U64 => concat!("decompress_", $codec, "_u64_col"),
+                    ScalarType::F64 => concat!("decompress_", $codec, "_f64_col"),
+                    ScalarType::Str => concat!("decompress_", $codec, "_str_col"),
+                    ScalarType::Bool => unreachable!("Bool is not a storage type"),
+                }
+            };
+        }
+        match self.format {
+            ChunkFormat::Raw => "raw",
+            ChunkFormat::Pfor => sig!("pfor"),
+            ChunkFormat::PforDelta => sig!("pfordelta"),
+            ChunkFormat::Pdict => sig!("pdict"),
+        }
+    }
+
+    /// Decompress rows `[start, start + rows)` into `out` (cleared and
+    /// refilled, mirroring `ColumnData::read_into`). `cursor` carries
+    /// sequential decode state between refills; `scratch` is the reused
+    /// frame buffer the governor charges.
+    pub fn decode_range(
+        &self,
+        start: usize,
+        rows: usize,
+        out: &mut Vector,
+        cursor: &mut DecodeCursor,
+        scratch: &mut Vec<u64>,
+    ) -> DecodeStats {
+        assert!(start + rows <= self.rows, "decode_range beyond fragment");
+        let mut stats = DecodeStats {
+            comp_offset: u64::MAX,
+            ..DecodeStats::default()
+        };
+        if self.physical == ScalarType::Str {
+            out.clear();
+        } else {
+            // Every numeric position is overwritten by the dense decode
+            // below, so only growth needs the zero fill — resizing in
+            // place (instead of clear + refill) skips one full store
+            // pass per refill once the vector reaches steady state.
+            out.resize_zeroed(rows);
+        }
+        let mut done = 0usize;
+        while done < rows {
+            let abs = start + done;
+            let ci = abs / CHUNK_ROWS;
+            let chunk = &self.chunks[ci];
+            let local = abs - ci * CHUNK_ROWS;
+            let n = rows - done;
+            let n = n.min(chunk.header.rows as usize - local);
+            self.decode_chunk(ci, local, n, done, out, cursor, scratch, &mut stats);
+            done += n;
+        }
+        if stats.comp_offset == u64::MAX {
+            stats.comp_offset = 0;
+        }
+        stats
+    }
+
+    /// Decode `n` rows of chunk `ci` starting at chunk-local `local`
+    /// into `out` at position `at`.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_chunk(
+        &self,
+        ci: usize,
+        local: usize,
+        n: usize,
+        at: usize,
+        out: &mut Vector,
+        cursor: &mut DecodeCursor,
+        scratch: &mut Vec<u64>,
+        stats: &mut DecodeStats,
+    ) {
+        let chunk = &self.chunks[ci];
+        let lane_bytes = (chunk.header.lane as u64) / 8;
+        let mut touched = HEADER_BYTES as u64 + n as u64 * lane_bytes;
+        match &chunk.body {
+            ChunkBody::Pfor(c) => {
+                let exc = window_exceptions(&c.exc_pos, local, n);
+                touched += exc * 12;
+                stats.exceptions += exc;
+                macro_rules! arm {
+                    ($($variant:ident => $dec:path),+ $(,)?) => {
+                        match out {
+                            $(Vector::$variant(dst) => $dec(&mut dst[at..at + n], c, local, scratch),)+
+                            other => panic!("pfor decode into {:?}", other.scalar_type()),
+                        }
+                    };
+                }
+                arm! {
+                    I8 => k::decompress_pfor_i8_col,
+                    I16 => k::decompress_pfor_i16_col,
+                    I32 => k::decompress_pfor_i32_col,
+                    I64 => k::decompress_pfor_i64_col,
+                    U8 => k::decompress_pfor_u8_col,
+                    U16 => k::decompress_pfor_u16_col,
+                    U32 => k::decompress_pfor_u32_col,
+                    U64 => k::decompress_pfor_u64_col,
+                    F64 => k::decompress_pfor_f64_col,
+                }
+            }
+            ChunkBody::PforDelta(c) => {
+                // Sequential refills continue from the cursor carry; any
+                // other entry replays from the preceding sync carry.
+                let abs = ci * CHUNK_ROWS + local;
+                let (seek, carry) = if cursor.chunk == ci && cursor.next_row == abs && abs != 0 {
+                    (local, cursor.carry)
+                } else {
+                    let sk = local / k::DELTA_SYNC;
+                    (sk * k::DELTA_SYNC, c.sync[sk])
+                };
+                let exc = window_exceptions(&c.exc_pos, seek, local + n - seek);
+                touched += exc * 12 + (local - seek) as u64 * lane_bytes + 8;
+                stats.exceptions += exc;
+                macro_rules! arm {
+                    ($($variant:ident => $dec:path),+ $(,)?) => {
+                        match out {
+                            $(Vector::$variant(dst) => {
+                                $dec(&mut dst[at..at + n], c, seek, carry, local, scratch)
+                            })+
+                            other => panic!("pfordelta decode into {:?}", other.scalar_type()),
+                        }
+                    };
+                }
+                let new_carry = arm! {
+                    I8 => k::decompress_pfordelta_i8_col,
+                    I16 => k::decompress_pfordelta_i16_col,
+                    I32 => k::decompress_pfordelta_i32_col,
+                    I64 => k::decompress_pfordelta_i64_col,
+                    U8 => k::decompress_pfordelta_u8_col,
+                    U16 => k::decompress_pfordelta_u16_col,
+                    U32 => k::decompress_pfordelta_u32_col,
+                    U64 => k::decompress_pfordelta_u64_col,
+                };
+                cursor.chunk = ci;
+                cursor.next_row = abs + n;
+                cursor.carry = new_carry;
+            }
+            ChunkBody::Pdict(payload) => {
+                let dict = self.dict.as_ref().expect("pdict column has a dictionary");
+                let lane = self.dict_lane;
+                match (out, dict) {
+                    (Vector::I32(dst), PdictValues::I32(d)) => k::decompress_pdict_i32_col(
+                        &mut dst[at..at + n],
+                        payload,
+                        lane,
+                        local,
+                        d,
+                        scratch,
+                    ),
+                    (Vector::I64(dst), PdictValues::I64(d)) => k::decompress_pdict_i64_col(
+                        &mut dst[at..at + n],
+                        payload,
+                        lane,
+                        local,
+                        d,
+                        scratch,
+                    ),
+                    (Vector::F64(dst), PdictValues::F64(d)) => k::decompress_pdict_f64_col(
+                        &mut dst[at..at + n],
+                        payload,
+                        lane,
+                        local,
+                        d,
+                        scratch,
+                    ),
+                    (Vector::Str(dst), PdictValues::Str(d)) => {
+                        k::decompress_pdict_str_col(dst, payload, lane, local, n, d, scratch)
+                    }
+                    (o, _) => panic!("pdict decode into {:?}", o.scalar_type()),
+                }
+            }
+        }
+        let off = self.chunk_offsets[ci] + HEADER_BYTES as u64 + local as u64 * lane_bytes;
+        stats.comp_offset = stats.comp_offset.min(off);
+        stats.comp_len += touched;
+    }
+}
+
+/// Exceptions falling in `[start, start + n)` of a sorted patch list.
+fn window_exceptions(exc_pos: &[u32], start: usize, n: usize) -> u64 {
+    let lo = exc_pos.partition_point(|&p| (p as usize) < start);
+    let hi = exc_pos.partition_point(|&p| (p as usize) < start + n);
+    (hi - lo) as u64
+}
+
+/// Compress `data` in a specific format, or `None` when the format does
+/// not apply to this column (wrong type, unsorted for PFOR-DELTA,
+/// cardinality too high for PDICT). `Raw` always yields `None`.
+pub fn compress_column_as(data: &ColumnData, format: ChunkFormat) -> Option<CompressedColumn> {
+    if data.is_empty() {
+        return None;
+    }
+    let (chunks, dict, dict_lane) = match format {
+        ChunkFormat::Raw => return None,
+        ChunkFormat::Pfor => (pfor_chunks(data)?, None, 0),
+        ChunkFormat::PforDelta => (pfordelta_chunks(data)?, None, 0),
+        ChunkFormat::Pdict => {
+            let (chunks, dict, lane) = pdict_chunks(data)?;
+            (chunks, Some(dict), lane)
+        }
+    };
+    let mut chunk_offsets = Vec::with_capacity(chunks.len());
+    let mut off = 0u64;
+    for c in &chunks {
+        chunk_offsets.push(off);
+        off += c.byte_size() as u64;
+    }
+    let compressed_bytes = off + dict.as_ref().map_or(0, |d| d.byte_size() as u64);
+    Some(CompressedColumn {
+        format,
+        physical: data.scalar_type(),
+        rows: data.len(),
+        chunks,
+        chunk_offsets,
+        dict,
+        dict_lane,
+        raw_bytes: data.byte_size() as u64,
+        compressed_bytes,
+    })
+}
+
+/// The per-column format chooser: samples sort order and cardinality,
+/// compresses with every applicable format, and keeps the smallest
+/// result — unless even the winner saves less than 10% of the raw
+/// bytes, in which case the column stays raw (`None`).
+pub fn choose_and_compress(data: &ColumnData) -> Option<CompressedColumn> {
+    let mut candidates: Vec<ChunkFormat> = Vec::new();
+    match data {
+        ColumnData::Str(_) => candidates.push(ChunkFormat::Pdict),
+        ColumnData::F64(_) => {
+            candidates.push(ChunkFormat::Pfor);
+            candidates.push(ChunkFormat::Pdict);
+        }
+        _ => {
+            candidates.push(ChunkFormat::Pfor);
+            if is_sorted(data) {
+                candidates.push(ChunkFormat::PforDelta);
+            }
+            if matches!(data, ColumnData::I32(_) | ColumnData::I64(_)) {
+                candidates.push(ChunkFormat::Pdict);
+            }
+        }
+    }
+    let best = candidates
+        .into_iter()
+        .filter_map(|f| compress_column_as(data, f))
+        .min_by_key(|c| c.compressed_bytes)?;
+    // Fall back to raw unless compression saves at least 10%.
+    if best.compressed_bytes * 10 <= best.raw_bytes * 9 {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+fn is_sorted(data: &ColumnData) -> bool {
+    match data {
+        ColumnData::I8(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::I16(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::I32(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::I64(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::U8(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::U16(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::U32(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::U64(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        ColumnData::F64(_) | ColumnData::Str(_) => false,
+    }
+}
+
+fn pfor_header(format: ChunkFormat, rows: usize, c: &k::PforChunk) -> ChunkHeader {
+    ChunkHeader {
+        format,
+        lane: c.lane as u8,
+        rows: rows as u32,
+        scale: c.scale,
+        base: c.base,
+        payload_bytes: c.payload.len() as u32,
+        exceptions: c.exc_pos.len() as u32,
+        sync_points: 0,
+    }
+}
+
+fn pfor_chunks(data: &ColumnData) -> Option<Vec<CompressedChunk>> {
+    macro_rules! chunked {
+        ($v:expr, $comp:path) => {
+            $v.chunks(CHUNK_ROWS)
+                .map(|s| {
+                    let c = $comp(s);
+                    CompressedChunk {
+                        header: pfor_header(ChunkFormat::Pfor, s.len(), &c),
+                        body: ChunkBody::Pfor(c),
+                    }
+                })
+                .collect()
+        };
+    }
+    Some(match data {
+        ColumnData::I8(v) => chunked!(v, k::compress_pfor_i8_col),
+        ColumnData::I16(v) => chunked!(v, k::compress_pfor_i16_col),
+        ColumnData::I32(v) => chunked!(v, k::compress_pfor_i32_col),
+        ColumnData::I64(v) => chunked!(v, k::compress_pfor_i64_col),
+        ColumnData::U8(v) => chunked!(v, k::compress_pfor_u8_col),
+        ColumnData::U16(v) => chunked!(v, k::compress_pfor_u16_col),
+        ColumnData::U32(v) => chunked!(v, k::compress_pfor_u32_col),
+        ColumnData::U64(v) => chunked!(v, k::compress_pfor_u64_col),
+        ColumnData::F64(v) => chunked!(v, k::compress_pfor_f64_col),
+        ColumnData::Str(_) => return None,
+    })
+}
+
+fn pfordelta_chunks(data: &ColumnData) -> Option<Vec<CompressedChunk>> {
+    macro_rules! chunked {
+        ($v:expr, $comp:path, $pfor:path) => {
+            $v.chunks(CHUNK_ROWS)
+                .map(|s| match $comp(s) {
+                    // A chunk that is not non-decreasing falls back to
+                    // plain PFOR; its header self-describes the switch.
+                    None => {
+                        let c = $pfor(s);
+                        CompressedChunk {
+                            header: pfor_header(ChunkFormat::Pfor, s.len(), &c),
+                            body: ChunkBody::Pfor(c),
+                        }
+                    }
+                    Some(c) => CompressedChunk {
+                        header: ChunkHeader {
+                            format: ChunkFormat::PforDelta,
+                            lane: c.lane as u8,
+                            rows: s.len() as u32,
+                            scale: 0,
+                            base: c.base,
+                            payload_bytes: c.payload.len() as u32,
+                            exceptions: c.exc_pos.len() as u32,
+                            sync_points: c.sync.len() as u32,
+                        },
+                        body: ChunkBody::PforDelta(c),
+                    },
+                })
+                .collect()
+        };
+    }
+    Some(match data {
+        ColumnData::I8(v) => chunked!(v, k::compress_pfordelta_i8_col, k::compress_pfor_i8_col),
+        ColumnData::I16(v) => chunked!(v, k::compress_pfordelta_i16_col, k::compress_pfor_i16_col),
+        ColumnData::I32(v) => chunked!(v, k::compress_pfordelta_i32_col, k::compress_pfor_i32_col),
+        ColumnData::I64(v) => chunked!(v, k::compress_pfordelta_i64_col, k::compress_pfor_i64_col),
+        ColumnData::U8(v) => chunked!(v, k::compress_pfordelta_u8_col, k::compress_pfor_u8_col),
+        ColumnData::U16(v) => chunked!(v, k::compress_pfordelta_u16_col, k::compress_pfor_u16_col),
+        ColumnData::U32(v) => chunked!(v, k::compress_pfordelta_u32_col, k::compress_pfor_u32_col),
+        ColumnData::U64(v) => chunked!(v, k::compress_pfordelta_u64_col, k::compress_pfor_u64_col),
+        ColumnData::F64(_) | ColumnData::Str(_) => return None,
+    })
+}
+
+/// Cardinality cap for PDICT on numeric columns: beyond this the
+/// binary-search encode and the dictionary itself stop paying.
+const PDICT_NUMERIC_CAP: usize = 4096;
+
+/// Cardinality cap for PDICT on string columns (2-byte codes).
+const PDICT_STR_CAP: usize = 65536;
+
+fn pdict_chunks(data: &ColumnData) -> Option<(Vec<CompressedChunk>, PdictValues, u32)> {
+    macro_rules! numeric {
+        ($v:expr, $variant:ident, $comp:path) => {{
+            let mut dict: Vec<_> = $v.clone();
+            dict.sort_unstable();
+            dict.dedup();
+            if dict.len() > PDICT_NUMERIC_CAP {
+                return None;
+            }
+            let lane: u32 = if dict.len() <= 256 { 8 } else { 16 };
+            let chunks = $v
+                .chunks(CHUNK_ROWS)
+                .map(|s| {
+                    let payload = $comp(s, &dict, lane).expect("dict covers the column");
+                    CompressedChunk {
+                        header: pdict_header(s.len(), lane, payload.len()),
+                        body: ChunkBody::Pdict(payload),
+                    }
+                })
+                .collect();
+            Some((chunks, PdictValues::$variant(dict), lane))
+        }};
+    }
+    match data {
+        ColumnData::I32(v) => numeric!(v, I32, k::compress_pdict_i32_col),
+        ColumnData::I64(v) => numeric!(v, I64, k::compress_pdict_i64_col),
+        ColumnData::F64(v) => {
+            let mut dict: Vec<f64> = v.clone();
+            dict.sort_unstable_by(|a, b| a.total_cmp(b));
+            dict.dedup_by(|a, b| a.to_bits() == b.to_bits());
+            if dict.len() > PDICT_NUMERIC_CAP {
+                return None;
+            }
+            let lane: u32 = if dict.len() <= 256 { 8 } else { 16 };
+            let chunks = v
+                .chunks(CHUNK_ROWS)
+                .map(|s| {
+                    let payload =
+                        k::compress_pdict_f64_col(s, &dict, lane).expect("dict covers the column");
+                    CompressedChunk {
+                        header: pdict_header(s.len(), lane, payload.len()),
+                        body: ChunkBody::Pdict(payload),
+                    }
+                })
+                .collect();
+            Some((chunks, PdictValues::F64(dict), lane))
+        }
+        ColumnData::Str(v) => {
+            let mut sorted: Vec<&str> = v.iter().collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() > PDICT_STR_CAP {
+                return None;
+            }
+            let dict: StrVec = sorted.iter().copied().collect();
+            let lane: u32 = if dict.len() <= 256 { 8 } else { 16 };
+            let mut chunks = Vec::new();
+            let mut start = 0usize;
+            while start < v.len() {
+                let n = (v.len() - start).min(CHUNK_ROWS);
+                let mut slice = StrVec::with_capacity(n, 8);
+                for i in start..start + n {
+                    slice.push(v.get(i));
+                }
+                let payload =
+                    k::compress_pdict_str_col(&slice, &dict, lane).expect("dict covers the column");
+                chunks.push(CompressedChunk {
+                    header: pdict_header(n, lane, payload.len()),
+                    body: ChunkBody::Pdict(payload),
+                });
+                start += n;
+            }
+            Some((chunks, PdictValues::Str(dict), lane))
+        }
+        _ => None,
+    }
+}
+
+fn pdict_header(rows: usize, lane: u32, payload_len: usize) -> ChunkHeader {
+    ChunkHeader {
+        format: ChunkFormat::Pdict,
+        lane: lane as u8,
+        rows: rows as u32,
+        scale: 0,
+        base: 0,
+        payload_bytes: payload_len as u32,
+        exceptions: 0,
+        sync_points: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &ColumnData, format: ChunkFormat) -> CompressedColumn {
+        let col = compress_column_as(data, format).expect("format applies");
+        let mut out = Vector::with_capacity(data.scalar_type(), 1024);
+        let mut cursor = DecodeCursor::default();
+        let mut scratch = Vec::new();
+        // Decode in 1000-row vectors (deliberately misaligned with both
+        // CHUNK_ROWS and DELTA_SYNC) and compare to read_into.
+        let mut want = Vector::with_capacity(data.scalar_type(), 1024);
+        let mut at = 0usize;
+        while at < data.len() {
+            let n = (data.len() - at).min(1000);
+            col.decode_range(at, n, &mut out, &mut cursor, &mut scratch);
+            data.read_into(at, n, &mut want);
+            assert_eq!(out, want, "window at {at}");
+            at += n;
+        }
+        col
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = ChunkHeader {
+            format: ChunkFormat::PforDelta,
+            lane: 16,
+            rows: 65536,
+            scale: 100,
+            base: 0xDEAD_BEEF,
+            payload_bytes: 131072,
+            exceptions: 17,
+            sync_points: 64,
+        };
+        assert_eq!(ChunkHeader::decode(&h.encode()), Ok(h));
+        let mut bad = h.encode();
+        bad[0] = 0;
+        assert!(ChunkHeader::decode(&bad).is_err());
+        bad = h.encode();
+        bad[1] = 9;
+        assert!(ChunkHeader::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn pfor_column_roundtrip_multi_chunk() {
+        let v: Vec<i64> = (0..150_000).map(|i| 50 + (i * 7) % 200).collect();
+        let col = roundtrip(&ColumnData::I64(v), ChunkFormat::Pfor);
+        assert_eq!(col.num_chunks(), 3);
+        assert!(col.ratio_pct() < 20, "8-byte ints in a 1-byte range");
+        assert_eq!(col.decode_sig(), "decompress_pfor_i64_col");
+    }
+
+    #[test]
+    fn pfor_f64_column_roundtrip() {
+        let v: Vec<f64> = (0..80_000).map(|i| (i % 5000) as f64 / 100.0).collect();
+        let col = roundtrip(&ColumnData::F64(v), ChunkFormat::Pfor);
+        assert!(
+            col.ratio_pct() <= 30,
+            "cents fit 2 bytes: {}",
+            col.ratio_pct()
+        );
+    }
+
+    #[test]
+    fn pfordelta_column_roundtrip_with_cursor() {
+        let v: Vec<i32> = (0..200_000).map(|i| i * 2).collect();
+        let col = roundtrip(&ColumnData::I32(v), ChunkFormat::PforDelta);
+        assert!(col.ratio_pct() < 40, "constant deltas: {}", col.ratio_pct());
+        assert_eq!(col.decode_sig(), "decompress_pfordelta_i32_col");
+    }
+
+    #[test]
+    fn pfordelta_random_access_ignores_cursor() {
+        let v: Vec<u64> = (0..100_000u64).map(|i| i * i / 1000).collect();
+        let data = ColumnData::U64(v.clone());
+        let col = compress_column_as(&data, ChunkFormat::PforDelta).expect("sorted");
+        let mut out = Vector::with_capacity(ScalarType::U64, 64);
+        let mut scratch = Vec::new();
+        // Jump around: each decode must be position-correct regardless
+        // of the stale cursor.
+        for start in [70_000usize, 3, 65_530, 99_990, 0] {
+            let mut cursor = DecodeCursor {
+                chunk: 1,
+                next_row: 12345,
+                carry: 999,
+            };
+            let n = 10.min(v.len() - start);
+            col.decode_range(start, n, &mut out, &mut cursor, &mut scratch);
+            assert_eq!(out.as_u64(), &v[start..start + n]);
+        }
+    }
+
+    #[test]
+    fn pdict_str_column_roundtrip() {
+        let mut s = StrVec::new();
+        for i in 0..70_000 {
+            s.push(["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"][i % 5]);
+        }
+        let col = roundtrip(&ColumnData::Str(s), ChunkFormat::Pdict);
+        assert_eq!(col.decode_sig(), "decompress_pdict_str_col");
+        assert!(col.ratio_pct() < 30, "1-byte codes vs 4+-byte strings");
+    }
+
+    #[test]
+    fn pdict_f64_column_roundtrip() {
+        let v: Vec<f64> = (0..50_000)
+            .map(|i| [0.0, -0.0, 0.04, 0.07][i % 4])
+            .collect();
+        let col = roundtrip(&ColumnData::F64(v), ChunkFormat::Pdict);
+        assert_eq!(col.format(), ChunkFormat::Pdict);
+    }
+
+    #[test]
+    fn chooser_prefers_delta_on_sorted_keys() {
+        let v: Vec<i64> = (0..100_000).collect();
+        let col = choose_and_compress(&ColumnData::I64(v)).expect("compresses");
+        assert_eq!(col.format(), ChunkFormat::PforDelta);
+    }
+
+    #[test]
+    fn chooser_falls_back_to_raw_on_random_wide_values() {
+        // xorshift values spanning the full u64 range: nothing pays.
+        let mut x = 0x12345678u64;
+        let v: Vec<u64> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        assert!(choose_and_compress(&ColumnData::U64(v)).is_none());
+    }
+
+    #[test]
+    fn chooser_picks_pdict_for_low_cardinality_strings() {
+        let mut s = StrVec::new();
+        for i in 0..30_000 {
+            s.push(if i % 2 == 0 { "YES" } else { "NO" });
+        }
+        let col = choose_and_compress(&ColumnData::Str(s)).expect("compresses");
+        assert_eq!(col.format(), ChunkFormat::Pdict);
+    }
+
+    #[test]
+    fn empty_column_stays_raw() {
+        assert!(choose_and_compress(&ColumnData::I64(Vec::new())).is_none());
+        assert!(compress_column_as(&ColumnData::I64(Vec::new()), ChunkFormat::Pfor).is_none());
+    }
+
+    #[test]
+    fn decode_stats_account_compressed_bytes() {
+        let v: Vec<i64> = (0..70_000).map(|i| i % 100).collect();
+        let data = ColumnData::I64(v);
+        let col = compress_column_as(&data, ChunkFormat::Pfor).expect("compresses");
+        let mut out = Vector::with_capacity(ScalarType::I64, 1024);
+        let mut cursor = DecodeCursor::default();
+        let mut scratch = Vec::new();
+        let stats = col.decode_range(66_000, 1024, &mut out, &mut cursor, &mut scratch);
+        // Lane-8 frames: ~1 byte per row plus the header, far below raw.
+        assert!(stats.comp_len >= 1024);
+        assert!(stats.comp_len < 8 * 1024);
+        assert!(stats.comp_offset > 0, "second chunk starts past the first");
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod column;
 pub mod columnbm;
+pub mod compress;
 pub mod delta;
 pub mod enumcol;
 pub mod morsel;
@@ -29,6 +30,10 @@ pub use column::ColumnData;
 pub use columnbm::{
     BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultSite, FaultState, PinnedFault,
     StorageFaultError, DEFAULT_CHUNK_BYTES,
+};
+pub use compress::{
+    choose_and_compress, compress_column_as, ChunkFormat, ChunkHeader, CompressedColumn,
+    DecodeCursor, DecodeStats, CHUNK_ROWS, HEADER_BYTES,
 };
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};

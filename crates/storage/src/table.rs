@@ -8,6 +8,8 @@
 //! positional fetch-joins use as join key.
 
 use crate::column::ColumnData;
+use crate::columnbm::{FaultSite, FaultState, StorageFaultError};
+use crate::compress::{choose_and_compress, ChunkFormat, CompressedColumn};
 use crate::delta::{DeleteList, InsertDelta};
 use crate::enumcol::{encode_f64, encode_i64, encode_str, EnumDict};
 use crate::summary::SummaryIndex;
@@ -32,6 +34,9 @@ pub struct StoredColumn {
     data: ColumnData,
     dict: Option<EnumDict>,
     summary: Option<SummaryIndex>,
+    /// Compressed rewrite of `data`, present after a checkpoint. Scans
+    /// prefer it; it always covers exactly the fragment rows.
+    compressed: Option<CompressedColumn>,
 }
 
 impl StoredColumn {
@@ -58,6 +63,12 @@ impl StoredColumn {
     /// The summary index, if one was built.
     pub fn summary(&self) -> Option<&SummaryIndex> {
         self.summary.as_ref()
+    }
+
+    /// The compressed fragment rewrite, if the column was checkpointed
+    /// and the format chooser found a paying format.
+    pub fn compressed(&self) -> Option<&CompressedColumn> {
+        self.compressed.as_ref()
     }
 
     /// Decode one fragment value to its logical form (slow path).
@@ -103,6 +114,7 @@ impl TableBuilder {
             data,
             dict: None,
             summary: None,
+            compressed: None,
         });
         self
     }
@@ -126,6 +138,7 @@ impl TableBuilder {
             data: codes,
             dict: Some(dict),
             summary: None,
+            compressed: None,
         });
         self
     }
@@ -407,6 +420,41 @@ impl Table {
         }
     }
 
+    /// Checkpoint: run the format chooser over every column fragment
+    /// and rewrite paying columns as compressed chunks (paper §4.3/§5 —
+    /// "light-weight compression" applied when data is reorganized).
+    /// Returns per-column verdicts `(name, format, ratio_pct)`; raw
+    /// columns report `ChunkFormat::Raw` at 100%.
+    pub fn checkpoint(&mut self) -> Vec<(String, ChunkFormat, u64)> {
+        match self.try_checkpoint(None) {
+            Ok(v) => v,
+            Err(_) => unreachable!("checkpoint without a fault plan cannot fail"),
+        }
+    }
+
+    /// Fallible checkpoint: each column's compressed-chunk write is
+    /// checked against the fault plan (site
+    /// [`FaultSite::CheckpointWrite`]). On error, columns already
+    /// checkpointed keep their new chunks (each column is independently
+    /// consistent); the remainder stay as they were.
+    pub fn try_checkpoint(
+        &mut self,
+        fault: Option<&FaultState>,
+    ) -> Result<Vec<(String, ChunkFormat, u64)>, StorageFaultError> {
+        let mut verdicts = Vec::with_capacity(self.columns.len());
+        for (i, col) in self.columns.iter_mut().enumerate() {
+            if let Some(f) = fault {
+                f.check_site(FaultSite::CheckpointWrite, i as u32)?;
+            }
+            col.compressed = choose_and_compress(&col.data);
+            verdicts.push(match &col.compressed {
+                Some(c) => (col.field.name.clone(), c.format(), c.ratio_pct()),
+                None => (col.field.name.clone(), ChunkFormat::Raw, 100),
+            });
+        }
+        Ok(verdicts)
+    }
+
     /// Reorganize when the deltas exceed `threshold` of the table
     /// (paper §4.3: "whenever their size exceeds a (small) percentile of
     /// the total table size, data storage should be reorganized").
@@ -439,6 +487,7 @@ impl Table {
             let logical = old.field.logical;
             let had_summary = old.summary.is_some();
             let was_enum = old.dict.is_some();
+            let was_compressed = old.compressed.is_some();
             let mut values = ColumnData::new(logical);
             for &r in &live {
                 values.push_value(&self.column_value(i, r));
@@ -481,11 +530,21 @@ impl Table {
             } else {
                 None
             };
+            // Checkpointed columns stay checkpointed: re-run the format
+            // chooser over the merged fragment so the compressed chunks
+            // track the data (the chooser may pick a different format
+            // for the new value distribution, or fall back to raw).
+            let compressed = if was_compressed {
+                choose_and_compress(&data)
+            } else {
+                None
+            };
             new_cols.push(StoredColumn {
                 field: old.field.clone(),
                 data,
                 dict,
                 summary,
+                compressed,
             });
         }
         self.frag_rows = live.len();
@@ -670,6 +729,66 @@ mod tests {
         let before = t.byte_size();
         t.insert(&[Value::I64(1), Value::Str("Q".into()), Value::F64(0.0)]);
         assert!(t.byte_size() > before);
+    }
+
+    #[test]
+    fn checkpoint_compresses_paying_columns() {
+        let mut t = TableBuilder::new("t")
+            .column("key", ColumnData::I64((0..100_000).collect()))
+            .column(
+                "price",
+                ColumnData::F64((0..100_000).map(|i| (i % 9000) as f64 / 100.0).collect()),
+            )
+            .build();
+        assert!(t.column(0).compressed().is_none());
+        let verdicts = t.checkpoint();
+        assert_eq!(verdicts.len(), 2);
+        let key = t.column(0).compressed().expect("sorted keys compress");
+        assert_eq!(key.format(), ChunkFormat::PforDelta);
+        let price = t.column(1).compressed().expect("cents compress");
+        assert!(price.ratio_pct() < 50);
+        assert_eq!(price.rows(), t.fragment_rows());
+    }
+
+    #[test]
+    fn reorganize_preserves_checkpoint() {
+        let mut t = small_table();
+        t.checkpoint();
+        let before: Vec<bool> = (0..t.num_columns())
+            .map(|i| t.column(i).compressed().is_some())
+            .collect();
+        t.delete(0);
+        t.insert(&[Value::I64(50), Value::Str("A".into()), Value::F64(5.0)]);
+        t.reorganize();
+        assert_eq!(t.delta_rows(), 0);
+        for (i, was) in before.iter().enumerate() {
+            if *was {
+                let c = t.column(i).compressed().expect("still checkpointed");
+                assert_eq!(c.rows(), t.fragment_rows());
+            }
+        }
+        // Never-checkpointed tables stay uncompressed through reorganize.
+        let mut u = small_table();
+        u.insert(&[Value::I64(11), Value::Str("B".into()), Value::F64(1.0)]);
+        u.reorganize();
+        assert!(u.column(0).compressed().is_none());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn checkpoint_write_faults_surface() {
+        use crate::columnbm::FaultPlan;
+        let mut t = small_table();
+        let plan = FaultPlan {
+            checkpoint_fault_rate: 1.0,
+            max_retries: 2,
+            backoff_base_us: 0,
+            ..FaultPlan::default()
+        };
+        let fs = FaultState::new(plan);
+        let err = t.try_checkpoint(Some(&fs)).expect_err("always faults");
+        assert_eq!(err.site, FaultSite::CheckpointWrite);
+        assert_eq!(err.attempts, 3);
     }
 
     #[test]

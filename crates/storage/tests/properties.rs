@@ -7,8 +7,11 @@
 //! * summary indices are always conservative.
 
 use proptest::prelude::*;
-use x100_storage::{encode_i64, ColumnData, SummaryIndex, TableBuilder};
-use x100_vector::Value;
+use x100_storage::{
+    choose_and_compress, compress_column_as, encode_i64, ChunkFormat, ColumnData, CompressedColumn,
+    DecodeCursor, SummaryIndex, TableBuilder,
+};
+use x100_vector::{Value, Vector};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,6 +19,7 @@ enum Op {
     Delete(usize),
     Update(usize, i64),
     Reorganize,
+    Checkpoint,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -24,7 +28,44 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..64).prop_map(Op::Delete),
         (0usize..64, any::<i64>()).prop_map(|(i, v)| Op::Update(i, v)),
         Just(Op::Reorganize),
+        Just(Op::Checkpoint),
     ]
+}
+
+/// Bit-level vector equality: floats compare by representation, so a
+/// decode that flips even one mantissa bit fails (NaNs included).
+fn bits_eq(a: &Vector, b: &Vector) -> bool {
+    match (a, b) {
+        (Vector::F64(x), Vector::F64(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+/// Decode `cc` in refills of the (cycled) `sizes` and demand the result
+/// is bit-identical to the physical column at every step — this drives
+/// the per-chunk cursor across chunk boundaries exactly like a scan.
+fn assert_decode_matches(cc: &CompressedColumn, data: &ColumnData, sizes: &[usize]) {
+    let rows = data.len();
+    let mut cursor = DecodeCursor::default();
+    let mut scratch = Vec::new();
+    let mut got = Vector::with_capacity(data.scalar_type(), 0);
+    let mut want = Vector::with_capacity(data.scalar_type(), 0);
+    let mut at = 0usize;
+    let mut k = 0usize;
+    while at < rows {
+        let n = sizes[k % sizes.len()].clamp(1, rows - at);
+        k += 1;
+        cc.decode_range(at, n, &mut got, &mut cursor, &mut scratch);
+        data.read_into(at, n, &mut want);
+        prop_assert!(
+            bits_eq(&got, &want),
+            "decode mismatch at rows [{at}, {})",
+            at + n
+        );
+        at += n;
+    }
 }
 
 proptest! {
@@ -68,12 +109,22 @@ proptest! {
                     table.reorganize();
                     rowids = (0..model.len() as u32).collect();
                 }
+                Op::Checkpoint => {
+                    table.checkpoint();
+                }
             }
             prop_assert_eq!(table.live_rows(), model.len());
         }
         // Final check: every live row matches the model.
         for (pos, &id) in rowids.iter().enumerate() {
             prop_assert_eq!(table.get_row(id), vec![Value::I64(model[pos])]);
+        }
+        // Any checkpoint-compressed fragment must decode bit-identically
+        // to the physical column it mirrors.
+        let sc = table.column(0);
+        if let Some(cc) = sc.compressed() {
+            prop_assert_eq!(cc.rows(), sc.physical().len());
+            assert_decode_matches(cc, sc.physical(), &[7, 1, 13]);
         }
     }
 
@@ -122,6 +173,152 @@ proptest! {
             prop_assert!(s <= q as usize && (q as usize) < e);
         } else {
             prop_assert_eq!(s, e);
+        }
+    }
+}
+
+/// PFOR round-trips for every integer column type: arbitrary values,
+/// arbitrary refill sizes. `compress_column_as` must accept (PFOR has a
+/// raw-exception escape hatch for any distribution).
+macro_rules! pfor_int_roundtrip {
+    ($($test:ident : $ty:ty => $variant:ident);* $(;)?) => {
+        proptest! {
+            $(
+                #[test]
+                fn $test(values in prop::collection::vec(any::<$ty>(), 1..300),
+                         sizes in prop::collection::vec(1usize..80, 1..5)) {
+                    let data = ColumnData::$variant(values);
+                    let cc = compress_column_as(&data, ChunkFormat::Pfor)
+                        .expect("pfor accepts any integer column");
+                    assert_decode_matches(&cc, &data, &sizes);
+                }
+            )*
+        }
+    };
+}
+
+pfor_int_roundtrip! {
+    pfor_roundtrip_i8:  i8  => I8;
+    pfor_roundtrip_i16: i16 => I16;
+    pfor_roundtrip_i32: i32 => I32;
+    pfor_roundtrip_i64: i64 => I64;
+    pfor_roundtrip_u8:  u8  => U8;
+    pfor_roundtrip_u16: u16 => U16;
+    pfor_roundtrip_u32: u32 => U32;
+    pfor_roundtrip_u64: u64 => U64;
+}
+
+proptest! {
+    /// PFOR over decimal-scaled floats (the TPC-H money shape): every
+    /// value must survive the scaled round trip bit-exactly.
+    #[test]
+    fn pfor_roundtrip_f64_decimal(cents in prop::collection::vec(-2_000_000i64..2_000_000, 1..300),
+                                  scale_idx in 0usize..5,
+                                  sizes in prop::collection::vec(1usize..80, 1..5)) {
+        let scale = [1i64, 10, 100, 1000, 10000][scale_idx];
+        let values: Vec<f64> = cents.iter().map(|&c| c as f64 / scale as f64).collect();
+        let data = ColumnData::F64(values);
+        let cc = compress_column_as(&data, ChunkFormat::Pfor).expect("pfor accepts any f64 column");
+        assert_decode_matches(&cc, &data, &sizes);
+    }
+
+    /// PFOR over arbitrary finite doubles: almost none are representable
+    /// as scaled integers, so this exercises all-exception blocks — the
+    /// payload is noise and every value rides the patch list.
+    #[test]
+    fn pfor_roundtrip_f64_all_exceptions(bits in prop::collection::vec(any::<u64>(), 1..200),
+                                         sizes in prop::collection::vec(1usize..80, 1..5)) {
+        let values: Vec<f64> = bits
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                if v.is_finite() { v } else { f64::from_bits(b & !(0x7ff << 52)) }
+            })
+            .collect();
+        let data = ColumnData::F64(values);
+        let cc = compress_column_as(&data, ChunkFormat::Pfor).expect("pfor accepts any f64 column");
+        assert_decode_matches(&cc, &data, &sizes);
+    }
+
+    /// PFOR-DELTA round-trips over every integer type (sorted input is a
+    /// precondition of the format; the chooser enforces it upstream).
+    #[test]
+    fn pfordelta_roundtrip_ints(deltas in prop::collection::vec(0u32..1000, 1..300),
+                                start in -1_000_000i64..1_000_000,
+                                sizes in prop::collection::vec(1usize..80, 1..5)) {
+        let mut acc = start;
+        let sorted: Vec<i64> = deltas.iter().map(|&d| { acc += d as i64; acc }).collect();
+        let data = ColumnData::I64(sorted.clone());
+        let cc = compress_column_as(&data, ChunkFormat::PforDelta)
+            .expect("pfordelta accepts sorted input");
+        assert_decode_matches(&cc, &data, &sizes);
+        // Narrower physical types, same logical content.
+        let data32 = ColumnData::I32(sorted.iter().map(|&v| (v % (1 << 20)) as i32).collect());
+        if let Some(cc) = compress_column_as(&data32, ChunkFormat::PforDelta) {
+            assert_decode_matches(&cc, &data32, &sizes);
+        }
+    }
+
+    /// PFOR-DELTA decode must also be correct under *random seeks* (a
+    /// pruned scan entering mid-chunk replays from the last sync point).
+    #[test]
+    fn pfordelta_random_seeks(deltas in prop::collection::vec(0u32..50, 50..400),
+                              seeks in prop::collection::vec((0usize..400, 1usize..60), 1..12)) {
+        let mut acc = 0i64;
+        let sorted: Vec<i64> = deltas.iter().map(|&d| { acc += d as i64; acc }).collect();
+        let data = ColumnData::I64(sorted.clone());
+        let cc = compress_column_as(&data, ChunkFormat::PforDelta)
+            .expect("pfordelta accepts sorted input");
+        let mut cursor = DecodeCursor::default();
+        let mut scratch = Vec::new();
+        let mut got = Vector::with_capacity(data.scalar_type(), 0);
+        let mut want = Vector::with_capacity(data.scalar_type(), 0);
+        for (start, n) in seeks {
+            let start = start % sorted.len();
+            let n = n.min(sorted.len() - start).max(1);
+            cc.decode_range(start, n, &mut got, &mut cursor, &mut scratch);
+            data.read_into(start, n, &mut want);
+            prop_assert!(bits_eq(&got, &want), "seek mismatch at [{start}, {})", start + n);
+        }
+    }
+
+    /// PDICT round-trips for low-cardinality i64 / f64 / string columns.
+    #[test]
+    fn pdict_roundtrip(picks in prop::collection::vec(0usize..12, 1..300),
+                       domain in prop::collection::vec(any::<i64>(), 12),
+                       sizes in prop::collection::vec(1usize..80, 1..5)) {
+        let ints: Vec<i64> = picks.iter().map(|&p| domain[p]).collect();
+        let data = ColumnData::I64(ints.clone());
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality i64");
+        assert_decode_matches(&cc, &data, &sizes);
+
+        let floats: Vec<f64> = picks.iter().map(|&p| domain[p] as f64 + 0.5).collect();
+        let data = ColumnData::F64(floats);
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality f64");
+        assert_decode_matches(&cc, &data, &sizes);
+
+        let mut strs = x100_vector::StrVec::default();
+        for &p in &picks {
+            strs.push(&format!("tag-{}", domain[p] % 16));
+        }
+        let data = ColumnData::Str(strs);
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality str");
+        assert_decode_matches(&cc, &data, &sizes);
+    }
+
+    /// The chooser must never pick a format that fails to round-trip,
+    /// whatever the distribution thrown at it.
+    #[test]
+    fn chooser_roundtrip_any_distribution(values in prop::collection::vec(-5000i64..5000, 1..300),
+                                          sort in any::<bool>(),
+                                          sizes in prop::collection::vec(1usize..80, 1..5)) {
+        let mut values = values;
+        if sort {
+            values.sort_unstable();
+        }
+        let data = ColumnData::I64(values);
+        if let Some(cc) = choose_and_compress(&data) {
+            assert_decode_matches(&cc, &data, &sizes);
         }
     }
 }

@@ -1,0 +1,1043 @@
+//! Lightweight compression kernels: PFOR, PFOR-DELTA and PDICT.
+//!
+//! The paper's ColumnBM trades "a few cheap, branch-free CPU cycles" of
+//! decompression for scarce memory bandwidth, expanding compressed
+//! chunks vector-at-a-time into the CPU cache (§4.3, §5). These kernels
+//! are the codec half of that design:
+//!
+//! * **PFOR** — patched frame-of-reference: values are stored as small
+//!   offsets from a per-chunk base; values that do not fit the chosen
+//!   frame width are *exceptions*, patched in after the dense unpack.
+//! * **PFOR-DELTA** — PFOR over the deltas of a non-decreasing (key)
+//!   column, with periodic sync carries so a scan can seek mid-chunk.
+//! * **PDICT** — dictionary codes for low-cardinality columns, packed
+//!   at one or two bytes per code and expanded through a positional
+//!   gather (the enum-decode machinery generalized to a chunk codec).
+//!
+//! Frames are **byte-aligned** (0, 8, 16, 32 or 64 bits per value)
+//! rather than bit-packed: the decode loops become exact-width iterator
+//! zips the compiler auto-vectorizes, which is what keeps decompression
+//! cheaper than the raw memcpy it replaces — the paper's criterion for
+//! *lightweight* compression. The cost in compression ratio versus
+//! bit-packing is at most one byte per value and is accounted for by
+//! the format chooser (it falls back to raw when compression would not
+//! pay).
+//!
+//! All codecs are exact: decompression reproduces the input
+//! *byte-identically* (floats included — an f64 value only avoids the
+//! exception list if its decimal-scaled round trip reproduces its exact
+//! bit pattern).
+
+use crate::vector::StrVec;
+
+/// Exception cost in bytes: a 4-byte chunk-relative position plus an
+/// 8-byte absolute frame.
+const EXC_COST: usize = 12;
+
+/// Sync-carry interval of PFOR-DELTA chunks: one absolute carry per
+/// this many values, so decode can start at any vector boundary without
+/// replaying the whole chunk.
+pub const DELTA_SYNC: usize = 1024;
+
+/// Order-preserving bijection between a scalar type and the `u64`
+/// *frame domain* all integer codecs work in.
+pub trait FrameValue: Copy + PartialEq {
+    /// Widen to the frame domain.
+    fn to_frame(self) -> u64;
+    /// Narrow back from the frame domain.
+    fn from_frame(f: u64) -> Self;
+}
+
+const SIGN: u64 = 1 << 63;
+
+macro_rules! frame_unsigned {
+    ($($ty:ty),*) => {$(
+        impl FrameValue for $ty {
+            #[inline(always)]
+            fn to_frame(self) -> u64 { self as u64 }
+            #[inline(always)]
+            fn from_frame(f: u64) -> Self { f as $ty }
+        }
+    )*};
+}
+
+macro_rules! frame_signed {
+    ($($ty:ty),*) => {$(
+        impl FrameValue for $ty {
+            #[inline(always)]
+            fn to_frame(self) -> u64 { (self as i64 as u64) ^ SIGN }
+            #[inline(always)]
+            fn from_frame(f: u64) -> Self { ((f ^ SIGN) as i64) as $ty }
+        }
+    )*};
+}
+
+frame_unsigned!(u8, u16, u32, u64);
+frame_signed!(i8, i16, i32, i64);
+
+/// One PFOR-compressed chunk: `lane`-bit frames relative to `base`,
+/// plus patch lists for the values that did not fit.
+#[derive(Debug, Clone, Default)]
+pub struct PforChunk {
+    /// Bits per packed frame: 0, 8, 16, 32 or 64.
+    pub lane: u32,
+    /// Frame-domain base (the chunk minimum over non-exception values).
+    pub base: u64,
+    /// Decimal scale for f64 columns (`0` marks integer frames): the
+    /// stored frame is `round(value * scale)`, offset-encoded.
+    pub scale: u32,
+    /// Little-endian packed frames, `rows * lane / 8` bytes.
+    pub payload: Vec<u8>,
+    /// Ascending chunk-relative positions of exceptions.
+    pub exc_pos: Vec<u32>,
+    /// Exception payloads: absolute frames for integer chunks, raw
+    /// `f64::to_bits` patterns for scaled-float chunks.
+    pub exc_frames: Vec<u64>,
+}
+
+impl PforChunk {
+    /// Compressed footprint (payload + patch lists), excluding headers.
+    pub fn byte_size(&self) -> usize {
+        self.payload.len() + self.exc_pos.len() * EXC_COST
+    }
+}
+
+/// One PFOR-DELTA-compressed chunk: PFOR over the deltas of a
+/// non-decreasing sequence, with absolute sync carries every
+/// [`DELTA_SYNC`] values.
+#[derive(Debug, Clone, Default)]
+pub struct PforDeltaChunk {
+    /// Bits per packed delta frame: 0, 8, 16, 32 or 64.
+    pub lane: u32,
+    /// Minimum delta over the chunk (frame domain).
+    pub base: u64,
+    /// Little-endian packed `delta - base` frames.
+    pub payload: Vec<u8>,
+    /// `sync[k]` is the carry in effect at position `k * DELTA_SYNC`:
+    /// the accumulated frame of the *previous* value, so decode may
+    /// start at any sync boundary.
+    pub sync: Vec<u64>,
+    /// Ascending chunk-relative positions of delta exceptions.
+    pub exc_pos: Vec<u32>,
+    /// Absolute delta frames of the exceptions.
+    pub exc_frames: Vec<u64>,
+}
+
+impl PforDeltaChunk {
+    /// Compressed footprint (payload + sync carries + patch lists).
+    pub fn byte_size(&self) -> usize {
+        self.payload.len() + self.sync.len() * 8 + self.exc_pos.len() * EXC_COST
+    }
+}
+
+/// Smallest byte-aligned lane holding a relative frame.
+#[inline(always)]
+fn lane_for(rel: u64) -> u32 {
+    if rel == 0 {
+        0
+    } else if rel < 1 << 8 {
+        8
+    } else if rel < 1 << 16 {
+        16
+    } else if rel < 1 << 32 {
+        32
+    } else {
+        64
+    }
+}
+
+/// Pick the lane minimizing `rows * lane/8 + EXC_COST * exceptions`.
+/// `wide[i]` counts non-exception values whose relative frame needs
+/// more than `{0, 8, 16, 32}` bits; `forced` counts values that are
+/// exceptions at every lane.
+fn choose_lane(rows: usize, wide: [usize; 4], forced: usize) -> u32 {
+    let mut best_lane = 64u32;
+    let mut best_cost = rows * 8 + forced * EXC_COST;
+    for (lane, over) in [(0u32, wide[0]), (8, wide[1]), (16, wide[2]), (32, wide[3])] {
+        let cost = rows * (lane as usize / 8) + (over + forced) * EXC_COST;
+        if cost < best_cost {
+            best_cost = cost;
+            best_lane = lane;
+        }
+    }
+    best_lane
+}
+
+/// Largest relative frame a lane can hold.
+#[inline(always)]
+fn lane_mask(lane: u32) -> u64 {
+    if lane == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lane) - 1
+    }
+}
+
+/// Jointly pick `(lane, base)` minimizing
+/// `rows * lane/8 + EXC_COST * exceptions` — the base is the start of
+/// the densest sorted window of each lane's width, so outliers on
+/// *either* side of the value cluster become exceptions instead of
+/// widening the frame (the "patched" in patched frame-of-reference).
+fn choose_lane_base(rows: usize, sorted: &[u64], forced: usize) -> (u32, u64) {
+    let mut best_lane = 64u32;
+    let mut best_base = sorted.first().copied().unwrap_or(0);
+    let mut best_cost = rows * 8 + forced * EXC_COST;
+    for lane in [0u32, 8, 16, 32] {
+        let width = lane_mask(lane);
+        let mut covered = 0usize;
+        let mut base = best_base;
+        let mut lo = 0usize;
+        for hi in 0..sorted.len() {
+            // lint: allow-index-loop (two-pointer window over sorted frames)
+            while sorted[hi] - sorted[lo] > width {
+                lo += 1;
+            }
+            if hi - lo + 1 > covered {
+                covered = hi - lo + 1;
+                base = sorted[lo];
+            }
+        }
+        let cost = rows * (lane as usize / 8) + (sorted.len() - covered + forced) * EXC_COST;
+        if cost < best_cost {
+            best_cost = cost;
+            best_lane = lane;
+            best_base = base;
+        }
+    }
+    (best_lane, best_base)
+}
+
+/// Append one `lane`-bit frame to a little-endian payload.
+#[inline(always)]
+fn push_lane(payload: &mut Vec<u8>, lane: u32, rel: u64) {
+    match lane {
+        0 => {}
+        8 => payload.push(rel as u8),
+        16 => payload.extend_from_slice(&(rel as u16).to_le_bytes()),
+        32 => payload.extend_from_slice(&(rel as u32).to_le_bytes()),
+        _ => payload.extend_from_slice(&rel.to_le_bytes()),
+    }
+}
+
+/// Dense unpack of frames `[start, start + out.len())` from a
+/// little-endian payload: `out[i] = base + frame`. Exact-width zip
+/// loops so the compiler can auto-vectorize each lane.
+fn unpack_frames(out: &mut [u64], payload: &[u8], lane: u32, base: u64, start: usize) {
+    let n = out.len();
+    match lane {
+        0 => out.fill(base),
+        8 => {
+            for (o, &b) in out.iter_mut().zip(&payload[start..start + n]) {
+                *o = base.wrapping_add(b as u64);
+            }
+        }
+        16 => {
+            let bytes = &payload[start * 2..(start + n) * 2];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                *o = base.wrapping_add(u16::from_le_bytes([c[0], c[1]]) as u64);
+            }
+        }
+        32 => {
+            let bytes = &payload[start * 4..(start + n) * 4];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                *o = base.wrapping_add(u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64);
+            }
+        }
+        _ => {
+            let bytes = &payload[start * 8..(start + n) * 8];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                *o = base.wrapping_add(u64::from_le_bytes(w));
+            }
+        }
+    }
+}
+
+/// Fused unpack-and-map: applies `f` to each *relative* frame of
+/// `[start, start + out.len())` and stores the result directly, skipping
+/// the u64 scratch round-trip of [`unpack_frames`]. One exact-width zip
+/// loop per lane so each instantiation auto-vectorizes; `f` must be a
+/// branch-free `Copy` closure for that to hold.
+#[inline(always)]
+fn unpack_map<T: Copy, F: Fn(u64) -> T + Copy>(
+    out: &mut [T],
+    payload: &[u8],
+    lane: u32,
+    start: usize,
+    f: F,
+) {
+    let n = out.len();
+    match lane {
+        0 => out.fill(f(0)),
+        8 => {
+            for (o, &b) in out.iter_mut().zip(&payload[start..start + n]) {
+                *o = f(b as u64);
+            }
+        }
+        16 => {
+            let bytes = &payload[start * 2..(start + n) * 2];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                *o = f(u16::from_le_bytes([c[0], c[1]]) as u64);
+            }
+        }
+        32 => {
+            let bytes = &payload[start * 4..(start + n) * 4];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                *o = f(u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64);
+            }
+        }
+        _ => {
+            let bytes = &payload[start * 8..(start + n) * 8];
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                *o = f(u64::from_le_bytes(w));
+            }
+        }
+    }
+}
+
+/// Exception window `[start, start+n)` of a patch list, as subslices.
+#[inline]
+fn exc_window<'a>(
+    exc_pos: &'a [u32],
+    exc_frames: &'a [u64],
+    start: usize,
+    n: usize,
+) -> (&'a [u32], &'a [u64]) {
+    let lo = exc_pos.partition_point(|&p| (p as usize) < start);
+    let hi = exc_pos.partition_point(|&p| (p as usize) < start + n);
+    (&exc_pos[lo..hi], &exc_frames[lo..hi])
+}
+
+// ---------------------------------------------------------------------
+// PFOR
+// ---------------------------------------------------------------------
+
+/// Shared PFOR encoder over pre-framed values. `frames[i]` is
+/// `Ok(frame)` for regular values and `Err(raw)` for values that must
+/// be exceptions at every lane (non-representable scaled floats).
+fn pfor_encode_frames(frames: impl Iterator<Item = Result<u64, u64>> + Clone) -> PforChunk {
+    let mut rows = 0usize;
+    let mut forced = 0usize;
+    let mut sorted: Vec<u64> = Vec::new();
+    for f in frames.clone() {
+        rows += 1;
+        match f {
+            Ok(v) => sorted.push(v),
+            Err(_) => forced += 1,
+        }
+    }
+    sorted.sort_unstable();
+    let (lane, base) = choose_lane_base(rows, &sorted, forced);
+    let mask = lane_mask(lane);
+    let mut c = PforChunk {
+        lane,
+        base,
+        scale: 0,
+        payload: Vec::with_capacity(rows * (lane as usize / 8)),
+        exc_pos: Vec::new(),
+        exc_frames: Vec::new(),
+    };
+    for (i, f) in frames.enumerate() {
+        match f {
+            Ok(v) if v >= base && v - base <= mask => push_lane(&mut c.payload, lane, v - base),
+            Ok(v) => {
+                push_lane(&mut c.payload, lane, 0);
+                c.exc_pos.push(i as u32);
+                c.exc_frames.push(v);
+            }
+            Err(raw) => {
+                push_lane(&mut c.payload, lane, 0);
+                c.exc_pos.push(i as u32);
+                c.exc_frames.push(raw);
+            }
+        }
+    }
+    c
+}
+
+fn pfor_encode_int<T: FrameValue>(values: &[T]) -> PforChunk {
+    pfor_encode_frames(values.iter().map(|v| Ok(v.to_frame())))
+}
+
+fn pfor_decode_int<T: FrameValue>(
+    out: &mut [T],
+    c: &PforChunk,
+    start: usize,
+    _scratch: &mut Vec<u64>,
+) {
+    let n = out.len();
+    let base = c.base;
+    unpack_map(out, &c.payload, c.lane, start, move |rel| {
+        T::from_frame(base.wrapping_add(rel))
+    });
+    let (pos, frames) = exc_window(&c.exc_pos, &c.exc_frames, start, n);
+    for (&p, &f) in pos.iter().zip(frames) {
+        out[p as usize - start] = T::from_frame(f);
+    }
+}
+
+/// Decimal scales tried for f64 frame-of-reference, smallest first.
+const F64_SCALES: [u32; 5] = [1, 10, 100, 1000, 10000];
+
+/// Frame of a scaled float, or `None` when `value` does not survive the
+/// scaled round trip bit-exactly (then it must be an exception). The
+/// round trip divides by the scale with the *identical expression* the
+/// decoder uses, so decode is byte-exact by construction — division is
+/// correctly rounded, which makes decimal data originally produced as
+/// `int / scale` representable with no exceptions (a reciprocal
+/// multiply would miss by an ulp on many such values).
+#[inline]
+fn f64_frame(v: f64, scale: f64) -> Option<u64> {
+    let r = (v * scale).round();
+    if r.abs() <= 9.0e15 {
+        let i = r as i64;
+        if ((i as f64) / scale).to_bits() == v.to_bits() {
+            return Some((i as u64) ^ SIGN);
+        }
+    }
+    None
+}
+
+// -- division-free decode fast paths ----------------------------------
+//
+// The hot f64 decode loop must not pay a hardware divide (or a scalar
+// int→float conversion) per element on baseline x86-64, or decoding
+// loses to the raw memcpy it is supposed to beat. Two exact tricks:
+//
+// * int→f64 by magic constant: for |i| < 2^51, interpreting
+//   `bits(2^52 + 2^51) + i` as a double yields exactly `2^52 + 2^51 + i`,
+//   and subtracting the magic recovers `i` with one integer add and one
+//   fp subtract — both auto-vectorizable, unlike `cvtsi2sd`.
+// * divide by decimal scale as a double product: split `1/scale` into a
+//   truncated head `hi` short enough that `i * hi` is *exact* for every
+//   frame the chunk window can hold, plus the rounded remainder `lo`;
+//   `x*hi + x*lo` rounds once and agrees with correctly-rounded
+//   division in all but astronomically rare near-halfway cases. Those
+//   stragglers are *demoted to exceptions at encode time* — the encoder
+//   verifies every value against the identical expression the decoder
+//   will run, so the round trip stays byte-exact by construction.
+
+/// Bit pattern of `2^52 + 2^51`, the int→f64 conversion magic.
+const CVT_MAGIC_BITS: u64 = 0x4338_0000_0000_0000;
+/// `2^52 + 2^51` as a double.
+const CVT_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// Exact magic-constant conversion of a frame to its signed value as
+/// f64. Only valid when the frame's integer magnitude is below `2^51`
+/// (guaranteed by [`pfor_f64_range_within`] guards at the call sites).
+#[inline(always)]
+fn frame_to_f64_fast(f: u64) -> f64 {
+    f64::from_bits((f ^ SIGN).wrapping_add(CVT_MAGIC_BITS)) - CVT_MAGIC
+}
+
+/// Split `1/scale` into a truncated head plus remainder for the
+/// double-product division replacement. The head keeps
+/// `53 - window_bits` significant bits, where `window_bits` bounds the
+/// integer magnitude of every frame the chunk's `(base, lane)` window
+/// can hold — that makes `i * hi` *exact* for every dense value of the
+/// chunk. Both encoder (verification) and decoder derive the split from
+/// the same header fields, so they agree bit-for-bit by construction.
+#[inline]
+fn recip_split_for(scale: f64, base: u64, lane: u32) -> (f64, f64) {
+    // Caller guards `base + mask` against overflow via
+    // [`pfor_f64_range_within`], which also bounds the magnitude < 2^51.
+    let top = base.wrapping_add(lane_mask(lane));
+    let lo_i = (base ^ SIGN) as i64;
+    let hi_i = (top ^ SIGN) as i64;
+    let mag = lo_i.unsigned_abs().max(hi_i.unsigned_abs()).max(1);
+    let window_bits = 64 - mag.leading_zeros();
+    let keep = 53u32.saturating_sub(window_bits).max(1);
+    let hi = f64::from_bits((1.0 / scale).to_bits() & !((1u64 << (53 - keep)) - 1));
+    // `hi * scale` is exact (`keep` bits by ≤14-bit product) and lands
+    // within a factor of two of 1.0, so the subtraction is exact too
+    // (Sterbenz); `lo` then absorbs the truncated tail in one rounding.
+    let lo = (1.0 - hi * scale) / scale;
+    (hi, lo)
+}
+
+/// True when every non-exception frame of the chunk maps to an integer
+/// of magnitude at most `limit` (frames span `[base, base + mask]`).
+#[inline]
+fn pfor_f64_range_within(base: u64, lane: u32, limit: i64) -> bool {
+    let Some(top) = base.checked_add(lane_mask(lane)) else {
+        return false;
+    };
+    let lo = (base ^ SIGN) as i64;
+    let hi = (top ^ SIGN) as i64;
+    -limit <= lo && hi <= limit
+}
+
+/// The scaled-decode expression both the encoder (verification) and the
+/// decoder (hot loop) must share, applied when the chunk qualifies for
+/// the double-product fast path.
+#[inline(always)]
+fn scaled_fast(f: u64, hi: f64, lo: f64) -> f64 {
+    let x = frame_to_f64_fast(f);
+    x * hi + x * lo
+}
+
+fn pfor_encode_f64(values: &[f64]) -> PforChunk {
+    // Sample-pick the smallest decimal scale that makes (nearly) every
+    // value exactly representable; stragglers become exceptions.
+    let step = (values.len() / 1024).max(1);
+    let mut scale = *F64_SCALES.last().unwrap_or(&1);
+    'scales: for s in F64_SCALES {
+        let mut miss = 0usize;
+        let mut seen = 0usize;
+        for v in values.iter().step_by(step) {
+            seen += 1;
+            if f64_frame(*v, s as f64).is_none() {
+                miss += 1;
+            }
+        }
+        if miss * 100 <= seen {
+            scale = s;
+            break 'scales;
+        }
+    }
+    let scale_f = scale as f64;
+    let mut c = pfor_encode_frames(
+        values
+            .iter()
+            .map(|&v| f64_frame(v, scale_f).ok_or(v.to_bits())),
+    );
+    c.scale = scale;
+    // The decoder will take the double-product path for this chunk
+    // shape; verify every dense value against that exact expression and
+    // demote the (rare) near-halfway mismatches to exceptions.
+    if scale > 1 && pfor_f64_range_within(c.base, c.lane, (1 << 51) - 1) {
+        let (hi, lo) = recip_split_for(scale_f, c.base, c.lane);
+        let mask = lane_mask(c.lane);
+        let mut merged_pos: Vec<u32> = Vec::new();
+        let mut merged_frames: Vec<u64> = Vec::new();
+        let mut old = 0usize;
+        for (p, &v) in values.iter().enumerate() {
+            let demote = match f64_frame(v, scale_f) {
+                Some(f) if f >= c.base && f - c.base <= mask => {
+                    scaled_fast(f, hi, lo).to_bits() != v.to_bits()
+                }
+                _ => false, // already an exception
+            };
+            if old < c.exc_pos.len() && c.exc_pos[old] == p as u32 {
+                merged_pos.push(c.exc_pos[old]);
+                merged_frames.push(c.exc_frames[old]);
+                old += 1;
+            } else if demote {
+                merged_pos.push(p as u32);
+                merged_frames.push(v.to_bits());
+            }
+        }
+        c.exc_pos = merged_pos;
+        c.exc_frames = merged_frames;
+    }
+    c
+}
+
+fn pfor_decode_f64(out: &mut [f64], c: &PforChunk, start: usize, _scratch: &mut Vec<u64>) {
+    let n = out.len();
+    let scale_u = c.scale.max(1);
+    // Fold base, the sign-bit flip, and the conversion magic into one
+    // additive constant: `x ^ SIGN == x + SIGN (mod 2^64)` because only
+    // the top bit changes, so `((base + rel) ^ SIGN) + MAGIC_BITS`
+    // equals `pre + rel` with `pre = (base ^ SIGN) + MAGIC_BITS`. The
+    // hot loops then cost one integer add per element before the fp tail.
+    let pre = (c.base ^ SIGN).wrapping_add(CVT_MAGIC_BITS);
+    if scale_u == 1 && pfor_f64_range_within(c.base, c.lane, (1 << 51) - 1) {
+        // Unscaled integers in magic-conversion range: bit-identical to
+        // `i as f64` (both are exact below 2^51), but vectorizable.
+        unpack_map(out, &c.payload, c.lane, start, move |rel| {
+            f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC
+        });
+    } else if scale_u > 1 && pfor_f64_range_within(c.base, c.lane, (1 << 51) - 1) {
+        // Double-product fast path; the encoder demoted any value this
+        // expression would miss, so it is byte-exact here.
+        let (hi, lo) = recip_split_for(scale_u as f64, c.base, c.lane);
+        unpack_map(out, &c.payload, c.lane, start, move |rel| {
+            let x = f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC;
+            x * hi + x * lo
+        });
+    } else {
+        let base = c.base;
+        let scale = scale_u as f64;
+        unpack_map(out, &c.payload, c.lane, start, move |rel| {
+            ((base.wrapping_add(rel) ^ SIGN) as i64) as f64 / scale
+        });
+    }
+    let (pos, frames) = exc_window(&c.exc_pos, &c.exc_frames, start, n);
+    for (&p, &f) in pos.iter().zip(frames) {
+        out[p as usize - start] = f64::from_bits(f);
+    }
+}
+
+macro_rules! pfor_instances {
+    ($( $ty:ty : $comp:ident / $decomp:ident => $enc:ident / $dec:ident );* $(;)?) => {
+        $(
+            /// Macro-generated PFOR chunk compressor.
+            pub fn $comp(values: &[$ty]) -> PforChunk {
+                $enc(values)
+            }
+
+            /// Macro-generated PFOR chunk decompressor: writes values
+            /// `[start, start + out.len())` of the chunk.
+            pub fn $decomp(out: &mut [$ty], chunk: &PforChunk, start: usize, scratch: &mut Vec<u64>) {
+                $dec(out, chunk, start, scratch)
+            }
+        )*
+
+        /// Catalog of the macro-generated PFOR codec instances, emitted
+        /// by the same expansion that defines the kernels (used by the
+        /// primitive registry and `cargo xtask lint`).
+        pub const PFOR_SIGNATURES: &[&str] = &[
+            $( stringify!($comp), stringify!($decomp), )*
+        ];
+    };
+}
+
+pfor_instances! {
+    i8:  compress_pfor_i8_col  / decompress_pfor_i8_col  => pfor_encode_int / pfor_decode_int;
+    i16: compress_pfor_i16_col / decompress_pfor_i16_col => pfor_encode_int / pfor_decode_int;
+    i32: compress_pfor_i32_col / decompress_pfor_i32_col => pfor_encode_int / pfor_decode_int;
+    i64: compress_pfor_i64_col / decompress_pfor_i64_col => pfor_encode_int / pfor_decode_int;
+    u8:  compress_pfor_u8_col  / decompress_pfor_u8_col  => pfor_encode_int / pfor_decode_int;
+    u16: compress_pfor_u16_col / decompress_pfor_u16_col => pfor_encode_int / pfor_decode_int;
+    u32: compress_pfor_u32_col / decompress_pfor_u32_col => pfor_encode_int / pfor_decode_int;
+    u64: compress_pfor_u64_col / decompress_pfor_u64_col => pfor_encode_int / pfor_decode_int;
+    f64: compress_pfor_f64_col / decompress_pfor_f64_col => pfor_encode_f64 / pfor_decode_f64;
+}
+
+// ---------------------------------------------------------------------
+// PFOR-DELTA
+// ---------------------------------------------------------------------
+
+fn pfordelta_encode_int<T: FrameValue>(values: &[T]) -> Option<PforDeltaChunk> {
+    let n = values.len();
+    // Deltas: d[0] is an artificial `base` (so the decode loop is
+    // uniform); d[i] = frame[i] - frame[i-1] for i >= 1. Any decrease
+    // disqualifies the chunk (the chooser falls back to plain PFOR).
+    let mut frames = Vec::with_capacity(n);
+    for v in values {
+        frames.push(v.to_frame());
+    }
+    for w in frames.windows(2) {
+        if w[1] < w[0] {
+            return None;
+        }
+    }
+    let mut base = u64::MAX;
+    for w in frames.windows(2) {
+        base = base.min(w[1] - w[0]);
+    }
+    if n < 2 {
+        base = 0;
+    }
+    let delta_at = |i: usize| -> u64 {
+        if i == 0 {
+            base
+        } else {
+            frames[i] - frames[i - 1]
+        }
+    };
+    let mut wide = [0usize; 4];
+    for i in 0..n {
+        // lint: allow-index-loop (delta stream is position-defined)
+        let need = lane_for(delta_at(i) - base);
+        for (slot, lane) in wide.iter_mut().zip([0u32, 8, 16, 32]) {
+            if need > lane {
+                *slot += 1;
+            }
+        }
+    }
+    let lane = choose_lane(n, wide, 0);
+    let mut c = PforDeltaChunk {
+        lane,
+        base,
+        payload: Vec::with_capacity(n * (lane as usize / 8)),
+        sync: Vec::with_capacity(n / DELTA_SYNC + 1),
+        exc_pos: Vec::new(),
+        exc_frames: Vec::new(),
+    };
+    let mut carry = if n == 0 {
+        0
+    } else {
+        frames[0].wrapping_sub(base)
+    };
+    for (i, &frame) in frames.iter().enumerate() {
+        if i % DELTA_SYNC == 0 {
+            c.sync.push(carry);
+        }
+        let d = delta_at(i);
+        let rel = d - base;
+        if lane_for(rel) <= lane {
+            push_lane(&mut c.payload, lane, rel);
+        } else {
+            push_lane(&mut c.payload, lane, 0);
+            c.exc_pos.push(i as u32);
+            c.exc_frames.push(d);
+        }
+        carry = frame;
+    }
+    Some(c)
+}
+
+/// Uniform PFOR-DELTA decode: replay positions `[seek, start + out.len())`
+/// from `carry` (the accumulated frame in effect at `seek`), writing the
+/// tail `[start, ...)` into `out`. Returns the carry after the last
+/// decoded value, for cursor continuation.
+fn pfordelta_decode_int<T: FrameValue>(
+    out: &mut [T],
+    c: &PforDeltaChunk,
+    seek: usize,
+    carry: u64,
+    start: usize,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    let end = start + out.len();
+    let span = end - seek;
+    scratch.resize(span, 0);
+    unpack_frames(&mut scratch[..span], &c.payload, c.lane, c.base, seek);
+    let (pos, frames) = exc_window(&c.exc_pos, &c.exc_frames, seek, span);
+    for (&p, &d) in pos.iter().zip(frames) {
+        scratch[p as usize - seek] = d;
+    }
+    let mut carry = carry;
+    let skip = start - seek;
+    for &d in &scratch[..skip] {
+        carry = carry.wrapping_add(d);
+    }
+    for (o, &d) in out.iter_mut().zip(&scratch[skip..span]) {
+        carry = carry.wrapping_add(d);
+        *o = T::from_frame(carry);
+    }
+    carry
+}
+
+macro_rules! pfordelta_instances {
+    ($( $ty:ty : $comp:ident / $decomp:ident );* $(;)?) => {
+        $(
+            /// Macro-generated PFOR-DELTA chunk compressor. Returns
+            /// `None` when the values are not non-decreasing.
+            pub fn $comp(values: &[$ty]) -> Option<PforDeltaChunk> {
+                pfordelta_encode_int(values)
+            }
+
+            /// Macro-generated PFOR-DELTA chunk decompressor: replays
+            /// from `seek`/`carry`, writes `[start, start + out.len())`,
+            /// and returns the continuation carry.
+            pub fn $decomp(
+                out: &mut [$ty],
+                chunk: &PforDeltaChunk,
+                seek: usize,
+                carry: u64,
+                start: usize,
+                scratch: &mut Vec<u64>,
+            ) -> u64 {
+                pfordelta_decode_int(out, chunk, seek, carry, start, scratch)
+            }
+        )*
+
+        /// Catalog of the macro-generated PFOR-DELTA codec instances.
+        pub const PFORDELTA_SIGNATURES: &[&str] = &[
+            $( stringify!($comp), stringify!($decomp), )*
+        ];
+    };
+}
+
+pfordelta_instances! {
+    i8:  compress_pfordelta_i8_col  / decompress_pfordelta_i8_col;
+    i16: compress_pfordelta_i16_col / decompress_pfordelta_i16_col;
+    i32: compress_pfordelta_i32_col / decompress_pfordelta_i32_col;
+    i64: compress_pfordelta_i64_col / decompress_pfordelta_i64_col;
+    u8:  compress_pfordelta_u8_col  / decompress_pfordelta_u8_col;
+    u16: compress_pfordelta_u16_col / decompress_pfordelta_u16_col;
+    u32: compress_pfordelta_u32_col / decompress_pfordelta_u32_col;
+    u64: compress_pfordelta_u64_col / decompress_pfordelta_u64_col;
+}
+
+// ---------------------------------------------------------------------
+// PDICT
+// ---------------------------------------------------------------------
+
+/// Catalog of the PDICT codec instances (hand-instantiated like the
+/// irregular fetch kernels; the dictionary build lives in storage,
+/// reusing the enum-encode machinery).
+pub const PDICT_SIGNATURES: &[&str] = &[
+    "compress_pdict_i32_col",
+    "decompress_pdict_i32_col",
+    "compress_pdict_i64_col",
+    "decompress_pdict_i64_col",
+    "compress_pdict_f64_col",
+    "decompress_pdict_f64_col",
+    "compress_pdict_str_col",
+    "decompress_pdict_str_col",
+];
+
+/// Pack one code at the dictionary lane width (8 or 16 bits).
+#[inline(always)]
+fn push_code(payload: &mut Vec<u8>, lane: u32, code: usize) {
+    if lane <= 8 {
+        payload.push(code as u8);
+    } else {
+        payload.extend_from_slice(&(code as u16).to_le_bytes());
+    }
+}
+
+/// Unpack dictionary codes `[start, start+out.len())`.
+fn unpack_codes(out: &mut [u64], payload: &[u8], lane: u32, start: usize) {
+    unpack_frames(out, payload, if lane <= 8 { 8 } else { 16 }, 0, start);
+}
+
+macro_rules! pdict_numeric {
+    ($( $ty:ty : $comp:ident / $decomp:ident => $cmp:expr );* $(;)?) => {
+        $(
+            /// PDICT chunk compressor: looks every value up in the
+            /// sorted dictionary and packs its code at `lane` bits.
+            /// Returns `None` if a value is missing from the dictionary.
+            pub fn $comp(values: &[$ty], dict: &[$ty], lane: u32) -> Option<Vec<u8>> {
+                let mut payload = Vec::with_capacity(values.len() * (lane as usize / 8));
+                for v in values {
+                    let code = dict.binary_search_by(|d| ($cmp)(d, v)).ok()?;
+                    push_code(&mut payload, lane, code);
+                }
+                Some(payload)
+            }
+
+            /// PDICT chunk decompressor: unpacks codes and gathers the
+            /// dictionary values positionally.
+            pub fn $decomp(
+                out: &mut [$ty],
+                payload: &[u8],
+                lane: u32,
+                start: usize,
+                dict: &[$ty],
+                scratch: &mut Vec<u64>,
+            ) {
+                let n = out.len();
+                scratch.resize(n, 0);
+                unpack_codes(&mut scratch[..n], payload, lane, start);
+                for (o, &code) in out.iter_mut().zip(scratch.iter()) {
+                    *o = dict[code as usize];
+                }
+            }
+        )*
+    };
+}
+
+pdict_numeric! {
+    i32: compress_pdict_i32_col / decompress_pdict_i32_col => |d: &i32, v: &i32| d.cmp(v);
+    i64: compress_pdict_i64_col / decompress_pdict_i64_col => |d: &i64, v: &i64| d.cmp(v);
+    f64: compress_pdict_f64_col / decompress_pdict_f64_col => |d: &f64, v: &f64| d.total_cmp(v);
+}
+
+/// PDICT chunk compressor for strings: codes into a sorted [`StrVec`]
+/// dictionary. Returns `None` if a value is missing.
+pub fn compress_pdict_str_col(values: &StrVec, dict: &StrVec, lane: u32) -> Option<Vec<u8>> {
+    let mut payload = Vec::with_capacity(values.len() * (lane as usize / 8));
+    for i in 0..values.len() {
+        // lint: allow-index-loop (StrVec exposes positional access only)
+        let v = values.get(i);
+        let code = str_dict_search(dict, v)?;
+        push_code(&mut payload, lane, code);
+    }
+    Some(payload)
+}
+
+/// PDICT chunk decompressor for strings: appends the decoded values
+/// (string vectors are append-only).
+pub fn decompress_pdict_str_col(
+    out: &mut StrVec,
+    payload: &[u8],
+    lane: u32,
+    start: usize,
+    n: usize,
+    dict: &StrVec,
+    scratch: &mut Vec<u64>,
+) {
+    scratch.resize(n, 0);
+    unpack_codes(&mut scratch[..n], payload, lane, start);
+    for &code in scratch.iter() {
+        out.push(dict.get(code as usize));
+    }
+}
+
+/// Binary search a sorted string dictionary.
+fn str_dict_search(dict: &StrVec, v: &str) -> Option<usize> {
+    let mut lo = 0usize;
+    let mut hi = dict.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match dict.get(mid).cmp(v) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(mid),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_pfor_i64(values: &[i64]) {
+        let c = compress_pfor_i64_col(values);
+        let mut out = vec![0i64; values.len()];
+        let mut scratch = Vec::new();
+        decompress_pfor_i64_col(&mut out, &c, 0, &mut scratch);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn pfor_roundtrips_lanes() {
+        roundtrip_pfor_i64(&[]);
+        roundtrip_pfor_i64(&[42]);
+        roundtrip_pfor_i64(&[7; 100]); // lane 0
+        roundtrip_pfor_i64(&(0..300).collect::<Vec<_>>()); // lane 8/16
+        roundtrip_pfor_i64(&[1_000_000, 2_000_000, 3_000_000]); // lane 32
+        roundtrip_pfor_i64(&[i64::MIN, i64::MAX, 0, -1, 1]); // lane 64
+    }
+
+    #[test]
+    fn pfor_exceptions_patch() {
+        // A tight cluster plus wild outliers: outliers become exceptions.
+        let mut v: Vec<i64> = (0..5000).map(|i| 100 + (i % 50)).collect();
+        v[17] = i64::MAX;
+        v[4032] = i64::MIN;
+        let c = compress_pfor_i64_col(&v);
+        assert_eq!(c.lane, 8, "cluster fits one byte");
+        assert_eq!(c.exc_pos.len(), 2);
+        let mut out = vec![0i64; 100];
+        let mut scratch = Vec::new();
+        // Mid-chunk window containing no exception.
+        decompress_pfor_i64_col(&mut out, &c, 1000, &mut scratch);
+        assert_eq!(out, v[1000..1100]);
+        // Window straddling the second exception.
+        decompress_pfor_i64_col(&mut out, &c, 4000, &mut scratch);
+        assert_eq!(out, v[4000..4100]);
+    }
+
+    #[test]
+    fn pfor_all_exceptions_block() {
+        // Values spread over the full u64 range but with a forced-lane
+        // encode path: f64 NaN-ish values that never scale exactly.
+        let v: Vec<f64> = (0..64).map(|i| 0.1 + i as f64 * 1e-13).collect();
+        let c = compress_pfor_f64_col(&v);
+        assert!(c.exc_pos.len() >= 63, "nearly nothing scales exactly");
+        assert_eq!(c.lane, 0, "all-exception chunk needs no payload");
+        let mut out = vec![0f64; v.len()];
+        let mut scratch = Vec::new();
+        decompress_pfor_f64_col(&mut out, &c, 0, &mut scratch);
+        for (a, b) in out.iter().zip(&v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pfor_f64_decimal_scaling() {
+        let v: Vec<f64> = (0..2048).map(|i| (i % 5000) as f64 / 100.0).collect();
+        let c = compress_pfor_f64_col(&v);
+        assert_eq!(c.scale, 100);
+        assert!(c.exc_pos.is_empty());
+        assert!(c.lane <= 16, "scaled cents fit two bytes, got {}", c.lane);
+        let mut out = vec![0f64; 512];
+        let mut scratch = Vec::new();
+        decompress_pfor_f64_col(&mut out, &c, 1024, &mut scratch);
+        for (a, b) in out.iter().zip(&v[1024..1536]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pfor_f64_negative_zero_is_exception() {
+        let v = [0.0f64, -0.0, 1.5];
+        let c = compress_pfor_f64_col(&v);
+        let mut out = [0f64; 3];
+        let mut scratch = Vec::new();
+        decompress_pfor_f64_col(&mut out, &c, 0, &mut scratch);
+        for (a, b) in out.iter().zip(&v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pfordelta_roundtrip_and_seek() {
+        let v: Vec<u32> = (0..10_000u32).map(|i| i * 3 + (i % 7)).collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let c = compress_pfordelta_u32_col(&sorted).expect("monotone");
+        assert!(c.lane <= 8, "small deltas, got lane {}", c.lane);
+        let mut scratch = Vec::new();
+        // Aligned seek from a sync carry.
+        let mut out = vec![0u32; 100];
+        let seek = (4321 / DELTA_SYNC) * DELTA_SYNC;
+        let carry = c.sync[4321 / DELTA_SYNC];
+        decompress_pfordelta_u32_col(&mut out, &c, seek, carry, 4321, &mut scratch);
+        assert_eq!(out, sorted[4321..4421]);
+        // Sequential continuation from the returned carry.
+        let carry2 = decompress_pfordelta_u32_col(&mut out, &c, seek, carry, 4321, &mut scratch);
+        let mut out2 = vec![0u32; 50];
+        decompress_pfordelta_u32_col(&mut out2, &c, 4421, carry2, 4421, &mut scratch);
+        assert_eq!(out2, sorted[4421..4471]);
+    }
+
+    #[test]
+    fn pfordelta_rejects_decreasing() {
+        assert!(compress_pfordelta_i32_col(&[5, 4]).is_none());
+        assert!(compress_pfordelta_i32_col(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn pfordelta_jump_exception() {
+        let mut v: Vec<i64> = (0..3000).collect();
+        for x in v.iter_mut().skip(1500) {
+            *x += 1_000_000_000;
+        }
+        let c = compress_pfordelta_i64_col(&v).expect("monotone");
+        assert_eq!(c.exc_pos, vec![1500]);
+        let mut out = vec![0i64; 200];
+        let mut scratch = Vec::new();
+        let seek = (1400 / DELTA_SYNC) * DELTA_SYNC;
+        decompress_pfordelta_i64_col(
+            &mut out,
+            &c,
+            seek,
+            c.sync[1400 / DELTA_SYNC],
+            1400,
+            &mut scratch,
+        );
+        assert_eq!(out, v[1400..1600]);
+    }
+
+    #[test]
+    fn pdict_numeric_roundtrip() {
+        let dict = vec![-5i64, 0, 17, 250];
+        let v: Vec<i64> = (0..500).map(|i| dict[i % 4]).collect();
+        let payload = compress_pdict_i64_col(&v, &dict, 8).expect("all in dict");
+        let mut out = vec![0i64; 100];
+        let mut scratch = Vec::new();
+        decompress_pdict_i64_col(&mut out, &payload, 8, 250, &dict, &mut scratch);
+        assert_eq!(out, v[250..350]);
+        assert!(compress_pdict_i64_col(&[99], &dict, 8).is_none());
+    }
+
+    #[test]
+    fn pdict_str_roundtrip() {
+        let mut dict = StrVec::with_capacity(3, 4);
+        for s in ["AIR", "RAIL", "SHIP"] {
+            dict.push(s);
+        }
+        let mut v = StrVec::with_capacity(10, 4);
+        for i in 0..10 {
+            v.push(["RAIL", "AIR", "SHIP"][i % 3]);
+        }
+        let payload = compress_pdict_str_col(&v, &dict, 8).expect("all in dict");
+        let mut out = StrVec::with_capacity(4, 4);
+        let mut scratch = Vec::new();
+        decompress_pdict_str_col(&mut out, &payload, 8, 3, 4, &dict, &mut scratch);
+        for (i, want) in (3..7).enumerate() {
+            assert_eq!(out.get(i), v.get(want));
+        }
+    }
+}

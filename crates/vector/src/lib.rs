@@ -25,6 +25,7 @@
 
 pub mod aggr;
 pub mod compound;
+pub mod compress;
 pub mod fetch;
 pub mod hash;
 pub mod map;

@@ -42,6 +42,9 @@ pub enum PrimitiveKind {
     Hash,
     /// Fused compound primitive for an expression sub-tree.
     Compound,
+    /// Chunk codec half: `compress_*` / `decompress_*` (PFOR, PDICT,
+    /// PFOR-DELTA — paper §4.3/§5 lightweight compression).
+    Compress,
 }
 
 /// Shape of one primitive argument: a full column vector or a broadcast
@@ -382,6 +385,31 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             }
             Ok(selful(args, OutTy::Sel))
         }
+        ("compress", c) | ("decompress", c) if ["pfor", "pfordelta", "pdict"].contains(&c) => {
+            // compress_<codec>_<ty>_col / decompress_<codec>_<ty>_col.
+            // Compressors read one typed column chunk and produce codec
+            // state (a self-describing compressed chunk); decompressors
+            // are the inverse, expanding a positional window of that
+            // state into a typed vector. Both are dense-only: chunk
+            // codecs are position-defined and never run under a
+            // selection (selections apply *after* decode, on the
+            // cache-resident vector).
+            let [ty, shape] = rest else {
+                return Err(format!("codec signature `{sig}` malformed"));
+            };
+            let ty = ty_token(ty).ok_or_else(|| format!("bad codec type in `{sig}`"))?;
+            if shape_token(shape) != Some(VecShape::Col) {
+                return Err(format!("codec signature `{sig}` must end in _col"));
+            }
+            if c == "pfordelta" && !ty.is_integer() {
+                return Err(format!("pfordelta only covers integer keys: `{sig}`"));
+            }
+            if family == "compress" {
+                Ok(dense(vec![ArgTy::col(ty)], OutTy::State))
+            } else {
+                Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty)))
+            }
+        }
         ("aggr", a) if ["sum", "min", "max"].contains(&a) => {
             // aggr_<agg>_<ty>_col_u32_col: value column + group-id column.
             let args = parse_args(rest)?;
@@ -651,6 +679,23 @@ impl PrimitiveRegistry {
             PrimitiveKind::Compound,
             "fused grouped sum(a*b)",
         );
+        // Chunk codec instances: like the arithmetic maps, each signature
+        // list is emitted by the same macro expansion that instantiates
+        // the codec kernels (`pfor_instances!` / `pfordelta_instances!`
+        // in `compress.rs`), so catalog and code move together.
+        for sig in crate::compress::PFOR_SIGNATURES {
+            reg.register(sig, PrimitiveKind::Compress, "PFOR chunk codec (generated)");
+        }
+        for sig in crate::compress::PFORDELTA_SIGNATURES {
+            reg.register(
+                sig,
+                PrimitiveKind::Compress,
+                "PFOR-DELTA chunk codec (generated)",
+            );
+        }
+        for sig in crate::compress::PDICT_SIGNATURES {
+            reg.register(sig, PrimitiveKind::Compress, "PDICT chunk codec");
+        }
         reg
     }
 
@@ -763,6 +808,7 @@ mod tests {
             PrimitiveKind::Fetch,
             PrimitiveKind::Hash,
             PrimitiveKind::Compound,
+            PrimitiveKind::Compress,
         ]
         .into_iter()
         .map(|k| reg.count_kind(k))
@@ -770,6 +816,25 @@ mod tests {
         assert_eq!(total, reg.len());
         assert!(reg.count_kind(PrimitiveKind::Select) >= 84);
         assert_eq!(reg.count_kind(PrimitiveKind::Compound), 4);
+        // 9 PFOR pairs + 8 PFOR-DELTA pairs + 4 PDICT pairs.
+        assert_eq!(reg.count_kind(PrimitiveKind::Compress), 42);
+    }
+
+    #[test]
+    fn every_compress_kernel_has_decompress_counterpart() {
+        let reg = PrimitiveRegistry::builtin();
+        for d in reg.iter().filter(|d| d.kind == PrimitiveKind::Compress) {
+            let twin = if let Some(rest) = d.signature.strip_prefix("de") {
+                rest.to_string()
+            } else {
+                format!("de{}", d.signature)
+            };
+            assert!(
+                reg.contains(&twin),
+                "{} lacks its codec twin {twin}",
+                d.signature
+            );
+        }
     }
 
     #[test]

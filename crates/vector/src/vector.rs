@@ -15,10 +15,19 @@ pub const DEFAULT_VECTOR_SIZE: usize = 1024;
 /// Variable-length string column chunk: contiguous bytes + offsets.
 ///
 /// Avoids one heap allocation per value; `offsets.len() == len + 1`.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrVec {
     offsets: Vec<u32>,
     bytes: Vec<u8>,
+}
+
+// Derived `Default` would start `offsets` empty, breaking the
+// `offsets.len() == len + 1` invariant (`len()` would underflow on the
+// first push's reader); route it through `new()` instead.
+impl Default for StrVec {
+    fn default() -> Self {
+        StrVec::new()
+    }
 }
 
 impl StrVec {

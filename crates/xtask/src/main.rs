@@ -22,6 +22,12 @@
 //!    statistics (`storage/src/columnbm.rs`), and the loom shim's own
 //!    seed plumbing (`crates/loom`). Everywhere else, relaxed atomics
 //!    are a review smell the loom model cannot vouch for.
+//! 4. **Codec parity** — every registered `compress_*` signature has a
+//!    registered `decompress_*` counterpart and vice versa (a one-way
+//!    codec is unreadable data), and every codec-shaped identifier in
+//!    `crates/vector` source resolves to a registry descriptor, so the
+//!    macro-generated PFOR/PDICT/PFOR-DELTA instances cannot drift from
+//!    the catalog that `engine::check` trusts for decode placement.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
 
@@ -139,6 +145,7 @@ fn lint() -> Vec<String> {
     registry_parity(&root, &mut failures);
     kernel_hygiene(&root, &mut failures);
     ordering_discipline(&root, &mut failures);
+    codec_parity(&root, &mut failures);
     failures
 }
 
@@ -318,6 +325,7 @@ fn kernel_hygiene(root: &Path, failures: &mut Vec<String>) {
         "compound.rs",
         "partition.rs",
         "sel.rs",
+        "compress.rs",
     ];
     // Dense kernels must be zip loops (auto-vectorizable, no bounds
     // checks); position-producing/consuming kernels index by design.
@@ -373,6 +381,59 @@ fn ordering_discipline(root: &Path, failures: &mut Vec<String>) {
                     "ordering discipline: {rel_str}:{ln} uses Ordering::Relaxed outside \
                      the governor/statistics allowlist (use Acquire/Release/SeqCst, or \
                      move the counter into govern.rs)"
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 4: compression codecs are two-way and catalogued.
+fn codec_parity(root: &Path, failures: &mut Vec<String>) {
+    let reg = PrimitiveRegistry::builtin();
+    let registered: BTreeSet<&str> = reg.iter().map(|d| d.signature).collect();
+
+    // 4a. Registered codec halves pair up: `compress_<codec>_<ty>_col`
+    // ⇄ `decompress_<codec>_<ty>_col`.
+    for sig in &registered {
+        if let Some(rest) = sig.strip_prefix("compress_") {
+            let twin = format!("decompress_{rest}");
+            if !registered.contains(twin.as_str()) {
+                failures.push(format!(
+                    "codec parity: `{sig}` is registered with no `{twin}` counterpart \
+                     (a compressor without a decompressor writes unreadable chunks)"
+                ));
+            }
+        } else if let Some(rest) = sig.strip_prefix("decompress_") {
+            let twin = format!("compress_{rest}");
+            if !registered.contains(twin.as_str()) {
+                failures.push(format!(
+                    "codec parity: `{sig}` is registered with no `{twin}` counterpart"
+                ));
+            }
+        }
+    }
+
+    // 4b. Every codec-shaped identifier in crates/vector (macro
+    // invocation tokens included) that parses as a signature must be
+    // registered — this pins the `pfor_instances!`-style expansions to
+    // the catalog exactly like rule 1a pins `arith_instances!`.
+    let vector_src = root.join("crates/vector/src");
+    let mut files = Vec::new();
+    rs_files(&vector_src, &mut files);
+    for path in &files {
+        if path.file_name().is_some_and(|n| n == "registry.rs") {
+            continue;
+        }
+        let f = strip_tests(path);
+        for tok in tokens(&f) {
+            if !(tok.starts_with("compress_") || tok.starts_with("decompress_")) {
+                continue;
+            }
+            if parse_signature(&tok).is_ok() && !registered.contains(tok.as_str()) {
+                failures.push(format!(
+                    "codec parity: `{tok}` in {} parses as a codec signature but has \
+                     no registry descriptor",
+                    path.strip_prefix(root).unwrap_or(path).display()
                 ));
             }
         }
