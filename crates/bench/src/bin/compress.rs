@@ -59,9 +59,14 @@ struct MicroTable {
     comp: Database,
     chosen: String,
     ratio_pct: u64,
+    /// Multiplier mapping the per-mille threshold into the key domain:
+    /// `k < t·pred_scale` keeps the same fraction of rows as `k' < t`
+    /// over the unscaled key, so one selectivity axis serves every
+    /// table regardless of how its key column is encoded.
+    pred_scale: i64,
 }
 
-fn micro_table(name: &'static str, v: ColumnData, k: Vec<i64>) -> MicroTable {
+fn micro_table(name: &'static str, v: ColumnData, k: Vec<i64>, pred_scale: i64) -> MicroTable {
     let build = |checkpoint: bool| -> (Database, String, u64) {
         let mut t: Table = TableBuilder::new("t")
             .column("v", v.clone())
@@ -89,10 +94,11 @@ fn micro_table(name: &'static str, v: ColumnData, k: Vec<i64>) -> MicroTable {
         comp,
         chosen,
         ratio_pct,
+        pred_scale,
     }
 }
 
-/// Build the three micro datasets (`rows` each).
+/// Build the four micro datasets (`rows` each).
 fn micro_tables(rows: usize) -> Vec<MicroTable> {
     let mut rng = Rng(0x000C_0DEC_5EED);
     let k: Vec<i64> = (0..rows).map(|_| (rng.next() % 1000) as i64).collect();
@@ -125,17 +131,29 @@ fn micro_tables(rows: usize) -> Vec<MicroTable> {
         .map(|_| dict_vals[(rng.next() % 128) as usize])
         .collect();
 
+    // PDICT *predicate* column: the same 1000-valued key stretched over
+    // a ~1e12 range, so PFOR needs the full 64-bit lane (no savings)
+    // and the dictionary codec wins. The selection then runs over
+    // 16-bit codes via the rewritten dictionary predicate rather than
+    // over packed PFOR lanes.
+    const SPREAD: i64 = 1_000_000_007;
+    let k_spread: Vec<i64> = k.iter().map(|&x| x * SPREAD).collect();
+    let pfor_v: Vec<f64> = (0..rows)
+        .map(|_| ((rng.next() % 5_000_000) as f64) / 100.0)
+        .collect();
+
     vec![
-        micro_table("pfor", ColumnData::F64(pfor), k.clone()),
-        micro_table("pfordelta", ColumnData::I64(pfordelta), k.clone()),
-        micro_table("pdict", ColumnData::F64(pdict), k),
+        micro_table("pfor", ColumnData::F64(pfor), k.clone(), 1),
+        micro_table("pfordelta", ColumnData::I64(pfordelta), k.clone(), 1),
+        micro_table("pdict", ColumnData::F64(pdict), k, 1),
+        micro_table("pdictkey", ColumnData::F64(pfor_v), k_spread, SPREAD),
     ]
 }
 
 /// `Select(k < t) → Aggr[count, min(v), max(v)]` — order-independent
 /// aggregates, so raw and compressed answers must match byte for byte.
-fn micro_plan(sel: f64) -> Plan {
-    let thresh = (sel * 1000.0).round() as i64;
+fn micro_plan(sel: f64, pred_scale: i64) -> Plan {
+    let thresh = (sel * 1000.0).round() as i64 * pred_scale;
     Plan::scan("t", &["v", "k"])
         .select(lt(col("k"), lit_i64(thresh)))
         .aggr(
@@ -215,7 +233,7 @@ fn main() {
     let mut all_match = true;
     for mt in &tables {
         for &sel in selectivities {
-            let plan = micro_plan(sel);
+            let plan = micro_plan(sel, mt.pred_scale);
             for &vs in vector_sizes {
                 let opts = ExecOptions::with_vector_size(vs);
                 let time = |db: &Database| -> (f64, Vec<String>) {
@@ -254,6 +272,84 @@ fn main() {
                     mt.name, mt.chosen, mt.ratio_pct
                 ));
             }
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- Pushdown sweep: encoded-space selection vs decode-then-select ----
+    // Same codec tables, same `Select(k < t) → Aggr` pipeline, but now
+    // the interesting axis is *execution strategy* on the compressed
+    // table: the fused `CompressedScanSelect` (predicate evaluated over
+    // packed lanes / dictionary codes, survivors decoded lazily)
+    // against the decode-everything ablation. Low selectivity is where
+    // lazy materialization pays; every cell also checks the answer
+    // against the raw table, and thread counts {1, 2, 4, 8} must agree
+    // byte for byte.
+    let push_sels: &[f64] = if smoke {
+        &[0.02, 0.5]
+    } else {
+        &[0.02, 0.1, 0.5, 0.98]
+    };
+    println!("\npushdown sweep: fused encoded-space selection vs decode-then-select");
+    println!(
+        "{:>10} {:>10} {:>6} {:>12} {:>12} {:>9}  check",
+        "format", "chosen", "sel", "ablated (s)", "pushed (s)", "speedup"
+    );
+    json.push_str("  \"pushdown\": [\n");
+    let mut first = true;
+    for mt in &tables {
+        let kfmt = {
+            let t = mt.comp.table("t").expect("t");
+            t.column_by_name("k")
+                .compressed()
+                .map_or("raw".to_owned(), |c| c.format().name().to_owned())
+        };
+        for &sel in push_sels {
+            let plan = micro_plan(sel, mt.pred_scale);
+            let (reference, _) =
+                execute(&mt.raw, &plan, &ExecOptions::default()).expect("raw reference");
+            let reference = reference.row_strings();
+            let time = |opts: &ExecOptions| -> (f64, Vec<String>) {
+                let mut times = Vec::with_capacity(reps);
+                let mut rows = Vec::new();
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let (r, _) = execute(&mt.comp, &plan, opts).expect("pushdown plan");
+                    times.push(secs(t0.elapsed()));
+                    rows = r.row_strings();
+                }
+                (median(times), rows)
+            };
+            let (abl_s, abl_rows) = time(&ExecOptions::default().with_compressed_pushdown(false));
+            let (push_s, push_rows) = time(&ExecOptions::default());
+            let mut matches = abl_rows == reference && push_rows == reference;
+            // Thread identity: the fused refill runs per morsel; every
+            // worker count must reproduce the sequential answer.
+            for &threads in threads_axis {
+                let (r, _) = execute(&mt.comp, &plan, &ExecOptions::default().parallel(threads))
+                    .expect("parallel pushdown");
+                matches &= r.row_strings() == reference;
+            }
+            all_match &= matches;
+            let speedup = if push_s > 0.0 { abl_s / push_s } else { 0.0 };
+            println!(
+                "{:>10} {:>10} {:>6} {:>12.6} {:>12.6} {:>8.2}x  {}",
+                mt.name,
+                kfmt,
+                sel,
+                abl_s,
+                push_s,
+                speedup,
+                if matches { "match" } else { "MISMATCH" }
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"format\": \"{}\", \"pred_col_format\": \"{kfmt}\", \"selectivity\": {sel}, \"ablated_s\": {abl_s:.6}, \"pushed_s\": {push_s:.6}, \"speedup\": {speedup:.3}, \"matches\": {matches}}}",
+                mt.name
+            ));
         }
     }
     json.push_str("\n  ],\n");

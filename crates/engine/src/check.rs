@@ -530,6 +530,78 @@ impl<'a> Checker<'a> {
                 Ok((fields, dicts))
             }
             Plan::Select { input, pred } => {
+                // Mirror the binder's fusion decision exactly: when the
+                // child is a compressed scan and (part of) the predicate
+                // compiles to encoded space, the binder emits a fused
+                // `CompressedScanSelect` refill instead of Scan→Select.
+                // The encoded-space comparison and the selective decode
+                // it triggers must both be cataloged primitives.
+                if let Plan::Scan {
+                    table,
+                    cols,
+                    code_cols,
+                    ..
+                } = input.as_ref()
+                {
+                    if let Some(f) = crate::plan::fuse_scan_select(
+                        self.db, table, cols, code_cols, pred, self.opts,
+                    ) {
+                        let (fields, dicts) = self.walk(input, &format!("{path}.Select.input"))?;
+                        let t = self.db.table(table)?;
+                        self.summary.instrs += 1;
+                        if !self.reg.contains(f.push.sig()) {
+                            return Err(PlanError::PlanCheck {
+                                path: format!("{path}.Select.pushdown[{}]", f.col),
+                                violation: CheckViolation::UnknownSignature {
+                                    signature: f.push.sig().to_owned(),
+                                },
+                            });
+                        }
+                        // Co-columns materialize lazily: each compressed
+                        // column with a positional decode kernel will
+                        // call it, so it must be registered too.
+                        for name in cols {
+                            let ci = t
+                                .column_index(name)
+                                .ok_or_else(|| PlanError::UnknownColumn(name.clone()))?;
+                            if let Some(sig) =
+                                t.column(ci).compressed().and_then(|cc| cc.decode_sel_sig())
+                            {
+                                self.summary.instrs += 1;
+                                if !self.reg.contains(sig) {
+                                    return Err(PlanError::PlanCheck {
+                                        path: format!("{path}.Select.decode_sel[{name}]"),
+                                        violation: CheckViolation::UnknownSignature {
+                                            signature: sig.to_owned(),
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                        let steps = match &f.residual {
+                            None => Vec::new(),
+                            Some(res) => {
+                                let res = crate::plan::rewrite_enum_literals(res, &fields, &dicts);
+                                self.check_select(
+                                    &res,
+                                    &fields,
+                                    &dicts,
+                                    &format!("{path}.Select.residual"),
+                                )?
+                            }
+                        };
+                        self.note(
+                            path,
+                            format!(
+                                "CompressedScanSelect `{}` [{}] residual [{}]",
+                                f.col,
+                                f.push.sig(),
+                                steps.join(", ")
+                            ),
+                        );
+                        return Ok((fields, dicts));
+                    }
+                }
                 let (fields, dicts) = self.walk(input, &format!("{path}.Select.input"))?;
                 let pred = crate::plan::rewrite_enum_literals(pred, &fields, &dicts);
                 let sigs =

@@ -17,7 +17,7 @@ use crate::ops::{push_from, Operator};
 use crate::profile::Profiler;
 use crate::PlanError;
 use std::sync::Arc;
-use x100_storage::{ColumnData, Table};
+use x100_storage::{ColumnData, DecodeCursor, Table};
 use x100_vector::{fetch as vfetch, ScalarType, SelVec, Vector};
 
 /// A column to fetch from the target table.
@@ -28,6 +28,60 @@ struct FetchCol {
     sig: String,
     /// Fetch raw enum codes instead of decoded values.
     as_codes: bool,
+    /// Reused scratch for gathering straight from compressed chunks.
+    gs: GatherState,
+}
+
+/// Per-fetch-column decode scratch: the PFOR-DELTA sync-point replay
+/// buffer, the chunk-local position list, and the checksum cursor.
+#[derive(Default)]
+struct GatherState {
+    scratch: Vec<u64>,
+    tmp: Vec<u32>,
+    cursor: DecodeCursor,
+}
+
+/// Positional fetch with the compressed fast path: dense (unselected)
+/// rowid vectors against a checkpointed fragment column gather directly
+/// from the packed chunks — PFOR-DELTA `#rowId` columns seek from the
+/// nearest sync point instead of decoding whole chunks. Falls back to
+/// the raw fragment on any decode error (torn chunk), counting a
+/// recovery.
+fn fetch_gather(
+    table: &Table,
+    fc: &mut FetchCol,
+    rowids: &[u32],
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut Vector,
+    prof: &mut Profiler,
+) {
+    let sc = table.column(fc.col);
+    let frag_rows = table.fragment_rows() as u32;
+    if sel.is_none()
+        && (fc.as_codes || sc.dict().is_none())
+        && rowids[..n].iter().all(|&r| r < frag_rows)
+    {
+        if let Some(cc) = sc.compressed() {
+            match cc.gather(
+                &rowids[..n],
+                out,
+                &mut fc.gs.scratch,
+                &mut fc.gs.tmp,
+                &mut fc.gs.cursor,
+            ) {
+                Ok(()) => {
+                    prof.add_counter("fetch_compressed_gathers", 1);
+                    return;
+                }
+                Err(_) => {
+                    prof.add_counter("decode_recoveries", 1);
+                    fc.gs.cursor = DecodeCursor::default();
+                }
+            }
+        }
+    }
+    gather_positional(table, fc.col, fc.as_codes, rowids, n, sel, out);
 }
 
 /// Fetch `table[rowids[i]].col` positionally into `out` under `sel`.
@@ -324,6 +378,7 @@ impl Fetch1JoinOp {
                 col: ci,
                 sig,
                 as_codes: false,
+                gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
@@ -344,6 +399,7 @@ impl Fetch1JoinOp {
                 col: ci,
                 sig,
                 as_codes: true,
+                gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
@@ -383,18 +439,11 @@ impl Operator for Fetch1JoinOp {
         self.out.len = n;
         self.out.sel = batch.sel.clone();
         self.out.columns.extend(batch.columns.iter().cloned());
-        for (k, fc) in self.fetch_cols.iter().enumerate() {
+        for k in 0..self.fetch_cols.len() {
             let t0 = prof.start();
             let mut v = self.pools[k].writable();
-            gather_positional(
-                &self.table,
-                fc.col,
-                fc.as_codes,
-                &self.rowid_buf,
-                n,
-                sel,
-                &mut v,
-            );
+            let fc = &mut self.fetch_cols[k];
+            fetch_gather(&self.table, fc, &self.rowid_buf, n, sel, &mut v, prof);
             let bytes = live * 4 + v.byte_size();
             prof.record_prim(&fc.sig, t0, live, bytes);
             self.pools[k].publish(v, &mut self.out);
@@ -474,6 +523,7 @@ impl FetchNJoinOp {
                 col: ci,
                 sig,
                 as_codes: false,
+                gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
             pools.push(VecPool::new(ty, vector_size));
@@ -581,18 +631,11 @@ impl Operator for FetchNJoinOp {
             self.pools[k].publish(v, &mut self.out);
         }
         // Fetch target columns.
-        for (j, fc) in self.fetch_cols.iter().enumerate() {
+        for j in 0..self.fetch_cols.len() {
             let t0 = prof.start();
             let mut v = self.pools[self.child_arity + j].writable();
-            gather_positional(
-                &self.table,
-                fc.col,
-                fc.as_codes,
-                &self.rowid_scratch,
-                n,
-                None,
-                &mut v,
-            );
+            let fc = &mut self.fetch_cols[j];
+            fetch_gather(&self.table, fc, &self.rowid_scratch, n, None, &mut v, prof);
             let bytes = n * 4 + v.byte_size();
             prof.record_prim(&fc.sig, t0, n, bytes);
             self.pools[self.child_arity + j].publish(v, &mut self.out);

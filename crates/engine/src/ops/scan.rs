@@ -18,8 +18,8 @@ use crate::ops::Operator;
 use crate::profile::Profiler;
 use crate::PlanError;
 use std::sync::Arc;
-use x100_storage::{ColumnBM, ColumnData, DecodeCursor, Morsel, Table};
-use x100_vector::Vector;
+use x100_storage::{ColumnBM, ColumnData, DecodeCursor, Morsel, PushOp, Pushdown, Table};
+use x100_vector::{Value, Vector};
 
 /// How one scanned column is produced.
 enum ColMode {
@@ -44,6 +44,25 @@ struct CompState {
     sig: &'static str,
 }
 
+/// A predicate pushed into the compressed scan (the fused
+/// `CompressedScanSelect` refill path): the comparison runs in encoded
+/// space over the packed lanes before anything is decoded, and only
+/// surviving positions are ever materialized.
+struct PushSpec {
+    /// Index (into `cols`) of the predicate column.
+    k: usize,
+    /// The compiled encoded-space predicate.
+    p: Pushdown,
+    /// Window-relative surviving positions of the current vector.
+    sel: Vec<u32>,
+    /// Per-chunk scratch shared by the selective-decode kernels.
+    tmp: Vec<u32>,
+    /// Absolute-rowid scratch for PFOR-DELTA co-column seeks.
+    abs: Vec<u32>,
+    /// Whether the one-time dictionary-rewrite counter fired.
+    counted: bool,
+}
+
 /// The scan operator.
 pub struct ScanOp {
     table: Arc<Table>,
@@ -64,9 +83,13 @@ pub struct ScanOp {
     moff: usize,
     vector_size: usize,
     scratch_del: Vec<u32>,
+    scratch_reads: Vec<(usize, u64, u64)>,
     /// Decode state per scanned column; `Some` iff the column was
     /// rewritten as compressed chunks by `Table::checkpoint`.
     comp: Vec<Option<CompState>>,
+    /// Fused predicate pushdown; `Some` turns fragment refills into the
+    /// `CompressedScanSelect` path (encoded-space select, lazy decode).
+    push: Option<PushSpec>,
     /// Governor charge for the decode scratch buffers.
     mem: Option<MemTracker>,
     bm: Option<Arc<ColumnBM>>,
@@ -228,12 +251,40 @@ impl ScanOp {
             moff: 0,
             vector_size,
             scratch_del: Vec::new(),
+            scratch_reads: Vec::new(),
             comp,
+            push: None,
             mem,
             bm,
             ctx,
             placeholder: std::rc::Rc::new(Vector::Bool(Vec::new())),
         })
+    }
+
+    /// Attach a fused predicate pushdown on scanned column `col` (the
+    /// binder's `CompressedScanSelect` fusion). The column must be a
+    /// plain (non-enum) checkpoint-compressed column whose codec
+    /// supports encoded-space selection.
+    pub fn set_pushdown(&mut self, col: &str, p: Pushdown) -> Result<(), PlanError> {
+        let k = self
+            .fields
+            .iter()
+            .position(|f| f.name == col)
+            .ok_or_else(|| PlanError::UnknownColumn(col.to_owned()))?;
+        if !matches!(self.modes[k], ColMode::Plain) || self.comp[k].is_none() {
+            return Err(PlanError::Invalid(format!(
+                "pushdown on `{col}` requires a plain compressed column"
+            )));
+        }
+        self.push = Some(PushSpec {
+            k,
+            p,
+            sel: Vec::new(),
+            tmp: Vec::new(),
+            abs: Vec::new(),
+            counted: false,
+        });
+        Ok(())
     }
 
     /// Read `len` bytes of column `ci` at `offset` through the buffer
@@ -253,6 +304,14 @@ impl ScanOp {
         n: usize,
         prof: &mut Profiler,
     ) -> Result<(), PlanError> {
+        if self.push.is_some() {
+            // Fused CompressedScanSelect: the spec is taken out for the
+            // duration of the emit so the column loop can borrow freely.
+            let mut ps = self.push.take().expect("checked is_some");
+            let r = self.emit_fragment_pushed(&mut ps, start, n, prof);
+            self.push = Some(ps);
+            return r;
+        }
         self.out.reset();
         self.out.len = n;
         let t_scan = prof.start();
@@ -291,13 +350,35 @@ impl ScanOp {
                             .compressed()
                             .expect("CompState without compressed column");
                         let t0 = prof.start();
-                        let st = cc.decode_range(start, n, &mut v, &mut cs.cursor, &mut cs.scratch);
-                        prof.record_prim(cs.sig, t0, n, st.comp_len as usize + v.byte_size());
-                        prof.max_counter("compress_ratio", cc.ratio_pct());
-                        dec_raw += v.byte_size() as u64;
-                        dec_comp += st.comp_len;
-                        dec_exc += st.exceptions;
-                        reads.push((ci, st.comp_offset, st.comp_len));
+                        match cc.decode_range(start, n, &mut v, &mut cs.cursor, &mut cs.scratch) {
+                            Ok(st) => {
+                                prof.record_prim(
+                                    cs.sig,
+                                    t0,
+                                    n,
+                                    st.comp_len as usize + v.byte_size(),
+                                );
+                                prof.max_counter("compress_ratio", cc.ratio_pct());
+                                dec_raw += v.byte_size() as u64;
+                                dec_comp += st.comp_len;
+                                dec_exc += st.exceptions;
+                                reads.push((ci, st.comp_offset, st.comp_len));
+                            }
+                            Err(_) => {
+                                // Checksum mismatch (torn chunk write):
+                                // the raw fragment is retained and
+                                // intact, so recover from it — wrong
+                                // rows must never escape a torn chunk.
+                                prof.add_counter("decode_recoveries", 1);
+                                cs.cursor = DecodeCursor::default();
+                                sc.physical().read_into(start, n, &mut v);
+                                reads.push((
+                                    ci,
+                                    (start * sc.physical_type().width()) as u64,
+                                    v.byte_size() as u64,
+                                ));
+                            }
+                        }
                     } else {
                         sc.physical().read_into(start, n, &mut v);
                         reads.push((
@@ -317,13 +398,31 @@ impl ScanOp {
                             .compressed()
                             .expect("CompState without compressed column");
                         let t0 = prof.start();
-                        let st = cc.decode_range(start, n, codes, &mut cs.cursor, &mut cs.scratch);
-                        prof.record_prim(cs.sig, t0, n, st.comp_len as usize + codes.byte_size());
-                        prof.max_counter("compress_ratio", cc.ratio_pct());
-                        dec_raw += codes.byte_size() as u64;
-                        dec_comp += st.comp_len;
-                        dec_exc += st.exceptions;
-                        reads.push((ci, st.comp_offset, st.comp_len));
+                        match cc.decode_range(start, n, codes, &mut cs.cursor, &mut cs.scratch) {
+                            Ok(st) => {
+                                prof.record_prim(
+                                    cs.sig,
+                                    t0,
+                                    n,
+                                    st.comp_len as usize + codes.byte_size(),
+                                );
+                                prof.max_counter("compress_ratio", cc.ratio_pct());
+                                dec_raw += codes.byte_size() as u64;
+                                dec_comp += st.comp_len;
+                                dec_exc += st.exceptions;
+                                reads.push((ci, st.comp_offset, st.comp_len));
+                            }
+                            Err(_) => {
+                                prof.add_counter("decode_recoveries", 1);
+                                cs.cursor = DecodeCursor::default();
+                                sc.physical().read_into(start, n, codes);
+                                reads.push((
+                                    ci,
+                                    (start * sc.physical_type().width()) as u64,
+                                    codes.byte_size() as u64,
+                                ));
+                            }
+                        }
                     } else {
                         sc.physical().read_into(start, n, codes);
                         reads.push((
@@ -407,6 +506,209 @@ impl ScanOp {
         Ok(())
     }
 
+    /// Fused `CompressedScanSelect` refill: evaluate the pushed
+    /// predicate in encoded space over `[start, start+n)` — PFOR lanes
+    /// are compared packed, PDICT predicates were rewritten against the
+    /// dictionary at bind — then decode *only* the surviving positions
+    /// of every scanned column. The batch comes out compacted (no
+    /// selection vector): unselected values are never materialized.
+    fn emit_fragment_pushed(
+        &mut self,
+        ps: &mut PushSpec,
+        start: usize,
+        n: usize,
+        prof: &mut Profiler,
+    ) -> Result<(), PlanError> {
+        self.out.reset();
+        let t_op = prof.start();
+        // Phase 1: selection over the packed lanes of the predicate
+        // column, without unpacking.
+        let kp = ps.k;
+        let ci_p = self.cols[kp];
+        if let Some(fs) = self.ctx.fault_state() {
+            fs.check_site(x100_storage::FaultSite::CompressedRead, ci_p as u32)
+                .map_err(|e| PlanError::Io(e.to_string()))?;
+        }
+        let sc_p = self.table.column(ci_p);
+        let cc_p = sc_p.compressed().expect("pushdown on uncompressed column");
+        let cs_p = self.comp[kp].as_mut().expect("pushdown without CompState");
+        let t0 = prof.start();
+        ps.sel.clear();
+        let mut recovered = false;
+        match cc_p.select_range(&ps.p, start, n, &mut ps.sel, &mut ps.tmp, &mut cs_p.cursor) {
+            Ok(()) => {
+                prof.record_prim(ps.p.sig(), t0, n, n * sc_p.physical_type().width());
+            }
+            Err(_) => {
+                // Torn chunk: recover by filtering the retained raw
+                // fragment in value space — identical survivors, no
+                // wrong rows, one counter tick.
+                prof.add_counter("decode_recoveries", 1);
+                cs_p.cursor = DecodeCursor::default();
+                recovered = true;
+                ps.sel.clear();
+                raw_filter(sc_p.physical(), start, n, &ps.p, &mut ps.sel);
+            }
+        }
+        prof.add_counter("pushdown_vectors", 1);
+        prof.max_counter("compress_ratio", cc_p.ratio_pct());
+        if ps.p.is_dict_rewrite() && !ps.counted {
+            ps.counted = true;
+            prof.add_counter("dict_predicate_rewrites", 1);
+        }
+        // Deletion mask folds into the selection before any decode.
+        self.scratch_del.clear();
+        self.table.deletes().deleted_in_range(
+            start as u32,
+            (start + n) as u32,
+            &mut self.scratch_del,
+        );
+        if !self.scratch_del.is_empty() {
+            let dels = &self.scratch_del;
+            let mut d = 0usize;
+            ps.sel.retain(|&p| {
+                while d < dels.len() && dels[d] < p {
+                    d += 1;
+                }
+                !(d < dels.len() && dels[d] == p)
+            });
+        }
+        prof.add_counter("decode_skipped_values", (n - ps.sel.len()) as u64);
+        // Phase 2: lazy materialization — decode/gather only the
+        // surviving positions of every scanned column.
+        self.out.len = ps.sel.len();
+        let mut reads = std::mem::take(&mut self.scratch_reads);
+        reads.clear();
+        for (k, &ci) in self.cols.iter().enumerate() {
+            let sc = self.table.column(ci);
+            let cs = &mut self.comp[k];
+            if cs.is_some() {
+                if let Some(fs) = self.ctx.fault_state() {
+                    fs.check_site(x100_storage::FaultSite::CompressedRead, ci as u32)
+                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                }
+            }
+            match &mut self.modes[k] {
+                ColMode::Plain | ColMode::Codes => {
+                    let mut v = self.pools[k].writable();
+                    let mut decoded = false;
+                    if !recovered {
+                        if let Some(cs) = cs {
+                            let cc = sc
+                                .compressed()
+                                .expect("CompState without compressed column");
+                            let t0 = prof.start();
+                            if cc.decode_sel_sig().is_some() {
+                                match cc.decode_positions(
+                                    start,
+                                    &ps.sel,
+                                    &mut v,
+                                    &mut ps.tmp,
+                                    &mut cs.cursor,
+                                ) {
+                                    Ok(st) => {
+                                        decoded = true;
+                                        let sig =
+                                            cc.decode_sel_sig().expect("checked decode_sel_sig");
+                                        prof.record_prim(
+                                            sig,
+                                            t0,
+                                            ps.sel.len(),
+                                            st.comp_len as usize + v.byte_size(),
+                                        );
+                                        reads.push((ci, st.comp_offset, st.comp_len));
+                                    }
+                                    Err(_) => {
+                                        prof.add_counter("decode_recoveries", 1);
+                                        cs.cursor = DecodeCursor::default();
+                                    }
+                                }
+                            } else {
+                                // PFOR-DELTA co-column: positional seek
+                                // from the nearest sync point.
+                                ps.abs.clear();
+                                ps.abs.extend(ps.sel.iter().map(|&p| start as u32 + p));
+                                match cc.gather(
+                                    &ps.abs,
+                                    &mut v,
+                                    &mut cs.scratch,
+                                    &mut ps.tmp,
+                                    &mut cs.cursor,
+                                ) {
+                                    Ok(()) => {
+                                        decoded = true;
+                                        prof.record_prim(cs.sig, t0, ps.sel.len(), v.byte_size());
+                                        reads.push((ci, 0, v.byte_size() as u64));
+                                    }
+                                    Err(_) => {
+                                        prof.add_counter("decode_recoveries", 1);
+                                        cs.cursor = DecodeCursor::default();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !decoded {
+                        // Raw fragment gather: only selected positions
+                        // are touched (also the torn-chunk recovery).
+                        gather_raw(sc.physical(), start, &ps.sel, &mut v);
+                        reads.push((
+                            ci,
+                            (start * sc.physical_type().width()) as u64,
+                            v.byte_size() as u64,
+                        ));
+                    }
+                    self.pools[k].publish(v, &mut self.out);
+                }
+                ColMode::Decode { codes, sig } => {
+                    // Gather surviving codes, then dictionary-decode the
+                    // compacted code vector (Fetch1Join(ENUM) as usual,
+                    // but over survivors only).
+                    gather_raw(sc.physical(), start, &ps.sel, codes);
+                    reads.push((
+                        ci,
+                        (start * sc.physical_type().width()) as u64,
+                        codes.byte_size() as u64,
+                    ));
+                    if let Some(fs) = self.ctx.fault_state() {
+                        fs.check_site(x100_storage::FaultSite::DictLookup, ci as u32)
+                            .map_err(|e| PlanError::Io(e.to_string()))?;
+                    }
+                    let dict = self.table.column(ci).dict().ok_or_else(|| {
+                        PlanError::Invalid(format!(
+                            "decode mode without dictionary on column `{}`",
+                            self.fields[k].name
+                        ))
+                    })?;
+                    let t0 = prof.start();
+                    let mut v = self.pools[k].writable();
+                    v.resize_zeroed(ps.sel.len());
+                    decode_codes(codes, dict.values(), &mut v);
+                    prof.record_prim(sig, t0, ps.sel.len(), codes.byte_size() + v.byte_size());
+                    prof.record_op("Fetch1Join(ENUM)", t0, ps.sel.len());
+                    self.pools[k].publish(v, &mut self.out);
+                }
+            }
+        }
+        prof.record_op("CompressedScanSelect", t_op, n);
+        if let Some(mem) = &mut self.mem {
+            let total: usize = self
+                .comp
+                .iter()
+                .flatten()
+                .map(|cs| cs.scratch.capacity() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+                + (ps.sel.capacity() + ps.tmp.capacity() + ps.abs.capacity())
+                    * std::mem::size_of::<u32>();
+            mem.ensure(total)?;
+        }
+        for &(ci, offset, len) in &reads {
+            self.bm_read(ci, offset, len)?;
+        }
+        self.scratch_reads = reads;
+        Ok(())
+    }
+
     /// Produce one batch from the delta region. Delta reads are their
     /// own fault-injection site, distinct from chunked fragment reads.
     fn emit_delta(&mut self, start: usize, n: usize, prof: &mut Profiler) -> Result<(), PlanError> {
@@ -482,6 +784,110 @@ fn decode_codes(codes: &Vector, dict: &ColumnData, out: &mut Vector) {
             d.scalar_type(),
             o.scalar_type()
         ),
+    }
+}
+
+/// Gather `data[start + sel[j]]` into a compacted vector: the raw-side
+/// half of the lazy-materialization path (only survivors are touched).
+fn gather_raw(data: &ColumnData, start: usize, sel: &[u32], out: &mut Vector) {
+    macro_rules! g {
+        ($b:expr, $o:expr) => {{
+            $o.clear();
+            $o.extend(sel.iter().map(|&p| $b[start + p as usize]));
+        }};
+    }
+    match (data, out) {
+        (ColumnData::I8(b), Vector::I8(o)) => g!(b, o),
+        (ColumnData::I16(b), Vector::I16(o)) => g!(b, o),
+        (ColumnData::I32(b), Vector::I32(o)) => g!(b, o),
+        (ColumnData::I64(b), Vector::I64(o)) => g!(b, o),
+        (ColumnData::U8(b), Vector::U8(o)) => g!(b, o),
+        (ColumnData::U16(b), Vector::U16(o)) => g!(b, o),
+        (ColumnData::U32(b), Vector::U32(o)) => g!(b, o),
+        (ColumnData::U64(b), Vector::U64(o)) => g!(b, o),
+        (ColumnData::F64(b), Vector::F64(o)) => g!(b, o),
+        (ColumnData::Str(b), Vector::Str(o)) => {
+            o.clear();
+            for &p in sel {
+                o.push(b.get(start + p as usize));
+            }
+        }
+        (d, o) => panic!(
+            "gather_raw mismatch: column {:?}, out {:?}",
+            d.scalar_type(),
+            o.scalar_type()
+        ),
+    }
+}
+
+/// Value-space twin of the encoded-space pushdown, over the retained raw
+/// fragment — the torn-chunk recovery path. Semantics match the
+/// compressed kernels exactly (native comparisons, `Between` inclusive).
+fn raw_filter(data: &ColumnData, start: usize, n: usize, p: &Pushdown, out: &mut Vec<u32>) {
+    fn keep<T: PartialOrd + Copy>(a: &[T], lo: T, hi: Option<T>, op: PushOp, out: &mut Vec<u32>) {
+        for (i, &x) in a.iter().enumerate() {
+            let hit = match op {
+                PushOp::Eq => x == lo,
+                PushOp::Ne => x != lo,
+                PushOp::Lt => x < lo,
+                PushOp::Le => x <= lo,
+                PushOp::Gt => x > lo,
+                PushOp::Ge => x >= lo,
+                PushOp::Between => x >= lo && hi.is_some_and(|h| x <= h),
+            };
+            if hit {
+                out.push(i as u32);
+            }
+        }
+    }
+    macro_rules! f {
+        ($b:expr, $vv:ident) => {{
+            let lo = match p.lo() {
+                Value::$vv(x) => *x,
+                _ => unreachable!("pushdown constant type-checked at compile"),
+            };
+            let hi = p.hi().map(|h| match h {
+                Value::$vv(x) => *x,
+                _ => unreachable!("pushdown constant type-checked at compile"),
+            });
+            keep(&$b[start..start + n], lo, hi, p.op(), out)
+        }};
+    }
+    match data {
+        ColumnData::I8(b) => f!(b, I8),
+        ColumnData::I16(b) => f!(b, I16),
+        ColumnData::I32(b) => f!(b, I32),
+        ColumnData::I64(b) => f!(b, I64),
+        ColumnData::U8(b) => f!(b, U8),
+        ColumnData::U16(b) => f!(b, U16),
+        ColumnData::U32(b) => f!(b, U32),
+        ColumnData::U64(b) => f!(b, U64),
+        ColumnData::F64(b) => f!(b, F64),
+        ColumnData::Str(b) => {
+            let lo = match p.lo() {
+                Value::Str(x) => x.as_str(),
+                _ => unreachable!("pushdown constant type-checked at compile"),
+            };
+            let hi = p.hi().map(|h| match h {
+                Value::Str(x) => x.as_str(),
+                _ => unreachable!("pushdown constant type-checked at compile"),
+            });
+            for i in 0..n {
+                let x = b.get(start + i);
+                let hit = match p.op() {
+                    PushOp::Eq => x == lo,
+                    PushOp::Ne => x != lo,
+                    PushOp::Lt => x < lo,
+                    PushOp::Le => x <= lo,
+                    PushOp::Gt => x > lo,
+                    PushOp::Ge => x >= lo,
+                    PushOp::Between => x >= lo && hi.is_some_and(|h| x <= h),
+                };
+                if hit {
+                    out.push(i as u32);
+                }
+            }
+        }
     }
 }
 

@@ -266,42 +266,61 @@ impl Plan {
                 code_cols,
                 prune,
             } => {
-                let (t, range) = scan_prune_range(db, table, prune.as_ref())?;
-                let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-                let code_refs: Vec<&str> = code_cols.iter().map(|s| s.as_str()).collect();
-                let op = match morsels {
-                    None => ScanOp::new(
-                        t.clone(),
-                        &col_refs,
-                        &code_refs,
-                        range,
-                        vs,
-                        db.buffer_manager(),
-                        ctx.clone(),
-                    )?,
-                    Some(ms) => ScanOp::with_morsels(
-                        t.clone(),
-                        &col_refs,
-                        &code_refs,
-                        ms.to_vec(),
-                        vs,
-                        db.buffer_manager(),
-                        ctx.clone(),
-                    )?,
-                };
-                let dicts = cols
-                    .iter()
-                    .map(|c| {
-                        if code_cols.contains(c) {
-                            t.column_by_name(c).dict().cloned()
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
+                let (op, dicts) = bind_scan(
+                    db,
+                    opts,
+                    morsels,
+                    ctx,
+                    table,
+                    cols,
+                    code_cols,
+                    prune.as_ref(),
+                )?;
                 Ok((Box::new(op), dicts))
             }
             Plan::Select { input, pred } => {
+                // Compression-aware fusion: Select over a Scan of a
+                // checkpoint-compressed column pushes (part of) the
+                // predicate into encoded space — the scan refill becomes
+                // a CompressedScanSelect and only surviving positions
+                // are decoded. Remaining conjuncts stay a normal Select.
+                if let Plan::Scan {
+                    table,
+                    cols,
+                    code_cols,
+                    prune,
+                } = input.as_ref()
+                {
+                    if let Some(f) = fuse_scan_select(db, table, cols, code_cols, pred, opts) {
+                        let (mut scan, dicts) = bind_scan(
+                            db,
+                            opts,
+                            morsels,
+                            ctx,
+                            table,
+                            cols,
+                            code_cols,
+                            prune.as_ref(),
+                        )?;
+                        scan.set_pushdown(&f.col, f.push)?;
+                        let child: Box<dyn Operator> = Box::new(scan);
+                        return match f.residual {
+                            None => Ok((child, dicts)),
+                            Some(res) => {
+                                let res = rewrite_enum_literals(&res, child.fields(), &dicts);
+                                let op = SelectOp::new(
+                                    child,
+                                    &res,
+                                    vs,
+                                    comp,
+                                    opts.select_strategy,
+                                    ctx.clone(),
+                                )?;
+                                Ok((Box::new(op), dicts))
+                            }
+                        };
+                    }
+                }
                 let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let pred = rewrite_enum_literals(pred, child.fields(), &dicts);
                 let op = SelectOp::new(child, &pred, vs, comp, opts.select_strategy, ctx.clone())?;
@@ -512,6 +531,247 @@ impl Plan {
             }
         }
     }
+}
+
+/// Construct the leaf `ScanOp` (full-range or morsel-restricted) and its
+/// per-column dictionary metadata. Shared between the `Scan` arm and the
+/// `Select`-fusion path.
+#[allow(clippy::too_many_arguments)]
+fn bind_scan(
+    db: &Database,
+    opts: &ExecOptions,
+    morsels: Option<&[Morsel]>,
+    ctx: &Arc<QueryContext>,
+    table: &str,
+    cols: &[String],
+    code_cols: &[String],
+    prune: Option<&RangePrune>,
+) -> Result<(ScanOp, Vec<Option<EnumDict>>), PlanError> {
+    let (t, range) = scan_prune_range(db, table, prune)?;
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let code_refs: Vec<&str> = code_cols.iter().map(|s| s.as_str()).collect();
+    let vs = opts.vector_size;
+    let op = match morsels {
+        None => ScanOp::new(
+            t.clone(),
+            &col_refs,
+            &code_refs,
+            range,
+            vs,
+            db.buffer_manager(),
+            ctx.clone(),
+        )?,
+        Some(ms) => ScanOp::with_morsels(
+            t.clone(),
+            &col_refs,
+            &code_refs,
+            ms.to_vec(),
+            vs,
+            db.buffer_manager(),
+            ctx.clone(),
+        )?,
+    };
+    let dicts = cols
+        .iter()
+        .map(|c| {
+            if code_cols.contains(c) {
+                t.column_by_name(c).dict().cloned()
+            } else {
+                None
+            }
+        })
+        .collect();
+    Ok((op, dicts))
+}
+
+/// A successful `Scan→Select` fusion decision: the encoded-space
+/// predicate plus whatever conjuncts could not be pushed.
+pub(crate) struct FusedPushdown {
+    /// Scanned column the pushdown binds to.
+    pub col: String,
+    /// The compiled encoded-space predicate.
+    pub push: x100_storage::Pushdown,
+    /// Conjuncts left for a normal `Select` above the fused scan.
+    pub residual: Option<Expr>,
+}
+
+/// Decide whether (part of) `pred` can run in encoded space over one of
+/// the scanned columns. Conservative: any doubt — unknown column, type
+/// mismatch, unsupported codec/op pair, pending deltas — declines and
+/// the ordinary decode-then-select pipeline binds instead. The same
+/// decision runs in [`crate::check`] so the plan verifier sees exactly
+/// the operators the binder will construct.
+pub(crate) fn fuse_scan_select(
+    db: &Database,
+    table: &str,
+    cols: &[String],
+    code_cols: &[String],
+    pred: &Expr,
+    opts: &ExecOptions,
+) -> Option<FusedPushdown> {
+    use x100_storage::{ChunkFormat, PushOp};
+    use x100_vector::CmpOp;
+    if !opts.compressed_pushdown {
+        return None;
+    }
+    let t = db.table(table).ok()?;
+    // Delta rows bypass the compressed fragments; fusing would leave
+    // them unfiltered, so decline until the table is reorganized.
+    if t.delta_rows() > 0 {
+        return None;
+    }
+    let mut conj: Vec<Expr> = Vec::new();
+    flatten_and(pred, &mut conj);
+    struct Cand {
+        i: usize,
+        col: String,
+        op: PushOp,
+        v: x100_vector::Value,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for (i, e) in conj.iter().enumerate() {
+        let Some((col, cmp, lit)) = cmp_parts(e) else {
+            continue;
+        };
+        if !cols.contains(&col) || code_cols.contains(&col) {
+            continue;
+        }
+        let Some(ci) = t.column_index(&col) else {
+            continue;
+        };
+        let sc = t.column(ci);
+        // Enum columns have their own bind-time rewrite (string literal
+        // → dictionary code); the lane pushdown handles plain columns.
+        if sc.dict().is_some() {
+            continue;
+        }
+        let Some(cc) = sc.compressed() else {
+            continue;
+        };
+        if !matches!(cc.format(), ChunkFormat::Pfor | ChunkFormat::Pdict) {
+            continue;
+        }
+        let op = match cmp {
+            CmpOp::Eq => PushOp::Eq,
+            CmpOp::Ne => PushOp::Ne,
+            CmpOp::Lt => PushOp::Lt,
+            CmpOp::Le => PushOp::Le,
+            CmpOp::Gt => PushOp::Gt,
+            CmpOp::Ge => PushOp::Ge,
+        };
+        let Some(v) = coerce_lit(&lit, sc.physical_type()) else {
+            continue;
+        };
+        cands.push(Cand { i, col, op, v });
+    }
+    let cc_of = |col: &str| {
+        let ci = t.column_index(col).expect("candidate column resolved");
+        t.column(ci).compressed().expect("candidate is compressed")
+    };
+    // Prefer a range pair (`lo <= c AND c <= hi`) fused as one Between.
+    for a in &cands {
+        for b in &cands {
+            if a.i == b.i || a.col != b.col || a.op != PushOp::Ge || b.op != PushOp::Le {
+                continue;
+            }
+            if let Some(p) = cc_of(&a.col).compile_pushdown(PushOp::Between, &a.v, Some(&b.v)) {
+                return Some(FusedPushdown {
+                    col: a.col.clone(),
+                    push: p,
+                    residual: rebuild_residual(&conj, &[a.i, b.i]),
+                });
+            }
+        }
+    }
+    for c in &cands {
+        if let Some(p) = cc_of(&c.col).compile_pushdown(c.op, &c.v, None) {
+            return Some(FusedPushdown {
+                col: c.col.clone(),
+                push: p,
+                residual: rebuild_residual(&conj, &[c.i]),
+            });
+        }
+    }
+    None
+}
+
+/// Split an `And` tree into its conjunct list.
+fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(l, r) => {
+            flatten_and(l, out);
+            flatten_and(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Extract `col ⊙ literal` from a comparison, normalizing the literal
+/// to the right (flipping the operator when it was on the left).
+fn cmp_parts(e: &Expr) -> Option<(String, x100_vector::CmpOp, x100_vector::Value)> {
+    use x100_vector::CmpOp;
+    let flip = |op: CmpOp| match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    };
+    let Expr::Cmp(op, l, r) = e else {
+        return None;
+    };
+    match (l.as_ref(), r.as_ref()) {
+        (Expr::Col(c), Expr::Lit(v)) => Some((c.clone(), *op, v.clone())),
+        (Expr::Lit(v), Expr::Col(c)) => Some((c.clone(), flip(*op), v.clone())),
+        _ => None,
+    }
+}
+
+/// Coerce a comparison literal to the column's physical type, declining
+/// when the value does not fit (no silent truncation — an out-of-range
+/// literal stays on the decode-then-select path, whose map layer
+/// promotes instead).
+fn coerce_lit(v: &x100_vector::Value, ty: x100_vector::ScalarType) -> Option<x100_vector::Value> {
+    use x100_vector::{ScalarType, Value};
+    if v.scalar_type() == ty {
+        return Some(v.clone());
+    }
+    let as_i = match v {
+        Value::I8(x) => *x as i64,
+        Value::I16(x) => *x as i64,
+        Value::I32(x) => *x as i64,
+        Value::I64(x) => *x,
+        Value::U8(x) => *x as i64,
+        Value::U16(x) => *x as i64,
+        Value::U32(x) => *x as i64,
+        Value::U64(x) => i64::try_from(*x).ok()?,
+        _ => return None,
+    };
+    match ty {
+        ScalarType::I8 => i8::try_from(as_i).ok().map(Value::I8),
+        ScalarType::I16 => i16::try_from(as_i).ok().map(Value::I16),
+        ScalarType::I32 => i32::try_from(as_i).ok().map(Value::I32),
+        ScalarType::I64 => Some(Value::I64(as_i)),
+        ScalarType::U8 => u8::try_from(as_i).ok().map(Value::U8),
+        ScalarType::U16 => u16::try_from(as_i).ok().map(Value::U16),
+        ScalarType::U32 => u32::try_from(as_i).ok().map(Value::U32),
+        ScalarType::U64 => u64::try_from(as_i).ok().map(Value::U64),
+        // Integer literal against a float column is exact in f64 for
+        // anything the PFOR scale trick can represent.
+        ScalarType::F64 => Some(Value::F64(as_i as f64)),
+        _ => None,
+    }
+}
+
+/// Re-`And` the conjuncts not consumed by the pushdown.
+fn rebuild_residual(conj: &[Expr], used: &[usize]) -> Option<Expr> {
+    let mut it = conj
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used.contains(i))
+        .map(|(_, e)| e.clone());
+    let first = it.next()?;
+    Some(it.fold(first, |acc, e| Expr::And(Box::new(acc), Box::new(e))))
 }
 
 /// Resolve a `Scan`'s table and optional summary-index prune range.

@@ -33,6 +33,12 @@ pub struct ExecOptions {
     pub compound_primitives: bool,
     /// Select primitive code shape (Fig. 2).
     pub select_strategy: SelectStrategy,
+    /// Fuse `Select` over a `Scan` of a checkpoint-compressed column
+    /// into a compressed-execution path: the predicate is evaluated in
+    /// encoded space over the packed lanes (or rewritten against the
+    /// dictionary) and only surviving positions are ever decoded. Off
+    /// for ablation (decode-then-select).
+    pub compressed_pushdown: bool,
     /// Worker threads for morsel-driven parallel execution. `1` (the
     /// default) runs the unchanged single-threaded pipeline; `> 1`
     /// parallelizes aggregation-rooted scan pipelines (other plan
@@ -75,6 +81,7 @@ impl Default for ExecOptions {
             profile: false,
             compound_primitives: true,
             select_strategy: SelectStrategy::Branch,
+            compressed_pushdown: true,
             threads: 1,
             morsel_size: DEFAULT_MORSEL_SIZE,
             join_cache_budget: DEFAULT_JOIN_CACHE_BUDGET,
@@ -100,6 +107,13 @@ impl ExecOptions {
     /// Enable tracing.
     pub fn profiled(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Enable or disable compressed-execution predicate pushdown
+    /// (enabled by default; `false` forces decode-then-select).
+    pub fn with_compressed_pushdown(mut self, on: bool) -> Self {
+        self.compressed_pushdown = on;
         self
     }
 

@@ -501,10 +501,19 @@ fn compressed_scan_reports_counters_and_matches_plain() {
         "expected at least one column to compress: {verdicts:?}"
     );
     comp.register(t);
+    // Default options fuse the Select into the compressed scan: same
+    // rows, and the pushdown counter proves the encoded-space path ran.
     let (res, prof) = execute(&comp, &plan, &ExecOptions::default().profiled()).expect("comp");
     assert_eq!(res.row_strings(), base.row_strings());
-    // Decode-side counters: every scanned byte came from compressed
-    // chunks, and the ratio reflects the worst column.
+    assert!(prof.counter("pushdown_vectors").is_some());
+    // Ablate the pushdown to exercise the dense decode path and its
+    // counters: every scanned byte came from compressed chunks, and the
+    // ratio reflects the worst column.
+    let ablate = ExecOptions::default()
+        .profiled()
+        .with_compressed_pushdown(false);
+    let (res, prof) = execute(&comp, &plan, &ablate).expect("comp ablation");
+    assert_eq!(res.row_strings(), base.row_strings());
     let raw = prof.counter("scan_bytes_raw").expect("scan_bytes_raw");
     let cmp = prof
         .counter("scan_bytes_compressed")

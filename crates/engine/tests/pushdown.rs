@@ -1,0 +1,460 @@
+//! Compression-aware execution: fused `CompressedScanSelect` tests.
+//!
+//! Every test compares the fused encoded-space path against the
+//! decode-then-select ablation (`with_compressed_pushdown(false)`),
+//! which binds the exact operator pipeline previous releases ran — the
+//! two must be byte-identical in all circumstances: residual
+//! conjuncts, deletes, string predicates, parallel morsels, and torn
+//! chunk writes.
+
+use x100_engine::check_plan;
+use x100_engine::expr::*;
+use x100_engine::ops::OrdExp;
+use x100_engine::plan::Plan;
+use x100_engine::session::{execute, Database, ExecOptions};
+use x100_engine::AggExpr;
+use x100_storage::{ChunkFormat, ColumnData, Table, TableBuilder};
+use x100_vector::{ScalarType, Value};
+
+const N: i64 = 50_000;
+
+/// A fact table engineered so the chooser picks a different codec per
+/// column: `id` sorted → PFOR-DELTA, `k` narrow unsorted → PFOR,
+/// `grp` few wide values → PDICT, `tag` low-card strings → PDICT,
+/// `qty` → PFOR (scaled f64).
+fn fact_table() -> Table {
+    TableBuilder::new("fact")
+        .column("id", ColumnData::I64((0..N).collect()))
+        .column(
+            "k",
+            ColumnData::I64((0..N).map(|i| (i * 7) % 1000).collect()),
+        )
+        .column(
+            "grp",
+            ColumnData::I64(
+                (0..N)
+                    .map(|i| [1_000_000_007, 5, 123_456_789][(i % 3) as usize])
+                    .collect(),
+            ),
+        )
+        .column("tag", {
+            let mut c = ColumnData::new(ScalarType::Str);
+            for i in 0..N {
+                let s = ["alpha", "beta", "gamma", "delta"][(i % 4) as usize];
+                c.push_value(&Value::Str(s.into()));
+            }
+            c
+        })
+        .column(
+            "qty",
+            ColumnData::F64((0..N).map(|i| (i % 9973) as f64 * 0.25).collect()),
+        )
+        .build()
+}
+
+fn fact_db() -> Database {
+    let mut t = fact_table();
+    let verdicts = t.checkpoint();
+    let fmt = |name: &str| {
+        verdicts
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, f, _)| *f)
+            .unwrap()
+    };
+    assert_eq!(fmt("id"), ChunkFormat::PforDelta, "{verdicts:?}");
+    assert_eq!(fmt("k"), ChunkFormat::Pfor, "{verdicts:?}");
+    assert_eq!(fmt("grp"), ChunkFormat::Pdict, "{verdicts:?}");
+    assert_eq!(fmt("tag"), ChunkFormat::Pdict, "{verdicts:?}");
+    assert_eq!(fmt("qty"), ChunkFormat::Pfor, "{verdicts:?}");
+    let mut db = Database::new();
+    db.register(t);
+    db
+}
+
+fn fused() -> ExecOptions {
+    ExecOptions::default().profiled()
+}
+
+fn ablated() -> ExecOptions {
+    ExecOptions::default()
+        .profiled()
+        .with_compressed_pushdown(false)
+}
+
+/// Run `plan` fused and ablated; assert identical rows and that the
+/// fused run actually took the pushdown path. Returns the fused
+/// profiler for extra counter assertions.
+fn assert_fused_matches(db: &Database, plan: &Plan) -> x100_engine::Profiler {
+    let (want, ap) = execute(db, plan, &ablated()).expect("ablated");
+    assert!(ap.counter("pushdown_vectors").is_none(), "ablation pushed");
+    let (got, fp) = execute(db, plan, &fused()).expect("fused");
+    assert_eq!(want.row_strings(), got.row_strings());
+    assert!(
+        fp.counter("pushdown_vectors").unwrap_or(0) > 0,
+        "no pushdown"
+    );
+    fp
+}
+
+#[test]
+fn pfor_predicates_match_ablation_per_operator() {
+    let db = fact_db();
+    let preds = [
+        lt(col("k"), lit_i64(100)),
+        le(col("k"), lit_i64(99)),
+        gt(col("k"), lit_i64(900)),
+        ge(col("k"), lit_i64(901)),
+        eq(col("k"), lit_i64(7)),
+        // Literal-on-the-left normalizes by flipping the operator.
+        gt(lit_i64(50), col("k")),
+    ];
+    for pred in preds {
+        let plan = Plan::scan("fact", &["id", "k", "qty"]).select(pred.clone());
+        let prof = assert_fused_matches(&db, &plan);
+        // Lazy materialization: skipped values were never decoded.
+        assert!(
+            prof.counter("decode_skipped_values").unwrap_or(0) > 0,
+            "{pred:?}"
+        );
+    }
+}
+
+#[test]
+fn ge_le_conjunction_fuses_as_one_between() {
+    let db = fact_db();
+    let plan = Plan::scan("fact", &["id", "k"])
+        .select(and(ge(col("k"), lit_i64(200)), le(col("k"), lit_i64(250))));
+    let prof = assert_fused_matches(&db, &plan);
+    assert!(
+        prof.primitive("cmp_pfor_between_i64_col_val_val").is_some(),
+        "range pair should collapse into a single encoded Between"
+    );
+}
+
+#[test]
+fn pdict_predicates_rewrite_once_over_the_dictionary() {
+    let db = fact_db();
+    for pred in [
+        eq(col("tag"), lit_str("beta")),
+        ne(col("tag"), lit_str("gamma")),
+        lt(col("grp"), lit_i64(1_000_000)),
+        eq(col("grp"), lit_i64(123_456_789)),
+    ] {
+        let plan = Plan::scan("fact", &["id", "tag", "grp"]).select(pred);
+        let prof = assert_fused_matches(&db, &plan);
+        // The predicate collapsed to a code-set test at bind: exactly
+        // one dictionary evaluation per query, not one per vector.
+        assert_eq!(prof.counter("dict_predicate_rewrites"), Some(1));
+    }
+}
+
+#[test]
+fn string_range_predicates_only_exist_in_encoded_space() {
+    // The decode-then-select path supports only `=` / `!=` on strings;
+    // the dictionary rewrite evaluates any ordering once over the
+    // sorted dictionary, so `<` works — without ever touching a StrVec.
+    let db = fact_db();
+    let range = Plan::scan("fact", &["id", "tag"]).select(lt(col("tag"), lit_str("c")));
+    // `tag < "c"` keeps exactly {alpha, beta}; express that with two
+    // stacked `!=` selects the classic path can run.
+    let equiv = Plan::scan("fact", &["id", "tag"])
+        .select(ne(col("tag"), lit_str("gamma")))
+        .select(ne(col("tag"), lit_str("delta")));
+    let (want, _) = execute(&db, &equiv, &ablated()).expect("equiv");
+    let (got, prof) = execute(&db, &range, &fused()).expect("fused");
+    assert_eq!(want.row_strings(), got.row_strings());
+    assert_eq!(prof.counter("dict_predicate_rewrites"), Some(1));
+    // And the classic path indeed cannot run the range form.
+    assert!(execute(&db, &range, &ablated()).is_err());
+}
+
+#[test]
+fn int_literal_coerces_to_narrow_and_float_columns() {
+    let db = fact_db();
+    // `k` is I64 so this exercises same-type; `qty` is F64 and the
+    // I64 literal must coerce rather than falling back.
+    let plan = Plan::scan("fact", &["k", "qty"]).select(lt(col("qty"), lit_i64(10)));
+    assert_fused_matches(&db, &plan);
+}
+
+#[test]
+fn residual_conjuncts_run_as_a_select_above_the_fused_scan() {
+    let db = fact_db();
+    // `qty * 2 < k` is not pushable (expression over two columns); it
+    // must survive as a residual Select over compacted batches.
+    let plan = Plan::scan("fact", &["id", "k", "qty"]).select(and(
+        lt(col("k"), lit_i64(300)),
+        lt(
+            mul(col("qty"), lit_f64(2.0)),
+            cast(ScalarType::F64, col("k")),
+        ),
+    ));
+    assert_fused_matches(&db, &plan);
+}
+
+#[test]
+fn pushdown_under_aggregation_across_threads() {
+    let db = fact_db();
+    let plan = Plan::scan("fact", &["k", "grp", "qty"])
+        .select(lt(col("k"), lit_i64(100)))
+        .aggr(
+            vec![("grp", col("grp"))],
+            vec![AggExpr::sum("s", col("qty")), AggExpr::count("c")],
+        )
+        .order(vec![OrdExp::asc("grp")]);
+    let (want, _) = execute(&db, &plan, &ablated()).expect("ablated");
+    for threads in [1usize, 2, 4, 8] {
+        let (got, prof) = execute(&db, &plan, &fused().parallel(threads)).expect("fused");
+        assert_eq!(want.row_strings(), got.row_strings(), "threads={threads}");
+        assert!(
+            prof.counter("pushdown_vectors").unwrap_or(0) > 0,
+            "threads={threads} skipped the pushdown"
+        );
+    }
+}
+
+#[test]
+fn deletes_fold_into_the_encoded_selection() {
+    let mut t = fact_table();
+    t.checkpoint();
+    // Delete a mix of rows that would and would not pass `k < 100`.
+    for r in (0..N as u32).step_by(17) {
+        assert!(t.delete(r));
+    }
+    let mut db = Database::new();
+    db.register(t);
+    let plan = Plan::scan("fact", &["id", "k", "tag"]).select(lt(col("k"), lit_i64(100)));
+    assert_fused_matches(&db, &plan);
+}
+
+#[test]
+fn delta_rows_disable_fusion_until_reorganize() {
+    let mut t = fact_table();
+    t.checkpoint();
+    t.insert(&[
+        Value::I64(N),
+        Value::I64(42),
+        Value::I64(5),
+        Value::Str("beta".into()),
+        Value::F64(1.5),
+    ]);
+    let mut db = Database::new();
+    db.register(t);
+    let plan = Plan::scan("fact", &["id", "k"]).select(lt(col("k"), lit_i64(100)));
+    let (want, _) = execute(&db, &plan, &ablated()).expect("ablated");
+    let (got, prof) = execute(&db, &plan, &fused()).expect("fused opts");
+    assert_eq!(want.row_strings(), got.row_strings());
+    // Unfiltered delta rows must never leak: with pending inserts the
+    // binder declines to fuse.
+    assert!(prof.counter("pushdown_vectors").is_none());
+}
+
+#[test]
+fn checker_reports_the_fused_operator() {
+    let db = fact_db();
+    let plan = Plan::scan("fact", &["id", "k", "qty"]).select(and(
+        lt(col("k"), lit_i64(100)),
+        lt(
+            mul(col("qty"), lit_f64(2.0)),
+            cast(ScalarType::F64, col("k")),
+        ),
+    ));
+    let summary = check_plan(&db, &plan, &fused()).expect("checks");
+    let log = summary.render();
+    assert!(log.contains("CompressedScanSelect"), "{log}");
+    assert!(log.contains("cmp_pfor_lt_i64_col_val"), "{log}");
+    // The ablation checks (and binds) the classic Scan→Select shape.
+    let summary = check_plan(&db, &plan, &ablated()).expect("checks");
+    let log = summary.render();
+    assert!(!log.contains("CompressedScanSelect"), "{log}");
+}
+
+/// A star schema for the positional-join routing: the join-index
+/// `#rowId` column is sorted so the chooser PFOR-DELTA-encodes it, and
+/// the dimension's payload columns compress too, so `Fetch1Join`
+/// position reads go through the compressed sync-point seek path.
+mod star {
+    use super::*;
+
+    const ROWS: i64 = 30_000;
+    const DIM: u32 = 5_000;
+
+    fn facts() -> Table {
+        TableBuilder::new("facts")
+            // Sorted join index → PFOR-DELTA.
+            .column(
+                "fk",
+                ColumnData::U32((0..ROWS).map(|i| i as u32 / 6).collect()),
+            )
+            .column("v", ColumnData::I64((0..ROWS).map(|i| i % 311).collect()))
+            .build()
+    }
+
+    fn dim() -> Table {
+        TableBuilder::new("dim")
+            .column(
+                "val",
+                ColumnData::I64((0..DIM as i64).map(|c| c * 3 % 1009).collect()),
+            )
+            .column("name", {
+                let mut c = ColumnData::new(ScalarType::Str);
+                for i in 0..DIM {
+                    let s = ["red", "green", "blue", "cyan", "teal"][(i % 5) as usize];
+                    c.push_value(&Value::Str(s.into()));
+                }
+                c
+            })
+            .build()
+    }
+
+    fn star_db(checkpoint: bool) -> Database {
+        let (mut f, mut d) = (facts(), dim());
+        if checkpoint {
+            let vf = f.checkpoint();
+            assert!(
+                vf.iter()
+                    .any(|(n, fmt, _)| n == "fk" && *fmt == ChunkFormat::PforDelta),
+                "join index should PFOR-DELTA-encode: {vf:?}"
+            );
+            let vd = d.checkpoint();
+            assert!(
+                vd.iter().all(|(_, fmt, _)| *fmt != ChunkFormat::Raw),
+                "dimension columns should compress: {vd:?}"
+            );
+        }
+        let mut db = Database::new();
+        db.register(f);
+        db.register(d);
+        db
+    }
+
+    #[test]
+    fn fetch1join_gathers_from_compressed_chunks() {
+        let plan = Plan::scan("facts", &["fk", "v"]).fetch1(
+            "dim",
+            col("fk"),
+            &[("val", "val"), ("name", "name")],
+        );
+        let (want, _) = execute(&star_db(false), &plan, &fused()).expect("raw");
+        let (got, prof) = execute(&star_db(true), &plan, &fused()).expect("compressed");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("fetch_compressed_gathers").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn fetchnjoin_ranges_seek_from_sync_points() {
+        // Orders each own a contiguous [lo, lo+cnt) range of `dim`
+        // rows; the range fetch reads positionally via sync-point seek.
+        let mk = |checkpoint: bool| {
+            let t = TableBuilder::new("orders")
+                .column(
+                    "olo",
+                    ColumnData::U32((0..1000u32).map(|i| i * 5 % DIM).collect()),
+                )
+                .column(
+                    "ocnt",
+                    ColumnData::U32((0..1000u32).map(|i| i % 4).collect()),
+                )
+                .build();
+            let mut db = star_db(checkpoint);
+            db.register(t);
+            db
+        };
+        let plan = Plan::FetchNJoin {
+            input: Box::new(Plan::scan("orders", &["olo", "ocnt"])),
+            table: "dim".into(),
+            lo: col("olo"),
+            cnt: col("ocnt"),
+            fetch: vec![("val".into(), "val".into()), ("name".into(), "name".into())],
+        };
+        let (want, _) = execute(&mk(false), &plan, &fused()).expect("raw");
+        let (got, prof) = execute(&mk(true), &plan, &fused()).expect("compressed");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("fetch_compressed_gathers").unwrap_or(0) > 0);
+    }
+
+    /// Torn dimension chunk: the positional gather hits the checksum,
+    /// recovers from the raw fragment, and yields identical rows.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn torn_dimension_chunk_recovers_during_fetch() {
+        use x100_engine::FaultPlan;
+        use x100_storage::FaultState;
+        let plan = Plan::scan("facts", &["fk", "v"]).fetch1(
+            "dim",
+            col("fk"),
+            &[("val", "val"), ("name", "name")],
+        );
+        let (want, _) = execute(&star_db(false), &plan, &fused()).expect("raw");
+        let (mut f, mut d) = (facts(), dim());
+        f.checkpoint();
+        let fs = FaultState::new(FaultPlan::default().tear(0, 0, 7));
+        d.try_checkpoint(Some(&fs))
+            .expect("torn write appears to succeed");
+        assert_eq!(fs.injected(), 1);
+        let mut db = Database::new();
+        db.register(f);
+        db.register(d);
+        let (got, prof) = execute(&db, &plan, &fused()).expect("recovers");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("decode_recoveries").unwrap_or(0) > 0);
+    }
+}
+
+/// Torn-write fault mode end-to-end: a checkpoint whose compressed
+/// chunk is silently corrupted must surface through the per-chunk
+/// checksum and recover from the retained raw fragment — correct rows,
+/// never wrong ones, with the recovery visible in the profile.
+#[cfg(feature = "fault-inject")]
+mod torn {
+    use super::*;
+    use x100_engine::FaultPlan;
+    use x100_storage::FaultState;
+
+    fn torn_db(col: u32, chunk: u32, byte: u32) -> Database {
+        let mut t = fact_table();
+        let fs = FaultState::new(FaultPlan::default().tear(col, chunk, byte));
+        t.try_checkpoint(Some(&fs))
+            .expect("torn write appears to succeed");
+        assert_eq!(fs.injected(), 1);
+        let mut db = Database::new();
+        db.register(t);
+        db
+    }
+
+    #[test]
+    fn torn_predicate_column_recovers_with_correct_rows() {
+        let clean = fact_db();
+        let plan = Plan::scan("fact", &["id", "k", "tag"]).select(lt(col("k"), lit_i64(100)));
+        let (want, _) = execute(&clean, &plan, &ablated()).expect("clean");
+        // Column 1 is `k`, the pushdown target (one chunk at 50k rows).
+        let db = torn_db(1, 0, 13);
+        let (got, prof) = execute(&db, &plan, &fused()).expect("recovers");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("decode_recoveries").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn torn_payload_column_recovers_with_correct_rows() {
+        let clean = fact_db();
+        let plan = Plan::scan("fact", &["id", "k", "qty"]).select(lt(col("k"), lit_i64(100)));
+        let (want, _) = execute(&clean, &plan, &ablated()).expect("clean");
+        // Column 4 is `qty`, a lazily-decoded co-column.
+        let db = torn_db(4, 0, 21);
+        let (got, prof) = execute(&db, &plan, &fused()).expect("recovers");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("decode_recoveries").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn torn_chunk_on_dense_scan_recovers_too() {
+        let clean = fact_db();
+        let plan = Plan::scan("fact", &["id", "k", "qty"]);
+        let (want, _) = execute(&clean, &plan, &ablated()).expect("clean");
+        let db = torn_db(4, 0, 3);
+        let (got, prof) = execute(&db, &plan, &fused()).expect("recovers");
+        assert_eq!(want.row_strings(), got.row_strings());
+        assert!(prof.counter("decode_recoveries").unwrap_or(0) > 0);
+    }
+}

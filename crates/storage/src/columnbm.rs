@@ -113,6 +113,20 @@ impl std::fmt::Display for StorageFaultError {
 
 impl std::error::Error for StorageFaultError {}
 
+/// One torn write: after a checkpoint compresses column `col`, byte
+/// `byte` of chunk `chunk`'s payload is silently flipped. Unlike an
+/// erroring read, the write *appears* to succeed — the corruption is
+/// only caught by the per-chunk checksum on the next compressed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWrite {
+    /// Column id the torn write hits.
+    pub col: u32,
+    /// Chunk index within the column's compressed rewrite.
+    pub chunk: u32,
+    /// Payload byte offset to flip.
+    pub byte: u32,
+}
+
 /// One pinned fault: reads of chunk `(col, chunk)` fail their next
 /// `failures` attempts, then succeed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +162,9 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Chunks that fail a fixed number of times before succeeding.
     pub pinned: Vec<PinnedFault>,
+    /// Checkpoint writes that silently corrupt one payload byte (each
+    /// fires at most once; caught by checksum, not by the write path).
+    pub torn_writes: Vec<TornWrite>,
     /// Retry budget per chunk read before giving up with an error.
     pub max_retries: u32,
     /// Base backoff sleep in microseconds (doubles per attempt, capped
@@ -165,6 +182,7 @@ impl Default for FaultPlan {
             checkpoint_fault_rate: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
             pinned: Vec::new(),
+            torn_writes: Vec::new(),
             max_retries: 6,
             backoff_base_us: 20,
         }
@@ -215,6 +233,13 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Add a torn write: the next checkpoint of column `col` silently
+    /// flips payload byte `byte` of compressed chunk `chunk`.
+    pub fn tear(mut self, col: u32, chunk: u32, byte: u32) -> Self {
+        self.torn_writes.push(TornWrite { col, chunk, byte });
+        self
+    }
 }
 
 /// Per-query mutable injection state instantiated from a [`FaultPlan`].
@@ -227,6 +252,7 @@ pub struct FaultState {
     plan: FaultPlan,
     rng: AtomicU64,
     pinned_left: Mutex<Vec<PinnedFault>>,
+    torn_left: Mutex<Vec<TornWrite>>,
     retries: AtomicU64,
     injected: AtomicU64,
 }
@@ -237,6 +263,7 @@ impl FaultState {
         FaultState {
             rng: AtomicU64::new(plan.seed | 1),
             pinned_left: Mutex::new(plan.pinned.clone()),
+            torn_left: Mutex::new(plan.torn_writes.clone()),
             retries: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             plan,
@@ -256,6 +283,27 @@ impl FaultState {
     /// Total faults injected so far (each retry was preceded by one).
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Drain the torn writes planned for column `col`: each entry fires
+    /// at most once, when the checkpoint that rewrites the column
+    /// consumes it. Always empty without the `fault-inject` feature.
+    pub fn take_torn(&self, col: u32) -> Vec<TornWrite> {
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = col;
+            Vec::new()
+        }
+        #[cfg(feature = "fault-inject")]
+        {
+            let mut torn = self.torn_left.lock().unwrap_or_else(|e| e.into_inner());
+            let (hit, left) = torn.drain(..).partition(|t| t.col == col);
+            *torn = left;
+            if !hit.is_empty() {
+                self.injected.fetch_add(hit.len() as u64, Ordering::Relaxed);
+            }
+            hit
+        }
     }
 
     /// Decide whether this read attempt of `(col, chunk)` fails.
@@ -304,7 +352,7 @@ impl FaultState {
     #[cfg(not(feature = "fault-inject"))]
     fn should_fail(&self, _col: u32, _chunk: u32) -> bool {
         // Keep the state fields "live" for builds without the feature.
-        let _ = (&self.rng, &self.pinned_left);
+        let _ = (&self.rng, &self.pinned_left, &self.torn_left);
         false
     }
 

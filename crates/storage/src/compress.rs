@@ -13,7 +13,7 @@
 
 use crate::column::ColumnData;
 use x100_vector::compress as k;
-use x100_vector::{ScalarType, StrVec, Vector};
+use x100_vector::{ScalarType, StrVec, Value, Vector};
 
 /// Rows per compressed chunk. A multiple of the vector size and of
 /// [`k::DELTA_SYNC`], so vector refills decode aligned lanes.
@@ -62,6 +62,10 @@ pub struct ChunkHeader {
     pub format: ChunkFormat,
     /// Frame lane in bits (PFOR / PFOR-DELTA) or code width (PDICT).
     pub lane: u8,
+    /// 8-bit fold of the payload + exception + sync bytes, written when
+    /// the chunk is built and re-checked on every compressed read. A
+    /// mismatch means the body was torn after the header was written.
+    pub checksum: u8,
     /// Rows in this chunk.
     pub rows: u32,
     /// Decimal scale for f64 frames (0 = integer frames).
@@ -88,6 +92,7 @@ impl ChunkHeader {
             ChunkFormat::Pdict => 3,
         };
         b[2] = self.lane;
+        b[3] = self.checksum;
         b[4..8].copy_from_slice(&self.rows.to_le_bytes());
         b[8..12].copy_from_slice(&self.scale.to_le_bytes());
         b[12..20].copy_from_slice(&self.base.to_le_bytes());
@@ -115,6 +120,7 @@ impl ChunkHeader {
         Ok(ChunkHeader {
             format,
             lane: b[2],
+            checksum: b[3],
             rows: word32(4),
             scale: word32(8),
             base: u64::from_le_bytes(base),
@@ -185,6 +191,9 @@ pub struct DecodeCursor {
     chunk: usize,
     next_row: usize,
     carry: u64,
+    /// Last chunk whose checksum this cursor verified — sequential
+    /// scans pay the verification pass once per chunk, not per refill.
+    verified: Option<usize>,
 }
 
 /// Accounting of one `decode_range` call.
@@ -284,7 +293,8 @@ impl CompressedColumn {
     /// Decompress rows `[start, start + rows)` into `out` (cleared and
     /// refilled, mirroring `ColumnData::read_into`). `cursor` carries
     /// sequential decode state between refills; `scratch` is the reused
-    /// frame buffer the governor charges.
+    /// frame buffer the governor charges. Fails (typed upstream as
+    /// `Io`) when a chunk's stored checksum no longer matches its body.
     pub fn decode_range(
         &self,
         start: usize,
@@ -292,7 +302,7 @@ impl CompressedColumn {
         out: &mut Vector,
         cursor: &mut DecodeCursor,
         scratch: &mut Vec<u64>,
-    ) -> DecodeStats {
+    ) -> Result<DecodeStats, String> {
         assert!(start + rows <= self.rows, "decode_range beyond fragment");
         let mut stats = DecodeStats {
             comp_offset: u64::MAX,
@@ -315,13 +325,13 @@ impl CompressedColumn {
             let local = abs - ci * CHUNK_ROWS;
             let n = rows - done;
             let n = n.min(chunk.header.rows as usize - local);
-            self.decode_chunk(ci, local, n, done, out, cursor, scratch, &mut stats);
+            self.decode_chunk(ci, local, n, done, out, cursor, scratch, &mut stats)?;
             done += n;
         }
         if stats.comp_offset == u64::MAX {
             stats.comp_offset = 0;
         }
-        stats
+        Ok(stats)
     }
 
     /// Decode `n` rows of chunk `ci` starting at chunk-local `local`
@@ -337,7 +347,11 @@ impl CompressedColumn {
         cursor: &mut DecodeCursor,
         scratch: &mut Vec<u64>,
         stats: &mut DecodeStats,
-    ) {
+    ) -> Result<(), String> {
+        if cursor.verified != Some(ci) {
+            self.verify_chunk(ci)?;
+            cursor.verified = Some(ci);
+        }
         let chunk = &self.chunks[ci];
         let lane_bytes = (chunk.header.lane as u64) / 8;
         let mut touched = HEADER_BYTES as u64 + n as u64 * lane_bytes;
@@ -441,7 +455,784 @@ impl CompressedColumn {
         let off = self.chunk_offsets[ci] + HEADER_BYTES as u64 + local as u64 * lane_bytes;
         stats.comp_offset = stats.comp_offset.min(off);
         stats.comp_len += touched;
+        Ok(())
     }
+
+    /// Recompute chunk `ci`'s body checksum and compare with the header
+    /// copy. A mismatch means the chunk bytes were torn after the
+    /// header was written — the scan surfaces it as a typed `Io` error
+    /// and falls back to the retained raw fragment.
+    pub fn verify_chunk(&self, ci: usize) -> Result<(), String> {
+        let chunk = &self.chunks[ci];
+        let got = chunk_checksum(&chunk.body);
+        if got != chunk.header.checksum {
+            return Err(format!(
+                "chunk {ci} checksum mismatch: header 0x{:02x}, body 0x{got:02x} (torn write)",
+                chunk.header.checksum
+            ));
+        }
+        Ok(())
+    }
+
+    /// Flip one payload byte of chunk `ci` *without* touching the
+    /// header checksum — a torn write: the write "succeeded", the bytes
+    /// are wrong, and only checksum verification can tell. Fault
+    /// injection and tests only. Returns `false` when the chunk has no
+    /// payload byte at `at` (e.g. a constant lane-0 chunk).
+    pub fn corrupt_payload_byte(&mut self, ci: usize, at: usize) -> bool {
+        let Some(chunk) = self.chunks.get_mut(ci) else {
+            return false;
+        };
+        let payload = match &mut chunk.body {
+            ChunkBody::Pfor(c) => &mut c.payload,
+            ChunkBody::PforDelta(c) => &mut c.payload,
+            ChunkBody::Pdict(p) => p,
+        };
+        match payload.get_mut(at) {
+            Some(b) => {
+                *b ^= 0x40;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Compile `col ⟨op⟩ v` (or `col between v w`) into this column's
+    /// encoded space. Returns `None` when no encoded-space kernel
+    /// exists for the (format, type, op) triple — PFOR-DELTA columns
+    /// (prefix sums), `ne` over PFOR frames, `between` over dictionary
+    /// codes, or a constant whose type does not match the column — and
+    /// the caller falls back to decode-then-select.
+    ///
+    /// For PDICT this is where the dictionary-predicate rewrite
+    /// happens: the predicate is evaluated once over the sorted
+    /// dictionary and collapsed into a code-set test
+    /// ([`k::DictSel`]), so per-vector evaluation never touches the
+    /// dictionary values again — string predicates in particular never
+    /// materialize a `StrVec` until output.
+    pub fn compile_pushdown(&self, op: PushOp, v: &Value, w: Option<&Value>) -> Option<Pushdown> {
+        if v.scalar_type() != self.physical {
+            return None;
+        }
+        if op == PushOp::Between {
+            match w {
+                Some(w) if w.scalar_type() == self.physical => {}
+                _ => return None,
+            }
+        } else if w.is_some() {
+            return None;
+        }
+        let opn = op.name();
+        let ty = ty_name(self.physical);
+        match self.format {
+            ChunkFormat::Pfor => {
+                if op == PushOp::Ne || self.physical == ScalarType::Str {
+                    return None;
+                }
+                let sig = if op == PushOp::Between {
+                    format!("cmp_pfor_between_{ty}_col_val_val")
+                } else {
+                    format!("cmp_pfor_{opn}_{ty}_col_val")
+                };
+                Some(Pushdown {
+                    op,
+                    lo: v.clone(),
+                    hi: w.cloned(),
+                    dict: None,
+                    sig,
+                })
+            }
+            ChunkFormat::Pdict => {
+                if op == PushOp::Between {
+                    return None;
+                }
+                let dict = self.dict_predicate(op, v)?;
+                Some(Pushdown {
+                    op,
+                    lo: v.clone(),
+                    hi: None,
+                    dict: Some(dict),
+                    sig: format!("cmp_pdict_{opn}_{ty}_col_val"),
+                })
+            }
+            ChunkFormat::Raw | ChunkFormat::PforDelta => None,
+        }
+    }
+
+    /// The dictionary-predicate rewrite: evaluate `op v` over every
+    /// dictionary entry once and collapse the result.
+    fn dict_predicate(&self, op: PushOp, v: &Value) -> Option<k::DictSel> {
+        let dict = self.dict.as_ref()?;
+        macro_rules! pred {
+            ($d:expr, $x:expr) => {
+                match op {
+                    PushOp::Eq => $d == $x,
+                    PushOp::Ne => $d != $x,
+                    PushOp::Lt => $d < $x,
+                    PushOp::Le => $d <= $x,
+                    PushOp::Gt => $d > $x,
+                    PushOp::Ge => $d >= $x,
+                    PushOp::Between => false,
+                }
+            };
+        }
+        match (dict, v) {
+            (PdictValues::I32(d), Value::I32(x)) => {
+                Some(k::DictSel::from_pred(d.len(), |c| pred!(d[c], *x)))
+            }
+            (PdictValues::I64(d), Value::I64(x)) => {
+                Some(k::DictSel::from_pred(d.len(), |c| pred!(d[c], *x)))
+            }
+            (PdictValues::F64(d), Value::F64(x)) => {
+                Some(k::DictSel::from_pred(d.len(), |c| pred!(d[c], *x)))
+            }
+            (PdictValues::Str(d), Value::Str(x)) => Some(k::DictSel::from_pred(d.len(), |c| {
+                pred!(d.get(c), x.as_str())
+            })),
+            _ => None,
+        }
+    }
+
+    /// Evaluate a compiled pushdown over rows `[start, start + rows)`
+    /// entirely in encoded space: appends the *window-relative*
+    /// ascending positions (0 = row `start`) of qualifying rows to
+    /// `out` without decoding a single value. `_tmp` is kept for
+    /// call-site symmetry with `decode_positions`; `cursor` shares
+    /// checksum-verification state with `decode_range` /
+    /// `decode_positions`.
+    pub fn select_range(
+        &self,
+        p: &Pushdown,
+        start: usize,
+        rows: usize,
+        out: &mut Vec<u32>,
+        _tmp: &mut Vec<u32>,
+        cursor: &mut DecodeCursor,
+    ) -> Result<(), String> {
+        assert!(start + rows <= self.rows, "select_range beyond fragment");
+        let mut done = 0usize;
+        while done < rows {
+            let abs = start + done;
+            let ci = abs / CHUNK_ROWS;
+            let chunk = &self.chunks[ci];
+            let local = abs - ci * CHUNK_ROWS;
+            let n = (rows - done).min(chunk.header.rows as usize - local);
+            if cursor.verified != Some(ci) {
+                self.verify_chunk(ci)?;
+                cursor.verified = Some(ci);
+            }
+            let before = out.len();
+            match &chunk.body {
+                ChunkBody::Pfor(c) => pfor_chunk_select(p, c, local, n, out),
+                ChunkBody::Pdict(payload) => {
+                    let sel = p.dict.as_ref().expect("pdict pushdown carries a rewrite");
+                    k::pdict_select_codes(payload, self.dict_lane, local, n, sel, out);
+                }
+                ChunkBody::PforDelta(_) => {
+                    return Err("pushdown over PFOR-DELTA chunks is not supported".into());
+                }
+            }
+            // Chunk-relative → window-relative, adjusted in place over
+            // the freshly appended tail (no bounce buffer).
+            let rebase = done as i64 - local as i64;
+            if rebase != 0 {
+                for pos in &mut out[before..] {
+                    *pos = (*pos as i64 + rebase) as u32;
+                }
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Gather-decode the rows at window-relative positions `sel`
+    /// (ascending; 0 = row `start`) into `out`, compacted: `out[i]`
+    /// becomes row `start + sel[i]`. This is the lazy-materialization
+    /// half of a pushed-down selection — only surviving positions are
+    /// ever decoded, everything else is skipped while still packed.
+    pub fn decode_positions(
+        &self,
+        start: usize,
+        sel: &[u32],
+        out: &mut Vector,
+        tmp: &mut Vec<u32>,
+        cursor: &mut DecodeCursor,
+    ) -> Result<DecodeStats, String> {
+        let mut stats = DecodeStats {
+            comp_offset: u64::MAX,
+            ..DecodeStats::default()
+        };
+        if self.physical == ScalarType::Str {
+            out.clear();
+        } else {
+            out.resize_zeroed(sel.len());
+        }
+        let mut i = 0usize;
+        while i < sel.len() {
+            let ci = (start + sel[i] as usize) / CHUNK_ROWS;
+            tmp.clear();
+            let mut j = sel.len();
+            if (start + sel[j - 1] as usize) / CHUNK_ROWS == ci {
+                // Common case: the whole remaining selection lives in
+                // one chunk — rebase it with a single vectorizable add
+                // instead of dividing per position.
+                let d = start as i64 - (ci * CHUNK_ROWS) as i64;
+                tmp.extend(sel[i..].iter().map(|&p| (p as i64 + d) as u32));
+            } else {
+                j = i;
+                while j < sel.len() {
+                    let abs = start + sel[j] as usize;
+                    if abs / CHUNK_ROWS != ci {
+                        break;
+                    }
+                    tmp.push((abs - ci * CHUNK_ROWS) as u32);
+                    j += 1;
+                }
+            }
+            if cursor.verified != Some(ci) {
+                self.verify_chunk(ci)?;
+                cursor.verified = Some(ci);
+            }
+            let chunk = &self.chunks[ci];
+            match &chunk.body {
+                ChunkBody::Pfor(c) => {
+                    stats.exceptions += sel_exceptions(&c.exc_pos, tmp);
+                    macro_rules! arm {
+                        ($($variant:ident => $dec:path),+ $(,)?) => {
+                            match &mut *out {
+                                $(Vector::$variant(dst) => {
+                                    $dec(&mut dst[i..i + tmp.len()], c, tmp)
+                                })+
+                                other => {
+                                    return Err(format!(
+                                        "pfor decode_sel into {:?}",
+                                        other.scalar_type()
+                                    ));
+                                }
+                            }
+                        };
+                    }
+                    arm! {
+                        I8 => k::decode_sel_pfor_i8_col,
+                        I16 => k::decode_sel_pfor_i16_col,
+                        I32 => k::decode_sel_pfor_i32_col,
+                        I64 => k::decode_sel_pfor_i64_col,
+                        U8 => k::decode_sel_pfor_u8_col,
+                        U16 => k::decode_sel_pfor_u16_col,
+                        U32 => k::decode_sel_pfor_u32_col,
+                        U64 => k::decode_sel_pfor_u64_col,
+                        F64 => k::decode_sel_pfor_f64_col,
+                    }
+                }
+                ChunkBody::Pdict(payload) => {
+                    let dict = self.dict.as_ref().expect("pdict column has a dictionary");
+                    let lane = self.dict_lane;
+                    match (&mut *out, dict) {
+                        (Vector::I32(dst), PdictValues::I32(d)) => k::decode_sel_pdict_i32_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::I64(dst), PdictValues::I64(d)) => k::decode_sel_pdict_i64_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::F64(dst), PdictValues::F64(d)) => k::decode_sel_pdict_f64_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::Str(dst), PdictValues::Str(d)) => {
+                            k::decode_sel_pdict_str_col(dst, payload, lane, d, tmp)
+                        }
+                        (o, _) => {
+                            return Err(format!("pdict decode_sel into {:?}", o.scalar_type()));
+                        }
+                    }
+                }
+                ChunkBody::PforDelta(_) => {
+                    return Err("no selective decode over PFOR-DELTA chunks (prefix sums)".into());
+                }
+            }
+            let lane_bytes = (chunk.header.lane as u64) / 8;
+            stats.comp_len += HEADER_BYTES as u64 + tmp.len() as u64 * lane_bytes;
+            stats.comp_offset = stats.comp_offset.min(self.chunk_offsets[ci]);
+            i = j;
+        }
+        if stats.comp_offset == u64::MAX {
+            stats.comp_offset = 0;
+        }
+        Ok(stats)
+    }
+
+    /// Positional gather through the codec: decode row `rowids[i]`
+    /// (any order, duplicates allowed) into `out[i]`. Ascending
+    /// same-chunk runs batch through the `decode_sel` kernels;
+    /// PFOR-DELTA runs replay from the nearest sync carry — the
+    /// sync-point seek path that join-index position reads ride.
+    /// `cursor` only carries checksum-verification state here.
+    pub fn gather(
+        &self,
+        rowids: &[u32],
+        out: &mut Vector,
+        scratch: &mut Vec<u64>,
+        tmp: &mut Vec<u32>,
+        cursor: &mut DecodeCursor,
+    ) -> Result<(), String> {
+        if self.physical == ScalarType::Str {
+            out.clear();
+        } else {
+            out.resize_zeroed(rowids.len());
+        }
+        let mut i = 0usize;
+        while i < rowids.len() {
+            let ci = rowids[i] as usize / CHUNK_ROWS;
+            let is_delta = matches!(self.chunks[ci].body, ChunkBody::PforDelta(_));
+            tmp.clear();
+            tmp.push((rowids[i] as usize - ci * CHUNK_ROWS) as u32);
+            let mut j = i + 1;
+            while j < rowids.len() {
+                let abs = rowids[j] as usize;
+                if abs / CHUNK_ROWS != ci || abs <= rowids[j - 1] as usize {
+                    break;
+                }
+                // Bound the replay span so the delta scratch stays
+                // cache-resident even for scattered rowids.
+                if is_delta && abs - rowids[i] as usize >= 8192 {
+                    break;
+                }
+                tmp.push((abs - ci * CHUNK_ROWS) as u32);
+                j += 1;
+            }
+            if cursor.verified != Some(ci) {
+                self.verify_chunk(ci)?;
+                cursor.verified = Some(ci);
+            }
+            let chunk = &self.chunks[ci];
+            match &chunk.body {
+                ChunkBody::Pfor(c) => {
+                    macro_rules! arm {
+                        ($($variant:ident => $dec:path),+ $(,)?) => {
+                            match &mut *out {
+                                $(Vector::$variant(dst) => {
+                                    $dec(&mut dst[i..i + tmp.len()], c, tmp)
+                                })+
+                                other => {
+                                    return Err(format!(
+                                        "pfor gather into {:?}",
+                                        other.scalar_type()
+                                    ));
+                                }
+                            }
+                        };
+                    }
+                    arm! {
+                        I8 => k::decode_sel_pfor_i8_col,
+                        I16 => k::decode_sel_pfor_i16_col,
+                        I32 => k::decode_sel_pfor_i32_col,
+                        I64 => k::decode_sel_pfor_i64_col,
+                        U8 => k::decode_sel_pfor_u8_col,
+                        U16 => k::decode_sel_pfor_u16_col,
+                        U32 => k::decode_sel_pfor_u32_col,
+                        U64 => k::decode_sel_pfor_u64_col,
+                        F64 => k::decode_sel_pfor_f64_col,
+                    }
+                }
+                ChunkBody::PforDelta(c) => {
+                    // Seek: replay packed deltas from the sync carry
+                    // preceding the run, then pick the selected rows.
+                    let first = tmp[0] as usize;
+                    let last = tmp[tmp.len() - 1] as usize;
+                    let sk = first / k::DELTA_SYNC;
+                    let seek = sk * k::DELTA_SYNC;
+                    let carry = c.sync[sk];
+                    let span = last - first + 1;
+                    macro_rules! arm {
+                        ($($variant:ident : $t:ty => $dec:path),+ $(,)?) => {
+                            match &mut *out {
+                                $(Vector::$variant(dst) => {
+                                    let mut buf: Vec<$t> = vec![0 as $t; span];
+                                    let _ = $dec(&mut buf, c, seek, carry, first, scratch);
+                                    for (o, &p) in
+                                        dst[i..i + tmp.len()].iter_mut().zip(tmp.iter())
+                                    {
+                                        *o = buf[p as usize - first];
+                                    }
+                                })+
+                                other => {
+                                    return Err(format!(
+                                        "pfordelta gather into {:?}",
+                                        other.scalar_type()
+                                    ));
+                                }
+                            }
+                        };
+                    }
+                    arm! {
+                        I8: i8 => k::decompress_pfordelta_i8_col,
+                        I16: i16 => k::decompress_pfordelta_i16_col,
+                        I32: i32 => k::decompress_pfordelta_i32_col,
+                        I64: i64 => k::decompress_pfordelta_i64_col,
+                        U8: u8 => k::decompress_pfordelta_u8_col,
+                        U16: u16 => k::decompress_pfordelta_u16_col,
+                        U32: u32 => k::decompress_pfordelta_u32_col,
+                        U64: u64 => k::decompress_pfordelta_u64_col,
+                    }
+                }
+                ChunkBody::Pdict(payload) => {
+                    let dict = self.dict.as_ref().expect("pdict column has a dictionary");
+                    let lane = self.dict_lane;
+                    match (&mut *out, dict) {
+                        (Vector::I32(dst), PdictValues::I32(d)) => k::decode_sel_pdict_i32_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::I64(dst), PdictValues::I64(d)) => k::decode_sel_pdict_i64_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::F64(dst), PdictValues::F64(d)) => k::decode_sel_pdict_f64_col(
+                            &mut dst[i..i + tmp.len()],
+                            payload,
+                            lane,
+                            d,
+                            tmp,
+                        ),
+                        (Vector::Str(dst), PdictValues::Str(d)) => {
+                            k::decode_sel_pdict_str_col(dst, payload, lane, d, tmp)
+                        }
+                        (o, _) => {
+                            return Err(format!("pdict gather into {:?}", o.scalar_type()));
+                        }
+                    }
+                }
+            }
+            i += tmp.len();
+        }
+        Ok(())
+    }
+
+    /// The registered gather-decode signature the lazy materialization
+    /// runs (`decode_sel_*`), or `None` for formats without one.
+    pub fn decode_sel_sig(&self) -> Option<&'static str> {
+        macro_rules! sig {
+            ($codec:literal, $($t:ident => $n:literal),+ $(,)?) => {
+                match self.physical {
+                    $(ScalarType::$t => Some(concat!("decode_sel_", $codec, "_", $n, "_col")),)+
+                    _ => None,
+                }
+            };
+        }
+        match self.format {
+            ChunkFormat::Pfor => sig!(
+                "pfor",
+                I8 => "i8", I16 => "i16", I32 => "i32", I64 => "i64",
+                U8 => "u8", U16 => "u16", U32 => "u32", U64 => "u64",
+                F64 => "f64",
+            ),
+            ChunkFormat::Pdict => sig!(
+                "pdict",
+                I32 => "i32", I64 => "i64", F64 => "f64", Str => "str",
+            ),
+            ChunkFormat::Raw | ChunkFormat::PforDelta => None,
+        }
+    }
+}
+
+/// Comparison operator of a pushed-down predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Between,
+}
+
+impl PushOp {
+    /// Lowercase signature fragment (`eq`, `lt`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            PushOp::Eq => "eq",
+            PushOp::Ne => "ne",
+            PushOp::Lt => "lt",
+            PushOp::Le => "le",
+            PushOp::Gt => "gt",
+            PushOp::Ge => "ge",
+            PushOp::Between => "between",
+        }
+    }
+}
+
+/// One predicate compiled into a compressed column's encoded space.
+/// For PFOR the constant is re-translated per chunk (base and scale are
+/// per-chunk properties); for PDICT the dictionary was already
+/// evaluated at compile time and collapsed into a code-set test.
+#[derive(Debug, Clone)]
+pub struct Pushdown {
+    op: PushOp,
+    lo: Value,
+    hi: Option<Value>,
+    dict: Option<k::DictSel>,
+    sig: String,
+}
+
+impl Pushdown {
+    /// The registered compare-primitive signature this pushdown runs —
+    /// `engine::check` verifies it like any compiled instruction.
+    pub fn sig(&self) -> &str {
+        &self.sig
+    }
+
+    /// True when this pushdown is a dictionary-predicate rewrite.
+    pub fn is_dict_rewrite(&self) -> bool {
+        self.dict.is_some()
+    }
+
+    /// The comparison this pushdown evaluates.
+    pub fn op(&self) -> PushOp {
+        self.op
+    }
+
+    /// The (lower) comparison constant, in value space.
+    pub fn lo(&self) -> &Value {
+        &self.lo
+    }
+
+    /// The upper bound of a `Between`, in value space.
+    pub fn hi(&self) -> Option<&Value> {
+        self.hi.as_ref()
+    }
+}
+
+/// Per-chunk PFOR dispatch: translate the typed constant into this
+/// chunk's encoded space and walk the packed lanes.
+fn pfor_chunk_select(p: &Pushdown, c: &k::PforChunk, local: usize, n: usize, out: &mut Vec<u32>) {
+    macro_rules! ops {
+        ($variant:ident, $v:expr, $eq:path, $lt:path, $le:path, $gt:path, $ge:path, $bt:path) => {
+            match p.op {
+                PushOp::Eq => $eq(c, local, n, $v, out),
+                PushOp::Lt => $lt(c, local, n, $v, out),
+                PushOp::Le => $le(c, local, n, $v, out),
+                PushOp::Gt => $gt(c, local, n, $v, out),
+                PushOp::Ge => $ge(c, local, n, $v, out),
+                PushOp::Between => match &p.hi {
+                    Some(Value::$variant(w)) => $bt(c, local, n, $v, *w, out),
+                    other => unreachable!("between upper bound {other:?}"),
+                },
+                PushOp::Ne => unreachable!("ne is not a PFOR pushdown"),
+            }
+        };
+    }
+    match &p.lo {
+        Value::I8(v) => ops!(
+            I8,
+            *v,
+            k::cmp_pfor_eq_i8_col_val,
+            k::cmp_pfor_lt_i8_col_val,
+            k::cmp_pfor_le_i8_col_val,
+            k::cmp_pfor_gt_i8_col_val,
+            k::cmp_pfor_ge_i8_col_val,
+            k::cmp_pfor_between_i8_col_val_val
+        ),
+        Value::I16(v) => ops!(
+            I16,
+            *v,
+            k::cmp_pfor_eq_i16_col_val,
+            k::cmp_pfor_lt_i16_col_val,
+            k::cmp_pfor_le_i16_col_val,
+            k::cmp_pfor_gt_i16_col_val,
+            k::cmp_pfor_ge_i16_col_val,
+            k::cmp_pfor_between_i16_col_val_val
+        ),
+        Value::I32(v) => ops!(
+            I32,
+            *v,
+            k::cmp_pfor_eq_i32_col_val,
+            k::cmp_pfor_lt_i32_col_val,
+            k::cmp_pfor_le_i32_col_val,
+            k::cmp_pfor_gt_i32_col_val,
+            k::cmp_pfor_ge_i32_col_val,
+            k::cmp_pfor_between_i32_col_val_val
+        ),
+        Value::I64(v) => ops!(
+            I64,
+            *v,
+            k::cmp_pfor_eq_i64_col_val,
+            k::cmp_pfor_lt_i64_col_val,
+            k::cmp_pfor_le_i64_col_val,
+            k::cmp_pfor_gt_i64_col_val,
+            k::cmp_pfor_ge_i64_col_val,
+            k::cmp_pfor_between_i64_col_val_val
+        ),
+        Value::U8(v) => ops!(
+            U8,
+            *v,
+            k::cmp_pfor_eq_u8_col_val,
+            k::cmp_pfor_lt_u8_col_val,
+            k::cmp_pfor_le_u8_col_val,
+            k::cmp_pfor_gt_u8_col_val,
+            k::cmp_pfor_ge_u8_col_val,
+            k::cmp_pfor_between_u8_col_val_val
+        ),
+        Value::U16(v) => ops!(
+            U16,
+            *v,
+            k::cmp_pfor_eq_u16_col_val,
+            k::cmp_pfor_lt_u16_col_val,
+            k::cmp_pfor_le_u16_col_val,
+            k::cmp_pfor_gt_u16_col_val,
+            k::cmp_pfor_ge_u16_col_val,
+            k::cmp_pfor_between_u16_col_val_val
+        ),
+        Value::U32(v) => ops!(
+            U32,
+            *v,
+            k::cmp_pfor_eq_u32_col_val,
+            k::cmp_pfor_lt_u32_col_val,
+            k::cmp_pfor_le_u32_col_val,
+            k::cmp_pfor_gt_u32_col_val,
+            k::cmp_pfor_ge_u32_col_val,
+            k::cmp_pfor_between_u32_col_val_val
+        ),
+        Value::U64(v) => ops!(
+            U64,
+            *v,
+            k::cmp_pfor_eq_u64_col_val,
+            k::cmp_pfor_lt_u64_col_val,
+            k::cmp_pfor_le_u64_col_val,
+            k::cmp_pfor_gt_u64_col_val,
+            k::cmp_pfor_ge_u64_col_val,
+            k::cmp_pfor_between_u64_col_val_val
+        ),
+        Value::F64(v) => ops!(
+            F64,
+            *v,
+            k::cmp_pfor_eq_f64_col_val,
+            k::cmp_pfor_lt_f64_col_val,
+            k::cmp_pfor_le_f64_col_val,
+            k::cmp_pfor_gt_f64_col_val,
+            k::cmp_pfor_ge_f64_col_val,
+            k::cmp_pfor_between_f64_col_val_val
+        ),
+        other => unreachable!("pfor pushdown constant {other:?}"),
+    }
+}
+
+/// Lowercase type name used in primitive signatures.
+fn ty_name(t: ScalarType) -> &'static str {
+    match t {
+        ScalarType::I8 => "i8",
+        ScalarType::I16 => "i16",
+        ScalarType::I32 => "i32",
+        ScalarType::I64 => "i64",
+        ScalarType::U8 => "u8",
+        ScalarType::U16 => "u16",
+        ScalarType::U32 => "u32",
+        ScalarType::U64 => "u64",
+        ScalarType::F64 => "f64",
+        ScalarType::Str => "str",
+        ScalarType::Bool => "bool",
+    }
+}
+
+/// 8-bit fold of a byte block (torn-write detector, not crypto).
+///
+/// Folds eight bytes per step instead of one: a rotate/xor over 64-bit
+/// words with a byte-wise tail, reduced to 8 bits by xoring the lanes
+/// together. The whole pipeline is *linear* over GF(2) — rotates and
+/// xors never cancel an injected difference against the original data —
+/// so a single flipped bit anywhere in the block always flips the
+/// checksum, exactly the guarantee the torn-write fault plan exercises.
+/// Verification runs once per chunk per cursor, ahead of every decode
+/// path; the word-at-a-time fold keeps that fixed cost from dominating
+/// selective decodes that only touch a handful of rows per chunk.
+fn byte_fold(acc: u8, bytes: &[u8]) -> u8 {
+    // Four independent rotate/xor accumulators hide the serial
+    // dependency of a single fold chain; distinct rotations at the
+    // merge keep the combination linear but lane-position-sensitive.
+    let mut l = [acc as u64, 0u64, 0u64, 0u64];
+    let mut blocks = bytes.chunks_exact(32);
+    for blk in blocks.by_ref() {
+        for (j, ch) in blk.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(ch);
+            l[j] = l[j].rotate_left(7) ^ u64::from_le_bytes(b);
+        }
+    }
+    let mut w = l[0].rotate_left(31) ^ l[1].rotate_left(19) ^ l[2].rotate_left(9) ^ l[3];
+    for &b in blocks.remainder() {
+        w = w.rotate_left(7) ^ b as u64;
+    }
+    let f = w ^ (w >> 32);
+    let f = f ^ (f >> 16);
+    (f ^ (f >> 8)) as u8
+}
+
+fn pfor_checksum(c: &k::PforChunk) -> u8 {
+    let mut a = byte_fold(0xA5, &c.payload);
+    for &p in &c.exc_pos {
+        a = byte_fold(a, &p.to_le_bytes());
+    }
+    for &f in &c.exc_frames {
+        a = byte_fold(a, &f.to_le_bytes());
+    }
+    a
+}
+
+fn pfordelta_checksum(c: &k::PforDeltaChunk) -> u8 {
+    let mut a = byte_fold(0xA5, &c.payload);
+    for &p in &c.exc_pos {
+        a = byte_fold(a, &p.to_le_bytes());
+    }
+    for &f in &c.exc_frames {
+        a = byte_fold(a, &f.to_le_bytes());
+    }
+    for &s in &c.sync {
+        a = byte_fold(a, &s.to_le_bytes());
+    }
+    a
+}
+
+/// The checksum stored in a chunk's header: an 8-bit fold over every
+/// body block the decoder will touch.
+fn chunk_checksum(body: &ChunkBody) -> u8 {
+    match body {
+        ChunkBody::Pfor(c) => pfor_checksum(c),
+        ChunkBody::PforDelta(c) => pfordelta_checksum(c),
+        ChunkBody::Pdict(p) => byte_fold(0xA5, p),
+    }
+}
+
+/// Exact exception count among the gathered (ascending) positions.
+/// Iterates the (few) exceptions inside the selection's span and
+/// binary-searches each one, so the cost scales with the patch list,
+/// not with the number of selected positions.
+fn sel_exceptions(exc_pos: &[u32], sel: &[u32]) -> u64 {
+    let (Some(&first), Some(&last)) = (sel.first(), sel.last()) else {
+        return 0;
+    };
+    let lo = exc_pos.partition_point(|&p| p < first);
+    let hi = exc_pos.partition_point(|&p| p <= last);
+    exc_pos[lo..hi]
+        .iter()
+        .filter(|&&p| sel.binary_search(&p).is_ok())
+        .count() as u64
 }
 
 /// Exceptions falling in `[start, start + n)` of a sorted patch list.
@@ -539,6 +1330,7 @@ fn pfor_header(format: ChunkFormat, rows: usize, c: &k::PforChunk) -> ChunkHeade
     ChunkHeader {
         format,
         lane: c.lane as u8,
+        checksum: pfor_checksum(c),
         rows: rows as u32,
         scale: c.scale,
         base: c.base,
@@ -594,6 +1386,7 @@ fn pfordelta_chunks(data: &ColumnData) -> Option<Vec<CompressedChunk>> {
                         header: ChunkHeader {
                             format: ChunkFormat::PforDelta,
                             lane: c.lane as u8,
+                            checksum: pfordelta_checksum(&c),
                             rows: s.len() as u32,
                             scale: 0,
                             base: c.base,
@@ -642,7 +1435,7 @@ fn pdict_chunks(data: &ColumnData) -> Option<(Vec<CompressedChunk>, PdictValues,
                 .map(|s| {
                     let payload = $comp(s, &dict, lane).expect("dict covers the column");
                     CompressedChunk {
-                        header: pdict_header(s.len(), lane, payload.len()),
+                        header: pdict_header(s.len(), lane, &payload),
                         body: ChunkBody::Pdict(payload),
                     }
                 })
@@ -667,7 +1460,7 @@ fn pdict_chunks(data: &ColumnData) -> Option<(Vec<CompressedChunk>, PdictValues,
                     let payload =
                         k::compress_pdict_f64_col(s, &dict, lane).expect("dict covers the column");
                     CompressedChunk {
-                        header: pdict_header(s.len(), lane, payload.len()),
+                        header: pdict_header(s.len(), lane, &payload),
                         body: ChunkBody::Pdict(payload),
                     }
                 })
@@ -694,7 +1487,7 @@ fn pdict_chunks(data: &ColumnData) -> Option<(Vec<CompressedChunk>, PdictValues,
                 let payload =
                     k::compress_pdict_str_col(&slice, &dict, lane).expect("dict covers the column");
                 chunks.push(CompressedChunk {
-                    header: pdict_header(n, lane, payload.len()),
+                    header: pdict_header(n, lane, &payload),
                     body: ChunkBody::Pdict(payload),
                 });
                 start += n;
@@ -705,14 +1498,15 @@ fn pdict_chunks(data: &ColumnData) -> Option<(Vec<CompressedChunk>, PdictValues,
     }
 }
 
-fn pdict_header(rows: usize, lane: u32, payload_len: usize) -> ChunkHeader {
+fn pdict_header(rows: usize, lane: u32, payload: &[u8]) -> ChunkHeader {
     ChunkHeader {
         format: ChunkFormat::Pdict,
         lane: lane as u8,
+        checksum: byte_fold(0xA5, payload),
         rows: rows as u32,
         scale: 0,
         base: 0,
-        payload_bytes: payload_len as u32,
+        payload_bytes: payload.len() as u32,
         exceptions: 0,
         sync_points: 0,
     }
@@ -733,7 +1527,8 @@ mod tests {
         let mut at = 0usize;
         while at < data.len() {
             let n = (data.len() - at).min(1000);
-            col.decode_range(at, n, &mut out, &mut cursor, &mut scratch);
+            col.decode_range(at, n, &mut out, &mut cursor, &mut scratch)
+                .expect("checksum verifies");
             data.read_into(at, n, &mut want);
             assert_eq!(out, want, "window at {at}");
             at += n;
@@ -746,6 +1541,7 @@ mod tests {
         let h = ChunkHeader {
             format: ChunkFormat::PforDelta,
             lane: 16,
+            checksum: 0x5A,
             rows: 65536,
             scale: 100,
             base: 0xDEAD_BEEF,
@@ -804,9 +1600,11 @@ mod tests {
                 chunk: 1,
                 next_row: 12345,
                 carry: 999,
+                verified: None,
             };
             let n = 10.min(v.len() - start);
-            col.decode_range(start, n, &mut out, &mut cursor, &mut scratch);
+            col.decode_range(start, n, &mut out, &mut cursor, &mut scratch)
+                .expect("checksum verifies");
             assert_eq!(out.as_u64(), &v[start..start + n]);
         }
     }
@@ -877,10 +1675,254 @@ mod tests {
         let mut out = Vector::with_capacity(ScalarType::I64, 1024);
         let mut cursor = DecodeCursor::default();
         let mut scratch = Vec::new();
-        let stats = col.decode_range(66_000, 1024, &mut out, &mut cursor, &mut scratch);
+        let stats = col
+            .decode_range(66_000, 1024, &mut out, &mut cursor, &mut scratch)
+            .expect("checksum verifies");
         // Lane-8 frames: ~1 byte per row plus the header, far below raw.
         assert!(stats.comp_len >= 1024);
         assert!(stats.comp_len < 8 * 1024);
         assert!(stats.comp_offset > 0, "second chunk starts past the first");
+    }
+
+    #[test]
+    fn pushdown_pfor_matches_decode_then_select() {
+        let mut v: Vec<i64> = (0..150_000).map(|i| 50 + (i * 7) % 200).collect();
+        // Outliers become exception-patched slow-lane entries.
+        v[123] = 1_000_000;
+        v[70_000] = -5;
+        let data = ColumnData::I64(v.clone());
+        let col = compress_column_as(&data, ChunkFormat::Pfor).expect("applies");
+        type Pred = Box<dyn Fn(i64) -> bool>;
+        let cases: Vec<(PushOp, i64, Option<i64>, Pred)> = vec![
+            (PushOp::Eq, 57, None, Box::new(|x| x == 57)),
+            (PushOp::Lt, 60, None, Box::new(|x| x < 60)),
+            (PushOp::Le, 60, None, Box::new(|x| x <= 60)),
+            (PushOp::Gt, 240, None, Box::new(|x| x > 240)),
+            (PushOp::Ge, 240, None, Box::new(|x| x >= 240)),
+            (
+                PushOp::Between,
+                55,
+                Some(65),
+                Box::new(|x| (55..=65).contains(&x)),
+            ),
+        ];
+        for (op, lo, hi, f) in cases {
+            let w = hi.map(Value::I64);
+            let p = col
+                .compile_pushdown(op, &Value::I64(lo), w.as_ref())
+                .expect("pfor i64 pushdown compiles");
+            assert!(!p.is_dict_rewrite());
+            let mut cursor = DecodeCursor::default();
+            let mut tmp = Vec::new();
+            let mut at = 0usize;
+            while at < v.len() {
+                let n = (v.len() - at).min(1000);
+                let mut got = Vec::new();
+                col.select_range(&p, at, n, &mut got, &mut tmp, &mut cursor)
+                    .expect("checksum verifies");
+                let want: Vec<u32> = (0..n).filter(|&i| f(v[at + i])).map(|i| i as u32).collect();
+                assert_eq!(got, want, "{op:?} window at {at}");
+                let mut out = Vector::with_capacity(ScalarType::I64, 64);
+                col.decode_positions(at, &got, &mut out, &mut tmp, &mut cursor)
+                    .expect("checksum verifies");
+                let wantv: Vec<i64> = got.iter().map(|&i| v[at + i as usize]).collect();
+                assert_eq!(out.as_i64(), &wantv[..], "{op:?} values at {at}");
+                at += n;
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_pdict_str_never_decodes_unselected() {
+        let name = |i: usize| ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"][i % 5];
+        let mut s = StrVec::new();
+        for i in 0..70_000 {
+            s.push(name(i));
+        }
+        let col = compress_column_as(&ColumnData::Str(s), ChunkFormat::Pdict).expect("applies");
+        type Pred = Box<dyn Fn(&str) -> bool>;
+        let cases: Vec<(PushOp, Pred)> = vec![
+            (PushOp::Eq, Box::new(|x| x == "SHIP")),
+            (PushOp::Ne, Box::new(|x| x != "SHIP")),
+            (PushOp::Lt, Box::new(|x| x < "SHIP")),
+            (PushOp::Ge, Box::new(|x| x >= "SHIP")),
+        ];
+        for (op, f) in cases {
+            let p = col
+                .compile_pushdown(op, &Value::Str("SHIP".into()), None)
+                .expect("dict rewrite compiles");
+            assert!(p.is_dict_rewrite());
+            assert_eq!(p.sig(), format!("cmp_pdict_{}_str_col_val", op.name()));
+            let mut cursor = DecodeCursor::default();
+            let mut tmp = Vec::new();
+            let mut got = Vec::new();
+            // A window crossing the 65536-row chunk boundary.
+            col.select_range(&p, 64_000, 3_000, &mut got, &mut tmp, &mut cursor)
+                .expect("checksum verifies");
+            let want: Vec<u32> = (0..3_000)
+                .filter(|&i| f(name(64_000 + i)))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(got, want, "{op:?}");
+            let mut out = Vector::with_capacity(ScalarType::Str, 8);
+            col.decode_positions(64_000, &got, &mut out, &mut tmp, &mut cursor)
+                .expect("checksum verifies");
+            match &out {
+                Vector::Str(sv) => {
+                    assert_eq!(sv.len(), got.len());
+                    for (o, &i) in got.iter().enumerate() {
+                        assert_eq!(sv.get(o), name(64_000 + i as usize), "{op:?}");
+                    }
+                }
+                other => panic!("str gather into {:?}", other.scalar_type()),
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_rejects_unsupported_triples() {
+        let sorted: Vec<i64> = (0..100_000).collect();
+        let delta =
+            compress_column_as(&ColumnData::I64(sorted), ChunkFormat::PforDelta).expect("sorted");
+        assert!(
+            delta
+                .compile_pushdown(PushOp::Eq, &Value::I64(5), None)
+                .is_none(),
+            "prefix sums cannot be compared in place"
+        );
+        let v: Vec<i64> = (0..80_000).map(|i| i % 100).collect();
+        let pfor = compress_column_as(&ColumnData::I64(v.clone()), ChunkFormat::Pfor).expect("ok");
+        assert!(
+            pfor.compile_pushdown(PushOp::Ne, &Value::I64(5), None)
+                .is_none(),
+            "ne needs dictionary codes"
+        );
+        assert!(
+            pfor.compile_pushdown(PushOp::Eq, &Value::I32(5), None)
+                .is_none(),
+            "constant type must match the column"
+        );
+        assert!(
+            pfor.compile_pushdown(PushOp::Eq, &Value::I64(5), Some(&Value::I64(9)))
+                .is_none(),
+            "stray upper bound"
+        );
+        assert!(
+            pfor.compile_pushdown(PushOp::Between, &Value::I64(5), None)
+                .is_none(),
+            "missing upper bound"
+        );
+        let pdict = compress_column_as(&ColumnData::I64(v), ChunkFormat::Pdict).expect("ok");
+        assert!(
+            pdict
+                .compile_pushdown(PushOp::Between, &Value::I64(5), Some(&Value::I64(9)))
+                .is_none(),
+            "between stays a PFOR-frame rewrite"
+        );
+        assert!(
+            pdict
+                .compile_pushdown(PushOp::Ne, &Value::I64(5), None)
+                .is_some(),
+            "ne over codes is the PDICT-only op"
+        );
+    }
+
+    #[test]
+    fn checksum_detects_torn_write() {
+        let v: Vec<i64> = (0..150_000).map(|i| i % 100).collect();
+        let data = ColumnData::I64(v);
+        let mut col = compress_column_as(&data, ChunkFormat::Pfor).expect("applies");
+        assert!(col.verify_chunk(1).is_ok());
+        assert!(col.corrupt_payload_byte(1, 7), "chunk 1 has payload");
+        let err = col.verify_chunk(1).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let mut out = Vector::with_capacity(ScalarType::I64, 1024);
+        let mut scratch = Vec::new();
+        // The intact chunk still reads; any window touching the torn
+        // chunk refuses — wrong rows can never escape.
+        let mut cursor = DecodeCursor::default();
+        col.decode_range(0, 1000, &mut out, &mut cursor, &mut scratch)
+            .expect("chunk 0 is intact");
+        let mut cursor = DecodeCursor::default();
+        let err = col
+            .decode_range(66_000, 100, &mut out, &mut cursor, &mut scratch)
+            .unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let p = col
+            .compile_pushdown(PushOp::Ge, &Value::I64(50), None)
+            .expect("compiles");
+        let mut got = Vec::new();
+        let mut tmp = Vec::new();
+        let mut cursor = DecodeCursor::default();
+        assert!(col
+            .select_range(&p, 66_000, 100, &mut got, &mut tmp, &mut cursor)
+            .is_err());
+    }
+
+    #[test]
+    fn gather_seeks_all_formats() {
+        let mut scratch = Vec::new();
+        let mut tmp = Vec::new();
+        // PFOR-DELTA: the rowid-column shape — runs seek from sync
+        // carries, order and duplicates preserved.
+        let v: Vec<u64> = (0..200_000u64).map(|i| i * 3 / 2).collect();
+        let col =
+            compress_column_as(&ColumnData::U64(v.clone()), ChunkFormat::PforDelta).expect("ok");
+        let rowids: Vec<u32> = vec![5, 9, 70_000, 70_001, 65_535, 65_536, 199_999, 0, 0];
+        let mut out = Vector::with_capacity(ScalarType::U64, 16);
+        let mut cursor = DecodeCursor::default();
+        col.gather(&rowids, &mut out, &mut scratch, &mut tmp, &mut cursor)
+            .expect("checksum verifies");
+        let want: Vec<u64> = rowids.iter().map(|&r| v[r as usize]).collect();
+        assert_eq!(out.as_u64(), &want[..]);
+        // PFOR f64 goes through the selective decoder.
+        let f: Vec<f64> = (0..80_000).map(|i| (i % 5000) as f64 / 100.0).collect();
+        let col = compress_column_as(&ColumnData::F64(f.clone()), ChunkFormat::Pfor).expect("ok");
+        let rowids: Vec<u32> = vec![0, 4_999, 70_000, 3, 79_999];
+        let mut out = Vector::with_capacity(ScalarType::F64, 16);
+        let mut cursor = DecodeCursor::default();
+        col.gather(&rowids, &mut out, &mut scratch, &mut tmp, &mut cursor)
+            .expect("checksum verifies");
+        let want: Vec<f64> = rowids.iter().map(|&r| f[r as usize]).collect();
+        assert_eq!(out.as_f64(), &want[..]);
+        // PDICT strings gather by code.
+        let name = |i: usize| ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"][i % 5];
+        let mut s = StrVec::new();
+        for i in 0..70_000 {
+            s.push(name(i));
+        }
+        let col = compress_column_as(&ColumnData::Str(s), ChunkFormat::Pdict).expect("ok");
+        let rowids: Vec<u32> = vec![3, 69_999, 65_536, 1, 2];
+        let mut out = Vector::with_capacity(ScalarType::Str, 8);
+        let mut cursor = DecodeCursor::default();
+        col.gather(&rowids, &mut out, &mut scratch, &mut tmp, &mut cursor)
+            .expect("checksum verifies");
+        match &out {
+            Vector::Str(sv) => {
+                assert_eq!(sv.len(), rowids.len());
+                for (o, &r) in rowids.iter().enumerate() {
+                    assert_eq!(sv.get(o), name(r as usize));
+                }
+            }
+            other => panic!("str gather into {:?}", other.scalar_type()),
+        }
+    }
+
+    #[test]
+    fn decode_sel_sig_matches_format() {
+        let v: Vec<i64> = (0..80_000).map(|i| i % 100).collect();
+        let pfor = compress_column_as(&ColumnData::I64(v.clone()), ChunkFormat::Pfor).expect("ok");
+        assert_eq!(pfor.decode_sel_sig(), Some("decode_sel_pfor_i64_col"));
+        let pdict =
+            compress_column_as(&ColumnData::I64(v.clone()), ChunkFormat::Pdict).expect("ok");
+        assert_eq!(pdict.decode_sel_sig(), Some("decode_sel_pdict_i64_col"));
+        let sorted: Vec<i64> = (0..80_000).collect();
+        let delta =
+            compress_column_as(&ColumnData::I64(sorted), ChunkFormat::PforDelta).expect("ok");
+        assert_eq!(
+            delta.decode_sel_sig(),
+            None,
+            "prefix sums: no gather decode"
+        );
     }
 }

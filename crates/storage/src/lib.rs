@@ -29,11 +29,11 @@ pub mod table;
 pub use column::ColumnData;
 pub use columnbm::{
     BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultSite, FaultState, PinnedFault,
-    StorageFaultError, DEFAULT_CHUNK_BYTES,
+    StorageFaultError, TornWrite, DEFAULT_CHUNK_BYTES,
 };
 pub use compress::{
     choose_and_compress, compress_column_as, ChunkFormat, ChunkHeader, CompressedColumn,
-    DecodeCursor, DecodeStats, CHUNK_ROWS, HEADER_BYTES,
+    DecodeCursor, DecodeStats, PushOp, Pushdown, CHUNK_ROWS, HEADER_BYTES,
 };
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};

@@ -37,6 +37,13 @@ pub struct StoredColumn {
     /// Compressed rewrite of `data`, present after a checkpoint. Scans
     /// prefer it; it always covers exactly the fragment rows.
     compressed: Option<CompressedColumn>,
+    /// Monotonic fragment-data version; bumps when `data` is rebuilt
+    /// (reorganize). The fragment is immutable in between.
+    epoch: u64,
+    /// The `epoch` at which the codec chooser last ran. `Some(epoch)`
+    /// means the verdict in `compressed` (including `None` = stay raw)
+    /// is current, and `checkpoint()` skips the full format sweep.
+    codec_epoch: Option<u64>,
 }
 
 impl StoredColumn {
@@ -115,6 +122,8 @@ impl TableBuilder {
             dict: None,
             summary: None,
             compressed: None,
+            epoch: 0,
+            codec_epoch: None,
         });
         self
     }
@@ -139,6 +148,8 @@ impl TableBuilder {
             dict: Some(dict),
             summary: None,
             compressed: None,
+            epoch: 0,
+            codec_epoch: None,
         });
         self
     }
@@ -214,6 +225,7 @@ impl TableBuilder {
             frag_rows: rows,
             deletes: DeleteList::default(),
             inserts: InsertDelta::new(&types),
+            codec_sweeps: 0,
         }
     }
 }
@@ -226,6 +238,8 @@ pub struct Table {
     frag_rows: usize,
     deletes: DeleteList,
     inserts: InsertDelta,
+    /// Full format sweeps the codec chooser has run (cache misses).
+    codec_sweeps: u64,
 }
 
 impl Table {
@@ -442,17 +456,41 @@ impl Table {
         fault: Option<&FaultState>,
     ) -> Result<Vec<(String, ChunkFormat, u64)>, StorageFaultError> {
         let mut verdicts = Vec::with_capacity(self.columns.len());
+        let mut sweeps = 0u64;
         for (i, col) in self.columns.iter_mut().enumerate() {
-            if let Some(f) = fault {
-                f.check_site(FaultSite::CheckpointWrite, i as u32)?;
+            // Codec-decision cache: the fragment is immutable between
+            // reorganizations, so an unchanged epoch means the last
+            // verdict (including "stay raw") still holds — nothing is
+            // rewritten and the full format sweep is skipped.
+            if col.codec_epoch != Some(col.epoch) {
+                if let Some(f) = fault {
+                    f.check_site(FaultSite::CheckpointWrite, i as u32)?;
+                }
+                col.compressed = choose_and_compress(&col.data);
+                col.codec_epoch = Some(col.epoch);
+                sweeps += 1;
+                // Torn-write injection: the write "succeeded" but a
+                // payload byte is wrong. Nothing errors here — the
+                // per-chunk checksum catches it on the next read.
+                if let (Some(f), Some(c)) = (fault, col.compressed.as_mut()) {
+                    for t in f.take_torn(i as u32) {
+                        c.corrupt_payload_byte(t.chunk as usize, t.byte as usize);
+                    }
+                }
             }
-            col.compressed = choose_and_compress(&col.data);
             verdicts.push(match &col.compressed {
                 Some(c) => (col.field.name.clone(), c.format(), c.ratio_pct()),
                 None => (col.field.name.clone(), ChunkFormat::Raw, 100),
             });
         }
+        self.codec_sweeps += sweeps;
         Ok(verdicts)
+    }
+
+    /// Full format sweeps run so far — a second `checkpoint()` over an
+    /// unchanged table adds zero.
+    pub fn codec_sweeps(&self) -> u64 {
+        self.codec_sweeps
     }
 
     /// Reorganize when the deltas exceed `threshold` of the table
@@ -534,10 +572,12 @@ impl Table {
             // chooser over the merged fragment so the compressed chunks
             // track the data (the chooser may pick a different format
             // for the new value distribution, or fall back to raw).
-            let compressed = if was_compressed {
-                choose_and_compress(&data)
+            let epoch = old.epoch + 1;
+            let (compressed, codec_epoch) = if was_compressed {
+                self.codec_sweeps += 1;
+                (choose_and_compress(&data), Some(epoch))
             } else {
-                None
+                (None, None)
             };
             new_cols.push(StoredColumn {
                 field: old.field.clone(),
@@ -545,6 +585,8 @@ impl Table {
                 dict,
                 summary,
                 compressed,
+                epoch,
+                codec_epoch,
             });
         }
         self.frag_rows = live.len();
@@ -751,6 +793,37 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_caches_codec_decision_per_epoch() {
+        let mut t = TableBuilder::new("t")
+            .column("key", ColumnData::I64((0..100_000).collect()))
+            .column(
+                "price",
+                ColumnData::F64((0..100_000).map(|i| (i % 9000) as f64 / 100.0).collect()),
+            )
+            .build();
+        let first = t.checkpoint();
+        assert_eq!(t.codec_sweeps(), 2, "cold start sweeps every column");
+        // Unchanged fragments: the verdicts replay from the cache.
+        let second = t.checkpoint();
+        assert_eq!(t.codec_sweeps(), 2, "no fragment changed, no sweep");
+        assert_eq!(first, second);
+        assert!(t.column(0).compressed().is_some());
+        // Deltas alone don't invalidate (they live outside the
+        // fragments); a reorganize rebuilds the fragment and re-sweeps.
+        t.insert(&[Value::I64(100_000), Value::F64(1.0)]);
+        t.checkpoint();
+        assert_eq!(t.codec_sweeps(), 2, "delta rows don't bump the epoch");
+        t.reorganize();
+        assert_eq!(t.codec_sweeps(), 4, "reorganize re-ran the chooser");
+        t.checkpoint();
+        assert_eq!(t.codec_sweeps(), 4, "reorganize verdict is already cached");
+        assert_eq!(
+            t.column(0).compressed().expect("still compressed").rows(),
+            t.fragment_rows()
+        );
+    }
+
+    #[test]
     fn reorganize_preserves_checkpoint() {
         let mut t = small_table();
         t.checkpoint();
@@ -789,6 +862,43 @@ mod tests {
         let err = t.try_checkpoint(Some(&fs)).expect_err("always faults");
         assert_eq!(err.site, FaultSite::CheckpointWrite);
         assert_eq!(err.attempts, 3);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn torn_checkpoint_write_caught_by_checksum() {
+        use crate::columnbm::FaultPlan;
+        use crate::compress::DecodeCursor;
+        use x100_vector::Vector;
+        let mut t = TableBuilder::new("t")
+            .column(
+                "key",
+                ColumnData::I64((0..200_000).map(|i| i % 7000).collect()),
+            )
+            .build();
+        // The write itself succeeds — no error here, just silent damage.
+        let fs = FaultState::new(FaultPlan::default().tear(0, 1, 9));
+        t.try_checkpoint(Some(&fs))
+            .expect("torn writes don't error");
+        assert_eq!(fs.injected(), 1);
+        let c = t.column(0).compressed().expect("column compressed");
+        // An untouched chunk decodes fine; the torn one is refused with
+        // a checksum mismatch, so wrong rows can never escape.
+        let mut v = Vector::zeroed(ScalarType::I64, 0);
+        let mut cur = DecodeCursor::default();
+        let mut scratch = Vec::new();
+        c.decode_range(0, 1024, &mut v, &mut cur, &mut scratch)
+            .expect("chunk 0 is intact");
+        let err = c
+            .decode_range(65_536, 1024, &mut v, &mut cur, &mut scratch)
+            .expect_err("chunk 1 is torn");
+        assert!(err.contains("checksum mismatch"), "typed mismatch: {err}");
+        // The raw fragment is untouched: recovery reads stay correct.
+        t.read_logical(0, 65_536, 4, &mut v);
+        assert_eq!(
+            v.as_i64()[..4],
+            [65_536 % 7000, 65_537 % 7000, 65_538 % 7000, 65_539 % 7000]
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ fn assert_decode_matches(cc: &CompressedColumn, data: &ColumnData, sizes: &[usiz
     while at < rows {
         let n = sizes[k % sizes.len()].clamp(1, rows - at);
         k += 1;
-        cc.decode_range(at, n, &mut got, &mut cursor, &mut scratch);
+        cc.decode_range(at, n, &mut got, &mut cursor, &mut scratch)
+            .expect("decode");
         data.read_into(at, n, &mut want);
         prop_assert!(
             bits_eq(&got, &want),
@@ -276,7 +277,7 @@ proptest! {
         for (start, n) in seeks {
             let start = start % sorted.len();
             let n = n.min(sorted.len() - start).max(1);
-            cc.decode_range(start, n, &mut got, &mut cursor, &mut scratch);
+            cc.decode_range(start, n, &mut got, &mut cursor, &mut scratch).expect("decode");
             data.read_into(start, n, &mut want);
             prop_assert!(bits_eq(&got, &want), "seek mismatch at [{start}, {})", start + n);
         }
@@ -319,6 +320,271 @@ proptest! {
         let data = ColumnData::I64(values);
         if let Some(cc) = choose_and_compress(&data) {
             assert_decode_matches(&cc, &data, &sizes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoded-space predicate pushdown: `select_range` + `decode_positions`
+// must be observationally equivalent to decode-then-select, across
+// codec × type × predicate × selectivity — including all-exception
+// chunks and windowed refills that stride chunk boundaries.
+// ---------------------------------------------------------------------------
+
+use x100_storage::{PushOp, Pushdown};
+
+/// Native-comparison reference: filter the raw column over
+/// `[start, start + n)` exactly as a decode-then-select pipeline would,
+/// returning window-relative positions.
+fn ref_filter(data: &ColumnData, start: usize, n: usize, p: &Pushdown) -> Vec<u32> {
+    fn keep<T: PartialOrd + Copy>(x: T, lo: T, hi: Option<T>, op: PushOp) -> bool {
+        match op {
+            PushOp::Eq => x == lo,
+            PushOp::Ne => x != lo,
+            PushOp::Lt => x < lo,
+            PushOp::Le => x <= lo,
+            PushOp::Gt => x > lo,
+            PushOp::Ge => x >= lo,
+            PushOp::Between => x >= lo && hi.is_some_and(|h| x <= h),
+        }
+    }
+    macro_rules! f {
+        ($b:expr, $vv:ident) => {{
+            let lo = match p.lo() {
+                Value::$vv(x) => *x,
+                other => panic!("constant {other:?} on {} column", stringify!($vv)),
+            };
+            let hi = p.hi().map(|h| match h {
+                Value::$vv(x) => *x,
+                other => panic!("constant {other:?} on {} column", stringify!($vv)),
+            });
+            $b[start..start + n]
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| keep(x, lo, hi, p.op()))
+                .map(|(i, _)| i as u32)
+                .collect()
+        }};
+    }
+    match data {
+        ColumnData::I32(b) => f!(b, I32),
+        ColumnData::I64(b) => f!(b, I64),
+        ColumnData::F64(b) => f!(b, F64),
+        ColumnData::Str(b) => {
+            let lo = match p.lo() {
+                Value::Str(x) => x.as_str(),
+                other => panic!("constant {other:?} on Str column"),
+            };
+            (0..n)
+                .filter(|&i| keep(b.get(start + i), lo, None, p.op()))
+                .map(|i| i as u32)
+                .collect()
+        }
+        other => panic!("unexercised column type {:?}", other.scalar_type()),
+    }
+}
+
+/// Drive `select_range` in refills of the (cycled) `sizes` — sharing
+/// one cursor, exactly like a scan — and demand window-relative
+/// positions identical to the reference filter; then decode only the
+/// survivors via `decode_positions` and demand bit-identical values.
+fn assert_pushdown_matches(
+    cc: &CompressedColumn,
+    data: &ColumnData,
+    op: PushOp,
+    lo: &Value,
+    hi: Option<&Value>,
+    sizes: &[usize],
+) {
+    let Some(p) = cc.compile_pushdown(op, lo, hi) else {
+        return; // unsupported codec/op pair: binder falls back
+    };
+    let rows = data.len();
+    let mut cursor = DecodeCursor::default();
+    let (mut sel, mut tmp) = (Vec::new(), Vec::new());
+    let mut got = Vector::with_capacity(data.scalar_type(), 0);
+    let mut want = Vector::with_capacity(data.scalar_type(), 0);
+    let (mut at, mut k) = (0usize, 0usize);
+    while at < rows {
+        let n = sizes[k % sizes.len()].clamp(1, rows - at);
+        k += 1;
+        sel.clear();
+        cc.select_range(&p, at, n, &mut sel, &mut tmp, &mut cursor)
+            .expect("select_range");
+        let expect = ref_filter(data, at, n, &p);
+        prop_assert_eq!(
+            &sel,
+            &expect,
+            "pushdown {} diverged in window [{}, {})",
+            p.sig(),
+            at,
+            at + n
+        );
+        if cc.decode_sel_sig().is_some() && !sel.is_empty() {
+            cc.decode_positions(at, &sel, &mut got, &mut tmp, &mut cursor)
+                .expect("decode_positions");
+            data.read_into(at, n, &mut want);
+            let dense: Vec<Value> = sel.iter().map(|&i| want.get_value(i as usize)).collect();
+            let lazy: Vec<Value> = (0..got.len()).map(|i| got.get_value(i)).collect();
+            prop_assert_eq!(
+                lazy,
+                dense,
+                "lazy decode diverged in window [{}, {})",
+                at,
+                at + n
+            );
+        }
+        at += n;
+    }
+}
+
+/// Predicate operators each codec claims to support.
+const PFOR_OPS: [PushOp; 6] = [
+    PushOp::Eq,
+    PushOp::Lt,
+    PushOp::Le,
+    PushOp::Gt,
+    PushOp::Ge,
+    PushOp::Between,
+];
+const PDICT_OPS: [PushOp; 6] = [
+    PushOp::Eq,
+    PushOp::Ne,
+    PushOp::Lt,
+    PushOp::Le,
+    PushOp::Gt,
+    PushOp::Ge,
+];
+
+proptest! {
+    /// PFOR i64 pushdown with patched exceptions: each value is either
+    /// in-lane or an outlier, so chunks range from exception-free to
+    /// all-exception. Constants drawn from the data (plus the random
+    /// offset) sweep selectivity from ~0% to ~100%.
+    #[test]
+    fn pfor_pushdown_matches_decode_then_select(
+        values in prop::collection::vec(
+            (0i64..120, any::<bool>()).prop_map(|(v, wide)| {
+                if wide { v * 1_000_000_007 } else { v }
+            }),
+            1..400,
+        ),
+        op_i in 0usize..6,
+        lit_i in 0usize..400,
+        off in -2i64..3,
+        sizes in prop::collection::vec(1usize..90, 1..5),
+    ) {
+        let data = ColumnData::I64(values.clone());
+        let cc = compress_column_as(&data, ChunkFormat::Pfor).expect("pfor i64");
+        let lo = Value::I64(values[lit_i % values.len()] + off);
+        let hi = Value::I64(values[(lit_i + 7) % values.len()].max(values[lit_i % values.len()] + off));
+        assert_pushdown_matches(&cc, &data, PFOR_OPS[op_i], &lo, Some(&hi).filter(|_| PFOR_OPS[op_i] == PushOp::Between), &sizes);
+    }
+
+    /// Scaled-f64 PFOR: the encoded-space translation must honor the
+    /// scale trick; quarter steps keep every value representable.
+    #[test]
+    fn pfor_f64_pushdown_matches(
+        values in prop::collection::vec(-300i64..300, 1..300),
+        op_i in 0usize..6,
+        lit_i in 0usize..300,
+        sizes in prop::collection::vec(1usize..90, 1..5),
+    ) {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64 * 0.25).collect();
+        let data = ColumnData::F64(floats.clone());
+        let cc = compress_column_as(&data, ChunkFormat::Pfor).expect("pfor f64");
+        let lo = Value::F64(floats[lit_i % floats.len()]);
+        let hi = Value::F64(floats[(lit_i + 3) % floats.len()].max(floats[lit_i % floats.len()]));
+        assert_pushdown_matches(&cc, &data, PFOR_OPS[op_i], &lo, Some(&hi).filter(|_| PFOR_OPS[op_i] == PushOp::Between), &sizes);
+    }
+
+    /// PDICT pushdown evaluates the predicate once over the dictionary;
+    /// i64, f64, and string domains, any comparison operator.
+    #[test]
+    fn pdict_pushdown_matches_decode_then_select(
+        picks in prop::collection::vec(0usize..12, 1..300),
+        domain in prop::collection::vec(any::<i64>(), 12),
+        op_i in 0usize..6,
+        lit_i in 0usize..300,
+        sizes in prop::collection::vec(1usize..90, 1..5),
+    ) {
+        let op = PDICT_OPS[op_i];
+        let ints: Vec<i64> = picks.iter().map(|&p| domain[p]).collect();
+        let data = ColumnData::I64(ints.clone());
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality i64");
+        // In-dictionary and (likely) out-of-dictionary constants.
+        for lo in [Value::I64(ints[lit_i % ints.len()]), Value::I64(domain[0].wrapping_add(1))] {
+            assert_pushdown_matches(&cc, &data, op, &lo, None, &sizes);
+        }
+
+        let floats: Vec<f64> = picks.iter().map(|&p| (domain[p] % 1000) as f64 + 0.5).collect();
+        let data = ColumnData::F64(floats.clone());
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality f64");
+        let lo = Value::F64(floats[lit_i % floats.len()]);
+        assert_pushdown_matches(&cc, &data, op, &lo, None, &sizes);
+
+        let mut strs = x100_vector::StrVec::default();
+        for &p in &picks {
+            strs.push(&format!("tag-{}", domain[p] % 16));
+        }
+        let data = ColumnData::Str(strs);
+        let cc = compress_column_as(&data, ChunkFormat::Pdict).expect("low-cardinality str");
+        let lo = Value::Str(format!("tag-{}", domain[lit_i % 12] % 16));
+        assert_pushdown_matches(&cc, &data, op, &lo, None, &sizes);
+    }
+
+    /// `gather` (the positional sync-point seek path) agrees with the
+    /// raw column for arbitrary rowid sequences — ascending runs,
+    /// restarts, and duplicates — across every codec the chooser picks.
+    #[test]
+    fn gather_matches_raw_for_any_rowids(
+        values in prop::collection::vec(-5000i64..5000, 1..400),
+        sort in any::<bool>(),
+        rowids in prop::collection::vec(0usize..400, 1..200),
+    ) {
+        let mut values = values;
+        if sort {
+            values.sort_unstable();
+        }
+        let data = ColumnData::I64(values.clone());
+        if let Some(cc) = choose_and_compress(&data) {
+            let rowids: Vec<u32> = rowids.iter().map(|&r| (r % values.len()) as u32).collect();
+            let mut out = Vector::with_capacity(data.scalar_type(), 0);
+            let (mut scratch, mut tmp) = (Vec::new(), Vec::new());
+            let mut cursor = DecodeCursor::default();
+            cc.gather(&rowids, &mut out, &mut scratch, &mut tmp, &mut cursor).expect("gather");
+            let got = out.as_i64();
+            for (i, &r) in rowids.iter().enumerate() {
+                prop_assert_eq!(got[i], values[r as usize], "rowid {} at {}", r, i);
+            }
+        }
+    }
+
+    /// Codec capability matrix is exact: PFOR refuses `!=`, PDICT
+    /// refuses `Between`, PFOR-DELTA refuses all pushdowns, and a
+    /// mistyped constant never compiles.
+    #[test]
+    fn pushdown_capability_matrix(values in prop::collection::vec(0i64..100, 10..200)) {
+        let data = ColumnData::I64(values.clone());
+        let pfor = compress_column_as(&data, ChunkFormat::Pfor).expect("pfor");
+        prop_assert!(pfor.compile_pushdown(PushOp::Ne, &Value::I64(5), None).is_none());
+        prop_assert!(pfor.compile_pushdown(PushOp::Lt, &Value::I32(5), None).is_none());
+        prop_assert!(pfor.compile_pushdown(PushOp::Lt, &Value::I64(5), None).is_some());
+        prop_assert!(pfor
+            .compile_pushdown(PushOp::Between, &Value::I64(2), Some(&Value::I64(7)))
+            .is_some());
+        let pdict = compress_column_as(&data, ChunkFormat::Pdict).expect("pdict");
+        prop_assert!(pdict
+            .compile_pushdown(PushOp::Between, &Value::I64(2), Some(&Value::I64(7)))
+            .is_none());
+        prop_assert!(pdict.compile_pushdown(PushOp::Ne, &Value::I64(5), None).is_some());
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let delta = compress_column_as(&ColumnData::I64(sorted), ChunkFormat::PforDelta)
+            .expect("pfordelta");
+        for op in PFOR_OPS {
+            prop_assert!(delta.compile_pushdown(op, &Value::I64(5), Some(&Value::I64(9))).is_none());
+            prop_assert!(delta.compile_pushdown(op, &Value::I64(5), None).is_none());
         }
     }
 }

@@ -877,6 +877,929 @@ fn str_dict_search(dict: &StrVec, v: &str) -> Option<usize> {
     None
 }
 
+// ---------------------------------------------------------------------
+// Encoded-space selection and selective decode (compression-aware
+// execution)
+// ---------------------------------------------------------------------
+//
+// Pushdown half of the codec design: a comparison constant is
+// translated into the chunk's frame (or code) domain once, the packed
+// lanes are scanned *without* materializing values, and only the
+// surviving positions are ever decoded — by the gather-style
+// `decode_sel_*` kernels at the bottom of this section. Exceptions take
+// a patched slow lane: the merged walk substitutes each exception's
+// absolute payload at its position, so an all-exception chunk degrades
+// to decode-then-select cost, never to wrong answers.
+
+/// Merged single-pass selection over one PFOR window `[start, start+n)`:
+/// dense slots test their packed *relative* frame against `dense` (an
+/// inclusive range; `None` means no dense slot can match), exception
+/// slots test their absolute payload via `exc_test`. Matching
+/// *chunk-relative* positions append to `out` in ascending order.
+fn pfor_select_walk<FE: Fn(u64) -> bool + Copy>(
+    c: &PforChunk,
+    start: usize,
+    n: usize,
+    dense: Option<(u64, u64)>,
+    exc_test: FE,
+    out: &mut Vec<u32>,
+) {
+    let (rlo, rhi) = dense.unwrap_or((1, 0));
+    let (epos, efr) = exc_window(&c.exc_pos, &c.exc_frames, start, n);
+    if epos.is_empty() {
+        // No exceptions in the window: the selection is a pure range
+        // test over packed relative frames. Run it branch-free in the
+        // X100 style — unconditionally store the candidate position,
+        // advance the cursor by the predicate bit — so the loop speed
+        // is independent of selectivity and the compiler keeps the
+        // whole body in registers.
+        let Some((rlo, rhi)) = dense else { return };
+        // Blocks of 32 slots fold their predicate bits into one u32
+        // mask — the compare stays in the lane's *native* width so the
+        // auto-vectorizer can pack a full register of lanes per packed
+        // compare — and only the set bits pay for a position append. At
+        // the selectivities pushdown targets, most blocks drain in a
+        // couple of `trailing_zeros` steps.
+        out.reserve(n);
+        macro_rules! walk {
+            ($t:ty, $w:expr, $load:expr) => {{
+                let max = <$t>::MAX as u64;
+                if rlo <= max {
+                    let lo = rlo as $t;
+                    let sp = (rhi.min(max) - rlo) as $t;
+                    let bytes = &c.payload[start * $w..(start + n) * $w];
+                    let mut i = 0usize;
+                    let mut blocks = bytes.chunks_exact($w * 32);
+                    for blk in blocks.by_ref() {
+                        let mut mask = 0u32;
+                        for (j, ch) in blk.chunks_exact($w).enumerate() {
+                            let rel: $t = $load(ch);
+                            mask |= ((rel.wrapping_sub(lo) <= sp) as u32) << j;
+                        }
+                        while mask != 0 {
+                            let j = mask.trailing_zeros() as usize;
+                            out.push((start + i + j) as u32);
+                            mask &= mask - 1;
+                        }
+                        i += 32;
+                    }
+                    for (j, ch) in blocks.remainder().chunks_exact($w).enumerate() {
+                        let rel: $t = $load(ch);
+                        if rel.wrapping_sub(lo) <= sp {
+                            out.push((start + i + j) as u32);
+                        }
+                    }
+                }
+            }};
+        }
+        match c.lane {
+            0 => {
+                if rlo == 0 {
+                    out.extend((start..start + n).map(|p| p as u32));
+                }
+            }
+            8 => walk!(u8, 1, |ch: &[u8]| ch[0]),
+            16 => walk!(u16, 2, |ch: &[u8]| u16::from_le_bytes([ch[0], ch[1]])),
+            32 => walk!(u32, 4, |ch: &[u8]| {
+                u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]])
+            }),
+            _ => walk!(u64, 8, |ch: &[u8]| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(ch);
+                u64::from_le_bytes(w)
+            }),
+        }
+        return;
+    }
+    let mut exc = epos.iter().zip(efr.iter()).peekable();
+    let mut test = |i: usize, rel: u64, out: &mut Vec<u32>| {
+        let p = (start + i) as u32;
+        if let Some(&(&ep, &ef)) = exc.peek() {
+            if ep == p {
+                exc.next();
+                if exc_test(ef) {
+                    out.push(p);
+                }
+                return;
+            }
+        }
+        if rel >= rlo && rel <= rhi {
+            out.push(p);
+        }
+    };
+    match c.lane {
+        0 => {
+            for i in 0..n {
+                // lint: allow-index-loop (lane-0 slots carry no payload)
+                test(i, 0, out);
+            }
+        }
+        8 => {
+            for (i, &b) in c.payload[start..start + n].iter().enumerate() {
+                test(i, b as u64, out);
+            }
+        }
+        16 => {
+            let bytes = &c.payload[start * 2..(start + n) * 2];
+            for (i, ch) in bytes.chunks_exact(2).enumerate() {
+                test(i, u16::from_le_bytes([ch[0], ch[1]]) as u64, out);
+            }
+        }
+        32 => {
+            let bytes = &c.payload[start * 4..(start + n) * 4];
+            for (i, ch) in bytes.chunks_exact(4).enumerate() {
+                test(
+                    i,
+                    u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) as u64,
+                    out,
+                );
+            }
+        }
+        _ => {
+            let bytes = &c.payload[start * 8..(start + n) * 8];
+            for (i, ch) in bytes.chunks_exact(8).enumerate() {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(ch);
+                test(i, u64::from_le_bytes(w), out);
+            }
+        }
+    }
+}
+
+/// Inclusive absolute-frame-range selection over one integer PFOR
+/// window. Integer exceptions are stored as absolute frames, so dense
+/// slots and exceptions share one order-preserving domain; an empty
+/// range (`lo > hi`) matches nothing.
+pub fn pfor_select_frames(
+    c: &PforChunk,
+    start: usize,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<u32>,
+) {
+    if lo > hi {
+        return;
+    }
+    let dense = if hi < c.base {
+        None
+    } else {
+        Some((lo.max(c.base) - c.base, hi - c.base))
+    };
+    pfor_select_walk(c, start, n, dense, move |f| lo <= f && f <= hi, out);
+}
+
+/// Smallest scaled frame `k` with `(k as f64) / scale >= v` (or `> v`
+/// when `strict`). `v` must not be NaN. The rounded-multiply guess is
+/// corrected against the *exact* division expression the decoder's
+/// slow path uses (and that the encoder verified every dense frame
+/// against), so the boundary agrees with decode-then-select
+/// bit-for-bit; the correction walks a provably tiny plateau.
+fn f64_scaled_lower(v: f64, scale: f64, strict: bool) -> i64 {
+    let approx = (v * scale).floor();
+    if !approx.is_finite() {
+        return if v < 0.0 { i64::MIN } else { i64::MAX };
+    }
+    let mut k = approx.clamp(-9.3e18, 9.2e18) as i64;
+    let ok = |k: i64| {
+        let q = (k as f64) / scale;
+        if strict {
+            q > v
+        } else {
+            q >= v
+        }
+    };
+    let mut up = 0;
+    while up < 64 && !ok(k) && k < i64::MAX {
+        k += 1;
+        up += 1;
+    }
+    let mut down = 0;
+    while down < 64 && k > i64::MIN && ok(k - 1) {
+        k -= 1;
+        down += 1;
+    }
+    k
+}
+
+/// Scaled-frame-range selection over one f64 PFOR window. Dense slots
+/// compare in the scaled integer domain `[lo_k, hi_k]`; exceptions hold
+/// raw `f64::to_bits` payloads and are compared as floats.
+pub fn pfor_select_f64<FE: Fn(f64) -> bool + Copy>(
+    c: &PforChunk,
+    start: usize,
+    n: usize,
+    lo_k: i64,
+    hi_k: i64,
+    exc_test: FE,
+    out: &mut Vec<u32>,
+) {
+    let (lo, hi) = ((lo_k as u64) ^ SIGN, (hi_k as u64) ^ SIGN);
+    let dense = if lo_k > hi_k || hi < c.base {
+        None
+    } else {
+        Some((lo.max(c.base) - c.base, hi - c.base))
+    };
+    pfor_select_walk(
+        c,
+        start,
+        n,
+        dense,
+        move |bits| exc_test(f64::from_bits(bits)),
+        out,
+    );
+}
+
+macro_rules! cmp_pfor_int_instances {
+    ($( $ty:ty : $eq:ident / $lt:ident / $le:ident / $gt:ident / $ge:ident / $bt:ident );* $(;)?) => {
+        $(
+            /// Encoded-space `==` over one PFOR window (no unpack).
+            pub fn $eq(c: &PforChunk, start: usize, n: usize, v: $ty, out: &mut Vec<u32>) {
+                let f = v.to_frame();
+                pfor_select_frames(c, start, n, f, f, out);
+            }
+
+            /// Encoded-space `<` over one PFOR window.
+            pub fn $lt(c: &PforChunk, start: usize, n: usize, v: $ty, out: &mut Vec<u32>) {
+                if let Some(hi) = v.to_frame().checked_sub(1) {
+                    pfor_select_frames(c, start, n, 0, hi, out);
+                }
+            }
+
+            /// Encoded-space `<=` over one PFOR window.
+            pub fn $le(c: &PforChunk, start: usize, n: usize, v: $ty, out: &mut Vec<u32>) {
+                pfor_select_frames(c, start, n, 0, v.to_frame(), out);
+            }
+
+            /// Encoded-space `>` over one PFOR window.
+            pub fn $gt(c: &PforChunk, start: usize, n: usize, v: $ty, out: &mut Vec<u32>) {
+                if let Some(lo) = v.to_frame().checked_add(1) {
+                    pfor_select_frames(c, start, n, lo, u64::MAX, out);
+                }
+            }
+
+            /// Encoded-space `>=` over one PFOR window.
+            pub fn $ge(c: &PforChunk, start: usize, n: usize, v: $ty, out: &mut Vec<u32>) {
+                pfor_select_frames(c, start, n, v.to_frame(), u64::MAX, out);
+            }
+
+            /// Encoded-space inclusive `BETWEEN` over one PFOR window.
+            pub fn $bt(c: &PforChunk, start: usize, n: usize, v: $ty, w: $ty, out: &mut Vec<u32>) {
+                pfor_select_frames(c, start, n, v.to_frame(), w.to_frame(), out);
+            }
+        )*
+    };
+}
+
+cmp_pfor_int_instances! {
+    i8:  cmp_pfor_eq_i8_col_val / cmp_pfor_lt_i8_col_val / cmp_pfor_le_i8_col_val
+        / cmp_pfor_gt_i8_col_val / cmp_pfor_ge_i8_col_val / cmp_pfor_between_i8_col_val_val;
+    i16: cmp_pfor_eq_i16_col_val / cmp_pfor_lt_i16_col_val / cmp_pfor_le_i16_col_val
+        / cmp_pfor_gt_i16_col_val / cmp_pfor_ge_i16_col_val / cmp_pfor_between_i16_col_val_val;
+    i32: cmp_pfor_eq_i32_col_val / cmp_pfor_lt_i32_col_val / cmp_pfor_le_i32_col_val
+        / cmp_pfor_gt_i32_col_val / cmp_pfor_ge_i32_col_val / cmp_pfor_between_i32_col_val_val;
+    i64: cmp_pfor_eq_i64_col_val / cmp_pfor_lt_i64_col_val / cmp_pfor_le_i64_col_val
+        / cmp_pfor_gt_i64_col_val / cmp_pfor_ge_i64_col_val / cmp_pfor_between_i64_col_val_val;
+    u8:  cmp_pfor_eq_u8_col_val / cmp_pfor_lt_u8_col_val / cmp_pfor_le_u8_col_val
+        / cmp_pfor_gt_u8_col_val / cmp_pfor_ge_u8_col_val / cmp_pfor_between_u8_col_val_val;
+    u16: cmp_pfor_eq_u16_col_val / cmp_pfor_lt_u16_col_val / cmp_pfor_le_u16_col_val
+        / cmp_pfor_gt_u16_col_val / cmp_pfor_ge_u16_col_val / cmp_pfor_between_u16_col_val_val;
+    u32: cmp_pfor_eq_u32_col_val / cmp_pfor_lt_u32_col_val / cmp_pfor_le_u32_col_val
+        / cmp_pfor_gt_u32_col_val / cmp_pfor_ge_u32_col_val / cmp_pfor_between_u32_col_val_val;
+    u64: cmp_pfor_eq_u64_col_val / cmp_pfor_lt_u64_col_val / cmp_pfor_le_u64_col_val
+        / cmp_pfor_gt_u64_col_val / cmp_pfor_ge_u64_col_val / cmp_pfor_between_u64_col_val_val;
+}
+
+/// Encoded-space `==` over one scaled-f64 PFOR window: the constant
+/// translates to a (possibly empty) run of scaled frames; exceptions
+/// compare as floats from their raw bit patterns.
+pub fn cmp_pfor_eq_f64_col_val(c: &PforChunk, start: usize, n: usize, v: f64, out: &mut Vec<u32>) {
+    if v.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let lo = f64_scaled_lower(v, scale, false);
+    let hi = f64_scaled_lower(v, scale, true).saturating_sub(1);
+    pfor_select_f64(c, start, n, lo, hi, move |x| x == v, out);
+}
+
+/// Encoded-space `<` over one scaled-f64 PFOR window.
+pub fn cmp_pfor_lt_f64_col_val(c: &PforChunk, start: usize, n: usize, v: f64, out: &mut Vec<u32>) {
+    if v.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let hi = f64_scaled_lower(v, scale, false).saturating_sub(1);
+    pfor_select_f64(c, start, n, i64::MIN, hi, move |x| x < v, out);
+}
+
+/// Encoded-space `<=` over one scaled-f64 PFOR window.
+pub fn cmp_pfor_le_f64_col_val(c: &PforChunk, start: usize, n: usize, v: f64, out: &mut Vec<u32>) {
+    if v.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let hi = f64_scaled_lower(v, scale, true).saturating_sub(1);
+    pfor_select_f64(c, start, n, i64::MIN, hi, move |x| x <= v, out);
+}
+
+/// Encoded-space `>` over one scaled-f64 PFOR window.
+pub fn cmp_pfor_gt_f64_col_val(c: &PforChunk, start: usize, n: usize, v: f64, out: &mut Vec<u32>) {
+    if v.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let lo = f64_scaled_lower(v, scale, true);
+    pfor_select_f64(c, start, n, lo, i64::MAX, move |x| x > v, out);
+}
+
+/// Encoded-space `>=` over one scaled-f64 PFOR window.
+pub fn cmp_pfor_ge_f64_col_val(c: &PforChunk, start: usize, n: usize, v: f64, out: &mut Vec<u32>) {
+    if v.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let lo = f64_scaled_lower(v, scale, false);
+    pfor_select_f64(c, start, n, lo, i64::MAX, move |x| x >= v, out);
+}
+
+/// Encoded-space inclusive `BETWEEN` over one scaled-f64 PFOR window.
+pub fn cmp_pfor_between_f64_col_val_val(
+    c: &PforChunk,
+    start: usize,
+    n: usize,
+    v: f64,
+    w: f64,
+    out: &mut Vec<u32>,
+) {
+    if v.is_nan() || w.is_nan() {
+        return;
+    }
+    let scale = c.scale.max(1) as f64;
+    let lo = f64_scaled_lower(v, scale, false);
+    let hi = f64_scaled_lower(w, scale, true).saturating_sub(1);
+    pfor_select_f64(c, start, n, lo, hi, move |x| v <= x && x <= w, out);
+}
+
+/// Catalog of the encoded-space PFOR selection kernels (registry +
+/// `cargo xtask lint` rule 5).
+pub const CMP_PFOR_SIGNATURES: &[&str] = &[
+    "cmp_pfor_eq_i8_col_val",
+    "cmp_pfor_lt_i8_col_val",
+    "cmp_pfor_le_i8_col_val",
+    "cmp_pfor_gt_i8_col_val",
+    "cmp_pfor_ge_i8_col_val",
+    "cmp_pfor_between_i8_col_val_val",
+    "cmp_pfor_eq_i16_col_val",
+    "cmp_pfor_lt_i16_col_val",
+    "cmp_pfor_le_i16_col_val",
+    "cmp_pfor_gt_i16_col_val",
+    "cmp_pfor_ge_i16_col_val",
+    "cmp_pfor_between_i16_col_val_val",
+    "cmp_pfor_eq_i32_col_val",
+    "cmp_pfor_lt_i32_col_val",
+    "cmp_pfor_le_i32_col_val",
+    "cmp_pfor_gt_i32_col_val",
+    "cmp_pfor_ge_i32_col_val",
+    "cmp_pfor_between_i32_col_val_val",
+    "cmp_pfor_eq_i64_col_val",
+    "cmp_pfor_lt_i64_col_val",
+    "cmp_pfor_le_i64_col_val",
+    "cmp_pfor_gt_i64_col_val",
+    "cmp_pfor_ge_i64_col_val",
+    "cmp_pfor_between_i64_col_val_val",
+    "cmp_pfor_eq_u8_col_val",
+    "cmp_pfor_lt_u8_col_val",
+    "cmp_pfor_le_u8_col_val",
+    "cmp_pfor_gt_u8_col_val",
+    "cmp_pfor_ge_u8_col_val",
+    "cmp_pfor_between_u8_col_val_val",
+    "cmp_pfor_eq_u16_col_val",
+    "cmp_pfor_lt_u16_col_val",
+    "cmp_pfor_le_u16_col_val",
+    "cmp_pfor_gt_u16_col_val",
+    "cmp_pfor_ge_u16_col_val",
+    "cmp_pfor_between_u16_col_val_val",
+    "cmp_pfor_eq_u32_col_val",
+    "cmp_pfor_lt_u32_col_val",
+    "cmp_pfor_le_u32_col_val",
+    "cmp_pfor_gt_u32_col_val",
+    "cmp_pfor_ge_u32_col_val",
+    "cmp_pfor_between_u32_col_val_val",
+    "cmp_pfor_eq_u64_col_val",
+    "cmp_pfor_lt_u64_col_val",
+    "cmp_pfor_le_u64_col_val",
+    "cmp_pfor_gt_u64_col_val",
+    "cmp_pfor_ge_u64_col_val",
+    "cmp_pfor_between_u64_col_val_val",
+    "cmp_pfor_eq_f64_col_val",
+    "cmp_pfor_lt_f64_col_val",
+    "cmp_pfor_le_f64_col_val",
+    "cmp_pfor_gt_f64_col_val",
+    "cmp_pfor_ge_f64_col_val",
+    "cmp_pfor_between_f64_col_val_val",
+];
+
+// -- PDICT predicate rewriting ----------------------------------------
+
+/// A predicate rewritten into dictionary-code space: the predicate is
+/// evaluated once over the (sorted) dictionary and each chunk then only
+/// tests packed codes — values, and in particular strings, are never
+/// materialized until output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictSel {
+    /// No dictionary code satisfies the predicate.
+    None,
+    /// Every code satisfies it.
+    All,
+    /// Exactly the codes `lo..=hi` satisfy it (range predicates over a
+    /// sorted dictionary are contiguous in code space).
+    Range(u32, u32),
+    /// Arbitrary code set, one bit per code.
+    Mask(Vec<u64>),
+}
+
+impl DictSel {
+    /// Evaluate `pred` over every code and collapse to the cheapest
+    /// representation (`None`/`All`/contiguous range/bitset).
+    pub fn from_pred(len: usize, pred: impl Fn(usize) -> bool) -> DictSel {
+        let mut first = usize::MAX;
+        let mut last = 0usize;
+        let mut count = 0usize;
+        for c in 0..len {
+            // lint: allow-index-loop (predicate is over code space itself)
+            if pred(c) {
+                if first == usize::MAX {
+                    first = c;
+                }
+                last = c;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return DictSel::None;
+        }
+        if count == len {
+            return DictSel::All;
+        }
+        if count == last - first + 1 {
+            return DictSel::Range(first as u32, last as u32);
+        }
+        let mut mask = vec![0u64; len.div_ceil(64)];
+        for c in 0..len {
+            // lint: allow-index-loop (bitset build over code space)
+            if pred(c) {
+                mask[c / 64] |= 1 << (c % 64);
+            }
+        }
+        DictSel::Mask(mask)
+    }
+
+    /// Does `code` satisfy the rewritten predicate?
+    #[inline(always)]
+    pub fn matches(&self, code: u64) -> bool {
+        match self {
+            DictSel::None => false,
+            DictSel::All => true,
+            DictSel::Range(lo, hi) => *lo as u64 <= code && code <= *hi as u64,
+            DictSel::Mask(m) => m
+                .get((code / 64) as usize)
+                .is_some_and(|w| (w >> (code % 64)) & 1 == 1),
+        }
+    }
+}
+
+/// Selection over one PDICT window `[start, start+n)`: tests each
+/// packed code against the rewritten predicate, appending matching
+/// chunk-relative positions in ascending order.
+pub fn pdict_select_codes(
+    payload: &[u8],
+    lane: u32,
+    start: usize,
+    n: usize,
+    sel: &DictSel,
+    out: &mut Vec<u32>,
+) {
+    match sel {
+        DictSel::None => {}
+        DictSel::All => out.extend(start as u32..(start + n) as u32),
+        DictSel::Range(lo, hi) => code_range_walk(payload, lane, start, n, *lo, *hi, out),
+        DictSel::Mask(_) => code_walk(payload, lane, start, n, move |c| sel.matches(c), out),
+    }
+}
+
+/// Per-lane packed-code walk shared by the PDICT selection forms.
+/// Branch-free walk for a contiguous code range — the shape every
+/// ordered-dictionary range rewrite collapses to. Compares stay in the
+/// native lane width and fold into a 32-slot mask that is drained with
+/// `trailing_zeros`, so the hot loop carries no data-dependent branch.
+fn code_range_walk(
+    payload: &[u8],
+    lane: u32,
+    start: usize,
+    n: usize,
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<u32>,
+) {
+    out.reserve(n);
+    macro_rules! walk {
+        ($t:ty, $w:expr, $load:expr) => {{
+            // Codes are bounded by the lane domain, so both bounds fit.
+            let sp = (hi - lo) as $t;
+            let lo = lo as $t;
+            let bytes = &payload[start * $w..(start + n) * $w];
+            let mut i = 0usize;
+            let mut blocks = bytes.chunks_exact($w * 32);
+            for blk in blocks.by_ref() {
+                let mut mask = 0u32;
+                for (j, ch) in blk.chunks_exact($w).enumerate() {
+                    let c: $t = $load(ch);
+                    mask |= ((c.wrapping_sub(lo) <= sp) as u32) << j;
+                }
+                while mask != 0 {
+                    let j = mask.trailing_zeros() as usize;
+                    out.push((start + i + j) as u32);
+                    mask &= mask - 1;
+                }
+                i += 32;
+            }
+            for (j, ch) in blocks.remainder().chunks_exact($w).enumerate() {
+                let c: $t = $load(ch);
+                if c.wrapping_sub(lo) <= sp {
+                    out.push((start + i + j) as u32);
+                }
+            }
+        }};
+    }
+    if lane <= 8 {
+        walk!(u8, 1, |ch: &[u8]| ch[0])
+    } else {
+        walk!(u16, 2, |ch: &[u8]| u16::from_le_bytes([ch[0], ch[1]]))
+    }
+}
+
+fn code_walk<F: Fn(u64) -> bool + Copy>(
+    payload: &[u8],
+    lane: u32,
+    start: usize,
+    n: usize,
+    f: F,
+    out: &mut Vec<u32>,
+) {
+    if lane <= 8 {
+        for (i, &b) in payload[start..start + n].iter().enumerate() {
+            if f(b as u64) {
+                out.push((start + i) as u32);
+            }
+        }
+    } else {
+        let bytes = &payload[start * 2..(start + n) * 2];
+        for (i, ch) in bytes.chunks_exact(2).enumerate() {
+            if f(u16::from_le_bytes([ch[0], ch[1]]) as u64) {
+                out.push((start + i) as u32);
+            }
+        }
+    }
+}
+
+macro_rules! cmp_pdict_numeric {
+    ($( $ty:ty : $eq:ident / $ne:ident / $lt:ident / $le:ident / $gt:ident / $ge:ident
+        => $eqf:expr, $ltf:expr );* $(;)?) => {
+        $(
+            /// Dictionary-code `==`: predicate evaluated once over the
+            /// dictionary, then a pure code-space window scan.
+            pub fn $eq(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| ($eqf)(dict[c], v));
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+
+            /// Dictionary-code `!=`.
+            pub fn $ne(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| !($eqf)(dict[c], v));
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+
+            /// Dictionary-code `<`.
+            pub fn $lt(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| ($ltf)(dict[c], v));
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+
+            /// Dictionary-code `<=`.
+            pub fn $le(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| {
+                    ($ltf)(dict[c], v) || ($eqf)(dict[c], v)
+                });
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+
+            /// Dictionary-code `>`.
+            pub fn $gt(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| {
+                    !($ltf)(dict[c], v) && !($eqf)(dict[c], v)
+                });
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+
+            /// Dictionary-code `>=`.
+            pub fn $ge(
+                dict: &[$ty], payload: &[u8], lane: u32,
+                start: usize, n: usize, v: $ty, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| !($ltf)(dict[c], v));
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+        )*
+    };
+}
+
+cmp_pdict_numeric! {
+    i32: cmp_pdict_eq_i32_col_val / cmp_pdict_ne_i32_col_val / cmp_pdict_lt_i32_col_val
+        / cmp_pdict_le_i32_col_val / cmp_pdict_gt_i32_col_val / cmp_pdict_ge_i32_col_val
+        => |d: i32, v: i32| d == v, |d: i32, v: i32| d < v;
+    i64: cmp_pdict_eq_i64_col_val / cmp_pdict_ne_i64_col_val / cmp_pdict_lt_i64_col_val
+        / cmp_pdict_le_i64_col_val / cmp_pdict_gt_i64_col_val / cmp_pdict_ge_i64_col_val
+        => |d: i64, v: i64| d == v, |d: i64, v: i64| d < v;
+    f64: cmp_pdict_eq_f64_col_val / cmp_pdict_ne_f64_col_val / cmp_pdict_lt_f64_col_val
+        / cmp_pdict_le_f64_col_val / cmp_pdict_gt_f64_col_val / cmp_pdict_ge_f64_col_val
+        => |d: f64, v: f64| d == v, |d: f64, v: f64| d < v;
+}
+
+macro_rules! cmp_pdict_str {
+    ($( $name:ident => $pred:expr );* $(;)?) => {
+        $(
+            /// Dictionary-code string comparison: the predicate runs
+            /// once over the dictionary; chunk scans never touch a
+            /// [`StrVec`].
+            pub fn $name(
+                dict: &StrVec, payload: &[u8], lane: u32,
+                start: usize, n: usize, v: &str, out: &mut Vec<u32>,
+            ) {
+                let sel = DictSel::from_pred(dict.len(), |c| ($pred)(dict.get(c), v));
+                pdict_select_codes(payload, lane, start, n, &sel, out);
+            }
+        )*
+    };
+}
+
+cmp_pdict_str! {
+    cmp_pdict_eq_str_col_val => |d: &str, v: &str| d == v;
+    cmp_pdict_ne_str_col_val => |d: &str, v: &str| d != v;
+    cmp_pdict_lt_str_col_val => |d: &str, v: &str| d < v;
+    cmp_pdict_le_str_col_val => |d: &str, v: &str| d <= v;
+    cmp_pdict_gt_str_col_val => |d: &str, v: &str| d > v;
+    cmp_pdict_ge_str_col_val => |d: &str, v: &str| d >= v;
+}
+
+/// Catalog of the dictionary-code selection kernels.
+pub const CMP_PDICT_SIGNATURES: &[&str] = &[
+    "cmp_pdict_eq_i32_col_val",
+    "cmp_pdict_ne_i32_col_val",
+    "cmp_pdict_lt_i32_col_val",
+    "cmp_pdict_le_i32_col_val",
+    "cmp_pdict_gt_i32_col_val",
+    "cmp_pdict_ge_i32_col_val",
+    "cmp_pdict_eq_i64_col_val",
+    "cmp_pdict_ne_i64_col_val",
+    "cmp_pdict_lt_i64_col_val",
+    "cmp_pdict_le_i64_col_val",
+    "cmp_pdict_gt_i64_col_val",
+    "cmp_pdict_ge_i64_col_val",
+    "cmp_pdict_eq_f64_col_val",
+    "cmp_pdict_ne_f64_col_val",
+    "cmp_pdict_lt_f64_col_val",
+    "cmp_pdict_le_f64_col_val",
+    "cmp_pdict_gt_f64_col_val",
+    "cmp_pdict_ge_f64_col_val",
+    "cmp_pdict_eq_str_col_val",
+    "cmp_pdict_ne_str_col_val",
+    "cmp_pdict_lt_str_col_val",
+    "cmp_pdict_le_str_col_val",
+    "cmp_pdict_gt_str_col_val",
+    "cmp_pdict_ge_str_col_val",
+];
+
+// -- selective decode -------------------------------------------------
+
+/// Random-access read of one packed relative frame.
+#[inline(always)]
+fn lane_rel(payload: &[u8], lane: u32, i: usize) -> u64 {
+    // Single-slice reads keep each access down to one bounds check and
+    // one aligned-width load instead of per-byte indexing.
+    match lane {
+        0 => 0,
+        8 => payload[i] as u64,
+        16 => {
+            let s = &payload[i * 2..i * 2 + 2];
+            u16::from_le_bytes([s[0], s[1]]) as u64
+        }
+        32 => {
+            let s = &payload[i * 4..i * 4 + 4];
+            u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as u64
+        }
+        _ => {
+            let s = &payload[i * 8..i * 8 + 8];
+            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        }
+    }
+}
+
+/// Gather-decode of an integer PFOR chunk: `out[i]` becomes the value
+/// at chunk-relative position `sel[i]` (`sel` ascending), merging the
+/// exception list in one pass. Only the selected positions are touched.
+fn pfor_gather_int<T: FrameValue>(out: &mut [T], c: &PforChunk, sel: &[u32]) {
+    debug_assert_eq!(out.len(), sel.len());
+    let mut e = c
+        .exc_pos
+        .partition_point(|&p| p < sel.first().copied().unwrap_or(0));
+    if e == c.exc_pos.len() || sel.last().is_none_or(|&l| c.exc_pos[e] > l) {
+        // No exceptions under the selection: straight-line gather.
+        for (o, &p) in out.iter_mut().zip(sel) {
+            *o = T::from_frame(
+                c.base
+                    .wrapping_add(lane_rel(&c.payload, c.lane, p as usize)),
+            );
+        }
+        return;
+    }
+    for (o, &p) in out.iter_mut().zip(sel) {
+        while e < c.exc_pos.len() && c.exc_pos[e] < p {
+            e += 1;
+        }
+        if e < c.exc_pos.len() && c.exc_pos[e] == p {
+            *o = T::from_frame(c.exc_frames[e]);
+        } else {
+            *o = T::from_frame(
+                c.base
+                    .wrapping_add(lane_rel(&c.payload, c.lane, p as usize)),
+            );
+        }
+    }
+}
+
+/// Gather-decode of a scaled-f64 PFOR chunk, byte-identical to the
+/// dense decoder: the same three-way fast-path selection, with
+/// exceptions restored from their raw bit patterns.
+fn pfor_gather_f64(out: &mut [f64], c: &PforChunk, sel: &[u32]) {
+    debug_assert_eq!(out.len(), sel.len());
+    let scale_u = c.scale.max(1);
+    let pre = (c.base ^ SIGN).wrapping_add(CVT_MAGIC_BITS);
+    let within = pfor_f64_range_within(c.base, c.lane, (1 << 51) - 1);
+    let (rhi, rlo) = if scale_u > 1 && within {
+        recip_split_for(scale_u as f64, c.base, c.lane)
+    } else {
+        (0.0, 0.0)
+    };
+    let scale = scale_u as f64;
+    let base = c.base;
+    let dense = move |rel: u64| -> f64 {
+        if scale_u == 1 && within {
+            f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC
+        } else if scale_u > 1 && within {
+            let x = f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC;
+            x * rhi + x * rlo
+        } else {
+            ((base.wrapping_add(rel) ^ SIGN) as i64) as f64 / scale
+        }
+    };
+    let mut e = c
+        .exc_pos
+        .partition_point(|&p| p < sel.first().copied().unwrap_or(0));
+    if e == c.exc_pos.len() || sel.last().is_none_or(|&l| c.exc_pos[e] > l) {
+        // No exceptions under the selection: pick the decode expression
+        // once and run a straight-line gather, instead of re-branching
+        // on the chunk's fast-path eligibility for every element.
+        if scale_u == 1 && within {
+            for (o, &p) in out.iter_mut().zip(sel) {
+                let rel = lane_rel(&c.payload, c.lane, p as usize);
+                *o = f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC;
+            }
+        } else if scale_u > 1 && within {
+            for (o, &p) in out.iter_mut().zip(sel) {
+                let rel = lane_rel(&c.payload, c.lane, p as usize);
+                let x = f64::from_bits(pre.wrapping_add(rel)) - CVT_MAGIC;
+                *o = x * rhi + x * rlo;
+            }
+        } else {
+            for (o, &p) in out.iter_mut().zip(sel) {
+                let rel = lane_rel(&c.payload, c.lane, p as usize);
+                *o = ((base.wrapping_add(rel) ^ SIGN) as i64) as f64 / scale;
+            }
+        }
+        return;
+    }
+    for (o, &p) in out.iter_mut().zip(sel) {
+        while e < c.exc_pos.len() && c.exc_pos[e] < p {
+            e += 1;
+        }
+        if e < c.exc_pos.len() && c.exc_pos[e] == p {
+            *o = f64::from_bits(c.exc_frames[e]);
+        } else {
+            *o = dense(lane_rel(&c.payload, c.lane, p as usize));
+        }
+    }
+}
+
+macro_rules! decode_sel_pfor_instances {
+    ($( $ty:ty : $name:ident );* $(;)?) => {
+        $(
+            /// Macro-generated selective PFOR decoder: decodes only the
+            /// (ascending, chunk-relative) positions in `sel`, compacted.
+            pub fn $name(out: &mut [$ty], chunk: &PforChunk, sel: &[u32]) {
+                pfor_gather_int(out, chunk, sel)
+            }
+        )*
+    };
+}
+
+decode_sel_pfor_instances! {
+    i8:  decode_sel_pfor_i8_col;
+    i16: decode_sel_pfor_i16_col;
+    i32: decode_sel_pfor_i32_col;
+    i64: decode_sel_pfor_i64_col;
+    u8:  decode_sel_pfor_u8_col;
+    u16: decode_sel_pfor_u16_col;
+    u32: decode_sel_pfor_u32_col;
+    u64: decode_sel_pfor_u64_col;
+}
+
+/// Selective PFOR decoder for scaled floats (see [`pfor_gather_f64`]).
+pub fn decode_sel_pfor_f64_col(out: &mut [f64], chunk: &PforChunk, sel: &[u32]) {
+    pfor_gather_f64(out, chunk, sel)
+}
+
+macro_rules! decode_sel_pdict_numeric {
+    ($( $ty:ty : $name:ident );* $(;)?) => {
+        $(
+            /// Selective PDICT decoder: gathers dictionary values at the
+            /// packed codes of the selected positions only.
+            pub fn $name(out: &mut [$ty], payload: &[u8], lane: u32, dict: &[$ty], sel: &[u32]) {
+                debug_assert_eq!(out.len(), sel.len());
+                let lane = if lane <= 8 { 8 } else { 16 };
+                for (o, &p) in out.iter_mut().zip(sel) {
+                    *o = dict[lane_rel(payload, lane, p as usize) as usize];
+                }
+            }
+        )*
+    };
+}
+
+decode_sel_pdict_numeric! {
+    i32: decode_sel_pdict_i32_col;
+    i64: decode_sel_pdict_i64_col;
+    f64: decode_sel_pdict_f64_col;
+}
+
+/// Selective PDICT decoder for strings: appends the dictionary value of
+/// each selected position (string vectors are append-only). This is the
+/// only point where a dictionary-predicate query touches a [`StrVec`].
+pub fn decode_sel_pdict_str_col(
+    out: &mut StrVec,
+    payload: &[u8],
+    lane: u32,
+    dict: &StrVec,
+    sel: &[u32],
+) {
+    let lane = if lane <= 8 { 8 } else { 16 };
+    for &p in sel {
+        out.push(dict.get(lane_rel(payload, lane, p as usize) as usize));
+    }
+}
+
+/// Catalog of the selective-decode kernels; each has a dense
+/// `decompress_*` twin (lint rule 5 checks the pairing).
+pub const DECODE_SEL_SIGNATURES: &[&str] = &[
+    "decode_sel_pfor_i8_col",
+    "decode_sel_pfor_i16_col",
+    "decode_sel_pfor_i32_col",
+    "decode_sel_pfor_i64_col",
+    "decode_sel_pfor_u8_col",
+    "decode_sel_pfor_u16_col",
+    "decode_sel_pfor_u32_col",
+    "decode_sel_pfor_u64_col",
+    "decode_sel_pfor_f64_col",
+    "decode_sel_pdict_i32_col",
+    "decode_sel_pdict_i64_col",
+    "decode_sel_pdict_f64_col",
+    "decode_sel_pdict_str_col",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1039,5 +1962,219 @@ mod tests {
         for (i, want) in (3..7).enumerate() {
             assert_eq!(out.get(i), v.get(want));
         }
+    }
+
+    fn expect_sel<T: Copy>(v: &[T], start: usize, n: usize, pred: impl Fn(T) -> bool) -> Vec<u32> {
+        (start..start + n)
+            .filter(|&i| pred(v[i]))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn pfor_pushdown_matches_decode_then_select_i64() {
+        let mut v: Vec<i64> = (0..5000).map(|i| 100 + (i % 50)).collect();
+        v[17] = i64::MAX;
+        v[140] = -3;
+        v[4032] = i64::MIN;
+        let c = compress_pfor_i64_col(&v);
+        let (start, n) = (10, 4500);
+        let t = 125i64;
+        let kernels: [(
+            fn(&PforChunk, usize, usize, i64, &mut Vec<u32>),
+            fn(i64, i64) -> bool,
+        ); 5] = [
+            (cmp_pfor_eq_i64_col_val, |x, t| x == t),
+            (cmp_pfor_lt_i64_col_val, |x, t| x < t),
+            (cmp_pfor_le_i64_col_val, |x, t| x <= t),
+            (cmp_pfor_gt_i64_col_val, |x, t| x > t),
+            (cmp_pfor_ge_i64_col_val, |x, t| x >= t),
+        ];
+        for (kernel, pred) in kernels {
+            let mut got = Vec::new();
+            kernel(&c, start, n, t, &mut got);
+            assert_eq!(got, expect_sel(&v, start, n, |x| pred(x, t)));
+        }
+        let mut got = Vec::new();
+        cmp_pfor_between_i64_col_val_val(&c, start, n, 110, 130, &mut got);
+        assert_eq!(got, expect_sel(&v, start, n, |x| (110..=130).contains(&x)));
+        // Extreme thresholds exercise the empty-range edges.
+        let mut got = Vec::new();
+        cmp_pfor_lt_i64_col_val(&c, 0, v.len(), i64::MIN, &mut got);
+        assert!(got.is_empty());
+        let mut got = Vec::new();
+        cmp_pfor_gt_i64_col_val(&c, 0, v.len(), i64::MAX, &mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn pfor_pushdown_matches_decode_then_select_f64() {
+        // Cents (scale 100) with float exceptions sprinkled in.
+        let mut v: Vec<f64> = (0..4096).map(|i| (i % 3000) as f64 / 100.0).collect();
+        v[7] = 0.005;
+        v[99] = -1.0 / 3.0;
+        v[3000] = f64::NAN;
+        let c = compress_pfor_f64_col(&v);
+        assert_eq!(c.scale, 100);
+        assert!(!c.exc_pos.is_empty());
+        let (start, n) = (3, 4000);
+        for t in [14.99, 0.005, 15.0, -0.17, 29.994] {
+            let kernels: [(
+                fn(&PforChunk, usize, usize, f64, &mut Vec<u32>),
+                fn(f64, f64) -> bool,
+            ); 5] = [
+                (cmp_pfor_eq_f64_col_val, |x, t| x == t),
+                (cmp_pfor_lt_f64_col_val, |x, t| x < t),
+                (cmp_pfor_le_f64_col_val, |x, t| x <= t),
+                (cmp_pfor_gt_f64_col_val, |x, t| x > t),
+                (cmp_pfor_ge_f64_col_val, |x, t| x >= t),
+            ];
+            for (kernel, pred) in kernels {
+                let mut got = Vec::new();
+                kernel(&c, start, n, t, &mut got);
+                assert_eq!(got, expect_sel(&v, start, n, |x| pred(x, t)), "t={t}");
+            }
+        }
+        let mut got = Vec::new();
+        cmp_pfor_between_f64_col_val_val(&c, start, n, 0.005, 14.99, &mut got);
+        assert_eq!(
+            got,
+            expect_sel(&v, start, n, |x| (0.005..=14.99).contains(&x))
+        );
+        // NaN constants match nothing.
+        let mut got = Vec::new();
+        cmp_pfor_lt_f64_col_val(&c, start, n, f64::NAN, &mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pfor_pushdown_all_exception_chunk() {
+        let v: Vec<f64> = (0..64).map(|i| 0.1 + i as f64 * 1e-13).collect();
+        let c = compress_pfor_f64_col(&v);
+        assert_eq!(c.lane, 0);
+        let mut got = Vec::new();
+        cmp_pfor_ge_f64_col_val(&c, 0, v.len(), 0.1 + 32.0 * 1e-13, &mut got);
+        assert_eq!(got, expect_sel(&v, 0, v.len(), |x| x >= 0.1 + 32.0 * 1e-13));
+    }
+
+    #[test]
+    fn dict_sel_collapses_forms() {
+        let dict = [10i64, 20, 30, 40];
+        assert_eq!(
+            DictSel::from_pred(4, |c| dict[c] == 30),
+            DictSel::Range(2, 2)
+        );
+        assert_eq!(
+            DictSel::from_pred(4, |c| dict[c] < 35),
+            DictSel::Range(0, 2)
+        );
+        assert_eq!(DictSel::from_pred(4, |c| dict[c] > 99), DictSel::None);
+        assert_eq!(DictSel::from_pred(4, |c| dict[c] > 0), DictSel::All);
+        let ne = DictSel::from_pred(4, |c| dict[c] != 20);
+        assert!(matches!(ne, DictSel::Mask(_)));
+        assert!(ne.matches(0) && !ne.matches(1) && ne.matches(3));
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn pdict_pushdown_matches_decode_then_select() {
+        let dict = vec![-5i64, 0, 17, 250];
+        let v: Vec<i64> = (0..500).map(|i| dict[(i * 7) % 4]).collect();
+        let payload = compress_pdict_i64_col(&v, &dict, 8).expect("all in dict");
+        let (start, n) = (13, 400);
+        let kernels: [(
+            fn(&[i64], &[u8], u32, usize, usize, i64, &mut Vec<u32>),
+            fn(i64, i64) -> bool,
+        ); 6] = [
+            (cmp_pdict_eq_i64_col_val, |x, t| x == t),
+            (cmp_pdict_ne_i64_col_val, |x, t| x != t),
+            (cmp_pdict_lt_i64_col_val, |x, t| x < t),
+            (cmp_pdict_le_i64_col_val, |x, t| x <= t),
+            (cmp_pdict_gt_i64_col_val, |x, t| x > t),
+            (cmp_pdict_ge_i64_col_val, |x, t| x >= t),
+        ];
+        for t in [-5i64, 17, 99] {
+            for (kernel, pred) in kernels {
+                let mut got = Vec::new();
+                kernel(&dict, &payload, 8, start, n, t, &mut got);
+                assert_eq!(got, expect_sel(&v, start, n, |x| pred(x, t)), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn pdict_str_pushdown_never_materializes() {
+        let mut dict = StrVec::with_capacity(3, 4);
+        for s in ["AIR", "RAIL", "SHIP"] {
+            dict.push(s);
+        }
+        let mut v = StrVec::with_capacity(9, 4);
+        let vals = ["RAIL", "AIR", "SHIP"];
+        for i in 0..9 {
+            v.push(vals[i % 3]);
+        }
+        let payload = compress_pdict_str_col(&v, &dict, 8).expect("all in dict");
+        let mut got = Vec::new();
+        cmp_pdict_eq_str_col_val(&dict, &payload, 8, 0, 9, "RAIL", &mut got);
+        assert_eq!(got, vec![0, 3, 6]);
+        got.clear();
+        cmp_pdict_ge_str_col_val(&dict, &payload, 8, 2, 6, "RAIL", &mut got);
+        let want: Vec<u32> = (2..8)
+            .filter(|&i| v.get(i) >= "RAIL")
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn decode_sel_matches_dense_decode() {
+        let mut v: Vec<i64> = (0..5000).map(|i| 100 + (i % 50)).collect();
+        v[17] = i64::MAX;
+        v[4032] = i64::MIN;
+        let c = compress_pfor_i64_col(&v);
+        let sel: Vec<u32> = vec![0, 17, 18, 1000, 4031, 4032, 4999];
+        let mut out = vec![0i64; sel.len()];
+        decode_sel_pfor_i64_col(&mut out, &c, &sel);
+        let want: Vec<i64> = sel.iter().map(|&p| v[p as usize]).collect();
+        assert_eq!(out, want);
+
+        let f: Vec<f64> = (0..4096).map(|i| (i % 3000) as f64 / 100.0).collect();
+        let cf = compress_pfor_f64_col(&f);
+        let sel: Vec<u32> = vec![0, 17, 18, 1000, 4031, 4095];
+        let mut fout = vec![0f64; sel.len()];
+        decode_sel_pfor_f64_col(&mut fout, &cf, &sel);
+        let mut dense = vec![0f64; f.len()];
+        let mut scratch = Vec::new();
+        decompress_pfor_f64_col(&mut dense, &cf, 0, &mut scratch);
+        for (o, &p) in fout.iter().zip(&sel) {
+            assert_eq!(o.to_bits(), dense[p as usize].to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_sel_pdict_gathers() {
+        let dict = vec![-5i64, 0, 17, 250];
+        let v: Vec<i64> = (0..500).map(|i| dict[(i * 3) % 4]).collect();
+        let payload = compress_pdict_i64_col(&v, &dict, 8).expect("all in dict");
+        let sel = vec![1u32, 7, 250, 499];
+        let mut out = vec![0i64; sel.len()];
+        decode_sel_pdict_i64_col(&mut out, &payload, 8, &dict, &sel);
+        assert_eq!(out, sel.iter().map(|&p| v[p as usize]).collect::<Vec<_>>());
+
+        let mut sdict = StrVec::with_capacity(2, 4);
+        sdict.push("AA");
+        sdict.push("BB");
+        let mut sv = StrVec::with_capacity(6, 4);
+        for i in 0..6 {
+            sv.push(["AA", "BB"][i % 2]);
+        }
+        let spayload = compress_pdict_str_col(&sv, &sdict, 8).expect("all in dict");
+        let mut sout = StrVec::with_capacity(3, 4);
+        decode_sel_pdict_str_col(&mut sout, &spayload, 8, &sdict, &[0, 3, 4]);
+        assert_eq!(sout.get(0), "AA");
+        assert_eq!(sout.get(1), "BB");
+        assert_eq!(sout.get(2), "AA");
     }
 }

@@ -410,6 +410,65 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
                 Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty)))
             }
         }
+        ("cmp", c) if ["pfor", "pdict"].contains(&c) => {
+            // cmp_<codec>_<op>_<ty>_col_val[_val]: encoded-space
+            // selection — the constant is translated into the codec's
+            // frame (PFOR) or code (PDICT) domain once per chunk and the
+            // packed lanes are scanned without decoding. `between`
+            // (PFOR only) carries a second broadcast constant; `ne` over
+            // a frame range is not contiguous, so PFOR omits it while
+            // PDICT rewrites it as a code-set mask.
+            let Some((cmp, args)) = rest.split_first() else {
+                return Err(format!("pushdown signature `{sig}` malformed"));
+            };
+            let between = *cmp == "between";
+            let known = if c == "pfor" {
+                between || (CMP_OPS.contains(cmp) && *cmp != "ne")
+            } else {
+                CMP_OPS.contains(cmp)
+            };
+            if !known {
+                return Err(format!("bad pushdown op in `{sig}`"));
+            }
+            let args = parse_args(args)?;
+            let want = if between { 3 } else { 2 };
+            if args.len() != want
+                || args.iter().any(|a| a.ty != args[0].ty)
+                || args[0].shape != VecShape::Col
+                || args[1..].iter().any(|a| a.shape != VecShape::Val)
+            {
+                return Err(format!("pushdown signature `{sig}` needs col + val args"));
+            }
+            if c == "pdict" && !matches!(args[0].ty, I32 | I64 | F64 | Str) {
+                return Err(format!("type not dictionary-codable in `{sig}`"));
+            }
+            if c == "pfor" && args[0].ty == Str {
+                return Err(format!("PFOR pushdown is numeric-only: `{sig}`"));
+            }
+            Ok(selful(args, OutTy::Sel))
+        }
+        ("decode", "sel") => {
+            // decode_sel_<codec>_<ty>_col: gather-style selective decode
+            // — expands only the positions a pushdown selection
+            // survived, compacted. Dense-only like its decompress twin.
+            let [codec, ty, shape] = rest else {
+                return Err(format!("decode_sel signature `{sig}` malformed"));
+            };
+            if !["pfor", "pdict"].contains(codec) {
+                return Err(format!("bad decode_sel codec in `{sig}`"));
+            }
+            let ty = ty_token(ty).ok_or_else(|| format!("bad decode_sel type in `{sig}`"))?;
+            if shape_token(shape) != Some(VecShape::Col) {
+                return Err(format!("decode_sel signature `{sig}` must end in _col"));
+            }
+            if *codec == "pdict" && !matches!(ty, I32 | I64 | F64 | Str) {
+                return Err(format!("type not dictionary-codable in `{sig}`"));
+            }
+            if *codec == "pfor" && ty == Str {
+                return Err(format!("PFOR decode_sel is numeric-only: `{sig}`"));
+            }
+            Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty)))
+        }
         ("aggr", a) if ["sum", "min", "max"].contains(&a) => {
             // aggr_<agg>_<ty>_col_u32_col: value column + group-id column.
             let args = parse_args(rest)?;
@@ -696,6 +755,32 @@ impl PrimitiveRegistry {
         for sig in crate::compress::PDICT_SIGNATURES {
             reg.register(sig, PrimitiveKind::Compress, "PDICT chunk codec");
         }
+        // Compression-aware execution: encoded-space selections (typed
+        // like any other select primitive, so the bind-time verifier can
+        // reject codec/type mismatches) and their selective-decode
+        // gathers. Signature lists are emitted next to the kernels in
+        // `compress.rs`.
+        for sig in crate::compress::CMP_PFOR_SIGNATURES {
+            reg.register(
+                sig,
+                PrimitiveKind::Select,
+                "encoded-space PFOR selection (generated)",
+            );
+        }
+        for sig in crate::compress::CMP_PDICT_SIGNATURES {
+            reg.register(
+                sig,
+                PrimitiveKind::Select,
+                "dictionary-code selection (generated)",
+            );
+        }
+        for sig in crate::compress::DECODE_SEL_SIGNATURES {
+            reg.register(
+                sig,
+                PrimitiveKind::Compress,
+                "selective decode gather (generated)",
+            );
+        }
         reg
     }
 
@@ -816,15 +901,20 @@ mod tests {
         assert_eq!(total, reg.len());
         assert!(reg.count_kind(PrimitiveKind::Select) >= 84);
         assert_eq!(reg.count_kind(PrimitiveKind::Compound), 4);
-        // 9 PFOR pairs + 8 PFOR-DELTA pairs + 4 PDICT pairs.
-        assert_eq!(reg.count_kind(PrimitiveKind::Compress), 42);
+        // 9 PFOR pairs + 8 PFOR-DELTA pairs + 4 PDICT pairs, plus 13
+        // selective-decode gathers (9 PFOR + 4 PDICT).
+        assert_eq!(reg.count_kind(PrimitiveKind::Compress), 55);
     }
 
     #[test]
     fn every_compress_kernel_has_decompress_counterpart() {
         let reg = PrimitiveRegistry::builtin();
         for d in reg.iter().filter(|d| d.kind == PrimitiveKind::Compress) {
-            let twin = if let Some(rest) = d.signature.strip_prefix("de") {
+            // A selective-decode gather twins with the dense decoder of
+            // the same codec/type; compress/decompress twin each other.
+            let twin = if let Some(rest) = d.signature.strip_prefix("decode_sel_") {
+                format!("decompress_{rest}")
+            } else if let Some(rest) = d.signature.strip_prefix("de") {
                 rest.to_string()
             } else {
                 format!("de{}", d.signature)
@@ -907,9 +997,14 @@ mod tests {
     fn malformed_signatures_are_rejected() {
         for bad in [
             "map_frobnicate_q7_col",
-            "map_add_f64_col_i32_col",  // mixed arith types
-            "select_lt_f64",            // missing shape
-            "aggr_sum_f64_col_i64_col", // group arg must be u32
+            "map_add_f64_col_i32_col",           // mixed arith types
+            "select_lt_f64",                     // missing shape
+            "aggr_sum_f64_col_i64_col",          // group arg must be u32
+            "cmp_pfor_ne_i64_col_val",           // != is not a frame range
+            "cmp_pfor_eq_str_col_val",           // PFOR is numeric-only
+            "cmp_pdict_between_i64_col_val_val", // between is PFOR-only
+            "cmp_pdict_eq_u8_col_val",           // not a dictionary-coded type
+            "decode_sel_pfordelta_i64_col",      // prefix sums defeat gathers
         ] {
             assert!(parse_signature(bad).is_err(), "{bad} should not parse");
         }

@@ -28,6 +28,15 @@
 //!    `crates/vector` source resolves to a registry descriptor, so the
 //!    macro-generated PFOR/PDICT/PFOR-DELTA instances cannot drift from
 //!    the catalog that `engine::check` trusts for decode placement.
+//! 5. **Compressed-execution parity** — every `cmp_*` encoded-space
+//!    selection and `decode_sel_*` selective-decode gather in
+//!    `crates/vector` resolves to a registry descriptor; every
+//!    registered `decode_sel_<codec>_<ty>_col` has its dense
+//!    `decompress_<codec>_<ty>_col` twin (the recovery path when a
+//!    torn chunk forces a decode-then-select fallback); and every
+//!    registered `cmp_<codec>_…_<ty>_…` selection has the matching
+//!    gather, so a predicate can never select survivors the engine has
+//!    no way to materialize.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
 
@@ -146,6 +155,7 @@ fn lint() -> Vec<String> {
     kernel_hygiene(&root, &mut failures);
     ordering_discipline(&root, &mut failures);
     codec_parity(&root, &mut failures);
+    compressed_exec_parity(&root, &mut failures);
     failures
 }
 
@@ -436,6 +446,93 @@ fn codec_parity(root: &Path, failures: &mut Vec<String>) {
                     path.strip_prefix(root).unwrap_or(path).display()
                 ));
             }
+        }
+    }
+}
+
+/// Rule 5: compressed execution cannot drift from the catalog or lose
+/// its decode path.
+fn compressed_exec_parity(root: &Path, failures: &mut Vec<String>) {
+    let reg = PrimitiveRegistry::builtin();
+    let registered: BTreeSet<&str> = reg.iter().map(|d| d.signature).collect();
+
+    // 5a. Every `cmp_*` / `decode_sel_*`-shaped identifier in
+    // crates/vector (macro tokens and the signature catalogs included)
+    // that parses as a signature must be registered, and every exported
+    // kernel symbol with those prefixes must resolve to a descriptor.
+    let vector_src = root.join("crates/vector/src");
+    let mut files = Vec::new();
+    rs_files(&vector_src, &mut files);
+    for path in &files {
+        if path.file_name().is_some_and(|n| n == "registry.rs") {
+            continue;
+        }
+        let f = strip_tests(path);
+        for tok in tokens(&f) {
+            if !(tok.starts_with("cmp_") || tok.starts_with("decode_sel_")) {
+                continue;
+            }
+            if parse_signature(&tok).is_ok() && !registered.contains(tok.as_str()) {
+                failures.push(format!(
+                    "compressed-exec parity: `{tok}` in {} parses as an encoded-space \
+                     signature but has no registry descriptor",
+                    path.strip_prefix(root).unwrap_or(path).display()
+                ));
+            }
+        }
+        for (ln, line) in &f.lines {
+            let t = line.trim_start();
+            if let Some(rest) = t.strip_prefix("pub fn ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if (name.starts_with("cmp_") || name.starts_with("decode_sel_"))
+                    && !registered.contains(name.as_str())
+                {
+                    failures.push(format!(
+                        "compressed-exec parity: exported kernel `{name}` ({}:{ln}) has \
+                         no registry descriptor",
+                        path.strip_prefix(root).unwrap_or(path).display()
+                    ));
+                }
+            }
+        }
+    }
+
+    // 5b. Every selective-decode gather has its dense decompress twin —
+    // the recovery path `engine::check` falls back to when a chunk
+    // fails verification mid-pushdown.
+    for sig in &registered {
+        if let Some(rest) = sig.strip_prefix("decode_sel_") {
+            let twin = format!("decompress_{rest}");
+            if !registered.contains(twin.as_str()) {
+                failures.push(format!(
+                    "compressed-exec parity: `{sig}` is registered with no dense \
+                     `{twin}` twin (no recovery path for a torn chunk)"
+                ));
+            }
+        }
+    }
+
+    // 5c. Every encoded-space selection has the matching gather for its
+    // codec/type: `cmp_<codec>_<op>_<ty>_col_val…` ⇒
+    // `decode_sel_<codec>_<ty>_col`, so pushdown survivors can always
+    // be materialized lazily.
+    for sig in &registered {
+        let Some(rest) = sig.strip_prefix("cmp_") else {
+            continue;
+        };
+        let parts: Vec<&str> = rest.split('_').collect();
+        let [codec, _op, ty, ..] = parts.as_slice() else {
+            continue;
+        };
+        let gather = format!("decode_sel_{codec}_{ty}_col");
+        if !registered.contains(gather.as_str()) {
+            failures.push(format!(
+                "compressed-exec parity: `{sig}` selects in {codec} code space but \
+                 `{gather}` is missing — its survivors could not be decoded"
+            ));
         }
     }
 }
