@@ -9,7 +9,7 @@
 //! JSON records `available_parallelism` alongside the timings.
 //!
 //! Usage: `parallel [--sf 0.1] [--reps 5] [--morsel 65536] [--smoke]
-//! [--fault-rate 0.0]`
+//! [--fault-rate 0.0] [--mem-budget 0] [--spill-fault-rate 0.0]`
 //!
 //! `--smoke` shrinks the run to a CI-sized correctness pass (SF 0.01,
 //! one rep): it still sweeps every thread count and fails on mismatch,
@@ -19,6 +19,12 @@
 //! through the buffer manager; the run must still match the sequential
 //! answer (faults are absorbed by bounded retry). Only effective when
 //! built with `--features fault-inject`; inert otherwise.
+//!
+//! `--mem-budget <bytes>` caps every parallel run's query memory and
+//! grants a spill budget in its place: operators degrade to disk runs
+//! (`engine::spill`) and the answers must *still* match the unbounded
+//! sequential reference. `--spill-fault-rate` layers transient
+//! SpillWrite/SpillRead failures on top (fault-inject builds only).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,6 +64,8 @@ fn main() {
     let reps = arg_usize("--reps", if smoke { 1 } else { 5 });
     let morsel = arg_usize("--morsel", x100_engine::DEFAULT_MORSEL_SIZE);
     let fault_rate = arg_f64("--fault-rate", 0.0);
+    let mem_budget = arg_usize("--mem-budget", 0);
+    let spill_fault_rate = arg_f64("--spill-fault-rate", 0.0);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // A single-core box cannot demonstrate scaling: the numbers are
     // still valid timings, but speedup conclusions drawn from them are
@@ -77,10 +85,14 @@ fn main() {
         // must be routed through a buffer manager.
         db.attach_buffer_manager(Arc::new(ColumnBM::with_chunk_bytes(4096, 64 * 1024)));
     }
-    let fault_plan = (fault_rate > 0.0).then(|| FaultPlan {
-        max_retries: 32,
-        backoff_base_us: 0,
-        ..FaultPlan::with_rate(fault_rate, 0xC1D7_2005)
+    let fault_plan = (fault_rate > 0.0 || spill_fault_rate > 0.0).then(|| {
+        FaultPlan {
+            max_retries: 32,
+            backoff_base_us: 0,
+            ..FaultPlan::with_rate(fault_rate, 0xC1D7_2005)
+        }
+        .spill_write_rate(spill_fault_rate)
+        .spill_read_rate(spill_fault_rate)
     });
     let plan = q01::x100_plan();
 
@@ -88,19 +100,29 @@ fn main() {
     let reference = q01::rows_from_x100(&seq);
 
     println!(
-        "TPC-H Q1, SF {sf} ({rows} rows), morsel {morsel}, {cores} core(s) available{}",
+        "TPC-H Q1, SF {sf} ({rows} rows), morsel {morsel}, {cores} core(s) available{}{}{}",
         if fault_rate > 0.0 {
             format!(", chunk fault rate {fault_rate}")
+        } else {
+            String::new()
+        },
+        if mem_budget > 0 {
+            format!(", mem budget {mem_budget} B (spill enabled)")
+        } else {
+            String::new()
+        },
+        if spill_fault_rate > 0.0 {
+            format!(", spill fault rate {spill_fault_rate}")
         } else {
             String::new()
         }
     );
     println!(
-        "{:>8} {:>12} {:>9}  check",
-        "threads", "median (s)", "speedup"
+        "{:>8} {:>12} {:>9} {:>6}  check",
+        "threads", "median (s)", "speedup", "spills"
     );
 
-    let mut results: Vec<(usize, f64, bool)> = Vec::new();
+    let mut results: Vec<(usize, f64, bool, u64)> = Vec::new();
     let mut base = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let mut opts = ExecOptions::default()
@@ -109,13 +131,23 @@ fn main() {
         if let Some(fp) = &fault_plan {
             opts = opts.with_fault_plan(fp.clone());
         }
+        if mem_budget > 0 {
+            // The spill counters ride on the profiler, so tight-budget
+            // rows run profiled; the overhead applies uniformly.
+            opts = opts
+                .with_mem_budget(mem_budget)
+                .with_spill_budget(256 << 20)
+                .profiled();
+        }
         let mut times = Vec::with_capacity(reps);
         let mut ok = true;
+        let mut spill_runs = 0u64;
         for _ in 0..reps {
             let t0 = Instant::now();
-            let (res, _) = execute(&db, &plan, &opts).expect("parallel q1");
+            let (res, prof) = execute(&db, &plan, &opts).expect("parallel q1");
             times.push(secs(t0.elapsed()));
             ok &= q1_matches(&q01::rows_from_x100(&res), &reference);
+            spill_runs = spill_runs.max(prof.counter("spill_runs").unwrap_or(0));
         }
         let med = median(times);
         if threads == 1 {
@@ -123,10 +155,10 @@ fn main() {
         }
         let speedup = if med > 0.0 { base / med } else { 0.0 };
         println!(
-            "{threads:>8} {med:>12.6} {speedup:>8.2}x  {}",
+            "{threads:>8} {med:>12.6} {speedup:>8.2}x {spill_runs:>6}  {}",
             if ok { "match" } else { "MISMATCH" }
         );
-        results.push((threads, med, ok));
+        results.push((threads, med, ok, spill_runs));
     }
 
     // Hand-rolled JSON — the workspace deliberately has no serde.
@@ -139,11 +171,13 @@ fn main() {
     json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
     json.push_str(&format!("  \"degraded\": {degraded},\n"));
     json.push_str(&format!("  \"fault_rate\": {fault_rate},\n"));
+    json.push_str(&format!("  \"mem_budget\": {mem_budget},\n"));
+    json.push_str(&format!("  \"spill_fault_rate\": {spill_fault_rate},\n"));
     json.push_str("  \"runs\": [\n");
-    for (i, (threads, med, ok)) in results.iter().enumerate() {
+    for (i, (threads, med, ok, spill_runs)) in results.iter().enumerate() {
         let speedup = if *med > 0.0 { base / med } else { 0.0 };
         json.push_str(&format!(
-            "    {{\"threads\": {threads}, \"median_s\": {med:.6}, \"speedup\": {speedup:.3}, \"matches_sequential\": {ok}}}{}\n",
+            "    {{\"threads\": {threads}, \"median_s\": {med:.6}, \"speedup\": {speedup:.3}, \"spill_runs\": {spill_runs}, \"matches_sequential\": {ok}}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -151,7 +185,43 @@ fn main() {
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json");
 
-    if results.iter().any(|(_, _, ok)| !ok) {
+    if results.iter().any(|(_, _, ok, _)| !ok) {
         std::process::exit(1);
+    }
+
+    // Q1's aggregate state is a handful of groups and barely feels a
+    // budget; the external-sort check is where a tight budget really
+    // bites. Sort the whole table under the same budget and require the
+    // spill path to both engage and reproduce the unbounded answer
+    // byte-for-byte.
+    if mem_budget > 0 {
+        use x100_engine::ops::OrdExp;
+        use x100_engine::plan::Plan;
+        let sort_plan = Plan::scan("lineitem", &["l_shipdate", "l_extendedprice", "l_quantity"])
+            .order(vec![
+                OrdExp::asc("l_shipdate"),
+                OrdExp::desc("l_extendedprice"),
+                OrdExp::asc("l_quantity"),
+            ]);
+        let (unbounded, _) =
+            execute(&db, &sort_plan, &ExecOptions::default()).expect("unbounded sort");
+        let mut opts = ExecOptions::default()
+            .profiled()
+            .with_mem_budget(mem_budget)
+            .with_spill_budget(256 << 20);
+        if let Some(fp) = &fault_plan {
+            opts = opts.with_fault_plan(fp.clone());
+        }
+        let (spilled, prof) = execute(&db, &sort_plan, &opts).expect("external sort");
+        let runs = prof.counter("spill_runs").unwrap_or(0);
+        let passes = prof.counter("spill_merge_passes").unwrap_or(0);
+        let ok = format!("{unbounded:?}") == format!("{spilled:?}");
+        println!(
+            "external sort, {rows} rows under {mem_budget} B: {runs} runs, {passes} merge pass(es), {}",
+            if ok { "match" } else { "MISMATCH" }
+        );
+        if !ok || runs == 0 {
+            std::process::exit(1);
+        }
     }
 }

@@ -163,6 +163,7 @@ pub fn explain_check(db: &Database, plan: &Plan, opts: &ExecOptions) -> String {
                 CheckViolation::SelVectorMisuse { .. } => "sel-vector-misuse",
                 CheckViolation::UndecodedEnumColumn { .. } => "undecoded-enum-column",
                 CheckViolation::UnknownSignature { .. } => "unknown-signature",
+                CheckViolation::SpillUnsupported { .. } => "spill-unsupported",
             };
             format!("plan check FAILED [{class}]\n  at   {path}\n  why  {violation}\n")
         }
@@ -467,6 +468,33 @@ impl<'a> Checker<'a> {
         self.summary.report.push(format!("{path}: {what}"));
     }
 
+    /// When a spill budget is configured, the buffering kernel this
+    /// operator leans on must advertise spill capability in the catalog
+    /// (`SigInfo::spills`) — otherwise the budget is a promise the
+    /// executor cannot keep, and graceful degradation silently becomes
+    /// a hard `ResourceExhausted`. Catches a new buffering operator
+    /// wired in without spill support.
+    fn check_spill_capable(
+        &mut self,
+        sig: &str,
+        operator: &str,
+        path: &str,
+    ) -> Result<(), PlanError> {
+        if self.opts.spill_budget.is_none() {
+            return Ok(());
+        }
+        if !self.reg.get(sig).is_some_and(|d| d.info.spills) {
+            return Err(PlanError::PlanCheck {
+                path: path.to_owned(),
+                violation: CheckViolation::SpillUnsupported {
+                    signature: sig.to_owned(),
+                    operator: operator.to_owned(),
+                },
+            });
+        }
+        Ok(())
+    }
+
     /// Walk one plan node, returning its output shape. Mirrors
     /// [`Plan::bind_inner`]'s field and dictionary derivation without
     /// constructing operators.
@@ -678,6 +706,11 @@ impl<'a> Checker<'a> {
                             let apath = format!("{path}.Aggr.agg[{i}]");
                             out_fields.push(self.check_agg(spec, &fields, &dicts, &apath)?);
                         }
+                        self.check_spill_capable(
+                            "aggr_hashtable_maintain",
+                            "HashAggr",
+                            &format!("{path}.Aggr"),
+                        )?;
                         self.note(
                             path,
                             format!("HashAggr → {} keys, {} aggs", keys.len(), aggs.len()),
@@ -935,6 +968,7 @@ impl<'a> Checker<'a> {
                 // operator's own compacted buffer, never under a
                 // selection.
                 self.summary.instrs += 1;
+                self.check_spill_capable("sort_permutation", kind, &format!("{path}.{kind}"))?;
                 self.note(path, format!("{kind} → {} sort keys", keys.len()));
                 Ok((fields, dicts))
             }

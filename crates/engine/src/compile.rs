@@ -144,8 +144,18 @@ pub enum PlanError {
         /// Stringified panic payload.
         cause: String,
     },
-    /// A storage chunk read kept failing after its retry budget.
-    Io(String),
+    /// A storage access kept failing after its retry budget (or, with
+    /// `unrecoverable`, every fallback path failed too — e.g. a torn
+    /// compressed chunk whose retained raw fragment also faults).
+    Io {
+        /// The storage access path that failed.
+        site: x100_storage::FaultSite,
+        /// True when no recovery path remains: retries were exhausted
+        /// *and* the fallback source (raw fragment, re-read) failed.
+        unrecoverable: bool,
+        /// Human-readable failure detail.
+        detail: String,
+    },
     /// The bind-time plan verifier rejected the compiled plan.
     PlanCheck {
         /// Path to the offending node, e.g. `root.Select.pred` or
@@ -190,6 +200,15 @@ pub enum CheckViolation {
         /// The unregistered signature.
         signature: String,
     },
+    /// A spill budget is configured but a buffering operator's kernel
+    /// does not advertise spill capability in the catalog
+    /// (`SigInfo::spills`) — the budget could never be honored there.
+    SpillUnsupported {
+        /// The buffering kernel's signature.
+        signature: String,
+        /// The plan operator that relies on it.
+        operator: String,
+    },
 }
 
 impl std::fmt::Display for CheckViolation {
@@ -211,6 +230,14 @@ impl std::fmt::Display for CheckViolation {
                     "signature `{signature}` is not in the primitive registry"
                 )
             }
+            CheckViolation::SpillUnsupported {
+                signature,
+                operator,
+            } => write!(
+                f,
+                "spill budget set but `{operator}` relies on `{signature}`, \
+                 which does not advertise spill capability"
+            ),
         }
     }
 }
@@ -234,7 +261,19 @@ impl std::fmt::Display for PlanError {
             PlanError::WorkerPanic { worker, cause } => {
                 write!(f, "worker {worker} panicked: {cause}")
             }
-            PlanError::Io(m) => write!(f, "storage I/O error: {m}"),
+            PlanError::Io {
+                site,
+                unrecoverable,
+                detail,
+            } => write!(
+                f,
+                "storage I/O error ({site}{}): {detail}",
+                if *unrecoverable {
+                    ", unrecoverable"
+                } else {
+                    ""
+                }
+            ),
             PlanError::PlanCheck { path, violation } => {
                 write!(f, "plan check failed at {path}: {violation}")
             }

@@ -68,6 +68,14 @@ pub struct QueryContext {
     mem_budget: Option<usize>,
     mem_used: AtomicUsize,
     mem_peak: AtomicUsize,
+    /// Disk budget for spill runs; `None` disables spilling entirely
+    /// (budget overflow then aborts as before the spill subsystem).
+    spill_budget: Option<usize>,
+    spill_used: AtomicUsize,
+    spill_peak: AtomicUsize,
+    /// Lazily created spill-run registry + temp-dir owner: no file or
+    /// directory is touched until the first operator actually spills.
+    spill: std::sync::Mutex<Option<Arc<crate::spill::SpillManager>>>,
     deadline: Option<Instant>,
     cancel: CancelToken,
     cancel_checks: AtomicU64,
@@ -81,6 +89,7 @@ impl QueryContext {
     /// to an absolute deadline now, i.e. at query start.
     pub fn new(
         mem_budget: Option<usize>,
+        spill_budget: Option<usize>,
         timeout: Option<Duration>,
         cancel: Option<CancelToken>,
         fault_plan: Option<FaultPlan>,
@@ -90,6 +99,10 @@ impl QueryContext {
             mem_budget,
             mem_used: AtomicUsize::new(0),
             mem_peak: AtomicUsize::new(0),
+            spill_budget,
+            spill_used: AtomicUsize::new(0),
+            spill_peak: AtomicUsize::new(0),
+            spill: std::sync::Mutex::new(None),
             deadline: timeout.map(|t| Instant::now() + t),
             cancel: cancel.unwrap_or_default(),
             cancel_checks: AtomicU64::new(0),
@@ -102,12 +115,71 @@ impl QueryContext {
     /// A context with no budget, no deadline, and no faults — used by
     /// direct `Plan::bind` callers that drive operators by hand.
     pub fn unbounded() -> Arc<Self> {
-        Arc::new(Self::new(None, None, None, None, None))
+        Arc::new(Self::new(None, None, None, None, None, None))
     }
 
     /// The query's memory budget in bytes, if any.
     pub fn mem_budget(&self) -> Option<usize> {
         self.mem_budget
+    }
+
+    /// The query's spill (disk) budget in bytes, if any. `Some` is what
+    /// arms graceful degradation: operators whose [`MemTracker`] probe
+    /// fails spill runs to disk instead of aborting.
+    pub fn spill_budget(&self) -> Option<usize> {
+        self.spill_budget
+    }
+
+    /// High-water mark of spilled disk bytes.
+    pub fn spill_peak(&self) -> usize {
+        self.spill_peak.load(Ordering::Relaxed)
+    }
+
+    /// The query-wide spill manager, creating its temp directory on
+    /// first use. Errors are typed as spill-write I/O failures.
+    pub fn spill_manager(&self) -> Result<Arc<crate::spill::SpillManager>, PlanError> {
+        let mut guard = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = guard.as_ref() {
+            return Ok(Arc::clone(m));
+        }
+        let m = Arc::new(crate::spill::SpillManager::create()?);
+        *guard = Some(Arc::clone(&m));
+        Ok(m)
+    }
+
+    /// The spill manager if any operator has spilled yet.
+    pub fn spill_manager_if_created(&self) -> Option<Arc<crate::spill::SpillManager>> {
+        self.spill
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    /// Charge `bytes` of spilled disk space. Overflowing the spill
+    /// budget is the end of graceful degradation: *both* budgets are
+    /// gone, so the query cancels and aborts with
+    /// [`PlanError::ResourceExhausted`] like a memory overflow.
+    pub fn charge_spill(&self, operator: &str, bytes: usize) -> Result<(), PlanError> {
+        let total = self.spill_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.spill_peak.fetch_max(total, Ordering::Relaxed);
+        if let Some(budget) = self.spill_budget {
+            if total > budget {
+                self.spill_used.fetch_sub(bytes, Ordering::Relaxed);
+                self.cancel.cancel();
+                return Err(PlanError::ResourceExhausted {
+                    operator: format!("{operator} (spill budget)"),
+                    requested: total,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Return spilled bytes to the disk budget (run files deleted).
+    pub fn release_spill(&self, bytes: usize) {
+        self.spill_used.fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// High-water mark of governed memory, in bytes.
@@ -167,6 +239,21 @@ impl QueryContext {
         Ok(())
     }
 
+    /// Probe variant of [`QueryContext::charge`]: a would-overflow is
+    /// rolled back and reported as `false` *without* cancelling the
+    /// query — the caller degrades (spills to disk) instead of dying.
+    fn try_charge(&self, bytes: usize) -> bool {
+        let total = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.mem_peak.fetch_max(total, Ordering::Relaxed);
+        if let Some(budget) = self.mem_budget {
+            if total > budget {
+                self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
     fn release(&self, bytes: usize) {
         self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
     }
@@ -181,6 +268,10 @@ impl QueryContext {
         if let Some(f) = &self.fault {
             prof.add_counter("io_retries", f.retries());
             prof.add_counter("io_faults_injected", f.injected());
+        }
+        if let Some(m) = self.spill_manager_if_created() {
+            m.publish(prof);
+            prof.max_counter("gov_spill_peak", self.spill_peak() as u64);
         }
     }
 }
@@ -226,6 +317,28 @@ impl MemTracker {
         Ok(())
     }
 
+    /// Probe-grow to `total` bytes: like [`MemTracker::ensure`], except
+    /// a budget overflow rolls the delta back and returns `false`
+    /// instead of cancelling the query — the spill paths use this to
+    /// detect pressure and degrade, so a probe must never kill the
+    /// query the way a hard [`MemTracker::ensure`] overflow does.
+    pub fn try_ensure(&mut self, total: usize) -> bool {
+        if total <= self.charged {
+            return true;
+        }
+        if self.ctx.try_charge(total - self.charged) {
+            self.charged = total;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The context this tracker charges against.
+    pub fn context(&self) -> &Arc<QueryContext> {
+        &self.ctx
+    }
+
     /// Bytes currently charged by this tracker.
     pub fn charged(&self) -> usize {
         self.charged
@@ -250,7 +363,7 @@ mod tests {
 
     #[test]
     fn budget_overflow_is_typed_and_rolled_back() {
-        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None));
+        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None, None));
         let mut t = MemTracker::new(ctx.clone(), "test-op");
         assert!(t.ensure(60).is_ok());
         let err = t.ensure(160).unwrap_err();
@@ -272,7 +385,7 @@ mod tests {
 
     #[test]
     fn tracker_drop_releases_charge() {
-        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None));
+        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None, None));
         {
             let mut t = MemTracker::new(ctx.clone(), "a");
             t.ensure(90).unwrap();
@@ -284,7 +397,7 @@ mod tests {
     #[test]
     fn cancel_token_trips_check() {
         let tok = CancelToken::new();
-        let ctx = QueryContext::new(None, None, Some(tok.clone()), None, None);
+        let ctx = QueryContext::new(None, None, None, Some(tok.clone()), None, None);
         assert!(ctx.check().is_ok());
         tok.cancel();
         assert_eq!(ctx.check(), Err(PlanError::Cancelled));
@@ -292,7 +405,7 @@ mod tests {
 
     #[test]
     fn expired_deadline_trips_check() {
-        let ctx = QueryContext::new(None, Some(Duration::ZERO), None, None, None);
+        let ctx = QueryContext::new(None, None, Some(Duration::ZERO), None, None, None);
         assert_eq!(ctx.check(), Err(PlanError::DeadlineExceeded));
         // Deadline expiry cancels, so later checks see Cancelled.
         assert_eq!(ctx.check(), Err(PlanError::Cancelled));
@@ -300,7 +413,7 @@ mod tests {
 
     #[test]
     fn check_counts_are_published() {
-        let ctx = QueryContext::new(None, None, None, None, None);
+        let ctx = QueryContext::new(None, None, None, None, None, None);
         for _ in 0..5 {
             ctx.check().unwrap();
         }

@@ -35,6 +35,7 @@ pub mod plan;
 pub mod profile;
 pub mod render;
 pub mod session;
+pub mod spill;
 
 pub use batch::{Batch, OutField};
 pub use check::{check_plan, explain_check, verify_program, CheckSummary};

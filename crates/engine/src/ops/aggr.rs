@@ -20,9 +20,12 @@ use crate::batch::{Batch, OutField, VecPool};
 use crate::compile::ExprProg;
 use crate::expr::{AggExpr, AggFunc, Expr};
 use crate::govern::{MemTracker, QueryContext};
+use crate::ops::parallel::MergeAggrOp;
 use crate::ops::{eq_at, extend_range, push_from, Operator};
 use crate::profile::Profiler;
+use crate::spill::{agg_partition, read_agg_segment, AggRun, AggSegment, SPILL_BLOCK_ROWS};
 use crate::PlanError;
+use std::sync::Arc;
 use x100_storage::EnumDict;
 use x100_vector::{aggr as vaggr, hash as vhash, ScalarType, SelVec, Vector};
 
@@ -74,6 +77,10 @@ pub struct AggrPartial {
     pub accs: Vec<PartialAcc>,
     /// Number of groups (every array above has this length).
     pub n_groups: usize,
+    /// Spilled table images evicted during the build, oldest first
+    /// (empty when the build fit in memory). The merge stage folds
+    /// these before the in-memory groups above.
+    pub runs: Vec<crate::spill::AggRun>,
 }
 
 /// How to merge one aggregate's partial accumulators.
@@ -444,6 +451,12 @@ pub struct HashAggrOp {
     out: Batch,
     vector_size: usize,
     mem: MemTracker,
+    /// Table images evicted under memory pressure, oldest first.
+    agg_runs: Vec<AggRun>,
+    /// Next radix partition the spilled emission will re-aggregate.
+    spill_part: usize,
+    /// Per-partition merge feeding the spilled emission path.
+    spill_emit: Option<MergeAggrOp>,
 }
 
 impl HashAggrOp {
@@ -512,6 +525,9 @@ impl HashAggrOp {
             out: Batch::new(),
             vector_size,
             mem: MemTracker::new(ctx, "hash aggregation table"),
+            agg_runs: Vec::new(),
+            spill_part: 0,
+            spill_emit: None,
         })
     }
 
@@ -621,10 +637,141 @@ impl HashAggrOp {
                 agg.update(batch, &self.grp_buf, sel, self.n_groups, prof);
             }
             prof.record_op("Aggr(HASH)", t_op, live);
-            self.mem.ensure(self.footprint())?;
+            let fp = self.footprint();
+            if !self.mem.try_ensure(fp) {
+                // Memory budget exhausted. With a spill budget, evict
+                // the table as a partitioned on-disk run; without one,
+                // abort exactly as before the spill subsystem.
+                if self.mem.context().spill_budget().is_some() && self.n_groups > 0 {
+                    self.spill_table()?;
+                } else {
+                    self.mem.ensure(fp)?;
+                }
+            }
+        }
+        if !self.agg_runs.is_empty() && self.n_groups > 0 {
+            // The in-memory remainder joins the runs so emission sees
+            // one uniform source list per partition.
+            self.spill_table()?;
         }
         self.built = true;
         Ok(())
+    }
+
+    /// Evict the current table as one partitioned spill run and free
+    /// its memory charge. Groups are radix-partitioned by the top
+    /// hash bits; first-seen order is preserved within a partition.
+    fn spill_table(&mut self) -> Result<(), PlanError> {
+        for agg in &mut self.aggs {
+            agg.acc.grow(self.n_groups, agg.init_value());
+        }
+        self.group_counts.resize(self.n_groups, 0);
+        let ctx = Arc::clone(self.mem.context());
+        let mgr = ctx.spill_manager()?;
+        let mut w = mgr.start_run(&ctx, "hash aggregation table")?;
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); crate::spill::AGG_SPILL_PARTS];
+        for g in 0..self.n_groups {
+            parts[agg_partition(self.group_hashes[g])].push(g as u32);
+        }
+        let mut segments = Vec::new();
+        for (p, gids) in parts.iter().enumerate() {
+            if gids.is_empty() {
+                continue;
+            }
+            let offset = w.offset();
+            let blocks_before = w.blocks();
+            for chunk in gids.chunks(SPILL_BLOCK_ROWS) {
+                let mut block: Vec<Vector> =
+                    Vec::with_capacity(self.key_store.len() + 1 + self.aggs.len());
+                for ks in &self.key_store {
+                    let mut v = Vector::with_capacity(ks.scalar_type(), chunk.len());
+                    for &g in chunk {
+                        push_from(&mut v, ks, g as usize);
+                    }
+                    block.push(v);
+                }
+                block.push(Vector::I64(
+                    chunk
+                        .iter()
+                        .map(|&g| self.group_counts[g as usize])
+                        .collect(),
+                ));
+                for agg in &self.aggs {
+                    block.push(match &agg.acc {
+                        AccData::F64(a) => {
+                            Vector::F64(chunk.iter().map(|&g| a[g as usize]).collect())
+                        }
+                        AccData::I64(a) => {
+                            Vector::I64(chunk.iter().map(|&g| a[g as usize]).collect())
+                        }
+                    });
+                }
+                w.write_block(&block)?;
+            }
+            segments.push(AggSegment {
+                part: p,
+                offset,
+                blocks: w.blocks() - blocks_before,
+                rows: gids.len(),
+            });
+        }
+        let run = w.finish()?;
+        self.agg_runs.push(AggRun {
+            file: run.file,
+            segments,
+        });
+        self.buckets = vec![0; 1024];
+        self.group_hashes = Vec::new();
+        for ks in &mut self.key_store {
+            *ks = Vector::with_capacity(ks.scalar_type(), 16);
+        }
+        self.group_counts = Vec::new();
+        self.n_groups = 0;
+        for agg in &mut self.aggs {
+            agg.acc = match &agg.acc {
+                AccData::F64(_) => AccData::F64(Vec::new()),
+                AccData::I64(_) => AccData::I64(Vec::new()),
+            };
+        }
+        self.mem.release_all();
+        Ok(())
+    }
+
+    /// Advance spilled emission to the next non-empty partition:
+    /// re-read its segments from every run (oldest first) and stand up
+    /// a bounded merge over just that partition's groups.
+    fn load_next_partition(&mut self) -> Result<bool, PlanError> {
+        let ctx = Arc::clone(self.mem.context());
+        let mgr = ctx.spill_manager()?;
+        while self.spill_part < crate::spill::AGG_SPILL_PARTS {
+            let p = self.spill_part;
+            self.spill_part += 1;
+            let mut partials = Vec::new();
+            for run in &self.agg_runs {
+                if let Some(seg) = run.segments.iter().find(|s| s.part == p) {
+                    partials.push(read_agg_segment(
+                        &run.file,
+                        seg,
+                        self.key_store.len(),
+                        self.aggs.len(),
+                        &mgr,
+                        &ctx,
+                    )?);
+                }
+            }
+            if partials.is_empty() {
+                continue;
+            }
+            let mut spec = self
+                .partial_merge_spec()
+                .expect("hash aggregation always has a merge spec");
+            // A spilled build has at least one real group; never let a
+            // per-partition merge synthesize the ungrouped-empty row.
+            spec.ungrouped = false;
+            self.spill_emit = Some(MergeAggrOp::new(spec, partials, self.vector_size, ctx));
+            return Ok(true);
+        }
+        Ok(false)
     }
 }
 
@@ -637,12 +784,31 @@ impl Operator for HashAggrOp {
         if !self.built {
             self.build(prof)?;
             // SQL semantics: an ungrouped aggregation over an empty
-            // input still yields one row (count 0, sums 0).
-            if self.key_progs.is_empty() && self.n_groups == 0 {
+            // input still yields one row (count 0, sums 0). A spilled
+            // build always has real groups, so this never races the
+            // partitioned emission below.
+            if self.agg_runs.is_empty() && self.key_progs.is_empty() && self.n_groups == 0 {
                 self.n_groups = 1;
                 self.group_counts.push(0);
                 for agg in &mut self.aggs {
                     agg.acc.grow(1, agg.init_value());
+                }
+            }
+        }
+        if !self.agg_runs.is_empty() {
+            // Spilled emission: one radix partition at a time, each
+            // re-aggregated by a bounded merge over its run segments.
+            loop {
+                if let Some(m) = self.spill_emit.as_mut() {
+                    if m.next(prof)?.is_some() {
+                        return Ok(Some(
+                            self.spill_emit.as_ref().expect("just emitted").last_out(),
+                        ));
+                    }
+                    self.spill_emit = None;
+                }
+                if !self.load_next_partition()? {
+                    return Ok(None);
                 }
             }
         }
@@ -693,6 +859,9 @@ impl Operator for HashAggrOp {
         self.n_groups = 0;
         self.built = false;
         self.emit_pos = 0;
+        self.agg_runs.clear();
+        self.spill_part = 0;
+        self.spill_emit = None;
         for agg in &mut self.aggs {
             agg.acc.grow(0, 0.0);
             match &mut agg.acc {
@@ -726,6 +895,7 @@ impl Operator for HashAggrOp {
                 )
                 .collect(),
             n_groups: self.n_groups,
+            runs: std::mem::take(&mut self.agg_runs),
         }))
     }
 
@@ -1028,6 +1198,7 @@ impl Operator for DirectAggrOp {
             counts,
             accs,
             n_groups: n,
+            runs: Vec::new(),
         }))
     }
 

@@ -173,6 +173,15 @@ pub(crate) fn try_execute_parallel(
     // first panic (or governor error) cancels the shared context, so
     // sibling workers unwind cleanly at their next per-vector check.
     // Every worker is always joined before any error is reported.
+    //
+    // Temp-resource audit: the worker's operator tree lives entirely
+    // inside the `catch_unwind` closure. On panic the unwind drops the
+    // partially-built operator state — including any spill runs it
+    // holds, whose `SpillFile` drops delete the on-disk file and refund
+    // the disk budget — *before* the closure returns, i.e. before the
+    // sibling join below. A successful worker moves its runs into the
+    // returned `AggrPartial`, whose own drop (on a later sibling error)
+    // cleans up the same way. Nothing here leaks temp files.
     let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..nworkers)
             .map(|w| {
@@ -409,60 +418,87 @@ impl MergeAggrOp {
         id
     }
 
+    /// Fold one partial's groups into the global table. Returns the
+    /// number of input groups folded.
+    fn fold_partial(
+        &mut self,
+        partial: &AggrPartial,
+        prof: &mut Profiler,
+    ) -> Result<usize, PlanError> {
+        self.ctx.check()?;
+        let n = partial.n_groups;
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.spec.key_types.is_empty() {
+            // Ungrouped: everything folds into global group 0.
+            if self.n_groups == 0 {
+                self.insert_group(0, partial, 0);
+            } else {
+                self.merge_into(0, partial, 0);
+            }
+            return Ok(n);
+        }
+        ensure_capacity(
+            &mut self.buckets,
+            &self.group_hashes,
+            self.n_groups,
+            self.n_groups + n,
+        );
+        self.hash_buf.resize(n, 0);
+        let key_refs: Vec<&Vector> = partial.keys.iter().collect();
+        hash_keys(&key_refs, &mut self.hash_buf, n, None, prof);
+        let mask = (self.buckets.len() - 1) as u64;
+        for g in 0..n {
+            let h = self.hash_buf[g];
+            let mut b = (h & mask) as usize;
+            loop {
+                let slot = self.buckets[b];
+                if slot == 0 {
+                    let id = self.insert_group(h, partial, g);
+                    self.buckets[b] = id as u32 + 1;
+                    break;
+                }
+                let cand = (slot - 1) as usize;
+                if self.group_hashes[cand] == h
+                    && self
+                        .key_store
+                        .iter()
+                        .zip(partial.keys.iter())
+                        .all(|(ks, kv)| eq_at(ks, cand, kv, g))
+                {
+                    self.merge_into(cand, partial, g);
+                    break;
+                }
+                b = (b + 1) & mask as usize;
+            }
+        }
+        Ok(n)
+    }
+
     fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
         let partials = std::mem::take(&mut self.partials);
         let t_op = prof.start();
         let mut total_in = 0usize;
+        let n_keys = self.spec.key_types.len();
+        let n_aggs = self.spec.aggs.len();
         for partial in &partials {
-            self.ctx.check()?;
-            let n = partial.n_groups;
-            if n == 0 {
-                continue;
-            }
-            total_in += n;
-            if self.spec.key_types.is_empty() {
-                // Ungrouped: everything folds into global group 0.
-                if self.n_groups == 0 {
-                    self.insert_group(0, partial, 0);
-                } else {
-                    self.merge_into(0, partial, 0);
-                }
-                continue;
-            }
-            ensure_capacity(
-                &mut self.buckets,
-                &self.group_hashes,
-                self.n_groups,
-                self.n_groups + n,
-            );
-            self.hash_buf.resize(n, 0);
-            let key_refs: Vec<&Vector> = partial.keys.iter().collect();
-            hash_keys(&key_refs, &mut self.hash_buf, n, None, prof);
-            let mask = (self.buckets.len() - 1) as u64;
-            for g in 0..n {
-                let h = self.hash_buf[g];
-                let mut b = (h & mask) as usize;
-                loop {
-                    let slot = self.buckets[b];
-                    if slot == 0 {
-                        let id = self.insert_group(h, partial, g);
-                        self.buckets[b] = id as u32 + 1;
-                        break;
+            // A worker that spilled ships its evicted table images as
+            // runs; fold them before its in-memory remainder so the
+            // merge order is deterministic (worker order, then build
+            // order within a worker).
+            if !partial.runs.is_empty() {
+                let mgr = self.ctx.spill_manager()?;
+                for run in &partial.runs {
+                    for seg in &run.segments {
+                        let p = crate::spill::read_agg_segment(
+                            &run.file, seg, n_keys, n_aggs, &mgr, &self.ctx,
+                        )?;
+                        total_in += self.fold_partial(&p, prof)?;
                     }
-                    let cand = (slot - 1) as usize;
-                    if self.group_hashes[cand] == h
-                        && self
-                            .key_store
-                            .iter()
-                            .zip(partial.keys.iter())
-                            .all(|(ks, kv)| eq_at(ks, cand, kv, g))
-                    {
-                        self.merge_into(cand, partial, g);
-                        break;
-                    }
-                    b = (b + 1) & mask as usize;
                 }
             }
+            total_in += self.fold_partial(partial, prof)?;
         }
         // SQL semantics: an ungrouped aggregation over an empty input
         // still yields one row (count 0, sums 0) — the sequential
@@ -477,6 +513,13 @@ impl MergeAggrOp {
         prof.record_op("MergeAggr", t_op, total_in);
         self.built = true;
         Ok(())
+    }
+
+    /// The batch produced by the most recent successful `next` call.
+    /// Used by `HashAggrOp`'s spilled emission, which drives a merge
+    /// per radix partition and forwards its batches.
+    pub(crate) fn last_out(&self) -> &Batch {
+        &self.out
     }
 }
 

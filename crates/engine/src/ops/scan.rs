@@ -292,7 +292,11 @@ impl ScanOp {
     fn bm_read(&self, ci: usize, offset: u64, len: u64) -> Result<(), PlanError> {
         if let Some(bm) = &self.bm {
             bm.try_access(ci as u32, offset, len, self.ctx.fault_state())
-                .map_err(|e| PlanError::Io(e.to_string()))?;
+                .map_err(|e| PlanError::Io {
+                    site: x100_storage::FaultSite::ChunkRead,
+                    unrecoverable: false,
+                    detail: e.to_string(),
+                })?;
         }
         Ok(())
     }
@@ -333,7 +337,7 @@ impl ScanOp {
             if cs.is_some() {
                 if let Some(fs) = self.ctx.fault_state() {
                     fs.check_site(x100_storage::FaultSite::CompressedRead, ci as u32)
-                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                        .map_err(site_io)?;
                 }
             }
             match &mut self.modes[k] {
@@ -369,6 +373,14 @@ impl ScanOp {
                                 // the raw fragment is retained and
                                 // intact, so recover from it — wrong
                                 // rows must never escape a torn chunk.
+                                // The fallback is itself a faultable
+                                // chunk read: both failing at once is
+                                // the double-fault case, with no copy
+                                // left to serve the rows.
+                                if let Some(fs) = self.ctx.fault_state() {
+                                    fs.check_site(x100_storage::FaultSite::ChunkRead, ci as u32)
+                                        .map_err(|e| double_fault(ci as u32, e))?;
+                                }
                                 prof.add_counter("decode_recoveries", 1);
                                 cs.cursor = DecodeCursor::default();
                                 sc.physical().read_into(start, n, &mut v);
@@ -413,6 +425,10 @@ impl ScanOp {
                                 reads.push((ci, st.comp_offset, st.comp_len));
                             }
                             Err(_) => {
+                                if let Some(fs) = self.ctx.fault_state() {
+                                    fs.check_site(x100_storage::FaultSite::ChunkRead, ci as u32)
+                                        .map_err(|e| double_fault(ci as u32, e))?;
+                                }
                                 prof.add_counter("decode_recoveries", 1);
                                 cs.cursor = DecodeCursor::default();
                                 sc.physical().read_into(start, n, codes);
@@ -465,7 +481,7 @@ impl ScanOp {
             if let ColMode::Decode { codes, sig } = &self.modes[k] {
                 if let Some(fs) = self.ctx.fault_state() {
                     fs.check_site(x100_storage::FaultSite::DictLookup, ci as u32)
-                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                        .map_err(site_io)?;
                 }
                 let dict = self.table.column(ci).dict().ok_or_else(|| {
                     PlanError::Invalid(format!(
@@ -527,7 +543,7 @@ impl ScanOp {
         let ci_p = self.cols[kp];
         if let Some(fs) = self.ctx.fault_state() {
             fs.check_site(x100_storage::FaultSite::CompressedRead, ci_p as u32)
-                .map_err(|e| PlanError::Io(e.to_string()))?;
+                .map_err(site_io)?;
         }
         let sc_p = self.table.column(ci_p);
         let cc_p = sc_p.compressed().expect("pushdown on uncompressed column");
@@ -542,7 +558,12 @@ impl ScanOp {
             Err(_) => {
                 // Torn chunk: recover by filtering the retained raw
                 // fragment in value space — identical survivors, no
-                // wrong rows, one counter tick.
+                // wrong rows, one counter tick. A fault on the fallback
+                // read too is the unrecoverable double-fault case.
+                if let Some(fs) = self.ctx.fault_state() {
+                    fs.check_site(x100_storage::FaultSite::ChunkRead, ci_p as u32)
+                        .map_err(|e| double_fault(ci_p as u32, e))?;
+                }
                 prof.add_counter("decode_recoveries", 1);
                 cs_p.cursor = DecodeCursor::default();
                 recovered = true;
@@ -585,7 +606,7 @@ impl ScanOp {
             if cs.is_some() {
                 if let Some(fs) = self.ctx.fault_state() {
                     fs.check_site(x100_storage::FaultSite::CompressedRead, ci as u32)
-                        .map_err(|e| PlanError::Io(e.to_string()))?;
+                        .map_err(site_io)?;
                 }
             }
             match &mut self.modes[k] {
@@ -619,6 +640,13 @@ impl ScanOp {
                                         reads.push((ci, st.comp_offset, st.comp_len));
                                     }
                                     Err(_) => {
+                                        if let Some(fs) = self.ctx.fault_state() {
+                                            fs.check_site(
+                                                x100_storage::FaultSite::ChunkRead,
+                                                ci as u32,
+                                            )
+                                            .map_err(|e| double_fault(ci as u32, e))?;
+                                        }
                                         prof.add_counter("decode_recoveries", 1);
                                         cs.cursor = DecodeCursor::default();
                                     }
@@ -641,6 +669,13 @@ impl ScanOp {
                                         reads.push((ci, 0, v.byte_size() as u64));
                                     }
                                     Err(_) => {
+                                        if let Some(fs) = self.ctx.fault_state() {
+                                            fs.check_site(
+                                                x100_storage::FaultSite::ChunkRead,
+                                                ci as u32,
+                                            )
+                                            .map_err(|e| double_fault(ci as u32, e))?;
+                                        }
                                         prof.add_counter("decode_recoveries", 1);
                                         cs.cursor = DecodeCursor::default();
                                     }
@@ -672,7 +707,7 @@ impl ScanOp {
                     ));
                     if let Some(fs) = self.ctx.fault_state() {
                         fs.check_site(x100_storage::FaultSite::DictLookup, ci as u32)
-                            .map_err(|e| PlanError::Io(e.to_string()))?;
+                            .map_err(site_io)?;
                     }
                     let dict = self.table.column(ci).dict().ok_or_else(|| {
                         PlanError::Invalid(format!(
@@ -718,7 +753,7 @@ impl ScanOp {
         for (k, &ci) in self.cols.iter().enumerate() {
             if let Some(fs) = self.ctx.fault_state() {
                 fs.check_site(x100_storage::FaultSite::DeltaRead, ci as u32)
-                    .map_err(|e| PlanError::Io(e.to_string()))?;
+                    .map_err(site_io)?;
             }
             let mut v = self.pools[k].writable();
             // Delta rows are stored logically; code columns cannot be
@@ -757,6 +792,29 @@ impl ScanOp {
 }
 
 /// Decode enum codes through the dictionary into a logical vector.
+/// Typed I/O error for a storage-fault site that exhausted its retries.
+fn site_io(e: x100_storage::StorageFaultError) -> PlanError {
+    PlanError::Io {
+        site: e.site,
+        unrecoverable: false,
+        detail: e.to_string(),
+    }
+}
+
+/// Typed unrecoverable I/O error: a compressed chunk was torn *and* the
+/// raw-fragment fallback read faulted too — no intact copy remains, so
+/// recovery is impossible (a future replicated/paged store would fetch
+/// a second copy here).
+fn double_fault(col: u32, e: x100_storage::StorageFaultError) -> PlanError {
+    PlanError::Io {
+        site: x100_storage::FaultSite::ChunkRead,
+        unrecoverable: true,
+        detail: format!(
+            "column {col}: torn compressed chunk and raw-fragment fallback both failed ({e})"
+        ),
+    }
+}
+
 fn decode_codes(codes: &Vector, dict: &ColumnData, out: &mut Vector) {
     use x100_vector::fetch::{fetch_u16_codes, fetch_u8_codes};
     match (codes, dict, out) {

@@ -6,14 +6,30 @@
 //!
 //! `TopN(Dataflow, List<OrdExp>, List<Exp>, int) : Dataflow` keeps a
 //! bounded heap and emits the `n` smallest (per the sort spec) rows.
+//!
+//! Under memory pressure (a failed [`MemTracker::try_ensure`] probe
+//! with a spill budget configured) the materializing buffer degrades
+//! to an **external merge sort**: the current store is sorted and
+//! written as an on-disk run (DESIGN.md §12), freed, and the build
+//! continues; emission then k-way-merges the runs vector-at-a-time
+//! with a run-index tie-break, which reproduces the stable in-memory
+//! sort byte for byte. Fan-in beyond [`MERGE_FAN_IN`] triggers extra
+//! merge passes (counted as `spill_merge_passes`).
 
 use crate::batch::{Batch, OutField, VecPool};
 use crate::govern::{MemTracker, QueryContext};
 use crate::ops::{cmp_at, push_from, Operator};
 use crate::profile::Profiler;
+use crate::spill::{RunReader, SpillManager, SpillRun, SPILL_BLOCK_ROWS};
 use crate::PlanError;
 use std::cmp::Ordering;
+use std::sync::Arc;
 use x100_vector::Vector;
+
+/// Maximum runs merged in one pass: keeps merge state at
+/// `MERGE_FAN_IN` in-cache blocks regardless of how many runs the
+/// budget forced.
+const MERGE_FAN_IN: usize = 8;
 
 /// Sort direction for one key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +81,121 @@ pub struct OrderOp {
     out: Batch,
     vector_size: usize,
     mem: MemTracker,
+    /// Bounded emission for TopN (set by [`TopNOp`]).
+    limit: Option<usize>,
+    /// Sorted on-disk runs, in build order (earlier runs hold earlier
+    /// input rows, which the merge tie-break relies on for stability).
+    runs: Vec<SpillRun>,
+    /// Streaming k-way merge over `runs`, when the build spilled.
+    merge: Option<Vec<MergeCursor>>,
+}
+
+/// One run's read position inside the k-way merge.
+struct MergeCursor {
+    reader: RunReader,
+    block: Vec<Vector>,
+    pos: usize,
+    len: usize,
+    done: bool,
+}
+
+impl MergeCursor {
+    fn open(
+        run: &SpillRun,
+        mgr: &Arc<SpillManager>,
+        ctx: &Arc<QueryContext>,
+    ) -> Result<Self, PlanError> {
+        let mut c = MergeCursor {
+            reader: run.reader(mgr, ctx)?,
+            block: Vec::new(),
+            pos: 0,
+            len: 0,
+            done: false,
+        };
+        c.refill()?;
+        Ok(c)
+    }
+
+    fn refill(&mut self) -> Result<(), PlanError> {
+        match self.reader.next_block(&mut self.block)? {
+            Some(n) => {
+                self.pos = 0;
+                self.len = n;
+            }
+            None => self.done = true,
+        }
+        Ok(())
+    }
+
+    fn exhausted(&self) -> bool {
+        self.done || self.pos >= self.len
+    }
+
+    fn advance(&mut self) -> Result<(), PlanError> {
+        self.pos += 1;
+        if self.pos >= self.len && !self.done {
+            self.refill()?;
+        }
+        Ok(())
+    }
+}
+
+/// Compare the current rows of two cursors under the sort spec.
+fn cursor_cmp(a: &MergeCursor, b: &MergeCursor, keys: &[(usize, SortOrder)]) -> Ordering {
+    for &(col, ord) in keys {
+        let c = cmp_at(&a.block[col], a.pos, &b.block[col], b.pos);
+        let c = if ord == SortOrder::Desc {
+            c.reverse()
+        } else {
+            c
+        };
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Index of the cursor holding the smallest current row; ties go to
+/// the lowest run index (earlier input rows), reproducing the stable
+/// in-memory sort.
+fn pick_winner(cursors: &[MergeCursor], keys: &[(usize, SortOrder)]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, c) in cursors.iter().enumerate() {
+        if c.exhausted() {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                if cursor_cmp(c, &cursors[b], keys) == Ordering::Less {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Stable sort permutation of `store` under `keys`.
+fn sorted_perm(store: &[Vector], keys: &[(usize, SortOrder)]) -> Vec<u32> {
+    let n = store.first().map_or(0, |v| v.len());
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&a, &b| {
+        for &(col, ord) in keys {
+            let c = cmp_at(&store[col], a as usize, &store[col], b as usize);
+            let c = if ord == SortOrder::Desc {
+                c.reverse()
+            } else {
+                c
+            };
+            if c != Ordering::Equal {
+                return c;
+            }
+        }
+        Ordering::Equal
+    });
+    perm
 }
 
 impl OrderOp {
@@ -104,10 +235,14 @@ impl OrderOp {
             out: Batch::new(),
             vector_size,
             mem: MemTracker::new(ctx, "order/top-n buffer"),
+            limit: None,
+            runs: Vec::new(),
+            merge: None,
         })
     }
 
     fn build(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        let mut total_rows = 0usize;
         // Materialize live tuples column-wise, charging the growing
         // buffer (plus the permutation to come) against the budget.
         while let Some(batch) = self.child.next(prof)? {
@@ -127,31 +262,125 @@ impl OrderOp {
             }
             let rows = self.store.first().map_or(0, |v| v.len());
             let bytes: usize = self.store.iter().map(|v| v.byte_size()).sum();
-            self.mem.ensure(bytes + rows * 4)?;
+            let need = bytes + rows * 4;
+            if !self.mem.try_ensure(need) {
+                // Memory budget exhausted. With a spill budget, sort
+                // what we have and evict it as an on-disk run; without
+                // one, abort exactly as before the spill subsystem.
+                if self.mem.context().spill_budget().is_some() && rows > 0 {
+                    total_rows += rows;
+                    self.spill_sorted_run(prof)?;
+                } else {
+                    self.mem.ensure(need)?;
+                }
+            }
         }
         let n = self.store.first().map_or(0, |v| v.len());
         let t_op = prof.start();
-        self.perm = (0..n as u32).collect();
-        let keys = &self.keys;
-        let store = &self.store;
-        let t0 = prof.start();
-        self.perm.sort_by(|&a, &b| {
-            for &(col, ord) in keys {
-                let c = cmp_at(&store[col], a as usize, &store[col], b as usize);
-                let c = if ord == SortOrder::Desc {
-                    c.reverse()
-                } else {
-                    c
-                };
-                if c != Ordering::Equal {
-                    return c;
-                }
+        if self.runs.is_empty() {
+            let t0 = prof.start();
+            self.perm = sorted_perm(&self.store, &self.keys);
+            prof.record_prim("sort_permutation", t0, n, n * 4);
+            if let Some(l) = self.limit {
+                self.perm.truncate(l);
             }
-            Ordering::Equal
-        });
-        prof.record_prim("sort_permutation", t0, n, n * 4);
-        prof.record_op("Order", t_op, n);
+            prof.record_op("Order", t_op, n);
+        } else {
+            // External path: the in-memory remainder becomes the last
+            // run, then a (possibly multi-pass) k-way merge streams
+            // the total order back, one block per run in cache.
+            total_rows += n;
+            if n > 0 {
+                self.spill_sorted_run(prof)?;
+            }
+            self.prepare_merge()?;
+            prof.record_op("Order", t_op, total_rows);
+        }
         self.built = true;
+        Ok(())
+    }
+
+    /// Sort the current store and evict it as one spill run, freeing
+    /// the memory charge.
+    fn spill_sorted_run(&mut self, prof: &mut Profiler) -> Result<(), PlanError> {
+        let n = self.store.first().map_or(0, |v| v.len());
+        let t0 = prof.start();
+        let perm = sorted_perm(&self.store, &self.keys);
+        prof.record_prim("sort_permutation", t0, n, n * 4);
+        let ctx = Arc::clone(self.mem.context());
+        let mgr = ctx.spill_manager()?;
+        let mut w = mgr.start_run(&ctx, "order/top-n buffer")?;
+        let mut block: Vec<Vector> = Vec::new();
+        for chunk in perm.chunks(SPILL_BLOCK_ROWS) {
+            block.clear();
+            for s in &self.store {
+                let mut v = Vector::with_capacity(s.scalar_type(), chunk.len());
+                for &p in chunk {
+                    push_from(&mut v, s, p as usize);
+                }
+                block.push(v);
+            }
+            w.write_block(&block)?;
+        }
+        self.runs.push(w.finish()?);
+        for (s, f) in self.store.iter_mut().zip(self.fields.iter()) {
+            *s = Vector::with_capacity(f.ty, 0);
+        }
+        self.perm.clear();
+        self.mem.release_all();
+        Ok(())
+    }
+
+    /// Reduce fan-in to [`MERGE_FAN_IN`] with intermediate merge
+    /// passes, then open the final streaming merge.
+    fn prepare_merge(&mut self) -> Result<(), PlanError> {
+        let ctx = Arc::clone(self.mem.context());
+        let mgr = ctx.spill_manager()?;
+        while self.runs.len() > MERGE_FAN_IN {
+            mgr.note_merge_pass();
+            let sources = std::mem::take(&mut self.runs);
+            for group in sources.chunks(MERGE_FAN_IN) {
+                if group.len() == 1 {
+                    self.runs.push(group[0].clone());
+                    continue;
+                }
+                let mut cursors = group
+                    .iter()
+                    .map(|r| MergeCursor::open(r, &mgr, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut w = mgr.start_run(&ctx, "order/top-n merge")?;
+                let mut block: Vec<Vector> = self
+                    .fields
+                    .iter()
+                    .map(|f| Vector::with_capacity(f.ty, SPILL_BLOCK_ROWS))
+                    .collect();
+                let mut rows = 0usize;
+                while let Some(win) = pick_winner(&cursors, &self.keys) {
+                    for (k, v) in block.iter_mut().enumerate() {
+                        push_from(v, &cursors[win].block[k], cursors[win].pos);
+                    }
+                    cursors[win].advance()?;
+                    rows += 1;
+                    if rows == SPILL_BLOCK_ROWS {
+                        w.write_block(&block)?;
+                        for (v, f) in block.iter_mut().zip(self.fields.iter()) {
+                            *v = Vector::with_capacity(f.ty, SPILL_BLOCK_ROWS);
+                        }
+                        rows = 0;
+                    }
+                }
+                if rows > 0 {
+                    w.write_block(&block)?;
+                }
+                self.runs.push(w.finish()?);
+            }
+        }
+        let cursors = self
+            .runs
+            .iter()
+            .map(|r| MergeCursor::open(r, &mgr, &ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.merge = Some(cursors);
         Ok(())
     }
 }
@@ -164,6 +393,41 @@ impl Operator for OrderOp {
     fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
         if !self.built {
             self.build(prof)?;
+        }
+        if let Some(cursors) = &mut self.merge {
+            // Streaming emission of the k-way merge: one block per
+            // run in memory, bounded regardless of input size.
+            let left = self
+                .limit
+                .map_or(usize::MAX, |l| l.saturating_sub(self.emit_pos));
+            let take = self.vector_size.min(left);
+            if take == 0 {
+                return Ok(None);
+            }
+            self.out.reset();
+            let mut cols: Vec<Vector> = (0..self.fields.len())
+                .map(|k| self.pools[k].writable())
+                .collect();
+            let mut n = 0usize;
+            while n < take {
+                let Some(win) = pick_winner(cursors, &self.keys) else {
+                    break;
+                };
+                for (k, v) in cols.iter_mut().enumerate() {
+                    push_from(v, &cursors[win].block[k], cursors[win].pos);
+                }
+                cursors[win].advance()?;
+                n += 1;
+            }
+            if n == 0 {
+                return Ok(None);
+            }
+            self.emit_pos += n;
+            self.out.len = n;
+            for (k, v) in cols.into_iter().enumerate() {
+                self.pools[k].publish(v, &mut self.out);
+            }
+            return Ok(Some(&self.out));
         }
         if self.emit_pos >= self.perm.len() {
             return Ok(None);
@@ -189,6 +453,8 @@ impl Operator for OrderOp {
             v.clear();
         }
         self.perm.clear();
+        self.runs.clear();
+        self.merge = None;
         self.built = false;
         self.emit_pos = 0;
         self.mem.release_all();
@@ -198,7 +464,6 @@ impl Operator for OrderOp {
 /// Bounded top-N operator: keeps the best `limit` rows by the sort spec.
 pub struct TopNOp {
     inner: OrderOp,
-    limit: usize,
 }
 
 impl TopNOp {
@@ -214,10 +479,9 @@ impl TopNOp {
         vector_size: usize,
         ctx: std::sync::Arc<QueryContext>,
     ) -> Result<Self, PlanError> {
-        Ok(TopNOp {
-            inner: OrderOp::new(child, keys, vector_size, ctx)?,
-            limit,
-        })
+        let mut inner = OrderOp::new(child, keys, vector_size, ctx)?;
+        inner.limit = Some(limit);
+        Ok(TopNOp { inner })
     }
 }
 
@@ -227,10 +491,6 @@ impl Operator for TopNOp {
     }
 
     fn next(&mut self, prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
-        if !self.inner.built {
-            self.inner.build(prof)?;
-            self.inner.perm.truncate(self.limit);
-        }
         self.inner.next(prof)
     }
 

@@ -60,6 +60,14 @@ pub struct ExecOptions {
     /// aggregation tables, Order/TopN buffers). Exceeding it aborts the
     /// query with [`PlanError::ResourceExhausted`]. `None` = unbounded.
     pub mem_budget: Option<usize>,
+    /// Byte budget for on-disk spill runs. `Some` arms graceful
+    /// degradation: when a [`MemTracker`] probe would overflow
+    /// `mem_budget`, aggregation and Order/TopN spill compressed runs
+    /// to a per-query temp directory instead of aborting, and only
+    /// exhausting *this* budget too raises
+    /// [`PlanError::ResourceExhausted`]. `None` keeps the PR 3 hard
+    /// abort.
+    pub spill_budget: Option<usize>,
     /// Wall-clock budget; converted to a deadline when execution
     /// starts. Expiry aborts with [`PlanError::DeadlineExceeded`].
     pub timeout: Option<Duration>,
@@ -87,6 +95,7 @@ impl Default for ExecOptions {
             join_cache_budget: DEFAULT_JOIN_CACHE_BUDGET,
             join_partition_bits: None,
             mem_budget: None,
+            spill_budget: None,
             timeout: None,
             cancel: None,
             fault_plan: None,
@@ -148,6 +157,14 @@ impl ExecOptions {
         self
     }
 
+    /// Allow up to `bytes` of on-disk spill runs before a memory-budget
+    /// overflow becomes fatal (graceful degradation; see
+    /// [`ExecOptions::spill_budget`]).
+    pub fn with_spill_budget(mut self, bytes: usize) -> Self {
+        self.spill_budget = Some(bytes);
+        self
+    }
+
     /// Abort the query once `timeout` wall-clock time has elapsed.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
@@ -178,6 +195,7 @@ impl ExecOptions {
     pub(crate) fn query_context(&self) -> Arc<QueryContext> {
         Arc::new(QueryContext::new(
             self.mem_budget,
+            self.spill_budget,
             self.timeout,
             self.cancel.clone(),
             self.fault_plan.clone(),

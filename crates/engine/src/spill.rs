@@ -1,0 +1,924 @@
+//! Governor-mediated spill-to-disk: graceful degradation under
+//! memory pressure (DESIGN.md §12).
+//!
+//! When an operator's [`MemTracker::try_ensure`] probe fails, it
+//! converts the coldest part of its state into a **spill run**: a
+//! temp file of self-describing blocks, each holding one column-frame
+//! per operator column. Frames reuse the storage layer's chunked
+//! codecs ([`choose_and_compress`] / [`CompressedColumn::to_bytes`])
+//! so spilled data stays compressed and checksummed on disk; columns
+//! the chooser declines (and `Bool`, which has no fragment twin) fall
+//! back to a raw little-endian frame guarded by [`fold_checksum`].
+//!
+//! Every block write passes through the governor: cancellation and
+//! deadline are checked first, the [`FaultSite::SpillWrite`] injector
+//! runs next (with its own bounded-backoff retry), and the block's
+//! bytes are charged against the query's *disk* budget —
+//! [`ResourceExhausted`](crate::compile::PlanError::ResourceExhausted)
+//! is only possible once both budgets are gone. Re-reads mirror the
+//! path with [`FaultSite::SpillRead`] and per-chunk (compressed) or
+//! per-frame (raw) checksum verification.
+//!
+//! Cleanup is scope-guarded: a [`RunWriter`] dropped before
+//! [`RunWriter::finish`] deletes its half-written file and refunds
+//! the budget; a finished run's [`SpillFile`] does the same when the
+//! last reader/handle drops; the [`SpillManager`] removes the whole
+//! per-query temp directory when the query context dies — on success,
+//! cancellation, and worker panic alike.
+//!
+//! [`MemTracker::try_ensure`]: crate::govern::MemTracker::try_ensure
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use x100_storage::{
+    choose_and_compress, fold_checksum, ColumnData, CompressedColumn, DecodeCursor, FaultSite,
+};
+use x100_vector::{ScalarType, Vector};
+
+use crate::compile::PlanError;
+use crate::govern::QueryContext;
+use crate::profile::Profiler;
+
+/// Rows per spill block: a multiple of the vector size, small enough
+/// that merge fan-in costs one in-cache block per run, large enough
+/// that the chunked codecs see real runs of values.
+pub const SPILL_BLOCK_ROWS: usize = 4096;
+
+/// Run file magic ("XSPR") + format version.
+const RUN_MAGIC: u32 = 0x5253_5058;
+const RUN_VERSION: u8 = 1;
+/// Per-block magic ("XSPB").
+const BLOCK_MAGIC: u32 = 0x4250_5358;
+/// Run header bytes (magic + version).
+const RUN_HEADER_BYTES: u64 = 5;
+
+/// Distinguishes spill temp dirs of concurrent queries in one process.
+static SPILL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn write_err(detail: String) -> PlanError {
+    PlanError::Io {
+        site: FaultSite::SpillWrite,
+        unrecoverable: true,
+        detail,
+    }
+}
+
+fn read_err(unrecoverable: bool, detail: String) -> PlanError {
+    PlanError::Io {
+        site: FaultSite::SpillRead,
+        unrecoverable,
+        detail,
+    }
+}
+
+/// Run the fault injector for a spill I/O site, folding its internal
+/// retry count into the manager's `spill_retries` counter. An error
+/// here means the injector exhausted its retries — transient class,
+/// so `unrecoverable: false`.
+fn fault_check(
+    ctx: &QueryContext,
+    mgr: &SpillManager,
+    site: FaultSite,
+    tag: u32,
+) -> Result<(), PlanError> {
+    if let Some(fs) = ctx.fault_state() {
+        let before = fs.retries();
+        let res = fs.check_site(site, tag);
+        let after = fs.retries();
+        if after > before {
+            mgr.retries.fetch_add(after - before, Ordering::SeqCst);
+        }
+        res.map_err(|e| PlanError::Io {
+            site: e.site,
+            unrecoverable: false,
+            detail: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Per-query spill registry: owns the temp directory, the profiler
+/// counters, and the shared agg-run list parallel workers publish
+/// into. Created lazily by [`QueryContext::spill_manager`]; dropping
+/// it removes the directory and everything still in it.
+#[derive(Debug)]
+pub struct SpillManager {
+    dir: PathBuf,
+    next_id: AtomicU64,
+    bytes_written: AtomicU64,
+    runs: AtomicU64,
+    merge_passes: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl SpillManager {
+    /// Create the per-query spill directory under the system temp dir.
+    pub fn create() -> Result<SpillManager, PlanError> {
+        let epoch = SPILL_EPOCH.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("x100-spill-{}-{epoch}", std::process::id()));
+        fs::create_dir_all(&dir)
+            .map_err(|e| write_err(format!("create spill dir {}: {e}", dir.display())))?;
+        Ok(SpillManager {
+            dir,
+            next_id: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            merge_passes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    /// The spill temp directory (tests assert it is empty/gone).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total bytes written to spill runs.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::SeqCst)
+    }
+
+    /// Spill runs started.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::SeqCst)
+    }
+
+    /// External-merge passes beyond the first (multi-pass merges).
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes.load(Ordering::SeqCst)
+    }
+
+    /// Injected spill faults absorbed by bounded-backoff retry.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Record one external-merge pass.
+    pub fn note_merge_pass(&self) {
+        self.merge_passes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Emit the spill counters into the query profile. Monotone
+    /// values published via `max_counter`, so repeated publishes are
+    /// idempotent.
+    pub fn publish(&self, prof: &mut Profiler) {
+        prof.max_counter("spill_bytes_written", self.bytes_written());
+        prof.max_counter("spill_runs", self.runs());
+        prof.max_counter("spill_merge_passes", self.merge_passes());
+        prof.max_counter("spill_retries", self.retries());
+    }
+
+    /// Open a new spill run for writing. `op` labels budget errors.
+    pub fn start_run(
+        self: &Arc<Self>,
+        ctx: &Arc<QueryContext>,
+        op: &str,
+    ) -> Result<RunWriter, PlanError> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let path = self.dir.join(format!("run-{id:06}.spl"));
+        let file = File::create(&path)
+            .map_err(|e| write_err(format!("create spill run {}: {e}", path.display())))?;
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let mut w = RunWriter {
+            mgr: Arc::clone(self),
+            ctx: Arc::clone(ctx),
+            op: op.to_string(),
+            path,
+            file: BufWriter::new(file),
+            bytes: 0,
+            rows: 0,
+            blocks: 0,
+            n_cols: 0,
+            finished: false,
+            buf: Vec::new(),
+        };
+        let mut header = Vec::with_capacity(RUN_HEADER_BYTES as usize);
+        header.extend_from_slice(&RUN_MAGIC.to_le_bytes());
+        header.push(RUN_VERSION);
+        w.write_charged(&header)?;
+        Ok(w)
+    }
+}
+
+impl Drop for SpillManager {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A finished spill run's backing file. Dropping the last handle
+/// deletes the file and refunds its bytes to the disk budget.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    bytes: u64,
+    ctx: Arc<QueryContext>,
+}
+
+impl SpillFile {
+    /// Path of the temp file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// On-disk size (as charged against the spill budget).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+        self.ctx.release_spill(self.bytes as usize);
+    }
+}
+
+/// A completed, immutable spill run: shared file plus shape metadata
+/// (runs never outlive the process, so the block map lives here, not
+/// in the file).
+#[derive(Debug, Clone)]
+pub struct SpillRun {
+    /// Backing temp file (shared with any segment readers).
+    pub file: Arc<SpillFile>,
+    /// Total rows across all blocks.
+    pub rows: u64,
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Columns per block.
+    pub n_cols: usize,
+}
+
+impl SpillRun {
+    /// Sequential reader over the whole run.
+    pub fn reader(
+        &self,
+        mgr: &Arc<SpillManager>,
+        ctx: &Arc<QueryContext>,
+    ) -> Result<RunReader, PlanError> {
+        RunReader::open(&self.file, RUN_HEADER_BYTES, self.blocks, mgr, ctx)
+    }
+}
+
+/// One partition segment inside an aggregation run.
+#[derive(Debug, Clone, Copy)]
+pub struct AggSegment {
+    /// Radix partition id this segment belongs to.
+    pub part: usize,
+    /// Byte offset of the segment's first block.
+    pub offset: u64,
+    /// Blocks in the segment.
+    pub blocks: u64,
+    /// Groups (rows) in the segment.
+    pub rows: usize,
+}
+
+/// One spilled aggregation table image: per-partition segments of
+/// `keys ++ counts ++ accs` blocks. Runs travel inside
+/// [`AggrPartial`](crate::ops::AggrPartial) in build order, so
+/// the merge stage consumes them deterministically without a shared
+/// registry.
+#[derive(Debug)]
+pub struct AggRun {
+    /// Backing file.
+    pub file: Arc<SpillFile>,
+    /// Partition directory, ascending by `part`.
+    pub segments: Vec<AggSegment>,
+}
+
+/// Number of radix partitions an aggregation table spills into: the
+/// merge stage re-aggregates one partition at a time, bounding its
+/// memory to the largest partition instead of the full group set.
+pub const AGG_SPILL_PARTS: usize = 16;
+
+/// Partition of a group hash: top bits, so partitioning is
+/// independent of the hash-table bucket index (low bits).
+pub fn agg_partition(hash: u64) -> usize {
+    (hash >> 60) as usize & (AGG_SPILL_PARTS - 1)
+}
+
+/// Re-read one aggregation-run segment as a partial: blocks of
+/// `keys ++ counts ++ accs` concatenated back into group arrays.
+pub(crate) fn read_agg_segment(
+    file: &Arc<SpillFile>,
+    seg: &AggSegment,
+    n_keys: usize,
+    n_aggs: usize,
+    mgr: &Arc<SpillManager>,
+    ctx: &Arc<QueryContext>,
+) -> Result<crate::ops::AggrPartial, PlanError> {
+    use crate::ops::{AggrPartial, PartialAcc};
+    let mut rd = RunReader::open(file, seg.offset, seg.blocks, mgr, ctx)?;
+    let mut cols: Vec<Vector> = Vec::new();
+    let mut block: Vec<Vector> = Vec::new();
+    while let Some(rows) = rd.next_block(&mut block)? {
+        if cols.is_empty() {
+            cols = block
+                .iter()
+                .map(|b| Vector::with_capacity(b.scalar_type(), seg.rows))
+                .collect();
+        }
+        for (dst, src) in cols.iter_mut().zip(block.iter()) {
+            crate::ops::extend_range(dst, src, 0, rows);
+        }
+    }
+    if cols.len() != n_keys + 1 + n_aggs {
+        return Err(read_err(
+            true,
+            "spilled aggregation segment has wrong column arity".to_string(),
+        ));
+    }
+    let mut it = cols.into_iter();
+    let keys: Vec<Vector> = it.by_ref().take(n_keys).collect();
+    let counts = match it.next() {
+        Some(Vector::I64(c)) if c.len() == seg.rows => c,
+        _ => {
+            return Err(read_err(
+                true,
+                "spilled aggregation segment has a malformed count column".to_string(),
+            ))
+        }
+    };
+    let accs = it
+        .map(|v| match v {
+            Vector::F64(a) => Ok(PartialAcc::F64(a)),
+            Vector::I64(a) => Ok(PartialAcc::I64(a)),
+            other => Err(read_err(
+                true,
+                format!(
+                    "spilled aggregation accumulator has type {:?}",
+                    other.scalar_type()
+                ),
+            )),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AggrPartial {
+        keys,
+        counts,
+        accs,
+        n_groups: seg.rows,
+        runs: Vec::new(),
+    })
+}
+
+/// Streaming writer for one spill run. Every block write checks
+/// cancellation, runs the `SpillWrite` fault injector, and charges
+/// the disk budget before touching the file. Dropping an unfinished
+/// writer deletes the file and refunds the budget.
+#[derive(Debug)]
+pub struct RunWriter {
+    mgr: Arc<SpillManager>,
+    ctx: Arc<QueryContext>,
+    op: String,
+    path: PathBuf,
+    file: BufWriter<File>,
+    bytes: u64,
+    rows: u64,
+    blocks: u64,
+    n_cols: usize,
+    finished: bool,
+    buf: Vec<u8>,
+}
+
+impl RunWriter {
+    /// Bytes written so far — the offset the next block will land at.
+    pub fn offset(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Blocks written so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Fault-check, budget-charge and write one serialized span.
+    fn write_charged(&mut self, bytes: &[u8]) -> Result<(), PlanError> {
+        fault_check(
+            &self.ctx,
+            &self.mgr,
+            FaultSite::SpillWrite,
+            self.blocks as u32,
+        )?;
+        self.ctx.charge_spill(&self.op, bytes.len())?;
+        if let Err(e) = self.file.write_all(bytes) {
+            // The charge stands until drop/finish refunds it with the
+            // rest of the file.
+            return Err(write_err(format!(
+                "write spill run {}: {e}",
+                self.path.display()
+            )));
+        }
+        self.bytes += bytes.len() as u64;
+        self.mgr
+            .bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Append one block of equal-length column vectors.
+    pub fn write_block(&mut self, cols: &[Vector]) -> Result<(), PlanError> {
+        assert!(!cols.is_empty(), "spill block needs at least one column");
+        let rows = cols[0].len();
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        if self.n_cols == 0 {
+            self.n_cols = cols.len();
+        }
+        debug_assert_eq!(self.n_cols, cols.len(), "spill run column arity drifted");
+        // Cancellation/deadline check between run writes: a cancelled
+        // query stops spilling immediately instead of finishing the
+        // run first.
+        self.ctx.check()?;
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        buf.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(rows as u32).to_le_bytes());
+        buf.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+        for col in cols {
+            encode_frame(col, &mut buf);
+        }
+        let res = self.write_charged(&buf);
+        self.buf = buf;
+        res?;
+        self.rows += rows as u64;
+        self.blocks += 1;
+        Ok(())
+    }
+
+    /// Flush and seal the run. The returned [`SpillRun`] owns the
+    /// file; the writer's drop-cleanup is disarmed.
+    pub fn finish(mut self) -> Result<SpillRun, PlanError> {
+        self.file
+            .flush()
+            .map_err(|e| write_err(format!("flush spill run {}: {e}", self.path.display())))?;
+        self.finished = true;
+        Ok(SpillRun {
+            file: Arc::new(SpillFile {
+                path: self.path.clone(),
+                bytes: self.bytes,
+                ctx: Arc::clone(&self.ctx),
+            }),
+            rows: self.rows,
+            blocks: self.blocks,
+            n_cols: self.n_cols,
+        })
+    }
+}
+
+impl Drop for RunWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = fs::remove_file(&self.path);
+            self.ctx.release_spill(self.bytes as usize);
+        }
+    }
+}
+
+/// Streaming reader over a spill run (or a segment of one). Each
+/// block read checks cancellation, runs the `SpillRead` fault
+/// injector, and verifies frame checksums before returning rows.
+#[derive(Debug)]
+pub struct RunReader {
+    file: File,
+    /// Keeps the backing temp file alive while reading.
+    _keep: Arc<SpillFile>,
+    mgr: Arc<SpillManager>,
+    ctx: Arc<QueryContext>,
+    remaining: u64,
+    block_no: u32,
+    buf: Vec<u8>,
+    scratch: Vec<u64>,
+}
+
+impl RunReader {
+    /// Open a reader over `blocks` blocks starting at byte `offset`.
+    /// Validates the run header regardless of where the window starts.
+    pub fn open(
+        file: &Arc<SpillFile>,
+        offset: u64,
+        blocks: u64,
+        mgr: &Arc<SpillManager>,
+        ctx: &Arc<QueryContext>,
+    ) -> Result<RunReader, PlanError> {
+        let mut f = File::open(file.path()).map_err(|e| {
+            read_err(
+                true,
+                format!("open spill run {}: {e}", file.path().display()),
+            )
+        })?;
+        let mut header = [0u8; RUN_HEADER_BYTES as usize];
+        f.read_exact(&mut header)
+            .map_err(|e| read_err(true, format!("read spill run header: {e}")))?;
+        if header[..4] != RUN_MAGIC.to_le_bytes() || header[4] != RUN_VERSION {
+            return Err(read_err(
+                true,
+                format!("bad spill run header in {}", file.path().display()),
+            ));
+        }
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| read_err(true, format!("seek spill run: {e}")))?;
+        Ok(RunReader {
+            file: f,
+            _keep: Arc::clone(file),
+            mgr: Arc::clone(mgr),
+            ctx: Arc::clone(ctx),
+            remaining: blocks,
+            block_no: 0,
+            buf: Vec::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Read the next block into `out` (one vector per column,
+    /// replaced wholesale). Returns the block's row count, or `None`
+    /// when the window is exhausted.
+    pub fn next_block(&mut self, out: &mut Vec<Vector>) -> Result<Option<usize>, PlanError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.ctx.check()?;
+        fault_check(&self.ctx, &self.mgr, FaultSite::SpillRead, self.block_no)?;
+        let mut head = [0u8; 12];
+        self.file
+            .read_exact(&mut head)
+            .map_err(|e| read_err(true, format!("read spill block header: {e}")))?;
+        let magic = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        if magic != BLOCK_MAGIC {
+            return Err(read_err(true, "torn spill block (bad magic)".to_string()));
+        }
+        let rows = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+        let n_cols = u32::from_le_bytes([head[8], head[9], head[10], head[11]]) as usize;
+        out.resize_with(n_cols, || Vector::I64(Vec::new()));
+        for slot in out.iter_mut().take(n_cols) {
+            self.read_frame(rows, slot)?;
+        }
+        self.remaining -= 1;
+        self.block_no += 1;
+        Ok(Some(rows))
+    }
+
+    fn read_frame(&mut self, rows: usize, out: &mut Vector) -> Result<(), PlanError> {
+        let mut head = [0u8; 9];
+        self.file
+            .read_exact(&mut head)
+            .map_err(|e| read_err(true, format!("read spill frame header: {e}")))?;
+        let tag = head[0];
+        let len = u64::from_le_bytes([
+            head[1], head[2], head[3], head[4], head[5], head[6], head[7], head[8],
+        ]) as usize;
+        self.buf.clear();
+        self.buf.resize(len, 0);
+        self.file
+            .read_exact(&mut self.buf)
+            .map_err(|e| read_err(true, format!("read spill frame payload: {e}")))?;
+        match tag {
+            1 => {
+                let cc = CompressedColumn::from_bytes(&self.buf)
+                    .map_err(|e| read_err(true, format!("spill frame: {e}")))?;
+                if cc.rows() != rows {
+                    return Err(read_err(true, "spill frame row-count mismatch".to_string()));
+                }
+                *out = Vector::with_capacity(cc.physical_type(), rows);
+                let mut cursor = DecodeCursor::default();
+                cc.decode_range(0, rows, out, &mut cursor, &mut self.scratch)
+                    .map_err(|e| read_err(true, format!("spill frame: {e}")))?;
+                Ok(())
+            }
+            0 => raw_decode(&self.buf, rows, out).map_err(|e| read_err(true, e)),
+            other => Err(read_err(true, format!("unknown spill frame tag {other}"))),
+        }
+    }
+}
+
+/// Borrow a vector as an immutable column fragment for the
+/// compression chooser. `Bool` has no fragment twin — those frames
+/// stay raw.
+fn vector_to_column(v: &Vector) -> Option<ColumnData> {
+    Some(match v {
+        Vector::I8(d) => ColumnData::I8(d.clone()),
+        Vector::I16(d) => ColumnData::I16(d.clone()),
+        Vector::I32(d) => ColumnData::I32(d.clone()),
+        Vector::I64(d) => ColumnData::I64(d.clone()),
+        Vector::U8(d) => ColumnData::U8(d.clone()),
+        Vector::U16(d) => ColumnData::U16(d.clone()),
+        Vector::U32(d) => ColumnData::U32(d.clone()),
+        Vector::U64(d) => ColumnData::U64(d.clone()),
+        Vector::F64(d) => ColumnData::F64(d.clone()),
+        Vector::Str(s) => ColumnData::Str(s.clone()),
+        Vector::Bool(_) => return None,
+    })
+}
+
+fn ty_tag(ty: ScalarType) -> u8 {
+    match ty {
+        ScalarType::I8 => 0,
+        ScalarType::I16 => 1,
+        ScalarType::I32 => 2,
+        ScalarType::I64 => 3,
+        ScalarType::U8 => 4,
+        ScalarType::U16 => 5,
+        ScalarType::U32 => 6,
+        ScalarType::U64 => 7,
+        ScalarType::F64 => 8,
+        ScalarType::Str => 9,
+        ScalarType::Bool => 10,
+    }
+}
+
+/// Serialize one column frame: compressed via the storage codecs when
+/// the chooser takes it, raw (checksummed little-endian) otherwise.
+fn encode_frame(col: &Vector, buf: &mut Vec<u8>) {
+    if let Some(cd) = vector_to_column(col) {
+        if let Some(cc) = choose_and_compress(&cd) {
+            let payload = cc.to_bytes();
+            buf.push(1);
+            buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&payload);
+            return;
+        }
+    }
+    buf.push(0);
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0u8; 8]);
+    let start = buf.len();
+    raw_encode(col, buf);
+    let len = (buf.len() - start) as u64;
+    buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+}
+
+macro_rules! raw_numeric {
+    ($data:expr, $buf:expr) => {
+        for v in $data {
+            $buf.extend_from_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+fn raw_encode(col: &Vector, buf: &mut Vec<u8>) {
+    buf.push(ty_tag(col.scalar_type()));
+    buf.extend_from_slice(&(col.len() as u32).to_le_bytes());
+    let start = buf.len();
+    match col {
+        Vector::I8(d) => raw_numeric!(d, buf),
+        Vector::I16(d) => raw_numeric!(d, buf),
+        Vector::I32(d) => raw_numeric!(d, buf),
+        Vector::I64(d) => raw_numeric!(d, buf),
+        Vector::U8(d) => buf.extend_from_slice(d),
+        Vector::U16(d) => raw_numeric!(d, buf),
+        Vector::U32(d) => raw_numeric!(d, buf),
+        Vector::U64(d) => raw_numeric!(d, buf),
+        Vector::F64(d) => {
+            for v in d {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Vector::Bool(d) => {
+            for v in d {
+                buf.push(u8::from(*v));
+            }
+        }
+        Vector::Str(s) => {
+            for v in s.iter() {
+                buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                buf.extend_from_slice(v.as_bytes());
+            }
+        }
+    }
+    let ck = fold_checksum(&buf[start..]);
+    buf.push(ck);
+}
+
+/// Byte cursor over one raw frame payload.
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.b.len() {
+            return Err("raw spill frame truncated".to_string());
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+}
+
+macro_rules! raw_read {
+    ($cur:expr, $rows:expr, $ty:ty) => {{
+        let width = std::mem::size_of::<$ty>();
+        let bytes = $cur.take($rows * width)?;
+        let mut v: Vec<$ty> = Vec::with_capacity($rows);
+        for c in bytes.chunks_exact(width) {
+            let mut le = [0u8; std::mem::size_of::<$ty>()];
+            le.copy_from_slice(c);
+            v.push(<$ty>::from_le_bytes(le));
+        }
+        v
+    }};
+}
+
+fn raw_decode(b: &[u8], rows: usize, out: &mut Vector) -> Result<(), String> {
+    if b.len() < 6 {
+        return Err("raw spill frame truncated".to_string());
+    }
+    let tag = b[0];
+    let n = u32::from_le_bytes([b[1], b[2], b[3], b[4]]) as usize;
+    if n != rows {
+        return Err("raw spill frame row-count mismatch".to_string());
+    }
+    let stored = b[b.len() - 1];
+    let body = &b[5..b.len() - 1];
+    if fold_checksum(body) != stored {
+        return Err("raw spill frame checksum mismatch".to_string());
+    }
+    let mut cur = Cur { b: body, at: 0 };
+    *out = match tag {
+        0 => Vector::I8(raw_read!(cur, rows, i8)),
+        1 => Vector::I16(raw_read!(cur, rows, i16)),
+        2 => Vector::I32(raw_read!(cur, rows, i32)),
+        3 => Vector::I64(raw_read!(cur, rows, i64)),
+        4 => Vector::U8(cur.take(rows)?.to_vec()),
+        5 => Vector::U16(raw_read!(cur, rows, u16)),
+        6 => Vector::U32(raw_read!(cur, rows, u32)),
+        7 => Vector::U64(raw_read!(cur, rows, u64)),
+        8 => {
+            let bits = raw_read!(cur, rows, u64);
+            Vector::F64(bits.into_iter().map(f64::from_bits).collect())
+        }
+        10 => {
+            let bytes = cur.take(rows)?;
+            Vector::Bool(bytes.iter().map(|&x| x != 0).collect())
+        }
+        9 => {
+            let mut s = Vector::with_capacity(ScalarType::Str, rows);
+            if let Vector::Str(sv) = &mut s {
+                for _ in 0..rows {
+                    let len = cur.u32()? as usize;
+                    let raw = cur.take(len)?;
+                    let text = std::str::from_utf8(raw)
+                        .map_err(|_| "raw spill frame: invalid utf-8".to_string())?;
+                    sv.push(text);
+                }
+            }
+            s
+        }
+        other => return Err(format!("raw spill frame: unknown type tag {other}")),
+    };
+    if cur.at != body.len() {
+        return Err("raw spill frame has trailing bytes".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::govern::QueryContext;
+
+    fn ctx_with_spill(budget: usize) -> Arc<QueryContext> {
+        Arc::new(QueryContext::new(
+            None,
+            Some(budget),
+            None,
+            None,
+            None,
+            None,
+        ))
+    }
+
+    fn sample_cols(rows: usize) -> Vec<Vector> {
+        let ints: Vec<i64> = (0..rows as i64).map(|i| i * 3 % 257).collect();
+        let floats: Vec<f64> = (0..rows).map(|i| (i % 100) as f64 * 0.25).collect();
+        let bools: Vec<bool> = (0..rows).map(|i| i % 3 == 0).collect();
+        let mut sv = Vector::with_capacity(ScalarType::Str, rows);
+        if let Vector::Str(s) = &mut sv {
+            for i in 0..rows {
+                s.push(&format!("g{}", i % 7));
+            }
+        }
+        vec![
+            Vector::I64(ints),
+            Vector::F64(floats),
+            Vector::Bool(bools),
+            sv,
+        ]
+    }
+
+    #[test]
+    fn run_round_trip_is_byte_identical() {
+        let ctx = ctx_with_spill(64 << 20);
+        let mgr = ctx.spill_manager().unwrap();
+        let cols = sample_cols(SPILL_BLOCK_ROWS + 100);
+        let mut w = mgr.start_run(&ctx, "test").unwrap();
+        let first: Vec<Vector> = cols
+            .iter()
+            .map(|c| {
+                let mut v = Vector::with_capacity(c.scalar_type(), SPILL_BLOCK_ROWS);
+                crate::ops::extend_range(&mut v, c, 0, SPILL_BLOCK_ROWS);
+                v
+            })
+            .collect();
+        let second: Vec<Vector> = cols
+            .iter()
+            .map(|c| {
+                let mut v = Vector::with_capacity(c.scalar_type(), 100);
+                crate::ops::extend_range(&mut v, c, SPILL_BLOCK_ROWS, 100);
+                v
+            })
+            .collect();
+        w.write_block(&first).unwrap();
+        w.write_block(&second).unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows, (SPILL_BLOCK_ROWS + 100) as u64);
+        assert_eq!(run.blocks, 2);
+        assert!(ctx.spill_peak() > 0);
+
+        let mut r = run.reader(&mgr, &ctx).unwrap();
+        let mut got: Vec<Vector> = Vec::new();
+        let mut block = Vec::new();
+        let mut at = 0usize;
+        while let Some(rows) = r.next_block(&mut block).unwrap() {
+            if got.is_empty() {
+                got = cols
+                    .iter()
+                    .map(|c| Vector::with_capacity(c.scalar_type(), 0))
+                    .collect();
+            }
+            for (dst, src) in got.iter_mut().zip(block.iter()) {
+                crate::ops::extend_range(dst, src, 0, rows);
+            }
+            at += rows;
+        }
+        assert_eq!(at, SPILL_BLOCK_ROWS + 100);
+        for (orig, back) in cols.iter().zip(got.iter()) {
+            assert_eq!(orig.len(), back.len());
+            for i in 0..orig.len() {
+                assert_eq!(
+                    orig.get_value(i),
+                    back.get_value(i),
+                    "column mismatch at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_writer_removes_file_and_refunds_budget() {
+        let ctx = ctx_with_spill(64 << 20);
+        let mgr = ctx.spill_manager().unwrap();
+        let path;
+        {
+            let mut w = mgr.start_run(&ctx, "test").unwrap();
+            w.write_block(&sample_cols(128)).unwrap();
+            path = w.path.clone();
+            assert!(path.exists());
+            assert!(ctx.spill_peak() > 0);
+        }
+        assert!(
+            !path.exists(),
+            "unfinished run file must be removed on drop"
+        );
+    }
+
+    #[test]
+    fn finished_run_file_removed_when_handles_drop() {
+        let ctx = ctx_with_spill(64 << 20);
+        let mgr = ctx.spill_manager().unwrap();
+        let mut w = mgr.start_run(&ctx, "test").unwrap();
+        w.write_block(&sample_cols(64)).unwrap();
+        let run = w.finish().unwrap();
+        let path = run.file.path().to_path_buf();
+        assert!(path.exists());
+        drop(run);
+        assert!(!path.exists(), "sealed run file must be removed on drop");
+    }
+
+    #[test]
+    fn spill_budget_overflow_is_resource_exhausted() {
+        let ctx = ctx_with_spill(64);
+        let mgr = ctx.spill_manager().unwrap();
+        let mut w = mgr.start_run(&ctx, "order-by").unwrap();
+        let err = w.write_block(&sample_cols(4096)).unwrap_err();
+        match err {
+            PlanError::ResourceExhausted { operator, .. } => {
+                assert!(operator.contains("spill budget"), "got operator {operator}");
+            }
+            other => panic!("expected ResourceExhausted, got {other}"),
+        }
+    }
+}

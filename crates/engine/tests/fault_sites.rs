@@ -56,8 +56,9 @@ fn delta_read_fault_surfaces_typed_io() {
     let plan = Plan::scan("orders", &["id", "amount"]).select(gt(col("amount"), lit_f64(-1.0)));
     let opts = ExecOptions::default().with_fault_plan(certain(|p| p.delta_rate(1.0)));
     match execute(&db, &plan, &opts) {
-        Err(PlanError::Io(msg)) => {
-            assert!(msg.contains("delta read"), "message was: {msg}")
+        Err(PlanError::Io { site, detail, .. }) => {
+            assert_eq!(site, FaultSite::DeltaRead);
+            assert!(detail.contains("delta read"), "message was: {detail}")
         }
         other => panic!("expected Io from the delta-read site, got {other:?}"),
     }
@@ -76,8 +77,12 @@ fn dict_lookup_fault_surfaces_typed_io() {
     let plan = Plan::scan("orders", &["id", "status"]);
     let opts = ExecOptions::default().with_fault_plan(certain(|p| p.dict_rate(1.0)));
     match execute(&db, &plan, &opts) {
-        Err(PlanError::Io(msg)) => {
-            assert!(msg.contains("dictionary lookup"), "message was: {msg}")
+        Err(PlanError::Io { site, detail, .. }) => {
+            assert_eq!(site, FaultSite::DictLookup);
+            assert!(
+                detail.contains("dictionary lookup"),
+                "message was: {detail}"
+            )
         }
         other => panic!("expected Io from the dict-lookup site, got {other:?}"),
     }
@@ -114,8 +119,12 @@ fn compressed_read_fault_surfaces_typed_io() {
     let plan = Plan::scan("orders", &["id", "amount"]).select(gt(col("amount"), lit_f64(-1.0)));
     let opts = ExecOptions::default().with_fault_plan(certain(|p| p.compressed_rate(1.0)));
     match execute(&db, &plan, &opts) {
-        Err(PlanError::Io(msg)) => {
-            assert!(msg.contains("compressed chunk read"), "message was: {msg}")
+        Err(PlanError::Io { site, detail, .. }) => {
+            assert_eq!(site, FaultSite::CompressedRead);
+            assert!(
+                detail.contains("compressed chunk read"),
+                "message was: {detail}"
+            )
         }
         other => panic!("expected Io from the compressed-read site, got {other:?}"),
     }
@@ -142,6 +151,25 @@ fn checkpoint_write_fault_is_typed_and_recoverable() {
     let formats = t.try_checkpoint(None).expect("clean retry");
     assert!(!formats.is_empty());
     assert!(t.column(0).compressed().is_some());
+}
+
+#[test]
+fn spill_write_fault_surfaces_typed_io() {
+    let fs = FaultState::new(certain(|p| p.spill_write_rate(1.0)));
+    assert!(fs.check_site(FaultSite::SpillRead, 0).is_ok());
+    let err = fs.check_site(FaultSite::SpillWrite, 7).unwrap_err();
+    assert_eq!(err.site, FaultSite::SpillWrite);
+    assert_eq!(err.col, 7);
+    assert_eq!(err.attempts, 3); // 1 initial + max_retries(2)
+}
+
+#[test]
+fn spill_read_fault_surfaces_typed_io() {
+    let fs = FaultState::new(certain(|p| p.spill_read_rate(1.0)));
+    assert!(fs.check_site(FaultSite::SpillWrite, 0).is_ok());
+    let err = fs.check_site(FaultSite::SpillRead, 2).unwrap_err();
+    assert_eq!(err.site, FaultSite::SpillRead);
+    assert_eq!(err.col, 2);
 }
 
 #[test]

@@ -357,8 +357,9 @@ mod fault_inject {
         .pin(0, 0, 10);
         let opts = ExecOptions::default().with_fault_plan(fault);
         match execute(&db, &plan, &opts) {
-            Err(EngineError::Io(msg)) => {
-                assert!(msg.contains("chunk"), "got {msg:?}");
+            Err(EngineError::Io { site, detail, .. }) => {
+                assert_eq!(site, x100_storage::FaultSite::ChunkRead);
+                assert!(detail.contains("chunk"), "got {detail:?}");
             }
             other => panic!("expected Io error, got {other:?}"),
         }

@@ -25,7 +25,14 @@ use x100_engine::PlanError;
 fn cancellation_is_never_lost() {
     loom::model(|| {
         let tok = CancelToken::new();
-        let ctx = Arc::new(QueryContext::new(None, None, Some(tok.clone()), None, None));
+        let ctx = Arc::new(QueryContext::new(
+            None,
+            None,
+            None,
+            Some(tok.clone()),
+            None,
+            None,
+        ));
         let canceller = loom::thread::spawn(move || tok.cancel());
         // A worker polling concurrently must observe the cancellation
         // in bounded time once the canceller has finished.
@@ -55,7 +62,7 @@ fn panic_probe_fires_exactly_once() {
     let old = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     loom::model(|| {
-        let ctx = Arc::new(QueryContext::new(None, None, None, None, Some(0)));
+        let ctx = Arc::new(QueryContext::new(None, None, None, None, None, Some(0)));
         let handles: Vec<_> = (0..3)
             .map(|_| {
                 let ctx = ctx.clone();
@@ -83,7 +90,7 @@ fn panic_probe_fires_exactly_once() {
 #[test]
 fn budget_charges_balance_under_contention() {
     loom::model(|| {
-        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None));
+        let ctx = Arc::new(QueryContext::new(Some(100), None, None, None, None, None));
         // Two operators race for 60 bytes each against a 100-byte
         // budget while BOTH hold their claim (the barrier keeps the
         // winner from releasing before the loser charges — without it,

@@ -75,6 +75,11 @@ pub enum FaultSite {
     CompressedRead,
     /// Compressed-chunk writes during checkpoint / reorganize.
     CheckpointWrite,
+    /// Spill-run writes: a memory-pressured operator flushing a sorted
+    /// run or a partitioned aggregate table to its temp file.
+    SpillWrite,
+    /// Spill-run reads: re-ingesting a run during the external merge.
+    SpillRead,
 }
 
 impl std::fmt::Display for FaultSite {
@@ -85,6 +90,8 @@ impl std::fmt::Display for FaultSite {
             FaultSite::DictLookup => write!(f, "dictionary lookup"),
             FaultSite::CompressedRead => write!(f, "compressed chunk read"),
             FaultSite::CheckpointWrite => write!(f, "checkpoint write"),
+            FaultSite::SpillWrite => write!(f, "spill run write"),
+            FaultSite::SpillRead => write!(f, "spill run read"),
         }
     }
 }
@@ -158,6 +165,10 @@ pub struct FaultPlan {
     /// Probability in `[0, 1]` that one compressed-chunk write during
     /// checkpoint/reorganize fails.
     pub checkpoint_fault_rate: f64,
+    /// Probability in `[0, 1]` that one spill-run write attempt fails.
+    pub spill_write_fault_rate: f64,
+    /// Probability in `[0, 1]` that one spill-run read attempt fails.
+    pub spill_read_fault_rate: f64,
     /// Seed for the deterministic xorshift RNG driving the rates.
     pub seed: u64,
     /// Chunks that fail a fixed number of times before succeeding.
@@ -180,6 +191,8 @@ impl Default for FaultPlan {
             dict_fault_rate: 0.0,
             compressed_fault_rate: 0.0,
             checkpoint_fault_rate: 0.0,
+            spill_write_fault_rate: 0.0,
+            spill_read_fault_rate: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
             pinned: Vec::new(),
             torn_writes: Vec::new(),
@@ -220,6 +233,18 @@ impl FaultPlan {
     /// Set the probability that a checkpoint/reorganize chunk write fails.
     pub fn checkpoint_rate(mut self, rate: f64) -> Self {
         self.checkpoint_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a spill-run write attempt fails.
+    pub fn spill_write_rate(mut self, rate: f64) -> Self {
+        self.spill_write_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a spill-run read attempt fails.
+    pub fn spill_read_rate(mut self, rate: f64) -> Self {
+        self.spill_read_fault_rate = rate;
         self
     }
 
@@ -375,6 +400,8 @@ impl FaultState {
                 FaultSite::DictLookup => self.plan.dict_fault_rate,
                 FaultSite::CompressedRead => self.plan.compressed_fault_rate,
                 FaultSite::CheckpointWrite => self.plan.checkpoint_fault_rate,
+                FaultSite::SpillWrite => self.plan.spill_write_fault_rate,
+                FaultSite::SpillRead => self.plan.spill_read_fault_rate,
             };
             let mut attempt: u32 = 0;
             loop {

@@ -290,6 +290,222 @@ impl CompressedColumn {
         }
     }
 
+    /// Serialize the whole column to a self-describing byte stream:
+    /// a column preamble (format, physical type, rows, dictionary)
+    /// followed by every chunk as `header.encode()` + body blocks in
+    /// the order the chunk checksum folds them. The per-chunk checksums
+    /// travel inside the headers, so a torn byte anywhere in a body is
+    /// caught by [`CompressedColumn::decode_range`] after
+    /// [`CompressedColumn::from_bytes`] — exactly the guarantee spill
+    /// runs need when they cross a (faultable) disk boundary.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(self.compressed_bytes as usize + 64);
+        b.extend_from_slice(b"XCPC");
+        b.push(1); // version
+        b.push(match self.format {
+            ChunkFormat::Raw => 0,
+            ChunkFormat::Pfor => 1,
+            ChunkFormat::PforDelta => 2,
+            ChunkFormat::Pdict => 3,
+        });
+        b.push(scalar_tag(self.physical));
+        b.push(match &self.dict {
+            None => 0,
+            Some(PdictValues::I32(_)) => 1,
+            Some(PdictValues::I64(_)) => 2,
+            Some(PdictValues::F64(_)) => 3,
+            Some(PdictValues::Str(_)) => 4,
+        });
+        b.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        b.extend_from_slice(&self.raw_bytes.to_le_bytes());
+        b.extend_from_slice(&self.dict_lane.to_le_bytes());
+        b.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        match &self.dict {
+            None => {}
+            Some(PdictValues::I32(v)) => {
+                b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    b.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Some(PdictValues::I64(v)) => {
+                b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    b.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Some(PdictValues::F64(v)) => {
+                b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    b.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            Some(PdictValues::Str(v)) => {
+                b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for s in v.iter() {
+                    b.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    b.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        for c in &self.chunks {
+            b.extend_from_slice(&c.header.encode());
+            match &c.body {
+                ChunkBody::Pfor(p) => {
+                    b.extend_from_slice(&p.payload);
+                    for &x in &p.exc_pos {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                    for &x in &p.exc_frames {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                ChunkBody::PforDelta(p) => {
+                    b.extend_from_slice(&p.payload);
+                    for &x in &p.sync {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                    for &x in &p.exc_pos {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                    for &x in &p.exc_frames {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                ChunkBody::Pdict(p) => b.extend_from_slice(p),
+            }
+        }
+        b
+    }
+
+    /// Rebuild a column serialized by [`CompressedColumn::to_bytes`].
+    /// Structural damage (bad magic, truncation, impossible counts)
+    /// fails here; payload corruption inside a chunk body is deferred
+    /// to the per-chunk checksum on the first `decode_range` touch.
+    pub fn from_bytes(b: &[u8]) -> Result<CompressedColumn, String> {
+        let mut r = ByteReader { b, at: 0 };
+        if r.take(4)? != b"XCPC" {
+            return Err("bad compressed-column magic".into());
+        }
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(format!("unknown compressed-column version {version}"));
+        }
+        let format = match r.u8()? {
+            0 => ChunkFormat::Raw,
+            1 => ChunkFormat::Pfor,
+            2 => ChunkFormat::PforDelta,
+            3 => ChunkFormat::Pdict,
+            t => return Err(format!("unknown column format tag {t}")),
+        };
+        let physical = scalar_from_tag(r.u8()?)?;
+        let dict_tag = r.u8()?;
+        let rows = r.u64()? as usize;
+        let raw_bytes = r.u64()?;
+        let dict_lane = r.u32()?;
+        let n_chunks = r.u32()? as usize;
+        let dict = match dict_tag {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.u32()? as i32);
+                }
+                Some(PdictValues::I32(v))
+            }
+            2 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.u64()? as i64);
+                }
+                Some(PdictValues::I64(v))
+            }
+            3 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(f64::from_bits(r.u64()?));
+                }
+                Some(PdictValues::F64(v))
+            }
+            4 => {
+                let n = r.u32()? as usize;
+                let mut v = StrVec::new();
+                for _ in 0..n {
+                    let len = r.u32()? as usize;
+                    let s = std::str::from_utf8(r.take(len)?)
+                        .map_err(|_| "non-UTF-8 dictionary entry".to_string())?;
+                    v.push(s);
+                }
+                Some(PdictValues::Str(v))
+            }
+            t => return Err(format!("unknown dictionary tag {t}")),
+        };
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut covered = 0usize;
+        for _ in 0..n_chunks {
+            let mut hb = [0u8; HEADER_BYTES];
+            hb.copy_from_slice(r.take(HEADER_BYTES)?);
+            let header = ChunkHeader::decode(&hb)?;
+            let payload = r.take(header.payload_bytes as usize)?.to_vec();
+            let body = match header.format {
+                ChunkFormat::Raw => return Err("raw tag inside compressed chunk".into()),
+                ChunkFormat::Pfor => {
+                    let (exc_pos, exc_frames) = r.exceptions(header.exceptions as usize)?;
+                    ChunkBody::Pfor(k::PforChunk {
+                        lane: header.lane as u32,
+                        base: header.base,
+                        scale: header.scale,
+                        payload,
+                        exc_pos,
+                        exc_frames,
+                    })
+                }
+                ChunkFormat::PforDelta => {
+                    let mut sync = Vec::with_capacity(header.sync_points as usize);
+                    for _ in 0..header.sync_points {
+                        sync.push(r.u64()?);
+                    }
+                    let (exc_pos, exc_frames) = r.exceptions(header.exceptions as usize)?;
+                    ChunkBody::PforDelta(k::PforDeltaChunk {
+                        lane: header.lane as u32,
+                        base: header.base,
+                        payload,
+                        sync,
+                        exc_pos,
+                        exc_frames,
+                    })
+                }
+                ChunkFormat::Pdict => ChunkBody::Pdict(payload),
+            };
+            covered += header.rows as usize;
+            chunks.push(CompressedChunk { header, body });
+        }
+        if covered != rows {
+            return Err(format!("chunk rows {covered} != column rows {rows}"));
+        }
+        let mut chunk_offsets = Vec::with_capacity(chunks.len());
+        let mut off = 0u64;
+        for c in &chunks {
+            chunk_offsets.push(off);
+            off += c.byte_size() as u64;
+        }
+        let compressed_bytes = off + dict.as_ref().map_or(0, |d| d.byte_size() as u64);
+        Ok(CompressedColumn {
+            format,
+            physical,
+            rows,
+            chunks,
+            chunk_offsets,
+            dict,
+            dict_lane,
+            raw_bytes,
+            compressed_bytes,
+        })
+    }
+
     /// Decompress rows `[start, start + rows)` into `out` (cleared and
     /// refilled, mirroring `ColumnData::read_into`). `cursor` carries
     /// sequential decode state between refills; `scratch` is the reused
@@ -1182,6 +1398,97 @@ fn byte_fold(acc: u8, bytes: &[u8]) -> u8 {
     let f = w ^ (w >> 32);
     let f = f ^ (f >> 16);
     (f ^ (f >> 8)) as u8
+}
+
+/// 8-bit fold over one raw byte block — the chunk-checksum fold with
+/// its standard seed, exposed so spill-run frames that store *raw*
+/// (incompressible) column bytes get the same torn-byte detection as
+/// compressed chunks.
+pub fn fold_checksum(bytes: &[u8]) -> u8 {
+    byte_fold(0xA5, bytes)
+}
+
+/// Stable on-disk tag of a physical scalar type (spill/serialize use).
+fn scalar_tag(t: ScalarType) -> u8 {
+    match t {
+        ScalarType::I8 => 0,
+        ScalarType::I16 => 1,
+        ScalarType::I32 => 2,
+        ScalarType::I64 => 3,
+        ScalarType::U8 => 4,
+        ScalarType::U16 => 5,
+        ScalarType::U32 => 6,
+        ScalarType::U64 => 7,
+        ScalarType::F64 => 8,
+        ScalarType::Str => 9,
+        ScalarType::Bool => 10,
+    }
+}
+
+fn scalar_from_tag(tag: u8) -> Result<ScalarType, String> {
+    Ok(match tag {
+        0 => ScalarType::I8,
+        1 => ScalarType::I16,
+        2 => ScalarType::I32,
+        3 => ScalarType::I64,
+        4 => ScalarType::U8,
+        5 => ScalarType::U16,
+        6 => ScalarType::U32,
+        7 => ScalarType::U64,
+        8 => ScalarType::F64,
+        9 => ScalarType::Str,
+        t => return Err(format!("unknown scalar tag {t}")),
+    })
+}
+
+/// Bounds-checked little-endian reader over a serialized column.
+struct ByteReader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.b.len() {
+            return Err(format!(
+                "truncated column stream: need {} bytes at {}, have {}",
+                n,
+                self.at,
+                self.b.len()
+            ));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn exceptions(&mut self, n: usize) -> Result<(Vec<u32>, Vec<u64>), String> {
+        let mut pos = Vec::with_capacity(n);
+        for _ in 0..n {
+            pos.push(self.u32()?);
+        }
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            frames.push(self.u64()?);
+        }
+        Ok((pos, frames))
+    }
 }
 
 fn pfor_checksum(c: &k::PforChunk) -> u8 {

@@ -32,8 +32,8 @@ pub use columnbm::{
     StorageFaultError, TornWrite, DEFAULT_CHUNK_BYTES,
 };
 pub use compress::{
-    choose_and_compress, compress_column_as, ChunkFormat, ChunkHeader, CompressedColumn,
-    DecodeCursor, DecodeStats, PushOp, Pushdown, CHUNK_ROWS, HEADER_BYTES,
+    choose_and_compress, compress_column_as, fold_checksum, ChunkFormat, ChunkHeader,
+    CompressedColumn, DecodeCursor, DecodeStats, PushOp, Pushdown, CHUNK_ROWS, HEADER_BYTES,
 };
 pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};

@@ -199,6 +199,20 @@ proptest! {
             rr.sort();
         }
         prop_assert_eq!(&rr, &base_rows, "render/parse roundtrip diverged:\n{}", text);
+        // Spill invariance: a hostile memory budget plus a spill budget
+        // must degrade gracefully — buffering operators write runs to
+        // disk and re-ingest them — with identical results. The tiny
+        // vector size keeps per-batch charges under the budget so the
+        // pressure lands on the *buffered* state, which can spill.
+        let o = ExecOptions::with_vector_size(16)
+            .with_mem_budget(1 << 10)
+            .with_spill_budget(64 << 20);
+        let (r, _) = execute(&db, &plan, &o).expect("spilled execution");
+        let mut rr = r.row_strings();
+        if !ordered {
+            rr.sort();
+        }
+        prop_assert_eq!(&rr, &base_rows, "spilled execution diverged");
         // MIL column-at-a-time interpreter agreement.
         let (mil, _) = milql::run_plan(&db, &plan).expect("mil");
         let mut mm = mil.row_strings();

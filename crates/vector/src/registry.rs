@@ -121,6 +121,12 @@ pub struct SigInfo {
     /// Whether the compound-fusion rewrite may absorb this primitive
     /// into a fused loop (§4.2).
     pub fusable: bool,
+    /// Whether the operator state this primitive maintains can degrade
+    /// to disk under memory pressure (`engine::spill`). Only stateful
+    /// buffering kernels (hash-table maintenance, sort permutation)
+    /// spill; streaming primitives are bounded by the vector size and
+    /// never need to.
+    pub spills: bool,
 }
 
 impl SigInfo {
@@ -219,6 +225,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
         consumes_sel: false,
         produces_sel: false,
         fusable: false,
+        spills: false,
     };
     let selful = |inputs: Vec<ArgTy>, output: OutTy| SigInfo {
         inputs,
@@ -226,6 +233,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
         consumes_sel: true,
         produces_sel: output == OutTy::Sel,
         fusable: false,
+        spills: false,
     };
     use ScalarType::*;
 
@@ -257,9 +265,21 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
                 OutTy::Vec(F64),
             ))
         }
-        "aggr_hashtable_maintain" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State)),
+        "aggr_hashtable_maintain" => {
+            // Unbounded state: the table spills cold radix partitions
+            // to disk runs when the memory budget is exhausted.
+            let mut s = dense(vec![ArgTy::col(U64)], OutTy::State);
+            s.spills = true;
+            return Ok(s);
+        }
         "aggr_ordered_boundaries" => return Ok(dense(vec![], OutTy::State)),
-        "sort_permutation" => return Ok(dense(vec![], OutTy::Vec(U32))),
+        "sort_permutation" => {
+            // Unbounded buffering: Order/TopN degrades to an external
+            // merge sort over spilled sorted runs under pressure.
+            let mut s = dense(vec![], OutTy::Vec(U32));
+            s.spills = true;
+            return Ok(s);
+        }
         "radix_scatter_positions" => return Ok(dense(vec![ArgTy::col(U32)], OutTy::Vec(U32))),
         "bloom_insert_u64_col" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State)),
         "bloom_test_u64_col" => {
@@ -979,6 +999,22 @@ mod tests {
                 "{dense} must be dense-only"
             );
         }
+    }
+
+    #[test]
+    fn exactly_the_buffering_kernels_advertise_spill() {
+        let reg = PrimitiveRegistry::builtin();
+        let spillers: Vec<&str> = reg
+            .iter()
+            .filter(|d| d.info.spills)
+            .map(|d| d.signature)
+            .collect();
+        // Only the unbounded-state kernels may spill; every streaming
+        // primitive is bounded by the vector size.
+        assert_eq!(
+            spillers,
+            vec!["aggr_hashtable_maintain", "sort_permutation"]
+        );
     }
 
     #[test]

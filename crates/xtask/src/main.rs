@@ -37,6 +37,11 @@
 //!    registered `cmp_<codec>_…_<ty>_…` selection has the matching
 //!    gather, so a predicate can never select survivors the engine has
 //!    no way to materialize.
+//! 6. **Fault-site coverage** — every `FaultSite` variant declared in
+//!    `storage/src/columnbm.rs` is exercised by name in the engine's
+//!    fault-injection suite (`engine/tests/fault_sites.rs`). A new
+//!    injection point cannot land without a test that proves its error
+//!    surfaces typed.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
 
@@ -156,6 +161,7 @@ fn lint() -> Vec<String> {
     ordering_discipline(&root, &mut failures);
     codec_parity(&root, &mut failures);
     compressed_exec_parity(&root, &mut failures);
+    fault_site_coverage(&root, &mut failures);
     failures
 }
 
@@ -532,6 +538,57 @@ fn compressed_exec_parity(root: &Path, failures: &mut Vec<String>) {
             failures.push(format!(
                 "compressed-exec parity: `{sig}` selects in {codec} code space but \
                  `{gather}` is missing — its survivors could not be decoded"
+            ));
+        }
+    }
+}
+
+/// Rule 6: every injection point has a typed-error test.
+///
+/// Parses the `FaultSite` enum body out of `storage/src/columnbm.rs`
+/// (variant = a capitalized identifier line ending in `,`) and requires
+/// each variant name to appear in `engine/tests/fault_sites.rs`.
+fn fault_site_coverage(root: &Path, failures: &mut Vec<String>) {
+    let decl = root.join("crates/storage/src/columnbm.rs");
+    let text =
+        std::fs::read_to_string(&decl).unwrap_or_else(|e| panic!("read {}: {e}", decl.display()));
+    let Some(start) = text.find("pub enum FaultSite") else {
+        failures.push("fault-site coverage: FaultSite enum not found in columnbm.rs".into());
+        return;
+    };
+    let body_start = match text[start..].find('{') {
+        Some(i) => start + i + 1,
+        None => {
+            failures.push("fault-site coverage: FaultSite enum has no body".into());
+            return;
+        }
+    };
+    let body_end = body_start
+        + text[body_start..]
+            .find('}')
+            .expect("FaultSite enum body closes");
+    let variants: Vec<&str> = text[body_start..body_end]
+        .lines()
+        .filter_map(|l| l.trim().strip_suffix(','))
+        .filter(|v| {
+            !v.is_empty()
+                && v.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && v.chars().all(|c| c.is_ascii_alphanumeric())
+        })
+        .collect();
+    if variants.is_empty() {
+        failures.push("fault-site coverage: no FaultSite variants parsed".into());
+        return;
+    }
+    let suite = root.join("crates/engine/tests/fault_sites.rs");
+    let tests =
+        std::fs::read_to_string(&suite).unwrap_or_else(|e| panic!("read {}: {e}", suite.display()));
+    for v in variants {
+        if !tests.contains(v) {
+            failures.push(format!(
+                "fault-site coverage: FaultSite::{v} has no test in \
+                 crates/engine/tests/fault_sites.rs (every injection point \
+                 needs a typed-error test)"
             ));
         }
     }
