@@ -216,9 +216,22 @@ fn main() {
     let vector_sizes: &[usize] = if smoke { &[1024] } else { &[256, 1024, 4096] };
     let threads_axis: &[usize] = &[1, 2, 4, 8];
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Same contract as the other benches: every BENCH_*.json carries
+    // `available_parallelism` + `degraded` so a consumer never has to
+    // guess whether a flat thread-scaling curve is a regression.
+    let degraded = cores == 1;
+    if degraded {
+        eprintln!(
+            "warning: only 1 core available; thread sweeps will be flat and this run is marked \"degraded\": true"
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"compress\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"degraded\": {degraded},\n"));
 
     // ---- Micro sweep: format × selectivity × vector size ----
     println!("micro sweep: {micro_rows} rows per codec table");

@@ -40,7 +40,8 @@
 use crate::batch::OutField;
 use crate::compile::{CheckViolation, ExprProg, Instr, Src};
 use crate::expr::{AggExpr, AggFunc, Expr};
-use crate::plan::{DirectKeySpec, Plan};
+use crate::facts::{self, ColFact, FactRange, NodeFacts, PlanFacts};
+use crate::plan::{plan_key, DirectKeySpec, Plan};
 use crate::session::{Database, ExecOptions};
 use crate::PlanError;
 use std::sync::OnceLock;
@@ -59,6 +60,11 @@ pub struct CheckSummary {
     pub instrs: usize,
     /// Human-readable walk log, one line per node / program.
     pub report: Vec<String>,
+    /// The abstract states and proof sinks the facts analyzer inferred
+    /// during the same walk ([`crate::facts`]); the binder consumes
+    /// `fetch_proofs` (unchecked gather dispatch) and
+    /// `select_verdicts` (constant folding).
+    pub facts: PlanFacts,
 }
 
 impl CheckSummary {
@@ -164,10 +170,24 @@ pub fn explain_check(db: &Database, plan: &Plan, opts: &ExecOptions) -> String {
                 CheckViolation::UndecodedEnumColumn { .. } => "undecoded-enum-column",
                 CheckViolation::UnknownSignature { .. } => "unknown-signature",
                 CheckViolation::SpillUnsupported { .. } => "spill-unsupported",
+                CheckViolation::FactViolation { .. } => "fact-violation",
             };
             format!("plan check FAILED [{class}]\n  at   {path}\n  why  {violation}\n")
         }
         Err(other) => format!("plan check could not run: {other}\n"),
+    }
+}
+
+/// Run [`check_plan`] and render the per-node abstract-interpretation
+/// dump ([`crate::facts`]) — the engine of the `--explain-facts` CLI
+/// flag.
+pub fn explain_facts(db: &Database, plan: &Plan, opts: &ExecOptions) -> String {
+    match check_plan(db, plan, opts) {
+        Ok(summary) => summary.facts.render(),
+        Err(PlanError::PlanCheck { path, violation }) => {
+            format!("facts unavailable: plan check FAILED\n  at   {path}\n  why  {violation}\n")
+        }
+        Err(other) => format!("facts unavailable: {other}\n"),
     }
 }
 
@@ -412,16 +432,24 @@ impl<'a> Checker<'a> {
 
     /// Mirror one aggregate's binding ([`AggFunc`] typing rules), verify
     /// its argument program and update signature, and return its output
-    /// field.
+    /// field plus the abstract fact of the aggregate value (`cf` are the
+    /// input column facts, `rows_max` bounds the rows any one group can
+    /// absorb).
     fn check_agg(
         &mut self,
         spec: &AggExpr,
         fields: &[OutField],
         dicts: &[Option<EnumDict>],
+        cf: &[ColFact],
+        rows_max: Option<u64>,
         path: &str,
-    ) -> Result<OutField, PlanError> {
-        let (sig, out_ty) = match spec.func {
-            AggFunc::Count => ("aggr_count_u32_col".to_owned(), ScalarType::I64),
+    ) -> Result<(OutField, ColFact), PlanError> {
+        let (sig, out_ty, fact) = match spec.func {
+            AggFunc::Count => (
+                "aggr_count_u32_col".to_owned(),
+                ScalarType::I64,
+                facts::agg_fact(AggFunc::Count, None, rows_max),
+            ),
             _ => {
                 let arg = spec.arg.as_ref().ok_or_else(|| {
                     PlanError::Invalid(format!("aggregate {} needs an argument", spec.name))
@@ -438,6 +466,7 @@ impl<'a> Checker<'a> {
                     self.compile_at(&Expr::Cast(want, Box::new(arg.clone())), fields, path)?
                 };
                 self.verify_prog(&prog, fields, dicts, path)?;
+                let argf = facts::eval_prog(&prog, cf, self.reg);
                 let fname = match spec.func {
                     AggFunc::Sum | AggFunc::Avg => "sum",
                     AggFunc::Min => "min",
@@ -451,6 +480,7 @@ impl<'a> Checker<'a> {
                 (
                     format!("aggr_{}_{}_col_u32_col", fname, want.sig_name()),
                     out_ty,
+                    facts::agg_fact(spec.func, Some(&argf), rows_max),
                 )
             }
         };
@@ -460,12 +490,56 @@ impl<'a> Checker<'a> {
                 violation: CheckViolation::UnknownSignature { signature: sig },
             });
         }
-        Ok(OutField::new(spec.name.clone(), out_ty))
+        Ok((OutField::new(spec.name.clone(), out_ty), fact))
     }
 
     fn note(&mut self, path: &str, what: String) {
         self.summary.nodes += 1;
         self.summary.report.push(format!("{path}: {what}"));
+    }
+
+    /// Record `nf` as the inferred facts of `plan`: one
+    /// `--explain-facts` line plus the per-node map entry the binder's
+    /// proof sinks key into.
+    fn put_facts(&mut self, plan: &Plan, path: &str, fields: &[OutField], nf: NodeFacts) {
+        self.summary
+            .facts
+            .lines
+            .push(facts::render_line(path, fields, &nf));
+        self.summary.facts.nodes.insert(plan_key(plan), nf);
+    }
+
+    /// The already-recorded facts of a child node (⊤ of the right width
+    /// if the child somehow was not modeled).
+    fn child_facts(&self, p: &Plan, width: usize) -> NodeFacts {
+        self.summary
+            .facts
+            .nodes
+            .get(&plan_key(p))
+            .cloned()
+            .unwrap_or_else(|| NodeFacts::top(width))
+    }
+
+    /// Facts for a `Select` node: try the constant-fold verdict (binder
+    /// sink), then refine the surviving rows' column facts by the
+    /// predicate's conjuncts.
+    fn select_facts(
+        &mut self,
+        plan: &Plan,
+        input: &Plan,
+        pred: &Expr,
+        fields: &[OutField],
+        path: &str,
+    ) {
+        let mut nf = self.child_facts(input, fields.len());
+        if let Some(v) = facts::pred_verdict(pred, fields, &nf, self.reg) {
+            self.summary.facts.select_verdicts.insert(plan_key(plan), v);
+            if !v {
+                nf.rows_max = Some(0);
+            }
+        }
+        facts::refine_with_pred(pred, fields, &mut nf);
+        self.put_facts(plan, path, fields, nf);
     }
 
     /// When a spill budget is configured, the buffering kernel this
@@ -509,6 +583,7 @@ impl<'a> Checker<'a> {
                 let t = self.db.table(table)?;
                 let mut fields = Vec::new();
                 let mut dicts = Vec::new();
+                let mut col_facts = Vec::new();
                 for name in cols {
                     let ci = t
                         .column_index(name)
@@ -553,7 +628,13 @@ impl<'a> Checker<'a> {
                     };
                     dicts.push(if as_codes { sc.dict().cloned() } else { None });
                     fields.push(OutField::new(name.clone(), ty));
+                    col_facts.push(facts::source_col_fact(&t, ci, as_codes));
                 }
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max: u64::try_from(t.total_rows()).ok(),
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(path, format!("Scan `{table}` → {} cols", fields.len()));
                 Ok((fields, dicts))
             }
@@ -618,6 +699,8 @@ impl<'a> Checker<'a> {
                                 )?
                             }
                         };
+                        let full = crate::plan::rewrite_enum_literals(pred, &fields, &dicts);
+                        self.select_facts(plan, input, &full, &fields, path);
                         self.note(
                             path,
                             format!(
@@ -634,13 +717,16 @@ impl<'a> Checker<'a> {
                 let pred = crate::plan::rewrite_enum_literals(pred, &fields, &dicts);
                 let sigs =
                     self.check_select(&pred, &fields, &dicts, &format!("{path}.Select.pred"))?;
+                self.select_facts(plan, input, &pred, &fields, path);
                 self.note(path, format!("Select → steps [{}]", sigs.join(", ")));
                 Ok((fields, dicts))
             }
             Plan::Project { input, exprs } => {
                 let (fields, dicts) = self.walk(input, &format!("{path}.Project.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let mut out_fields = Vec::new();
                 let mut out_dicts = Vec::new();
+                let mut col_facts = Vec::new();
                 for (i, (name, e)) in exprs.iter().enumerate() {
                     let e = crate::plan::rewrite_enum_literals(e, &fields, &dicts);
                     let epath = format!("{path}.Project.expr[{i}]");
@@ -653,13 +739,20 @@ impl<'a> Checker<'a> {
                             .and_then(|ci| dicts[ci].clone()),
                         _ => None,
                     });
+                    col_facts.push(facts::eval_prog(&prog, &in_nf.cols, self.reg));
                     out_fields.push(OutField::new(name.clone(), prog.result_type()));
                 }
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max: in_nf.rows_max,
+                };
+                self.put_facts(plan, path, &out_fields, nf);
                 self.note(path, format!("Project → {} exprs", exprs.len()));
                 Ok((out_fields, out_dicts))
             }
             Plan::Aggr { input, keys, aggs } => {
                 let (fields, dicts) = self.walk(input, &format!("{path}.Aggr.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 // Mirror the binder's physical choice: direct iff every
                 // key is a bare reference to a dictionary code column.
                 let direct: Option<Vec<DirectKeySpec>> = keys
@@ -677,10 +770,14 @@ impl<'a> Checker<'a> {
                     .collect();
                 match direct {
                     Some(dkeys) if !dkeys.is_empty() => {
-                        self.check_direct(&fields, &dicts, &dkeys, aggs, path)
+                        self.check_direct(plan, &fields, &dicts, &in_nf, &dkeys, aggs, path)
                     }
                     _ => {
                         let mut out_fields = Vec::new();
+                        let mut col_facts = Vec::new();
+                        // Group count ≤ input rows, and ≤ the product of
+                        // the keys' distinct bounds when all are known.
+                        let mut key_distinct = Some(1u64);
                         for (i, (name, e)) in keys.iter().enumerate() {
                             let kpath = format!("{path}.Aggr.key[{i}]");
                             let prog = self.compile_at(e, &fields, &kpath)?;
@@ -699,18 +796,52 @@ impl<'a> Checker<'a> {
                                 }
                                 _ => None,
                             };
+                            let kf = match key_dict {
+                                // Decoded at emission: only the distinct
+                                // bound survives into value space.
+                                Some(d) => ColFact {
+                                    distinct_max: Some(d.cardinality() as u64),
+                                    ..ColFact::top()
+                                },
+                                None => {
+                                    let mut kf = facts::eval_prog(&prog, &in_nf.cols, self.reg);
+                                    kf.sorted = false; // hash order is arbitrary
+                                    kf
+                                }
+                            };
+                            key_distinct = key_distinct
+                                .and_then(|p| kf.distinct_max.and_then(|d| p.checked_mul(d)));
+                            col_facts.push(kf);
                             let out_ty = key_dict.map_or(prog.result_type(), |d| d.value_type());
                             out_fields.push(OutField::new(name.clone(), out_ty));
                         }
                         for (i, spec) in aggs.iter().enumerate() {
                             let apath = format!("{path}.Aggr.agg[{i}]");
-                            out_fields.push(self.check_agg(spec, &fields, &dicts, &apath)?);
+                            let (of, af) = self.check_agg(
+                                spec,
+                                &fields,
+                                &dicts,
+                                &in_nf.cols,
+                                in_nf.rows_max,
+                                &apath,
+                            )?;
+                            out_fields.push(of);
+                            col_facts.push(af);
                         }
                         self.check_spill_capable(
                             "aggr_hashtable_maintain",
                             "HashAggr",
                             &format!("{path}.Aggr"),
                         )?;
+                        let rows_max = match (in_nf.rows_max, key_distinct) {
+                            (Some(r), Some(k)) => Some(r.min(k)),
+                            (r, k) => r.or(k),
+                        };
+                        let nf = NodeFacts {
+                            cols: col_facts,
+                            rows_max,
+                        };
+                        self.put_facts(plan, path, &out_fields, nf);
                         self.note(
                             path,
                             format!("HashAggr → {} keys, {} aggs", keys.len(), aggs.len()),
@@ -722,21 +853,35 @@ impl<'a> Checker<'a> {
             }
             Plan::DirectAggr { input, keys, aggs } => {
                 let (fields, dicts) = self.walk(input, &format!("{path}.DirectAggr.input"))?;
-                self.check_direct(&fields, &dicts, keys, aggs, path)
+                let in_nf = self.child_facts(input, fields.len());
+                self.check_direct(plan, &fields, &dicts, &in_nf, keys, aggs, path)
             }
             Plan::OrdAggr { input, keys, aggs } => {
                 let (fields, dicts) = self.walk(input, &format!("{path}.OrdAggr.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let mut out_fields = Vec::new();
+                let mut col_facts = Vec::new();
                 for (i, (name, e)) in keys.iter().enumerate() {
                     let kpath = format!("{path}.OrdAggr.key[{i}]");
                     let prog = self.compile_at(e, &fields, &kpath)?;
                     self.verify_prog(&prog, &fields, &dicts, &kpath)?;
+                    // Ordered aggregation emits groups in input key
+                    // order, so a sorted input key stays sorted.
+                    col_facts.push(facts::eval_prog(&prog, &in_nf.cols, self.reg));
                     out_fields.push(OutField::new(name.clone(), prog.result_type()));
                 }
                 for (i, spec) in aggs.iter().enumerate() {
                     let apath = format!("{path}.OrdAggr.agg[{i}]");
-                    out_fields.push(self.check_agg(spec, &fields, &dicts, &apath)?);
+                    let (of, af) =
+                        self.check_agg(spec, &fields, &dicts, &in_nf.cols, in_nf.rows_max, &apath)?;
+                    out_fields.push(of);
+                    col_facts.push(af);
                 }
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max: in_nf.rows_max,
+                };
+                self.put_facts(plan, path, &out_fields, nf);
                 self.note(
                     path,
                     format!("OrdAggr → {} keys, {} aggs", keys.len(), aggs.len()),
@@ -753,6 +898,7 @@ impl<'a> Checker<'a> {
             } => {
                 let (mut fields, mut dicts) =
                     self.walk(input, &format!("{path}.Fetch1Join.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let t = self.db.table(table)?;
                 let rpath = format!("{path}.Fetch1Join.rowid");
                 let raw = self.compile_at(rowid, &fields, &rpath)?;
@@ -773,6 +919,44 @@ impl<'a> Checker<'a> {
                         })
                     }
                 }
+                // Fetch-bounds proof: the `_unchecked` gather twins read
+                // only the contiguous fragment arrays, so the proof
+                // obligation is `#rowId ⊆ [0, fragment_rows)` (delta rows
+                // would be out of bounds for the raw-slice kernels). The
+                // proof is only attempted for true u32 join indexes; enum
+                // code rowids decode against the dictionary instead.
+                let rid_range = if raw.result_type() == ScalarType::U32 {
+                    facts::eval_prog(&raw, &in_nf.cols, self.reg)
+                        .range
+                        .and_then(|r| r.as_int())
+                } else {
+                    None
+                };
+                let frag = t.fragment_rows() as u64;
+                let total = t.total_rows() as u64;
+                let proved = rid_range
+                    .is_some_and(|(lo, hi)| lo >= 0 && u64::try_from(hi).is_ok_and(|h| h < frag));
+                self.summary
+                    .facts
+                    .fetch_proofs
+                    .insert(plan_key(plan), proved);
+                if self.opts.enforce_facts && in_nf.rows_max != Some(0) {
+                    if let Some((lo, _)) = rid_range {
+                        if u64::try_from(lo).is_ok_and(|l| l >= total) {
+                            return Err(PlanError::PlanCheck {
+                                path: rpath,
+                                violation: CheckViolation::FactViolation {
+                                    detail: format!(
+                                        "every #rowId is proven >= {total}, but table \
+                                         `{table}` has only {total} rows: the fetch is \
+                                         certainly out of bounds"
+                                    ),
+                                },
+                            });
+                        }
+                    }
+                }
+                let mut col_facts = in_nf.cols.clone();
                 for (i, (src, alias)) in fetch.iter().enumerate() {
                     let ci = t
                         .column_index(src)
@@ -788,6 +972,9 @@ impl<'a> Checker<'a> {
                     }
                     fields.push(OutField::new(alias.clone(), ty));
                     dicts.push(None);
+                    let mut f = facts::source_col_fact(&t, ci, false);
+                    f.sorted = false; // gather order follows the rowids
+                    col_facts.push(f);
                 }
                 for (i, (src, alias)) in fetch_codes.iter().enumerate() {
                     let ci = t
@@ -807,7 +994,15 @@ impl<'a> Checker<'a> {
                     };
                     fields.push(OutField::new(alias.clone(), sc.physical_type()));
                     dicts.push(Some(dict.clone()));
+                    let mut f = facts::source_col_fact(&t, ci, true);
+                    f.sorted = false;
+                    col_facts.push(f);
                 }
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max: in_nf.rows_max,
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(
                     path,
                     format!(
@@ -827,7 +1022,9 @@ impl<'a> Checker<'a> {
             } => {
                 let (mut fields, mut dicts) =
                     self.walk(input, &format!("{path}.FetchNJoin.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let t = self.db.table(table)?;
+                let mut range_facts = Vec::new();
                 for (which, e) in [("lo", lo), ("cnt", cnt)] {
                     let epath = format!("{path}.FetchNJoin.{which}");
                     let prog = self.compile_at(e, &fields, &epath)?;
@@ -844,14 +1041,49 @@ impl<'a> Checker<'a> {
                             },
                         });
                     }
+                    range_facts.push(
+                        facts::eval_prog(&prog, &in_nf.cols, self.reg)
+                            .range
+                            .and_then(|r| r.as_int()),
+                    );
                 }
+                // Fetch-bounds proof: every gathered position is
+                // `lo + k, k < cnt`, so the obligation is
+                // `max(lo) + max(cnt) <= fragment_rows`.
+                let frag = t.fragment_rows() as u64;
+                let (lo_r, cnt_r) = (range_facts[0], range_facts[1]);
+                let proved = match (lo_r, cnt_r) {
+                    (Some((llo, lhi)), Some((_, chi))) if llo >= 0 => u64::try_from(lhi)
+                        .ok()
+                        .zip(u64::try_from(chi).ok())
+                        .and_then(|(a, b)| a.checked_add(b))
+                        .is_some_and(|end| end <= frag),
+                    _ => false,
+                };
+                self.summary
+                    .facts
+                    .fetch_proofs
+                    .insert(plan_key(plan), proved);
+                let rows_max = in_nf.rows_max.and_then(|r| {
+                    let chi = u64::try_from(cnt_r?.1).ok()?;
+                    r.checked_mul(chi)
+                });
+                let mut col_facts = in_nf.cols.clone();
                 for (src, alias) in fetch {
                     let ci = t
                         .column_index(src)
                         .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", t.name(), src)))?;
                     fields.push(OutField::new(alias.clone(), t.column(ci).field().logical));
                     dicts.push(None);
+                    let mut f = facts::source_col_fact(&t, ci, false);
+                    f.sorted = false;
+                    col_facts.push(f);
                 }
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max,
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(
                     path,
                     format!("FetchNJoin `{table}` → +{} cols", fetch.len()),
@@ -865,14 +1097,27 @@ impl<'a> Checker<'a> {
             } => {
                 let (mut fields, mut dicts) =
                     self.walk(input, &format!("{path}.CartProd.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let t = self.db.table(table)?;
+                let mut col_facts = in_nf.cols.clone();
                 for (src, alias) in fetch {
                     let ci = t
                         .column_index(src)
                         .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", t.name(), src)))?;
                     fields.push(OutField::new(alias.clone(), t.column(ci).field().logical));
                     dicts.push(None);
+                    let mut f = facts::source_col_fact(&t, ci, false);
+                    f.sorted = false;
+                    col_facts.push(f);
                 }
+                let rows_max = in_nf
+                    .rows_max
+                    .and_then(|r| r.checked_mul(t.total_rows() as u64));
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max,
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(path, format!("CartProd `{table}` → +{} cols", fetch.len()));
                 Ok((fields, dicts))
             }
@@ -883,16 +1128,30 @@ impl<'a> Checker<'a> {
                 fetch,
             } => {
                 let (mut fields, mut dicts) = self.walk(input, &format!("{path}.Join.input"))?;
+                let in_nf = self.child_facts(input, fields.len());
                 let t = self.db.table(table)?;
+                let mut col_facts = in_nf.cols.clone();
                 for (src, alias) in fetch {
                     let ci = t
                         .column_index(src)
                         .ok_or_else(|| PlanError::UnknownColumn(format!("{}.{}", t.name(), src)))?;
                     fields.push(OutField::new(alias.clone(), t.column(ci).field().logical));
                     dicts.push(None);
+                    let mut f = facts::source_col_fact(&t, ci, false);
+                    f.sorted = false;
+                    col_facts.push(f);
                 }
                 let pred = crate::plan::rewrite_enum_literals(pred, &fields, &dicts);
                 self.check_select(&pred, &fields, &dicts, &format!("{path}.Join.pred"))?;
+                let rows_max = in_nf
+                    .rows_max
+                    .and_then(|r| r.checked_mul(t.total_rows() as u64));
+                let mut nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max,
+                };
+                facts::refine_with_pred(&pred, &fields, &mut nf);
+                self.put_facts(plan, path, &fields, nf);
                 self.note(path, format!("Join `{table}` → +{} cols", fetch.len()));
                 Ok((fields, dicts))
             }
@@ -902,11 +1161,13 @@ impl<'a> Checker<'a> {
                 build_keys,
                 probe_keys,
                 payload,
-                ..
+                join_type,
             } => {
                 let (bfields, bdicts) = self.walk(build, &format!("{path}.HashJoin.build"))?;
                 let (mut fields, mut dicts) =
                     self.walk(probe, &format!("{path}.HashJoin.probe"))?;
+                let build_nf = self.child_facts(build, bfields.len());
+                let probe_nf = self.child_facts(probe, fields.len());
                 let mut btys = Vec::new();
                 for (i, e) in build_keys.iter().enumerate() {
                     let kpath = format!("{path}.HashJoin.build_key[{i}]");
@@ -934,6 +1195,15 @@ impl<'a> Checker<'a> {
                         }
                     }
                 }
+                let mut col_facts: Vec<ColFact> = probe_nf
+                    .cols
+                    .iter()
+                    .cloned()
+                    .map(|mut f| {
+                        f.sorted = false; // match order scrambles rows
+                        f
+                    })
+                    .collect();
                 for (src, alias) in payload {
                     let ci = bfields
                         .iter()
@@ -941,7 +1211,37 @@ impl<'a> Checker<'a> {
                         .ok_or_else(|| PlanError::UnknownColumn(src.clone()))?;
                     fields.push(OutField::new(alias.clone(), bfields[ci].ty));
                     dicts.push(None);
+                    // LeftOuter fills unmatched rows with default values
+                    // (0 / ""), which the build-side range need not
+                    // contain — widen to ⊤ there.
+                    col_facts.push(match join_type {
+                        crate::ops::JoinType::LeftOuter => ColFact::top(),
+                        _ => {
+                            let mut f = build_nf.cols.get(ci).cloned().unwrap_or_else(ColFact::top);
+                            f.sorted = false;
+                            f
+                        }
+                    });
                 }
+                let rows_max = match join_type {
+                    // Semi/anti emit each probe row at most once;
+                    // LeftOuter at least once per probe row, at most
+                    // once per match (plus the default row).
+                    crate::ops::JoinType::LeftSemi | crate::ops::JoinType::LeftAnti => {
+                        probe_nf.rows_max
+                    }
+                    crate::ops::JoinType::Inner => probe_nf
+                        .rows_max
+                        .and_then(|p| build_nf.rows_max.and_then(|b| p.checked_mul(b))),
+                    crate::ops::JoinType::LeftOuter => probe_nf
+                        .rows_max
+                        .and_then(|p| build_nf.rows_max.and_then(|b| p.checked_mul(b.max(1)))),
+                };
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max,
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(
                     path,
                     format!(
@@ -969,6 +1269,18 @@ impl<'a> Checker<'a> {
                 // selection.
                 self.summary.instrs += 1;
                 self.check_spill_capable("sort_permutation", kind, &format!("{path}.{kind}"))?;
+                let mut nf = self.child_facts(input, fields.len());
+                for f in &mut nf.cols {
+                    // `sorted` means sorted in *scan* order, which the
+                    // permutation destroys (the sort key's own order is
+                    // not tracked — keys may be descending).
+                    f.sorted = false;
+                }
+                if let Plan::TopN { limit, .. } = plan {
+                    let lim = *limit as u64;
+                    nf.rows_max = Some(nf.rows_max.map_or(lim, |r| r.min(lim)));
+                }
+                self.put_facts(plan, path, &fields, nf);
                 self.note(path, format!("{kind} → {} sort keys", keys.len()));
                 Ok((fields, dicts))
             }
@@ -977,6 +1289,26 @@ impl<'a> Checker<'a> {
                     .map(|i| OutField::new(format!("d{i}"), ScalarType::I64))
                     .collect();
                 let n = fields.len();
+                let col_facts = dims
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| ColFact {
+                        range: (d > 0).then_some(FactRange::Int(0, d - 1)),
+                        distinct_max: u64::try_from(d).ok(),
+                        // Row-major enumeration: the outermost dimension
+                        // is non-decreasing.
+                        sorted: i == 0,
+                        ..ColFact::top()
+                    })
+                    .collect();
+                let rows_max = dims.iter().try_fold(1u64, |acc, &d| {
+                    u64::try_from(d).ok().and_then(|d| acc.checked_mul(d))
+                });
+                let nf = NodeFacts {
+                    cols: col_facts,
+                    rows_max,
+                };
+                self.put_facts(plan, path, &fields, nf);
                 self.note(path, format!("Array → {n} dims"));
                 Ok((fields, vec![None; n]))
             }
@@ -985,24 +1317,48 @@ impl<'a> Checker<'a> {
 
     /// Mirror `bind_direct`: keys must be code columns (dictionary or
     /// raw u8/u16).
+    #[allow(clippy::too_many_arguments)]
     fn check_direct(
         &mut self,
+        plan: &Plan,
         fields: &[OutField],
         dicts: &[Option<EnumDict>],
+        in_nf: &NodeFacts,
         keys: &[DirectKeySpec],
         aggs: &[AggExpr],
         path: &str,
     ) -> Result<Shape, PlanError> {
         let mut out_fields = Vec::new();
+        let mut col_facts = Vec::new();
+        // The direct-group table has one slot per code combination, so
+        // the group count is bounded by the product of the key domains.
+        let mut groups = Some(1u64);
         for k in keys {
             let i = fields
                 .iter()
                 .position(|f| f.name == k.col)
                 .ok_or_else(|| PlanError::UnknownColumn(k.col.clone()))?;
             match (&dicts[i], fields[i].ty) {
-                (Some(d), _) => out_fields.push(OutField::new(k.name.clone(), d.value_type())),
+                (Some(d), _) => {
+                    out_fields.push(OutField::new(k.name.clone(), d.value_type()));
+                    let card = d.cardinality() as u64;
+                    groups = groups.and_then(|g| g.checked_mul(card));
+                    col_facts.push(ColFact {
+                        distinct_max: Some(card),
+                        ..ColFact::top()
+                    });
+                }
                 (None, ScalarType::U8 | ScalarType::U16) => {
-                    out_fields.push(OutField::new(k.name.clone(), fields[i].ty))
+                    out_fields.push(OutField::new(k.name.clone(), fields[i].ty));
+                    let card = if fields[i].ty == ScalarType::U8 {
+                        1u64 << 8
+                    } else {
+                        1u64 << 16
+                    };
+                    groups = groups.and_then(|g| g.checked_mul(card));
+                    let mut kf = in_nf.cols.get(i).cloned().unwrap_or_else(ColFact::top);
+                    kf.sorted = false;
+                    col_facts.push(kf);
                 }
                 (None, ty) => {
                     return Err(PlanError::PlanCheck {
@@ -1020,8 +1376,20 @@ impl<'a> Checker<'a> {
         }
         for (i, spec) in aggs.iter().enumerate() {
             let apath = format!("{path}.DirectAggr.agg[{i}]");
-            out_fields.push(self.check_agg(spec, fields, dicts, &apath)?);
+            let (of, af) =
+                self.check_agg(spec, fields, dicts, &in_nf.cols, in_nf.rows_max, &apath)?;
+            out_fields.push(of);
+            col_facts.push(af);
         }
+        let rows_max = match (in_nf.rows_max, groups) {
+            (Some(r), Some(g)) => Some(r.min(g)),
+            (r, g) => r.or(g),
+        };
+        let nf = NodeFacts {
+            cols: col_facts,
+            rows_max,
+        };
+        self.put_facts(plan, path, &out_fields, nf);
         self.note(
             path,
             format!("DirectAggr → {} keys, {} aggs", keys.len(), aggs.len()),

@@ -209,6 +209,13 @@ pub enum CheckViolation {
         /// The plan operator that relies on it.
         operator: String,
     },
+    /// The facts analyzer ([`crate::facts`]) proved a defect: e.g. a
+    /// fetch whose `#rowId` range lies entirely outside the table.
+    /// Only raised under `ExecOptions::enforce_facts`.
+    FactViolation {
+        /// What the analyzer proved wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckViolation {
@@ -238,6 +245,9 @@ impl std::fmt::Display for CheckViolation {
                 "spill budget set but `{operator}` relies on `{signature}`, \
                  which does not advertise spill capability"
             ),
+            CheckViolation::FactViolation { detail } => {
+                write!(f, "fact violation: {detail}")
+            }
         }
     }
 }
@@ -944,6 +954,12 @@ impl ExprProg {
     /// verification resolves `Src::Reg` operand types through this).
     pub fn reg_types(&self) -> &[ScalarType] {
         &self.reg_types
+    }
+
+    /// The source of the program's result (column pass-through or a
+    /// register), for the abstract interpreter ([`crate::facts`]).
+    pub fn result_src(&self) -> Src {
+        self.result
     }
 
     /// Swap the result register's buffer with `buf` (zero-copy handoff

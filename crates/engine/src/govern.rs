@@ -82,6 +82,13 @@ pub struct QueryContext {
     fault: Option<FaultState>,
     panic_probe: Option<u64>,
     panic_fired: AtomicBool,
+    /// Facts the bind-time analyzer proved for this query's plan
+    /// ([`crate::facts::PlanFacts`]), set once between `check_plan` and
+    /// binding. Binder sinks (unchecked fetch dispatch, selection
+    /// folding) read it; unset means no proofs (e.g. a bare
+    /// `bind_governed` without a prior check) and the binder stays on
+    /// the checked paths.
+    plan_facts: std::sync::OnceLock<crate::facts::PlanFacts>,
 }
 
 impl QueryContext {
@@ -109,7 +116,21 @@ impl QueryContext {
             fault: fault_plan.map(FaultState::new),
             panic_probe,
             panic_fired: AtomicBool::new(false),
+            plan_facts: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the checker's plan facts (first caller wins; later calls
+    /// are ignored, keeping the proofs consistent with the checked
+    /// plan).
+    pub fn provide_plan_facts(&self, facts: crate::facts::PlanFacts) {
+        let _ = self.plan_facts.set(facts);
+    }
+
+    /// The plan facts attached by [`QueryContext::provide_plan_facts`],
+    /// if any.
+    pub fn plan_facts(&self) -> Option<&crate::facts::PlanFacts> {
+        self.plan_facts.get()
     }
 
     /// A context with no budget, no deadline, and no faults — used by

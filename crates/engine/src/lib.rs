@@ -15,6 +15,9 @@
 //! * [`plan`] — declarative plan trees bound into operator pipelines.
 //! * [`parser`] / [`render`] — the textual X100 algebra of the paper's
 //!   Figs. 6 & 9: parse it, and pretty-print plans back (EXPLAIN).
+//! * [`facts`] — plan-level abstract interpretation: value-range /
+//!   sortedness / row-count facts that prove fetch bounds (unchecked
+//!   gather twins) and constant-fold provable selections.
 //! * [`govern`] — the per-query resource governor: memory budgets,
 //!   cancellation/deadlines, worker-panic containment, fault injection.
 //! * [`profile`] — per-primitive and per-operator tracing (Table 5).
@@ -28,6 +31,7 @@ pub mod batch;
 pub mod check;
 pub mod compile;
 pub mod expr;
+pub mod facts;
 pub mod govern;
 pub mod ops;
 pub mod parser;
@@ -38,12 +42,13 @@ pub mod session;
 pub mod spill;
 
 pub use batch::{Batch, OutField};
-pub use check::{check_plan, explain_check, verify_program, CheckSummary};
+pub use check::{check_plan, explain_check, explain_facts, verify_program, CheckSummary};
 /// Typed engine error (alias of [`PlanError`]): binding, validation and
 /// execution failures that used to be panics surface as this.
 pub use compile::PlanError as EngineError;
 pub use compile::{CheckViolation, ExprProg, PlanError};
 pub use expr::{AggExpr, AggFunc, ArithOp, Expr};
+pub use facts::{ColFact, FactRange, NodeFacts, PlanFacts};
 pub use govern::{CancelToken, MemTracker, QueryContext};
 pub use ops::{AggrPartial, MergeAggrOp, MergeSpec, Operator, PartialAcc};
 pub use parser::{parse_expr, parse_plan};

@@ -28,6 +28,10 @@ struct FetchCol {
     sig: String,
     /// Fetch raw enum codes instead of decoded values.
     as_codes: bool,
+    /// Dispatch the `_unchecked` gather twin: set by the binder only
+    /// when the facts analyzer proved every `#rowId` within the
+    /// fragment (`engine::facts` fetch-bounds sink).
+    unchecked: bool,
     /// Reused scratch for gathering straight from compressed chunks.
     gs: GatherState,
 }
@@ -81,7 +85,78 @@ fn fetch_gather(
             }
         }
     }
+    // Proven-bounds fast path: skip both the O(n) range scan and the
+    // per-element bounds checks. `fc.unchecked` is only ever set by the
+    // binder under a bind-time fetch-bounds proof.
+    if fc.unchecked && (fc.as_codes || sc.dict().is_none()) {
+        out.resize_zeroed(n);
+        if unchecked_gather(sc.physical(), out, &rowids[..n], sel) {
+            prof.add_counter("fetch_unchecked_dispatches", 1);
+            return;
+        }
+    }
     gather_positional(table, fc.col, fc.as_codes, rowids, n, sel, out);
+}
+
+/// Dispatch one `_unchecked` gather twin for a (column, output) type
+/// pair; `false` when no twin exists (strings, u64, bool) and the caller
+/// must fall back to the checked path.
+fn unchecked_gather(
+    data: &ColumnData,
+    out: &mut Vector,
+    rowids: &[u32],
+    sel: Option<&SelVec>,
+) -> bool {
+    // SAFETY (every arm): the bind-time facts proof guarantees each
+    // gathered rowid < fragment length (`engine::facts` fetch-bounds
+    // sink — under a selection only selected positions are gathered,
+    // which are exactly the positions the proof covers), and the caller
+    // resized `out` to cover every gathered position.
+    match (data, out) {
+        (ColumnData::I8(b), Vector::I8(o)) => unsafe {
+            vfetch::map_fetch_u32_col_i8_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::I16(b), Vector::I16(o)) => unsafe {
+            vfetch::map_fetch_u32_col_i16_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::I32(b), Vector::I32(o)) => unsafe {
+            vfetch::map_fetch_u32_col_i32_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::I64(b), Vector::I64(o)) => unsafe {
+            vfetch::map_fetch_u32_col_i64_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::U8(b), Vector::U8(o)) => unsafe {
+            vfetch::map_fetch_u32_col_u8_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::U16(b), Vector::U16(o)) => unsafe {
+            vfetch::map_fetch_u32_col_u16_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::U32(b), Vector::U32(o)) => unsafe {
+            vfetch::map_fetch_u32_col_u32_col_unchecked(o, b, rowids, sel)
+        },
+        (ColumnData::F64(b), Vector::F64(o)) => unsafe {
+            vfetch::map_fetch_u32_col_f64_col_unchecked(o, b, rowids, sel)
+        },
+        _ => return false,
+    }
+    true
+}
+
+/// Whether the `_unchecked` twin family covers this column's physical
+/// representation (it must also not be dictionary-decoded — code
+/// fetches and plain columns qualify, decoded enum fetches do not).
+fn has_unchecked_twin(data: &ColumnData) -> bool {
+    matches!(
+        data,
+        ColumnData::I8(_)
+            | ColumnData::I16(_)
+            | ColumnData::I32(_)
+            | ColumnData::I64(_)
+            | ColumnData::U8(_)
+            | ColumnData::U16(_)
+            | ColumnData::U32(_)
+            | ColumnData::F64(_)
+    )
 }
 
 /// Fetch `table[rowids[i]].col` positionally into `out` under `sel`.
@@ -378,6 +453,7 @@ impl Fetch1JoinOp {
                 col: ci,
                 sig,
                 as_codes: false,
+                unchecked: false,
                 gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
@@ -399,6 +475,7 @@ impl Fetch1JoinOp {
                 col: ci,
                 sig,
                 as_codes: true,
+                unchecked: false,
                 gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
@@ -414,6 +491,27 @@ impl Fetch1JoinOp {
             rowid_buf: Vec::new(),
             out: Batch::new(),
         })
+    }
+
+    /// Switch eligible fetch columns to their `_unchecked` gather twins.
+    /// The binder calls this only when the facts analyzer proved every
+    /// `#rowId` this op gathers within `[0, fragment_rows)`
+    /// (`engine::facts`); columns without a twin (strings, u64, decoded
+    /// enums) keep the checked path.
+    pub fn set_unchecked(&mut self) {
+        set_unchecked_cols(&self.table, &mut self.fetch_cols);
+    }
+}
+
+/// Flip eligible fetch columns to their `_unchecked` twins (shared by
+/// both fetch-join ops; see [`Fetch1JoinOp::set_unchecked`]).
+fn set_unchecked_cols(table: &Table, fetch_cols: &mut [FetchCol]) {
+    for fc in fetch_cols {
+        let sc = table.column(fc.col);
+        if (fc.as_codes || sc.dict().is_none()) && has_unchecked_twin(sc.physical()) {
+            fc.unchecked = true;
+            fc.sig = format!("{}_unchecked", fc.sig);
+        }
     }
 }
 
@@ -523,6 +621,7 @@ impl FetchNJoinOp {
                 col: ci,
                 sig,
                 as_codes: false,
+                unchecked: false,
                 gs: GatherState::default(),
             });
             fields.push(OutField::new(alias.clone(), ty));
@@ -546,6 +645,12 @@ impl FetchNJoinOp {
             vector_size,
             done: false,
         })
+    }
+
+    /// Switch eligible fetch columns to their `_unchecked` gather twins
+    /// (see [`Fetch1JoinOp::set_unchecked`]).
+    pub fn set_unchecked(&mut self) {
+        set_unchecked_cols(&self.table, &mut self.fetch_cols);
     }
 
     /// Pull the next child batch and compute its expansion ranges.

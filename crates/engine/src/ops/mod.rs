@@ -34,6 +34,33 @@ pub use scan::ScanOp;
 pub use select::SelectOp;
 pub use sort::{OrdExp, OrderOp, SortOrder, TopNOp};
 
+/// A dataflow with the right shape and zero rows: what a `Select` whose
+/// predicate the facts analyzer proved always-false binds to (the
+/// constant-folding sink of [`crate::facts`]).
+#[derive(Debug)]
+pub struct EmptyOp {
+    fields: Vec<crate::batch::OutField>,
+}
+
+impl EmptyOp {
+    /// An empty dataflow with the given output shape.
+    pub fn new(fields: Vec<crate::batch::OutField>) -> Self {
+        EmptyOp { fields }
+    }
+}
+
+impl Operator for EmptyOp {
+    fn fields(&self) -> &[crate::batch::OutField] {
+        &self.fields
+    }
+
+    fn next(&mut self, _prof: &mut Profiler) -> Result<Option<&Batch>, PlanError> {
+        Ok(None)
+    }
+
+    fn reset(&mut self) {}
+}
+
 /// A dataflow operator: the vectorized Volcano iterator.
 pub trait Operator {
     /// The output shape (column names and types).

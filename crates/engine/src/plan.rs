@@ -27,7 +27,7 @@
 use crate::expr::{AggExpr, Expr};
 use crate::govern::QueryContext;
 use crate::ops::{
-    ArrayOp, CartProdOp, DirectAggrOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
+    ArrayOp, CartProdOp, DirectAggrOp, EmptyOp, Fetch1JoinOp, FetchNJoinOp, HashAggrOp, HashJoinOp,
     HashJoinProbeOp, JoinBuildTable, Operator, OrdAggrOp, OrdExp, ProjectOp, ScanOp, SelectOp,
     TopNOp,
 };
@@ -226,9 +226,11 @@ impl Plan {
     /// with its own (unshared) governor context derived from `opts`.
     pub fn bind(&self, db: &Database, opts: &ExecOptions) -> Result<Box<dyn Operator>, PlanError> {
         // Static verification first: ill-formed programs must never
-        // reach a kernel (see `crate::check`).
-        crate::check::check_plan(db, self, opts)?;
+        // reach a kernel (see `crate::check`). The same walk runs the
+        // facts analyzer; its proofs flow to the binder via the context.
+        let summary = crate::check::check_plan(db, self, opts)?;
         let ctx = opts.query_context();
+        ctx.provide_plan_facts(summary.facts);
         Ok(self.bind_inner(db, opts, None, None, &ctx)?.0)
     }
 
@@ -279,6 +281,23 @@ impl Plan {
                 Ok((Box::new(op), dicts))
             }
             Plan::Select { input, pred } => {
+                // Constant-fold sink (see `crate::facts`): a predicate
+                // proven always-true binds to the child alone; proven
+                // always-false binds to an empty pipeline. The verdict
+                // is keyed by node address, so every worker's bind of
+                // the same borrowed plan folds identically.
+                match ctx
+                    .plan_facts()
+                    .and_then(|f| f.select_verdicts.get(&plan_key(self)).copied())
+                {
+                    Some(true) => return input.bind_inner(db, opts, morsels, shared, ctx),
+                    Some(false) => {
+                        let (child, dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
+                        let op = EmptyOp::new(child.fields().to_vec());
+                        return Ok((Box::new(op), dicts));
+                    }
+                    None => {}
+                }
                 // Compression-aware fusion: Select over a Scan of a
                 // checkpoint-compressed column pushes (part of) the
                 // predicate into encoded space — the scan refill becomes
@@ -414,7 +433,18 @@ impl Plan {
                         "code fetch from `{table}` requires a reorganized table"
                     )));
                 }
-                let op = Fetch1JoinOp::new(child, t.clone(), rowid, fetch, fetch_codes, vs, comp)?;
+                let mut op =
+                    Fetch1JoinOp::new(child, t.clone(), rowid, fetch, fetch_codes, vs, comp)?;
+                // Fetch-bounds sink: the analyzer proved every #rowId
+                // within the fragment, so eligible gathers dispatch the
+                // `_unchecked` kernel twins.
+                if opts.unchecked_fetch
+                    && ctx
+                        .plan_facts()
+                        .is_some_and(|f| f.fetch_proofs.get(&plan_key(self)) == Some(&true))
+                {
+                    op.set_unchecked();
+                }
                 dicts.extend(fetch.iter().map(|_| None));
                 dicts.extend(
                     fetch_codes
@@ -432,7 +462,14 @@ impl Plan {
             } => {
                 let (child, mut dicts) = input.bind_inner(db, opts, morsels, shared, ctx)?;
                 let t = db.table(table)?;
-                let op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
+                let mut op = FetchNJoinOp::new(child, t, lo, cnt, fetch, vs, comp)?;
+                if opts.unchecked_fetch
+                    && ctx
+                        .plan_facts()
+                        .is_some_and(|f| f.fetch_proofs.get(&plan_key(self)) == Some(&true))
+                {
+                    op.set_unchecked();
+                }
                 dicts.extend(fetch.iter().map(|_| None));
                 Ok((Box::new(op), dicts))
             }

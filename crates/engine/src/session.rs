@@ -80,6 +80,17 @@ pub struct ExecOptions {
     /// Testing aid: deliberately panic inside the pipeline after this
     /// many governor checks (exercises worker-panic containment).
     pub panic_probe: Option<u64>,
+    /// Escalate provable fact violations (e.g. a `Fetch1Join` whose
+    /// every `#rowId` is proven out of bounds) from runtime errors to
+    /// bind-time [`crate::CheckViolation::FactViolation`]s. Defaults to
+    /// the presence of the `X100_ENFORCE_FACTS` environment variable
+    /// (the differential CI harness sets it).
+    pub enforce_facts: bool,
+    /// Allow the binder to dispatch `_unchecked` gather twins where the
+    /// facts analyzer proves the fetch bounds ([`crate::facts`]).
+    /// `false` forces the checked kernels everywhere (ablation /
+    /// differential baseline).
+    pub unchecked_fetch: bool,
 }
 
 impl Default for ExecOptions {
@@ -100,6 +111,8 @@ impl Default for ExecOptions {
             cancel: None,
             fault_plan: None,
             panic_probe: None,
+            enforce_facts: std::env::var_os("X100_ENFORCE_FACTS").is_some(),
+            unchecked_fetch: true,
         }
     }
 }
@@ -188,6 +201,20 @@ impl ExecOptions {
     /// checkpoints (see [`ExecOptions::panic_probe`]).
     pub fn with_panic_probe(mut self, checks: u64) -> Self {
         self.panic_probe = Some(checks);
+        self
+    }
+
+    /// Turn provable fact violations into bind-time errors
+    /// (see [`ExecOptions::enforce_facts`]).
+    pub fn with_enforce_facts(mut self, on: bool) -> Self {
+        self.enforce_facts = on;
+        self
+    }
+
+    /// Enable or disable fact-proven `_unchecked` gather dispatch
+    /// (enabled by default; see [`ExecOptions::unchecked_fetch`]).
+    pub fn with_unchecked_fetch(mut self, on: bool) -> Self {
+        self.unchecked_fetch = on;
         self
     }
 
@@ -344,9 +371,12 @@ pub fn execute(
     opts: &ExecOptions,
 ) -> Result<(QueryResult, Profiler), PlanError> {
     // Static verification gate: every plan is checked against the
-    // primitive catalog before any operator is constructed.
-    crate::check::check_plan(db, plan, opts)?;
+    // primitive catalog before any operator is constructed. The same
+    // walk runs the facts analyzer; its proofs ride into the binder via
+    // the query context.
+    let summary = crate::check::check_plan(db, plan, opts)?;
     let ctx = opts.query_context();
+    ctx.provide_plan_facts(summary.facts);
     if opts.threads > 1 {
         if let Some((result, mut prof)) =
             crate::ops::parallel::try_execute_parallel(db, plan, opts, &ctx)?

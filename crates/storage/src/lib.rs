@@ -39,4 +39,4 @@ pub use delta::{DeleteList, InsertDelta};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};
 pub use morsel::{plan_morsels, Morsel};
 pub use summary::{SummaryIndex, DEFAULT_GRANULARITY};
-pub use table::{Field, StoredColumn, Table, TableBuilder};
+pub use table::{ColumnStats, Field, StoredColumn, Table, TableBuilder};

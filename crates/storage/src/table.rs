@@ -24,6 +24,99 @@ pub struct Field {
     pub logical: ScalarType,
 }
 
+/// Per-fragment column statistics, harvested when the fragment is built
+/// (`TableBuilder::build` / `Table::reorganize`) — the fragment is
+/// immutable in between, so the stats stay exact until the next rebuild.
+/// They are the *source facts* of the engine's plan-level abstract
+/// interpretation (`engine::facts`): value range and sortedness of the
+/// physical data (codes for enum columns). A checkpoint's compressed
+/// chunks carry the same bounds per chunk (PFOR frame base/width);
+/// these are the fragment-wide rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum physical value. `None` for string or empty fragments, or
+    /// when a float fragment contains NaN.
+    pub min: Option<Value>,
+    /// Maximum physical value (same caveats as `min`).
+    pub max: Option<Value>,
+    /// Whether the fragment is non-decreasing.
+    pub sorted: bool,
+}
+
+impl ColumnStats {
+    /// Compute stats over one fragment in a single pass.
+    pub fn compute(data: &ColumnData) -> ColumnStats {
+        fn ints<T: Copy + Ord>(v: &[T], mk: impl Fn(T) -> Value) -> ColumnStats {
+            let Some(&first) = v.first() else {
+                return ColumnStats {
+                    min: None,
+                    max: None,
+                    sorted: true,
+                };
+            };
+            let (mut mn, mut mx, mut sorted, mut prev) = (first, first, true, first);
+            for &x in &v[1..] {
+                mn = mn.min(x);
+                mx = mx.max(x);
+                sorted &= prev <= x;
+                prev = x;
+            }
+            ColumnStats {
+                min: Some(mk(mn)),
+                max: Some(mk(mx)),
+                sorted,
+            }
+        }
+        match data {
+            ColumnData::I8(v) => ints(v, Value::I8),
+            ColumnData::I16(v) => ints(v, Value::I16),
+            ColumnData::I32(v) => ints(v, Value::I32),
+            ColumnData::I64(v) => ints(v, Value::I64),
+            ColumnData::U8(v) => ints(v, Value::U8),
+            ColumnData::U16(v) => ints(v, Value::U16),
+            ColumnData::U32(v) => ints(v, Value::U32),
+            ColumnData::U64(v) => ints(v, Value::U64),
+            ColumnData::F64(v) => {
+                if v.is_empty() {
+                    return ColumnStats {
+                        min: None,
+                        max: None,
+                        sorted: true,
+                    };
+                }
+                if v.iter().any(|x| x.is_nan()) {
+                    // NaN poisons both the ordering and the range; the
+                    // analyzer treats the column as ⊤.
+                    return ColumnStats {
+                        min: None,
+                        max: None,
+                        sorted: false,
+                    };
+                }
+                let (mut mn, mut mx, mut sorted, mut prev) = (v[0], v[0], true, v[0]);
+                for &x in &v[1..] {
+                    mn = mn.min(x);
+                    mx = mx.max(x);
+                    sorted &= prev <= x;
+                    prev = x;
+                }
+                ColumnStats {
+                    min: Some(Value::F64(mn)),
+                    max: Some(Value::F64(mx)),
+                    sorted,
+                }
+            }
+            // Strings carry no numeric range; lexicographic order is of
+            // no use to the analyzer.
+            ColumnData::Str(_) => ColumnStats {
+                min: None,
+                max: None,
+                sorted: false,
+            },
+        }
+    }
+}
+
 /// One stored column: physical data + optional dictionary + optional
 /// summary index.
 #[derive(Debug, Clone)]
@@ -34,6 +127,8 @@ pub struct StoredColumn {
     data: ColumnData,
     dict: Option<EnumDict>,
     summary: Option<SummaryIndex>,
+    /// Fragment statistics, refreshed whenever `data` is rebuilt.
+    stats: Option<ColumnStats>,
     /// Compressed rewrite of `data`, present after a checkpoint. Scans
     /// prefer it; it always covers exactly the fragment rows.
     compressed: Option<CompressedColumn>,
@@ -76,6 +171,12 @@ impl StoredColumn {
     /// and the format chooser found a paying format.
     pub fn compressed(&self) -> Option<&CompressedColumn> {
         self.compressed.as_ref()
+    }
+
+    /// Fragment statistics (physical values; codes for enum columns).
+    /// Prefer [`Table::column_stats`], which widens under pending deltas.
+    pub fn stats(&self) -> Option<&ColumnStats> {
+        self.stats.as_ref()
     }
 
     /// Decode one fragment value to its logical form (slow path).
@@ -121,6 +222,7 @@ impl TableBuilder {
             data,
             dict: None,
             summary: None,
+            stats: None,
             compressed: None,
             epoch: 0,
             codec_epoch: None,
@@ -147,6 +249,7 @@ impl TableBuilder {
             data: codes,
             dict: Some(dict),
             summary: None,
+            stats: None,
             compressed: None,
             epoch: 0,
             codec_epoch: None,
@@ -210,18 +313,22 @@ impl TableBuilder {
     /// Panics if columns differ in length.
     pub fn build(self) -> Table {
         let rows = self.columns.first().map_or(0, |c| c.data.len());
-        for c in &self.columns {
+        let mut columns = self.columns;
+        for c in &mut columns {
             assert_eq!(
                 c.data.len(),
                 rows,
                 "column {} length mismatch",
                 c.field.name
             );
+            // Harvest fragment stats once at build: the fragment is
+            // immutable until the next reorganize, which recomputes.
+            c.stats = Some(ColumnStats::compute(&c.data));
         }
-        let types: Vec<ScalarType> = self.columns.iter().map(|c| c.field.logical).collect();
+        let types: Vec<ScalarType> = columns.iter().map(|c| c.field.logical).collect();
         Table {
             name: self.name,
-            columns: self.columns,
+            columns,
             frag_rows: rows,
             deletes: DeleteList::default(),
             inserts: InsertDelta::new(&types),
@@ -287,6 +394,20 @@ impl Table {
     /// Rows in the insert delta.
     pub fn delta_rows(&self) -> usize {
         self.inserts.len()
+    }
+
+    /// Fragment statistics for column `i`, *widened to unknown* while
+    /// insert-delta rows are pending: delta values bypass the fragment
+    /// and are not covered by the stats, so any range claim would be
+    /// unsound. Deletes do not widen — visible rows are a subset of the
+    /// fragment the stats describe. Reorganization merges the deltas
+    /// and recomputes, restoring precision.
+    pub fn column_stats(&self, i: usize) -> Option<&ColumnStats> {
+        if !self.inserts.is_empty() {
+            None
+        } else {
+            self.columns[i].stats.as_ref()
+        }
     }
 
     /// Total row id space (fragments + deltas, including deleted rows).
@@ -579,11 +700,13 @@ impl Table {
             } else {
                 (None, None)
             };
+            let stats = Some(ColumnStats::compute(&data));
             new_cols.push(StoredColumn {
                 field: old.field.clone(),
                 data,
                 dict,
                 summary,
+                stats,
                 compressed,
                 epoch,
                 codec_epoch,
@@ -899,6 +1022,44 @@ mod tests {
             v.as_i64()[..4],
             [65_536 % 7000, 65_537 % 7000, 65_538 % 7000, 65_539 % 7000]
         );
+    }
+
+    #[test]
+    fn stats_harvested_at_build_and_widened_by_deltas() {
+        let mut t = small_table();
+        let id = t.column_stats(0).expect("built tables carry stats");
+        assert_eq!(id.min, Some(Value::I64(0)));
+        assert_eq!(id.max, Some(Value::I64(9)));
+        assert!(id.sorted);
+        // Enum stats cover the physical codes ("A"/"B" → 0/1).
+        let flag = t.column_stats(1).expect("code stats");
+        assert_eq!(flag.min, Some(Value::U8(0)));
+        assert_eq!(flag.max, Some(Value::U8(1)));
+        // Deletes don't widen (subset of the fragment)…
+        t.delete(3);
+        assert!(t.column_stats(0).is_some());
+        // …but pending insert-delta rows do: they bypass the fragment.
+        t.insert(&[Value::I64(999), Value::Str("A".into()), Value::F64(0.0)]);
+        assert!(t.column_stats(0).is_none(), "delta rows widen stats");
+        // Reorganize merges deltas and recomputes exact stats.
+        t.reorganize();
+        let id = t.column_stats(0).expect("recomputed");
+        assert_eq!(id.max, Some(Value::I64(999)));
+        assert!(id.sorted, "999 appended after an ascending prefix");
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        let empty = ColumnStats::compute(&ColumnData::I32(vec![]));
+        assert_eq!(empty.min, None);
+        assert!(empty.sorted);
+        let nan = ColumnStats::compute(&ColumnData::F64(vec![1.0, f64::NAN]));
+        assert_eq!(nan.min, None);
+        assert!(!nan.sorted);
+        let f = ColumnStats::compute(&ColumnData::F64(vec![2.5, 1.5, 3.5]));
+        assert_eq!(f.min, Some(Value::F64(1.5)));
+        assert_eq!(f.max, Some(Value::F64(3.5)));
+        assert!(!f.sorted);
     }
 
     #[test]

@@ -44,6 +44,65 @@ fetch_instance!(map_fetch_u32_col_u16_col, u16);
 fetch_instance!(map_fetch_u32_col_u32_col, u32);
 fetch_instance!(map_fetch_u32_col_f64_col, f64);
 
+/// Generic unchecked gather: `res[i] = base[idx[i]]` with no per-element
+/// bounds check — the `_unchecked` twin the engine dispatches when the
+/// facts analyzer proved every index within `base` (paper-style "on the
+/// metal" loops: no checks the compiler cannot hoist).
+///
+/// # Safety
+/// Every `idx` value read (all of `idx[..res.len()]` when `sel` is
+/// `None`, else `idx[i]` for each selected `i`) must be `< base.len()`,
+/// and under a selection every selected `i` must be `< res.len()` and
+/// `< idx.len()`. The engine only reaches this through a bind-time
+/// range proof (`engine::facts`); debug builds re-assert the contract.
+#[inline]
+pub unsafe fn fetch_unchecked<T: Copy>(
+    res: &mut [T],
+    base: &[T],
+    idx: &[u32],
+    sel: Option<&SelVec>,
+) {
+    match sel {
+        None => {
+            for (r, &j) in res.iter_mut().zip(idx.iter()) {
+                debug_assert!((j as usize) < base.len());
+                *r = *base.get_unchecked(j as usize);
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                debug_assert!(i < res.len() && i < idx.len());
+                let j = *idx.get_unchecked(i) as usize;
+                debug_assert!(j < base.len());
+                *res.get_unchecked_mut(i) = *base.get_unchecked(j);
+            }
+        }
+    }
+}
+
+macro_rules! fetch_unchecked_instance {
+    ($name:ident, $ty:ty) => {
+        /// Macro-generated unchecked fetch twin.
+        ///
+        /// # Safety
+        /// See [`fetch_unchecked`]: every gathered index must be within
+        /// `base`, as proven at bind time by `engine::facts`.
+        #[inline]
+        pub unsafe fn $name(res: &mut [$ty], base: &[$ty], idx: &[u32], sel: Option<&SelVec>) {
+            fetch_unchecked(res, base, idx, sel);
+        }
+    };
+}
+
+fetch_unchecked_instance!(map_fetch_u32_col_i8_col_unchecked, i8);
+fetch_unchecked_instance!(map_fetch_u32_col_i16_col_unchecked, i16);
+fetch_unchecked_instance!(map_fetch_u32_col_i32_col_unchecked, i32);
+fetch_unchecked_instance!(map_fetch_u32_col_i64_col_unchecked, i64);
+fetch_unchecked_instance!(map_fetch_u32_col_u8_col_unchecked, u8);
+fetch_unchecked_instance!(map_fetch_u32_col_u16_col_unchecked, u16);
+fetch_unchecked_instance!(map_fetch_u32_col_u32_col_unchecked, u32);
+fetch_unchecked_instance!(map_fetch_u32_col_f64_col_unchecked, f64);
+
 /// Gather via 1-byte enum codes: `res[i] = base[code[i]]`
 /// (the paper's `map_fetch_uchr_col_flt_col` for `f64` payloads).
 #[inline]
@@ -125,6 +184,29 @@ mod tests {
         let mut res = [-1i64; 3];
         map_fetch_u32_col_i64_col(&mut res, &base, &idx, Some(&sel));
         assert_eq!(res, [30, -1, 10]);
+    }
+
+    #[test]
+    fn unchecked_twin_matches_checked_gather() {
+        let base = [10.0, 20.0, 30.0, 40.0];
+        let idx = [3, 0, 2];
+        let mut checked = [0.0; 3];
+        let mut unchecked = [0.0; 3];
+        map_fetch_u32_col_f64_col(&mut checked, &base, &idx, None);
+        // SAFETY: every index in `idx` is < base.len().
+        unsafe { map_fetch_u32_col_f64_col_unchecked(&mut unchecked, &base, &idx, None) };
+        assert_eq!(checked, unchecked);
+
+        let sel = SelVec::from_positions(vec![0, 2]);
+        let mut c2 = [-1i64; 3];
+        let mut u2 = [-1i64; 3];
+        let ibase = [10i64, 20, 30];
+        let idx2 = [2, 1, 0];
+        map_fetch_u32_col_i64_col(&mut c2, &ibase, &idx2, Some(&sel));
+        // SAFETY: every selected index in `idx2` is < ibase.len().
+        unsafe { map_fetch_u32_col_i64_col_unchecked(&mut u2, &ibase, &idx2, Some(&sel)) };
+        assert_eq!(c2[0], u2[0]);
+        assert_eq!(c2[2], u2[2]);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod vector;
 
 pub use map::CmpOp;
 pub use registry::{
-    parse_signature, ArgTy, OutTy, PrimitiveDesc, PrimitiveKind, PrimitiveRegistry, SigInfo,
-    VecShape,
+    parse_signature, ArgTy, FactTransfer, OutTy, PrimitiveDesc, PrimitiveKind, PrimitiveRegistry,
+    SigInfo, VecShape,
 };
 pub use sel::SelVec;
 pub use select::SelectStrategy;

@@ -98,6 +98,57 @@ pub enum OutTy {
     Poly,
 }
 
+/// How a primitive transforms abstract value facts — the transfer
+/// function `engine::facts` applies when it interprets a compiled
+/// program over abstract column states (value ranges, sortedness,
+/// distinct bounds). Declared here, in the same grammar-derived catalog
+/// as the rest of [`SigInfo`], so the analyzer and the registry cannot
+/// drift: `cargo xtask lint` (rule 7) requires every registered
+/// primitive to either declare a modeled transfer or opt out by name
+/// via [`FactTransfer::Opaque`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactTransfer {
+    /// Interval arithmetic over the operand ranges (add/sub/mul/div and
+    /// the fused `(v ± a) * b` compounds). Potential overflow of the
+    /// result type widens to ⊤.
+    Interval,
+    /// Comparison producing a boolean in `[0, 1]`; constant-folds when
+    /// the operand ranges are disjoint or fully ordered.
+    Compare,
+    /// Boolean algebra over `[0, 1]` operands (and/or/not).
+    Logic,
+    /// Broadcast of a literal: a singleton range.
+    Fill,
+    /// Widening cast: the input range carries over to the target type.
+    Cast,
+    /// Monotone scalar map: the endpoints of the input range map to the
+    /// endpoints of the output range (e.g. `map_year_i32_col`).
+    Monotone,
+    /// Positional gather: the output range is the gathered column's
+    /// range (the index range is what the fetch-bounds proof checks).
+    Fetch,
+    /// Output covers the full domain of its type (hash / rehash).
+    Domain,
+    /// Valid-position output: a permutation, partition id, or group
+    /// index in `[0, n)` (sorts, radix scatter, direct grouping).
+    Positions,
+    /// Produces a selection vector: downstream facts are refined (a
+    /// subset of positions survives), never widened.
+    Refine,
+    /// Codec round trip: values pass through unchanged (decompress and
+    /// selective-decode gathers).
+    Passthrough,
+    /// Aggregate-state update: folded by the aggregation transfer at
+    /// the plan node (sum/min/max/count range algebra).
+    Aggregate,
+    /// Side-effecting state sink (scatter, compress, Bloom insert): no
+    /// value facts flow downstream.
+    Sink,
+    /// Explicitly unmodeled: facts widen to ⊤. Every `Opaque` primitive
+    /// must appear in the xtask lint allowlist — no silent defaults.
+    Opaque,
+}
+
 /// Machine-readable typing of one primitive signature.
 ///
 /// Derived from the signature grammar by [`parse_signature`]; stored on
@@ -127,6 +178,9 @@ pub struct SigInfo {
     /// spill; streaming primitives are bounded by the vector size and
     /// never need to.
     pub spills: bool,
+    /// The abstract transfer function `engine::facts` applies for this
+    /// primitive (see [`FactTransfer`]).
+    pub transfer: FactTransfer,
 }
 
 impl SigInfo {
@@ -219,89 +273,116 @@ const CMP_OPS: [&str; 6] = ["eq", "ne", "lt", "le", "gt", "ge"];
 /// construction, so a new primitive cannot be cataloged without also
 /// extending the grammar.
 pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
-    let dense = |inputs: Vec<ArgTy>, output: OutTy| SigInfo {
+    let dense = |inputs: Vec<ArgTy>, output: OutTy, transfer: FactTransfer| SigInfo {
         inputs,
         output,
         consumes_sel: false,
         produces_sel: false,
         fusable: false,
         spills: false,
+        transfer,
     };
-    let selful = |inputs: Vec<ArgTy>, output: OutTy| SigInfo {
+    let selful = |inputs: Vec<ArgTy>, output: OutTy, transfer: FactTransfer| SigInfo {
         inputs,
         output,
         consumes_sel: true,
         produces_sel: output == OutTy::Sel,
         fusable: false,
         spills: false,
+        transfer,
     };
+    use FactTransfer as T;
     use ScalarType::*;
 
     // Irregular signatures first: explicit typing.
     match sig {
-        "select_true_bool_col" => return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Sel)),
+        "select_true_bool_col" => return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Sel, T::Refine)),
         "select_eq_str_col_val" => {
-            return Ok(selful(vec![ArgTy::col(Str), ArgTy::val(Str)], OutTy::Sel))
+            return Ok(selful(
+                vec![ArgTy::col(Str), ArgTy::val(Str)],
+                OutTy::Sel,
+                T::Refine,
+            ))
         }
         "map_and_bool_col" | "map_or_bool_col" => {
             return Ok(selful(
                 vec![ArgTy::col(Bool), ArgTy::col(Bool)],
                 OutTy::Vec(Bool),
+                T::Logic,
             ))
         }
-        "map_not_bool_col" => return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Vec(Bool))),
-        "map_fill_const" => return Ok(selful(vec![], OutTy::Poly)),
-        "map_year_i32_col" => return Ok(selful(vec![ArgTy::col(I32)], OutTy::Vec(I32))),
+        "map_not_bool_col" => {
+            return Ok(selful(vec![ArgTy::col(Bool)], OutTy::Vec(Bool), T::Logic))
+        }
+        "map_fill_const" => return Ok(selful(vec![], OutTy::Poly, T::Fill)),
+        "map_year_i32_col" => {
+            return Ok(selful(vec![ArgTy::col(I32)], OutTy::Vec(I32), T::Monotone))
+        }
         "map_contains_str_col_val" => {
             return Ok(selful(
                 vec![ArgTy::col(Str), ArgTy::val(Str)],
                 OutTy::Vec(Bool),
+                T::Compare,
             ))
         }
-        "aggr_count_u32_col" => return Ok(selful(vec![ArgTy::col(U32)], OutTy::State)),
+        "aggr_count_u32_col" => {
+            return Ok(selful(vec![ArgTy::col(U32)], OutTy::State, T::Aggregate))
+        }
         "aggr_avg_epilogue" => {
+            // Opaque (allowlisted): the plan-level aggregation transfer
+            // models avg directly; the epilogue kernel itself is not
+            // interpreted abstractly.
             return Ok(dense(
                 vec![ArgTy::col(F64), ArgTy::col(I64)],
                 OutTy::Vec(F64),
-            ))
+                T::Opaque,
+            ));
         }
         "aggr_hashtable_maintain" => {
             // Unbounded state: the table spills cold radix partitions
             // to disk runs when the memory budget is exhausted.
-            let mut s = dense(vec![ArgTy::col(U64)], OutTy::State);
+            let mut s = dense(vec![ArgTy::col(U64)], OutTy::State, T::Aggregate);
             s.spills = true;
             return Ok(s);
         }
-        "aggr_ordered_boundaries" => return Ok(dense(vec![], OutTy::State)),
+        "aggr_ordered_boundaries" => return Ok(dense(vec![], OutTy::State, T::Aggregate)),
         "sort_permutation" => {
             // Unbounded buffering: Order/TopN degrades to an external
             // merge sort over spilled sorted runs under pressure.
-            let mut s = dense(vec![], OutTy::Vec(U32));
+            let mut s = dense(vec![], OutTy::Vec(U32), T::Positions);
             s.spills = true;
             return Ok(s);
         }
-        "radix_scatter_positions" => return Ok(dense(vec![ArgTy::col(U32)], OutTy::Vec(U32))),
-        "bloom_insert_u64_col" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State)),
+        "radix_scatter_positions" => {
+            return Ok(dense(vec![ArgTy::col(U32)], OutTy::Vec(U32), T::Positions))
+        }
+        "bloom_insert_u64_col" => return Ok(dense(vec![ArgTy::col(U64)], OutTy::State, T::Sink)),
         "bloom_test_u64_col" => {
-            let mut s = selful(vec![ArgTy::col(U64)], OutTy::Sel);
+            let mut s = selful(vec![ArgTy::col(U64)], OutTy::Sel, T::Refine);
             s.produces_sel = true;
             return Ok(s);
         }
-        "map_radix_partition_u64_col" => return Ok(selful(vec![ArgTy::col(U64)], OutTy::Vec(U32))),
-        "map_uidx_u8_col" | "map_directgrp_u8_col" => {
-            return Ok(selful(vec![ArgTy::col(U8)], OutTy::Vec(U32)))
+        "map_radix_partition_u64_col" => {
+            return Ok(selful(vec![ArgTy::col(U64)], OutTy::Vec(U32), T::Positions))
         }
-        "map_uidx_u16_col" => return Ok(selful(vec![ArgTy::col(U16)], OutTy::Vec(U32))),
+        "map_uidx_u8_col" | "map_directgrp_u8_col" => {
+            return Ok(selful(vec![ArgTy::col(U8)], OutTy::Vec(U32), T::Positions))
+        }
+        "map_uidx_u16_col" => {
+            return Ok(selful(vec![ArgTy::col(U16)], OutTy::Vec(U32), T::Positions))
+        }
         "map_directgrp_u8_chain" | "map_directgrp_uidx_col_u8_col" => {
             return Ok(selful(
                 vec![ArgTy::col(U32), ArgTy::col(U8)],
                 OutTy::Vec(U32),
+                T::Positions,
             ))
         }
         "map_directgrp_u16_chain" | "map_directgrp_uidx_col_u16_col" => {
             return Ok(selful(
                 vec![ArgTy::col(U32), ArgTy::col(U16)],
                 OutTy::Vec(U32),
+                T::Positions,
             ))
         }
         "map_fused_sub_f64_val_f64_col_mul_f64_col"
@@ -309,14 +390,18 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             let mut s = selful(
                 vec![ArgTy::val(F64), ArgTy::col(F64), ArgTy::col(F64)],
                 OutTy::Vec(F64),
+                T::Interval,
             );
             s.fusable = true;
             return Ok(s);
         }
         "map_fused_mahalanobis_f64_col" | "map_chained_mahalanobis_f64_col" => {
+            // Opaque (allowlisted): the three-column benchmark compound
+            // is not worth modeling — its result widens to ⊤.
             let mut s = selful(
                 vec![ArgTy::col(F64), ArgTy::col(F64), ArgTy::col(F64)],
                 OutTy::Vec(F64),
+                T::Opaque,
             );
             s.fusable = sig.starts_with("map_fused");
             return Ok(s);
@@ -325,6 +410,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             let mut s = selful(
                 vec![ArgTy::col(F64), ArgTy::col(F64), ArgTy::col(U32)],
                 OutTy::State,
+                T::Aggregate,
             );
             s.fusable = true;
             return Ok(s);
@@ -349,12 +435,22 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if shape_token(shape) != Some(VecShape::Col) {
                 return Err(format!("cast signature `{sig}` must end in _col"));
             }
-            Ok(selful(vec![ArgTy::col(from)], OutTy::Vec(to)))
+            Ok(selful(vec![ArgTy::col(from)], OutTy::Vec(to), T::Cast))
         }
         ("map", "fetch") | ("map", "scatter") => {
-            // map_fetch_<idx>_col_<val>_col: gathers `<val>` by `<idx>`
-            // positions; the trailing pair names the *output*. Scatter is
-            // the position-dependent inverse and is dense-only.
+            // map_fetch_<idx>_col_<val>_col[_unchecked]: gathers `<val>`
+            // by `<idx>` positions; the trailing pair names the *output*.
+            // The `_unchecked` twin elides per-element bounds checks and
+            // may only be dispatched when `engine::facts` proves the
+            // index range in-bounds. Scatter is the position-dependent
+            // inverse and is dense-only.
+            let (rest, unchecked) = match rest.split_last() {
+                Some((&"unchecked", head)) => (head, true),
+                _ => (rest, false),
+            };
+            if unchecked && op != "fetch" {
+                return Err(format!("only fetch gathers have unchecked twins: `{sig}`"));
+            }
             let args = parse_args(rest)?;
             let [idx, out] = args.as_slice() else {
                 return Err(format!(
@@ -364,10 +460,15 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if !idx.ty.is_integer() {
                 return Err(format!("fetch index type must be integral in `{sig}`"));
             }
+            if unchecked && (idx.ty != ScalarType::U32 || out.ty == Str) {
+                return Err(format!(
+                    "unchecked gathers are u32-indexed and numeric-valued: `{sig}`"
+                ));
+            }
             if op == "fetch" {
-                Ok(selful(vec![*idx], OutTy::Vec(out.ty)))
+                Ok(selful(vec![*idx], OutTy::Vec(out.ty), T::Fetch))
             } else {
-                Ok(dense(vec![*idx, ArgTy::col(out.ty)], OutTy::State))
+                Ok(dense(vec![*idx, ArgTy::col(out.ty)], OutTy::State, T::Sink))
             }
         }
         ("map", "hash") | ("map", "rehash") => {
@@ -380,14 +481,14 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
                 // Rehash folds a new key column into existing hashes.
                 inputs.insert(0, ArgTy::col(ScalarType::U64));
             }
-            Ok(selful(inputs, OutTy::Vec(ScalarType::U64)))
+            Ok(selful(inputs, OutTy::Vec(ScalarType::U64), T::Domain))
         }
         ("map", a) if ARITH_OPS.contains(&a) => {
             let args = parse_args(rest)?;
             if args.len() != 2 || args[0].ty != args[1].ty {
                 return Err(format!("arith signature `{sig}` needs 2 same-typed args"));
             }
-            let mut s = selful(args.clone(), OutTy::Vec(args[0].ty));
+            let mut s = selful(args.clone(), OutTy::Vec(args[0].ty), T::Interval);
             s.fusable = true;
             Ok(s)
         }
@@ -396,14 +497,14 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if args.len() != 2 || args[0].ty != args[1].ty {
                 return Err(format!("cmp signature `{sig}` needs 2 same-typed args"));
             }
-            Ok(selful(args, OutTy::Vec(ScalarType::Bool)))
+            Ok(selful(args, OutTy::Vec(ScalarType::Bool), T::Compare))
         }
         ("select", c) if CMP_OPS.contains(&c) => {
             let args = parse_args(rest)?;
             if args.len() != 2 || args[0].ty != args[1].ty {
                 return Err(format!("select signature `{sig}` needs 2 same-typed args"));
             }
-            Ok(selful(args, OutTy::Sel))
+            Ok(selful(args, OutTy::Sel, T::Refine))
         }
         ("compress", c) | ("decompress", c) if ["pfor", "pfordelta", "pdict"].contains(&c) => {
             // compress_<codec>_<ty>_col / decompress_<codec>_<ty>_col.
@@ -425,9 +526,9 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
                 return Err(format!("pfordelta only covers integer keys: `{sig}`"));
             }
             if family == "compress" {
-                Ok(dense(vec![ArgTy::col(ty)], OutTy::State))
+                Ok(dense(vec![ArgTy::col(ty)], OutTy::State, T::Sink))
             } else {
-                Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty)))
+                Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty), T::Passthrough))
             }
         }
         ("cmp", c) if ["pfor", "pdict"].contains(&c) => {
@@ -465,7 +566,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if c == "pfor" && args[0].ty == Str {
                 return Err(format!("PFOR pushdown is numeric-only: `{sig}`"));
             }
-            Ok(selful(args, OutTy::Sel))
+            Ok(selful(args, OutTy::Sel, T::Refine))
         }
         ("decode", "sel") => {
             // decode_sel_<codec>_<ty>_col: gather-style selective decode
@@ -487,7 +588,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if *codec == "pfor" && ty == Str {
                 return Err(format!("PFOR decode_sel is numeric-only: `{sig}`"));
             }
-            Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty)))
+            Ok(dense(vec![ArgTy::col(ty)], OutTy::Vec(ty), T::Passthrough))
         }
         ("aggr", a) if ["sum", "min", "max"].contains(&a) => {
             // aggr_<agg>_<ty>_col_u32_col: value column + group-id column.
@@ -498,7 +599,7 @@ pub fn parse_signature(sig: &str) -> Result<SigInfo, String> {
             if g.ty != ScalarType::U32 || g.shape != VecShape::Col {
                 return Err(format!("aggregate group arg must be u32_col in `{sig}`"));
             }
-            Ok(selful(vec![*v, *g], OutTy::State))
+            Ok(selful(vec![*v, *g], OutTy::State, T::Aggregate))
         }
         _ => Err(format!("unrecognized signature `{sig}`")),
     }
@@ -613,6 +714,18 @@ impl PrimitiveRegistry {
                 format!("map_fetch_u16_col_{ty}_col"),
                 PrimitiveKind::Fetch,
                 "2-byte enum decompression gather",
+            );
+        }
+        // Unchecked gather twins: same kernels minus the per-element
+        // bounds check. The engine dispatches them only when the facts
+        // analyzer proves the row-id range within the fragment (see
+        // `engine::facts`); string gathers stay checked (their slow path
+        // is allocation-bound, not bounds-check-bound).
+        for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64"] {
+            reg.register_owned(
+                format!("map_fetch_u32_col_{ty}_col_unchecked"),
+                PrimitiveKind::Fetch,
+                "positional gather, bounds proven statically (generated)",
             );
         }
         for ty in ["u8", "u16", "u32", "i32", "i64", "f64", "str"] {
@@ -999,6 +1112,53 @@ mod tests {
                 "{dense} must be dense-only"
             );
         }
+    }
+
+    #[test]
+    fn fact_transfers_derive_from_the_grammar() {
+        let reg = PrimitiveRegistry::builtin();
+        for (sig, want) in [
+            ("map_add_i32_col_i32_val", FactTransfer::Interval),
+            ("map_lt_i64_col_val", FactTransfer::Compare),
+            ("map_and_bool_col", FactTransfer::Logic),
+            ("map_fill_const", FactTransfer::Fill),
+            ("map_cast_u16_u32_col", FactTransfer::Cast),
+            ("map_year_i32_col", FactTransfer::Monotone),
+            ("map_fetch_u32_col_f64_col", FactTransfer::Fetch),
+            ("map_fetch_u32_col_f64_col_unchecked", FactTransfer::Fetch),
+            ("map_hash_i64_col", FactTransfer::Domain),
+            ("sort_permutation", FactTransfer::Positions),
+            ("select_ge_i32_col_val", FactTransfer::Refine),
+            ("cmp_pfor_le_i64_col_val", FactTransfer::Refine),
+            ("decompress_pfor_i64_col", FactTransfer::Passthrough),
+            ("decode_sel_pdict_str_col", FactTransfer::Passthrough),
+            ("aggr_sum_f64_col_u32_col", FactTransfer::Aggregate),
+            ("map_scatter_u32_col_i64_col", FactTransfer::Sink),
+            ("compress_pdict_str_col", FactTransfer::Sink),
+            ("aggr_avg_epilogue", FactTransfer::Opaque),
+        ] {
+            assert_eq!(
+                reg.get(sig).expect("registered").info.transfer,
+                want,
+                "{sig}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchecked_twins_mirror_their_checked_gathers() {
+        let reg = PrimitiveRegistry::builtin();
+        for ty in ["i8", "i16", "i32", "i64", "u8", "u16", "u32", "f64"] {
+            let twin = format!("map_fetch_u32_col_{ty}_col_unchecked");
+            let checked = format!("map_fetch_u32_col_{ty}_col");
+            let t = reg.get(&twin).expect("unchecked twin registered");
+            let c = reg.get(&checked).expect("checked gather registered");
+            assert_eq!(t.info, c.info, "{twin} typing drifted from {checked}");
+        }
+        // No unchecked string gather, and no unchecked enum-code index.
+        assert!(!reg.contains("map_fetch_u32_col_str_col_unchecked"));
+        assert!(parse_signature("map_fetch_u8_col_i64_col_unchecked").is_err());
+        assert!(parse_signature("map_scatter_u32_col_i64_col_unchecked").is_err());
     }
 
     #[test]

@@ -42,12 +42,19 @@
 //!    fault-injection suite (`engine/tests/fault_sites.rs`). A new
 //!    injection point cannot land without a test that proves its error
 //!    surfaces typed.
+//! 7. **Fact-transfer totality** — every registered primitive declares
+//!    a modeled [`FactTransfer`] for the facts analyzer
+//!    (`engine::facts`), or opts out explicitly: a primitive whose
+//!    transfer is `Opaque` must appear in the named allowlist below,
+//!    and every allowlist entry must still exist and still be `Opaque`.
+//!    A new kernel cannot land with a silently-unmodeled transfer — the
+//!    analyzer would quietly widen every program containing it to ⊤.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use x100_vector::{parse_signature, PrimitiveRegistry};
+use x100_vector::{parse_signature, FactTransfer, PrimitiveRegistry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -162,7 +169,56 @@ fn lint() -> Vec<String> {
     codec_parity(&root, &mut failures);
     compressed_exec_parity(&root, &mut failures);
     fault_site_coverage(&root, &mut failures);
+    fact_transfer_totality(&mut failures);
     failures
+}
+
+/// Rule 7: fact-transfer totality.
+///
+/// Primitives opted out of the facts analyzer — by name, both ways:
+/// every `FactTransfer::Opaque` registration must be listed here, and
+/// every listing must still name a registered `Opaque` primitive (a
+/// stale entry means the opt-out is no longer needed and must go).
+const FACT_OPAQUE_ALLOWLIST: &[&str] = &[
+    // Plan-level epilogue: sum/count pairing happens at the Aggr node,
+    // not per-primitive; `facts::agg_fact` models Avg there instead.
+    "aggr_avg_epilogue",
+    // Three-column benchmark compounds (paper §5 ablation): quadratic
+    // form over a 2×2 matrix — no useful interval story.
+    "map_chained_mahalanobis_f64_col",
+    "map_fused_mahalanobis_f64_col",
+];
+
+fn fact_transfer_totality(failures: &mut Vec<String>) {
+    let reg = PrimitiveRegistry::builtin();
+    for desc in reg.iter() {
+        let listed = FACT_OPAQUE_ALLOWLIST.contains(&desc.signature);
+        let opaque = desc.info.transfer == FactTransfer::Opaque;
+        if opaque && !listed {
+            failures.push(format!(
+                "fact-transfer totality: `{}` is FactTransfer::Opaque but not \
+                 in the xtask allowlist — declare a modeled transfer in \
+                 parse_signature or add it to FACT_OPAQUE_ALLOWLIST with a \
+                 reason",
+                desc.signature
+            ));
+        }
+        if listed && !opaque {
+            failures.push(format!(
+                "fact-transfer totality: `{}` is allowlisted as Opaque but \
+                 declares {:?} — remove the stale allowlist entry",
+                desc.signature, desc.info.transfer
+            ));
+        }
+    }
+    for name in FACT_OPAQUE_ALLOWLIST {
+        if !reg.contains(name) {
+            failures.push(format!(
+                "fact-transfer totality: allowlist entry `{name}` is not a \
+                 registered primitive — remove it"
+            ));
+        }
+    }
 }
 
 /// Word tokens (identifier-shaped) of a stripped file.
