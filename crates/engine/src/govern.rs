@@ -39,6 +39,13 @@ use x100_storage::{FaultPlan, FaultState};
 use crate::compile::PlanError;
 use crate::profile::Profiler;
 
+/// The one bounded-backoff retry loop every `FaultSite` shares — chunk
+/// reads, spill IO, checkpoint writes, and the durable store's
+/// manifest/chunk-file steps all retry through this helper (it lives in
+/// the storage crate; re-exported here because the governor owns the
+/// retry policy).
+pub use x100_storage::retry_with_backoff;
+
 /// A cloneable cancellation token: cancel a running query from any
 /// thread. Cloning shares the underlying flag.
 #[derive(Debug, Clone, Default)]

@@ -42,6 +42,10 @@ struct CompState {
     scratch: Vec<u64>,
     /// Registered decompress primitive this column resolves to.
     sig: &'static str,
+    /// Verified replacement chunks healed from a durable-store replica
+    /// after the in-memory copy failed its checksum; once set, every
+    /// later refill of this column decodes from the healed copy.
+    healed: Option<Arc<x100_storage::CompressedColumn>>,
 }
 
 /// A predicate pushed into the compressed scan (the fused
@@ -224,6 +228,7 @@ impl ScanOp {
                     cursor: DecodeCursor::default(),
                     scratch: Vec::new(),
                     sig: cc.decode_sig(),
+                    healed: None,
                 })
             })
             .collect();
@@ -350,11 +355,36 @@ impl ScanOp {
                         self.pools[k].writable()
                     };
                     if let Some(cs) = cs {
-                        let cc = sc
-                            .compressed()
-                            .expect("CompState without compressed column");
+                        let healed_cc = cs.healed.clone();
+                        let cc: &x100_storage::CompressedColumn = match healed_cc.as_deref() {
+                            Some(h) => h,
+                            None => sc
+                                .compressed()
+                                .expect("CompState without compressed column"),
+                        };
                         let t0 = prof.start();
-                        match cc.decode_range(start, n, &mut v, &mut cs.cursor, &mut cs.scratch) {
+                        let mut res =
+                            cc.decode_range(start, n, &mut v, &mut cs.cursor, &mut cs.scratch);
+                        // Heal ladder: a checksum mismatch (torn chunk
+                        // write) first tries the durable store's disk
+                        // replica — a verified copy restores compressed
+                        // refills for the rest of the query.
+                        if res.is_err() && cs.healed.is_none() {
+                            if let Some(hc) = try_heal(&self.table, &self.ctx, prof, ci as u32) {
+                                cs.cursor = DecodeCursor::default();
+                                res = hc.decode_range(
+                                    start,
+                                    n,
+                                    &mut v,
+                                    &mut cs.cursor,
+                                    &mut cs.scratch,
+                                );
+                                if res.is_ok() {
+                                    cs.healed = Some(hc);
+                                }
+                            }
+                        }
+                        match res {
                             Ok(st) => {
                                 prof.record_prim(
                                     cs.sig,
@@ -369,14 +399,14 @@ impl ScanOp {
                                 reads.push((ci, st.comp_offset, st.comp_len));
                             }
                             Err(_) => {
-                                // Checksum mismatch (torn chunk write):
-                                // the raw fragment is retained and
-                                // intact, so recover from it — wrong
-                                // rows must never escape a torn chunk.
-                                // The fallback is itself a faultable
-                                // chunk read: both failing at once is
-                                // the double-fault case, with no copy
-                                // left to serve the rows.
+                                // No replica could serve the rows: the
+                                // raw fragment is retained and intact,
+                                // so recover from it — wrong rows must
+                                // never escape a torn chunk. The
+                                // fallback is itself a faultable chunk
+                                // read: both failing at once is the
+                                // double-fault case, with no copy left
+                                // to serve the rows.
                                 if let Some(fs) = self.ctx.fault_state() {
                                     fs.check_site(x100_storage::FaultSite::ChunkRead, ci as u32)
                                         .map_err(|e| double_fault(ci as u32, e))?;
@@ -406,11 +436,32 @@ impl ScanOp {
                     // Read raw codes now; decode in a second pass so the
                     // fetch cost is attributed to Fetch1Join(ENUM).
                     if let Some(cs) = cs {
-                        let cc = sc
-                            .compressed()
-                            .expect("CompState without compressed column");
+                        let healed_cc = cs.healed.clone();
+                        let cc: &x100_storage::CompressedColumn = match healed_cc.as_deref() {
+                            Some(h) => h,
+                            None => sc
+                                .compressed()
+                                .expect("CompState without compressed column"),
+                        };
                         let t0 = prof.start();
-                        match cc.decode_range(start, n, codes, &mut cs.cursor, &mut cs.scratch) {
+                        let mut res =
+                            cc.decode_range(start, n, codes, &mut cs.cursor, &mut cs.scratch);
+                        if res.is_err() && cs.healed.is_none() {
+                            if let Some(hc) = try_heal(&self.table, &self.ctx, prof, ci as u32) {
+                                cs.cursor = DecodeCursor::default();
+                                res = hc.decode_range(
+                                    start,
+                                    n,
+                                    codes,
+                                    &mut cs.cursor,
+                                    &mut cs.scratch,
+                                );
+                                if res.is_ok() {
+                                    cs.healed = Some(hc);
+                                }
+                            }
+                        }
+                        match res {
                             Ok(st) => {
                                 prof.record_prim(
                                     cs.sig,
@@ -546,20 +597,39 @@ impl ScanOp {
                 .map_err(site_io)?;
         }
         let sc_p = self.table.column(ci_p);
-        let cc_p = sc_p.compressed().expect("pushdown on uncompressed column");
         let cs_p = self.comp[kp].as_mut().expect("pushdown without CompState");
+        let healed_p = cs_p.healed.clone();
+        let cc_p: &x100_storage::CompressedColumn = match healed_p.as_deref() {
+            Some(h) => h,
+            None => sc_p.compressed().expect("pushdown on uncompressed column"),
+        };
         let t0 = prof.start();
         ps.sel.clear();
         let mut recovered = false;
-        match cc_p.select_range(&ps.p, start, n, &mut ps.sel, &mut ps.tmp, &mut cs_p.cursor) {
+        let mut res =
+            cc_p.select_range(&ps.p, start, n, &mut ps.sel, &mut ps.tmp, &mut cs_p.cursor);
+        // Heal ladder: retry the encoded-space select over a verified
+        // disk-replica copy before dropping to value space.
+        if res.is_err() && cs_p.healed.is_none() {
+            if let Some(hc) = try_heal(&self.table, &self.ctx, prof, ci_p as u32) {
+                cs_p.cursor = DecodeCursor::default();
+                ps.sel.clear();
+                res = hc.select_range(&ps.p, start, n, &mut ps.sel, &mut ps.tmp, &mut cs_p.cursor);
+                if res.is_ok() {
+                    cs_p.healed = Some(hc);
+                }
+            }
+        }
+        match res {
             Ok(()) => {
                 prof.record_prim(ps.p.sig(), t0, n, n * sc_p.physical_type().width());
             }
             Err(_) => {
-                // Torn chunk: recover by filtering the retained raw
-                // fragment in value space — identical survivors, no
-                // wrong rows, one counter tick. A fault on the fallback
-                // read too is the unrecoverable double-fault case.
+                // Torn chunk with no replica to serve it: recover by
+                // filtering the retained raw fragment in value space —
+                // identical survivors, no wrong rows, one counter tick.
+                // A fault on the fallback read too is the unrecoverable
+                // double-fault case.
                 if let Some(fs) = self.ctx.fault_state() {
                     fs.check_site(x100_storage::FaultSite::ChunkRead, ci_p as u32)
                         .map_err(|e| double_fault(ci_p as u32, e))?;
@@ -615,9 +685,13 @@ impl ScanOp {
                     let mut decoded = false;
                     if !recovered {
                         if let Some(cs) = cs {
-                            let cc = sc
-                                .compressed()
-                                .expect("CompState without compressed column");
+                            let healed_cc = cs.healed.clone();
+                            let cc: &x100_storage::CompressedColumn = match healed_cc.as_deref() {
+                                Some(h) => h,
+                                None => sc
+                                    .compressed()
+                                    .expect("CompState without compressed column"),
+                            };
                             let t0 = prof.start();
                             if cc.decode_sel_sig().is_some() {
                                 match cc.decode_positions(
@@ -803,8 +877,8 @@ fn site_io(e: x100_storage::StorageFaultError) -> PlanError {
 
 /// Typed unrecoverable I/O error: a compressed chunk was torn *and* the
 /// raw-fragment fallback read faulted too — no intact copy remains, so
-/// recovery is impossible (a future replicated/paged store would fetch
-/// a second copy here).
+/// recovery is impossible. (Durably checkpointed tables rarely get
+/// here: the heal ladder fetches a disk replica first.)
 fn double_fault(col: u32, e: x100_storage::StorageFaultError) -> PlanError {
     PlanError::Io {
         site: x100_storage::FaultSite::ChunkRead,
@@ -812,6 +886,32 @@ fn double_fault(col: u32, e: x100_storage::StorageFaultError) -> PlanError {
         detail: format!(
             "column {col}: torn compressed chunk and raw-fragment fallback both failed ({e})"
         ),
+    }
+}
+
+/// First rung of the heal ladder (DESIGN.md §14): when a compressed
+/// chunk fails its checksum mid-query, fetch the column's verified
+/// copy from a durable-store replica. Returns `None` when the table
+/// has no durable checkpoint or every replica failed — the caller
+/// drops to the raw-fragment fallback (the PR 6 contract). Counts
+/// `chunk_heals` only when *this* query performed the heal; concurrent
+/// queries racing on the same damage share one heal via the source's
+/// cache.
+fn try_heal(
+    table: &Table,
+    ctx: &QueryContext,
+    prof: &mut Profiler,
+    ci: u32,
+) -> Option<Arc<x100_storage::CompressedColumn>> {
+    let ds = table.durable_source()?;
+    match ds.recover_column(ci, ctx.fault_state()) {
+        Ok((cc, healed_now)) => {
+            if healed_now {
+                prof.add_counter("chunk_heals", 1);
+            }
+            Some(cc)
+        }
+        Err(_) => None,
     }
 }
 

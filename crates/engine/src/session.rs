@@ -220,6 +220,13 @@ impl ExecOptions {
 
     /// Build the per-query governor context from these options.
     pub(crate) fn query_context(&self) -> Arc<QueryContext> {
+        // A SIGKILLed process skips every Drop and leaves its spill
+        // dirs behind; reclaim dead processes' dirs once per process,
+        // before the first query can spill.
+        static SPILL_GC: std::sync::Once = std::sync::Once::new();
+        SPILL_GC.call_once(|| {
+            crate::spill::gc_stale_spill_dirs();
+        });
         Arc::new(QueryContext::new(
             self.mem_budget,
             self.spill_budget,

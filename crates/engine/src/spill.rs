@@ -59,6 +59,125 @@ const RUN_HEADER_BYTES: u64 = 5;
 /// Distinguishes spill temp dirs of concurrent queries in one process.
 static SPILL_EPOCH: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide disk budget across *all* concurrent queries' spill
+/// dirs, in bytes; 0 = unlimited. Per-query budgets still apply on
+/// top (`ExecOptions::with_spill_budget`).
+static GLOBAL_SPILL_BUDGET: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently charged against the global budget.
+static GLOBAL_SPILL_USED: AtomicU64 = AtomicU64::new(0);
+
+/// Set (or clear, with `None`) the process-wide spill disk budget
+/// shared by all concurrent queries. With per-query budgets alone, N
+/// concurrent queries can write N × budget bytes; this caps the sum.
+pub fn set_global_spill_budget(bytes: Option<u64>) {
+    GLOBAL_SPILL_BUDGET.store(bytes.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Bytes currently charged against the global spill budget.
+pub fn global_spill_used() -> u64 {
+    GLOBAL_SPILL_USED.load(Ordering::SeqCst)
+}
+
+/// Charge `bytes` against the global budget; lock-free CAS so a racing
+/// overflow never lets the sum exceed the cap.
+fn charge_global(op: &str, bytes: usize) -> Result<(), PlanError> {
+    let budget = GLOBAL_SPILL_BUDGET.load(Ordering::SeqCst);
+    if budget == 0 {
+        GLOBAL_SPILL_USED.fetch_add(bytes as u64, Ordering::SeqCst);
+        return Ok(());
+    }
+    let mut used = GLOBAL_SPILL_USED.load(Ordering::SeqCst);
+    loop {
+        let next = used + bytes as u64;
+        if next > budget {
+            return Err(PlanError::ResourceExhausted {
+                operator: format!("{op} (global spill budget)"),
+                requested: next as usize,
+                budget: budget as usize,
+            });
+        }
+        match GLOBAL_SPILL_USED.compare_exchange_weak(
+            used,
+            next,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Ok(()),
+            Err(cur) => used = cur,
+        }
+    }
+}
+
+fn release_global(bytes: u64) {
+    // Saturating: a release can only race with charges, never below 0.
+    let mut used = GLOBAL_SPILL_USED.load(Ordering::SeqCst);
+    loop {
+        let next = used.saturating_sub(bytes);
+        match GLOBAL_SPILL_USED.compare_exchange_weak(
+            used,
+            next,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return,
+            Err(cur) => used = cur,
+        }
+    }
+}
+
+/// The shared spill root all queries' per-query dirs live under:
+/// `$TMPDIR/x100-spill/q-{pid}-{epoch}`. One root makes stale-dir
+/// garbage collection and the global disk budget possible.
+pub fn spill_root() -> PathBuf {
+    std::env::temp_dir().join("x100-spill")
+}
+
+/// Remove spill dirs left behind by *dead* processes (a SIGKILL skips
+/// every Drop). Scans the shared root, parses each `q-{pid}-{epoch}`
+/// name, and removes dirs whose owning process is gone; dirs of live
+/// processes — including ours — are untouched. Returns the number of
+/// dirs removed. Runs once per process, on first `ExecOptions` use.
+pub fn gc_stale_spill_dirs() -> u64 {
+    let root = spill_root();
+    let Ok(entries) = fs::read_dir(&root) else {
+        return 0;
+    };
+    let me = std::process::id();
+    let mut removed = 0;
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(pid) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("q-"))
+            .and_then(|n| n.split('-').next())
+            .and_then(|p| p.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if pid == me || process_alive(pid) {
+            continue;
+        }
+        if fs::remove_dir_all(e.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Whether a process with this pid exists. On non-Linux platforms the
+/// conservative answer is `true` (never reclaim a live query's dir).
+fn process_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
 fn write_err(detail: String) -> PlanError {
     PlanError::Io {
         site: FaultSite::SpillWrite,
@@ -116,10 +235,11 @@ pub struct SpillManager {
 }
 
 impl SpillManager {
-    /// Create the per-query spill directory under the system temp dir.
+    /// Create the per-query spill directory under the shared spill
+    /// root (`$TMPDIR/x100-spill/q-{pid}-{epoch}`).
     pub fn create() -> Result<SpillManager, PlanError> {
         let epoch = SPILL_EPOCH.fetch_add(1, Ordering::SeqCst);
-        let dir = std::env::temp_dir().join(format!("x100-spill-{}-{epoch}", std::process::id()));
+        let dir = spill_root().join(format!("q-{}-{epoch}", std::process::id()));
         fs::create_dir_all(&dir)
             .map_err(|e| write_err(format!("create spill dir {}: {e}", dir.display())))?;
         Ok(SpillManager {
@@ -235,6 +355,7 @@ impl Drop for SpillFile {
     fn drop(&mut self) {
         let _ = fs::remove_file(&self.path);
         self.ctx.release_spill(self.bytes as usize);
+        release_global(self.bytes);
     }
 }
 
@@ -409,6 +530,12 @@ impl RunWriter {
             self.blocks as u32,
         )?;
         self.ctx.charge_spill(&self.op, bytes.len())?;
+        if let Err(e) = charge_global(&self.op, bytes.len()) {
+            // Undo the per-query charge so the two ledgers stay in
+            // lock-step (drop refunds both by `self.bytes` only).
+            self.ctx.release_spill(bytes.len());
+            return Err(e);
+        }
         if let Err(e) = self.file.write_all(bytes) {
             // The charge stands until drop/finish refunds it with the
             // rest of the file.
@@ -478,6 +605,7 @@ impl Drop for RunWriter {
         if !self.finished {
             let _ = fs::remove_file(&self.path);
             self.ctx.release_spill(self.bytes as usize);
+            release_global(self.bytes);
         }
     }
 }

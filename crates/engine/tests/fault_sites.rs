@@ -182,3 +182,44 @@ fn site_rates_are_independent() {
     assert_eq!(fs.injected(), 3);
     assert_eq!(fs.retries(), 2);
 }
+
+#[test]
+fn durable_write_sites_surface_typed_io() {
+    // The durable checkpoint's two write sites are independent: chunk
+    // replica writes and the committing manifest write.
+    let fs = FaultState::new(certain(|p| p.durable_write_rate(1.0)));
+    assert!(fs.check_site(FaultSite::ManifestWrite, 0).is_ok());
+    let err = fs.check_site(FaultSite::DurableChunkWrite, 4).unwrap_err();
+    assert_eq!(err.site, FaultSite::DurableChunkWrite);
+    assert_eq!(err.attempts, 3); // 1 initial + max_retries(2)
+
+    let fs = FaultState::new(certain(|p| p.manifest_write_rate(1.0)));
+    assert!(fs.check_site(FaultSite::DurableChunkWrite, 0).is_ok());
+    let err = fs.check_site(FaultSite::ManifestWrite, 0).unwrap_err();
+    assert_eq!(err.site, FaultSite::ManifestWrite);
+}
+
+#[test]
+fn durable_read_sites_surface_typed_io() {
+    let fs = FaultState::new(certain(|p| p.durable_read_rate(1.0)));
+    assert!(fs.check_site(FaultSite::ManifestRead, 0).is_ok());
+    let err = fs.check_site(FaultSite::DurableChunkRead, 1).unwrap_err();
+    assert_eq!(err.site, FaultSite::DurableChunkRead);
+
+    let fs = FaultState::new(certain(|p| p.manifest_read_rate(1.0)));
+    assert!(fs.check_site(FaultSite::DurableChunkRead, 0).is_ok());
+    let err = fs.check_site(FaultSite::ManifestRead, 0).unwrap_err();
+    assert_eq!(err.site, FaultSite::ManifestRead);
+}
+
+#[test]
+fn pinned_site_kill_fires_once_without_retry() {
+    // `pin_site` models SIGKILL, not a transient error: exactly the
+    // nth check of the site fails, with a single attempt.
+    let fs = FaultState::new(FaultPlan::default().pin_site(FaultSite::DurableChunkWrite, 1));
+    assert!(fs.check_site(FaultSite::DurableChunkWrite, 0).is_ok()); // #0
+    let err = fs.check_site(FaultSite::DurableChunkWrite, 0).unwrap_err(); // #1
+    assert_eq!(err.attempts, 1);
+    assert_eq!(fs.retries(), 0);
+    assert!(fs.check_site(FaultSite::DurableChunkWrite, 0).is_ok()); // #2
+}

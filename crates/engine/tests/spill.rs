@@ -34,10 +34,11 @@ fn lock() -> MutexGuard<'static, ()> {
     }
 }
 
-/// Spill directories this process currently holds open.
+/// Spill directories this process currently holds open, under the
+/// shared spill root (`$TMPDIR/x100-spill/q-{pid}-{epoch}`).
 fn live_spill_dirs() -> Vec<String> {
-    let prefix = format!("x100-spill-{}-", std::process::id());
-    let Ok(rd) = std::fs::read_dir(std::env::temp_dir()) else {
+    let prefix = format!("q-{}-", std::process::id());
+    let Ok(rd) = std::fs::read_dir(x100_engine::spill_root()) else {
         return Vec::new();
     };
     rd.flatten()

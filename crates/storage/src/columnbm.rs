@@ -80,6 +80,17 @@ pub enum FaultSite {
     SpillWrite,
     /// Spill-run reads: re-ingesting a run during the external merge.
     SpillRead,
+    /// Durable-checkpoint manifest writes (temp write, fsync, or the
+    /// committing rename).
+    ManifestWrite,
+    /// Durable-checkpoint manifest reads during `Table::open` recovery.
+    ManifestRead,
+    /// Durable chunk-file reads: loading a replica copy at open or
+    /// during a mid-query heal.
+    DurableChunkRead,
+    /// Durable chunk-file writes: replica writes during a disk-backed
+    /// checkpoint, or rewriting a bad copy while healing.
+    DurableChunkWrite,
 }
 
 impl std::fmt::Display for FaultSite {
@@ -92,6 +103,10 @@ impl std::fmt::Display for FaultSite {
             FaultSite::CheckpointWrite => write!(f, "checkpoint write"),
             FaultSite::SpillWrite => write!(f, "spill run write"),
             FaultSite::SpillRead => write!(f, "spill run read"),
+            FaultSite::ManifestWrite => write!(f, "manifest write"),
+            FaultSite::ManifestRead => write!(f, "manifest read"),
+            FaultSite::DurableChunkRead => write!(f, "durable chunk read"),
+            FaultSite::DurableChunkWrite => write!(f, "durable chunk write"),
         }
     }
 }
@@ -119,6 +134,44 @@ impl std::fmt::Display for StorageFaultError {
 }
 
 impl std::error::Error for StorageFaultError {}
+
+/// Run `op` with bounded exponential backoff: up to `max_retries`
+/// retries after the first failed attempt, sleeping
+/// `backoff_base_us << min(attempt, 5)` microseconds between attempts
+/// (zero base disables sleeping, for tests). `op` receives the
+/// zero-based attempt number. On success returns the value together
+/// with the number of retries it took; once the budget is exhausted,
+/// the last error together with the total attempts made
+/// (`max_retries + 1`).
+///
+/// This is the single retry loop behind every [`FaultSite`]:
+/// probability draws ([`FaultState::check_site`]), pinned chunk faults
+/// ([`ColumnBM::try_access`]), spill-run I/O, and the durable
+/// checkpoint/recovery paths all feed it their fallible step.
+/// (Re-exported by the engine as `govern::retry_with_backoff`.)
+pub fn retry_with_backoff<T, E>(
+    max_retries: u32,
+    backoff_base_us: u64,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<(T, u32), (E, u32)> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok((v, attempt)),
+            Err(e) => {
+                if attempt >= max_retries {
+                    return Err((e, attempt + 1));
+                }
+                if backoff_base_us > 0 {
+                    let shift = attempt.min(5);
+                    let us = backoff_base_us << shift;
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
 
 /// One torn write: after a checkpoint compresses column `col`, byte
 /// `byte` of chunk `chunk`'s payload is silently flipped. Unlike an
@@ -169,6 +222,16 @@ pub struct FaultPlan {
     pub spill_write_fault_rate: f64,
     /// Probability in `[0, 1]` that one spill-run read attempt fails.
     pub spill_read_fault_rate: f64,
+    /// Probability in `[0, 1]` that one durable-manifest write step
+    /// (temp write / fsync / committing rename) fails.
+    pub manifest_write_fault_rate: f64,
+    /// Probability in `[0, 1]` that one durable-manifest read fails.
+    pub manifest_read_fault_rate: f64,
+    /// Probability in `[0, 1]` that one durable chunk-file read fails.
+    pub durable_read_fault_rate: f64,
+    /// Probability in `[0, 1]` that one durable chunk-file write step
+    /// fails.
+    pub durable_write_fault_rate: f64,
     /// Seed for the deterministic xorshift RNG driving the rates.
     pub seed: u64,
     /// Chunks that fail a fixed number of times before succeeding.
@@ -176,6 +239,11 @@ pub struct FaultPlan {
     /// Checkpoint writes that silently corrupt one payload byte (each
     /// fires at most once; caught by checksum, not by the write path).
     pub torn_writes: Vec<TornWrite>,
+    /// Hard kill-points: `(site, nth)` — the `nth` (0-based) check of
+    /// `site` fails without any retry, modelling the process dying at
+    /// exactly that write step. The crash-consistency suite iterates
+    /// every durable write step through this.
+    pub site_pins: Vec<(FaultSite, u32)>,
     /// Retry budget per chunk read before giving up with an error.
     pub max_retries: u32,
     /// Base backoff sleep in microseconds (doubles per attempt, capped
@@ -193,9 +261,14 @@ impl Default for FaultPlan {
             checkpoint_fault_rate: 0.0,
             spill_write_fault_rate: 0.0,
             spill_read_fault_rate: 0.0,
+            manifest_write_fault_rate: 0.0,
+            manifest_read_fault_rate: 0.0,
+            durable_read_fault_rate: 0.0,
+            durable_write_fault_rate: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
             pinned: Vec::new(),
             torn_writes: Vec::new(),
+            site_pins: Vec::new(),
             max_retries: 6,
             backoff_base_us: 20,
         }
@@ -248,6 +321,40 @@ impl FaultPlan {
         self
     }
 
+    /// Set the probability that a durable-manifest write step fails.
+    pub fn manifest_write_rate(mut self, rate: f64) -> Self {
+        self.manifest_write_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a durable-manifest read fails.
+    pub fn manifest_read_rate(mut self, rate: f64) -> Self {
+        self.manifest_read_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a durable chunk-file read fails.
+    pub fn durable_read_rate(mut self, rate: f64) -> Self {
+        self.durable_read_fault_rate = rate;
+        self
+    }
+
+    /// Set the probability that a durable chunk-file write step fails.
+    pub fn durable_write_rate(mut self, rate: f64) -> Self {
+        self.durable_write_fault_rate = rate;
+        self
+    }
+
+    /// Set every durable-path rate (manifest read/write, chunk-file
+    /// read/write) at once — the CI kill-and-restart smoke runs all
+    /// four sites at the same rate.
+    pub fn durable_rates(self, rate: f64) -> Self {
+        self.manifest_write_rate(rate)
+            .manifest_read_rate(rate)
+            .durable_read_rate(rate)
+            .durable_write_rate(rate)
+    }
+
     /// Add a pinned fault: `(col, chunk)` fails its next `failures`
     /// read attempts, then succeeds.
     pub fn pin(mut self, col: u32, chunk: u32, failures: u32) -> Self {
@@ -265,6 +372,14 @@ impl FaultPlan {
         self.torn_writes.push(TornWrite { col, chunk, byte });
         self
     }
+
+    /// Pin a hard kill-point: the `nth` (0-based) check of `site` fails
+    /// immediately, with no retry — modelling the process dying at that
+    /// exact write step of a durable checkpoint.
+    pub fn pin_site(mut self, site: FaultSite, nth: u32) -> Self {
+        self.site_pins.push((site, nth));
+        self
+    }
 }
 
 /// Per-query mutable injection state instantiated from a [`FaultPlan`].
@@ -278,6 +393,9 @@ pub struct FaultState {
     rng: AtomicU64,
     pinned_left: Mutex<Vec<PinnedFault>>,
     torn_left: Mutex<Vec<TornWrite>>,
+    /// Per-site check counters, consulted only when `plan.site_pins`
+    /// is non-empty (the deterministic crash-consistency suite).
+    site_counts: Mutex<Vec<(FaultSite, u64)>>,
     retries: AtomicU64,
     injected: AtomicU64,
 }
@@ -289,6 +407,7 @@ impl FaultState {
             rng: AtomicU64::new(plan.seed | 1),
             pinned_left: Mutex::new(plan.pinned.clone()),
             torn_left: Mutex::new(plan.torn_writes.clone()),
+            site_counts: Mutex::new(Vec::new()),
             retries: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             plan,
@@ -377,7 +496,12 @@ impl FaultState {
     #[cfg(not(feature = "fault-inject"))]
     fn should_fail(&self, _col: u32, _chunk: u32) -> bool {
         // Keep the state fields "live" for builds without the feature.
-        let _ = (&self.rng, &self.pinned_left, &self.torn_left);
+        let _ = (
+            &self.rng,
+            &self.pinned_left,
+            &self.torn_left,
+            &self.site_counts,
+        );
         false
     }
 
@@ -402,27 +526,65 @@ impl FaultState {
                 FaultSite::CheckpointWrite => self.plan.checkpoint_fault_rate,
                 FaultSite::SpillWrite => self.plan.spill_write_fault_rate,
                 FaultSite::SpillRead => self.plan.spill_read_fault_rate,
+                FaultSite::ManifestWrite => self.plan.manifest_write_fault_rate,
+                FaultSite::ManifestRead => self.plan.manifest_read_fault_rate,
+                FaultSite::DurableChunkRead => self.plan.durable_read_fault_rate,
+                FaultSite::DurableChunkWrite => self.plan.durable_write_fault_rate,
             };
-            let mut attempt: u32 = 0;
-            loop {
-                if !self.draw(rate) {
-                    return Ok(());
-                }
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                if attempt >= self.plan.max_retries {
+            if !self.plan.site_pins.is_empty() {
+                let n = {
+                    let mut counts = self.site_counts.lock().unwrap_or_else(|e| e.into_inner());
+                    match counts.iter_mut().find(|(s, _)| *s == site) {
+                        Some((_, c)) => {
+                            let n = *c;
+                            *c += 1;
+                            n
+                        }
+                        None => {
+                            counts.push((site, 1));
+                            0
+                        }
+                    }
+                };
+                if self
+                    .plan
+                    .site_pins
+                    .iter()
+                    .any(|&(s, k)| s == site && u64::from(k) == n)
+                {
+                    // A kill-point models the process dying, not a
+                    // transient IO error — no retry can help, so fail
+                    // without burning the backoff budget.
+                    self.injected.fetch_add(1, Ordering::Relaxed);
                     return Err(StorageFaultError {
                         site,
                         col,
-                        attempts: attempt + 1,
+                        attempts: 1,
                     });
                 }
-                self.retries.fetch_add(1, Ordering::Relaxed);
-                if self.plan.backoff_base_us > 0 {
-                    let shift = attempt.min(5);
-                    let us = self.plan.backoff_base_us << shift;
-                    std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            let step = |_attempt: u32| {
+                if self.draw(rate) {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    Err(())
+                } else {
+                    Ok(())
                 }
-                attempt += 1;
+            };
+            match retry_with_backoff(self.plan.max_retries, self.plan.backoff_base_us, step) {
+                Ok(((), retries)) => {
+                    self.retries.fetch_add(retries as u64, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(((), attempts)) => {
+                    self.retries
+                        .fetch_add((attempts - 1) as u64, Ordering::Relaxed);
+                    Err(StorageFaultError {
+                        site,
+                        col,
+                        attempts,
+                    })
+                }
             }
         }
     }
@@ -531,34 +693,33 @@ impl ColumnBM {
         chunk: u32,
         fault: Option<&FaultState>,
     ) -> Result<(), ChunkReadError> {
-        let mut attempt: u32 = 0;
-        loop {
-            let failed = match fault {
-                Some(f) => f.should_fail(col, chunk),
-                None => false,
-            };
-            if !failed {
-                self.touch_chunk((col, chunk));
-                return Ok(());
-            }
-            // `failed` implies a FaultState is present.
-            if let Some(f) = fault {
+        let Some(f) = fault else {
+            self.touch_chunk((col, chunk));
+            return Ok(());
+        };
+        let step = |_attempt: u32| {
+            if f.should_fail(col, chunk) {
                 f.injected.fetch_add(1, Ordering::Relaxed);
-                if attempt >= f.plan.max_retries {
-                    return Err(ChunkReadError {
-                        col,
-                        chunk,
-                        attempts: attempt + 1,
-                    });
-                }
-                f.retries.fetch_add(1, Ordering::Relaxed);
-                if f.plan.backoff_base_us > 0 {
-                    let shift = attempt.min(5);
-                    let us = f.plan.backoff_base_us << shift;
-                    std::thread::sleep(std::time::Duration::from_micros(us));
-                }
+                Err(())
+            } else {
+                Ok(())
             }
-            attempt += 1;
+        };
+        match retry_with_backoff(f.plan.max_retries, f.plan.backoff_base_us, step) {
+            Ok(((), retries)) => {
+                f.retries.fetch_add(retries as u64, Ordering::Relaxed);
+                self.touch_chunk((col, chunk));
+                Ok(())
+            }
+            Err(((), attempts)) => {
+                f.retries
+                    .fetch_add((attempts - 1) as u64, Ordering::Relaxed);
+                Err(ChunkReadError {
+                    col,
+                    chunk,
+                    attempts,
+                })
+            }
         }
     }
 

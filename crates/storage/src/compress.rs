@@ -690,6 +690,17 @@ impl CompressedColumn {
         Ok(())
     }
 
+    /// Verify every chunk's body checksum — the durable heal path runs
+    /// this over a freshly parsed replica before trusting it, so a copy
+    /// that was torn *before* it reached disk (file-level checksum
+    /// intact, chunk-level wrong) is rejected rather than healed from.
+    pub fn verify_all(&self) -> Result<(), String> {
+        for ci in 0..self.chunks.len() {
+            self.verify_chunk(ci)?;
+        }
+        Ok(())
+    }
+
     /// Flip one payload byte of chunk `ci` *without* touching the
     /// header checksum — a torn write: the write "succeeded", the bytes
     /// are wrong, and only checksum verification can tell. Fault
@@ -1409,7 +1420,7 @@ pub fn fold_checksum(bytes: &[u8]) -> u8 {
 }
 
 /// Stable on-disk tag of a physical scalar type (spill/serialize use).
-fn scalar_tag(t: ScalarType) -> u8 {
+pub(crate) fn scalar_tag(t: ScalarType) -> u8 {
     match t {
         ScalarType::I8 => 0,
         ScalarType::I16 => 1,
@@ -1425,7 +1436,7 @@ fn scalar_tag(t: ScalarType) -> u8 {
     }
 }
 
-fn scalar_from_tag(tag: u8) -> Result<ScalarType, String> {
+pub(crate) fn scalar_from_tag(tag: u8) -> Result<ScalarType, String> {
     Ok(match tag {
         0 => ScalarType::I8,
         1 => ScalarType::I16,
@@ -1442,13 +1453,13 @@ fn scalar_from_tag(tag: u8) -> Result<ScalarType, String> {
 }
 
 /// Bounds-checked little-endian reader over a serialized column.
-struct ByteReader<'a> {
-    b: &'a [u8],
-    at: usize,
+pub(crate) struct ByteReader<'a> {
+    pub(crate) b: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.at + n > self.b.len() {
             return Err(format!(
                 "truncated column stream: need {} bytes at {}, have {}",
@@ -1462,16 +1473,16 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         let s = self.take(4)?;
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         let s = self.take(8)?;
         let mut b = [0u8; 8];
         b.copy_from_slice(s);

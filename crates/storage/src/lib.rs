@@ -21,6 +21,7 @@ pub mod column;
 pub mod columnbm;
 pub mod compress;
 pub mod delta;
+pub mod durable;
 pub mod enumcol;
 pub mod morsel;
 pub mod summary;
@@ -28,14 +29,15 @@ pub mod table;
 
 pub use column::ColumnData;
 pub use columnbm::{
-    BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultSite, FaultState, PinnedFault,
-    StorageFaultError, TornWrite, DEFAULT_CHUNK_BYTES,
+    retry_with_backoff, BmStats, ChunkReadError, ColumnBM, FaultPlan, FaultSite, FaultState,
+    PinnedFault, StorageFaultError, TornWrite, DEFAULT_CHUNK_BYTES,
 };
 pub use compress::{
     choose_and_compress, compress_column_as, fold_checksum, ChunkFormat, ChunkHeader,
     CompressedColumn, DecodeCursor, DecodeStats, PushOp, Pushdown, CHUNK_ROWS, HEADER_BYTES,
 };
 pub use delta::{DeleteList, InsertDelta};
+pub use durable::{DurableError, DurableOptions, DurableSource};
 pub use enumcol::{encode_f64, encode_i64, encode_str, Encoded, EnumDict, MAX_ENUM_CARD};
 pub use morsel::{plan_morsels, Morsel};
 pub use summary::{SummaryIndex, DEFAULT_GRANULARITY};

@@ -11,8 +11,11 @@ use crate::column::ColumnData;
 use crate::columnbm::{FaultSite, FaultState, StorageFaultError};
 use crate::compress::{choose_and_compress, ChunkFormat, CompressedColumn};
 use crate::delta::{DeleteList, InsertDelta};
+use crate::durable::{DurableError, DurableOptions, DurableSource};
 use crate::enumcol::{encode_f64, encode_i64, encode_str, EnumDict};
 use crate::summary::SummaryIndex;
+use std::path::Path;
+use std::sync::Arc;
 use x100_vector::{ScalarType, Value, Vector};
 
 /// A named, typed column slot in a table schema.
@@ -121,24 +124,24 @@ impl ColumnStats {
 /// summary index.
 #[derive(Debug, Clone)]
 pub struct StoredColumn {
-    field: Field,
+    pub(crate) field: Field,
     /// Physical fragment: plain values, or `U8`/`U16` codes when `dict`
     /// is present.
-    data: ColumnData,
-    dict: Option<EnumDict>,
-    summary: Option<SummaryIndex>,
+    pub(crate) data: ColumnData,
+    pub(crate) dict: Option<EnumDict>,
+    pub(crate) summary: Option<SummaryIndex>,
     /// Fragment statistics, refreshed whenever `data` is rebuilt.
-    stats: Option<ColumnStats>,
+    pub(crate) stats: Option<ColumnStats>,
     /// Compressed rewrite of `data`, present after a checkpoint. Scans
     /// prefer it; it always covers exactly the fragment rows.
-    compressed: Option<CompressedColumn>,
+    pub(crate) compressed: Option<CompressedColumn>,
     /// Monotonic fragment-data version; bumps when `data` is rebuilt
     /// (reorganize). The fragment is immutable in between.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// The `epoch` at which the codec chooser last ran. `Some(epoch)`
     /// means the verdict in `compressed` (including `None` = stay raw)
     /// is current, and `checkpoint()` skips the full format sweep.
-    codec_epoch: Option<u64>,
+    pub(crate) codec_epoch: Option<u64>,
 }
 
 impl StoredColumn {
@@ -333,6 +336,7 @@ impl TableBuilder {
             deletes: DeleteList::default(),
             inserts: InsertDelta::new(&types),
             codec_sweeps: 0,
+            durable: None,
         }
     }
 }
@@ -340,13 +344,19 @@ impl TableBuilder {
 /// A vertically fragmented table with delta-based updates.
 #[derive(Debug, Clone)]
 pub struct Table {
-    name: String,
-    columns: Vec<StoredColumn>,
-    frag_rows: usize,
-    deletes: DeleteList,
-    inserts: InsertDelta,
+    pub(crate) name: String,
+    pub(crate) columns: Vec<StoredColumn>,
+    pub(crate) frag_rows: usize,
+    pub(crate) deletes: DeleteList,
+    pub(crate) inserts: InsertDelta,
     /// Full format sweeps the codec chooser has run (cache misses).
-    codec_sweeps: u64,
+    pub(crate) codec_sweeps: u64,
+    /// The on-disk checkpoint this table was opened from (or last
+    /// committed to). Scans use it to heal corrupt chunks from a
+    /// replica mid-query; `None` for purely in-memory tables, and reset
+    /// by `reorganize()` (the disk copy no longer matches the
+    /// fragments until the next durable checkpoint).
+    pub(crate) durable: Option<Arc<DurableSource>>,
 }
 
 impl Table {
@@ -555,6 +565,19 @@ impl Table {
         }
     }
 
+    /// Flip one payload byte of column `col`'s compressed chunk `ci`
+    /// in memory (see [`CompressedColumn::corrupt_payload_byte`]) —
+    /// bit-rot simulation for fault injection and tests only. The
+    /// durable copies on disk are untouched, so a scan hitting the bad
+    /// chunk can heal from a replica. Returns `false` when the column
+    /// has no compressed form or the chunk no payload byte at `at`.
+    pub fn corrupt_compressed_payload(&mut self, col: usize, ci: usize, at: usize) -> bool {
+        match &mut self.columns[col].compressed {
+            Some(cc) => cc.corrupt_payload_byte(ci, at),
+            None => false,
+        }
+    }
+
     /// Checkpoint: run the format chooser over every column fragment
     /// and rewrite paying columns as compressed chunks (paper §4.3/§5 —
     /// "light-weight compression" applied when data is reorganized).
@@ -612,6 +635,71 @@ impl Table {
     /// unchanged table adds zero.
     pub fn codec_sweeps(&self) -> u64 {
         self.codec_sweeps
+    }
+
+    /// The durable checkpoint backing this table, if it was opened from
+    /// disk or durably checkpointed since the last reorganize. Scans
+    /// use it to heal a corrupt compressed chunk from a replica.
+    pub fn durable_source(&self) -> Option<&Arc<DurableSource>> {
+        self.durable.as_ref()
+    }
+
+    /// Durable checkpoint: compress (as [`Table::checkpoint`]), then
+    /// persist every column — raw fragment, compressed chunks, and
+    /// dictionary — to `dir` with [`DurableOptions::replicas`] copies
+    /// each, committed by a versioned manifest written last. A crash at
+    /// any point leaves the previous checkpoint fully readable; see
+    /// [`Table::open`] for recovery.
+    ///
+    /// Pending deltas are merged first (`reorganize`) so the persisted
+    /// state is the complete table.
+    pub fn checkpoint_durable(
+        &mut self,
+        dir: &Path,
+        opts: &DurableOptions,
+    ) -> Result<Vec<(String, ChunkFormat, u64)>, DurableError> {
+        self.try_checkpoint_durable(dir, opts, None)
+    }
+
+    /// Fallible durable checkpoint: every file write step consults the
+    /// fault plan ([`FaultSite::DurableChunkWrite`] per chunk file,
+    /// [`FaultSite::ManifestWrite`] for the manifest temp-write and the
+    /// committing rename) with bounded-backoff retry. On error the
+    /// directory may hold orphan files of the aborted version, but the
+    /// previous manifest — and therefore the previous checkpoint — is
+    /// untouched and fully readable.
+    pub fn try_checkpoint_durable(
+        &mut self,
+        dir: &Path,
+        opts: &DurableOptions,
+        fault: Option<&FaultState>,
+    ) -> Result<Vec<(String, ChunkFormat, u64)>, DurableError> {
+        if !self.inserts.is_empty() || !self.deletes.is_empty() {
+            self.reorganize();
+        }
+        let verdicts = self.try_checkpoint(fault)?;
+        let source = crate::durable::commit_checkpoint(self, dir, opts, fault)?;
+        self.durable = Some(source);
+        Ok(verdicts)
+    }
+
+    /// Recover a table from its durable checkpoint directory: the
+    /// newest manifest that parses and checksums clean wins (a crash
+    /// mid-checkpoint leaves its version uncommitted, so recovery falls
+    /// back to the previous one), every column loads from the first
+    /// replica that passes its whole-file checksum, and bad replicas
+    /// are healed in place from a good copy.
+    pub fn open(dir: &Path) -> Result<Table, DurableError> {
+        Table::try_open(dir, None)
+    }
+
+    /// [`Table::open`] with fault injection: replica reads consult
+    /// [`FaultSite::DurableChunkRead`] / [`FaultSite::ManifestRead`]
+    /// and a read that exhausts its retry budget counts as a bad copy,
+    /// falling over to the next replica. A typed error surfaces only
+    /// when *all* copies of some column fail.
+    pub fn try_open(dir: &Path, fault: Option<&FaultState>) -> Result<Table, DurableError> {
+        crate::durable::open_table(dir, fault)
     }
 
     /// Reorganize when the deltas exceed `threshold` of the table
@@ -716,6 +804,10 @@ impl Table {
         self.columns = new_cols;
         self.deletes.clear();
         self.inserts.clear();
+        // The disk checkpoint describes the *old* fragments; healing
+        // from it would resurrect stale rows. Detach until the next
+        // durable checkpoint rewrites it.
+        self.durable = None;
     }
 }
 

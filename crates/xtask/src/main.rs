@@ -49,6 +49,12 @@
 //!    and every allowlist entry must still exist and still be `Opaque`.
 //!    A new kernel cannot land with a silently-unmodeled transfer — the
 //!    analyzer would quietly widen every program containing it to ⊤.
+//! 8. **Durable crash coverage** — every durable-store `FaultSite`
+//!    variant (`Manifest*`, `Durable*`) is exercised by name in the
+//!    crash-consistency suite (`storage/tests/durable_crash.rs`): each
+//!    models a step a dying process can leave half-done on disk, so a
+//!    new durable write/read step cannot land without a kill-and-recover
+//!    (or replica-failover) test.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`).
 
@@ -170,6 +176,7 @@ fn lint() -> Vec<String> {
     compressed_exec_parity(&root, &mut failures);
     fault_site_coverage(&root, &mut failures);
     fact_transfer_totality(&mut failures);
+    durable_crash_coverage(&root, &mut failures);
     failures
 }
 
@@ -599,31 +606,29 @@ fn compressed_exec_parity(root: &Path, failures: &mut Vec<String>) {
     }
 }
 
-/// Rule 6: every injection point has a typed-error test.
-///
-/// Parses the `FaultSite` enum body out of `storage/src/columnbm.rs`
-/// (variant = a capitalized identifier line ending in `,`) and requires
-/// each variant name to appear in `engine/tests/fault_sites.rs`.
-fn fault_site_coverage(root: &Path, failures: &mut Vec<String>) {
+/// Parse the `FaultSite` variant names out of `storage/src/columnbm.rs`
+/// (variant = a capitalized identifier line ending in `,`). Shared by
+/// rules 6 and 8.
+fn fault_site_variants(root: &Path, failures: &mut Vec<String>) -> Vec<String> {
     let decl = root.join("crates/storage/src/columnbm.rs");
     let text =
         std::fs::read_to_string(&decl).unwrap_or_else(|e| panic!("read {}: {e}", decl.display()));
     let Some(start) = text.find("pub enum FaultSite") else {
         failures.push("fault-site coverage: FaultSite enum not found in columnbm.rs".into());
-        return;
+        return Vec::new();
     };
     let body_start = match text[start..].find('{') {
         Some(i) => start + i + 1,
         None => {
             failures.push("fault-site coverage: FaultSite enum has no body".into());
-            return;
+            return Vec::new();
         }
     };
     let body_end = body_start
         + text[body_start..]
             .find('}')
             .expect("FaultSite enum body closes");
-    let variants: Vec<&str> = text[body_start..body_end]
+    let variants: Vec<String> = text[body_start..body_end]
         .lines()
         .filter_map(|l| l.trim().strip_suffix(','))
         .filter(|v| {
@@ -631,20 +636,53 @@ fn fault_site_coverage(root: &Path, failures: &mut Vec<String>) {
                 && v.chars().next().is_some_and(|c| c.is_ascii_uppercase())
                 && v.chars().all(|c| c.is_ascii_alphanumeric())
         })
+        .map(str::to_owned)
         .collect();
     if variants.is_empty() {
         failures.push("fault-site coverage: no FaultSite variants parsed".into());
-        return;
     }
+    variants
+}
+
+/// Rule 6: every injection point has a typed-error test.
+///
+/// Every `FaultSite` variant must appear by name in the engine's
+/// fault-injection suite (`engine/tests/fault_sites.rs`).
+fn fault_site_coverage(root: &Path, failures: &mut Vec<String>) {
     let suite = root.join("crates/engine/tests/fault_sites.rs");
     let tests =
         std::fs::read_to_string(&suite).unwrap_or_else(|e| panic!("read {}: {e}", suite.display()));
-    for v in variants {
-        if !tests.contains(v) {
+    for v in fault_site_variants(root, failures) {
+        if !tests.contains(&v) {
             failures.push(format!(
                 "fault-site coverage: FaultSite::{v} has no test in \
                  crates/engine/tests/fault_sites.rs (every injection point \
                  needs a typed-error test)"
+            ));
+        }
+    }
+}
+
+/// Rule 8: every durable injection point has a crash-consistency test.
+///
+/// The durable chunk store's fault sites (`Manifest*`, `Durable*`)
+/// model the steps a dying process can leave half-done on disk, so
+/// each must be exercised by name in the crash-consistency suite
+/// (`storage/tests/durable_crash.rs`) — a new durable write/read step
+/// cannot land without a kill-and-recover (or failover) test.
+fn durable_crash_coverage(root: &Path, failures: &mut Vec<String>) {
+    let suite = root.join("crates/storage/tests/durable_crash.rs");
+    let tests =
+        std::fs::read_to_string(&suite).unwrap_or_else(|e| panic!("read {}: {e}", suite.display()));
+    for v in fault_site_variants(root, failures) {
+        if !(v.starts_with("Manifest") || v.starts_with("Durable")) {
+            continue;
+        }
+        if !tests.contains(&v) {
+            failures.push(format!(
+                "durable crash coverage: FaultSite::{v} is not exercised in \
+                 crates/storage/tests/durable_crash.rs (every durable \
+                 injection point needs a crash-consistency test)"
             ));
         }
     }
